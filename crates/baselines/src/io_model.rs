@@ -1,0 +1,82 @@
+//! The disk-streaming cost model of §2.5.
+//!
+//! *"it is reasonable to assume a streaming rate of at least 100 MB/second
+//! for pure I/O during these experiments."* The experiments flush the OS
+//! cache before each run, so a backend's first access streams its whole
+//! working set at this rate. [`IoModel`] turns bytes into modeled time so
+//! the benches can report both measured CPU latency and the
+//! disk-inclusive latency the paper tabulates.
+
+use std::time::Duration;
+
+/// Linear streaming-cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoModel {
+    /// Sustained streaming bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Fixed per-request overhead (seek + request dispatch).
+    pub seek: Duration,
+}
+
+impl Default for IoModel {
+    /// The paper's 100 MB/s with a spinning-disk seek.
+    fn default() -> Self {
+        IoModel { bandwidth: 100.0 * 1024.0 * 1024.0, seek: Duration::from_millis(8) }
+    }
+}
+
+impl IoModel {
+    pub fn new(bandwidth_mb_per_s: f64) -> IoModel {
+        IoModel { bandwidth: bandwidth_mb_per_s * 1024.0 * 1024.0, ..Default::default() }
+    }
+
+    /// Modeled time to stream `bytes` in one sequential request.
+    pub fn stream_time(&self, bytes: u64) -> Duration {
+        if bytes == 0 {
+            return Duration::ZERO;
+        }
+        self.seek + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+
+    /// Modeled time for `requests` scattered reads totalling `bytes`.
+    pub fn scattered_time(&self, bytes: u64, requests: u64) -> Duration {
+        if bytes == 0 && requests == 0 {
+            return Duration::ZERO;
+        }
+        self.seek * (requests.max(1) as u32) + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hundred_mb_takes_about_a_second() {
+        let model = IoModel::default();
+        let t = model.stream_time(100 * 1024 * 1024);
+        assert!(t >= Duration::from_secs(1));
+        assert!(t < Duration::from_millis(1100));
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(IoModel::default().stream_time(0), Duration::ZERO);
+        assert_eq!(IoModel::default().scattered_time(0, 0), Duration::ZERO);
+    }
+
+    #[test]
+    fn scattered_reads_pay_per_seek() {
+        let model = IoModel::default();
+        let one = model.scattered_time(1024 * 1024, 1);
+        let many = model.scattered_time(1024 * 1024, 100);
+        assert!(many > one * 20);
+    }
+
+    #[test]
+    fn bandwidth_scales() {
+        let slow = IoModel::new(10.0).stream_time(10 * 1024 * 1024);
+        let fast = IoModel::new(1000.0).stream_time(10 * 1024 * 1024);
+        assert!(slow > fast);
+    }
+}

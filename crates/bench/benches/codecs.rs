@@ -1,0 +1,45 @@
+//! Codec micro-benchmarks (§3 "Generic Compression Algorithm", §5 "Other
+//! Compression Algorithms"): compression and decompression throughput on a
+//! realistic column payload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pd_bench::logs_table;
+use pd_compress::CodecKind;
+use pd_core::{BuildOptions, DataStore};
+use std::hint::black_box;
+
+fn column_payload() -> Vec<u8> {
+    let table = logs_table(50_000);
+    let store = DataStore::build(&table, &BuildOptions::default()).expect("store");
+    let col = store.column("table_name").expect("column");
+    let mut payload = col.dict.to_bytes();
+    for chunk in &col.chunks {
+        payload.extend_from_slice(&chunk.to_bytes());
+    }
+    payload
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let payload = column_payload();
+    let mut group = c.benchmark_group("codecs");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.sample_size(10);
+    for kind in [CodecKind::Rle, CodecKind::Zippy, CodecKind::Lzf, CodecKind::Deflate] {
+        let codec = kind.codec();
+        group.bench_with_input(BenchmarkId::new("compress", codec.name()), &payload, |b, p| {
+            b.iter(|| black_box(codec.compress(p)));
+        });
+        let compressed = codec.compress(&payload);
+        group.bench_with_input(
+            BenchmarkId::new("decompress", codec.name()),
+            &compressed,
+            |b, p| {
+                b.iter(|| black_box(codec.decompress(p).expect("decompress")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

@@ -1,0 +1,709 @@
+//! Regenerators for every table and figure in the paper's evaluation.
+//!
+//! Each function prints the measured numbers next to the paper's published
+//! ones (measured on 5M rows of Google's logs on 2008-era hardware — the
+//! *shape* is what should match, not the absolute values).
+
+use crate::harness::{logs_table, measure_n, mb, TablePrinter};
+use pd_baselines::{Backend, CsvBackend, DremelBackend, IoModel, RecordIoBackend};
+use pd_compress::CodecKind;
+use pd_core::memory::{compressed_chunks_for_query, compressed_for_query, report_for_query};
+use pd_core::{
+    query, BuildOptions, CachePolicy, DataStore, ExecContext, PartitionSpec, TieredCache,
+};
+use pd_data::Table;
+use pd_dist::{run_production, Cluster, ClusterConfig, DrillDownWorkload, LoadModel, TreeShape, WorkloadSpec};
+use pd_encoding::{Elements, ElementsMode, PackedInts, SubDictIndex, SubDictLayout};
+use pd_sql::{analyze, parse_query};
+use std::sync::Arc;
+use std::time::Duration;
+
+pub const Q1: &str =
+    "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;";
+pub const Q2: &str = "SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data GROUP BY date ORDER BY date ASC LIMIT 10;";
+pub const Q3: &str =
+    "SELECT table_name, COUNT(*) as c FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10;";
+
+pub const QUERIES: [(&str, &str); 3] = [("Q1", Q1), ("Q2", Q2), ("Q3", Q3)];
+
+/// The paper's partitioning for these logs (§3: "we use the field order
+/// country, table_name and we set the threshold [...] to 50'000 rows").
+pub fn paper_partition(rows: usize) -> PartitionSpec {
+    // Keep roughly the paper's chunk-count-to-row ratio when scaling down
+    // (5M rows / 50'000 ≈ 150 chunks).
+    let threshold = (rows / 100).clamp(500, 50_000);
+    PartitionSpec::new(&["country", "table_name"], threshold)
+}
+
+fn fmt_ms(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1000.0;
+    if ms < 10.0 {
+        format!("{ms:.2}")
+    } else {
+        format!("{ms:.0}")
+    }
+}
+
+/// Table 1: latency and memory of CSV, record-io, Dremel-like, and the
+/// basic data structures.
+pub fn table1(rows: usize) {
+    println!("\n=== Table 1: CSV vs record-io vs Dremel vs Basic ({rows} rows) ===");
+    println!("paper (5M rows): latency ms  CSV 55099/75207/71778 | rec-io 27134/50587/39235 | Dremel 7874/18191/48628 | Basic 20/2144/686");
+    println!("paper (5M rows): memory MB   CSV 573.3 | rec-io 551.1 | Dremel 27.9/60.4/90.8 | Basic 20.0/41.5/91.2\n");
+
+    let table = logs_table(rows);
+    let io = IoModel::default();
+    let csv = CsvBackend::new(&table, io).expect("csv backend");
+    let rio = RecordIoBackend::new(&table, io).expect("recordio backend");
+    let dremel = DremelBackend::new(&table, io).expect("dremel backend");
+    let store = DataStore::build(&table, &BuildOptions::basic()).expect("basic store");
+    // Materialize Q2's virtual field up front, as the paper does ("we
+    // assume that this has happened before computing Query 2").
+    let _ = query(&store, Q2).expect("warmup");
+
+    let printer = TablePrinter::new(
+        &["backend", "Q1 ms", "Q2 ms", "Q3 ms", "Q1 MB", "Q2 MB", "Q3 MB"],
+        &[8, 9, 9, 9, 8, 8, 8],
+    );
+    let backends: Vec<&dyn Backend> = vec![&csv, &rio, &dremel];
+    for backend in backends {
+        let mut lat = Vec::new();
+        let mut mem = Vec::new();
+        for (_, sql) in QUERIES {
+            let t = measure_n(2, || {
+                backend.execute(sql).expect("backend query");
+            });
+            lat.push(fmt_ms(t));
+            mem.push(format!("{:.1}", mb(backend.storage_bytes(sql).expect("storage"))));
+        }
+        printer.row(&[backend.name(), &lat[0], &lat[1], &lat[2], &mem[0], &mem[1], &mem[2]]);
+    }
+    let mut lat = Vec::new();
+    let mut mem = Vec::new();
+    for (_, sql) in QUERIES {
+        let t = measure_n(3, || {
+            query(&store, sql).expect("store query");
+        });
+        lat.push(fmt_ms(t));
+        mem.push(format!("{:.1}", mb(report_for_query(&store, sql).expect("report").total())));
+    }
+    printer.row(&["Basic", &lat[0], &lat[1], &lat[2], &mem[0], &mem[1], &mem[2]]);
+}
+
+/// Table 2: memory with optimized element encodings (elements-only and
+/// overall).
+pub fn table2(rows: usize) {
+    println!("\n=== Table 2: element encodings ({rows} rows) ===");
+    println!("paper (5M): elements MB Basic 20.00/40.73/24.21 | Chunks 20.07/47.26/24.29 | OptCols 0.08/22.26/14.29");
+    println!("paper (5M): overall  MB Basic 20.00/41.45/91.23 | Chunks 20.07/47.99/91.32 | OptCols 0.08/22.99/81.32\n");
+
+    let table = logs_table(rows);
+    let spec = paper_partition(rows);
+    let variants = [
+        ("Basic", BuildOptions::basic()),
+        ("Chunks", BuildOptions::chunked(spec.clone())),
+        ("OptCols", BuildOptions::optcols(spec)),
+    ];
+    let printer = TablePrinter::new(
+        &["variant", "elems Q1", "elems Q2", "elems Q3", "all Q1", "all Q2", "all Q3"],
+        &[8, 9, 9, 9, 9, 9, 9],
+    );
+    for (name, options) in variants {
+        let store = DataStore::build(&table, &options).expect("store");
+        let mut elems = Vec::new();
+        let mut all = Vec::new();
+        for (_, sql) in QUERIES {
+            let report = report_for_query(&store, sql).expect("report");
+            elems.push(format!("{:.2}", mb(report.elements_and_chunk_dicts())));
+            all.push(format!("{:.2}", mb(report.total())));
+        }
+        printer.row(&[name, &elems[0], &elems[1], &elems[2], &all[0], &all[1], &all[2]]);
+    }
+}
+
+/// Table 3: applying Zippy to the individual encodings.
+pub fn table3(rows: usize) {
+    println!("\n=== Table 3: Zippy on each encoding ({rows} rows) ===");
+    println!("paper (5M): compressed MB Basic 3.02/17.35/17.70 | Chunks 0.28/16.34/12.19 | OptCols 0.04/16.32/12.19 | OptDicts 0.04/16.32/12.40\n");
+
+    let table = logs_table(rows);
+    let spec = paper_partition(rows);
+    let variants = [
+        ("Basic", BuildOptions::basic()),
+        ("Chunks", BuildOptions::chunked(spec.clone())),
+        ("OptCols", BuildOptions::optcols(spec.clone())),
+        ("OptDicts", BuildOptions::optdicts(spec)),
+    ];
+    let printer = TablePrinter::new(
+        &["variant", "raw Q1", "raw Q2", "raw Q3", "zip Q1", "zip Q2", "zip Q3"],
+        &[8, 9, 9, 9, 9, 9, 9],
+    );
+    for (name, options) in variants {
+        let store = DataStore::build(&table, &options).expect("store");
+        let mut raw = Vec::new();
+        let mut zip = Vec::new();
+        for (_, sql) in QUERIES {
+            raw.push(format!("{:.2}", mb(report_for_query(&store, sql).expect("report").total())));
+            zip.push(format!(
+                "{:.2}",
+                mb(compressed_for_query(&store, sql, CodecKind::Zippy).expect("compress"))
+            ));
+        }
+        printer.row(&[name, &raw[0], &raw[1], &raw[2], &zip[0], &zip[1], &zip[2]]);
+    }
+}
+
+/// Table 4: the complete step-wise summary.
+pub fn table4(rows: usize) {
+    println!("\n=== Table 4: step-wise optimization summary ({rows} rows) ===");
+    println!("paper (5M) MB: Dremel 27.94/60.37/90.79 | Basic 20.00/41.45/91.23 | Chunks 20.07/47.99/91.32 | OptCols 0.08/22.99/81.32 | OptDicts 0.08/22.98/17.66 | Zippy 0.04/16.32/12.40 | Reorder 0.03/12.13/5.63\n");
+
+    let table = logs_table(rows);
+    let spec = paper_partition(rows);
+    let printer = TablePrinter::new(&["variant", "Q1 MB", "Q2 MB", "Q3 MB"], &[8, 10, 10, 10]);
+
+    // Dremel reference row (compressed columnar storage of touched columns).
+    let dremel = DremelBackend::new(&table, IoModel::default()).expect("dremel");
+    let d: Vec<String> = QUERIES
+        .iter()
+        .map(|(_, sql)| format!("{:.2}", mb(dremel.storage_bytes(sql).expect("storage"))))
+        .collect();
+    printer.row(&["Dremel", &d[0], &d[1], &d[2]]);
+
+    let variants = [
+        ("Basic", BuildOptions::basic()),
+        ("Chunks", BuildOptions::chunked(spec.clone())),
+        ("OptCols", BuildOptions::optcols(spec.clone())),
+        ("OptDicts", BuildOptions::optdicts(spec.clone())),
+    ];
+    for (name, options) in variants {
+        let store = DataStore::build(&table, &options).expect("store");
+        let r: Vec<String> = QUERIES
+            .iter()
+            .map(|(_, sql)| format!("{:.2}", mb(report_for_query(&store, sql).expect("report").total())))
+            .collect();
+        printer.row(&[name, &r[0], &r[1], &r[2]]);
+    }
+
+    // Zippy + Reorder rows are compressed sizes.
+    let optdicts = DataStore::build(&table, &BuildOptions::optdicts(spec.clone())).expect("store");
+    let z: Vec<String> = QUERIES
+        .iter()
+        .map(|(_, sql)| {
+            format!("{:.2}", mb(compressed_for_query(&optdicts, sql, CodecKind::Zippy).expect("zip")))
+        })
+        .collect();
+    printer.row(&["Zippy", &z[0], &z[1], &z[2]]);
+
+    let reordered = DataStore::build(&table, &BuildOptions::reordered(spec)).expect("store");
+    let r: Vec<String> = QUERIES
+        .iter()
+        .map(|(_, sql)| {
+            format!("{:.2}", mb(compressed_for_query(&reordered, sql, CodecKind::Zippy).expect("zip")))
+        })
+        .collect();
+    printer.row(&["Reorder", &r[0], &r[1], &r[2]]);
+}
+
+/// §3 text: the trie shrinks the table_name global dictionary (67.03 MB →
+/// 3.37 MB in the paper) and Q3's overall footprint (81.32 → 17.66 MB).
+pub fn trie(rows: usize) {
+    println!("\n=== Trie dictionaries ({rows} rows) ===");
+    println!("paper (5M): table_name dict 67.03 MB -> 3.37 MB; Q3 overall 81.32 MB -> 17.66 MB\n");
+
+    let table = logs_table(rows);
+    let spec = paper_partition(rows);
+    let sorted = DataStore::build(&table, &BuildOptions::optcols(spec.clone())).expect("store");
+    let trie = DataStore::build(&table, &BuildOptions::optdicts(spec)).expect("store");
+    let s = report_for_query(&sorted, Q3).expect("report");
+    let t = report_for_query(&trie, Q3).expect("report");
+    let printer = TablePrinter::new(&["dict", "table_name dict MB", "Q3 overall MB"], &[8, 20, 15]);
+    printer.row(&["sorted", &format!("{:.2}", mb(s.dict_bytes())), &format!("{:.2}", mb(s.total()))]);
+    printer.row(&["trie", &format!("{:.2}", mb(t.dict_bytes())), &format!("{:.2}", mb(t.total()))]);
+    println!(
+        "\ndict reduction: {:.1}x | overall reduction: {:.1}x (paper: 19.9x and 4.6x)",
+        s.dict_bytes() as f64 / t.dict_bytes().max(1) as f64,
+        s.total() as f64 / t.total().max(1) as f64
+    );
+}
+
+/// §3 text: reordering improves the compressed elements + chunk dicts by
+/// factors 1.2 / 1.3 / 2.8 for Q1 / Q2 / Q3.
+pub fn reorder(rows: usize) {
+    println!("\n=== Row reordering ({rows} rows) ===");
+    println!("paper (5M): compression improvement on elements+chunk-dicts 1.2x / 1.3x / 2.8x (Q1/Q2/Q3)\n");
+
+    let table = logs_table(rows);
+    let spec = paper_partition(rows);
+    let plain = DataStore::build(&table, &BuildOptions::optdicts(spec.clone())).expect("store");
+    let sorted = DataStore::build(&table, &BuildOptions::reordered(spec)).expect("store");
+    let printer = TablePrinter::new(&["query", "plain KB", "reordered KB", "factor"], &[6, 12, 13, 7]);
+    for (name, sql) in QUERIES {
+        let a = compressed_chunks_for_query(&plain, sql, CodecKind::Zippy).expect("zip");
+        let b = compressed_chunks_for_query(&sorted, sql, CodecKind::Zippy).expect("zip");
+        printer.row(&[
+            name,
+            &format!("{:.1}", a as f64 / 1024.0),
+            &format!("{:.1}", b as f64 / 1024.0),
+            &format!("{:.2}x", a as f64 / b.max(1) as f64),
+        ]);
+    }
+}
+
+/// §5 "Other Compression Algorithms": ratio and speed of every codec over
+/// real column payloads.
+pub fn codecs(rows: usize) {
+    println!("\n=== Codecs ({rows} rows of column payloads) ===");
+    println!("paper: Huffman stage +20-30% ratio but ~10x slower; LZO variant ~10% better ratio, up to 2x faster decompression than Zippy\n");
+
+    let table = logs_table(rows);
+    let store =
+        DataStore::build(&table, &BuildOptions::optdicts(paper_partition(rows))).expect("store");
+    // Payload: the serialized table_name column (dict + chunks).
+    let col = store.column("table_name").expect("column");
+    let mut payload = col.dict.to_bytes();
+    for chunk in &col.chunks {
+        payload.extend_from_slice(&chunk.to_bytes());
+    }
+    println!("payload: {:.2} MB of dictionary + chunk data", mb(payload.len()));
+
+    let printer = TablePrinter::new(
+        &["codec", "ratio", "compress MB/s", "decompress MB/s"],
+        &[8, 7, 14, 16],
+    );
+    for kind in CodecKind::ALL {
+        if kind == CodecKind::None {
+            continue;
+        }
+        let codec = kind.codec();
+        let compressed = codec.compress(&payload);
+        let t_c = measure_n(2, || {
+            std::hint::black_box(codec.compress(&payload));
+        });
+        let t_d = measure_n(2, || {
+            std::hint::black_box(codec.decompress(&compressed).expect("decompress"));
+        });
+        printer.row(&[
+            codec.name(),
+            &format!("{:.2}", payload.len() as f64 / compressed.len() as f64),
+            &format!("{:.0}", mb(payload.len()) / t_c.as_secs_f64()),
+            &format!("{:.0}", mb(payload.len()) / t_d.as_secs_f64()),
+        ]);
+    }
+}
+
+/// §5 count distinct: sketch accuracy and speed vs exact counting.
+pub fn count_distinct(rows: usize) {
+    println!("\n=== Approximate count distinct ({rows} rows) ===");
+    println!("paper: m in the order of a couple of thousand; estimate = m/v\n");
+
+    let table = logs_table(rows);
+    let store = DataStore::build(&table, &BuildOptions::basic()).expect("store");
+    let sql = "SELECT COUNT(DISTINCT table_name) FROM data";
+    let analyzed = analyze(&parse_query(sql).expect("parse")).expect("analyze");
+
+    // Exact via a saturated sketch.
+    let exact_ctx = ExecContext { sketch_m: 1 << 22, ..Default::default() };
+    let (exact_result, _) = pd_core::execute(&store, &analyzed, &exact_ctx).expect("exact");
+    let exact = exact_result.rows[0].0[0].as_int().expect("int") as f64;
+    println!("exact distinct table_names: {exact}");
+
+    let printer = TablePrinter::new(&["m", "estimate", "error %", "time ms"], &[8, 10, 9, 9]);
+    for m in [256usize, 1024, 4096, 16384] {
+        let ctx = ExecContext { sketch_m: m, ..Default::default() };
+        let mut est = 0.0;
+        let t = measure_n(2, || {
+            let (r, _) = pd_core::execute(&store, &analyzed, &ctx).expect("query");
+            est = r.rows[0].0[0].as_int().expect("int") as f64;
+        });
+        printer.row(&[
+            &m.to_string(),
+            &format!("{est:.0}"),
+            &format!("{:.2}", 100.0 * (est - exact).abs() / exact),
+            &fmt_ms(t),
+        ]);
+    }
+}
+
+/// §5 cache heuristics: LRU vs 2Q vs ARC under a drill-down stream
+/// polluted by one-time scans.
+pub fn cache(rows: usize) {
+    println!("\n=== Cache eviction policies ({rows} rows) ===");
+    println!("paper: one-time scans invalidate LRU; production uses an ARC/2Q-like policy\n");
+
+    let table = logs_table(rows);
+    let store =
+        DataStore::build(&table, &BuildOptions::reordered(paper_partition(rows))).expect("store");
+    // Budget ~12% of the hot columns so eviction pressure is real.
+    let hot_bytes = report_for_query(&store, Q1).expect("r").total()
+        + report_for_query(&store, Q3).expect("r").total();
+    let budget = (hot_bytes / 8).max(1 << 16);
+
+    // Hot queries (repeated) + a periodic one-time scan over other columns.
+    let hot = [Q1, Q3];
+    let scans = [
+        "SELECT user, COUNT(*) c FROM data GROUP BY user ORDER BY c DESC LIMIT 5",
+        "SELECT country, SUM(latency) s FROM data GROUP BY country ORDER BY s DESC LIMIT 5",
+        "SELECT user, MIN(timestamp), MAX(timestamp) FROM data GROUP BY user ORDER BY user ASC LIMIT 5",
+        "SELECT date(timestamp) as d, AVG(latency) a FROM data GROUP BY d ORDER BY a DESC LIMIT 5",
+    ];
+
+    let printer = TablePrinter::new(&["policy", "disk MB", "decompressed MB"], &[8, 10, 16]);
+    for policy in [CachePolicy::Lru, CachePolicy::TwoQ, CachePolicy::Arc] {
+        let ctx = ExecContext {
+            sketch_m: 0,
+            result_cache: None, // isolate the data-layer caches
+            tiered: Some(Arc::new(TieredCache::new(policy, budget, budget / 2))),
+        };
+        let mut disk = 0u64;
+        let mut decompressed = 0u64;
+        for round in 0..12 {
+            for sql in hot {
+                let a = analyze(&parse_query(sql).expect("parse")).expect("analyze");
+                let (_, stats) = pd_core::execute(&store, &a, &ctx).expect("query");
+                disk += stats.disk_bytes;
+                decompressed += stats.decompressed_bytes;
+            }
+            // Every third round a one-time scan sweeps through.
+            if round % 3 == 2 {
+                let sql = scans[(round / 3) % scans.len()];
+                let a = analyze(&parse_query(sql).expect("parse")).expect("analyze");
+                let (_, stats) = pd_core::execute(&store, &a, &ctx).expect("query");
+                disk += stats.disk_bytes;
+                decompressed += stats.decompressed_bytes;
+            }
+        }
+        let name = match policy {
+            CachePolicy::Lru => "LRU",
+            CachePolicy::TwoQ => "2Q",
+            CachePolicy::Arc => "ARC",
+        };
+        printer.row(&[
+            name,
+            &format!("{:.2}", disk as f64 / (1024.0 * 1024.0)),
+            &format!("{:.2}", decompressed as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+}
+
+/// Build the §6-style cluster for a dataset size.
+fn production_cluster(table: &Table, rows: usize) -> Cluster {
+    let shards = (rows / 62_500).clamp(2, 16);
+    let shard_rows = rows / shards;
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        // Keep the paper's ~120 chunks per shard when scaling down.
+        spec.max_chunk_rows = (shard_rows / 120).clamp(200, 50_000);
+    }
+    Cluster::build(
+        table,
+        &ClusterConfig { shards, build, cache_budget: 512 << 20, ..Default::default() },
+    )
+    .expect("cluster")
+}
+
+/// §6: production statistics — skipped / cached / scanned percentages,
+/// disk-free query fraction, per-click latency.
+pub fn production(rows: usize) {
+    println!("\n=== Production workload (§6) ({rows} rows) ===");
+    println!("paper: 92.41% skipped, 5.02% cached, 2.66% scanned; >70% of queries disk-free; ~20 queries per click\n");
+
+    let table = logs_table(rows);
+    let cluster = production_cluster(&table, rows);
+    let workload = DrillDownWorkload::generate(
+        &table,
+        &WorkloadSpec { clicks: 60, queries_per_click: 20, max_drill_depth: 6, seed: 11 },
+    )
+    .expect("workload");
+    println!(
+        "replaying {} queries ({} clicks x 20) over {} shards ...",
+        workload.query_count(),
+        workload.clicks.len(),
+        cluster.shard_count()
+    );
+    let report = run_production(&cluster, &workload).expect("production run");
+
+    println!("\nrows skipped : {:6.2}%   (paper: 92.41%)", report.skipped_percent());
+    println!("rows cached  : {:6.2}%   (paper:  5.02%)", report.cached_percent());
+    println!("rows scanned : {:6.2}%   (paper:  2.66%)", report.scanned_percent());
+    println!(
+        "disk-free queries: {:5.1}%   (paper: >70%)",
+        100.0 * report.disk_free_fraction()
+    );
+    let avg_latency: Duration =
+        report.queries.iter().map(|q| q.latency).sum::<Duration>() / report.queries.len() as u32;
+    println!("avg modeled per-query latency: {avg_latency:?}   (paper: under 2 seconds per query)");
+    let disk_free: Vec<&pd_dist::workload::QueryRecord> =
+        report.queries.iter().filter(|q| q.stats.disk_free()).collect();
+    if !disk_free.is_empty() {
+        let avg: Duration =
+            disk_free.iter().map(|q| q.latency).sum::<Duration>() / disk_free.len() as u32;
+        println!("avg latency of disk-free queries: {avg:?}");
+    }
+    figure5_print(&report);
+}
+
+/// Figure 5: average latency by disk bytes loaded (log2 buckets).
+pub fn figure5(rows: usize) {
+    println!("\n=== Figure 5 ({rows} rows) ===");
+    println!("paper: latency grows with the amount of data loaded from disk; >70% of queries load nothing\n");
+    let table = logs_table(rows);
+    let cluster = production_cluster(&table, rows);
+    let workload = DrillDownWorkload::generate(
+        &table,
+        &WorkloadSpec { clicks: 30, queries_per_click: 10, max_drill_depth: 5, seed: 23 },
+    )
+    .expect("workload");
+    let report = run_production(&cluster, &workload).expect("production run");
+    figure5_print(&report);
+}
+
+fn figure5_print(report: &pd_dist::workload::ProductionReport) {
+    println!("\nFigure 5: avg latency by disk bytes loaded (log2 buckets)");
+    let buckets = report.figure5_buckets();
+    let max_latency = buckets
+        .iter()
+        .map(|(_, d, _)| d.as_secs_f64())
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    for (bucket, latency, n) in buckets {
+        let label = if bucket == 0 {
+            "   none".to_owned()
+        } else {
+            format!(">=2^{:02}B", bucket - 1)
+        };
+        let bar = "#".repeat((latency.as_secs_f64() / max_latency * 40.0).ceil() as usize);
+        println!("{label}  {:>9.3?}  {n:>4} queries  {bar}", latency);
+    }
+}
+
+/// §4 ablations: tree fanout, shard scaling, replication tail latency.
+pub fn distributed(rows: usize) {
+    println!("\n=== Distributed execution (§4) ({rows} rows) ===");
+    let table = logs_table(rows);
+    let sql = "SELECT country, COUNT(*) as c, SUM(latency) as s FROM data GROUP BY country ORDER BY c DESC LIMIT 10";
+
+    println!("\nshard scaling (replication on, warm caches):");
+    let printer = TablePrinter::new(&["shards", "p50 latency", "p95 latency"], &[6, 14, 14]);
+    for shards in [2usize, 4, 8, 16] {
+        let mut build = BuildOptions::production(&["country", "table_name"]);
+        if let Some(spec) = &mut build.partition {
+            spec.max_chunk_rows = (rows / shards / 60).clamp(200, 50_000);
+        }
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig { shards, build, ..Default::default() },
+        )
+        .expect("cluster");
+        for _ in 0..3 {
+            cluster.query(sql).expect("warmup"); // warm caches
+        }
+        let mut latencies: Vec<Duration> =
+            (0..30).map(|_| cluster.query(sql).expect("query").latency).collect();
+        latencies.sort();
+        let p50 = latencies[latencies.len() / 2];
+        let p95 = latencies[latencies.len() * 95 / 100];
+        printer.row(&[&shards.to_string(), &format!("{p50:?}"), &format!("{p95:?}")]);
+    }
+
+    println!("\nreplication under heavy load fluctuation (warm caches):");
+    let printer = TablePrinter::new(&["replication", "p50 latency", "p95 latency"], &[11, 14, 14]);
+    for replication in [false, true] {
+        let mut build = BuildOptions::production(&["country", "table_name"]);
+        if let Some(spec) = &mut build.partition {
+            spec.max_chunk_rows = (rows / 8 / 60).clamp(200, 50_000);
+        }
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards: 8,
+                replication,
+                build,
+                load: LoadModel { busy_probability: 0.3, blocked_probability: 0.08, seed: 3 },
+                ..Default::default()
+            },
+        )
+        .expect("cluster");
+        for _ in 0..3 {
+            cluster.query(sql).expect("warmup");
+        }
+        let mut latencies: Vec<Duration> =
+            (0..40).map(|_| cluster.query(sql).expect("query").latency).collect();
+        latencies.sort();
+        let p50 = latencies[latencies.len() / 2];
+        let p95 = latencies[latencies.len() * 95 / 100];
+        printer.row(&[
+            if replication { "primary+rep" } else { "primary" },
+            &format!("{p50:?}"),
+            &format!("{p95:?}"),
+        ]);
+    }
+
+    println!("\ntree depth by fanout (1024 leaves):");
+    for fanout in [2usize, 4, 16, 64] {
+        println!("  fanout {fanout:>3}: depth {}", TreeShape { fanout }.depth(1024));
+    }
+}
+
+/// §2.2 ablation: chunk-size threshold sensitivity.
+pub fn partitioning(rows: usize) {
+    println!("\n=== Partitioning threshold ablation ({rows} rows) ===");
+    println!("paper: threshold 50'000 at 5M rows (~150 chunks); smaller chunks skip more but cost memory\n");
+
+    let table = logs_table(rows);
+    let selective = "SELECT table_name, COUNT(*) c FROM data WHERE country = 'SG' GROUP BY table_name ORDER BY c DESC LIMIT 5";
+    let printer = TablePrinter::new(
+        &["threshold", "chunks", "skip %", "Q1 mem KB", "Q3 mem KB"],
+        &[9, 7, 7, 10, 10],
+    );
+    for divisor in [20usize, 60, 200, 600] {
+        let threshold = (rows / divisor).max(50);
+        let spec = PartitionSpec::new(&["country", "table_name"], threshold);
+        let store = DataStore::build(&table, &BuildOptions::reordered(spec)).expect("store");
+        let (_, stats) = query(&store, selective).expect("query");
+        let q1 = report_for_query(&store, Q1).expect("report").total();
+        let q3 = report_for_query(&store, Q3).expect("report").total();
+        printer.row(&[
+            &threshold.to_string(),
+            &store.chunk_count().to_string(),
+            &format!("{:.1}", 100.0 * stats.skipped_fraction()),
+            &format!("{:.0}", q1 as f64 / 1024.0),
+            &format!("{:.0}", q3 as f64 / 1024.0),
+        ]);
+    }
+}
+
+/// §3 ablation: element encodings vs exact bit packing.
+pub fn elements(rows: usize) {
+    println!("\n=== Element encoding ablation ({rows} rows) ===");
+    println!("paper uses byte-aligned widths (0 bit / bit-set / 1 / 2 / 4 bytes); exact bit packing trades alignment for size\n");
+
+    let table = logs_table(rows);
+    let store =
+        DataStore::build(&table, &BuildOptions::optdicts(paper_partition(rows))).expect("store");
+    let printer = TablePrinter::new(
+        &["column", "basic KB", "optimized KB", "bit-packed KB"],
+        &[12, 10, 13, 14],
+    );
+    for name in ["country", "table_name", "user"] {
+        let col = store.column(name).expect("column");
+        let mut basic = 0usize;
+        let mut optimized = 0usize;
+        let mut packed = 0usize;
+        for chunk in &col.chunks {
+            let ids: Vec<u32> = chunk.elements.iter().collect();
+            let n = chunk.dict.len();
+            basic += Elements::encode(&ids, n, ElementsMode::Basic).to_bytes().len();
+            optimized += Elements::encode(&ids, n, ElementsMode::Optimized).to_bytes().len();
+            let p: PackedInts = ids.iter().copied().collect();
+            packed += (p.len() * p.width() as usize).div_ceil(8);
+        }
+        printer.row(&[
+            name,
+            &format!("{:.0}", basic as f64 / 1024.0),
+            &format!("{:.0}", optimized as f64 / 1024.0),
+            &format!("{:.0}", packed as f64 / 1024.0),
+        ]);
+    }
+}
+
+/// §5 "Further Optimizing the Global-Dictionaries": sub-dictionaries +
+/// Bloom filters — dictionary bytes loaded per query when only a few
+/// chunks are active.
+pub fn subdicts(rows: usize) {
+    println!("\n=== Sub-dictionaries + Bloom filters ({rows} rows) ===");
+    println!("paper: \"When processing a query with few active chunks, only a few of these sub-dictionaries need to be loaded into memory\"; Bloom filters avoid loads for absent values\n");
+
+    let table = logs_table(rows);
+    let store =
+        DataStore::build(&table, &BuildOptions::optdicts(paper_partition(rows))).expect("store");
+    let col = store.column("table_name").expect("column");
+
+    // Frequencies per global-id (drives the hot sub-dictionary).
+    let mut freq = vec![0u64; col.dict.len() as usize];
+    for chunk in &col.chunks {
+        let mut counts = vec![0u64; chunk.dict.len() as usize];
+        chunk.elements.for_each(|id| counts[id as usize] += 1);
+        for (cid, n) in counts.iter().enumerate() {
+            freq[chunk.dict.global_id_of(cid as u32) as usize] += n;
+        }
+    }
+    let chunk_ids: Vec<Vec<u32>> = col.chunks.iter().map(|c| c.dict.iter().collect()).collect();
+    let byte_size = |g: u32| col.dict.value(g).render().len() + 8;
+    let index = SubDictIndex::build(&chunk_ids, &freq, byte_size, SubDictLayout::default());
+    let full_dict: usize = (0..col.dict.len()).map(byte_size).sum();
+
+    // Drill-down probes: one country restriction each (the partition's
+    // first field) — the query `WHERE country = X GROUP BY table_name`
+    // touches only that country's chunks, and the table_name dictionary is
+    // needed only for their values. Chunks of one country are contiguous
+    // (range partitioning), so they share few sub-dictionary groups.
+    let country = store.column("country").expect("column");
+    let mut monolithic = 0u64;
+    let mut with_subdicts = 0u64;
+    let mut active_total = 0usize;
+    let mut probes = 0usize;
+    for g in 0..country.dict.len() {
+        let active: Vec<u32> = country
+            .chunks
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.dict.chunk_id_of(g).is_some())
+            .map(|(i, _)| i as u32)
+            .collect();
+        active_total += active.len();
+        probes += 1;
+        // Cold model: a monolithic dictionary loads entirely; sub-dicts
+        // load only the groups covering the active chunks.
+        monolithic += full_dict as u64;
+        with_subdicts += index.bytes_for_chunks(&active) as u64;
+    }
+    println!(
+        "table_name dictionary: {:.2} MB total | hot sub-dict (resident): {:.3} MB | {} groups",
+        mb(full_dict),
+        mb(index.hot_bytes),
+        index.groups.len()
+    );
+    println!(
+        "{probes} per-country drill-down probes, avg {:.1} active chunks of {}:",
+        active_total as f64 / probes as f64,
+        col.chunks.len()
+    );
+    println!(
+        "  monolithic dictionary: {:.3} MB loaded per query (cold)",
+        mb((monolithic / probes as u64) as usize)
+    );
+    println!(
+        "  sub-dictionaries     : {:.3} MB loaded per query  -> {:.1}x less",
+        mb((with_subdicts / probes as u64) as usize),
+        monolithic as f64 / with_subdicts.max(1) as f64,
+    );
+
+    // Bloom filters: probes for values absent from the dictionary need no
+    // group loads at all.
+    let false_positives = (0..2_000u32)
+        .filter(|i| index.may_need_group_load(col.dict.len() + 1 + i * 37))
+        .count();
+    println!(
+        "  Bloom filters: {false_positives} of 2000 absent-value probes would load a group (false-positive rate {:.2}%)",
+        false_positives as f64 / 20.0
+    );
+}
+
+/// Run everything.
+pub fn all(rows: usize) {
+    table1(rows);
+    table2(rows);
+    table3(rows);
+    table4(rows);
+    trie(rows);
+    reorder(rows);
+    codecs(rows);
+    count_distinct(rows);
+    cache(rows);
+    production(rows);
+    distributed(rows);
+    partitioning(rows);
+    elements(rows);
+    subdicts(rows);
+}

@@ -1,0 +1,57 @@
+//! Dataset setup, timing and table printing.
+
+use pd_data::{generate_logs, LogsSpec, Table};
+use std::time::{Duration, Instant};
+
+/// Row count for experiments: `PD_ROWS` env var, default 500'000.
+pub fn rows_from_env() -> usize {
+    std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(500_000)
+}
+
+/// The experiment dataset (the paper's "our own logs" profile).
+pub fn logs_table(rows: usize) -> Table {
+    generate_logs(&LogsSpec::scaled(rows))
+}
+
+/// Wall-clock of one invocation.
+pub fn measure(mut f: impl FnMut()) -> Duration {
+    let start = Instant::now();
+    f();
+    start.elapsed()
+}
+
+/// Minimum wall-clock over `n` invocations (after one warmup).
+pub fn measure_n(n: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    (0..n.max(1)).map(|_| measure(&mut f)).min().expect("n >= 1")
+}
+
+/// Bytes → MB with the paper's two decimals.
+pub fn mb(bytes: usize) -> f64 {
+    bytes as f64 / (1024.0 * 1024.0)
+}
+
+/// Fixed-width table printer for experiment output.
+pub struct TablePrinter {
+    widths: Vec<usize>,
+}
+
+impl TablePrinter {
+    pub fn new(headers: &[&str], widths: &[usize]) -> TablePrinter {
+        let widths: Vec<usize> =
+            headers.iter().zip(widths).map(|(h, w)| (*w).max(h.len())).collect();
+        let printer = TablePrinter { widths };
+        printer.row(headers);
+        println!("{}", "-".repeat(printer.widths.iter().sum::<usize>() + 2 * printer.widths.len()));
+        printer
+    }
+
+    pub fn row<S: AsRef<str>>(&self, cells: &[S]) {
+        let line: Vec<String> = cells
+            .iter()
+            .zip(&self.widths)
+            .map(|(c, w)| format!("{:>w$}", c.as_ref()))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}

@@ -1,0 +1,11 @@
+//! Shared harness for the experiment binary and the criterion benches.
+//!
+//! Every table and figure of the paper's evaluation has a regenerator in
+//! [`experiments`]; `cargo run -p pd-bench --release --bin experiments --
+//! all` reprints them all. Dataset size defaults to 500'000 rows (the paper
+//! used 5 million; set `PD_ROWS=5000000` to match).
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{logs_table, measure, measure_n, mb, rows_from_env, TablePrinter};

@@ -1,0 +1,75 @@
+//! The workspace-wide error type.
+
+use std::fmt;
+
+/// Errors produced anywhere in the PowerDrill workspace.
+#[derive(Debug)]
+pub enum Error {
+    /// SQL lexing / parsing failure.
+    Parse(String),
+    /// Schema violation (unknown / duplicate field, arity mismatch, ...).
+    Schema(String),
+    /// Type error during analysis or evaluation.
+    Type(String),
+    /// Malformed input data (CSV / record-io decode failure, ...).
+    Data(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Feature outside the supported SQL subset.
+    Unsupported(String),
+    /// Internal invariant violation — a bug in this library.
+    Internal(String),
+}
+
+/// Workspace-wide result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse(m) => write!(f, "parse error: {m}"),
+            Error::Schema(m) => write!(f, "schema error: {m}"),
+            Error::Type(m) => write!(f, "type error: {m}"),
+            Error::Data(m) => write!(f, "data error: {m}"),
+            Error::Io(e) => write!(f, "io error: {e}"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        assert_eq!(Error::Parse("bad token".into()).to_string(), "parse error: bad token");
+        assert_eq!(Error::Unsupported("JOIN".into()).to_string(), "unsupported: JOIN");
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        use std::error::Error as _;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let err: Error = io.into();
+        assert!(err.to_string().contains("gone"));
+        assert!(err.source().is_some());
+        assert!(Error::Type("t".into()).source().is_none());
+    }
+}

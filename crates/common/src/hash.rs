@@ -1,0 +1,139 @@
+//! A fast, non-cryptographic hasher.
+//!
+//! The paper's Query 3 (group-by over a field with several hundred thousand
+//! distinct values) is dominated by hash-table work in the baseline
+//! backends; SipHash would distort those measurements, so the workspace uses
+//! the Fx multiply-xor construction (as used by rustc) implemented here from
+//! scratch — no third-party hashing crate is allowed.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Multiply-xor hasher (the `FxHasher` construction).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            // Mix in the length so that e.g. "a" and "a\0" differ.
+            self.add_word(u64::from_le_bytes(buf) ^ (rem.len() as u64) << 56);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_word(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_word(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_word(v as u64);
+    }
+}
+
+/// `HashMap` keyed with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the fast hasher.
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// One-shot 64-bit hash of any hashable value.
+///
+/// Used by the count-distinct sketch (§5 of the paper), which needs hash
+/// values that behave uniformly in `[0, 2^64)`. Fx output is strongly biased
+/// in its low bits for short inputs, so we apply a final avalanche mix
+/// (splitmix64 finalizer).
+#[inline]
+pub fn fx_hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    let mut z = h.finish().wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fx_hash64("hello"), fx_hash64("hello"));
+        assert_eq!(fx_hash64(&42u64), fx_hash64(&42u64));
+    }
+
+    #[test]
+    fn distinguishes_values() {
+        assert_ne!(fx_hash64("hello"), fx_hash64("hellp"));
+        assert_ne!(fx_hash64(&1u64), fx_hash64(&2u64));
+        assert_ne!(fx_hash64(""), fx_hash64("\0"));
+        assert_ne!(fx_hash64("a"), fx_hash64("a\0"));
+    }
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, i32> = FxHashMap::default();
+        m.insert("x".into(), 1);
+        m.insert("y".into(), 2);
+        assert_eq!(m.get("x"), Some(&1));
+        let s: FxHashSet<u32> = (0..100).collect();
+        assert_eq!(s.len(), 100);
+        assert!(s.contains(&99));
+    }
+
+    #[test]
+    fn avalanche_spreads_sequential_keys() {
+        // The sketch divides the hash space uniformly; sequential integers
+        // must land in different high-order buckets.
+        let mut buckets = [0usize; 16];
+        for i in 0..16_000u64 {
+            buckets[(fx_hash64(&i) >> 60) as usize] += 1;
+        }
+        let (min, max) = buckets.iter().fold((usize::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        assert!(max < min * 2, "buckets too skewed: {buckets:?}");
+    }
+
+    #[test]
+    fn long_inputs_hash_all_bytes() {
+        let a = vec![0u8; 1024];
+        let mut b = a.clone();
+        b[1000] = 1;
+        assert_ne!(fx_hash64(&a[..]), fx_hash64(&b[..]));
+    }
+}

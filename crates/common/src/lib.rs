@@ -1,0 +1,31 @@
+//! Shared foundations for the PowerDrill reproduction.
+//!
+//! This crate holds the vocabulary types used by every other crate in the
+//! workspace:
+//!
+//! - [`Value`] / [`DataType`] — the dynamically typed cell values of a table,
+//! - [`Schema`] / [`Field`] — column names and types,
+//! - [`Row`] — a single record,
+//! - [`Error`] / [`Result`] — the workspace-wide error type,
+//! - [`FxHashMap`] / [`FxHashSet`] — hash containers with a fast
+//!   multiply-xor hasher (the standard SipHash is too slow for the hot
+//!   group-by loops the paper benchmarks),
+//! - [`BitVec`] — a packed bit vector used by the 1-bit element encoding,
+//! - [`HeapSize`] — uniform deep-memory accounting, which the paper's
+//!   evaluation (Tables 1–4) is all about.
+
+pub mod bitvec;
+pub mod error;
+pub mod hash;
+pub mod mem;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use bitvec::BitVec;
+pub use error::{Error, Result};
+pub use hash::{fx_hash64, FxHashMap, FxHashSet, FxHasher};
+pub use mem::HeapSize;
+pub use row::Row;
+pub use schema::{Field, Schema};
+pub use value::{DataType, Value};

@@ -1,0 +1,83 @@
+//! A single record.
+
+use crate::mem::HeapSize;
+use crate::value::Value;
+
+/// One row of a table: a vector of values aligned with the schema's fields.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+}
+
+impl FromIterator<Value> for Row {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Row(iter.into_iter().collect())
+    }
+}
+
+impl HeapSize for Value {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Value::Str(s) => s.heap_bytes(),
+            _ => 0,
+        }
+    }
+}
+
+impl HeapSize for Row {
+    fn heap_bytes(&self) -> usize {
+        self.0.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let r: Row = vec![Value::Int(1), Value::Str("x".into())].into();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0), &Value::Int(1));
+        assert_eq!(r.get(1).as_str(), Some("x"));
+    }
+
+    #[test]
+    fn rows_order_lexicographically() {
+        let a = Row::new(vec![Value::Int(1), Value::Int(9)]);
+        let b = Row::new(vec![Value::Int(2), Value::Int(0)]);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn heap_accounting_counts_strings() {
+        let r = Row::new(vec![Value::Int(1), Value::Str("abcd".into())]);
+        assert!(r.heap_bytes() >= 4);
+    }
+}

@@ -1,0 +1,143 @@
+//! Column names and types.
+
+use crate::error::{Error, Result};
+use crate::hash::FxHashMap;
+use crate::value::DataType;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub data_type: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field { name: name.into(), data_type }
+    }
+}
+
+/// An ordered list of fields with O(1) lookup by name.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Result<Self> {
+        let mut by_name = FxHashMap::default();
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(Error::Schema(format!("duplicate field name `{}`", f.name)));
+            }
+        }
+        Ok(Schema { fields, by_name })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs; panics on
+    /// duplicates (used in tests and generators where names are static).
+    pub fn of(pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+            .expect("static schema must not contain duplicates")
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Index of `name`, or a descriptive error naming the available fields.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        self.index_of(name).ok_or_else(|| {
+            let known: Vec<&str> = self.fields.iter().map(|f| f.name.as_str()).collect();
+            Error::Schema(format!("unknown field `{name}` (have: {})", known.join(", ")))
+        })
+    }
+
+    /// Append a field (used when materializing virtual fields). Errors on a
+    /// duplicate name.
+    pub fn push(&mut self, field: Field) -> Result<usize> {
+        if self.by_name.contains_key(&field.name) {
+            return Err(Error::Schema(format!("duplicate field name `{}`", field.name)));
+        }
+        let idx = self.fields.len();
+        self.by_name.insert(field.name.clone(), idx);
+        self.fields.push(field);
+        Ok(idx)
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl Eq for Schema {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = Schema::of(&[("a", DataType::Int), ("b", DataType::Str)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("c"), None);
+        assert_eq!(s.field(0).name, "a");
+        assert_eq!(s.field(1).data_type, DataType::Str);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let err = Schema::new(vec![
+            Field::new("x", DataType::Int),
+            Field::new("x", DataType::Str),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn resolve_reports_known_fields() {
+        let s = Schema::of(&[("a", DataType::Int)]);
+        let err = s.resolve("zz").unwrap_err();
+        assert!(err.to_string().contains("zz"));
+        assert!(err.to_string().contains('a'));
+        assert_eq!(s.resolve("a").unwrap(), 0);
+    }
+
+    #[test]
+    fn push_appends_and_rejects_duplicates() {
+        let mut s = Schema::of(&[("a", DataType::Int)]);
+        let idx = s.push(Field::new("b", DataType::Float)).unwrap();
+        assert_eq!(idx, 1);
+        assert_eq!(s.index_of("b"), Some(1));
+        assert!(s.push(Field::new("a", DataType::Int)).is_err());
+    }
+
+    #[test]
+    fn schema_equality_ignores_index_map() {
+        let a = Schema::of(&[("a", DataType::Int)]);
+        let mut b = Schema::default();
+        b.push(Field::new("a", DataType::Int)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,236 @@
+//! Snappy-style LZ77 — the workspace's "Zippy" (§3, "Generic Compression
+//! Algorithm").
+//!
+//! Like Zippy/Snappy, this codec trades ratio for speed: a greedy
+//! hash-table match finder, byte-aligned output, and no entropy coding.
+//!
+//! Frame layout: `varint(uncompressed_len)` followed by tokens. A control
+//! byte `c < 0x80` starts a literal run of `c + 1` bytes; `c >= 0x80` emits
+//! a back-reference copy of `(c & 0x7f) + 4` bytes whose distance follows as
+//! a varint. Copies may overlap their own output (the classic LZ77 trick
+//! that turns a 1-byte distance into run-length encoding).
+
+use crate::varint;
+use crate::Codec;
+use pd_common::{Error, Result};
+
+/// Minimum match length worth emitting a copy token for.
+const MIN_MATCH: usize = 4;
+/// Maximum match length a single token encodes.
+const MAX_MATCH: usize = MIN_MATCH + 0x7f;
+/// Maximum literal run a single token encodes.
+const MAX_LITERAL: usize = 128;
+/// log2 of the match-finder hash table size.
+const HASH_BITS: u32 = 15;
+/// Upper bound on the speculative output pre-allocation during decode.
+const MAX_PREALLOC: usize = 1 << 24;
+
+
+/// The Zippy-like LZ77 codec.
+pub struct LzCodec;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+impl Codec for LzCodec {
+    fn name(&self) -> &'static str {
+        "zippy"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        varint::write_u64(&mut out, input.len() as u64);
+        if input.len() < MIN_MATCH {
+            flush_literals(&mut out, input);
+            return out;
+        }
+
+        let mut table = vec![u32::MAX; 1 << HASH_BITS];
+        let mut i = 0;
+        let mut literal_start = 0;
+        // Positions beyond this cannot start a 4-byte match.
+        let last_match_start = input.len() - MIN_MATCH;
+
+        while i <= last_match_start {
+            let h = hash4(&input[i..]);
+            let candidate = table[h] as usize;
+            table[h] = i as u32;
+
+            if candidate != u32::MAX as usize
+                && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH]
+            {
+                // Extend the match as far as it goes.
+                let mut len = MIN_MATCH;
+                let limit = (input.len() - i).min(MAX_MATCH);
+                while len < limit && input[candidate + len] == input[i + len] {
+                    len += 1;
+                }
+                flush_literals(&mut out, &input[literal_start..i]);
+                out.push(0x80 | (len - MIN_MATCH) as u8);
+                varint::write_u64(&mut out, (i - candidate) as u64);
+
+                // Seed the table with a few positions inside the match so
+                // that later occurrences still find it.
+                let end = i + len;
+                let mut j = i + 1;
+                while j < end.min(last_match_start + 1) {
+                    table[hash4(&input[j..])] = j as u32;
+                    j += 2;
+                }
+                i = end;
+                literal_start = i;
+            } else {
+                i += 1;
+            }
+        }
+        flush_literals(&mut out, &input[literal_start..]);
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let len = varint::read_u64(input, &mut pos)? as usize;
+        // A corrupt frame may claim an absurd length; cap the upfront
+        // allocation and let the vector grow organically past it.
+        let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
+        while out.len() < len {
+            let ctrl = *input
+                .get(pos)
+                .ok_or_else(|| Error::Data("lz: truncated control byte".into()))?;
+            pos += 1;
+            if ctrl < 0x80 {
+                let n = ctrl as usize + 1;
+                let lit = input
+                    .get(pos..pos + n)
+                    .ok_or_else(|| Error::Data("lz: truncated literal run".into()))?;
+                out.extend_from_slice(lit);
+                pos += n;
+            } else {
+                let n = (ctrl & 0x7f) as usize + MIN_MATCH;
+                let dist = varint::read_u64(input, &mut pos)? as usize;
+                if dist == 0 || dist > out.len() {
+                    return Err(Error::Data(format!(
+                        "lz: invalid copy distance {dist} at output position {}",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - dist;
+                if dist >= n {
+                    out.extend_from_within(start..start + n);
+                } else {
+                    // Overlapping copy: reproduce byte by byte.
+                    for k in 0..n {
+                        let byte = out[start + k];
+                        out.push(byte);
+                    }
+                }
+            }
+        }
+        if out.len() != len {
+            return Err(Error::Data(format!(
+                "lz: expected {len} bytes, produced {}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
+    while !literals.is_empty() {
+        let n = literals.len().min(MAX_LITERAL);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&literals[..n]);
+        literals = &literals[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let c = LzCodec.compress(input);
+        let d = LzCodec.decompress(&c).expect("decompress");
+        assert_eq!(d, input, "round trip failed for len {}", input.len());
+        c
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(round_trip(b"").len() <= 2);
+        round_trip(b"a");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn repeated_pattern_compresses() {
+        let input: Vec<u8> = b"the quick brown fox ".iter().cycle().take(20_000).copied().collect();
+        let c = round_trip(&input);
+        assert!(c.len() < input.len() / 10, "got {} bytes", c.len());
+    }
+
+    #[test]
+    fn overlapping_copies_rle_style() {
+        // A run of one byte is encoded via distance-1 overlapping copies.
+        let input = vec![9u8; 5000];
+        let c = round_trip(&input);
+        assert!(c.len() < 200, "got {} bytes", c.len());
+    }
+
+    #[test]
+    fn long_distance_matches_found() {
+        let mut input = Vec::new();
+        input.extend_from_slice(b"unique-prefix-0123456789");
+        input.extend(std::iter::repeat_n(0xAAu8, 60_000));
+        input.extend_from_slice(b"unique-prefix-0123456789");
+        let c = round_trip(&input);
+        assert!(c.len() < 1000);
+    }
+
+    #[test]
+    fn pseudo_random_data_survives() {
+        // Multiply-xor sequence: effectively incompressible.
+        let mut x = 0x12345678u64;
+        let input: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) as u8
+            })
+            .collect();
+        let c = round_trip(&input);
+        // Bounded expansion: 1 control byte per 128 literals plus frame.
+        assert!(c.len() <= input.len() + input.len() / 128 + 12);
+    }
+
+    #[test]
+    fn corrupt_distance_is_an_error_not_a_panic() {
+        let mut c = Vec::new();
+        varint::write_u64(&mut c, 8);
+        c.push(0x80); // copy of length 4 ...
+        varint::write_u64(&mut c, 99); // ... from before the start of output
+        assert!(LzCodec.decompress(&c).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let input: Vec<u8> = b"hello world hello world".to_vec();
+        let c = LzCodec.compress(&input);
+        for cut in 0..c.len() {
+            let _ = LzCodec.decompress(&c[..cut]); // must not panic
+        }
+    }
+
+    #[test]
+    fn column_like_data_ratio() {
+        // Dictionary-encoded chunk ids: small integers with heavy repeats —
+        // the shape of the paper's "elements" arrays.
+        let input: Vec<u8> = (0..100_000u32).map(|i| (i / 1000 % 25) as u8).collect();
+        let c = round_trip(&input);
+        assert!(c.len() < input.len() / 20);
+    }
+}

@@ -1,0 +1,254 @@
+//! Fast-decode LZ77 — the workspace's "LZO variant" (§5, "Other
+//! Compression Algorithms").
+//!
+//! The paper's production system replaced Zippy with an LZO variant that
+//! gave *"an about 10% better compression ratio and was up to twice as fast
+//! when decompressing"*. This codec chases the same trade-offs relative to
+//! [`crate::lz`]:
+//!
+//! - **decode speed** — copy tokens carry a fixed-width 2-byte distance, so
+//!   the hot decode loop never parses varints;
+//! - **ratio** — a twice-as-large match-finder hash table (fewer missed
+//!   matches) at the cost of slower compression.
+//!
+//! Frame layout: `varint(uncompressed_len)`, then tokens. Control byte
+//! `c < 0x20`: literal run of `c + 1` bytes. `0x20 <= c < 0xa0`: a *short*
+//! copy of `(c - 0x20) + 3` bytes (3..=130) whose distance-minus-one is one
+//! byte (≤ 256 back) — the dominant token in dictionary-encoded column
+//! payloads. `c >= 0xa0`: a *long* copy of `(c - 0xa0) + 4` bytes
+//! (4..=99) with a fixed 2-byte little-endian distance (window 64 KiB).
+
+use crate::varint;
+use crate::Codec;
+use pd_common::{Error, Result};
+
+const MIN_MATCH: usize = 4;
+const MAX_SHORT_MATCH: usize = 3 + (0x9f - 0x20); // 130
+const SHORT_WINDOW: usize = 256;
+const MAX_LONG_MATCH: usize = 4 + (0xff - 0xa0); // 99
+const MAX_LITERAL: usize = 32;
+const WINDOW: usize = 1 << 16;
+const HASH_BITS: u32 = 16;
+/// Upper bound on the speculative output pre-allocation during decode.
+const MAX_PREALLOC: usize = 1 << 24;
+
+/// The fast-decode LZ codec.
+pub struct LzfCodec;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes(bytes[..4].try_into().expect("4 bytes"));
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+impl Codec for LzfCodec {
+    fn name(&self) -> &'static str {
+        "lzf"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        varint::write_u64(&mut out, input.len() as u64);
+        if input.len() < MIN_MATCH {
+            flush_literals(&mut out, input);
+            return out;
+        }
+
+        let mut table = vec![u32::MAX; 1 << HASH_BITS];
+        let mut i = 0;
+        let mut literal_start = 0;
+        let last_match_start = input.len() - MIN_MATCH;
+
+        while i <= last_match_start {
+            let h = hash4(&input[i..]);
+            let candidate = table[h] as usize;
+            table[h] = i as u32;
+
+            let in_window = candidate != u32::MAX as usize && i - candidate <= WINDOW;
+            if in_window && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH] {
+                let dist = i - candidate;
+                let form_cap = if dist <= SHORT_WINDOW { MAX_SHORT_MATCH } else { MAX_LONG_MATCH };
+                let mut len = MIN_MATCH;
+                let limit = (input.len() - i).min(form_cap);
+                while len < limit && input[candidate + len] == input[i + len] {
+                    len += 1;
+                }
+                flush_literals(&mut out, &input[literal_start..i]);
+                if dist <= SHORT_WINDOW {
+                    out.push(0x20 + (len - 3) as u8);
+                    out.push((dist - 1) as u8);
+                } else {
+                    out.push(0xa0 + (len - MIN_MATCH) as u8);
+                    out.extend_from_slice(&((dist - 1) as u16).to_le_bytes());
+                }
+
+                // Dense table updates inside the match keep later
+                // occurrences findable (the ratio edge over `lz`).
+                let end = i + len;
+                let mut j = i + 1;
+                while j < end.min(last_match_start + 1) {
+                    table[hash4(&input[j..])] = j as u32;
+                    j += 1;
+                }
+                i = end;
+                literal_start = i;
+            } else {
+                i += 1;
+            }
+        }
+        flush_literals(&mut out, &input[literal_start..]);
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>> {
+        let mut pos = 0;
+        let len = varint::read_u64(input, &mut pos)? as usize;
+        // A corrupt frame may claim an absurd length; cap the upfront
+        // allocation and let the vector grow organically past it.
+        let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
+        while out.len() < len {
+            let ctrl = *input
+                .get(pos)
+                .ok_or_else(|| Error::Data("lzf: truncated control byte".into()))?;
+            pos += 1;
+            if ctrl < 0x20 {
+                let n = ctrl as usize + 1;
+                let lit = input
+                    .get(pos..pos + n)
+                    .ok_or_else(|| Error::Data("lzf: truncated literal run".into()))?;
+                out.extend_from_slice(lit);
+                pos += n;
+            } else {
+                let (n, dist) = if ctrl < 0xa0 {
+                    let n = (ctrl - 0x20) as usize + 3;
+                    let d = *input
+                        .get(pos)
+                        .ok_or_else(|| Error::Data("lzf: truncated distance".into()))?
+                        as usize
+                        + 1;
+                    pos += 1;
+                    (n, d)
+                } else {
+                    let n = (ctrl - 0xa0) as usize + MIN_MATCH;
+                    let raw = input
+                        .get(pos..pos + 2)
+                        .ok_or_else(|| Error::Data("lzf: truncated distance".into()))?;
+                    let d = u16::from_le_bytes(raw.try_into().expect("2 bytes")) as usize + 1;
+                    pos += 2;
+                    (n, d)
+                };
+                if dist > out.len() {
+                    return Err(Error::Data(format!(
+                        "lzf: invalid copy distance {dist} at output position {}",
+                        out.len()
+                    )));
+                }
+                let start = out.len() - dist;
+                if dist >= n {
+                    out.extend_from_within(start..start + n);
+                } else {
+                    for k in 0..n {
+                        let byte = out[start + k];
+                        out.push(byte);
+                    }
+                }
+            }
+        }
+        if out.len() != len {
+            return Err(Error::Data(format!(
+                "lzf: expected {len} bytes, produced {}",
+                out.len()
+            )));
+        }
+        Ok(out)
+    }
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut literals: &[u8]) {
+    while !literals.is_empty() {
+        let n = literals.len().min(MAX_LITERAL);
+        out.push((n - 1) as u8);
+        out.extend_from_slice(&literals[..n]);
+        literals = &literals[n..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(input: &[u8]) -> Vec<u8> {
+        let c = LzfCodec.compress(input);
+        let d = LzfCodec.decompress(&c).expect("decompress");
+        assert_eq!(d, input, "round trip failed for len {}", input.len());
+        c
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"ab");
+        round_trip(b"abc");
+        round_trip(b"abcd");
+    }
+
+    #[test]
+    fn maximum_length_matches() {
+        // A giant run exercises maximal copy tokens repeatedly.
+        let input = vec![3u8; 100_000];
+        let c = round_trip(&input);
+        assert!(c.len() < 2000, "got {}", c.len());
+    }
+
+    #[test]
+    fn window_limit_respected() {
+        // A repeat farther back than 64 KiB cannot be matched; the codec
+        // must still round-trip.
+        let mut input = vec![];
+        input.extend_from_slice(b"needle-in-a-haystack");
+        input.extend((0..100_000u32).map(|i| (i % 251) as u8));
+        input.extend_from_slice(b"needle-in-a-haystack");
+        round_trip(&input);
+    }
+
+    #[test]
+    fn ratio_competitive_with_zippy_on_column_data() {
+        // Dictionary-encoded chunk-id payloads: the denser hash table should
+        // match or beat the Zippy-style codec.
+        let input: Vec<u8> = (0..120_000u32)
+            .flat_map(|i| ((i / 37 % 900) as u16).to_le_bytes())
+            .collect();
+        let lzf = round_trip(&input);
+        let zippy = crate::lz::LzCodec.compress(&input);
+        assert!(
+            lzf.len() <= zippy.len() + zippy.len() / 10,
+            "lzf {} vs zippy {}",
+            lzf.len(),
+            zippy.len()
+        );
+    }
+
+    #[test]
+    fn corrupt_distance_is_an_error() {
+        let mut c = Vec::new();
+        varint::write_u64(&mut c, 10);
+        c.push(0x21); // short copy len 4
+        c.push(0xff); // distance 256 with empty output
+        assert!(LzfCodec.decompress(&c).is_err());
+        let mut c = Vec::new();
+        varint::write_u64(&mut c, 10);
+        c.push(0xa0); // long copy len 4
+        c.push(0xff);
+        c.push(0x0f); // distance 4096 with empty output
+        assert!(LzfCodec.decompress(&c).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let input = b"abcabcabc_abcabcabc_abcabcabc".repeat(20);
+        let c = LzfCodec.compress(&input);
+        for cut in 0..c.len() {
+            let _ = LzfCodec.decompress(&c[..cut]);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Property tests: every codec must round-trip arbitrary byte strings and
+//! never panic on corrupted input.
+
+use pd_compress::{Codec, CodecKind};
+use proptest::prelude::*;
+
+fn all_codecs() -> Vec<&'static dyn Codec> {
+    CodecKind::ALL.iter().map(|k| k.codec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_arbitrary_bytes(input in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        for codec in all_codecs() {
+            let compressed = codec.compress(&input);
+            let output = codec.decompress(&compressed)
+                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert_eq!(&output, &input, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn round_trip_low_entropy_bytes(
+        seed in proptest::collection::vec(0u8..4, 1..16),
+        reps in 1usize..400,
+    ) {
+        // Column-shaped data: few distinct values, long repeats.
+        let input: Vec<u8> = seed.iter().cycle().take(seed.len() * reps).copied().collect();
+        for codec in all_codecs() {
+            let compressed = codec.compress(&input);
+            let output = codec.decompress(&compressed)
+                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
+            prop_assert_eq!(&output, &input, "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+        for codec in all_codecs() {
+            // Any result is fine; panics and unbounded allocation are not.
+            let _ = codec.decompress(&garbage);
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_truncation(
+        input in proptest::collection::vec(any::<u8>(), 0..1024),
+        cut_ratio in 0.0f64..1.0,
+    ) {
+        for codec in all_codecs() {
+            let compressed = codec.compress(&input);
+            let cut = (compressed.len() as f64 * cut_ratio) as usize;
+            let _ = codec.decompress(&compressed[..cut]);
+        }
+    }
+
+    #[test]
+    fn varint_round_trip(values in proptest::collection::vec(any::<u64>(), 0..200)) {
+        use pd_compress::varint;
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_u64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+        }
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn zigzag_varint_round_trip(values in proptest::collection::vec(any::<i64>(), 0..200)) {
+        use pd_compress::varint;
+        let mut buf = Vec::new();
+        for &v in &values {
+            varint::write_i64(&mut buf, v);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            prop_assert_eq!(varint::read_i64(&buf, &mut pos).unwrap(), v);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! The PowerDrill column-store — the paper's core contribution.
+//!
+//! The store imports a [`pd_data::Table`] once (partitioning, reordering and
+//! dictionary-encoding it, §2.2–2.3) and then answers group-by SQL queries
+//! by skipping inactive chunks (§2.4) and running tight counts-array loops
+//! over the active ones. The §3 "key optimizations" are all build options
+//! ([`BuildOptions`]), so the evaluation ladder (Basic → Chunks → OptCols →
+//! OptDicts → Zippy → Reorder) is expressible as six configurations of the
+//! same store.
+//!
+//! Modules:
+//!
+//! - [`options`] — build configuration (one constructor per paper variant);
+//! - [`partition`] — composite range partitioning, heaviest-chunk-first;
+//! - [`column`](module@crate::column) — a stored column: global dict + per-chunk (chunk dict,
+//!   elements);
+//! - [`datastore`] — the import pipeline and column registry, including §5
+//!   materialized virtual fields;
+//! - [`skip`] — chunk activity analysis (skip / partial / fully active);
+//! - [`exec`] — the query executor (dense-array group-by, aggregation
+//!   states, HAVING/ORDER/LIMIT), with partial execution + merge for the
+//!   distributed layer;
+//! - [`count_distinct`] — the §5 m-smallest-hashes sketch;
+//! - [`cache`] — LRU / 2Q / ARC eviction, the two-layer residency model and
+//!   the chunk-result cache (§5, §6);
+//! - [`stats`] — scan accounting (skipped / cached / scanned, disk bytes);
+//! - [`memory`] — the per-query memory reports behind Tables 1–4.
+
+pub mod cache;
+pub mod column;
+pub mod count_distinct;
+pub mod datastore;
+pub mod exec;
+pub mod memory;
+pub mod options;
+pub mod partition;
+pub mod skip;
+pub mod stats;
+
+pub use cache::{CachePolicy, ResultCache, TieredCache};
+pub use column::{ColumnChunk, StoredColumn};
+pub use count_distinct::KmvSketch;
+pub use datastore::DataStore;
+pub use exec::{execute, execute_partial, finalize, query, AggState, ExecContext, PartialResult, QueryResult};
+pub use memory::{report_for_query, ColumnMemory, MemoryReport};
+pub use options::{BuildOptions, DictMode, PartitionSpec};
+pub use partition::Partitioning;
+pub use skip::ChunkActivity;
+pub use stats::ScanStats;

@@ -1,0 +1,141 @@
+//! Build configuration: the §3 optimization ladder as options.
+//!
+//! Each of the paper's successive variants (Table 4) is a named
+//! constructor, so experiments can build the same dataset six ways and
+//! diff the memory reports.
+
+use pd_compress::CodecKind;
+use pd_encoding::ElementsMode;
+
+/// How string global-dictionaries are stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DictMode {
+    /// Sorted array + binary search (the "canonical" §2.3 layout).
+    #[default]
+    Sorted,
+    /// Hand-crafted 4-bit trie ("OptDicts", §3).
+    Trie,
+}
+
+/// Composite range partitioning configuration (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionSpec {
+    /// Ordered fields — "3–5 fields which amount to a 'natural primary
+    /// key'". Split attempts use the first field with ≥ 2 distinct values
+    /// remaining in the chunk.
+    pub fields: Vec<String>,
+    /// Stop splitting once no chunk exceeds this many rows (the paper's
+    /// example threshold is 50'000).
+    pub max_chunk_rows: usize,
+}
+
+impl PartitionSpec {
+    pub fn new(fields: &[&str], max_chunk_rows: usize) -> Self {
+        PartitionSpec {
+            fields: fields.iter().map(|s| (*s).to_owned()).collect(),
+            max_chunk_rows,
+        }
+    }
+}
+
+/// Options controlling the import pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildOptions {
+    /// `None` treats the whole table as one chunk ("Basic").
+    pub partition: Option<PartitionSpec>,
+    /// Element array encoding.
+    pub elements: ElementsMode,
+    /// String dictionary representation.
+    pub dicts: DictMode,
+    /// Lexicographic row reordering by the partition field order (§3
+    /// "Reordering Rows"). Ignored without a partition spec.
+    pub reorder: bool,
+    /// Codec used by the compressed in-memory layer and the compressed-size
+    /// reports (Tables 3–4).
+    pub codec: CodecKind,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions::reordered(PartitionSpec {
+            fields: Vec::new(),
+            max_chunk_rows: 50_000,
+        })
+    }
+}
+
+impl BuildOptions {
+    /// "Basic" (§2.3): one chunk, 32-bit elements, sorted-array dicts.
+    pub fn basic() -> Self {
+        BuildOptions {
+            partition: None,
+            elements: ElementsMode::Basic,
+            dicts: DictMode::Sorted,
+            reorder: false,
+            codec: CodecKind::Zippy,
+        }
+    }
+
+    /// "Chunks" (§3): partitioned, otherwise basic.
+    pub fn chunked(spec: PartitionSpec) -> Self {
+        BuildOptions { partition: Some(spec), ..BuildOptions::basic() }
+    }
+
+    /// "OptCols" (§3): + adaptive element encodings.
+    pub fn optcols(spec: PartitionSpec) -> Self {
+        BuildOptions { elements: ElementsMode::Optimized, ..BuildOptions::chunked(spec) }
+    }
+
+    /// "OptDicts" (§3): + trie string dictionaries.
+    pub fn optdicts(spec: PartitionSpec) -> Self {
+        BuildOptions { dicts: DictMode::Trie, ..BuildOptions::optcols(spec) }
+    }
+
+    /// "Reorder" (§3): + lexicographic row reordering (the Zippy step of
+    /// the ladder is a measurement over any of these builds, not a distinct
+    /// layout).
+    pub fn reordered(spec: PartitionSpec) -> Self {
+        BuildOptions { reorder: true, ..BuildOptions::optdicts(spec) }
+    }
+
+    /// The production-style default for a dataset with the given natural
+    /// key fields.
+    pub fn production(fields: &[&str]) -> Self {
+        BuildOptions::reordered(PartitionSpec::new(fields, 50_000))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_cumulative() {
+        let spec = PartitionSpec::new(&["country", "table_name"], 50_000);
+        let basic = BuildOptions::basic();
+        assert!(basic.partition.is_none());
+        assert_eq!(basic.elements, ElementsMode::Basic);
+
+        let chunks = BuildOptions::chunked(spec.clone());
+        assert!(chunks.partition.is_some());
+        assert_eq!(chunks.elements, ElementsMode::Basic);
+
+        let optcols = BuildOptions::optcols(spec.clone());
+        assert_eq!(optcols.elements, ElementsMode::Optimized);
+        assert_eq!(optcols.dicts, DictMode::Sorted);
+
+        let optdicts = BuildOptions::optdicts(spec.clone());
+        assert_eq!(optdicts.dicts, DictMode::Trie);
+        assert!(!optdicts.reorder);
+
+        let reorder = BuildOptions::reordered(spec);
+        assert!(reorder.reorder);
+    }
+
+    #[test]
+    fn partition_spec_holds_field_order() {
+        let spec = PartitionSpec::new(&["country", "table_name"], 1000);
+        assert_eq!(spec.fields, vec!["country".to_owned(), "table_name".to_owned()]);
+        assert_eq!(spec.max_chunk_rows, 1000);
+    }
+}

@@ -1,0 +1,405 @@
+//! Chunk activity analysis — the skipping decision of §2.4.
+//!
+//! For each chunk, the restriction tree is evaluated against the chunk
+//! dictionaries into a three-valued verdict:
+//!
+//! - [`ChunkActivity::Skip`] — no row can match; the chunk is not scanned
+//!   (92.41 % of production records, §6);
+//! - [`ChunkActivity::Full`] — every row matches; the result for this chunk
+//!   can come from the chunk-result cache (§6: "we also cache results for
+//!   chunks which are fully active");
+//! - [`ChunkActivity::Partial`] — some rows may match; the chunk is scanned
+//!   with a row-level filter.
+
+use crate::datastore::DataStore;
+use pd_common::{FxHashMap, Result};
+use pd_sql::Restriction;
+
+/// Three-valued chunk verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkActivity {
+    /// No row of the chunk can satisfy the restriction.
+    Skip,
+    /// Every row of the chunk satisfies the restriction.
+    Full,
+    /// Mixed — scan with a row filter.
+    Partial,
+}
+
+impl ChunkActivity {
+    fn and(self, other: ChunkActivity) -> ChunkActivity {
+        use ChunkActivity::*;
+        match (self, other) {
+            (Skip, _) | (_, Skip) => Skip,
+            (Full, Full) => Full,
+            _ => Partial,
+        }
+    }
+
+    fn or(self, other: ChunkActivity) -> ChunkActivity {
+        use ChunkActivity::*;
+        match (self, other) {
+            (Full, _) | (_, Full) => Full,
+            (Skip, Skip) => Skip,
+            _ => Partial,
+        }
+    }
+}
+
+/// Pre-resolved restriction: literal values translated to sorted global-id
+/// lists per field (done once per query, not per chunk).
+pub struct ResolvedRestriction {
+    node: ResolvedNode,
+}
+
+enum ResolvedNode {
+    True,
+    And(Vec<ResolvedNode>),
+    Or(Vec<ResolvedNode>),
+    In {
+        /// Index into the fields list.
+        field: usize,
+        /// Sorted global-ids of the restriction's literals that exist in
+        /// the dictionary.
+        ids: Vec<u32>,
+        /// Did every literal resolve? (If not, `NOT IN` can never be Full
+        /// by subset reasoning alone — absent literals match no row, which
+        /// only *helps* `NOT IN`, so this flag is unused there; it is kept
+        /// for clarity.)
+        negated: bool,
+    },
+    /// Half-open global-id interval `[lo, hi)`: the extension range
+    /// restriction (value order == id order in sorted dictionaries).
+    Range { field: usize, lo: u32, hi: u32 },
+    Opaque,
+}
+
+/// The per-query skipping context: resolved restriction + the stored
+/// columns it touches.
+pub struct SkipAnalysis {
+    resolved: ResolvedRestriction,
+    columns: Vec<std::sync::Arc<crate::column::StoredColumn>>,
+}
+
+impl SkipAnalysis {
+    /// Resolve `restriction` against `store`, materializing any virtual
+    /// fields it references (§5: restrictions on materialized expressions
+    /// skip chunks through the expression's own chunk dictionaries).
+    pub fn prepare(store: &DataStore, restriction: &Restriction) -> Result<SkipAnalysis> {
+        let mut columns = Vec::new();
+        let mut index: FxHashMap<String, usize> = FxHashMap::default();
+        let node = resolve(store, restriction, &mut columns, &mut index)?;
+        Ok(SkipAnalysis { resolved: ResolvedRestriction { node }, columns })
+    }
+
+    /// Verdict for chunk `c`.
+    pub fn activity(&self, c: usize) -> ChunkActivity {
+        evaluate(&self.resolved.node, &self.columns, c)
+    }
+
+    /// Verdicts for every chunk.
+    pub fn all(&self, chunk_count: usize) -> Vec<ChunkActivity> {
+        (0..chunk_count).map(|c| self.activity(c)).collect()
+    }
+}
+
+fn resolve(
+    store: &DataStore,
+    restriction: &Restriction,
+    columns: &mut Vec<std::sync::Arc<crate::column::StoredColumn>>,
+    index: &mut FxHashMap<String, usize>,
+) -> Result<ResolvedNode> {
+    Ok(match restriction {
+        Restriction::True => ResolvedNode::True,
+        Restriction::Opaque => ResolvedNode::Opaque,
+        Restriction::And(children) => ResolvedNode::And(
+            children
+                .iter()
+                .map(|r| resolve(store, r, columns, index))
+                .collect::<Result<_>>()?,
+        ),
+        Restriction::Or(children) => ResolvedNode::Or(
+            children
+                .iter()
+                .map(|r| resolve(store, r, columns, index))
+                .collect::<Result<_>>()?,
+        ),
+        Restriction::In { field, values, negated } => {
+            let idx = resolve_column(store, field, columns, index)?;
+            let ids = columns[idx].global_ids_of(values);
+            ResolvedNode::In { field: idx, ids, negated: *negated }
+        }
+        Restriction::Range { field, min, max } => {
+            let idx = resolve_column(store, field, columns, index)?;
+            match columns[idx].dict.range_ids(min.as_ref(), max.as_ref()) {
+                // Trie dictionaries / type mismatches cannot rank bounds:
+                // fall back to scanning (the row filter still applies).
+                None => ResolvedNode::Opaque,
+                Some((lo, hi)) => ResolvedNode::Range { field: idx, lo, hi },
+            }
+        }
+    })
+}
+
+fn resolve_column(
+    store: &DataStore,
+    field: &pd_sql::Expr,
+    columns: &mut Vec<std::sync::Arc<crate::column::StoredColumn>>,
+    index: &mut FxHashMap<String, usize>,
+) -> Result<usize> {
+    let key = field.canonical();
+    if let Some(&i) = index.get(&key) {
+        return Ok(i);
+    }
+    let col = store.column_for_expr(field)?;
+    columns.push(col);
+    index.insert(key, columns.len() - 1);
+    Ok(columns.len() - 1)
+}
+
+fn evaluate(
+    node: &ResolvedNode,
+    columns: &[std::sync::Arc<crate::column::StoredColumn>],
+    c: usize,
+) -> ChunkActivity {
+    match node {
+        ResolvedNode::True => ChunkActivity::Full,
+        ResolvedNode::Opaque => ChunkActivity::Partial,
+        ResolvedNode::And(children) => children
+            .iter()
+            .map(|n| evaluate(n, columns, c))
+            .fold(ChunkActivity::Full, ChunkActivity::and),
+        ResolvedNode::Or(children) => children
+            .iter()
+            .map(|n| evaluate(n, columns, c))
+            .fold(ChunkActivity::Skip, ChunkActivity::or),
+        ResolvedNode::Range { field, lo, hi } => {
+            let dict = &columns[*field].chunks[c].dict;
+            let (Some(cmin), Some(cmax)) = (dict.min_global_id(), dict.max_global_id()) else {
+                return ChunkActivity::Skip; // empty chunk
+            };
+            if *lo >= *hi || cmax < *lo || cmin >= *hi {
+                ChunkActivity::Skip
+            } else if cmin >= *lo && cmax < *hi {
+                ChunkActivity::Full
+            } else {
+                ChunkActivity::Partial
+            }
+        }
+        ResolvedNode::In { field, ids, negated } => {
+            let dict = &columns[*field].chunks[c].dict;
+            if !*negated {
+                if !dict.contains_any(ids) {
+                    ChunkActivity::Skip
+                } else if dict.subset_of(ids) {
+                    ChunkActivity::Full
+                } else {
+                    ChunkActivity::Partial
+                }
+            } else {
+                // NOT IN: a chunk whose dictionary avoids all the ids is
+                // fully active; one entirely inside them is skippable.
+                if !dict.contains_any(ids) {
+                    ChunkActivity::Full
+                } else if dict.subset_of(ids) {
+                    ChunkActivity::Skip
+                } else {
+                    ChunkActivity::Partial
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{BuildOptions, PartitionSpec};
+    use pd_common::{DataType, Row, Schema, Value};
+    use pd_data::Table;
+    use pd_sql::parse_query;
+
+    /// A table partitioned by country into (at least) one chunk per value.
+    fn store() -> DataStore {
+        let schema = Schema::of(&[("country", DataType::Str), ("latency", DataType::Int)]);
+        let mut t = Table::new(schema);
+        for i in 0..300i64 {
+            let country = ["DE", "FR", "US"][(i % 3) as usize];
+            t.push_row(Row(vec![Value::from(country), Value::Int(i)])).unwrap();
+        }
+        DataStore::build(
+            &t,
+            &BuildOptions::optcols(PartitionSpec::new(&["country"], 100)),
+        )
+        .unwrap()
+    }
+
+    fn verdicts(store: &DataStore, where_sql: &str) -> Vec<ChunkActivity> {
+        let q = parse_query(&format!("SELECT COUNT(*) FROM t WHERE {where_sql}")).unwrap();
+        let r = Restriction::from_expr(&q.where_clause.unwrap());
+        SkipAnalysis::prepare(store, &r).unwrap().all(store.chunk_count())
+    }
+
+    #[test]
+    fn equality_skips_other_countries() {
+        let s = store();
+        let v = verdicts(&s, "country = 'DE'");
+        assert!(v.contains(&ChunkActivity::Full), "the DE chunk is fully active: {v:?}");
+        assert!(v.contains(&ChunkActivity::Skip), "other chunks skip: {v:?}");
+        assert!(!v.contains(&ChunkActivity::Partial), "country chunks are pure: {v:?}");
+    }
+
+    #[test]
+    fn absent_value_skips_everything() {
+        let s = store();
+        let v = verdicts(&s, "country = 'ZZ'");
+        assert!(v.iter().all(|a| *a == ChunkActivity::Skip));
+    }
+
+    #[test]
+    fn not_in_flips_verdicts() {
+        let s = store();
+        let v_in = verdicts(&s, "country IN ('DE')");
+        let v_not = verdicts(&s, "country NOT IN ('DE')");
+        for (a, b) in v_in.iter().zip(&v_not) {
+            match a {
+                ChunkActivity::Full => assert_eq!(*b, ChunkActivity::Skip),
+                ChunkActivity::Skip => assert_eq!(*b, ChunkActivity::Full),
+                ChunkActivity::Partial => assert_eq!(*b, ChunkActivity::Partial),
+            }
+        }
+    }
+
+    #[test]
+    fn and_or_combine() {
+        let s = store();
+        let v = verdicts(&s, "country = 'DE' AND country = 'FR'");
+        assert!(v.iter().all(|a| *a == ChunkActivity::Skip), "contradiction skips all: {v:?}");
+        let v = verdicts(&s, "country = 'DE' OR country = 'FR'");
+        let full = v.iter().filter(|a| **a == ChunkActivity::Full).count();
+        assert!(full >= 2, "both countries' chunks fully active: {v:?}");
+    }
+
+    #[test]
+    fn opaque_forces_partial_scan() {
+        let s = store();
+        let v = verdicts(&s, "latency > 100");
+        assert!(v.iter().all(|a| *a == ChunkActivity::Partial));
+        // ... but an AND with a discriminative leg still skips.
+        let v = verdicts(&s, "country = 'DE' AND latency > 100");
+        assert!(v.contains(&ChunkActivity::Skip));
+        assert!(!v.contains(&ChunkActivity::Full), "opaque leg prevents Full");
+    }
+
+    #[test]
+    fn no_restriction_is_fully_active() {
+        let s = store();
+        let analysis = SkipAnalysis::prepare(&s, &Restriction::True).unwrap();
+        assert!(analysis.all(s.chunk_count()).iter().all(|a| *a == ChunkActivity::Full));
+    }
+
+    #[test]
+    fn virtual_field_restrictions_skip() {
+        // §5's example: a restriction on date(timestamp) skips chunks via
+        // the materialized virtual field. Timestamps here are chosen so the
+        // partitioning on `latency` (a proxy) splits dates across chunks.
+        let schema = Schema::of(&[("timestamp", DataType::Int)]);
+        let mut t = Table::new(schema);
+        for i in 0..400i64 {
+            t.push_row(Row(vec![Value::Int(i * 86_400 / 4)])).unwrap(); // 100 days
+        }
+        let s = DataStore::build(
+            &t,
+            &BuildOptions::optcols(PartitionSpec::new(&["timestamp"], 64)),
+        )
+        .unwrap();
+        let v = verdicts(&s, "date(timestamp) IN ('1970-01-05')");
+        assert!(v.contains(&ChunkActivity::Skip), "{v:?}");
+        assert!(
+            v.iter().any(|a| *a != ChunkActivity::Skip),
+            "the chunk containing Jan 5 must stay active: {v:?}"
+        );
+    }
+
+    #[test]
+    fn range_restrictions_skip_via_min_max_ids() {
+        // Partitioned by latency itself: chunks occupy disjoint latency
+        // ranges, so a range restriction skips cleanly.
+        let schema = Schema::of(&[("latency", DataType::Int)]);
+        let mut t = Table::new(schema);
+        for i in 0..400i64 {
+            t.push_row(Row(vec![Value::Int(i)])).unwrap();
+        }
+        let s = DataStore::build(
+            &t,
+            &BuildOptions::optcols(PartitionSpec::new(&["latency"], 64)),
+        )
+        .unwrap();
+        let v = verdicts(&s, "latency > 350");
+        assert!(v.contains(&ChunkActivity::Skip), "{v:?}");
+        assert!(
+            v.iter().any(|a| *a != ChunkActivity::Skip),
+            "rows above 350 exist: {v:?}"
+        );
+        // Fully-covered chunks are recognized.
+        let v = verdicts(&s, "latency >= 0");
+        assert!(v.iter().all(|a| *a == ChunkActivity::Full), "{v:?}");
+        // Exclusive vs inclusive boundaries.
+        let v_lt = verdicts(&s, "latency < 0");
+        assert!(v_lt.iter().all(|a| *a == ChunkActivity::Skip), "{v_lt:?}");
+        let v_le = verdicts(&s, "latency <= 0");
+        assert!(v_le.iter().any(|a| *a != ChunkActivity::Skip), "{v_le:?}");
+        // Two-sided ranges via AND.
+        let v = verdicts(&s, "latency >= 100 AND latency < 130");
+        let active = v.iter().filter(|a| **a != ChunkActivity::Skip).count();
+        assert!(active <= 2, "narrow band touches few chunks: {v:?}");
+    }
+
+    #[test]
+    fn float_ranges_against_int_columns() {
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let mut t = Table::new(schema);
+        for i in 0..100i64 {
+            t.push_row(Row(vec![Value::Int(i)])).unwrap();
+        }
+        let s = DataStore::build(
+            &t,
+            &BuildOptions::optcols(PartitionSpec::new(&["n"], 20)),
+        )
+        .unwrap();
+        // 99.5 excludes everything below 100 — all chunks skip.
+        let v = verdicts(&s, "n > 99.5");
+        assert!(v.iter().all(|a| *a == ChunkActivity::Skip), "{v:?}");
+        // > 98.0 keeps only the last chunk.
+        let v = verdicts(&s, "n > 98.0");
+        assert_eq!(v.iter().filter(|a| **a != ChunkActivity::Skip).count(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn paper_worked_example() {
+        // §2.4: restriction IN ("la redoute", "voyages sncf") over the
+        // Figure 1 layout — only chunk 2 stays active.
+        let schema = Schema::of(&[("search_string", DataType::Str), ("chunk", DataType::Int)]);
+        let mut t = Table::new(schema);
+        let chunks: [&[&str]; 3] = [
+            &["ebay", "cheap flights", "amazon", "ebay", "pages jaunes"],
+            &["ab in den Urlaub", "amazon", "ebay", "faschingskostüme", "immobilienscout"],
+            &["chaussures", "voyages sncf", "la redoute", "chaussures", "karnevalskostüme"],
+        ];
+        for (ci, values) in chunks.iter().enumerate() {
+            for v in *values {
+                t.push_row(Row(vec![Value::from(*v), Value::Int(ci as i64)])).unwrap();
+            }
+        }
+        let s = DataStore::build(
+            &t,
+            &BuildOptions::optcols(PartitionSpec::new(&["chunk"], 5)),
+        )
+        .unwrap();
+        assert_eq!(s.chunk_count(), 3);
+        let v = verdicts(&s, "search_string IN ('la redoute', 'voyages sncf')");
+        assert_eq!(v[0], ChunkActivity::Skip);
+        assert_eq!(v[1], ChunkActivity::Skip);
+        assert_eq!(v[2], ChunkActivity::Partial);
+    }
+}

@@ -1,0 +1,262 @@
+//! Property tests on the store's structural invariants: partitioning is a
+//! permutation into value-range boxes, skipping is sound (a skipped chunk
+//! contains no matching row), caches respect budgets, and aggregation
+//! states merge associatively.
+
+use pd_common::{DataType, Row, Schema, Value};
+use pd_core::exec::AggState;
+use pd_core::partition::partition;
+use pd_core::skip::{ChunkActivity, SkipAnalysis};
+use pd_core::{BuildOptions, CachePolicy, DataStore, KmvSketch, PartitionSpec, TieredCache};
+use pd_sql::{eval_expr, parse_query, truthy, Restriction, RowContext};
+use proptest::prelude::*;
+
+/// Row context over a store's reconstructed cell values.
+struct StoreRow<'a> {
+    store: &'a DataStore,
+    chunk: usize,
+    row: usize,
+}
+
+impl RowContext for StoreRow<'_> {
+    fn column(&self, name: &str) -> pd_common::Result<Value> {
+        Ok(self.store.column(name)?.value_at(self.chunk, self.row))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The partitioner must produce a permutation whose chunks respect the
+    /// threshold whenever a split is possible, and whose chunks occupy
+    /// disjoint key-ranges on the first field that distinguishes them.
+    #[test]
+    fn partition_invariants(
+        ids_a in proptest::collection::vec(0u32..30, 1..400),
+        ids_b in proptest::collection::vec(0u32..15, 1..400),
+        threshold in 1usize..100,
+    ) {
+        let n = ids_a.len().min(ids_b.len());
+        let a = &ids_a[..n];
+        let b = &ids_b[..n];
+        let p = partition(&[a, b], n, threshold);
+
+        // Permutation.
+        let mut seen = vec![false; n];
+        for &r in &p.row_order {
+            prop_assert!(!seen[r as usize]);
+            seen[r as usize] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        prop_assert_eq!(*p.chunk_starts.last().unwrap() as usize, n);
+
+        // Threshold respected unless a chunk is a single (a, b) value pair
+        // (unsplittable).
+        for c in 0..p.chunk_count() {
+            let rows = &p.row_order[p.chunk_range(c)];
+            if rows.len() > threshold {
+                let first = (a[rows[0] as usize], b[rows[0] as usize]);
+                prop_assert!(
+                    rows.iter().all(|&r| (a[r as usize], b[r as usize]) == first),
+                    "oversized chunk must be single-valued"
+                );
+            }
+        }
+
+        // Chunks are boxes: for any two chunks, either their first-field
+        // ranges are disjoint, or they share a single first-field value and
+        // their second-field ranges are disjoint.
+        let ranges: Vec<((u32, u32), (u32, u32))> = (0..p.chunk_count())
+            .map(|c| {
+                let rows = &p.row_order[p.chunk_range(c)];
+                let fa: Vec<u32> = rows.iter().map(|&r| a[r as usize]).collect();
+                let fb: Vec<u32> = rows.iter().map(|&r| b[r as usize]).collect();
+                (
+                    (*fa.iter().min().unwrap(), *fa.iter().max().unwrap()),
+                    (*fb.iter().min().unwrap(), *fb.iter().max().unwrap()),
+                )
+            })
+            .collect();
+        for i in 0..ranges.len() {
+            for j in i + 1..ranges.len() {
+                let ((a_lo1, a_hi1), (b_lo1, b_hi1)) = ranges[i];
+                let ((a_lo2, a_hi2), (b_lo2, b_hi2)) = ranges[j];
+                let a_disjoint = a_hi1 < a_lo2 || a_hi2 < a_lo1;
+                let same_single_a = a_lo1 == a_hi1 && a_lo2 == a_hi2 && a_lo1 == a_lo2;
+                let b_disjoint = b_hi1 < b_lo2 || b_hi2 < b_lo1;
+                prop_assert!(
+                    a_disjoint || (same_single_a && b_disjoint),
+                    "chunks {i} and {j} overlap: {:?} vs {:?}",
+                    ranges[i],
+                    ranges[j]
+                );
+            }
+        }
+    }
+
+    /// Cache layers never exceed their byte budgets, and every access cost
+    /// is consistent (a hit costs nothing).
+    #[test]
+    fn cache_respects_budget(
+        accesses in proptest::collection::vec((0u32..64, 1usize..5_000), 1..300),
+        policy_idx in 0usize..3,
+        budget in 1_000usize..20_000,
+    ) {
+        let policy = [CachePolicy::Lru, CachePolicy::TwoQ, CachePolicy::Arc][policy_idx];
+        let cache = TieredCache::new(policy, budget, budget / 2);
+        for (chunk, size) in accesses {
+            let key = (std::sync::Arc::from("col"), chunk);
+            let cost = cache.touch(&key, size, size / 3 + 1);
+            if cost.hit() {
+                // A hit is free by definition; nothing more to check.
+            } else {
+                prop_assert!(cost.decompressed_bytes as usize == size);
+            }
+            let (u, c) = cache.resident_bytes();
+            prop_assert!(u <= budget, "uncompressed layer over budget: {u} > {budget}");
+            prop_assert!(c <= budget / 2, "compressed layer over budget: {c}");
+        }
+    }
+
+    /// AggState merging is associative and commutative for the algebraic
+    /// aggregates (the property the §4 computation tree relies on).
+    #[test]
+    fn agg_states_merge_associatively(values in proptest::collection::vec(-100i64..100, 3..60)) {
+        let states: Vec<Vec<AggState>> = values
+            .iter()
+            .map(|&v| {
+                vec![
+                    AggState::Count(1),
+                    AggState::SumInt(v),
+                    AggState::SumFloat(v as f64 * 0.5),
+                    AggState::Min(Some(Value::Int(v))),
+                    AggState::Max(Some(Value::Int(v))),
+                    AggState::Avg { sum: v as f64, count: 1 },
+                ]
+            })
+            .collect();
+
+        // Left fold vs right fold vs two-level tree fold.
+        let merge_all = |chunks: &[Vec<AggState>]| -> Vec<AggState> {
+            let mut acc = chunks[0].clone();
+            for s in &chunks[1..] {
+                for (a, b) in acc.iter_mut().zip(s) {
+                    a.merge(b).unwrap();
+                }
+            }
+            acc
+        };
+        let flat = merge_all(&states);
+        let mid = states.len() / 2;
+        let left = merge_all(&states[..mid.max(1)]);
+        let right = merge_all(&states[mid.max(1)..]);
+        let mut tree = left;
+        for (a, b) in tree.iter_mut().zip(&right) {
+            a.merge(b).unwrap();
+        }
+        for (a, b) in flat.iter().zip(&tree) {
+            match (a.finalize(), b.finalize()) {
+                (Value::Float(x), Value::Float(y)) => {
+                    prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()));
+                }
+                (x, y) => prop_assert_eq!(x, y),
+            }
+        }
+    }
+
+    /// Skipping soundness — the paper's central correctness claim: a chunk
+    /// the dictionaries declare inactive contains NO matching row, and a
+    /// fully active chunk contains ONLY matching rows.
+    #[test]
+    fn skipping_is_sound(
+        rows in proptest::collection::vec((0usize..5, 0u32..12, -40i64..40), 1..200),
+        where_idx in 0usize..8,
+        v1 in 0u32..12,
+        n1 in -40i64..40,
+    ) {
+        let schema = Schema::of(&[
+            ("k", DataType::Str),
+            ("g", DataType::Str),
+            ("n", DataType::Int),
+        ]);
+        let mut table = pd_data::Table::new(schema);
+        for (k, g, n) in &rows {
+            table
+                .push_row(Row(vec![
+                    Value::from(["red", "green", "blue", "grey", "teal"][*k]),
+                    Value::from(format!("g{g:02}")),
+                    Value::Int(*n),
+                ]))
+                .unwrap();
+        }
+        let store = DataStore::build(
+            &table,
+            &BuildOptions::reordered(PartitionSpec::new(&["k", "g"], 8)),
+        )
+        .unwrap();
+
+        let wheres = [
+            format!("g = 'g{v1:02}'"),
+            format!("k = 'red' AND g = 'g{v1:02}'"),
+            format!("g IN ('g{v1:02}', 'g{:02}')", (v1 + 5) % 12),
+            format!("g NOT IN ('g{v1:02}')"),
+            format!("n > {n1}"),
+            format!("n BETWEEN {n1} AND {}", n1 + 10),
+            format!("k != 'red' OR g = 'g{v1:02}'"),
+            format!("NOT (k = 'blue' AND n <= {n1})"),
+        ];
+        let sql = format!("SELECT COUNT(*) FROM t WHERE {}", wheres[where_idx]);
+        let parsed = parse_query(&sql).unwrap();
+        let filter = parsed.where_clause.clone().unwrap();
+        let restriction = Restriction::from_expr(&filter);
+        let analysis = SkipAnalysis::prepare(&store, &restriction).unwrap();
+
+        for c in 0..store.chunk_count() {
+            let verdict = analysis.activity(c);
+            for r in 0..store.chunk_rows(c) {
+                let ctx = StoreRow { store: &store, chunk: c, row: r };
+                let matches = truthy(&eval_expr(&filter, &ctx).unwrap());
+                match verdict {
+                    ChunkActivity::Skip => prop_assert!(
+                        !matches,
+                        "skipped chunk {c} row {r} matches `{}`",
+                        wheres[where_idx]
+                    ),
+                    ChunkActivity::Full => prop_assert!(
+                        matches,
+                        "fully-active chunk {c} row {r} fails `{}`",
+                        wheres[where_idx]
+                    ),
+                    ChunkActivity::Partial => {}
+                }
+            }
+        }
+    }
+
+    /// KMV sketches: merge order never changes the estimate, and estimates
+    /// are exact below m.
+    #[test]
+    fn sketch_merge_order_irrelevant(
+        xs in proptest::collection::hash_set(0u64..5_000, 1..200),
+        split in 0usize..200,
+    ) {
+        let all: Vec<u64> = xs.into_iter().collect();
+        let split = split.min(all.len());
+        let mut a = KmvSketch::new(64);
+        let mut b = KmvSketch::new(64);
+        for &v in &all[..split] {
+            a.offer(pd_common::fx_hash64(&v));
+        }
+        for &v in &all[split..] {
+            b.offer(pd_common::fx_hash64(&v));
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        if all.len() < 64 {
+            prop_assert_eq!(ab.estimate(), all.len() as f64);
+        }
+    }
+}

@@ -1,0 +1,393 @@
+//! Executor correctness: the store must agree with a naive row-by-row
+//! oracle on every supported query shape, under every build variant of the
+//! §3 ladder, with and without the §6 result cache.
+
+use pd_common::{Row, Value};
+use pd_core::{
+    execute, query, BuildOptions, DataStore, ExecContext, PartitionSpec, ResultCache,
+};
+use pd_data::{generate_logs, LogsSpec, Table};
+use pd_sql::{analyze, eval_expr, parse_query, truthy, AggFunc, OutputCol, RowContext};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Naive reference implementation evaluating the query over table rows.
+fn oracle(table: &Table, sql: &str) -> Vec<Row> {
+    let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+
+    struct Ctx<'a> {
+        table: &'a Table,
+        row: usize,
+    }
+    impl RowContext for Ctx<'_> {
+        fn column(&self, name: &str) -> pd_common::Result<Value> {
+            let idx = self.table.schema().resolve(name)?;
+            Ok(self.table.column(idx)[self.row].clone())
+        }
+    }
+
+    #[derive(Default)]
+    struct OracleAgg {
+        count: u64,
+        sum: f64,
+        sum_int: i64,
+        min: Option<Value>,
+        max: Option<Value>,
+        distinct: std::collections::BTreeSet<Value>,
+    }
+
+    let mut groups: HashMap<Vec<Value>, Vec<OracleAgg>> = HashMap::new();
+    for r in 0..table.len() {
+        let ctx = Ctx { table, row: r };
+        if let Some(filter) = &analyzed.filter {
+            if !truthy(&eval_expr(filter, &ctx).unwrap()) {
+                continue;
+            }
+        }
+        let key: Vec<Value> =
+            analyzed.keys.iter().map(|k| eval_expr(k, &ctx).unwrap()).collect();
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| analyzed.aggs.iter().map(|_| OracleAgg::default()).collect());
+        for (agg, state) in analyzed.aggs.iter().zip(states.iter_mut()) {
+            let arg = agg.arg.as_ref().map(|a| eval_expr(a, &ctx).unwrap());
+            state.count += 1;
+            if let Some(v) = &arg {
+                state.sum += v.numeric();
+                if let Value::Int(i) = v {
+                    state.sum_int += i;
+                }
+                if state.min.as_ref().is_none_or(|m| v < m) {
+                    state.min = Some(v.clone());
+                }
+                if state.max.as_ref().is_none_or(|m| v > m) {
+                    state.max = Some(v.clone());
+                }
+                state.distinct.insert(v.clone());
+            }
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    if groups.is_empty() && analyzed.keys.is_empty() {
+        let row: Vec<Value> = analyzed
+            .output
+            .iter()
+            .map(|(_, src)| match src {
+                OutputCol::Key(_) => Value::Null,
+                OutputCol::Agg(i) => match analyzed.aggs[*i].func {
+                    AggFunc::Count => Value::Int(0),
+                    _ => Value::Null,
+                },
+            })
+            .collect();
+        rows.push(Row(row));
+    }
+    for (key, states) in &groups {
+        let row: Vec<Value> = analyzed
+            .output
+            .iter()
+            .map(|(_, src)| match src {
+                OutputCol::Key(i) => key[*i].clone(),
+                OutputCol::Agg(i) => {
+                    let agg = &analyzed.aggs[*i];
+                    let s = &states[*i];
+                    if agg.distinct {
+                        return Value::Int(s.distinct.len() as i64);
+                    }
+                    match agg.func {
+                        AggFunc::Count => Value::Int(s.count as i64),
+                        AggFunc::Sum => {
+                            // Type follows the argument column.
+                            let is_int = matches!(s.min, Some(Value::Int(_)));
+                            if is_int {
+                                Value::Int(s.sum_int)
+                            } else {
+                                Value::Float(s.sum)
+                            }
+                        }
+                        AggFunc::Min => s.min.clone().unwrap_or(Value::Null),
+                        AggFunc::Max => s.max.clone().unwrap_or(Value::Null),
+                        AggFunc::Avg => Value::Float(s.sum / s.count as f64),
+                    }
+                }
+            })
+            .collect();
+        rows.push(Row(row));
+    }
+
+    // Same finalization as the engine: HAVING, base sort, ORDER BY, LIMIT.
+    let names = analyzed.output_names();
+    if let Some(having) = &analyzed.having {
+        rows.retain(|row| {
+            let pairs: Vec<(&str, Value)> = names
+                .iter()
+                .map(String::as_str)
+                .zip(row.values().iter().cloned())
+                .collect();
+            truthy(&eval_expr(having, &pairs[..]).unwrap())
+        });
+    }
+    rows.sort();
+    if !analyzed.order_by.is_empty() {
+        rows.sort_by(|a, b| {
+            for &(idx, desc) in &analyzed.order_by {
+                let ord = a.0[idx].cmp(&b.0[idx]);
+                let ord = if desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(limit) = analyzed.limit {
+        rows.truncate(limit);
+    }
+    rows
+}
+
+fn float_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Float(x), Value::Float(y)) => {
+            (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()))
+        }
+        _ => a == b,
+    }
+}
+
+fn rows_eq(a: &[Row], b: &[Row]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(ra, rb)| ra.0.len() == rb.0.len() && ra.0.iter().zip(&rb.0).all(|(x, y)| float_eq(x, y)))
+}
+
+fn all_variants() -> Vec<(&'static str, BuildOptions)> {
+    let spec = PartitionSpec::new(&["country", "table_name"], 300);
+    vec![
+        ("basic", BuildOptions::basic()),
+        ("chunks", BuildOptions::chunked(spec.clone())),
+        ("optcols", BuildOptions::optcols(spec.clone())),
+        ("optdicts", BuildOptions::optdicts(spec.clone())),
+        ("reorder", BuildOptions::reordered(spec)),
+    ]
+}
+
+fn check(table: &Table, stores: &[(&str, DataStore)], sql: &str) {
+    let expected = oracle(table, sql);
+    for (name, store) in stores {
+        let (result, stats) = query(store, sql).unwrap_or_else(|e| panic!("{name}: {sql}: {e}"));
+        assert!(
+            rows_eq(&result.rows, &expected),
+            "variant {name} disagrees with oracle on {sql}\n got: {:?}\nwant: {:?}\nstats: {}",
+            result.rows,
+            expected,
+            stats.summary()
+        );
+        assert_eq!(
+            stats.rows_skipped + stats.rows_cached + stats.rows_scanned,
+            stats.rows_total,
+            "row accounting must balance for {name}: {sql}"
+        );
+    }
+}
+
+fn build_all(table: &Table) -> Vec<(&'static str, DataStore)> {
+    all_variants()
+        .into_iter()
+        .map(|(name, opt)| (name, DataStore::build(table, &opt).unwrap()))
+        .collect()
+}
+
+#[test]
+fn paper_queries_match_oracle_on_all_variants() {
+    let table = generate_logs(&LogsSpec::scaled(2_500));
+    let stores = build_all(&table);
+    for sql in [
+        "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;",
+        "SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data GROUP BY date ORDER BY date ASC LIMIT 10;",
+        "SELECT table_name, COUNT(*) as c FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10;",
+    ] {
+        check(&table, &stores, sql);
+    }
+}
+
+#[test]
+fn filters_match_oracle() {
+    let table = generate_logs(&LogsSpec::scaled(2_000));
+    let stores = build_all(&table);
+    for sql in [
+        "SELECT country, COUNT(*) c FROM data WHERE country = 'DE' GROUP BY country",
+        "SELECT country, COUNT(*) c FROM data WHERE country IN ('DE','FR','JP') GROUP BY country ORDER BY c DESC",
+        "SELECT country, COUNT(*) c FROM data WHERE country NOT IN ('US') GROUP BY country ORDER BY c DESC LIMIT 5",
+        "SELECT country, COUNT(*) c FROM data WHERE latency > 500.0 GROUP BY country ORDER BY c DESC",
+        "SELECT country, COUNT(*) c FROM data WHERE country = 'US' AND latency > 500.0 GROUP BY country",
+        "SELECT country, COUNT(*) c FROM data WHERE country = 'US' OR country = 'DE' GROUP BY country",
+        "SELECT country, COUNT(*) c FROM data WHERE NOT (country = 'US' OR country = 'DE') GROUP BY country ORDER BY c DESC LIMIT 3",
+        "SELECT country, COUNT(*) c FROM data WHERE country = 'ZZ' GROUP BY country",
+        "SELECT country, COUNT(*) c FROM data WHERE date(timestamp) IN ('2011-10-01','2011-10-02') GROUP BY country",
+        "SELECT country, SUM(latency) s FROM data WHERE user != 'user_00003' GROUP BY country ORDER BY s DESC LIMIT 4",
+        "SELECT country, COUNT(*) c FROM data WHERE latency BETWEEN 100.0 AND 400.0 GROUP BY country ORDER BY c DESC",
+        "SELECT country, COUNT(*) c FROM data WHERE timestamp NOT BETWEEN 1317427200 AND 1318427200 GROUP BY country ORDER BY c DESC LIMIT 5",
+    ] {
+        check(&table, &stores, sql);
+    }
+}
+
+#[test]
+fn aggregates_match_oracle() {
+    let table = generate_logs(&LogsSpec::scaled(1_500));
+    let stores = build_all(&table);
+    for sql in [
+        "SELECT country, SUM(latency) FROM data GROUP BY country",
+        "SELECT country, MIN(latency), MAX(latency) FROM data GROUP BY country",
+        "SELECT country, AVG(latency) FROM data GROUP BY country",
+        "SELECT country, SUM(timestamp) FROM data GROUP BY country",
+        "SELECT country, MIN(table_name), MAX(user) FROM data GROUP BY country",
+        "SELECT COUNT(*), SUM(latency), MIN(timestamp), MAX(timestamp) FROM data",
+        "SELECT COUNT(*) FROM data WHERE country = 'ZZ'",
+        "SELECT COUNT(latency) FROM data",
+    ] {
+        check(&table, &stores, sql);
+    }
+}
+
+#[test]
+fn multi_key_group_by_matches_oracle() {
+    let table = generate_logs(&LogsSpec::scaled(1_500));
+    let stores = build_all(&table);
+    for sql in [
+        "SELECT country, user, COUNT(*) c FROM data GROUP BY country, user ORDER BY c DESC LIMIT 20",
+        // High-cardinality pair exercises the hash grouping path.
+        "SELECT table_name, user, COUNT(*) c FROM data GROUP BY table_name, user ORDER BY c DESC LIMIT 20",
+        "SELECT country, date(timestamp) d, COUNT(*), SUM(latency) FROM data GROUP BY country, d ORDER BY country ASC LIMIT 30",
+    ] {
+        check(&table, &stores, sql);
+    }
+}
+
+#[test]
+fn having_matches_oracle() {
+    let table = generate_logs(&LogsSpec::scaled(1_500));
+    let stores = build_all(&table);
+    for sql in [
+        "SELECT country, COUNT(*) as c FROM data GROUP BY country HAVING c > 50 ORDER BY c DESC",
+        "SELECT country, COUNT(*) as c FROM data GROUP BY country HAVING COUNT(*) > 50 AND country != 'US' ORDER BY c DESC",
+    ] {
+        check(&table, &stores, sql);
+    }
+}
+
+#[test]
+fn count_distinct_is_exact_below_sketch_size() {
+    let table = generate_logs(&LogsSpec::scaled(2_000));
+    let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
+    let sql = "SELECT country, COUNT(DISTINCT user) FROM data GROUP BY country ORDER BY country ASC";
+    // With m larger than any group's distinct count the sketch is exact.
+    let (result, _) = query(&store, sql).unwrap();
+    let expected = oracle(&table, sql);
+    assert!(rows_eq(&result.rows, &expected), "got {:?} want {:?}", result.rows, expected);
+}
+
+#[test]
+fn count_distinct_is_close_above_sketch_size() {
+    let table = generate_logs(&LogsSpec::scaled(5_000));
+    let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
+    let analyzed =
+        analyze(&parse_query("SELECT COUNT(DISTINCT table_name) FROM data").unwrap()).unwrap();
+    let ctx = ExecContext { sketch_m: 256, ..Default::default() };
+    let (result, _) = execute(&store, &analyzed, &ctx).unwrap();
+    let exact = oracle(&table, "SELECT COUNT(DISTINCT table_name) FROM data")[0].0[0]
+        .as_int()
+        .unwrap() as f64;
+    let est = result.rows[0].0[0].as_int().unwrap() as f64;
+    let err = (est - exact).abs() / exact;
+    assert!(err < 0.2, "estimate {est} vs exact {exact} (err {err:.3})");
+}
+
+#[test]
+fn result_cache_preserves_results_and_hits() {
+    let table = generate_logs(&LogsSpec::scaled(2_000));
+    let store = DataStore::build(
+        &table,
+        &BuildOptions::reordered(PartitionSpec::new(&["country", "table_name"], 300)),
+    )
+    .unwrap();
+    let sql = "SELECT country, COUNT(*) as c FROM data WHERE country IN ('US','DE') GROUP BY country ORDER BY c DESC";
+    let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+
+    let cache = Arc::new(ResultCache::new(1024));
+    let ctx = ExecContext { result_cache: Some(cache.clone()), ..Default::default() };
+
+    let (first, stats1) = execute(&store, &analyzed, &ctx).unwrap();
+    let (second, stats2) = execute(&store, &analyzed, &ctx).unwrap();
+    assert_eq!(first, second, "cache must not change results");
+    assert_eq!(stats1.rows_cached, 0, "first run computes");
+    assert!(stats2.rows_cached > 0, "second run hits the chunk-result cache");
+    assert_eq!(stats2.rows_scanned + stats2.rows_cached + stats2.rows_skipped, stats2.rows_total);
+    // And the result still matches the oracle.
+    assert!(rows_eq(&second.rows, &oracle(&table, sql)));
+}
+
+#[test]
+fn skipping_statistics_reflect_selectivity() {
+    let table = generate_logs(&LogsSpec::scaled(4_000));
+    let store = DataStore::build(
+        &table,
+        &BuildOptions::reordered(PartitionSpec::new(&["country", "table_name"], 200)),
+    )
+    .unwrap();
+    // A single-country restriction must skip most chunks.
+    let (_, stats) =
+        query(&store, "SELECT country, COUNT(*) FROM data WHERE country = 'JP' GROUP BY country")
+            .unwrap();
+    assert!(
+        stats.skipped_fraction() > 0.5,
+        "most rows skipped for a selective query: {}",
+        stats.summary()
+    );
+    // An unrestricted query skips nothing.
+    let (_, stats) =
+        query(&store, "SELECT country, COUNT(*) FROM data GROUP BY country").unwrap();
+    assert_eq!(stats.rows_skipped, 0);
+}
+
+#[test]
+fn empty_group_results() {
+    let table = generate_logs(&LogsSpec::scaled(500));
+    let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
+    // Global aggregation over empty selection yields one row of empties.
+    let (result, _) = query(&store, "SELECT COUNT(*), SUM(latency) FROM data WHERE country = 'ZZ'").unwrap();
+    assert_eq!(result.rows.len(), 1);
+    assert_eq!(result.rows[0].0[0], Value::Int(0));
+    assert_eq!(result.rows[0].0[1], Value::Null);
+    // Grouped aggregation over empty selection yields zero rows.
+    let (result, _) = query(
+        &store,
+        "SELECT country, COUNT(*) FROM data WHERE country = 'ZZ' GROUP BY country",
+    )
+    .unwrap();
+    assert!(result.rows.is_empty());
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let table = generate_logs(&LogsSpec::scaled(200));
+    let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
+    assert!(query(&store, "SELECT nope, COUNT(*) FROM data GROUP BY nope").is_err());
+    assert!(query(&store, "SELECT country, SUM(table_name) FROM data GROUP BY country").is_err());
+    assert!(query(&store, "SELECT country FROM data").is_err());
+    assert!(query(&store, "totally not sql").is_err());
+}
+
+#[test]
+fn render_produces_readable_table() {
+    let table = generate_logs(&LogsSpec::scaled(300));
+    let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
+    let (result, _) =
+        query(&store, "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 3").unwrap();
+    let text = result.render();
+    assert!(text.contains("country"));
+    assert!(text.lines().count() >= 4);
+}

@@ -1,0 +1,235 @@
+//! CSV reading and writing.
+//!
+//! One of the two row-wise baseline formats of Table 1. The dialect is
+//! RFC-4180-ish: comma separators, `"` quoting with `""` escapes, a header
+//! row with the field names, `\n` record ends (with `\r\n` tolerated on
+//! read).
+
+use crate::table::Table;
+use pd_common::{DataType, Error, Result, Row, Schema, Value};
+use std::io::{BufRead, Write};
+
+/// Write `table` as CSV with a header row.
+pub fn write_csv<W: Write>(table: &Table, out: &mut W) -> Result<()> {
+    let names: Vec<&str> = table.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    write_record(out, names.iter().copied())?;
+    for i in 0..table.len() {
+        let row = table.row(i);
+        // Values render without quotes; quoting is applied per field.
+        let fields: Vec<String> = row.values().iter().map(|v| v.render().into_owned()).collect();
+        write_record(out, fields.iter().map(String::as_str))?;
+    }
+    Ok(())
+}
+
+fn write_record<'a, W: Write>(out: &mut W, fields: impl Iterator<Item = &'a str>) -> Result<()> {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.write_all(b",")?;
+        }
+        first = false;
+        if f.contains(['"', ',', '\n', '\r']) {
+            out.write_all(b"\"")?;
+            out.write_all(f.replace('"', "\"\"").as_bytes())?;
+            out.write_all(b"\"")?;
+        } else {
+            out.write_all(f.as_bytes())?;
+        }
+    }
+    out.write_all(b"\n")?;
+    Ok(())
+}
+
+/// Read a CSV with a header row into a table with the given schema. The
+/// header must name exactly the schema's fields (in order); values are
+/// parsed according to the schema's types.
+pub fn read_csv<R: BufRead>(input: &mut R, schema: &Schema) -> Result<Table> {
+    let mut lines = CsvRecords { input, buf: String::new() };
+    let header = lines
+        .next_record()?
+        .ok_or_else(|| Error::Data("csv: missing header row".into()))?;
+    let expected: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
+    if header != expected {
+        return Err(Error::Data(format!(
+            "csv: header {header:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut table = Table::new(schema.clone());
+    while let Some(fields) = lines.next_record()? {
+        if fields.len() != schema.len() {
+            return Err(Error::Data(format!(
+                "csv: row has {} fields, expected {}",
+                fields.len(),
+                schema.len()
+            )));
+        }
+        let values: Vec<Value> = fields
+            .iter()
+            .zip(schema.fields())
+            .map(|(raw, field)| parse_value(raw, field.data_type))
+            .collect::<Result<_>>()?;
+        table.push_row(Row(values))?;
+    }
+    Ok(table)
+}
+
+fn parse_value(raw: &str, dtype: DataType) -> Result<Value> {
+    match dtype {
+        DataType::Int => raw
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|_| Error::Data(format!("csv: `{raw}` is not an integer"))),
+        DataType::Float => raw
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::Data(format!("csv: `{raw}` is not a float"))),
+        DataType::Str => Ok(Value::Str(raw.to_owned())),
+    }
+}
+
+/// Incremental record reader handling quoted fields that span lines.
+struct CsvRecords<'a, R: BufRead> {
+    input: &'a mut R,
+    buf: String,
+}
+
+impl<R: BufRead> CsvRecords<'_, R> {
+    fn next_record(&mut self) -> Result<Option<Vec<String>>> {
+        self.buf.clear();
+        let n = self.input.read_line(&mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        // Keep reading while inside an unterminated quote.
+        while quote_open(&self.buf) {
+            let more = self.input.read_line(&mut self.buf)?;
+            if more == 0 {
+                return Err(Error::Data("csv: unterminated quoted field".into()));
+            }
+        }
+        let line = self.buf.trim_end_matches(['\n', '\r']);
+        Ok(Some(split_record(line)?))
+    }
+}
+
+fn quote_open(s: &str) -> bool {
+    let mut open = false;
+    for c in s.chars() {
+        if c == '"' {
+            open = !open;
+        }
+    }
+    open
+}
+
+fn split_record(line: &str) -> Result<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        if quoted {
+            if c == '"' {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur.push(c);
+            }
+        } else {
+            match c {
+                '"' if cur.is_empty() => quoted = true,
+                ',' => fields.push(std::mem::take(&mut cur)),
+                other => cur.push(other),
+            }
+        }
+    }
+    if quoted {
+        return Err(Error::Data("csv: unterminated quote".into()));
+    }
+    fields.push(cur);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn sample() -> Table {
+        let schema = Schema::of(&[
+            ("ts", DataType::Int),
+            ("name", DataType::Str),
+            ("lat", DataType::Float),
+        ]);
+        let mut t = Table::new(schema);
+        t.push_row(Row(vec![Value::Int(10), Value::from("plain"), Value::Float(1.5)])).unwrap();
+        t.push_row(Row(vec![Value::Int(-3), Value::from("with,comma"), Value::Float(0.25)]))
+            .unwrap();
+        t.push_row(Row(vec![Value::Int(0), Value::from("say \"hi\""), Value::Float(2.0)])).unwrap();
+        t.push_row(Row(vec![Value::Int(7), Value::from("two\nlines"), Value::Float(-1.0)])).unwrap();
+        t
+    }
+
+    #[test]
+    fn round_trip_with_quoting() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(&mut BufReader::new(&buf[..]), t.schema()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn header_is_validated() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let other = Schema::of(&[("x", DataType::Int)]);
+        assert!(read_csv(&mut BufReader::new(&buf[..]), &other).is_err());
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let data = b"n\nnot_a_number\n";
+        let err = read_csv(&mut BufReader::new(&data[..]), &schema).unwrap_err();
+        assert!(err.to_string().contains("not an integer"));
+    }
+
+    #[test]
+    fn arity_errors_are_reported() {
+        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let data = b"a,b\n1\n";
+        assert!(read_csv(&mut BufReader::new(&data[..]), &schema).is_err());
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let schema = Schema::of(&[("a", DataType::Str)]);
+        let t = Table::new(schema);
+        let mut buf = Vec::new();
+        write_csv(&t, &mut buf).unwrap();
+        let back = read_csv(&mut BufReader::new(&buf[..]), t.schema()).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let schema = Schema::of(&[("a", DataType::Str)]);
+        let data = b"a\n\"open\n";
+        assert!(read_csv(&mut BufReader::new(&data[..]), &schema).is_err());
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let data = b"a\r\n5\r\n";
+        let t = read_csv(&mut BufReader::new(&data[..]), &schema).unwrap();
+        assert_eq!(t.row(0).get(0), &Value::Int(5));
+    }
+}

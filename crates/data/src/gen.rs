@@ -1,0 +1,435 @@
+//! Seeded synthetic datasets mirroring the paper's experimental inputs.
+//!
+//! §2.5: *"For realistic input data we decided to simply use our own logs as
+//! source. [...] For our experiments we have extracted 5 million rows with
+//! the fields timestamp, table name, latency, and country. [...] the table
+//! name is actually a field with many distinct values (several 100K; [...]
+//! table-names usually include the date). [...] The field country on the
+//! other hand of course has only few distinct values, 25 to be concrete."*
+//!
+//! [`generate_logs`] reproduces that cardinality profile at any scale, with
+//! the correlations the paper's partitioning relies on (§6: *"we strongly
+//! benefit from correlations in the data"*): table names cluster by
+//! country, their date suffix follows the timestamp, and timestamps grow
+//! with row order (*implicit clustering*).
+//!
+//! [`generate_searches`] builds the web-search table from the introduction
+//! ("all German searches from yesterday afternoon that contain the word
+//! 'auto'") used by the drill-down example and the production workload.
+
+use crate::table::Table;
+use pd_common::{DataType, Row, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// 2011-10-01 00:00:00 UTC — the start of the paper's measurement quarter
+/// ("collected over all queries processed during the last three months of
+/// 2011").
+pub const LOGS_EPOCH: i64 = 1_317_427_200;
+
+/// Configuration for [`generate_logs`].
+#[derive(Debug, Clone)]
+pub struct LogsSpec {
+    /// Number of rows (the paper uses 5 million).
+    pub rows: usize,
+    /// RNG seed; equal specs generate identical tables.
+    pub seed: u64,
+    /// Distinct countries (the paper's logs have 25).
+    pub countries: usize,
+    /// Base table-name pool; actual distinct names ≈ bases × days due to
+    /// date suffixes.
+    pub name_bases: usize,
+    /// Days covered by the timestamps (the paper's window is a quarter).
+    pub days: usize,
+    /// Distinct users (for the "natural primary key" partitioning demos).
+    pub users: usize,
+}
+
+impl LogsSpec {
+    /// The paper-scale profile, shrunk to `rows`: cardinalities scale so
+    /// that 5M rows yield "several 100K" distinct table names.
+    pub fn scaled(rows: usize) -> LogsSpec {
+        LogsSpec {
+            rows,
+            seed: 0x009d_2111,
+            countries: 25,
+            name_bases: (rows / 1_500).clamp(40, 4_000),
+            days: 92,
+            users: (rows / 5_000).clamp(10, 1_000),
+        }
+    }
+}
+
+/// The schema produced by [`generate_logs`].
+pub fn logs_schema() -> Schema {
+    Schema::of(&[
+        ("timestamp", DataType::Int),
+        ("table_name", DataType::Str),
+        ("latency", DataType::Float),
+        ("country", DataType::Str),
+        ("user", DataType::Str),
+    ])
+}
+
+const COUNTRIES: [&str; 25] = [
+    "US", "DE", "GB", "JP", "FR", "BR", "IN", "CA", "AU", "NL", "IT", "ES", "SE", "CH", "PL",
+    "RU", "KR", "MX", "TR", "AR", "BE", "DK", "IE", "SG", "ZA",
+];
+
+const TEAMS: [&str; 12] = [
+    "ads", "search", "gmail", "maps", "youtube", "android", "chrome", "cloud", "billing",
+    "revenue", "spam", "infra",
+];
+
+const DATASETS: [&str; 10] = [
+    "queries", "clicks", "impressions", "latency_rollup", "daily_summary", "events", "errors",
+    "experiments", "sessions", "audit",
+];
+
+/// Generate the PowerDrill query-log table.
+pub fn generate_logs(spec: &LogsSpec) -> Table {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let schema = logs_schema();
+    let mut table = Table::new(schema);
+
+    let countries = spec.countries.clamp(1, COUNTRIES.len());
+    let country_zipf = ZipfSampler::new(countries, 1.1);
+    let base_zipf = ZipfSampler::new(spec.name_bases.max(1), 1.05);
+    let window = spec.days.max(1) as i64 * 86_400;
+
+    // Pre-render the base names ("logs.{team}.{dataset}_{k}").
+    let bases: Vec<String> = (0..spec.name_bases.max(1))
+        .map(|k| {
+            format!(
+                "logs.{}.{}_{:04}",
+                TEAMS[k % TEAMS.len()],
+                DATASETS[(k / TEAMS.len()) % DATASETS.len()],
+                k
+            )
+        })
+        .collect();
+
+    for i in 0..spec.rows {
+        // Timestamps increase with row order plus jitter — the "implicit
+        // clustering" of appended log records.
+        let base_ts = (i as i64 * window) / spec.rows.max(1) as i64;
+        let jitter = rng.gen_range(0..=600);
+        let ts = LOGS_EPOCH + (base_ts + jitter).min(window - 1);
+
+        let country_idx = country_zipf.sample(&mut rng);
+        // Country-correlated table names: interleaving (rank, country)
+        // pairs gives each country an (almost) disjoint slice of the base
+        // pool. This correlation is what lets a partitioning by
+        // (country, table_name) skip chunks for either restriction.
+        let raw_base = base_zipf.sample(&mut rng);
+        let base_idx = (raw_base * countries + country_idx) % bases.len();
+
+        // Most tables are date-suffixed (as Dremel table names in the
+        // paper are); a fifth of the pool is "timeless". The referenced
+        // date lags the query's timestamp with a heavy tail — analysts
+        // mostly look at fresh tables but regularly reach back weeks —
+        // which interleaves many distinct names at any point in time (the
+        // disorder the §3 row reordering removes).
+        let name = if base_idx.is_multiple_of(5) {
+            bases[base_idx].clone()
+        } else {
+            let u: f64 = rng.gen();
+            let lag = (u * u * u * 30.0) as i64;
+            let day = (((ts - LOGS_EPOCH) / 86_400) - lag).max(0) as usize;
+            let (y, m, d) = date_of_day(day);
+            format!("{}.{y:04}-{m:02}-{d:02}", bases[base_idx])
+        };
+
+        // Heavy-tailed latency in whole milliseconds, scaled by a
+        // per-table profile: many distinct values per chunk (the paper's
+        // characterization of this field) yet correlated with table_name,
+        // so the §3 reordering clusters similar values.
+        let latency = {
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            // Each table lives in a latency band (cheap lookups vs heavy
+            // scans), with exponential within-band noise.
+            const BANDS: [f64; 8] = [25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0];
+            let band = BANDS[base_idx.wrapping_mul(2_654_435_761) % BANDS.len()];
+            (band * (1.0 + 0.6 * -u.ln())).round()
+        };
+
+        let user = format!("user_{:05}", rng.gen_range(0..spec.users.max(1)));
+
+        table
+            .push_row(Row(vec![
+                Value::Int(ts),
+                Value::Str(name),
+                Value::Float(latency),
+                Value::Str(COUNTRIES[country_idx].to_owned()),
+                Value::Str(user),
+            ]))
+            .expect("generator respects its own schema");
+    }
+    table
+}
+
+/// Configuration for [`generate_searches`].
+#[derive(Debug, Clone)]
+pub struct SearchesSpec {
+    pub rows: usize,
+    pub seed: u64,
+    pub days: usize,
+}
+
+impl SearchesSpec {
+    pub fn scaled(rows: usize) -> SearchesSpec {
+        SearchesSpec { rows, seed: 0x005e_a6c0, days: 7 }
+    }
+}
+
+/// The schema produced by [`generate_searches`].
+pub fn searches_schema() -> Schema {
+    Schema::of(&[
+        ("timestamp", DataType::Int),
+        ("country", DataType::Str),
+        ("search_string", DataType::Str),
+    ])
+}
+
+const EN_TERMS: [&str; 12] = [
+    "cat", "cheap flights", "weather", "ebay", "amazon", "news", "yellow pages", "pizza",
+    "car insurance", "maps", "hotel", "jobs",
+];
+const DE_TERMS: [&str; 12] = [
+    "auto", "billige flüge", "wetter", "ebay", "amazon", "nachrichten", "gelbe seiten",
+    "karnevalskostüme", "autoversicherung", "ab in den urlaub", "immobilienscout", "jobs",
+];
+const FR_TERMS: [&str; 12] = [
+    "voiture", "vols pas chers", "météo", "ebay", "amazon", "actualités", "pages jaunes",
+    "la redoute", "assurance auto", "voyages sncf", "chaussures", "emploi",
+];
+
+/// Generate the web-search table of the introduction's drill-down story:
+/// search terms correlate strongly with country/language.
+pub fn generate_searches(spec: &SearchesSpec) -> Table {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut table = Table::new(searches_schema());
+    let window = spec.days.max(1) as i64 * 86_400;
+    let zipf = ZipfSampler::new(EN_TERMS.len(), 1.0);
+
+    for i in 0..spec.rows {
+        let ts = LOGS_EPOCH + (i as i64 * window) / spec.rows.max(1) as i64
+            + rng.gen_range(0..=120);
+        // 50% US/GB English, 30% DE, 20% FR.
+        let (country, terms): (&str, &[&str]) = match rng.gen_range(0..10) {
+            0..=3 => ("US", &EN_TERMS),
+            4 => ("GB", &EN_TERMS),
+            5..=7 => ("DE", &DE_TERMS),
+            _ => ("FR", &FR_TERMS),
+        };
+        let term = terms[zipf.sample(&mut rng)];
+        // A third of searches add a qualifier, growing the distinct count.
+        let search = match rng.gen_range(0..3) {
+            0 => format!("{term} {}", rng.gen_range(2010..=2012)),
+            _ => term.to_owned(),
+        };
+        table
+            .push_row(Row(vec![
+                Value::Int(ts),
+                Value::Str(country.to_owned()),
+                Value::Str(search),
+            ]))
+            .expect("generator respects its own schema");
+    }
+    table
+}
+
+/// Zipf-distributed sampling over `0..n` via the inverse-CDF of
+/// precomputed cumulative weights.
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Ranks `0..n` with weight `1/(k+1)^s`.
+    pub fn new(n: usize, s: f64) -> ZipfSampler {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for k in 0..n.max(1) {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        ZipfSampler { cumulative }
+    }
+
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let target = rng.gen::<f64>() * self.cumulative.last().copied().unwrap_or(1.0);
+        self.cumulative.partition_point(|&c| c < target).min(self.cumulative.len() - 1)
+    }
+}
+
+/// (year, month, day) of `day` days after [`LOGS_EPOCH`].
+fn date_of_day(day: usize) -> (i64, u32, u32) {
+    let z = LOGS_EPOCH / 86_400 + day as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = LogsSpec::scaled(2_000);
+        let a = generate_logs(&spec);
+        let b = generate_logs(&spec);
+        assert_eq!(a, b);
+        let mut other = spec.clone();
+        other.seed += 1;
+        assert_ne!(generate_logs(&other), a);
+    }
+
+    #[test]
+    fn cardinality_profile_matches_paper() {
+        let t = generate_logs(&LogsSpec::scaled(20_000));
+        let distinct = |col: &str| -> usize {
+            t.column_by_name(col)
+                .unwrap()
+                .iter()
+                .map(|v| v.render().into_owned())
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        assert_eq!(distinct("country"), 25, "paper: exactly 25 countries");
+        let names = distinct("table_name");
+        // "a field with many distinct values": at 20K rows the profile
+        // yields thousands of names; at 5M it reaches several 100K.
+        assert!(names > 1_000, "distinct table names = {names}");
+        let latencies = distinct("latency");
+        assert!(latencies > 1_500, "latency has many distinct values: {latencies}");
+    }
+
+    #[test]
+    fn timestamps_are_implicitly_clustered() {
+        let t = generate_logs(&LogsSpec::scaled(5_000));
+        let ts = t.column_by_name("timestamp").unwrap();
+        // Row order correlates with time: a row 1000 positions later is
+        // (almost) never earlier in time.
+        let mut violations = 0;
+        for i in 0..ts.len() - 1000 {
+            if ts[i + 1000].as_int() < ts[i].as_int() {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 0);
+        // All timestamps inside the window.
+        for v in ts {
+            let x = v.as_int().unwrap();
+            assert!((LOGS_EPOCH..LOGS_EPOCH + 92 * 86_400).contains(&x));
+        }
+    }
+
+    #[test]
+    fn country_distribution_is_skewed() {
+        let t = generate_logs(&LogsSpec::scaled(20_000));
+        let mut counts = std::collections::HashMap::new();
+        for v in t.column_by_name("country").unwrap() {
+            *counts.entry(v.render().into_owned()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let min = counts.values().copied().min().unwrap();
+        assert!(max > min * 5, "zipf skew expected: max={max} min={min}");
+    }
+
+    #[test]
+    fn table_names_correlate_with_country() {
+        let t = generate_logs(&LogsSpec::scaled(20_000));
+        let countries = t.column_by_name("country").unwrap();
+        let names = t.column_by_name("table_name").unwrap();
+        let names_of = |c: &str| -> HashSet<String> {
+            countries
+                .iter()
+                .zip(names)
+                .filter(|(cc, _)| cc.as_str() == Some(c))
+                .map(|(_, n)| n.render().into_owned())
+                .collect()
+        };
+        let us = names_of("US");
+        let de = names_of("DE");
+        let overlap = us.intersection(&de).count();
+        // The rotated-slice affinity keeps the overlap well below either set.
+        assert!(
+            overlap * 3 < us.len().min(de.len()),
+            "overlap {overlap} vs US {} DE {}",
+            us.len(),
+            de.len()
+        );
+    }
+
+    #[test]
+    fn searches_have_language_correlation() {
+        let t = generate_searches(&SearchesSpec::scaled(10_000));
+        let countries = t.column_by_name("country").unwrap();
+        let searches = t.column_by_name("search_string").unwrap();
+        let mut de_auto = 0usize;
+        let mut us_auto = 0usize;
+        for (c, s) in countries.iter().zip(searches) {
+            let has_auto = s.as_str().unwrap().contains("auto");
+            match c.as_str().unwrap() {
+                "DE" if has_auto => de_auto += 1,
+                "US" if has_auto => us_auto += 1,
+                _ => {}
+            }
+        }
+        assert!(de_auto > 100, "german auto searches: {de_auto}");
+        assert_eq!(us_auto, 0, "'auto(versicherung)' is a German term here");
+    }
+
+    #[test]
+    fn zipf_sampler_is_monotone_skewed() {
+        let z = ZipfSampler::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[70]);
+        assert!(counts[0] > 10_000, "rank 0 dominates: {}", counts[0]);
+    }
+
+    #[test]
+    fn date_suffixes_lag_timestamps() {
+        // The referenced table date is at most 30 days before the query's
+        // own date (analysts reach back with a heavy tail), never after.
+        let t = generate_logs(&LogsSpec::scaled(5_000));
+        let ts = t.column_by_name("timestamp").unwrap();
+        let names = t.column_by_name("table_name").unwrap();
+        let mut lags = Vec::new();
+        for (v, n) in ts.iter().zip(names) {
+            let name = n.as_str().unwrap();
+            let Some(suffix) = name.rsplit('.').next().filter(|s| s.len() == 10 && s.contains('-'))
+            else {
+                continue;
+            };
+            let query_day = (v.as_int().unwrap() - LOGS_EPOCH) / 86_400;
+            let mut found = None;
+            for lag in 0..=query_day.min(30) {
+                let (y, m, d) = date_of_day((query_day - lag) as usize);
+                if suffix == format!("{y:04}-{m:02}-{d:02}") {
+                    found = Some(lag);
+                    break;
+                }
+            }
+            lags.push(found.unwrap_or_else(|| panic!("suffix {suffix} not within 30 days")));
+        }
+        assert!(!lags.is_empty());
+        // Heavy tail: most lags are 0, but some reach back.
+        let zeros = lags.iter().filter(|&&l| l == 0).count();
+        assert!(zeros * 4 > lags.len(), "fresh tables dominate: {zeros}/{}", lags.len());
+        assert!(lags.iter().any(|&l| l >= 5), "some queries reach back");
+    }
+}

@@ -1,0 +1,26 @@
+//! Table model, file formats and dataset generators.
+//!
+//! The paper's basic experiments (§2.5) run three queries over "5 million
+//! rows with the fields timestamp, table name, latency, and country"
+//! extracted from PowerDrill's own query logs, comparing the column-store
+//! against CSV and record-io row formats. This crate supplies all of that
+//! substrate:
+//!
+//! - [`table`] — an in-memory, column-major [`table::Table`];
+//! - [`csv`] — the CSV format (quoting, headers, type-directed parsing);
+//! - [`recordio`] — "record-io", re-implemented as a varint-framed tagged
+//!   binary row format in the spirit of protocol buffers;
+//! - [`gen`] — seeded synthetic data: [`gen::generate_logs`] reproduces the
+//!   cardinality profile of the paper's logs (25 countries, a heavy-tailed
+//!   table-name field whose distinct count grows into the hundreds of
+//!   thousands at full scale, dense timestamps, skewed latencies), and
+//!   [`gen::generate_searches`] produces the web-search table the
+//!   introduction's drill-down scenario uses.
+
+pub mod csv;
+pub mod gen;
+pub mod recordio;
+pub mod table;
+
+pub use gen::{generate_logs, generate_searches, LogsSpec, SearchesSpec};
+pub use table::Table;

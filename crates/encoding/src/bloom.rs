@@ -1,0 +1,137 @@
+//! Bloom filters over dictionary values (§5, "Further Optimizing the
+//! Global-Dictionaries").
+//!
+//! *"To further reduce the situations where a (sub-)dictionary needs to be
+//! loaded into memory, we additionally keep Bloom-filters for each
+//! dictionary. With these Bloom-filters one can quickly check whether
+//! certain values are present in a dictionary at all."*
+//!
+//! Keys are inserted as 64-bit hashes; the `k` probe positions derive from
+//! the two hash halves (Kirsch–Mitzenmacher double hashing).
+
+use pd_common::{fx_hash64, HeapSize};
+use std::hash::Hash;
+
+/// A fixed-size Bloom filter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    words: Box<[u64]>,
+    /// Number of probe positions per key.
+    k: u32,
+    /// Total bit count (power of two).
+    bits: u64,
+}
+
+impl BloomFilter {
+    /// Create a filter sized for `expected_keys` at roughly
+    /// `bits_per_key` bits each (10 bits/key ≈ 1% false positives).
+    pub fn new(expected_keys: usize, bits_per_key: usize) -> Self {
+        let bits = (expected_keys.max(1) * bits_per_key.max(1)).next_power_of_two() as u64;
+        let bits = bits.max(64);
+        // Optimal k = ln(2) * bits/keys, clamped to a sane range.
+        let k = ((bits as f64 / expected_keys.max(1) as f64) * std::f64::consts::LN_2)
+            .round()
+            .clamp(1.0, 16.0) as u32;
+        BloomFilter { words: vec![0u64; (bits / 64) as usize].into_boxed_slice(), k, bits }
+    }
+
+    /// Insert a key.
+    pub fn insert<T: Hash + ?Sized>(&mut self, key: &T) {
+        let h = fx_hash64(key);
+        let (h1, h2) = (h as u32 as u64, h >> 32);
+        for i in 0..u64::from(self.k) {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2 | 1))) & (self.bits - 1);
+            self.words[(bit / 64) as usize] |= 1 << (bit % 64);
+        }
+    }
+
+    /// May `key` be present? `false` is definitive; `true` may be a false
+    /// positive.
+    pub fn may_contain<T: Hash + ?Sized>(&self, key: &T) -> bool {
+        let h = fx_hash64(key);
+        let (h1, h2) = (h as u32 as u64, h >> 32);
+        (0..u64::from(self.k)).all(|i| {
+            let bit = (h1.wrapping_add(i.wrapping_mul(h2 | 1))) & (self.bits - 1);
+            self.words[(bit / 64) as usize] & (1 << (bit % 64)) != 0
+        })
+    }
+
+    /// Total bits in the filter.
+    pub fn bit_count(&self) -> u64 {
+        self.bits
+    }
+
+    /// Fraction of set bits — a quick saturation diagnostic.
+    pub fn fill_ratio(&self) -> f64 {
+        let ones: u64 = self.words.iter().map(|w| u64::from(w.count_ones())).sum();
+        ones as f64 / self.bits as f64
+    }
+}
+
+impl HeapSize for BloomFilter {
+    fn heap_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = BloomFilter::new(1000, 10);
+        for i in 0..1000u64 {
+            f.insert(&i);
+        }
+        for i in 0..1000u64 {
+            assert!(f.may_contain(&i), "false negative for {i}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let mut f = BloomFilter::new(10_000, 10);
+        for i in 0..10_000u64 {
+            f.insert(&i);
+        }
+        let fp = (10_000..110_000u64).filter(|i| f.may_contain(i)).count();
+        let rate = fp as f64 / 100_000.0;
+        assert!(rate < 0.05, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn string_keys() {
+        let mut f = BloomFilter::new(100, 10);
+        f.insert("la redoute");
+        f.insert("voyages sncf");
+        assert!(f.may_contain("la redoute"));
+        assert!(!f.may_contain("definitely-absent-search-term-xyz"));
+    }
+
+    #[test]
+    fn empty_filter_contains_nothing() {
+        let f = BloomFilter::new(100, 10);
+        assert!(!f.may_contain(&1u64));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fill_ratio_reflects_inserts() {
+        let mut f = BloomFilter::new(64, 8);
+        let before = f.fill_ratio();
+        for i in 0..64u64 {
+            f.insert(&i);
+        }
+        assert!(f.fill_ratio() > before);
+        assert!(f.fill_ratio() < 1.0);
+    }
+
+    #[test]
+    fn degenerate_sizes_survive() {
+        let mut f = BloomFilter::new(0, 0);
+        f.insert(&1u64);
+        assert!(f.may_contain(&1u64));
+        assert!(f.bit_count() >= 64);
+    }
+}

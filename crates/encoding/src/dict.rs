@@ -1,0 +1,736 @@
+//! Global dictionaries: all distinct values of a column, sorted, addressed
+//! by integer rank (*global-id*) — §2.3 of the paper.
+//!
+//! Lookups go both ways: `value(global_id)` when materializing query
+//! results (e.g. the top-10 strings after a group-by) and `id_of(value)`
+//! when translating literals in `WHERE` clauses into global-ids for chunk
+//! skipping.
+//!
+//! String dictionaries come in two flavours, mirroring the paper's §3
+//! optimization step: a "canonical" sorted array with binary search, and
+//! the compact 4-bit [`TrieDict`].
+
+use crate::trie::TrieDict;
+use pd_common::{DataType, Error, FxHashMap, HeapSize, Result, Value};
+use pd_compress::varint;
+
+/// Sorted array of distinct strings; rank = index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortedStrDict {
+    values: Box<[Box<str>]>,
+}
+
+impl SortedStrDict {
+    /// Build from sorted, unique strings.
+    pub fn from_sorted(values: Vec<Box<str>>) -> Result<Self> {
+        for pair in values.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(Error::Data("dictionary input must be sorted and unique".into()));
+            }
+        }
+        Ok(SortedStrDict { values: values.into_boxed_slice() })
+    }
+
+    pub fn len(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn value(&self, id: u32) -> &str {
+        &self.values[id as usize]
+    }
+
+    pub fn id_of(&self, value: &str) -> Option<u32> {
+        self.values.binary_search_by(|v| v.as_ref().cmp(value)).ok().map(|i| i as u32)
+    }
+
+    /// Rank of the first entry `>= value`.
+    pub fn lower_bound(&self, value: &str) -> u32 {
+        self.values.partition_point(|v| v.as_ref() < value) as u32
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.values.iter().map(AsRef::as_ref)
+    }
+}
+
+impl HeapSize for SortedStrDict {
+    fn heap_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<Box<str>>()
+            + self.values.iter().map(|s| s.len()).sum::<usize>()
+    }
+}
+
+/// String dictionary: sorted array ("canonical", §2.3) or trie ("OptDicts",
+/// §3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StrDict {
+    Sorted(SortedStrDict),
+    Trie(TrieDict),
+}
+
+impl StrDict {
+    pub fn len(&self) -> u32 {
+        match self {
+            StrDict::Sorted(d) => d.len(),
+            StrDict::Trie(t) => t.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn value(&self, id: u32) -> String {
+        match self {
+            StrDict::Sorted(d) => d.value(id).to_owned(),
+            StrDict::Trie(t) => t.value(id),
+        }
+    }
+
+    pub fn id_of(&self, value: &str) -> Option<u32> {
+        match self {
+            StrDict::Sorted(d) => d.id_of(value),
+            StrDict::Trie(t) => t.id_of(value),
+        }
+    }
+
+    /// Re-encode as a trie (no-op if already one).
+    pub fn to_trie(&self) -> Result<StrDict> {
+        match self {
+            StrDict::Sorted(d) => {
+                let refs: Vec<&str> = d.iter().collect();
+                Ok(StrDict::Trie(TrieDict::from_sorted(&refs)?))
+            }
+            StrDict::Trie(t) => Ok(StrDict::Trie(t.clone())),
+        }
+    }
+
+    pub fn for_each(&self, mut f: impl FnMut(u32, &str)) {
+        match self {
+            StrDict::Sorted(d) => {
+                for (id, v) in d.iter().enumerate() {
+                    f(id as u32, v);
+                }
+            }
+            StrDict::Trie(t) => t.for_each(|id, v| f(id, v)),
+        }
+    }
+}
+
+impl HeapSize for StrDict {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            StrDict::Sorted(d) => d.heap_bytes(),
+            StrDict::Trie(t) => t.heap_bytes(),
+        }
+    }
+}
+
+/// Sorted array of distinct integers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntDict {
+    values: Box<[i64]>,
+}
+
+impl IntDict {
+    pub fn from_sorted(values: Vec<i64>) -> Result<Self> {
+        for pair in values.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(Error::Data("dictionary input must be sorted and unique".into()));
+            }
+        }
+        Ok(IntDict { values: values.into_boxed_slice() })
+    }
+
+    pub fn len(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn value(&self, id: u32) -> i64 {
+        self.values[id as usize]
+    }
+
+    pub fn id_of(&self, value: i64) -> Option<u32> {
+        self.values.binary_search(&value).ok().map(|i| i as u32)
+    }
+
+    pub fn lower_bound(&self, value: i64) -> u32 {
+        self.values.partition_point(|&v| v < value) as u32
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = i64> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+impl HeapSize for IntDict {
+    fn heap_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+}
+
+/// Sorted (by total order) array of distinct floats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloatDict {
+    values: Box<[f64]>,
+}
+
+impl FloatDict {
+    pub fn from_sorted(values: Vec<f64>) -> Result<Self> {
+        for pair in values.windows(2) {
+            if pair[0].total_cmp(&pair[1]) != std::cmp::Ordering::Less {
+                return Err(Error::Data("dictionary input must be sorted and unique".into()));
+            }
+        }
+        Ok(FloatDict { values: values.into_boxed_slice() })
+    }
+
+    pub fn len(&self) -> u32 {
+        self.values.len() as u32
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    pub fn value(&self, id: u32) -> f64 {
+        self.values[id as usize]
+    }
+
+    pub fn id_of(&self, value: f64) -> Option<u32> {
+        self.values
+            .binary_search_by(|v| v.total_cmp(&value))
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    pub fn lower_bound(&self, value: f64) -> u32 {
+        self.values.partition_point(|v| v.total_cmp(&value) == std::cmp::Ordering::Less) as u32
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.values.iter().copied()
+    }
+}
+
+impl HeapSize for FloatDict {
+    fn heap_bytes(&self) -> usize {
+        self.values.len() * 8
+    }
+}
+
+/// A typed global dictionary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GlobalDict {
+    Int(IntDict),
+    Float(FloatDict),
+    Str(StrDict),
+}
+
+impl GlobalDict {
+    pub fn data_type(&self) -> DataType {
+        match self {
+            GlobalDict::Int(_) => DataType::Int,
+            GlobalDict::Float(_) => DataType::Float,
+            GlobalDict::Str(_) => DataType::Str,
+        }
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> u32 {
+        match self {
+            GlobalDict::Int(d) => d.len(),
+            GlobalDict::Float(d) => d.len(),
+            GlobalDict::Str(d) => d.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The value with rank `id`.
+    pub fn value(&self, id: u32) -> Value {
+        match self {
+            GlobalDict::Int(d) => Value::Int(d.value(id)),
+            GlobalDict::Float(d) => Value::Float(d.value(id)),
+            GlobalDict::Str(d) => Value::Str(d.value(id)),
+        }
+    }
+
+    /// Rank of `value`, if present. A type mismatch simply yields `None`
+    /// (the restriction `country = 42` matches nothing).
+    pub fn id_of(&self, value: &Value) -> Option<u32> {
+        match (self, value) {
+            (GlobalDict::Int(d), Value::Int(v)) => d.id_of(*v),
+            (GlobalDict::Int(d), Value::Float(v)) if v.fract() == 0.0 => d.id_of(*v as i64),
+            (GlobalDict::Float(d), Value::Float(v)) => d.id_of(*v),
+            (GlobalDict::Float(d), Value::Int(v)) => d.id_of(*v as f64),
+            (GlobalDict::Str(d), Value::Str(v)) => d.id_of(v),
+            _ => None,
+        }
+    }
+
+    /// Rank of the first dictionary entry `>= value` (used by range
+    /// restrictions). A type mismatch yields `None`.
+    pub fn lower_bound(&self, value: &Value) -> Option<u32> {
+        match (self, value) {
+            (GlobalDict::Int(d), Value::Int(v)) => Some(d.lower_bound(*v)),
+            (GlobalDict::Int(d), Value::Float(v)) => {
+                // First integer >= the float bound.
+                Some(d.lower_bound(v.ceil() as i64))
+            }
+            (GlobalDict::Float(d), Value::Float(v)) => Some(d.lower_bound(*v)),
+            (GlobalDict::Float(d), Value::Int(v)) => Some(d.lower_bound(*v as f64)),
+            (GlobalDict::Str(d), Value::Str(v)) => match d {
+                StrDict::Sorted(s) => Some(s.lower_bound(v)),
+                // Tries do not support rank-of-absent-value cheaply; the
+                // store keeps range-restricted fields in sorted form.
+                StrDict::Trie(_) => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Resolve a value range to the half-open global-id interval
+    /// `[lo, hi)` of matching dictionary entries.
+    ///
+    /// Because dictionaries are sorted, id order equals value order, so a
+    /// range restriction on values is a range restriction on ids — this is
+    /// what lets chunk min/max ids answer range predicates (subsuming the
+    /// min/max "small materialized aggregates" technique the paper cites).
+    ///
+    /// Bounds are `(value, inclusive)`. Returns `None` when the dictionary
+    /// cannot rank the bound (trie string dictionaries, type mismatches).
+    pub fn range_ids(
+        &self,
+        min: Option<&(Value, bool)>,
+        max: Option<&(Value, bool)>,
+    ) -> Option<(u32, u32)> {
+        let lo = match min {
+            None => 0,
+            Some((v, inclusive)) => {
+                let base = self.lower_bound(v)?;
+                if !inclusive && self.id_of(v) == Some(base) {
+                    base + 1
+                } else {
+                    base
+                }
+            }
+        };
+        let hi = match max {
+            None => self.len(),
+            Some((v, inclusive)) => {
+                let base = self.lower_bound(v)?;
+                if *inclusive && self.id_of(v) == Some(base) {
+                    base + 1
+                } else {
+                    base
+                }
+            }
+        };
+        Some((lo, hi.max(lo)))
+    }
+
+    /// Re-encode string dictionaries as tries ("OptDicts", §3). Numeric
+    /// dictionaries are untouched.
+    pub fn optimize(&self) -> Result<GlobalDict> {
+        match self {
+            GlobalDict::Str(d) => Ok(GlobalDict::Str(d.to_trie()?)),
+            other => Ok(other.clone()),
+        }
+    }
+
+    /// Serialize the dictionary contents for the compressed layer:
+    /// strings as len-prefixed bytes, integers as delta varints, floats as
+    /// little-endian bits.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            GlobalDict::Int(d) => {
+                out.push(0);
+                varint::write_u64(&mut out, u64::from(d.len()));
+                let mut prev = 0i64;
+                for v in d.iter() {
+                    varint::write_i64(&mut out, v.wrapping_sub(prev));
+                    prev = v;
+                }
+            }
+            GlobalDict::Float(d) => {
+                out.push(1);
+                varint::write_u64(&mut out, u64::from(d.len()));
+                for v in d.iter() {
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            GlobalDict::Str(d) => {
+                out.push(2);
+                varint::write_u64(&mut out, u64::from(d.len()));
+                d.for_each(|_, s| {
+                    varint::write_u64(&mut out, s.len() as u64);
+                    out.extend_from_slice(s.as_bytes());
+                });
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`GlobalDict::to_bytes`]. String dictionaries come back in
+    /// sorted-array form; call [`GlobalDict::optimize`] to restore a trie.
+    pub fn from_bytes(bytes: &[u8]) -> Result<GlobalDict> {
+        let tag = *bytes.first().ok_or_else(|| Error::Data("dict: empty buffer".into()))?;
+        let mut pos = 1;
+        let len = varint::read_u64(bytes, &mut pos)? as usize;
+        match tag {
+            0 => {
+                let mut values = Vec::with_capacity(len.min(1 << 20));
+                let mut prev = 0i64;
+                for _ in 0..len {
+                    prev = prev.wrapping_add(varint::read_i64(bytes, &mut pos)?);
+                    values.push(prev);
+                }
+                Ok(GlobalDict::Int(IntDict::from_sorted(values)?))
+            }
+            1 => {
+                let mut values = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    let raw = bytes
+                        .get(pos..pos + 8)
+                        .ok_or_else(|| Error::Data("dict: truncated float".into()))?;
+                    values.push(f64::from_le_bytes(raw.try_into().expect("8 bytes")));
+                    pos += 8;
+                }
+                Ok(GlobalDict::Float(FloatDict::from_sorted(values)?))
+            }
+            2 => {
+                let mut values = Vec::with_capacity(len.min(1 << 20));
+                for _ in 0..len {
+                    let n = varint::read_u64(bytes, &mut pos)? as usize;
+                    let raw = bytes
+                        .get(pos..pos + n)
+                        .ok_or_else(|| Error::Data("dict: truncated string".into()))?;
+                    let s = std::str::from_utf8(raw)
+                        .map_err(|_| Error::Data("dict: invalid UTF-8".into()))?;
+                    values.push(s.into());
+                    pos += n;
+                }
+                Ok(GlobalDict::Str(StrDict::Sorted(SortedStrDict::from_sorted(values)?)))
+            }
+            t => Err(Error::Data(format!("dict: unknown tag {t}"))),
+        }
+    }
+}
+
+impl HeapSize for GlobalDict {
+    fn heap_bytes(&self) -> usize {
+        match self {
+            GlobalDict::Int(d) => d.heap_bytes(),
+            GlobalDict::Float(d) => d.heap_bytes(),
+            GlobalDict::Str(d) => d.heap_bytes(),
+        }
+    }
+}
+
+/// Build a global dictionary from a raw column and map every row to its
+/// global-id.
+///
+/// This is the first half of the import pipeline of §2.3. All values must
+/// share one type; `Null` is rejected (the stores in the paper operate on
+/// denormalized, fully populated log tables).
+pub fn build_dict(values: &[Value], use_trie: bool) -> Result<(GlobalDict, Vec<u32>)> {
+    let first = values
+        .first()
+        .ok_or_else(|| Error::Data("cannot build a dictionary from an empty column".into()))?;
+    let dtype = first
+        .data_type()
+        .ok_or_else(|| Error::Data("null values are not supported in stored columns".into()))?;
+
+    match dtype {
+        DataType::Int => {
+            let mut distinct: Vec<i64> = Vec::new();
+            let mut raw: Vec<i64> = Vec::with_capacity(values.len());
+            for v in values {
+                match v {
+                    Value::Int(x) => {
+                        raw.push(*x);
+                        distinct.push(*x);
+                    }
+                    other => return Err(type_mismatch(dtype, other)),
+                }
+            }
+            distinct.sort_unstable();
+            distinct.dedup();
+            let ids = raw
+                .iter()
+                .map(|x| distinct.binary_search(x).expect("value was inserted") as u32)
+                .collect();
+            Ok((GlobalDict::Int(IntDict::from_sorted(distinct)?), ids))
+        }
+        DataType::Float => {
+            let mut distinct: Vec<f64> = Vec::new();
+            let mut raw: Vec<f64> = Vec::with_capacity(values.len());
+            for v in values {
+                match v {
+                    Value::Float(x) => {
+                        raw.push(*x);
+                        distinct.push(*x);
+                    }
+                    other => return Err(type_mismatch(dtype, other)),
+                }
+            }
+            distinct.sort_unstable_by(|a, b| a.total_cmp(b));
+            distinct.dedup_by(|a, b| a.to_bits() == b.to_bits());
+            let ids = raw
+                .iter()
+                .map(|x| {
+                    distinct
+                        .binary_search_by(|v| v.total_cmp(x))
+                        .expect("value was inserted") as u32
+                })
+                .collect();
+            Ok((GlobalDict::Float(FloatDict::from_sorted(distinct)?), ids))
+        }
+        DataType::Str => {
+            // Hash-map interning first, then rank assignment: avoids a
+            // comparison sort of every (possibly long, heavily duplicated)
+            // row value.
+            let mut intern: FxHashMap<&str, u32> = FxHashMap::default();
+            let mut order: Vec<u32> = Vec::with_capacity(values.len());
+            for v in values {
+                match v {
+                    Value::Str(s) => {
+                        let next = intern.len() as u32;
+                        let slot = *intern.entry(s.as_str()).or_insert(next);
+                        order.push(slot);
+                    }
+                    other => return Err(type_mismatch(dtype, other)),
+                }
+            }
+            let mut distinct: Vec<(&str, u32)> =
+                intern.iter().map(|(s, slot)| (*s, *slot)).collect();
+            distinct.sort_unstable_by(|a, b| a.0.cmp(b.0));
+            // slot -> rank translation.
+            let mut rank_of_slot = vec![0u32; distinct.len()];
+            for (rank, (_, slot)) in distinct.iter().enumerate() {
+                rank_of_slot[*slot as usize] = rank as u32;
+            }
+            let ids = order.iter().map(|slot| rank_of_slot[*slot as usize]).collect();
+            let sorted: Vec<Box<str>> = distinct.iter().map(|(s, _)| (*s).into()).collect();
+            let dict = if use_trie {
+                let refs: Vec<&str> = distinct.iter().map(|(s, _)| *s).collect();
+                StrDict::Trie(TrieDict::from_sorted(&refs)?)
+            } else {
+                StrDict::Sorted(SortedStrDict::from_sorted(sorted)?)
+            };
+            Ok((GlobalDict::Str(dict), ids))
+        }
+    }
+}
+
+fn type_mismatch(expected: DataType, got: &Value) -> Error {
+    Error::Type(format!(
+        "column is {expected} but found {}",
+        got.data_type().map_or_else(|| "NULL".to_owned(), |t| t.to_string())
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_dict_round_trip() {
+        let values: Vec<Value> = [5i64, 3, 5, 8, 3, 3, -1].into_iter().map(Value::Int).collect();
+        let (dict, ids) = build_dict(&values, false).unwrap();
+        assert_eq!(dict.len(), 4); // -1, 3, 5, 8
+        for (v, id) in values.iter().zip(&ids) {
+            assert_eq!(&dict.value(*id), v);
+        }
+        assert_eq!(dict.id_of(&Value::Int(8)), Some(3));
+        assert_eq!(dict.id_of(&Value::Int(99)), None);
+    }
+
+    #[test]
+    fn str_dict_round_trip_both_flavours() {
+        let values: Vec<Value> =
+            ["ebay", "amazon", "ebay", "cheap flights", "amazon"].iter().map(|s| Value::from(*s)).collect();
+        for use_trie in [false, true] {
+            let (dict, ids) = build_dict(&values, use_trie).unwrap();
+            assert_eq!(dict.len(), 3);
+            for (v, id) in values.iter().zip(&ids) {
+                assert_eq!(&dict.value(*id), v, "trie={use_trie}");
+            }
+            // Sorted ranks: amazon=0, cheap flights=1, ebay=2.
+            assert_eq!(dict.id_of(&Value::from("amazon")), Some(0));
+            assert_eq!(dict.id_of(&Value::from("ebay")), Some(2));
+        }
+    }
+
+    #[test]
+    fn float_dict_handles_total_order() {
+        let values: Vec<Value> =
+            [1.5f64, -0.0, 0.0, 1.5, f64::NAN].into_iter().map(Value::Float).collect();
+        let (dict, ids) = build_dict(&values, false).unwrap();
+        assert_eq!(dict.len(), 4); // -0.0, 0.0, 1.5, NaN
+        for (v, id) in values.iter().zip(&ids) {
+            assert_eq!(&dict.value(*id), v);
+        }
+    }
+
+    #[test]
+    fn nulls_and_mixed_types_rejected() {
+        assert!(build_dict(&[Value::Null], false).is_err());
+        assert!(build_dict(&[Value::Int(1), Value::from("x")], false).is_err());
+        assert!(build_dict(&[], false).is_err());
+    }
+
+    #[test]
+    fn id_of_type_mismatch_is_none() {
+        let (dict, _) = build_dict(&[Value::Int(1), Value::Int(2)], false).unwrap();
+        assert_eq!(dict.id_of(&Value::from("1")), None);
+    }
+
+    #[test]
+    fn float_dict_accepts_int_literals() {
+        let (dict, _) = build_dict(&[Value::Float(4.0), Value::Float(5.5)], false).unwrap();
+        assert_eq!(dict.id_of(&Value::Int(4)), Some(0));
+        assert_eq!(dict.lower_bound(&Value::Int(5)), Some(1));
+    }
+
+    #[test]
+    fn lower_bound_semantics() {
+        let (dict, _) = build_dict(
+            &[Value::Int(10), Value::Int(20), Value::Int(30)],
+            false,
+        )
+        .unwrap();
+        assert_eq!(dict.lower_bound(&Value::Int(5)), Some(0));
+        assert_eq!(dict.lower_bound(&Value::Int(20)), Some(1));
+        assert_eq!(dict.lower_bound(&Value::Int(25)), Some(2));
+        assert_eq!(dict.lower_bound(&Value::Int(99)), Some(3));
+    }
+
+    #[test]
+    fn optimize_converts_strings_only() {
+        let (s, _) = build_dict(&[Value::from("b"), Value::from("a")], false).unwrap();
+        let opt = s.optimize().unwrap();
+        assert!(matches!(opt, GlobalDict::Str(StrDict::Trie(_))));
+        assert_eq!(opt.value(0), Value::from("a"));
+
+        let (i, _) = build_dict(&[Value::Int(1)], false).unwrap();
+        assert_eq!(i.optimize().unwrap(), i);
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let cases: Vec<Vec<Value>> = vec![
+            [1i64, 5, 5, -9, 1 << 40].iter().map(|&v| Value::Int(v)).collect(),
+            [0.25f64, -1.0, 3.5].iter().map(|&v| Value::Float(v)).collect(),
+            ["x", "abc", "", "zz"].iter().map(|&v| Value::from(v)).collect(),
+        ];
+        for values in cases {
+            let (dict, _) = build_dict(&values, false).unwrap();
+            let bytes = dict.to_bytes();
+            let back = GlobalDict::from_bytes(&bytes).unwrap();
+            assert_eq!(back.len(), dict.len());
+            for id in 0..dict.len() {
+                assert_eq!(back.value(id), dict.value(id));
+            }
+        }
+    }
+
+    #[test]
+    fn trie_serialization_round_trips_via_sorted_form() {
+        let values: Vec<Value> = ["ga", "de", "fr", "de"].iter().map(|&v| Value::from(v)).collect();
+        let (dict, _) = build_dict(&values, true).unwrap();
+        let back = GlobalDict::from_bytes(&dict.to_bytes()).unwrap();
+        for id in 0..dict.len() {
+            assert_eq!(back.value(id), dict.value(id));
+        }
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        assert!(GlobalDict::from_bytes(&[]).is_err());
+        assert!(GlobalDict::from_bytes(&[7]).is_err());
+        assert!(GlobalDict::from_bytes(&[2, 1, 200]).is_err());
+    }
+
+    #[test]
+    fn range_ids_semantics() {
+        let (dict, _) = build_dict(
+            &[Value::Int(10), Value::Int(20), Value::Int(30), Value::Int(40)],
+            false,
+        )
+        .unwrap();
+        let r = |min: Option<(i64, bool)>, max: Option<(i64, bool)>| {
+            dict.range_ids(
+                min.map(|(v, i)| (Value::Int(v), i)).as_ref(),
+                max.map(|(v, i)| (Value::Int(v), i)).as_ref(),
+            )
+        };
+        assert_eq!(r(None, None), Some((0, 4)));
+        // x > 20 -> ids {2, 3}
+        assert_eq!(r(Some((20, false)), None), Some((2, 4)));
+        // x >= 20 -> ids {1, 2, 3}
+        assert_eq!(r(Some((20, true)), None), Some((1, 4)));
+        // x < 20 -> ids {0}
+        assert_eq!(r(None, Some((20, false))), Some((0, 1)));
+        // x <= 20 -> ids {0, 1}
+        assert_eq!(r(None, Some((20, true))), Some((0, 2)));
+        // Bounds between values behave identically for both flags.
+        assert_eq!(r(Some((25, false)), None), Some((2, 4)));
+        assert_eq!(r(Some((25, true)), None), Some((2, 4)));
+        // Empty intersections clamp to an empty interval.
+        assert_eq!(r(Some((35, true)), Some((15, true))), Some((3, 3)));
+    }
+
+    #[test]
+    fn range_ids_float_bounds_on_int_dict() {
+        let (dict, _) =
+            build_dict(&[Value::Int(10), Value::Int(20), Value::Int(30)], false).unwrap();
+        // x > 19.5 -> first int >= 20 (exclusive flag irrelevant: 19.5 not present)
+        let r = dict.range_ids(Some(&(Value::Float(19.5), false)), None);
+        assert_eq!(r, Some((1, 3)));
+        // x > 20.0 must exclude 20 itself.
+        let r = dict.range_ids(Some(&(Value::Float(20.0), false)), None);
+        assert_eq!(r, Some((2, 3)));
+        // x >= 20.0 includes it.
+        let r = dict.range_ids(Some(&(Value::Float(20.0), true)), None);
+        assert_eq!(r, Some((1, 3)));
+    }
+
+    #[test]
+    fn range_ids_unsupported_on_tries() {
+        let (dict, _) = build_dict(&[Value::from("a"), Value::from("b")], true).unwrap();
+        assert_eq!(dict.range_ids(Some(&(Value::from("a"), true)), None), None);
+        // Sorted string dictionaries support ranges.
+        let (sorted, _) = build_dict(&[Value::from("a"), Value::from("b")], false).unwrap();
+        assert_eq!(sorted.range_ids(Some(&(Value::from("b"), true)), None), Some((1, 2)));
+    }
+
+    #[test]
+    fn trie_and_sorted_agree_on_large_dict() {
+        let values: Vec<Value> = (0..3000)
+            .map(|i| Value::from(format!("logs.service_{}.2011-{:02}-{:02}", i % 83, i % 12 + 1, i % 28 + 1)))
+            .collect();
+        let (sorted, ids_a) = build_dict(&values, false).unwrap();
+        let (trie, ids_b) = build_dict(&values, true).unwrap();
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(sorted.len(), trie.len());
+        for id in (0..sorted.len()).step_by(97) {
+            assert_eq!(sorted.value(id), trie.value(id));
+        }
+        for v in values.iter().step_by(131) {
+            assert_eq!(sorted.id_of(v), trie.id_of(v));
+        }
+    }
+}

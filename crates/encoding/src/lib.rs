@@ -1,0 +1,33 @@
+//! Dictionary and element encodings — the paper's "basic data-structures"
+//! (§2.3) and their "key optimizations" (§3, §5).
+//!
+//! A stored column is represented doubly indirectly:
+//!
+//! 1. a **global dictionary** ([`GlobalDict`]) holds every distinct value of
+//!    the column, sorted, addressable by integer rank (*global-id*);
+//! 2. per chunk, a **chunk dictionary** ([`ChunkDict`]) maps the global-ids
+//!    occurring in that chunk to dense *chunk-ids* `0..n`;
+//! 3. the actual cell values are an array of chunk-ids per chunk — the
+//!    **elements** ([`Elements`]), stored with 0 bits (one distinct value),
+//!    a bit-set (two values), or 1/2/4 bytes per id depending on `n`.
+//!
+//! On top of that sit the §3/§5 optimizations: the hand-crafted 4-bit
+//! [`trie`] encoding for string dictionaries, [`bloom`] filters and
+//! [`subdict`] splitting so that queries touching few chunks load few
+//! dictionary bytes, and [`packed`] bit-packing used by ablation benches.
+
+pub mod bloom;
+pub mod chunk_dict;
+pub mod dict;
+pub mod elements;
+pub mod packed;
+pub mod subdict;
+pub mod trie;
+
+pub use bloom::BloomFilter;
+pub use chunk_dict::ChunkDict;
+pub use dict::{build_dict, FloatDict, GlobalDict, IntDict, SortedStrDict, StrDict};
+pub use elements::{Elements, ElementsMode};
+pub use packed::PackedInts;
+pub use subdict::{SubDictIndex, SubDictLayout};
+pub use trie::TrieDict;

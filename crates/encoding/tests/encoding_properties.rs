@@ -1,0 +1,111 @@
+//! Property tests for the dictionary / element / trie invariants.
+
+use pd_encoding::{build_dict, ChunkDict, Elements, ElementsMode, PackedInts, TrieDict};
+use proptest::prelude::*;
+use pd_common::Value;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The double indirection must reconstruct the original column exactly:
+    /// dict(ids[row]) == values[row] (§2.3's "synchronously iterating").
+    #[test]
+    fn dict_ids_reconstruct_column(
+        raw in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..200),
+        use_trie in any::<bool>(),
+    ) {
+        let values: Vec<Value> = raw
+            .iter()
+            .map(|bytes| Value::from(String::from_utf8_lossy(bytes).into_owned()))
+            .collect();
+        let (dict, ids) = build_dict(&values, use_trie).unwrap();
+        prop_assert_eq!(ids.len(), values.len());
+        for (v, &id) in values.iter().zip(&ids) {
+            prop_assert_eq!(&dict.value(id), v);
+            prop_assert_eq!(dict.id_of(v), Some(id));
+        }
+        // Ranks are dense and the dictionary is sorted.
+        for id in 1..dict.len() {
+            prop_assert!(dict.value(id - 1) < dict.value(id));
+        }
+    }
+
+    #[test]
+    fn int_dict_reconstructs_column(values in proptest::collection::vec(any::<i64>(), 1..300)) {
+        let col: Vec<Value> = values.iter().map(|&v| Value::Int(v)).collect();
+        let (dict, ids) = build_dict(&col, false).unwrap();
+        for (v, &id) in col.iter().zip(&ids) {
+            prop_assert_eq!(&dict.value(id), v);
+        }
+    }
+
+    /// Trie and sorted array are two encodings of the same mapping.
+    #[test]
+    fn trie_is_equivalent_to_sorted_array(
+        raw in proptest::collection::hash_set("[a-z]{0,10}", 1..100),
+    ) {
+        let mut sorted: Vec<&str> = raw.iter().map(String::as_str).collect();
+        sorted.sort_unstable();
+        let trie = TrieDict::from_sorted(&sorted).unwrap();
+        prop_assert_eq!(trie.len() as usize, sorted.len());
+        for (rank, s) in sorted.iter().enumerate() {
+            prop_assert_eq!(trie.id_of(s), Some(rank as u32));
+            prop_assert_eq!(trie.value(rank as u32), *s);
+        }
+        // Probes for absent values return None.
+        for s in ["zzzz-absent", "", "a-"] {
+            if !raw.contains(s) {
+                prop_assert_eq!(trie.id_of(s), None);
+            }
+        }
+    }
+
+    /// Elements encodings are lossless for every representation the ladder
+    /// can pick, and serialization round-trips.
+    #[test]
+    fn elements_encodings_are_lossless(
+        distinct in 1u32..70_000,
+        len in 0usize..400,
+    ) {
+        let ids: Vec<u32> = (0..len).map(|i| (i as u32).wrapping_mul(2654435761) % distinct).collect();
+        for mode in [ElementsMode::Basic, ElementsMode::Optimized] {
+            let e = Elements::encode(&ids, distinct, mode);
+            prop_assert_eq!(e.len(), len);
+            let back: Vec<u32> = e.iter().collect();
+            prop_assert_eq!(&back, &ids);
+            let decoded = Elements::from_bytes(&e.to_bytes()).unwrap();
+            prop_assert_eq!(decoded, e);
+        }
+    }
+
+    /// Chunk dictionary membership agrees with a naive set check.
+    #[test]
+    fn chunk_dict_membership(
+        mut ids in proptest::collection::vec(any::<u32>(), 0..200),
+        probes in proptest::collection::vec(any::<u32>(), 0..50),
+    ) {
+        ids.sort_unstable();
+        ids.dedup();
+        let dict = ChunkDict::from_sorted(ids.clone()).unwrap();
+        let set: std::collections::HashSet<u32> = ids.iter().copied().collect();
+        for &p in &probes {
+            prop_assert_eq!(dict.chunk_id_of(p).is_some(), set.contains(&p));
+        }
+        let mut sorted_probes = probes.clone();
+        sorted_probes.sort_unstable();
+        sorted_probes.dedup();
+        prop_assert_eq!(
+            dict.contains_any(&sorted_probes),
+            sorted_probes.iter().any(|p| set.contains(p))
+        );
+        let back = ChunkDict::from_bytes(&dict.to_bytes()).unwrap();
+        prop_assert_eq!(back, dict);
+    }
+
+    #[test]
+    fn packed_ints_round_trip(values in proptest::collection::vec(any::<u32>(), 0..500)) {
+        let p: PackedInts = values.iter().copied().collect();
+        let back: Vec<u32> = p.iter().collect();
+        prop_assert_eq!(back, values);
+    }
+}

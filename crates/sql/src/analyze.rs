@@ -1,0 +1,354 @@
+//! Semantic analysis: from a parsed [`Query`] to an executable shape.
+//!
+//! The engine executes *group-by queries*: zero or more group keys (scalar
+//! expressions, possibly materialized virtual fields) plus one or more
+//! aggregates. Analysis resolves aliases (the paper's Query 2 groups by the
+//! alias `date`), checks that non-aggregate select items appear in
+//! `GROUP BY`, maps `ORDER BY` onto output columns, and extracts the
+//! [`Restriction`] tree that drives chunk skipping.
+
+use crate::ast::*;
+use crate::restriction::Restriction;
+use pd_common::{Error, Result};
+
+/// Where an output column comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputCol {
+    /// `keys[i]`.
+    Key(usize),
+    /// `aggs[i]`.
+    Agg(usize),
+}
+
+/// An analyzed, executable query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalyzedQuery {
+    /// Source table (None when the query reads a `UNION ALL` of
+    /// sub-queries, as the distributed rewrite produces).
+    pub table: Option<String>,
+    /// Group-by key expressions (aliases resolved).
+    pub keys: Vec<Expr>,
+    /// Aggregates, in select-list order.
+    pub aggs: Vec<AggExpr>,
+    /// Output columns: `(name, source)` in select-list order.
+    pub output: Vec<(String, OutputCol)>,
+    /// Full row-level filter (`WHERE`), if any.
+    pub filter: Option<Expr>,
+    /// The same filter normalized for chunk skipping.
+    pub restriction: Restriction,
+    /// `HAVING`, rewritten to reference output column names.
+    pub having: Option<Expr>,
+    /// `(output column index, descending)` sort keys.
+    pub order_by: Vec<(usize, bool)>,
+    pub limit: Option<usize>,
+}
+
+impl AnalyzedQuery {
+    /// Names of the output columns, in order.
+    pub fn output_names(&self) -> Vec<String> {
+        self.output.iter().map(|(n, _)| n.clone()).collect()
+    }
+}
+
+/// Analyze a parsed query.
+pub fn analyze(query: &Query) -> Result<AnalyzedQuery> {
+    let table = match &query.from {
+        TableRef::Table(name) => Some(name.clone()),
+        TableRef::UnionAll(_) => None,
+    };
+
+    // Alias → scalar expression (aggregate aliases resolve to the aggregate
+    // itself, handled separately below).
+    let scalar_alias = |name: &str| -> Option<&Expr> {
+        query.select.iter().find_map(|item| match (&item.alias, &item.expr) {
+            (Some(a), SelectExpr::Scalar(e)) if a == name => Some(e),
+            _ => None,
+        })
+    };
+
+    // Resolve GROUP BY entries: a bare column that names an alias means the
+    // aliased expression (paper Query 2: `GROUP BY date`).
+    let mut keys: Vec<Expr> = Vec::with_capacity(query.group_by.len());
+    for g in &query.group_by {
+        let resolved = match g.as_column() {
+            Some(name) => scalar_alias(name).cloned().unwrap_or_else(|| g.clone()),
+            None => g.clone(),
+        };
+        if !keys.contains(&resolved) {
+            keys.push(resolved);
+        }
+    }
+
+    // Select list → outputs.
+    let mut aggs: Vec<AggExpr> = Vec::new();
+    let mut output: Vec<(String, OutputCol)> = Vec::with_capacity(query.select.len());
+    for item in &query.select {
+        let name = item.output_name();
+        if output.iter().any(|(n, _)| *n == name) {
+            return Err(Error::Schema(format!("duplicate output column `{name}`")));
+        }
+        match &item.expr {
+            SelectExpr::Aggregate(a) => {
+                aggs.push(a.clone());
+                output.push((name, OutputCol::Agg(aggs.len() - 1)));
+            }
+            SelectExpr::Scalar(e) => {
+                let idx = keys.iter().position(|k| k == e).ok_or_else(|| {
+                    Error::Schema(format!(
+                        "select expression `{e}` must appear in GROUP BY (keys: {})",
+                        keys.iter().map(|k| k.to_string()).collect::<Vec<_>>().join(", ")
+                    ))
+                })?;
+                output.push((name, OutputCol::Key(idx)));
+            }
+        }
+    }
+    if aggs.is_empty() && keys.is_empty() {
+        return Err(Error::Unsupported(
+            "queries must aggregate or group (plain projections are outside the engine's SQL subset)"
+                .into(),
+        ));
+    }
+
+    // ORDER BY → output column indices.
+    let mut order_by = Vec::with_capacity(query.order_by.len());
+    for key in &query.order_by {
+        let idx = resolve_output(&key.expr, query, &output)?;
+        order_by.push((idx, key.desc));
+    }
+
+    // HAVING → expression over output column names.
+    let having = match &query.having {
+        None => None,
+        Some(h) => Some(rewrite_having(h, query, &output)?),
+    };
+
+    let restriction = query
+        .where_clause
+        .as_ref()
+        .map_or(Restriction::True, Restriction::from_expr);
+
+    Ok(AnalyzedQuery {
+        table,
+        keys,
+        aggs,
+        output,
+        filter: query.where_clause.clone(),
+        restriction,
+        having,
+        order_by,
+        limit: query.limit,
+    })
+}
+
+/// Find the output column an ORDER BY / HAVING expression refers to: by
+/// alias, by structural match with a select item, or by matching an
+/// aggregate call like `count(*)`.
+fn resolve_output(
+    expr: &Expr,
+    query: &Query,
+    output: &[(String, OutputCol)],
+) -> Result<usize> {
+    // 1. Alias or output-name match.
+    if let Some(name) = expr.as_column() {
+        if let Some(idx) = output.iter().position(|(n, _)| n == name) {
+            return Ok(idx);
+        }
+    }
+    // 2. Structural match against select expressions.
+    for (idx, item) in query.select.iter().enumerate() {
+        let matches = match &item.expr {
+            SelectExpr::Scalar(e) => e == expr,
+            SelectExpr::Aggregate(a) => expr_matches_agg(expr, a),
+        };
+        if matches {
+            return Ok(idx);
+        }
+    }
+    Err(Error::Schema(format!("ORDER BY / HAVING expression `{expr}` does not match any output column")))
+}
+
+/// Does `count(*)`-style call expression denote aggregate `a`?
+fn expr_matches_agg(expr: &Expr, a: &AggExpr) -> bool {
+    let Expr::Call { name, args } = expr else {
+        return false;
+    };
+    let func = match name.as_str() {
+        "count" => AggFunc::Count,
+        "sum" => AggFunc::Sum,
+        "min" => AggFunc::Min,
+        "max" => AggFunc::Max,
+        "avg" => AggFunc::Avg,
+        _ => return false,
+    };
+    if func != a.func || a.distinct {
+        return false;
+    }
+    match (&a.arg, args.as_slice()) {
+        (None, [Expr::Column(star)]) => star == "*",
+        (Some(arg), [e]) => arg == e,
+        _ => false,
+    }
+}
+
+/// Rewrite a HAVING expression so every reference to a select item becomes
+/// a bare `Column(output_name)` the executor can resolve against result
+/// rows.
+fn rewrite_having(expr: &Expr, query: &Query, output: &[(String, OutputCol)]) -> Result<Expr> {
+    if let Ok(idx) = resolve_output(expr, query, output) {
+        return Ok(Expr::Column(output[idx].0.clone()));
+    }
+    Ok(match expr {
+        Expr::Column(_) | Expr::Literal(_) => expr.clone(),
+        Expr::Call { name, args } => Expr::Call {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| rewrite_having(a, query, output))
+                .collect::<Result<_>>()?,
+        },
+        Expr::Unary { op, expr: inner } => Expr::Unary {
+            op: *op,
+            expr: Box::new(rewrite_having(inner, query, output)?),
+        },
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op: *op,
+            lhs: Box::new(rewrite_having(lhs, query, output)?),
+            rhs: Box::new(rewrite_having(rhs, query, output)?),
+        },
+        Expr::InList { expr: inner, list, negated } => Expr::InList {
+            expr: Box::new(rewrite_having(inner, query, output)?),
+            list: list
+                .iter()
+                .map(|e| rewrite_having(e, query, output))
+                .collect::<Result<_>>()?,
+            negated: *negated,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn analyzed(sql: &str) -> AnalyzedQuery {
+        analyze(&parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn query1_shape() {
+        let a = analyzed(
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10;",
+        );
+        assert_eq!(a.table.as_deref(), Some("data"));
+        assert_eq!(a.keys, vec![Expr::column("country")]);
+        assert_eq!(a.aggs, vec![AggExpr::count_star()]);
+        assert_eq!(a.output[0], ("country".into(), OutputCol::Key(0)));
+        assert_eq!(a.output[1], ("c".into(), OutputCol::Agg(0)));
+        assert_eq!(a.order_by, vec![(1, true)]);
+        assert_eq!(a.limit, Some(10));
+    }
+
+    #[test]
+    fn query2_alias_resolution() {
+        let a = analyzed(
+            "SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data
+             GROUP BY date ORDER BY date ASC LIMIT 10;",
+        );
+        // GROUP BY date resolves to the aliased expression.
+        assert_eq!(a.keys, vec![Expr::call("date", vec![Expr::column("timestamp")])]);
+        assert_eq!(a.aggs.len(), 2);
+        assert_eq!(a.order_by, vec![(0, false)]);
+        assert_eq!(
+            a.output_names(),
+            vec!["date".to_owned(), "COUNT(*)".to_owned(), "SUM(latency)".to_owned()]
+        );
+    }
+
+    #[test]
+    fn global_aggregation_without_group_by() {
+        let a = analyzed("SELECT COUNT(*), SUM(latency) FROM data WHERE country = 'DE'");
+        assert!(a.keys.is_empty());
+        assert_eq!(a.aggs.len(), 2);
+        assert!(matches!(a.restriction, Restriction::In { .. }));
+    }
+
+    #[test]
+    fn ungrouped_scalar_rejected() {
+        let err = analyze(&parse_query("SELECT country, COUNT(*) FROM data").unwrap()).unwrap_err();
+        assert!(err.to_string().contains("GROUP BY"));
+    }
+
+    #[test]
+    fn plain_projection_rejected() {
+        let err = analyze(&parse_query("SELECT country FROM data").unwrap());
+        // `SELECT country FROM data` without GROUP BY: country isn't in any
+        // group key list.
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn order_by_structural_match() {
+        let a = analyzed(
+            "SELECT country, COUNT(*) FROM data GROUP BY country ORDER BY COUNT(*) DESC",
+        );
+        assert_eq!(a.order_by, vec![(1, true)]);
+        let a = analyzed(
+            "SELECT date(timestamp) FROM data GROUP BY date(timestamp) ORDER BY date(timestamp)",
+        );
+        assert_eq!(a.order_by, vec![(0, false)]);
+    }
+
+    #[test]
+    fn order_by_unknown_rejected() {
+        let err =
+            analyze(&parse_query("SELECT country, COUNT(*) c FROM data GROUP BY country ORDER BY zz").unwrap());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn having_rewrites_aggregates_to_output_names() {
+        let a = analyzed(
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country HAVING COUNT(*) > 5",
+        );
+        assert_eq!(
+            a.having.unwrap().to_string(),
+            "(c > 5)",
+            "HAVING must reference the output column"
+        );
+        let a = analyzed("SELECT country, COUNT(*) as c FROM data GROUP BY country HAVING c > 5 AND country != 'ZZ'");
+        assert_eq!(a.having.unwrap().to_string(), r#"((c > 5) AND (country != "ZZ"))"#);
+    }
+
+    #[test]
+    fn duplicate_output_names_rejected() {
+        let err = analyze(
+            &parse_query("SELECT country, country FROM data GROUP BY country").unwrap(),
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn union_all_from_has_no_table() {
+        let a = analyzed(
+            "SELECT a, SUM(x) FROM
+               ((SELECT a, SUM(x) as x FROM S1 GROUP BY a)
+                UNION ALL
+                (SELECT a, SUM(x) as x FROM S2 GROUP BY a))
+             GROUP BY a;",
+        );
+        assert_eq!(a.table, None);
+    }
+
+    #[test]
+    fn restriction_extracted() {
+        let a = analyzed(
+            r#"SELECT search_string, COUNT(*) as c FROM data
+               WHERE search_string IN ("la redoute", "voyages sncf")
+               GROUP BY search_string"#,
+        );
+        assert!(matches!(a.restriction, Restriction::In { ref values, .. } if values.len() == 2));
+        assert!(a.filter.is_some());
+    }
+}

@@ -1,0 +1,288 @@
+//! Tokenizer for the SQL subset.
+
+use pd_common::{Error, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognized case-insensitively by
+    /// the parser).
+    Ident(String),
+    /// String literal: `'...'` or `"..."` with backslash escapes.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    LParen,
+    RParen,
+    Comma,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+impl Token {
+    /// Does this token equal keyword `kw` (case-insensitive)?
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize `input`; returns the token list (without EOF marker).
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            b'+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            b'-' => {
+                // `--` starts a comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            b'/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+                // tolerate `==`
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(Error::Parse(format!("unexpected `!` at byte {i}")));
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            b'\'' | b'"' => {
+                let quote = c;
+                let mut out = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::Parse("unterminated string literal".into())),
+                        Some(&b) if b == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b'\\') => {
+                            // The escaped character may be multi-byte;
+                            // consume a full UTF-8 scalar.
+                            let ch = input[i + 1..]
+                                .chars()
+                                .next()
+                                .ok_or_else(|| Error::Parse("dangling escape".into()))?;
+                            out.push(match ch {
+                                'n' => '\n',
+                                't' => '\t',
+                                'r' => '\r',
+                                other => other,
+                            });
+                            i += 1 + ch.len_utf8();
+                        }
+                        Some(_) => {
+                            // Consume a full UTF-8 scalar.
+                            let rest = &input[i..];
+                            let ch = rest.chars().next().expect("non-empty");
+                            out.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token::Str(out));
+            }
+            b'0'..=b'9' | b'.' => {
+                let start = i;
+                let mut saw_dot = false;
+                let mut saw_exp = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' => i += 1,
+                        b'.' if !saw_dot && !saw_exp => {
+                            saw_dot = true;
+                            i += 1;
+                        }
+                        b'e' | b'E' if !saw_exp && i > start => {
+                            saw_exp = true;
+                            i += 1;
+                            if matches!(bytes.get(i), Some(b'+') | Some(b'-')) {
+                                i += 1;
+                            }
+                        }
+                        _ => break,
+                    }
+                }
+                let text = &input[start..i];
+                if text == "." {
+                    return Err(Error::Parse("lone `.` is not a number".into()));
+                }
+                if saw_dot || saw_exp {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad float literal `{text}`")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| Error::Parse(format!("bad integer literal `{text}`")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i], b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'_' | b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_owned()));
+            }
+            other => {
+                return Err(Error::Parse(format!(
+                    "unexpected character `{}` at byte {i}",
+                    other as char
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_the_paper_query() {
+        let toks = tokenize(
+            r#"SELECT search_string, COUNT(*) as c FROM data
+               WHERE search_string IN ("la redoute", "voyages sncf")
+               GROUP BY search_string ORDER BY c DESC LIMIT 10;"#,
+        )
+        .unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Str("la redoute".into())));
+        assert!(toks.contains(&Token::Int(10)));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn numbers_int_float_exponent() {
+        assert_eq!(tokenize("42").unwrap(), vec![Token::Int(42)]);
+        assert_eq!(tokenize("4.25").unwrap(), vec![Token::Float(4.25)]);
+        assert_eq!(tokenize("1e3").unwrap(), vec![Token::Float(1000.0)]);
+        assert_eq!(tokenize("2.5E-2").unwrap(), vec![Token::Float(0.025)]);
+    }
+
+    #[test]
+    fn operators_and_comparisons() {
+        let toks = tokenize("a <= b >= c != d <> e = f < g > h").unwrap();
+        let ops: Vec<&Token> = toks.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
+        assert_eq!(
+            ops,
+            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Eq, &Token::Lt, &Token::Gt]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_quotes() {
+        assert_eq!(tokenize(r#"'it\'s'"#).unwrap(), vec![Token::Str("it's".into())]);
+        assert_eq!(tokenize(r#""tab\there""#).unwrap(), vec![Token::Str("tab\there".into())]);
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("SELECT -- top ten\n c").unwrap();
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn dotted_identifiers_allowed() {
+        // Table names in the logs look like `logs.powerdrill.queries`.
+        let toks = tokenize("logs.powerdrill.queries").unwrap();
+        assert_eq!(toks, vec![Token::Ident("logs.powerdrill.queries".into())]);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(
+            tokenize("'karnevalskostüme'").unwrap(),
+            vec![Token::Str("karnevalskostüme".into())]
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(tokenize("SELECT @x").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+}

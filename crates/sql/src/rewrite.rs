@@ -1,0 +1,331 @@
+//! The §4 two-level rewrite for distributed execution.
+//!
+//! *"we rewrite the query to:*
+//! ```sql
+//! SELECT a, SUM(x) FROM
+//!   (SELECT a, SUM(x) as x FROM S1 GROUP BY a)
+//!   UNION ALL
+//!   (SELECT a, SUM(x) as x FROM S2 GROUP BY a)
+//! GROUP BY a;
+//! ```
+//! *This rewrite can be applied recursively, to support deeper trees. The
+//! servers at the leaf level execute 'where' clauses and the root executes
+//! any 'having' statements."*
+//!
+//! [`distributed_plan`] produces the leaf query each shard runs, the merge
+//! recipe combining leaf outputs at every inner tree level, and the
+//! displayable two-level SQL. `AVG` is decomposed into `SUM` + `COUNT`
+//! ("if aggregations can be expressed by such associative ones"),
+//! `COUNT(*)` merges by `SUM`, and `COUNT(DISTINCT ...)` is flagged for the
+//! §5 sketch-merging path, since *"we cannot support count distinct by
+//! that"*.
+
+use crate::analyze::{analyze, OutputCol};
+use crate::ast::*;
+use pd_common::{Error, Result};
+
+/// How the root combines one final output column from leaf columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeOp {
+    /// Leaf column `i` is a group key: values pass through.
+    Key(usize),
+    /// Sum leaf column `i` (COUNT and SUM merge this way).
+    Sum(usize),
+    Min(usize),
+    Max(usize),
+    /// `AVG = SUM(sum_col) / SUM(count_col)`.
+    AvgFromSumCount { sum: usize, count: usize },
+    /// Leaf column `i` carries a count-distinct sketch; union the sketches
+    /// and read off the estimate (§5).
+    SketchMerge(usize),
+}
+
+/// A distributed execution plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedPlan {
+    /// The query each leaf (shard) executes: keys + partial aggregates,
+    /// with the WHERE clause, without HAVING/ORDER/LIMIT.
+    pub leaf: Query,
+    /// Leaf column indices holding group keys.
+    pub key_cols: Vec<usize>,
+    /// For each *final* output column (in the original select order): its
+    /// name and merge recipe over leaf columns.
+    pub merge: Vec<(String, MergeOp)>,
+    /// Root-level HAVING over final output names.
+    pub having: Option<Expr>,
+    /// Root-level ordering over final output columns.
+    pub order_by: Vec<(usize, bool)>,
+    pub limit: Option<usize>,
+}
+
+impl DistributedPlan {
+    /// Render the paper-style two-level SQL over `n_shards` symbolic shard
+    /// tables `S1..Sn` (for display and tests; execution merges partial
+    /// states directly).
+    pub fn two_level_sql(&self, n_shards: usize) -> Query {
+        let members: Vec<Query> = (1..=n_shards)
+            .map(|i| {
+                let mut leaf = self.leaf.clone();
+                leaf.from = TableRef::Table(format!("S{i}"));
+                leaf
+            })
+            .collect();
+        let leaf_names: Vec<String> = self.leaf.select.iter().map(SelectItem::output_name).collect();
+        let select = self
+            .merge
+            .iter()
+            .enumerate()
+            .map(|(idx, (name, op))| {
+                let expr = match op {
+                    MergeOp::Key(i) => SelectExpr::Scalar(Expr::column(leaf_names[*i].clone())),
+                    MergeOp::Sum(i) | MergeOp::SketchMerge(i) => SelectExpr::Aggregate(AggExpr {
+                        func: AggFunc::Sum,
+                        arg: Some(Expr::column(leaf_names[*i].clone())),
+                        distinct: false,
+                    }),
+                    MergeOp::Min(i) => SelectExpr::Aggregate(AggExpr {
+                        func: AggFunc::Min,
+                        arg: Some(Expr::column(leaf_names[*i].clone())),
+                        distinct: false,
+                    }),
+                    MergeOp::Max(i) => SelectExpr::Aggregate(AggExpr {
+                        func: AggFunc::Max,
+                        arg: Some(Expr::column(leaf_names[*i].clone())),
+                        distinct: false,
+                    }),
+                    MergeOp::AvgFromSumCount { sum, count } => {
+                        SelectExpr::Scalar(Expr::binary(
+                            BinaryOp::Div,
+                            Expr::call(
+                                "sum",
+                                vec![Expr::column(leaf_names[*sum].clone())],
+                            ),
+                            Expr::call(
+                                "sum",
+                                vec![Expr::column(leaf_names[*count].clone())],
+                            ),
+                        ))
+                    }
+                };
+                // Output names like `SUM(x)` are not valid identifiers;
+                // rendered SQL gets a sanitized alias instead.
+                let alias = if is_identifier(name) { name.clone() } else { format!("col{idx}") };
+                SelectItem { expr, alias: Some(alias) }
+            })
+            .collect();
+        Query {
+            select,
+            from: TableRef::UnionAll(members),
+            where_clause: None,
+            group_by: self.key_cols.iter().map(|i| Expr::column(leaf_names[*i].clone())).collect(),
+            having: self.having.clone(),
+            order_by: self
+                .order_by
+                .iter()
+                .map(|(idx, desc)| OrderKey {
+                    expr: Expr::column(self.merge[*idx].0.clone()),
+                    desc: *desc,
+                })
+                .collect(),
+            limit: self.limit,
+        }
+    }
+}
+
+fn is_identifier(name: &str) -> bool {
+    let mut chars = name.chars();
+    chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Build the distributed plan for a query.
+pub fn distributed_plan(query: &Query) -> Result<DistributedPlan> {
+    let analyzed = analyze(query)?;
+    let Some(_) = analyzed.table else {
+        return Err(Error::Unsupported(
+            "cannot distribute a query that already reads a UNION ALL".into(),
+        ));
+    };
+
+    // Leaf select list: group keys first, then partial aggregates.
+    let mut leaf_select: Vec<SelectItem> = Vec::new();
+    for (i, key) in analyzed.keys.iter().enumerate() {
+        leaf_select.push(SelectItem {
+            expr: SelectExpr::Scalar(key.clone()),
+            alias: Some(format!("k{i}")),
+        });
+    }
+    let key_cols: Vec<usize> = (0..analyzed.keys.len()).collect();
+
+    // For each aggregate, append partial columns and record the merge op.
+    let mut agg_merge: Vec<MergeOp> = Vec::with_capacity(analyzed.aggs.len());
+    for (i, agg) in analyzed.aggs.iter().enumerate() {
+        if agg.distinct {
+            leaf_select.push(SelectItem {
+                expr: SelectExpr::Aggregate(agg.clone()),
+                alias: Some(format!("a{i}_sketch")),
+            });
+            agg_merge.push(MergeOp::SketchMerge(leaf_select.len() - 1));
+            continue;
+        }
+        match agg.func {
+            AggFunc::Count | AggFunc::Sum => {
+                leaf_select.push(SelectItem {
+                    expr: SelectExpr::Aggregate(agg.clone()),
+                    alias: Some(format!("a{i}")),
+                });
+                agg_merge.push(MergeOp::Sum(leaf_select.len() - 1));
+            }
+            AggFunc::Min => {
+                leaf_select.push(SelectItem {
+                    expr: SelectExpr::Aggregate(agg.clone()),
+                    alias: Some(format!("a{i}")),
+                });
+                agg_merge.push(MergeOp::Min(leaf_select.len() - 1));
+            }
+            AggFunc::Max => {
+                leaf_select.push(SelectItem {
+                    expr: SelectExpr::Aggregate(agg.clone()),
+                    alias: Some(format!("a{i}")),
+                });
+                agg_merge.push(MergeOp::Max(leaf_select.len() - 1));
+            }
+            AggFunc::Avg => {
+                // AVG(x) = SUM(SUM(x)) / SUM(COUNT(x)).
+                let arg = agg.arg.clone().ok_or_else(|| {
+                    Error::Internal("AVG without argument survived parsing".into())
+                })?;
+                leaf_select.push(SelectItem {
+                    expr: SelectExpr::Aggregate(AggExpr {
+                        func: AggFunc::Sum,
+                        arg: Some(arg.clone()),
+                        distinct: false,
+                    }),
+                    alias: Some(format!("a{i}_sum")),
+                });
+                let sum = leaf_select.len() - 1;
+                leaf_select.push(SelectItem {
+                    expr: SelectExpr::Aggregate(AggExpr {
+                        func: AggFunc::Count,
+                        arg: Some(arg),
+                        distinct: false,
+                    }),
+                    alias: Some(format!("a{i}_cnt")),
+                });
+                agg_merge.push(MergeOp::AvgFromSumCount { sum, count: leaf_select.len() - 1 });
+            }
+        }
+    }
+
+    let leaf = Query {
+        select: leaf_select,
+        from: query.from.clone(),
+        where_clause: query.where_clause.clone(),
+        group_by: analyzed.keys.clone(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    };
+
+    // Final output columns in original order.
+    let merge: Vec<(String, MergeOp)> = analyzed
+        .output
+        .iter()
+        .map(|(name, src)| {
+            let op = match src {
+                OutputCol::Key(k) => MergeOp::Key(*k),
+                OutputCol::Agg(a) => agg_merge[*a].clone(),
+            };
+            (name.clone(), op)
+        })
+        .collect();
+
+    Ok(DistributedPlan {
+        leaf,
+        key_cols,
+        merge,
+        having: analyzed.having.clone(),
+        order_by: analyzed.order_by.clone(),
+        limit: analyzed.limit,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    fn plan(sql: &str) -> DistributedPlan {
+        distributed_plan(&parse_query(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_section4_example() {
+        let p = plan("SELECT a, SUM(x) FROM data GROUP BY a;");
+        assert_eq!(p.leaf.group_by, vec![Expr::column("a")]);
+        assert_eq!(p.merge.len(), 2);
+        assert_eq!(p.merge[0].1, MergeOp::Key(0));
+        assert_eq!(p.merge[1].1, MergeOp::Sum(1));
+        // The two-level SQL matches the paper's rewrite shape.
+        let sql = p.two_level_sql(2).to_string();
+        assert!(sql.contains("UNION ALL"), "{sql}");
+        assert!(sql.contains("GROUP BY"), "{sql}");
+        // It must re-parse.
+        let reparsed = parse_query(&sql).unwrap();
+        assert!(matches!(reparsed.from, TableRef::UnionAll(ref m) if m.len() == 2));
+    }
+
+    #[test]
+    fn count_star_merges_by_sum() {
+        let p = plan("SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10");
+        assert_eq!(p.merge[1].1, MergeOp::Sum(1));
+        assert_eq!(p.order_by, vec![(1, true)]);
+        assert_eq!(p.limit, Some(10));
+        // Leaf carries no ORDER/LIMIT (a leaf-level top-10 would be wrong).
+        assert!(p.leaf.order_by.is_empty());
+        assert_eq!(p.leaf.limit, None);
+    }
+
+    #[test]
+    fn avg_decomposes_into_sum_and_count() {
+        let p = plan("SELECT a, AVG(x) FROM data GROUP BY a");
+        assert_eq!(p.leaf.select.len(), 3); // key, sum, count
+        match p.merge[1].1 {
+            MergeOp::AvgFromSumCount { sum, count } => {
+                assert_eq!(sum, 1);
+                assert_eq!(count, 2);
+            }
+            ref other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_max_merge_naturally() {
+        let p = plan("SELECT a, MIN(x), MAX(x) FROM data GROUP BY a");
+        assert_eq!(p.merge[1].1, MergeOp::Min(1));
+        assert_eq!(p.merge[2].1, MergeOp::Max(2));
+    }
+
+    #[test]
+    fn count_distinct_uses_sketches() {
+        let p = plan("SELECT country, COUNT(DISTINCT table_name) FROM data GROUP BY country");
+        assert_eq!(p.merge[1].1, MergeOp::SketchMerge(1));
+    }
+
+    #[test]
+    fn where_stays_at_leaves_having_at_root() {
+        let p = plan(
+            "SELECT country, COUNT(*) as c FROM data WHERE country != 'ZZ'
+             GROUP BY country HAVING c > 100",
+        );
+        assert!(p.leaf.where_clause.is_some());
+        assert!(p.leaf.having.is_none());
+        assert_eq!(p.having.unwrap().to_string(), "(c > 100)");
+    }
+
+    #[test]
+    fn recursive_rewrite_is_rejected() {
+        let two_level = plan("SELECT a, SUM(x) FROM data GROUP BY a").two_level_sql(2);
+        assert!(distributed_plan(&two_level).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property test: rendering any generated query to canonical SQL and
+//! re-parsing it yields the identical AST (display ∘ parse = id on the
+//! canonical form).
+
+use pd_common::Value;
+use pd_sql::{
+    parse_query, AggExpr, AggFunc, BinaryOp, Expr, OrderKey, Query, SelectExpr, SelectItem,
+    TableRef, UnaryOp,
+};
+use proptest::prelude::*;
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|v| Expr::Literal(Value::Int(v as i64))),
+        (-1000i32..1000).prop_map(|v| Expr::Literal(Value::Float(v as f64 * 0.25))),
+        "[a-zA-Z0-9 _.-]{0,12}".prop_map(|s| Expr::Literal(Value::Str(s))),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = Expr> {
+    "[a-z][a-z0-9_]{0,8}"
+        .prop_filter("not reserved", |s| {
+            !["select", "from", "where", "group", "by", "having", "order", "limit", "as",
+              "and", "or", "not", "in", "union", "all", "between", "asc", "desc",
+              "count", "sum", "min", "max", "avg", "distinct"]
+                .contains(&s.as_str())
+        })
+        .prop_map(Expr::Column)
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![arb_literal(), arb_column()];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), prop_oneof![
+                Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul), Just(BinaryOp::Div),
+                Just(BinaryOp::Eq), Just(BinaryOp::Ne), Just(BinaryOp::Lt), Just(BinaryOp::Le),
+                Just(BinaryOp::Gt), Just(BinaryOp::Ge), Just(BinaryOp::And), Just(BinaryOp::Or),
+            ])
+                .prop_map(|(l, r, op)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
+            (inner.clone(), proptest::collection::vec(arb_literal(), 1..4), any::<bool>())
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated
+                }),
+            (Just("date"), inner.clone()).prop_map(|(name, a)| Expr::call(name, vec![a])),
+            (Just("contains"), inner.clone(), arb_literal())
+                .prop_map(|(name, a, b)| Expr::call(name, vec![a, b])),
+        ]
+    })
+}
+
+fn arb_agg() -> impl Strategy<Value = AggExpr> {
+    prop_oneof![
+        Just(AggExpr::count_star()),
+        arb_column().prop_map(|c| AggExpr { func: AggFunc::Sum, arg: Some(c), distinct: false }),
+        arb_column().prop_map(|c| AggExpr { func: AggFunc::Min, arg: Some(c), distinct: false }),
+        arb_column().prop_map(|c| AggExpr { func: AggFunc::Avg, arg: Some(c), distinct: false }),
+        arb_column().prop_map(|c| AggExpr { func: AggFunc::Count, arg: Some(c), distinct: true }),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec(arb_column(), 0..2),
+        proptest::collection::vec(arb_agg(), 1..3),
+        proptest::option::of(arb_expr()),
+        proptest::option::of((0usize..2, any::<bool>())),
+        proptest::option::of(0usize..100),
+    )
+        .prop_map(|(keys, aggs, where_clause, order, limit)| {
+            let mut select: Vec<SelectItem> = keys
+                .iter()
+                .map(|k| SelectItem { expr: SelectExpr::Scalar(k.clone()), alias: None })
+                .collect();
+            for (i, a) in aggs.into_iter().enumerate() {
+                select.push(SelectItem {
+                    expr: SelectExpr::Aggregate(a),
+                    alias: Some(format!("agg{i}")),
+                });
+            }
+            let order_by = order
+                .map(|(idx, desc)| {
+                    let idx = idx.min(select.len() - 1);
+                    vec![OrderKey {
+                        expr: match &select[idx].expr {
+                            SelectExpr::Scalar(e) => e.clone(),
+                            SelectExpr::Aggregate(_) => {
+                                Expr::column(select[idx].alias.clone().expect("aggs aliased"))
+                            }
+                        },
+                        desc,
+                    }]
+                })
+                .unwrap_or_default();
+            Query {
+                select,
+                from: TableRef::Table("data".into()),
+                where_clause,
+                group_by: keys,
+                having: None,
+                order_by,
+                limit,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonical SQL text is a fixed point: parse(display(q)) == q.
+    #[test]
+    fn display_then_parse_is_identity(q in arb_query()) {
+        let sql = q.to_string();
+        let reparsed = parse_query(&sql)
+            .unwrap_or_else(|e| panic!("canonical SQL failed to parse: {e}\nsql: {sql}"));
+        prop_assert_eq!(reparsed, q, "sql: {}", sql);
+    }
+
+    /// Expressions alone round-trip through their canonical text too.
+    #[test]
+    fn expr_canonical_round_trips(e in arb_expr()) {
+        let sql = format!("SELECT COUNT(*) FROM t WHERE {e}");
+        let q = parse_query(&sql)
+            .unwrap_or_else(|err| panic!("failed to parse: {err}\nsql: {sql}"));
+        prop_assert_eq!(q.where_clause.unwrap(), e, "sql: {}", sql);
+    }
+
+    /// The lexer/parser never panic on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = parse_query(&input);
+    }
+}

@@ -1,0 +1,59 @@
+//! The introduction's drill-down story: *"A user can quickly drill down to
+//! values of interest, e.g., all German searches from yesterday afternoon
+//! that contain the word 'auto', by restricting a set of charts to these
+//! values."*
+//!
+//! Each drill-down step adds a conjunct; the chunk dictionaries let the
+//! store skip more and more of the data.
+//!
+//! ```bash
+//! cargo run --release --example drilldown
+//! ```
+
+use powerdrill::data::{generate_searches, SearchesSpec};
+use powerdrill::{BuildOptions, PowerDrill};
+
+fn main() -> powerdrill::Result<()> {
+    let rows = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    println!("generating {rows} web searches ...");
+    let table = generate_searches(&SearchesSpec::scaled(rows));
+    let mut options = BuildOptions::production(&["country", "search_string"]);
+    if let Some(spec) = &mut options.partition {
+        spec.max_chunk_rows = (rows / 100).clamp(200, 50_000);
+    }
+    let pd = PowerDrill::import(&table, &options)?;
+
+    // Drill-down steps: each adds one restriction, exactly like clicking
+    // into a chart in the UI.
+    let steps = [
+        ("all searches", None),
+        ("... from Germany", Some("country = 'DE'")),
+        ("... containing 'auto'", Some("country = 'DE' AND contains(search_string, 'auto')")),
+        (
+            "... yesterday afternoon",
+            Some(
+                "country = 'DE' AND contains(search_string, 'auto') \
+                 AND date(timestamp) = '2011-10-07' AND hour(timestamp) >= 12",
+            ),
+        ),
+    ];
+
+    for (title, filter) in steps {
+        let where_clause = filter.map(|f| format!(" WHERE {f}")).unwrap_or_default();
+        let sql = format!(
+            "SELECT search_string, COUNT(*) as c FROM searches{where_clause} \
+             GROUP BY search_string ORDER BY c DESC LIMIT 5"
+        );
+        let (result, stats) = pd.sql(&sql)?;
+        println!("\n== {title}");
+        println!("{}", result.render());
+        println!(
+            "skipped {:5.1}% | cached {:5.1}% | scanned {:5.1}% | latency {:?}",
+            100.0 * stats.skipped_fraction(),
+            100.0 * stats.cached_fraction(),
+            100.0 * stats.scanned_fraction(),
+            stats.elapsed
+        );
+    }
+    Ok(())
+}

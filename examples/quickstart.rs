@@ -1,0 +1,45 @@
+//! Quickstart: import a log table and run the paper's three experiment
+//! queries (§2.5).
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use powerdrill::data::{generate_logs, LogsSpec};
+use powerdrill::{BuildOptions, PowerDrill};
+
+fn main() -> powerdrill::Result<()> {
+    let rows = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    println!("generating {rows} rows of PowerDrill-style query logs ...");
+    let table = generate_logs(&LogsSpec::scaled(rows));
+
+    println!("importing (partition by country, table_name; all §3 optimizations on) ...");
+    let mut options = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut options.partition {
+        // Keep the paper's chunk-count-to-row ratio at any scale.
+        spec.max_chunk_rows = (rows / 100).clamp(500, 50_000);
+    }
+    let pd = PowerDrill::import(&table, &options)?;
+
+    let queries = [
+        ("Query 1: top 10 countries",
+         "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10"),
+        ("Query 2: number of queries and overall latency per day",
+         "SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data GROUP BY date ORDER BY date ASC LIMIT 10"),
+        ("Query 3: top 10 table-names",
+         "SELECT table_name, COUNT(*) as c FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10"),
+    ];
+
+    for (title, sql) in queries {
+        println!("\n== {title}\n   {sql}");
+        let (result, stats) = pd.sql(sql)?;
+        println!("{}", result.render());
+        println!("latency: {:?} | {}", stats.elapsed, stats.summary());
+        let memory = pd.memory_for(sql)?;
+        println!(
+            "memory touched by this query: {:.2} MB",
+            memory.total() as f64 / (1024.0 * 1024.0)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,135 @@
+//! Property test: for random tables and random queries from the supported
+//! subset, the column-store (all build variants) must return exactly what
+//! the row-at-a-time baseline executor returns.
+
+use powerdrill::baselines::{Backend, CsvBackend, IoModel};
+use powerdrill::{BuildOptions, DataType, PartitionSpec, PowerDrill, QueryResult, Row, Schema, Table, Value};
+use proptest::prelude::*;
+
+/// A small random table: k (low cardinality string), g (medium cardinality
+/// string), n (int), x (float).
+fn arb_table() -> impl Strategy<Value = Table> {
+    let row = (
+        0usize..4,   // k index
+        0usize..12,  // g index
+        -50i64..50,  // n
+        (-4i32..4).prop_map(|v| v as f64 * 0.5),
+    );
+    proptest::collection::vec(row, 1..120).prop_map(|rows| {
+        let schema = Schema::of(&[
+            ("k", DataType::Str),
+            ("g", DataType::Str),
+            ("n", DataType::Int),
+            ("x", DataType::Float),
+        ]);
+        let mut table = Table::new(schema);
+        for (k, g, n, x) in rows {
+            table
+                .push_row(Row(vec![
+                    Value::from(["red", "green", "blue", "grey"][k]),
+                    Value::from(format!("g{g:02}")),
+                    Value::Int(n),
+                    Value::Float(x),
+                ]))
+                .unwrap();
+        }
+        table
+    })
+}
+
+/// A random query over that table's shape.
+fn arb_query() -> impl Strategy<Value = String> {
+    let keys = prop_oneof![Just("k"), Just("g"), Just("k, g")];
+    let aggs = prop_oneof![
+        Just("COUNT(*) as c"),
+        Just("COUNT(*) as c, SUM(n) as s"),
+        Just("SUM(x) as s, MIN(n) as mn, MAX(n) as mx"),
+        Just("AVG(x) as a, COUNT(*) as c"),
+    ];
+    let filter = prop_oneof![
+        Just(String::new()),
+        Just(" WHERE k = 'red'".to_owned()),
+        Just(" WHERE k IN ('red', 'blue')".to_owned()),
+        Just(" WHERE k NOT IN ('green')".to_owned()),
+        Just(" WHERE n > 0".to_owned()),
+        Just(" WHERE k = 'red' AND n > 0".to_owned()),
+        Just(" WHERE k = 'red' OR g = 'g03'".to_owned()),
+        Just(" WHERE NOT (k = 'red' AND g = 'g01')".to_owned()),
+        (0usize..12).prop_map(|g| format!(" WHERE g IN ('g{g:02}', 'g{:02}')", (g + 3) % 12)),
+    ];
+    let tail = prop_oneof![
+        Just(""),
+        Just(" ORDER BY c DESC LIMIT 3"),
+        Just(" HAVING c > 2 ORDER BY c DESC"),
+    ];
+    (keys, aggs, filter, tail).prop_map(|(k, a, f, t)| {
+        // HAVING/ORDER BY c require c in the select list; fall back when the
+        // aggregate list lacks it.
+        let tail = if t.contains('c') && !a.contains(" c") && !a.contains("c,") {
+            ""
+        } else {
+            t
+        };
+        format!("SELECT {k}, {a} FROM data{f} GROUP BY {k}{tail}")
+    })
+}
+
+fn approx_eq(a: &QueryResult, b: &QueryResult) -> bool {
+    a.columns == b.columns
+        && a.rows.len() == b.rows.len()
+        && a.rows.iter().zip(&b.rows).all(|(ra, rb)| {
+            ra.0.iter().zip(&rb.0).all(|(x, y)| match (x, y) {
+                (Value::Float(p), Value::Float(q)) => {
+                    (p - q).abs() <= 1e-9 * (1.0 + p.abs().max(q.abs()))
+                }
+                _ => x == y,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn store_matches_baseline_on_random_queries(table in arb_table(), sql in arb_query()) {
+        let baseline = CsvBackend::new(&table, IoModel::default()).unwrap();
+        let expected = baseline.execute(&sql).unwrap().result;
+
+        for options in [
+            BuildOptions::basic(),
+            BuildOptions::optcols(PartitionSpec::new(&["k", "g"], 16)),
+            BuildOptions::reordered(PartitionSpec::new(&["k", "g"], 16)),
+        ] {
+            let pd = PowerDrill::import(&table, &options).unwrap();
+            let (got, stats) = pd.sql(&sql).unwrap();
+            prop_assert!(
+                approx_eq(&got, &expected),
+                "options {:?}\nsql {sql}\ngot  {:?}\nwant {:?}",
+                options, got.rows, expected.rows
+            );
+            prop_assert_eq!(
+                stats.rows_skipped + stats.rows_cached + stats.rows_scanned,
+                stats.rows_total
+            );
+            // Second execution (warm result cache) must be identical.
+            let (again, _) = pd.sql(&sql).unwrap();
+            prop_assert!(approx_eq(&again, &expected), "cache changed the result for {sql}");
+        }
+    }
+
+    #[test]
+    fn skipping_never_changes_results(table in arb_table(), g in 0usize..12) {
+        // A restriction targeted at one g-value: heavily skippable under
+        // partitioning by (g), and the result must match Basic (no chunks).
+        let sql = format!(
+            "SELECT k, COUNT(*) as c FROM data WHERE g = 'g{g:02}' GROUP BY k ORDER BY c DESC"
+        );
+        let plain = PowerDrill::import(&table, &BuildOptions::basic()).unwrap();
+        let partitioned =
+            PowerDrill::import(&table, &BuildOptions::reordered(PartitionSpec::new(&["g"], 8)))
+                .unwrap();
+        let (a, _) = plain.sql(&sql).unwrap();
+        let (b, _) = partitioned.sql(&sql).unwrap();
+        prop_assert!(approx_eq(&a, &b), "sql {sql}\nbasic {:?}\npartitioned {:?}", a.rows, b.rows);
+    }
+}
