@@ -75,9 +75,8 @@ mod tests {
         let table = generate_logs(&LogsSpec::scaled(200));
         let backend = CsvBackend::new(&table, IoModel::default()).unwrap();
         let a = backend.storage_bytes("SELECT COUNT(*) FROM data").unwrap();
-        let b = backend
-            .storage_bytes("SELECT country, COUNT(*) FROM data GROUP BY country")
-            .unwrap();
+        let b =
+            backend.storage_bytes("SELECT country, COUNT(*) FROM data GROUP BY country").unwrap();
         assert_eq!(a, b);
         assert_eq!(a, backend.file_bytes());
     }

@@ -197,7 +197,8 @@ mod tests {
     #[test]
     fn reads_only_touched_columns() {
         let (_, dremel) = backend(600);
-        let narrow = dremel.storage_bytes("SELECT country, COUNT(*) FROM data GROUP BY country").unwrap();
+        let narrow =
+            dremel.storage_bytes("SELECT country, COUNT(*) FROM data GROUP BY country").unwrap();
         let wide = dremel
             .storage_bytes(
                 "SELECT country, table_name, COUNT(*), SUM(latency) FROM data GROUP BY country, table_name",
@@ -212,7 +213,8 @@ mod tests {
     fn columnar_compression_beats_row_formats() {
         let (table, dremel) = backend(2_000);
         let csv = crate::CsvBackend::new(&table, IoModel::default()).unwrap();
-        let q3 = "SELECT table_name, COUNT(*) c FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10";
+        let q3 =
+            "SELECT table_name, COUNT(*) c FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10";
         // Table 1: Dremel loads 90 MB where CSV streams 573 MB.
         assert!(dremel.storage_bytes(q3).unwrap() < csv.storage_bytes(q3).unwrap() / 2);
     }

@@ -43,7 +43,8 @@ impl IoModel {
         if bytes == 0 && requests == 0 {
             return Duration::ZERO;
         }
-        self.seek * (requests.max(1) as u32) + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
+        self.seek * (requests.max(1) as u32)
+            + Duration::from_secs_f64(bytes as f64 / self.bandwidth)
     }
 }
 

@@ -16,11 +16,7 @@ pub struct RecordIoBackend {
 
 impl RecordIoBackend {
     pub fn new(table: &Table, io: IoModel) -> Result<RecordIoBackend> {
-        Ok(RecordIoBackend {
-            schema: table.schema().clone(),
-            bytes: write_recordio(table),
-            io,
-        })
+        Ok(RecordIoBackend { schema: table.schema().clone(), bytes: write_recordio(table), io })
     }
 
     pub fn file_bytes(&self) -> usize {
@@ -76,9 +72,7 @@ mod tests {
     fn filters_work() {
         let table = generate_logs(&LogsSpec::scaled(400));
         let rio = RecordIoBackend::new(&table, IoModel::default()).unwrap();
-        let run = rio
-            .execute("SELECT COUNT(*) FROM data WHERE country = 'US'")
-            .unwrap();
+        let run = rio.execute("SELECT COUNT(*) FROM data WHERE country = 'US'").unwrap();
         let n = run.result.rows[0].0[0].as_int().unwrap();
         assert!(n > 0 && n < 400);
         assert_eq!(run.result.rows[0].0[0], Value::Int(n));

@@ -63,11 +63,8 @@ pub fn scan_execute(
                 continue;
             }
         }
-        let key: Box<[Value]> = analyzed
-            .keys
-            .iter()
-            .map(|k| eval_expr(k, &ctx))
-            .collect::<Result<_>>()?;
+        let key: Box<[Value]> =
+            analyzed.keys.iter().map(|k| eval_expr(k, &ctx)).collect::<Result<_>>()?;
         let states = match groups.get_mut(&key) {
             Some(s) => s,
             None => {
@@ -191,14 +188,8 @@ mod tests {
     fn run(sql: &str) -> BackendRun {
         let t = sample();
         let analyzed = prepare(sql).unwrap();
-        scan_execute(
-            t.schema(),
-            t.iter_rows().map(Ok),
-            &analyzed,
-            1024,
-            &IoModel::default(),
-        )
-        .unwrap()
+        scan_execute(t.schema(), t.iter_rows().map(Ok), &analyzed, 1024, &IoModel::default())
+            .unwrap()
     }
 
     #[test]

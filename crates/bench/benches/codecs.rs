@@ -2,8 +2,7 @@
 //! Compression Algorithms"): compression and decompression throughput on a
 //! realistic column payload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use pd_bench::logs_table;
+use pd_bench::{logs_table, mb, Bench};
 use pd_compress::CodecKind;
 use pd_core::{BuildOptions, DataStore};
 use std::hint::black_box;
@@ -19,27 +18,22 @@ fn column_payload() -> Vec<u8> {
     payload
 }
 
-fn bench_codecs(c: &mut Criterion) {
+fn main() {
     let payload = column_payload();
-    let mut group = c.benchmark_group("codecs");
-    group.throughput(Throughput::Bytes(payload.len() as u64));
-    group.sample_size(10);
+    println!("payload: {:.2} MB", mb(payload.len()));
+    let bench = Bench::new("codecs").samples(5);
     for kind in [CodecKind::Rle, CodecKind::Zippy, CodecKind::Lzf, CodecKind::Deflate] {
         let codec = kind.codec();
-        group.bench_with_input(BenchmarkId::new("compress", codec.name()), &payload, |b, p| {
-            b.iter(|| black_box(codec.compress(p)));
+        bench.case_throughput(&format!("compress/{}", codec.name()), payload.len() as u64, || {
+            black_box(codec.compress(&payload));
         });
         let compressed = codec.compress(&payload);
-        group.bench_with_input(
-            BenchmarkId::new("decompress", codec.name()),
-            &compressed,
-            |b, p| {
-                b.iter(|| black_box(codec.decompress(p).expect("decompress")));
+        bench.case_throughput(
+            &format!("decompress/{}", codec.name()),
+            payload.len() as u64,
+            || {
+                black_box(codec.decompress(&compressed).expect("decompress"));
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_codecs);
-criterion_main!(benches);

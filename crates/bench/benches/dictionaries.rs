@@ -2,20 +2,28 @@
 //! the 4-bit trie, in both directions, plus element access across
 //! representations.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pd_bench::Bench;
 use pd_encoding::{Elements, ElementsMode, SortedStrDict, TrieDict};
 use std::hint::black_box;
 
 fn names(n: usize) -> Vec<String> {
     let mut v: Vec<String> = (0..n)
-        .map(|i| format!("logs.team_{:02}.dataset_{:03}.2011-{:02}-{:02}", i % 23, i % 301, i % 12 + 1, i % 28 + 1))
+        .map(|i| {
+            format!(
+                "logs.team_{:02}.dataset_{:03}.2011-{:02}-{:02}",
+                i % 23,
+                i % 301,
+                i % 12 + 1,
+                i % 28 + 1
+            )
+        })
         .collect();
     v.sort_unstable();
     v.dedup();
     v
 }
 
-fn bench_dictionaries(c: &mut Criterion) {
+fn main() {
     let values = names(120_000);
     let refs: Vec<&str> = values.iter().map(String::as_str).collect();
     let sorted = SortedStrDict::from_sorted(values.iter().map(|s| s.as_str().into()).collect())
@@ -23,60 +31,40 @@ fn bench_dictionaries(c: &mut Criterion) {
     let trie = TrieDict::from_sorted(&refs).expect("trie");
     let probes: Vec<&str> = refs.iter().step_by(7).copied().collect();
 
-    let mut group = c.benchmark_group("dictionaries");
-    group.throughput(Throughput::Elements(probes.len() as u64));
-    group.sample_size(20);
+    let bench = Bench::new("dictionaries").samples(10);
+    bench.case_throughput("id_of/sorted_array", probes.len() as u64, || {
+        for p in &probes {
+            black_box(sorted.id_of(p));
+        }
+    });
+    bench.case_throughput("id_of/trie", probes.len() as u64, || {
+        for p in &probes {
+            black_box(trie.id_of(p));
+        }
+    });
 
-    group.bench_function("id_of/sorted_array", |b| {
-        b.iter(|| {
-            for p in &probes {
-                black_box(sorted.id_of(p));
-            }
-        });
-    });
-    group.bench_function("id_of/trie", |b| {
-        b.iter(|| {
-            for p in &probes {
-                black_box(trie.id_of(p));
-            }
-        });
-    });
     let ids: Vec<u32> = (0..sorted.len()).step_by(7).collect();
-    group.throughput(Throughput::Elements(ids.len() as u64));
-    group.bench_function("value/sorted_array", |b| {
-        b.iter(|| {
-            for &id in &ids {
-                black_box(sorted.value(id));
-            }
-        });
+    bench.case_throughput("value/sorted_array", ids.len() as u64, || {
+        for &id in &ids {
+            black_box(sorted.value(id));
+        }
     });
-    group.bench_function("value/trie", |b| {
-        b.iter(|| {
-            for &id in &ids {
-                black_box(trie.value(id));
-            }
-        });
+    bench.case_throughput("value/trie", ids.len() as u64, || {
+        for &id in &ids {
+            black_box(trie.value(id));
+        }
     });
-    group.finish();
 
     // Element access across representations.
-    let mut group = c.benchmark_group("elements_get");
+    let bench = Bench::new("elements_get").samples(10);
     const ROWS: usize = 500_000;
-    group.throughput(Throughput::Elements(ROWS as u64));
-    group.sample_size(20);
     for distinct in [1u32, 2, 200, 60_000] {
         let ids: Vec<u32> = (0..ROWS).map(|i| i as u32 % distinct).collect();
         let elements = Elements::encode(&ids, distinct, ElementsMode::Optimized);
-        group.bench_function(elements.repr_name().to_string(), |b| {
-            b.iter(|| {
-                let mut sum = 0u64;
-                elements.for_each(|id| sum += u64::from(id));
-                black_box(sum)
-            });
+        bench.case_throughput(elements.repr_name(), ROWS as u64, || {
+            let mut sum = 0u64;
+            elements.for_each(|id| sum += u64::from(id));
+            black_box(sum);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_dictionaries);
-criterion_main!(benches);

@@ -2,7 +2,7 @@
 //! vs a generic hash-table group-by (what "more generic implementations"
 //! pay).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pd_bench::Bench;
 use pd_common::FxHashMap;
 use pd_encoding::{Elements, ElementsMode};
 use std::hint::black_box;
@@ -13,45 +13,33 @@ fn ids(distinct: u32) -> Vec<u32> {
     (0..ROWS).map(|i| (i as u32).wrapping_mul(2_654_435_761) % distinct).collect()
 }
 
-fn bench_groupby(c: &mut Criterion) {
-    let mut group = c.benchmark_group("groupby");
-    group.throughput(Throughput::Elements(ROWS as u64));
-    group.sample_size(20);
+fn main() {
+    let bench = Bench::new("groupby").samples(10);
 
     for distinct in [25u32, 1_000, 100_000] {
         let raw = ids(distinct);
         let elements = Elements::encode(&raw, distinct, ElementsMode::Optimized);
 
-        group.bench_function(format!("counts_array/{distinct}"), |b| {
-            b.iter(|| {
-                let mut counts = vec![0u64; distinct as usize];
-                elements.for_each(|id| counts[id as usize] += 1);
-                black_box(counts)
-            });
+        bench.case_throughput(&format!("counts_array/{distinct}"), ROWS as u64, || {
+            let mut counts = vec![0u64; distinct as usize];
+            elements.for_each(|id| counts[id as usize] += 1);
+            black_box(counts);
         });
 
-        group.bench_function(format!("hash_table/{distinct}"), |b| {
-            b.iter(|| {
-                let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
-                elements.for_each(|id| *counts.entry(id).or_insert(0) += 1);
-                black_box(counts)
-            });
+        bench.case_throughput(&format!("hash_table/{distinct}"), ROWS as u64, || {
+            let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+            elements.for_each(|id| *counts.entry(id).or_insert(0) += 1);
+            black_box(counts);
         });
 
         // What the row-wise baselines pay: hashing the string value.
         let strings: Vec<String> = raw.iter().map(|id| format!("table_name_{id:06}")).collect();
-        group.bench_function(format!("hash_table_strings/{distinct}"), |b| {
-            b.iter(|| {
-                let mut counts: FxHashMap<&str, u64> = FxHashMap::default();
-                for s in &strings {
-                    *counts.entry(s.as_str()).or_insert(0) += 1;
-                }
-                black_box(counts)
-            });
+        bench.case_throughput(&format!("hash_table_strings/{distinct}"), ROWS as u64, || {
+            let mut counts: FxHashMap<&str, u64> = FxHashMap::default();
+            for s in &strings {
+                *counts.entry(s.as_str()).or_insert(0) += 1;
+            }
+            black_box(counts);
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_groupby);
-criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Morsel-driven scaling curves: the paper's Table 1 queries at 1 / 2 / 4
+//! / 8 worker threads, plus the dictionary-code kernels against a generic
+//! per-row loop.
+//!
+//! The interesting numbers are the speedup columns: chunk scans are
+//! embarrassingly parallel (immutable chunks, mergeable states), so the
+//! group-by-heavy queries should approach linear scaling until the merge
+//! and finalize phases dominate.
+
+use pd_bench::experiments::{paper_partition, QUERIES};
+use pd_bench::{fmt_duration, logs_table, measure_n, Bench};
+use pd_core::{execute, BuildOptions, DataStore, ExecContext};
+use pd_sql::{analyze, parse_query};
+use std::hint::black_box;
+
+fn main() {
+    let rows = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(500_000);
+    let table = logs_table(rows);
+    let mut options = BuildOptions::reordered(paper_partition(rows));
+    if let Some(spec) = &mut options.partition {
+        // Enough chunks that 8 workers stay busy.
+        spec.max_chunk_rows = (rows / 64).clamp(500, 50_000);
+    }
+    let store = DataStore::build(&table, &options).expect("store");
+    println!(
+        "dataset: {rows} rows in {} chunks (threshold {})",
+        store.chunk_count(),
+        options.partition.as_ref().map_or(0, |s| s.max_chunk_rows)
+    );
+    let cores = pd_core::scheduler::available_threads();
+    println!(
+        "available parallelism: {cores} core(s) — thread counts beyond that only \
+         measure scheduling overhead, not speedup"
+    );
+
+    // Query latency by thread count (uncached: no result cache, so every
+    // run scans).
+    println!("\n=== Table 1 queries by thread count ===");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12}  {:>9} {:>9}",
+        "query", "1 thread", "2 threads", "4 threads", "8 threads", "x4", "x8"
+    );
+    for (name, sql) in QUERIES {
+        let analyzed = analyze(&parse_query(sql).expect("parse")).expect("analyze");
+        let time = |threads: usize| {
+            let ctx = ExecContext { threads, ..Default::default() };
+            measure_n(5, || {
+                black_box(execute(&store, &analyzed, &ctx).expect("query"));
+            })
+        };
+        let t1 = time(1);
+        let t2 = time(2);
+        let t4 = time(4);
+        let t8 = time(8);
+        println!(
+            "{name:<8} {:>12} {:>12} {:>12} {:>12}  {:>8.2}x {:>8.2}x",
+            fmt_duration(t1),
+            fmt_duration(t2),
+            fmt_duration(t4),
+            fmt_duration(t8),
+            t1.as_secs_f64() / t4.as_secs_f64().max(1e-12),
+            t1.as_secs_f64() / t8.as_secs_f64().max(1e-12),
+        );
+        if std::env::var("PD_BENCH_JSON").is_ok() {
+            for (threads, t) in [(1, t1), (2, t2), (4, t4), (8, t8)] {
+                println!(
+                    "{{\"group\":\"parallel_scaling\",\"bench\":\"{name}/threads{threads}\",\"ns_per_iter\":{}}}",
+                    t.as_nanos()
+                );
+            }
+        }
+    }
+
+    // A group-by-heavy filtered query: partial chunks exercise the mask +
+    // kernel path at every thread count.
+    println!("\n=== filtered group-by by thread count ===");
+    let sql = "SELECT table_name, COUNT(*) as c, SUM(latency) as s FROM data WHERE latency > 100.0 GROUP BY table_name ORDER BY c DESC LIMIT 10";
+    let analyzed = analyze(&parse_query(sql).expect("parse")).expect("analyze");
+    let mut t1 = None;
+    for threads in [1usize, 2, 4, 8] {
+        let ctx = ExecContext { threads, ..Default::default() };
+        let t = measure_n(5, || {
+            black_box(execute(&store, &analyzed, &ctx).expect("query"));
+        });
+        let speedup = t1.get_or_insert(t).as_secs_f64() / t.as_secs_f64().max(1e-12);
+        println!("threads {threads}: {:>12}   ({speedup:.2}x)", fmt_duration(t));
+    }
+
+    // Kernel vs generic loop: the dictionary-code counts-array against a
+    // per-row closure over the same chunk data.
+    println!();
+    let bench = Bench::new("kernel_vs_generic").samples(10);
+    let col = store.column("table_name").expect("column");
+    let total_rows: u64 = col.chunks.iter().map(|c| c.len() as u64).sum();
+    bench.case_throughput("kernel/counts_array_codes", total_rows, || {
+        for chunk in &col.chunks {
+            let mut counts = vec![0u64; chunk.dict.len() as usize];
+            // The monomorphized view loop the executor's kernels use.
+            match chunk.codes() {
+                pd_encoding::CodesView::Const { len } => counts[0] += len as u64,
+                pd_encoding::CodesView::Bits(bits) => {
+                    let ones = bits.count_ones() as u64;
+                    counts[1] += ones;
+                    counts[0] += bits.len() as u64 - ones;
+                }
+                pd_encoding::CodesView::U8(v) => {
+                    for &id in v {
+                        counts[id as usize] += 1;
+                    }
+                }
+                pd_encoding::CodesView::U16(v) => {
+                    for &id in v {
+                        counts[id as usize] += 1;
+                    }
+                }
+                pd_encoding::CodesView::U32(v) => {
+                    for &id in v {
+                        counts[id as usize] += 1;
+                    }
+                }
+            }
+            black_box(&counts);
+        }
+    });
+    bench.case_throughput("generic/per_row_get", total_rows, || {
+        for chunk in &col.chunks {
+            let mut counts = vec![0u64; chunk.dict.len() as usize];
+            for row in 0..chunk.len() {
+                counts[chunk.elements.get(row) as usize] += 1;
+            }
+            black_box(&counts);
+        }
+    });
+    bench.case_throughput("generic/value_hashmap", total_rows, || {
+        use pd_common::FxHashMap;
+        for chunk in &col.chunks {
+            let mut counts: FxHashMap<pd_common::Value, u64> = FxHashMap::default();
+            for row in 0..chunk.len() {
+                let v = col.dict.value(chunk.dict.global_id_of(chunk.elements.get(row)));
+                *counts.entry(v).or_insert(0) += 1;
+            }
+            black_box(&counts);
+        }
+    });
+}

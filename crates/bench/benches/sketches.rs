@@ -1,53 +1,38 @@
 //! Count-distinct (§5) and cache-policy microbenchmarks.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pd_bench::Bench;
 use pd_common::fx_hash64;
 use pd_core::{CachePolicy, KmvSketch, TieredCache};
 use std::hint::black_box;
 
-fn bench_sketch(c: &mut Criterion) {
+fn main() {
     const N: u64 = 500_000;
     let hashes: Vec<u64> = (0..N).map(|i| fx_hash64(&i)).collect();
 
-    let mut group = c.benchmark_group("count_distinct");
-    group.throughput(Throughput::Elements(N));
-    group.sample_size(10);
+    let bench = Bench::new("count_distinct").samples(5);
     for m in [1024usize, 4096, 16384] {
-        group.bench_function(format!("kmv_m{m}"), |b| {
-            b.iter(|| {
-                let mut sketch = KmvSketch::new(m);
-                for &h in &hashes {
-                    sketch.offer(h);
-                }
-                black_box(sketch.estimate())
-            });
+        bench.case_throughput(&format!("kmv_m{m}"), N, || {
+            let mut sketch = KmvSketch::new(m);
+            for &h in &hashes {
+                sketch.offer(h);
+            }
+            black_box(sketch.estimate());
         });
     }
-    group.bench_function("exact_hashset", |b| {
-        b.iter(|| {
-            let set: pd_common::FxHashSet<u64> = hashes.iter().copied().collect();
-            black_box(set.len())
-        });
+    bench.case_throughput("exact_hashset", N, || {
+        let set: pd_common::FxHashSet<u64> = hashes.iter().copied().collect();
+        black_box(set.len());
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("cache_touch");
-    group.throughput(Throughput::Elements(10_000));
-    group.sample_size(10);
+    let bench = Bench::new("cache_touch").samples(5);
     for policy in [CachePolicy::Lru, CachePolicy::TwoQ, CachePolicy::Arc] {
-        group.bench_function(format!("{policy:?}"), |b| {
-            let cache = TieredCache::new(policy, 1 << 20, 1 << 19);
-            let keys: Vec<_> = (0..256u32).map(|i| (std::sync::Arc::from("col"), i)).collect();
-            b.iter(|| {
-                for i in 0..10_000u32 {
-                    let key = &keys[(i % 256) as usize];
-                    black_box(cache.touch(key, 8 << 10, 2 << 10));
-                }
-            });
+        let cache = TieredCache::new(policy, 1 << 20, 1 << 19);
+        let keys: Vec<_> = (0..256u32).map(|i| (std::sync::Arc::<str>::from("col"), i)).collect();
+        bench.case_throughput(&format!("{policy:?}"), 10_000, || {
+            for i in 0..10_000u32 {
+                let key = &keys[(i % 256) as usize];
+                black_box(cache.touch(key, 8 << 10, 2 << 10));
+            }
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sketch);
-criterion_main!(benches);

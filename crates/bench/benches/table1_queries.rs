@@ -1,15 +1,14 @@
-//! Table 1 as a criterion bench: the three paper queries against every
+//! Table 1 as a micro-benchmark: the three paper queries against every
 //! backend (50K rows so a bench run stays quick; the experiments binary
 //! scales to 5M).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pd_baselines::{Backend, CsvBackend, DremelBackend, IoModel, RecordIoBackend};
 use pd_bench::experiments::QUERIES;
-use pd_bench::logs_table;
+use pd_bench::{logs_table, Bench};
 use pd_core::{query, BuildOptions, DataStore};
 use std::hint::black_box;
 
-fn bench_backends(c: &mut Criterion) {
+fn main() {
     let table = logs_table(50_000);
     let io = IoModel::default();
     let csv = CsvBackend::new(&table, io).expect("csv");
@@ -18,23 +17,16 @@ fn bench_backends(c: &mut Criterion) {
     let store = DataStore::build(&table, &BuildOptions::basic()).expect("store");
     let _ = query(&store, QUERIES[1].1).expect("materialize date(timestamp)");
 
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+    let bench = Bench::new("table1").samples(3);
     for (name, sql) in QUERIES {
         let backends: Vec<&dyn Backend> = vec![&csv, &rio, &dremel];
         for backend in backends {
-            group.bench_with_input(
-                BenchmarkId::new(backend.name(), name),
-                &sql,
-                |b, sql| b.iter(|| black_box(backend.execute(sql).expect("query"))),
-            );
+            bench.case(&format!("{}/{name}", backend.name()), || {
+                black_box(backend.execute(sql).expect("query"));
+            });
         }
-        group.bench_with_input(BenchmarkId::new("PowerDrill", name), &sql, |b, sql| {
-            b.iter(|| black_box(query(&store, sql).expect("query")));
+        bench.case(&format!("PowerDrill/{name}"), || {
+            black_box(query(&store, sql).expect("query"));
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_backends);
-criterion_main!(benches);

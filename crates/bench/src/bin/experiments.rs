@@ -36,10 +36,7 @@ fn main() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     };
-    let rows = args
-        .get(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(rows_from_env);
+    let rows = args.get(1).and_then(|v| v.parse().ok()).unwrap_or_else(rows_from_env);
 
     match cmd.as_str() {
         "table1" => experiments::table1(rows),

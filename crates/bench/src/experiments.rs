@@ -4,7 +4,7 @@
 //! ones (measured on 5M rows of Google's logs on 2008-era hardware — the
 //! *shape* is what should match, not the absolute values).
 
-use crate::harness::{logs_table, measure_n, mb, TablePrinter};
+use crate::harness::{logs_table, mb, measure_n, TablePrinter};
 use pd_baselines::{Backend, CsvBackend, DremelBackend, IoModel, RecordIoBackend};
 use pd_compress::CodecKind;
 use pd_core::memory::{compressed_chunks_for_query, compressed_for_query, report_for_query};
@@ -12,7 +12,9 @@ use pd_core::{
     query, BuildOptions, CachePolicy, DataStore, ExecContext, PartitionSpec, TieredCache,
 };
 use pd_data::Table;
-use pd_dist::{run_production, Cluster, ClusterConfig, DrillDownWorkload, LoadModel, TreeShape, WorkloadSpec};
+use pd_dist::{
+    run_production, Cluster, ClusterConfig, DrillDownWorkload, LoadModel, TreeShape, WorkloadSpec,
+};
 use pd_encoding::{Elements, ElementsMode, PackedInts, SubDictIndex, SubDictLayout};
 use pd_sql::{analyze, parse_query};
 use std::sync::Arc;
@@ -180,7 +182,9 @@ pub fn table4(rows: usize) {
         let store = DataStore::build(&table, &options).expect("store");
         let r: Vec<String> = QUERIES
             .iter()
-            .map(|(_, sql)| format!("{:.2}", mb(report_for_query(&store, sql).expect("report").total())))
+            .map(|(_, sql)| {
+                format!("{:.2}", mb(report_for_query(&store, sql).expect("report").total()))
+            })
             .collect();
         printer.row(&[name, &r[0], &r[1], &r[2]]);
     }
@@ -190,7 +194,10 @@ pub fn table4(rows: usize) {
     let z: Vec<String> = QUERIES
         .iter()
         .map(|(_, sql)| {
-            format!("{:.2}", mb(compressed_for_query(&optdicts, sql, CodecKind::Zippy).expect("zip")))
+            format!(
+                "{:.2}",
+                mb(compressed_for_query(&optdicts, sql, CodecKind::Zippy).expect("zip"))
+            )
         })
         .collect();
     printer.row(&["Zippy", &z[0], &z[1], &z[2]]);
@@ -199,7 +206,10 @@ pub fn table4(rows: usize) {
     let r: Vec<String> = QUERIES
         .iter()
         .map(|(_, sql)| {
-            format!("{:.2}", mb(compressed_for_query(&reordered, sql, CodecKind::Zippy).expect("zip")))
+            format!(
+                "{:.2}",
+                mb(compressed_for_query(&reordered, sql, CodecKind::Zippy).expect("zip"))
+            )
         })
         .collect();
     printer.row(&["Reorder", &r[0], &r[1], &r[2]]);
@@ -218,7 +228,11 @@ pub fn trie(rows: usize) {
     let s = report_for_query(&sorted, Q3).expect("report");
     let t = report_for_query(&trie, Q3).expect("report");
     let printer = TablePrinter::new(&["dict", "table_name dict MB", "Q3 overall MB"], &[8, 20, 15]);
-    printer.row(&["sorted", &format!("{:.2}", mb(s.dict_bytes())), &format!("{:.2}", mb(s.total()))]);
+    printer.row(&[
+        "sorted",
+        &format!("{:.2}", mb(s.dict_bytes())),
+        &format!("{:.2}", mb(s.total())),
+    ]);
     printer.row(&["trie", &format!("{:.2}", mb(t.dict_bytes())), &format!("{:.2}", mb(t.total()))]);
     println!(
         "\ndict reduction: {:.1}x | overall reduction: {:.1}x (paper: 19.9x and 4.6x)",
@@ -237,7 +251,8 @@ pub fn reorder(rows: usize) {
     let spec = paper_partition(rows);
     let plain = DataStore::build(&table, &BuildOptions::optdicts(spec.clone())).expect("store");
     let sorted = DataStore::build(&table, &BuildOptions::reordered(spec)).expect("store");
-    let printer = TablePrinter::new(&["query", "plain KB", "reordered KB", "factor"], &[6, 12, 13, 7]);
+    let printer =
+        TablePrinter::new(&["query", "plain KB", "reordered KB", "factor"], &[6, 12, 13, 7]);
     for (name, sql) in QUERIES {
         let a = compressed_chunks_for_query(&plain, sql, CodecKind::Zippy).expect("zip");
         let b = compressed_chunks_for_query(&sorted, sql, CodecKind::Zippy).expect("zip");
@@ -267,10 +282,8 @@ pub fn codecs(rows: usize) {
     }
     println!("payload: {:.2} MB of dictionary + chunk data", mb(payload.len()));
 
-    let printer = TablePrinter::new(
-        &["codec", "ratio", "compress MB/s", "decompress MB/s"],
-        &[8, 7, 14, 16],
-    );
+    let printer =
+        TablePrinter::new(&["codec", "ratio", "compress MB/s", "decompress MB/s"], &[8, 7, 14, 16]);
     for kind in CodecKind::ALL {
         if kind == CodecKind::None {
             continue;
@@ -352,6 +365,7 @@ pub fn cache(rows: usize) {
     for policy in [CachePolicy::Lru, CachePolicy::TwoQ, CachePolicy::Arc] {
         let ctx = ExecContext {
             sketch_m: 0,
+            threads: 0,
             result_cache: None, // isolate the data-layer caches
             tiered: Some(Arc::new(TieredCache::new(policy, budget, budget / 2))),
         };
@@ -426,10 +440,7 @@ pub fn production(rows: usize) {
     println!("\nrows skipped : {:6.2}%   (paper: 92.41%)", report.skipped_percent());
     println!("rows cached  : {:6.2}%   (paper:  5.02%)", report.cached_percent());
     println!("rows scanned : {:6.2}%   (paper:  2.66%)", report.scanned_percent());
-    println!(
-        "disk-free queries: {:5.1}%   (paper: >70%)",
-        100.0 * report.disk_free_fraction()
-    );
+    println!("disk-free queries: {:5.1}%   (paper: >70%)", 100.0 * report.disk_free_fraction());
     let avg_latency: Duration =
         report.queries.iter().map(|q| q.latency).sum::<Duration>() / report.queries.len() as u32;
     println!("avg modeled per-query latency: {avg_latency:?}   (paper: under 2 seconds per query)");
@@ -461,17 +472,11 @@ pub fn figure5(rows: usize) {
 fn figure5_print(report: &pd_dist::workload::ProductionReport) {
     println!("\nFigure 5: avg latency by disk bytes loaded (log2 buckets)");
     let buckets = report.figure5_buckets();
-    let max_latency = buckets
-        .iter()
-        .map(|(_, d, _)| d.as_secs_f64())
-        .fold(0.0f64, f64::max)
-        .max(1e-9);
+    let max_latency =
+        buckets.iter().map(|(_, d, _)| d.as_secs_f64()).fold(0.0f64, f64::max).max(1e-9);
     for (bucket, latency, n) in buckets {
-        let label = if bucket == 0 {
-            "   none".to_owned()
-        } else {
-            format!(">=2^{:02}B", bucket - 1)
-        };
+        let label =
+            if bucket == 0 { "   none".to_owned() } else { format!(">=2^{:02}B", bucket - 1) };
         let bar = "#".repeat((latency.as_secs_f64() / max_latency * 40.0).ceil() as usize);
         println!("{label}  {:>9.3?}  {n:>4} queries  {bar}", latency);
     }
@@ -490,11 +495,9 @@ pub fn distributed(rows: usize) {
         if let Some(spec) = &mut build.partition {
             spec.max_chunk_rows = (rows / shards / 60).clamp(200, 50_000);
         }
-        let cluster = Cluster::build(
-            &table,
-            &ClusterConfig { shards, build, ..Default::default() },
-        )
-        .expect("cluster");
+        let cluster =
+            Cluster::build(&table, &ClusterConfig { shards, build, ..Default::default() })
+                .expect("cluster");
         for _ in 0..3 {
             cluster.query(sql).expect("warmup"); // warm caches
         }
@@ -681,9 +684,8 @@ pub fn subdicts(rows: usize) {
 
     // Bloom filters: probes for values absent from the dictionary need no
     // group loads at all.
-    let false_positives = (0..2_000u32)
-        .filter(|i| index.may_need_group_load(col.dict.len() + 1 + i * 37))
-        .count();
+    let false_positives =
+        (0..2_000u32).filter(|i| index.may_need_group_load(col.dict.len() + 1 + i * 37)).count();
     println!(
         "  Bloom filters: {false_positives} of 2000 absent-value probes would load a group (false-positive rate {:.2}%)",
         false_positives as f64 / 20.0

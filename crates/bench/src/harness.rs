@@ -1,4 +1,11 @@
-//! Dataset setup, timing and table printing.
+//! Dataset setup, timing, table printing, and a small bench reporter.
+//!
+//! The bench targets under `benches/` are plain `harness = false` binaries
+//! built on [`Bench`] (the container carries no external bench framework):
+//! each case is warmed up once, timed over a fixed number of iterations,
+//! and reported as min/mean time per iteration plus derived throughput.
+//! Set `PD_BENCH_JSON=1` to additionally emit one JSON line per case (for
+//! `BENCH_*.json` trajectory capture).
 
 use pd_data::{generate_logs, LogsSpec, Table};
 use std::time::{Duration, Instant};
@@ -31,6 +38,74 @@ pub fn mb(bytes: usize) -> f64 {
     bytes as f64 / (1024.0 * 1024.0)
 }
 
+/// Minimal bench runner: named cases, per-iteration timing, throughput.
+pub struct Bench {
+    group: String,
+    /// Samples (timed repetitions) per case.
+    samples: usize,
+}
+
+impl Bench {
+    pub fn new(group: &str) -> Bench {
+        println!("\n=== bench: {group} ===");
+        Bench { group: group.to_owned(), samples: 5 }
+    }
+
+    pub fn samples(mut self, samples: usize) -> Bench {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Time `f` (one iteration per sample, one warmup) and report. Returns
+    /// the minimum per-iteration time for callers that compare cases.
+    pub fn case(&self, name: &str, mut f: impl FnMut()) -> Duration {
+        let best = measure_n(self.samples, &mut f);
+        self.report(name, best, None);
+        best
+    }
+
+    /// Like [`Bench::case`] with an element-throughput annotation.
+    pub fn case_throughput(&self, name: &str, elements: u64, mut f: impl FnMut()) -> Duration {
+        let best = measure_n(self.samples, &mut f);
+        self.report(name, best, Some(elements));
+        best
+    }
+
+    fn report(&self, name: &str, best: Duration, elements: Option<u64>) {
+        let per_iter = best.as_secs_f64();
+        let throughput = elements.map(|n| n as f64 / per_iter.max(1e-12));
+        match throughput {
+            Some(t) if t >= 1e6 => {
+                println!("{name:<42} {:>12}  {:>10.1} Melem/s", fmt_duration(best), t / 1e6)
+            }
+            Some(t) => println!("{name:<42} {:>12}  {t:>10.0} elem/s", fmt_duration(best)),
+            None => println!("{name:<42} {:>12}", fmt_duration(best)),
+        }
+        if std::env::var("PD_BENCH_JSON").is_ok() {
+            println!(
+                "{{\"group\":\"{}\",\"bench\":\"{name}\",\"ns_per_iter\":{},\"elements\":{}}}",
+                self.group,
+                best.as_nanos(),
+                elements.unwrap_or(0)
+            );
+        }
+    }
+}
+
+/// Human-readable duration with ~3 significant digits.
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
 /// Fixed-width table printer for experiment output.
 pub struct TablePrinter {
     widths: Vec<usize>,
@@ -47,11 +122,8 @@ impl TablePrinter {
     }
 
     pub fn row<S: AsRef<str>>(&self, cells: &[S]) {
-        let line: Vec<String> = cells
-            .iter()
-            .zip(&self.widths)
-            .map(|(c, w)| format!("{:>w$}", c.as_ref()))
-            .collect();
+        let line: Vec<String> =
+            cells.iter().zip(&self.widths).map(|(c, w)| format!("{:>w$}", c.as_ref())).collect();
         println!("{}", line.join("  "));
     }
 }

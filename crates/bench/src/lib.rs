@@ -1,11 +1,15 @@
-//! Shared harness for the experiment binary and the criterion benches.
+//! Shared harness for the experiment binary and the micro-benchmarks.
 //!
 //! Every table and figure of the paper's evaluation has a regenerator in
 //! [`experiments`]; `cargo run -p pd-bench --release --bin experiments --
 //! all` reprints them all. Dataset size defaults to 500'000 rows (the paper
-//! used 5 million; set `PD_ROWS=5000000` to match).
+//! used 5 million; set `PD_ROWS=5000000` to match). The `benches/` targets
+//! are plain binaries over [`harness::Bench`] — run them with
+//! `cargo bench -p pd-bench`.
 
 pub mod experiments;
 pub mod harness;
 
-pub use harness::{logs_table, measure, measure_n, mb, rows_from_env, TablePrinter};
+pub use harness::{
+    fmt_duration, logs_table, mb, measure, measure_n, rows_from_env, Bench, TablePrinter,
+};

@@ -125,7 +125,8 @@ mod tests {
         for i in 0..16_000u64 {
             buckets[(fx_hash64(&i) >> 60) as usize] += 1;
         }
-        let (min, max) = buckets.iter().fold((usize::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
+        let (min, max) =
+            buckets.iter().fold((usize::MAX, 0), |(lo, hi), &b| (lo.min(b), hi.max(b)));
         assert!(max < min * 2, "buckets too skewed: {buckets:?}");
     }
 

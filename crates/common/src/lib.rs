@@ -10,16 +10,22 @@
 //! - [`FxHashMap`] / [`FxHashSet`] — hash containers with a fast
 //!   multiply-xor hasher (the standard SipHash is too slow for the hot
 //!   group-by loops the paper benchmarks),
-//! - [`BitVec`] — a packed bit vector used by the 1-bit element encoding,
+//! - [`BitVec`] — a packed bit vector used by the 1-bit element encoding
+//!   and the per-chunk filter masks of the group-by kernels,
 //! - [`HeapSize`] — uniform deep-memory accounting, which the paper's
-//!   evaluation (Tables 1–4) is all about.
+//!   evaluation (Tables 1–4) is all about,
+//! - [`sync`] — poison-free `Mutex` / `RwLock` wrappers over `std::sync`,
+//! - [`rng`] — a small seedable xoshiro256++ PRNG for generators and load
+//!   models (the workspace carries no external dependencies).
 
 pub mod bitvec;
 pub mod error;
 pub mod hash;
 pub mod mem;
+pub mod rng;
 pub mod row;
 pub mod schema;
+pub mod sync;
 pub mod value;
 
 pub use bitvec::BitVec;

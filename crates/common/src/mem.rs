@@ -50,8 +50,7 @@ impl<T: HeapSize> HeapSize for Vec<T> {
 
 impl<T: HeapSize> HeapSize for Box<[T]> {
     fn heap_bytes(&self) -> usize {
-        self.len() * std::mem::size_of::<T>()
-            + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
+        self.len() * std::mem::size_of::<T>() + self.iter().map(HeapSize::heap_bytes).sum::<usize>()
     }
 }
 
@@ -79,10 +78,7 @@ impl<K: HeapSize, V: HeapSize, S> HeapSize for std::collections::HashMap<K, V, S
         // per slot at ~8/7 load factor headroom.
         let slot = std::mem::size_of::<(K, V)>() + 1;
         self.capacity() * slot
-            + self
-                .iter()
-                .map(|(k, v)| k.heap_bytes() + v.heap_bytes())
-                .sum::<usize>()
+            + self.iter().map(|(k, v)| k.heap_bytes() + v.heap_bytes()).sum::<usize>()
     }
 }
 

@@ -1,0 +1,174 @@
+//! A small, seedable PRNG for data generation and load modeling.
+//!
+//! The dataset generators and the distributed load model need reproducible
+//! pseudo-randomness, not cryptographic quality. This is xoshiro256++
+//! (Blackman & Vigna) seeded through SplitMix64 — the standard pairing —
+//! implemented here so the workspace stays dependency-free.
+
+/// xoshiro256++, seeded via SplitMix64.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Deterministic construction: equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        // SplitMix64 expansion of the seed into the full 256-bit state.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Rng { s }
+    }
+
+    /// The next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        let span = hi - lo;
+        // Lemire's multiply-shift rejection method: unbiased without
+        // division in the common case.
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (span as u128);
+        let mut l = m as u64;
+        if l < span {
+            let t = span.wrapping_neg() % span;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128) * (span as u128);
+                l = m as u64;
+            }
+        }
+        lo + (m >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `i64` in `[lo, hi]` (inclusive on both ends).
+    #[inline]
+    pub fn range_i64_inclusive(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi as i128 - lo as i128 + 1;
+        if span > u64::MAX as i128 {
+            // The full i64 range: every 64-bit pattern is a valid draw.
+            return self.next_u64() as i64;
+        }
+        lo.wrapping_add(self.range_u64(0, span as u64) as i64)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Pick a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.range_usize(0, items.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::seed_from_u64(43);
+        assert_ne!(Rng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.range_usize(0, 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+        for _ in 0..1_000 {
+            let v = rng.range_i64_inclusive(-5, 5);
+            assert!((-5..=5).contains(&v));
+        }
+        // Inclusive ranges reach both endpoints.
+        let mut hit_hi = false;
+        let mut hit_lo = false;
+        for _ in 0..10_000 {
+            match rng.range_i64_inclusive(0, 3) {
+                0 => hit_lo = true,
+                3 => hit_hi = true,
+                _ => {}
+            }
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
+    fn uniformity_is_rough_but_sane() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0usize; 8];
+        const N: usize = 80_000;
+        for _ in 0..N {
+            counts[rng.range_usize(0, 8)] += 1;
+        }
+        let expect = N / 8;
+        for c in counts {
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 10) as u64,
+                "bucket count {c} vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(5);
+        let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+    }
+}

@@ -107,11 +107,8 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let err = Schema::new(vec![
-            Field::new("x", DataType::Int),
-            Field::new("x", DataType::Str),
-        ])
-        .unwrap_err();
+        let err = Schema::new(vec![Field::new("x", DataType::Int), Field::new("x", DataType::Str)])
+            .unwrap_err();
         assert!(err.to_string().contains("duplicate"));
     }
 

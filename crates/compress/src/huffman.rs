@@ -24,7 +24,6 @@ const MAX_CODE_LEN: u8 = 56;
 /// Upper bound on the speculative output pre-allocation during decode.
 const MAX_PREALLOC: usize = 1 << 24;
 
-
 /// Pure canonical Huffman codec over bytes.
 pub struct HuffmanCodec;
 
@@ -134,10 +133,8 @@ fn code_lengths(freq: &[u64; 256]) -> [u8; 256] {
 
     // Tree nodes: leaves are 0..256 (symbol index), internals appended after.
     let mut parent: Vec<u32> = vec![u32::MAX; 256];
-    let mut heap: BinaryHeap<HeapItem> = present
-        .iter()
-        .map(|&s| HeapItem { freq: freq[s], node: s as u32 })
-        .collect();
+    let mut heap: BinaryHeap<HeapItem> =
+        present.iter().map(|&s| HeapItem { freq: freq[s], node: s as u32 }).collect();
     while heap.len() > 1 {
         let a = heap.pop().expect("len > 1");
         let b = heap.pop().expect("len > 1");
@@ -349,8 +346,7 @@ mod tests {
 
     #[test]
     fn deflate_round_trips() {
-        let input: Vec<u8> =
-            b"SELECT country, COUNT(*) FROM data GROUP BY country;".repeat(500);
+        let input: Vec<u8> = b"SELECT country, COUNT(*) FROM data GROUP BY country;".repeat(500);
         let c = DeflateCodec.compress(&input);
         assert_eq!(DeflateCodec.decompress(&c).unwrap(), input);
         assert!(c.len() < input.len() / 10);
@@ -386,11 +382,8 @@ mod tests {
             *f = i as u64 + 1;
         }
         let lengths = code_lengths(&freq);
-        let kraft: f64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 2f64.powi(-i32::from(l)))
-            .sum();
+        let kraft: f64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 2f64.powi(-i32::from(l))).sum();
         assert!((kraft - 1.0).abs() < 1e-9, "kraft sum {kraft}");
     }
 

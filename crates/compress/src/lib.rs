@@ -136,12 +136,8 @@ mod tests {
 
     #[test]
     fn repetitive_data_compresses_well() {
-        let input: Vec<u8> = b"country=US;country=US;country=DE;"
-            .iter()
-            .cycle()
-            .take(64 * 1024)
-            .copied()
-            .collect();
+        let input: Vec<u8> =
+            b"country=US;country=US;country=DE;".iter().cycle().take(64 * 1024).copied().collect();
         for kind in [CodecKind::Zippy, CodecKind::Lzf, CodecKind::Deflate] {
             let compressed = kind.codec().compress(&input);
             assert!(

@@ -25,7 +25,6 @@ const HASH_BITS: u32 = 15;
 /// Upper bound on the speculative output pre-allocation during decode.
 const MAX_PREALLOC: usize = 1 << 24;
 
-
 /// The Zippy-like LZ77 codec.
 pub struct LzCodec;
 
@@ -97,9 +96,8 @@ impl Codec for LzCodec {
         // allocation and let the vector grow organically past it.
         let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
         while out.len() < len {
-            let ctrl = *input
-                .get(pos)
-                .ok_or_else(|| Error::Data("lz: truncated control byte".into()))?;
+            let ctrl =
+                *input.get(pos).ok_or_else(|| Error::Data("lz: truncated control byte".into()))?;
             pos += 1;
             if ctrl < 0x80 {
                 let n = ctrl as usize + 1;
@@ -130,10 +128,7 @@ impl Codec for LzCodec {
             }
         }
         if out.len() != len {
-            return Err(Error::Data(format!(
-                "lz: expected {len} bytes, produced {}",
-                out.len()
-            )));
+            return Err(Error::Data(format!("lz: expected {len} bytes, produced {}", out.len())));
         }
         Ok(out)
     }

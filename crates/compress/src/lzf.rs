@@ -107,9 +107,8 @@ impl Codec for LzfCodec {
         // allocation and let the vector grow organically past it.
         let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
         while out.len() < len {
-            let ctrl = *input
-                .get(pos)
-                .ok_or_else(|| Error::Data("lzf: truncated control byte".into()))?;
+            let ctrl =
+                *input.get(pos).ok_or_else(|| Error::Data("lzf: truncated control byte".into()))?;
             pos += 1;
             if ctrl < 0x20 {
                 let n = ctrl as usize + 1;
@@ -155,10 +154,7 @@ impl Codec for LzfCodec {
             }
         }
         if out.len() != len {
-            return Err(Error::Data(format!(
-                "lzf: expected {len} bytes, produced {}",
-                out.len()
-            )));
+            return Err(Error::Data(format!("lzf: expected {len} bytes, produced {}", out.len())));
         }
         Ok(out)
     }
@@ -215,9 +211,8 @@ mod tests {
     fn ratio_competitive_with_zippy_on_column_data() {
         // Dictionary-encoded chunk-id payloads: the denser hash table should
         // match or beat the Zippy-style codec.
-        let input: Vec<u8> = (0..120_000u32)
-            .flat_map(|i| ((i / 37 % 900) as u16).to_le_bytes())
-            .collect();
+        let input: Vec<u8> =
+            (0..120_000u32).flat_map(|i| ((i / 37 % 900) as u16).to_le_bytes()).collect();
         let lzf = round_trip(&input);
         let zippy = crate::lz::LzCodec.compress(&input);
         assert!(

@@ -24,7 +24,6 @@ const MAX_RUN: usize = 129;
 /// Upper bound on the speculative output pre-allocation during decode.
 const MAX_PREALLOC: usize = 1 << 24;
 
-
 impl Codec for RleCodec {
     fn name(&self) -> &'static str {
         "rle"
@@ -63,9 +62,8 @@ impl Codec for RleCodec {
         // allocation and let the vector grow organically past it.
         let mut out = Vec::with_capacity(len.min(MAX_PREALLOC));
         while out.len() < len {
-            let ctrl = *input
-                .get(pos)
-                .ok_or_else(|| Error::Data("rle: truncated control byte".into()))?;
+            let ctrl =
+                *input.get(pos).ok_or_else(|| Error::Data("rle: truncated control byte".into()))?;
             pos += 1;
             if ctrl < 0x80 {
                 let n = ctrl as usize + 1;
@@ -76,18 +74,14 @@ impl Codec for RleCodec {
                 pos += n;
             } else {
                 let n = (ctrl - 0x80) as usize + 2;
-                let byte = *input
-                    .get(pos)
-                    .ok_or_else(|| Error::Data("rle: truncated run byte".into()))?;
+                let byte =
+                    *input.get(pos).ok_or_else(|| Error::Data("rle: truncated run byte".into()))?;
                 pos += 1;
                 out.resize(out.len() + n, byte);
             }
         }
         if out.len() != len {
-            return Err(Error::Data(format!(
-                "rle: expected {len} bytes, produced {}",
-                out.len()
-            )));
+            return Err(Error::Data(format!("rle: expected {len} bytes, produced {}", out.len())));
         }
         Ok(out)
     }

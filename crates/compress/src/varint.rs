@@ -26,9 +26,7 @@ pub fn read_u64(input: &[u8], pos: &mut usize) -> Result<u64> {
     let mut value: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *input
-            .get(*pos)
-            .ok_or_else(|| Error::Data("truncated varint".into()))?;
+        let byte = *input.get(*pos).ok_or_else(|| Error::Data("truncated varint".into()))?;
         *pos += 1;
         if shift == 63 && byte > 1 {
             return Err(Error::Data("varint overflows u64".into()));

@@ -1,85 +1,111 @@
-//! Property tests: every codec must round-trip arbitrary byte strings and
-//! never panic on corrupted input.
+//! Randomized properties: every codec must round-trip arbitrary byte
+//! strings and never panic on corrupted input. Driven by a seeded PRNG so
+//! failures reproduce exactly.
 
+use pd_common::rng::Rng;
 use pd_compress::{Codec, CodecKind};
-use proptest::prelude::*;
 
 fn all_codecs() -> Vec<&'static dyn Codec> {
     CodecKind::ALL.iter().map(|k| k.codec()).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.range_usize(0, max_len + 1);
+    (0..len).map(|_| rng.range_u64(0, 256) as u8).collect()
+}
 
-    #[test]
-    fn round_trip_arbitrary_bytes(input in proptest::collection::vec(any::<u8>(), 0..4096)) {
+#[test]
+fn round_trip_arbitrary_bytes() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c001);
+    for case in 0..64 {
+        let input = random_bytes(&mut rng, 4096);
         for codec in all_codecs() {
             let compressed = codec.compress(&input);
-            let output = codec.decompress(&compressed)
-                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
-            prop_assert_eq!(&output, &input, "codec {}", codec.name());
+            let output = codec
+                .decompress(&compressed)
+                .unwrap_or_else(|e| panic!("case {case} {}: {e}", codec.name()));
+            assert_eq!(output, input, "case {case} codec {}", codec.name());
         }
     }
+}
 
-    #[test]
-    fn round_trip_low_entropy_bytes(
-        seed in proptest::collection::vec(0u8..4, 1..16),
-        reps in 1usize..400,
-    ) {
+#[test]
+fn round_trip_low_entropy_bytes() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c002);
+    for case in 0..64 {
         // Column-shaped data: few distinct values, long repeats.
+        let seed_len = rng.range_usize(1, 16);
+        let seed: Vec<u8> = (0..seed_len).map(|_| rng.range_u64(0, 4) as u8).collect();
+        let reps = rng.range_usize(1, 400);
         let input: Vec<u8> = seed.iter().cycle().take(seed.len() * reps).copied().collect();
         for codec in all_codecs() {
             let compressed = codec.compress(&input);
-            let output = codec.decompress(&compressed)
-                .unwrap_or_else(|e| panic!("{}: {e}", codec.name()));
-            prop_assert_eq!(&output, &input, "codec {}", codec.name());
+            let output = codec
+                .decompress(&compressed)
+                .unwrap_or_else(|e| panic!("case {case} {}: {e}", codec.name()));
+            assert_eq!(output, input, "case {case} codec {}", codec.name());
         }
     }
+}
 
-    #[test]
-    fn decompress_never_panics_on_garbage(garbage in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn decompress_never_panics_on_garbage() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c003);
+    for _ in 0..64 {
+        let garbage = random_bytes(&mut rng, 512);
         for codec in all_codecs() {
             // Any result is fine; panics and unbounded allocation are not.
             let _ = codec.decompress(&garbage);
         }
     }
+}
 
-    #[test]
-    fn decompress_never_panics_on_truncation(
-        input in proptest::collection::vec(any::<u8>(), 0..1024),
-        cut_ratio in 0.0f64..1.0,
-    ) {
+#[test]
+fn decompress_never_panics_on_truncation() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c004);
+    for _ in 0..32 {
+        let input = random_bytes(&mut rng, 1024);
+        let cut_ratio = rng.next_f64();
         for codec in all_codecs() {
             let compressed = codec.compress(&input);
             let cut = (compressed.len() as f64 * cut_ratio) as usize;
             let _ = codec.decompress(&compressed[..cut]);
         }
     }
+}
 
-    #[test]
-    fn varint_round_trip(values in proptest::collection::vec(any::<u64>(), 0..200)) {
-        use pd_compress::varint;
+#[test]
+fn varint_round_trip() {
+    use pd_compress::varint;
+    let mut rng = Rng::seed_from_u64(0xc0de_c005);
+    for _ in 0..64 {
+        let values: Vec<u64> = (0..rng.range_usize(0, 200)).map(|_| rng.next_u64()).collect();
         let mut buf = Vec::new();
         for &v in &values {
             varint::write_u64(&mut buf, v);
         }
         let mut pos = 0;
         for &v in &values {
-            prop_assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(varint::read_u64(&buf, &mut pos).unwrap(), v);
         }
-        prop_assert_eq!(pos, buf.len());
+        assert_eq!(pos, buf.len());
     }
+}
 
-    #[test]
-    fn zigzag_varint_round_trip(values in proptest::collection::vec(any::<i64>(), 0..200)) {
-        use pd_compress::varint;
+#[test]
+fn zigzag_varint_round_trip() {
+    use pd_compress::varint;
+    let mut rng = Rng::seed_from_u64(0xc0de_c006);
+    for _ in 0..64 {
+        let values: Vec<i64> =
+            (0..rng.range_usize(0, 200)).map(|_| rng.next_u64() as i64).collect();
         let mut buf = Vec::new();
         for &v in &values {
             varint::write_i64(&mut buf, v);
         }
         let mut pos = 0;
         for &v in &values {
-            prop_assert_eq!(varint::read_i64(&buf, &mut pos).unwrap(), v);
+            assert_eq!(varint::read_i64(&buf, &mut pos).unwrap(), v);
         }
     }
 }

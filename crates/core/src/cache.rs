@@ -21,8 +21,8 @@
 //! deployment would pay (disk reads, decompressions), which feed the §6
 //! accounting and Figure 5.
 
-use parking_lot::Mutex;
-use pd_common::{FxHashMap, Value};
+use pd_common::sync::Mutex;
+use pd_common::FxHashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -267,9 +267,8 @@ impl Layer {
             PolicyState::Arc { t1, t2, b1, b2, p } => {
                 let t1_bytes: usize =
                     t1.keys().map(|k| self.sizes.get(k).copied().unwrap_or(0)).sum();
-                let prefer_t1 = t1_bytes > *p
-                    || (t1_bytes == *p && b2.contains(incoming))
-                    || t2.is_empty();
+                let prefer_t1 =
+                    t1_bytes > *p || (t1_bytes == *p && b2.contains(incoming)) || t2.is_empty();
                 let (from, ghost) = if prefer_t1 && !t1.is_empty() { (t1, b1) } else { (t2, b2) };
                 let victim = from.pop_front()?;
                 ghost.push_back(victim.clone());
@@ -339,7 +338,23 @@ impl OrderedKeys {
 }
 
 /// One cached group-by partial for a fully active chunk.
-pub type ChunkGroups = Vec<(Box<[Value]>, Vec<crate::exec::AggState>)>;
+///
+/// Keys are the **global-ids** of the group-by key columns (stable for the
+/// lifetime of a store): the executor folds chunks in the id domain and
+/// translates ids to [`Value`]s only once per distinct result group, so a
+/// cached chunk costs no dictionary lookups at all on a hit.
+pub type ChunkGroups = Vec<(Box<[u32]>, Vec<crate::exec::AggState>)>;
+
+/// A chunk's cached (or freshly computed) group-by contribution.
+pub enum CachedChunk {
+    /// Generic per-group aggregation states.
+    Groups(ChunkGroups),
+    /// The paper's fast path, kept in its raw form: a single plain group-by
+    /// key and `COUNT(*)` only — counts indexed by **chunk-id**, no
+    /// per-group allocation at all. The fold adds these straight into a
+    /// global-id-indexed array via the chunk dictionary.
+    DenseSingleCount(Vec<u64>),
+}
 
 /// The §6 chunk-result cache: results of fully-active chunks, keyed by
 /// (query signature, chunk).
@@ -348,7 +363,7 @@ pub struct ResultCache {
 }
 
 struct ResultCacheInner {
-    entries: FxHashMap<(String, u32), Arc<ChunkGroups>>,
+    entries: FxHashMap<(String, u32), Arc<CachedChunk>>,
     order: VecDeque<(String, u32)>,
     capacity: usize,
     hits: u64,
@@ -369,7 +384,7 @@ impl ResultCache {
         }
     }
 
-    pub fn get(&self, signature: &str, chunk: u32) -> Option<Arc<ChunkGroups>> {
+    pub fn get(&self, signature: &str, chunk: u32) -> Option<Arc<CachedChunk>> {
         let mut inner = self.inner.lock();
         match inner.entries.get(&(signature.to_owned(), chunk)).cloned() {
             Some(hit) => {
@@ -383,7 +398,7 @@ impl ResultCache {
         }
     }
 
-    pub fn put(&self, signature: &str, chunk: u32, groups: Arc<ChunkGroups>) {
+    pub fn put(&self, signature: &str, chunk: u32, groups: Arc<CachedChunk>) {
         let mut inner = self.inner.lock();
         let key = (signature.to_owned(), chunk);
         if inner.entries.insert(key.clone(), groups).is_none() {
@@ -503,7 +518,7 @@ mod tests {
     #[test]
     fn result_cache_round_trip_and_bound() {
         let rc = ResultCache::new(2);
-        let groups: Arc<ChunkGroups> = Arc::new(vec![]);
+        let groups: Arc<CachedChunk> = Arc::new(CachedChunk::Groups(vec![]));
         rc.put("sig", 0, groups.clone());
         rc.put("sig", 1, groups.clone());
         assert!(rc.get("sig", 0).is_some());
@@ -517,7 +532,7 @@ mod tests {
     #[test]
     fn distinct_signatures_do_not_collide() {
         let rc = ResultCache::new(8);
-        rc.put("q1", 0, Arc::new(vec![]));
+        rc.put("q1", 0, Arc::new(CachedChunk::Groups(vec![])));
         assert!(rc.get("q2", 0).is_none());
     }
 }

@@ -34,6 +34,13 @@ impl ColumnChunk {
         self.dict.global_id_of(self.elements.get(row))
     }
 
+    /// Borrowed view of this chunk's raw element codes — what the group-by
+    /// kernels iterate instead of calling [`Elements::get`] per row.
+    #[inline]
+    pub fn codes(&self) -> pd_encoding::CodesView<'_> {
+        self.elements.codes()
+    }
+
     /// Serialized payload (chunk dict + elements) for the compressed layer.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = self.dict.to_bytes();
@@ -148,8 +155,7 @@ impl StoredColumn {
     /// what the two-layer cache moves around).
     pub fn compressed_bytes(&self, codec: &dyn Codec) -> usize {
         let dict = codec.compress(&self.dict.to_bytes()).len();
-        let chunks: usize =
-            self.chunks.iter().map(|c| codec.compress(&c.to_bytes()).len()).sum();
+        let chunks: usize = self.chunks.iter().map(|c| codec.compress(&c.to_bytes()).len()).sum();
         dict + chunks
     }
 
@@ -179,12 +185,9 @@ impl HeapSize for StoredColumn {
 /// Validate that a column's values are homogeneous and non-null before
 /// storage (defensive re-check used by virtual-field materialization).
 pub fn check_column_type(values: &[Value]) -> Result<DataType> {
-    let first = values
-        .first()
-        .ok_or_else(|| Error::Data("empty column".into()))?;
-    let dtype = first
-        .data_type()
-        .ok_or_else(|| Error::Data("null values are not storable".into()))?;
+    let first = values.first().ok_or_else(|| Error::Data("empty column".into()))?;
+    let dtype =
+        first.data_type().ok_or_else(|| Error::Data("null values are not storable".into()))?;
     for v in values {
         if v.data_type() != Some(dtype) {
             return Err(Error::Type(format!(
@@ -200,7 +203,6 @@ pub fn check_column_type(values: &[Value]) -> Result<DataType> {
 mod tests {
     use super::*;
     use crate::options::PartitionSpec;
-    
 
     fn values(strs: &[&str]) -> Vec<Value> {
         strs.iter().map(|s| Value::from(*s)).collect()
@@ -225,10 +227,7 @@ mod tests {
             "voyages snfc",
             "la redoute",
         ]);
-        let p = Partitioning {
-            row_order: (0..12).collect(),
-            chunk_starts: vec![0, 5, 9, 12],
-        };
+        let p = Partitioning { row_order: (0..12).collect(), chunk_starts: vec![0, 5, 9, 12] };
         (vals, p)
     }
 
@@ -284,7 +283,9 @@ mod tests {
     #[test]
     fn trie_dicts_shrink_string_columns() {
         let vals: Vec<Value> = (0..2000)
-            .map(|i| Value::from(format!("logs.ads.queries_{:03}.2011-11-{:02}", i % 40, i % 28 + 1)))
+            .map(|i| {
+                Value::from(format!("logs.ads.queries_{:03}.2011-11-{:02}", i % 40, i % 28 + 1))
+            })
             .collect();
         let p = Partitioning::single_chunk(vals.len());
         let spec = PartitionSpec::new(&[], 1_000_000);
@@ -321,10 +322,7 @@ mod tests {
     #[test]
     fn numeric_columns_round_trip() {
         let vals: Vec<Value> = (0..500).map(|i| Value::Int((i % 37) * 1000)).collect();
-        let p = Partitioning {
-            row_order: (0..500).collect(),
-            chunk_starts: vec![0, 250, 500],
-        };
+        let p = Partitioning { row_order: (0..500).collect(), chunk_starts: vec![0, 250, 500] };
         let col = StoredColumn::build(&vals, &p, &BuildOptions::default()).unwrap();
         assert_eq!(col.data_type(), DataType::Int);
         for c in 0..2 {

@@ -14,7 +14,7 @@
 use crate::column::StoredColumn;
 use crate::options::BuildOptions;
 use crate::partition::{partition, Partitioning};
-use parking_lot::RwLock;
+use pd_common::sync::RwLock;
 use pd_common::{Error, HeapSize, Result, Schema, Value};
 use pd_data::Table;
 use pd_encoding::build_dict;
@@ -67,8 +67,7 @@ impl DataStore {
             for c in 0..partitioning.chunk_count() {
                 let range = partitioning.chunk_range(c);
                 partitioning.row_order[range].sort_by_key(|&r| {
-                    let mut key: Vec<u32> =
-                        key_refs.iter().map(|col| col[r as usize]).collect();
+                    let mut key: Vec<u32> = key_refs.iter().map(|col| col[r as usize]).collect();
                     key.push(r); // stable tie-break
                     key
                 });

@@ -1,45 +1,57 @@
-//! Query execution (§2.4).
+//! Query execution (§2.4), morsel-parallel across chunks.
 //!
 //! Per active chunk, group-by evaluation "boils down to executing
 //! `counts[elements[row]]++`" over a dense array sized by the chunk
 //! dictionary, after which per-chunk results are folded into a hash table
-//! keyed by global values. This module generalizes that loop to multiple
-//! keys and the full aggregate set while keeping the paper's fast path
-//! intact (single key, `COUNT(*)`, no filter → literally the counts-array
-//! loop).
+//! keyed by global values. The per-chunk loops live in [`crate::kernels`]
+//! and operate on raw dictionary codes; this module owns planning, the
+//! chunk schedule and the fold.
 //!
-//! Row filtering compiles the `WHERE` expression *per chunk*: any predicate
-//! subtree touching a single column is tabulated once per chunk-dictionary
-//! entry (at most `n` evaluations for a chunk with `n` distinct values) and
-//! then costs one array lookup per row; only genuinely multi-column
-//! subtrees fall back to per-row evaluation.
+//! Because every chunk is immutable and per-chunk group states are
+//! mergeable (the same property §4 uses to aggregate across machines),
+//! active chunks execute **in parallel**: [`Plan::run`] builds a work queue
+//! of chunk tasks and a [`crate::scheduler`] worker pool scans them on
+//! [`ExecContext::threads`] threads. Per-chunk results come back in chunk
+//! order and are folded sequentially, so parallel execution returns
+//! bit-identical results to sequential execution — float summation order,
+//! group contents and chunk-skipping statistics do not depend on the
+//! thread count.
+//!
+//! Row filtering compiles the `WHERE` expression *per chunk* into a packed
+//! [`pd_common::BitVec`] mask: any predicate subtree touching a single
+//! column is tabulated once per chunk-dictionary entry (at most `n`
+//! evaluations for a chunk with `n` distinct values) and then costs one
+//! array lookup per row; only genuinely multi-column subtrees fall back to
+//! per-row evaluation.
 //!
 //! [`execute_partial`] returns mergeable group states — the building block
 //! the distributed layer (§4) combines up its computation tree —
 //! and [`finalize`] applies `HAVING` / `ORDER BY` / `LIMIT` at the root.
 
-use crate::cache::{ChunkGroups, ResultCache, TieredCache};
+use crate::cache::{CachedChunk, ChunkGroups, ResultCache, TieredCache};
 use crate::column::StoredColumn;
 use crate::count_distinct::KmvSketch;
 use crate::datastore::DataStore;
+use crate::kernels::{self, ChunkAcc, DENSE_GROUP_LIMIT};
+use crate::scheduler;
 use crate::skip::{ChunkActivity, SkipAnalysis};
 use crate::stats::ScanStats;
-use pd_common::{fx_hash64, DataType, Error, FxHashMap, HeapSize, Result, Row, Value};
+use pd_common::{BitVec, DataType, Error, FxHashMap, HeapSize, Result, Row, Value};
 use pd_sql::{
     analyze, eval_expr, parse_query, truthy, AggFunc, AnalyzedQuery, Expr, OutputCol, RowContext,
 };
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Per-chunk dense-grouping limit: products of key-dictionary sizes up to
-/// this use a flat array; larger products fall back to a hash map.
-const DENSE_GROUP_LIMIT: usize = 1 << 16;
-
 /// Execution knobs.
 #[derive(Clone, Default)]
 pub struct ExecContext {
     /// Sketch size for approximate count distinct (§5); 0 uses the default.
     pub sketch_m: usize,
+    /// Worker threads for the morsel-driven chunk scan; 0 (the default)
+    /// uses the machine's available parallelism, 1 forces sequential
+    /// execution. Results are identical for every setting.
+    pub threads: usize,
     /// Chunk-result cache for fully active chunks (§6).
     pub result_cache: Option<Arc<ResultCache>>,
     /// Two-layer residency model for I/O accounting (§3, Figure 5).
@@ -52,6 +64,15 @@ impl ExecContext {
             4096
         } else {
             self.sketch_m
+        }
+    }
+
+    /// Resolve the `threads` knob (0 = available parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            scheduler::available_threads()
+        } else {
+            self.threads
         }
     }
 }
@@ -84,16 +105,13 @@ impl QueryResult {
         }
         let mut out = String::new();
         let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}")).collect::<Vec<_>>().join("  ")
         };
         out.push_str(&fmt_row(self.columns.clone(), &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in rendered {
             out.push_str(&fmt_row(row, &widths));
@@ -313,7 +331,7 @@ impl RowContext for NamedRowContext<'_> {
 }
 
 /// What an aggregate needs per chunk.
-enum AggKind {
+pub(crate) enum AggKind {
     Count,
     SumInt,
     SumFloat,
@@ -322,10 +340,10 @@ enum AggKind {
     Distinct { m: usize },
 }
 
-struct AggPlan {
-    kind: AggKind,
+pub(crate) struct AggPlan {
+    pub(crate) kind: AggKind,
     /// Argument column (None for COUNT(*) / COUNT(x), which only counts).
-    col: Option<Arc<StoredColumn>>,
+    pub(crate) col: Option<Arc<StoredColumn>>,
 }
 
 /// The prepared execution plan.
@@ -340,10 +358,160 @@ struct Plan {
     touched: Vec<(Arc<str>, Arc<StoredColumn>)>,
 }
 
-struct FilterPlan {
-    expr: Expr,
+pub(crate) struct FilterPlan {
+    pub(crate) expr: Expr,
     /// Columns referenced by the filter: (name, column).
-    cols: Vec<(String, Arc<StoredColumn>)>,
+    pub(crate) cols: Vec<(String, Arc<StoredColumn>)>,
+}
+
+/// One scanned chunk's contribution, produced by a worker.
+///
+/// Workers never mutate shared state: a cache hit is returned as-is and a
+/// computed payload is handed back for the driver to admit into the cache
+/// (and account) in deterministic chunk order.
+enum ChunkScan {
+    Cached(Arc<CachedChunk>),
+    Computed(CachedChunk),
+}
+
+/// The driver-side, chunk-ordered fold of scan payloads.
+///
+/// Owns every shared-state mutation (cache admission, tiered-cache
+/// touches, statistics), keeping them deterministic under any worker
+/// scheduling. Groups accumulate in the global-id domain; dense single-key
+/// `COUNT(*)` payloads add into a global-id-indexed array when the key
+/// dictionary is proportionate to the scanned volume, and hash-fold
+/// otherwise (so a selective query over a store with an enormous global
+/// dictionary never allocates `dict.len()` slots for a handful of groups).
+struct Fold<'a> {
+    plan: &'a Plan,
+    store: &'a DataStore,
+    ctx: &'a ExecContext,
+    tasks: &'a [(usize, bool)],
+    id_groups: FxHashMap<Box<[u32]>, Vec<AggState>>,
+    dense_counts: Option<Vec<u64>>,
+    use_dense_fold: bool,
+}
+
+impl<'a> Fold<'a> {
+    fn new(
+        plan: &'a Plan,
+        store: &'a DataStore,
+        ctx: &'a ExecContext,
+        tasks: &'a [(usize, bool)],
+    ) -> Fold<'a> {
+        let active_rows: u64 = tasks.iter().map(|&(c, _)| store.chunk_rows(c) as u64).sum();
+        let use_dense_fold = plan
+            .key_cols
+            .first()
+            .is_some_and(|col| u64::from(col.dict.len()) <= (4 * active_rows).max(1024));
+        Fold {
+            plan,
+            store,
+            ctx,
+            tasks,
+            id_groups: FxHashMap::default(),
+            dense_counts: None,
+            use_dense_fold,
+        }
+    }
+
+    /// Fold task `i`'s scan: account statistics, admit computed payloads
+    /// into the result cache, merge the groups.
+    fn absorb(&mut self, stats: &mut ScanStats, i: usize, scan: ChunkScan) -> Result<()> {
+        let (c, filtered) = self.tasks[i];
+        let rows = self.store.chunk_rows(c) as u64;
+        let payload: ChunkPayloadRef = match scan {
+            ChunkScan::Cached(hit) => {
+                stats.chunks_cached += 1;
+                stats.rows_cached += rows;
+                ChunkPayloadRef::Shared(hit)
+            }
+            ChunkScan::Computed(payload) => {
+                self.plan.account_scan(stats, self.ctx, c, rows);
+                match (&self.ctx.result_cache, filtered) {
+                    (Some(rc), false) => {
+                        let shared = Arc::new(payload);
+                        rc.put(&self.plan.signature, c as u32, shared.clone());
+                        ChunkPayloadRef::Shared(shared)
+                    }
+                    _ => ChunkPayloadRef::Owned(payload),
+                }
+            }
+        };
+        match &*payload {
+            CachedChunk::Groups(groups) => fold(&mut self.id_groups, groups)?,
+            CachedChunk::DenseSingleCount(counts) => {
+                let key_col = &self.plan.key_cols[0];
+                let chunk_dict = &key_col.chunks[c].dict;
+                if self.use_dense_fold {
+                    let global = self
+                        .dense_counts
+                        .get_or_insert_with(|| vec![0u64; key_col.dict.len() as usize]);
+                    for (cid, &n) in counts.iter().enumerate() {
+                        if n > 0 {
+                            global[chunk_dict.global_id_of(cid as u32) as usize] += n;
+                        }
+                    }
+                } else {
+                    for (cid, &n) in counts.iter().enumerate() {
+                        if n > 0 {
+                            merge_count(
+                                &mut self.id_groups,
+                                chunk_dict.global_id_of(cid as u32),
+                                n,
+                            )?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge any dense counts into the group map and return it.
+    fn finish(mut self) -> Result<FxHashMap<Box<[u32]>, Vec<AggState>>> {
+        if let Some(global) = self.dense_counts.take() {
+            for (gid, &n) in global.iter().enumerate() {
+                if n > 0 {
+                    merge_count(&mut self.id_groups, gid as u32, n)?;
+                }
+            }
+        }
+        Ok(self.id_groups)
+    }
+}
+
+fn merge_count(
+    id_groups: &mut FxHashMap<Box<[u32]>, Vec<AggState>>,
+    gid: u32,
+    n: u64,
+) -> Result<()> {
+    match id_groups.entry(Box::from([gid])) {
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(vec![AggState::Count(n)]);
+        }
+        std::collections::hash_map::Entry::Occupied(mut e) => {
+            e.get_mut()[0].merge(&AggState::Count(n))?;
+        }
+    }
+    Ok(())
+}
+
+enum ChunkPayloadRef {
+    Owned(CachedChunk),
+    Shared(Arc<CachedChunk>),
+}
+
+impl std::ops::Deref for ChunkPayloadRef {
+    type Target = CachedChunk;
+
+    fn deref(&self) -> &CachedChunk {
+        match self {
+            ChunkPayloadRef::Owned(g) => g,
+            ChunkPayloadRef::Shared(g) => g,
+        }
+    }
 }
 
 impl Plan {
@@ -424,32 +592,26 @@ impl Plan {
         let signature = format!(
             "{}|keys:{}|aggs:{}|m:{}",
             analyzed.table.as_deref().unwrap_or(""),
-            analyzed
-                .keys
-                .iter()
-                .map(Expr::canonical)
-                .collect::<Vec<_>>()
-                .join(","),
-            analyzed
-                .aggs
-                .iter()
-                .map(|a| a.to_string())
-                .collect::<Vec<_>>()
-                .join(","),
+            analyzed.keys.iter().map(Expr::canonical).collect::<Vec<_>>().join(","),
+            analyzed.aggs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
             ctx.sketch_m(),
         );
 
         Ok(Plan { key_cols, aggs, filter, skip, signature, touched })
     }
 
+    /// Scan the active chunks (in parallel when `ctx.threads != 1`) and
+    /// fold their group states in chunk order.
     fn run(&self, store: &DataStore, ctx: &ExecContext) -> Result<(PartialResult, ScanStats)> {
         let mut stats = ScanStats {
             chunks_total: store.chunk_count(),
             rows_total: store.n_rows() as u64,
             ..Default::default()
         };
-        let mut result = PartialResult::default();
 
+        // Classify every chunk up front — the skip analysis is a pure
+        // dictionary computation, so it stays on the driver thread.
+        let mut tasks: Vec<(usize, bool)> = Vec::new();
         for c in 0..store.chunk_count() {
             let rows = store.chunk_rows(c) as u64;
             if rows == 0 {
@@ -460,32 +622,78 @@ impl Plan {
                     stats.chunks_skipped += 1;
                     stats.rows_skipped += rows;
                 }
-                ChunkActivity::Full => {
-                    if let Some(rc) = &ctx.result_cache {
-                        if let Some(hit) = rc.get(&self.signature, c as u32) {
-                            stats.chunks_cached += 1;
-                            stats.rows_cached += rows;
-                            fold(&mut result, &hit)?;
-                            continue;
-                        }
-                        let groups = Arc::new(self.chunk_groups(store, c, false)?);
-                        rc.put(&self.signature, c as u32, groups.clone());
-                        self.account_scan(&mut stats, ctx, c, rows);
-                        fold(&mut result, &groups)?;
-                    } else {
-                        let groups = self.chunk_groups(store, c, false)?;
-                        self.account_scan(&mut stats, ctx, c, rows);
-                        fold(&mut result, &groups)?;
-                    }
-                }
-                ChunkActivity::Partial => {
-                    let groups = self.chunk_groups(store, c, true)?;
-                    self.account_scan(&mut stats, ctx, c, rows);
-                    fold(&mut result, &groups)?;
+                ChunkActivity::Full => tasks.push((c, false)),
+                ChunkActivity::Partial => tasks.push((c, true)),
+            }
+        }
+
+        // Morsel-driven scan: workers pull chunk tasks off a shared queue,
+        // each producing that chunk's mergeable groups. Workers only *read*
+        // shared state (the result cache's get); every mutation — cache
+        // admission, tiered-cache touches, statistics — happens in the fold
+        // on the driver in chunk order, so cache eviction state and modeled
+        // I/O stay deterministic regardless of worker scheduling. With one
+        // worker the fold streams chunk by chunk (one payload live at a
+        // time, like the sequential seed); the parallel path buffers
+        // payloads until the ordered fold.
+        let mut folder = Fold::new(self, store, ctx, &tasks);
+        let threads = ctx.effective_threads();
+        if threads <= 1 || tasks.len() <= 1 {
+            for (i, &(c, filtered)) in tasks.iter().enumerate() {
+                let scan = self.scan_chunk(store, ctx, c, filtered)?;
+                folder.absorb(&mut stats, i, scan)?;
+            }
+        } else {
+            let scans = scheduler::run_tasks(threads, tasks.len(), |i| {
+                let (c, filtered) = tasks[i];
+                self.scan_chunk(store, ctx, c, filtered)
+            })?;
+            for (i, scan) in scans.into_iter().enumerate() {
+                folder.absorb(&mut stats, i, scan)?;
+            }
+        }
+        let id_groups = folder.finish()?;
+
+        // Translate ids to values once per distinct id per key column —
+        // dictionary lookups (trie walks for string columns) are paid per
+        // result group, not per chunk-dictionary entry.
+        let mut result = PartialResult::default();
+        let mut memos: Vec<FxHashMap<u32, Value>> =
+            self.key_cols.iter().map(|_| FxHashMap::default()).collect();
+        for (ids, states) in id_groups {
+            let key: Box<[Value]> = ids
+                .iter()
+                .zip(&self.key_cols)
+                .zip(memos.iter_mut())
+                .map(|((&id, col), memo)| {
+                    memo.entry(id).or_insert_with(|| col.dict.value(id)).clone()
+                })
+                .collect();
+            // Dictionaries are bijections, so distinct id tuples map to
+            // distinct value tuples: plain insert, no merge needed.
+            result.groups.insert(key, states);
+        }
+        Ok((result, stats))
+    }
+
+    /// Scan one chunk: consult the chunk-result cache for fully active
+    /// chunks (read-only), compute groups otherwise. Cache admission and
+    /// I/O accounting happen later, on the driver, in chunk order.
+    fn scan_chunk(
+        &self,
+        store: &DataStore,
+        ctx: &ExecContext,
+        c: usize,
+        filtered: bool,
+    ) -> Result<ChunkScan> {
+        if !filtered {
+            if let Some(rc) = &ctx.result_cache {
+                if let Some(hit) = rc.get(&self.signature, c as u32) {
+                    return Ok(ChunkScan::Cached(hit));
                 }
             }
         }
-        Ok((result, stats))
+        Ok(ChunkScan::Computed(self.chunk_payload(store, c, filtered)?))
     }
 
     /// Record scan costs for chunk `c`: cells touched and the modeled I/O
@@ -511,94 +719,60 @@ impl Plan {
 
     /// Group one chunk. `filtered` says whether the row filter applies
     /// (fully active chunks skip it by definition).
-    fn chunk_groups(&self, store: &DataStore, c: usize, filtered: bool) -> Result<ChunkGroups> {
+    fn chunk_payload(&self, store: &DataStore, c: usize, filtered: bool) -> Result<CachedChunk> {
         let rows = store.chunk_rows(c);
         let key_chunks: Vec<_> = self.key_cols.iter().map(|col| &col.chunks[c]).collect();
+        let sizes: Vec<usize> = key_chunks.iter().map(|ch| ch.dict.len() as usize).collect();
 
-        // Fast path: the paper's counts-array loop.
-        if !filtered && self.key_cols.len() == 1 && self.aggs.len() == 1 {
-            if let AggKind::Count = self.aggs[0].kind {
-                let n = key_chunks[0].dict.len() as usize;
-                let mut counts = vec![0u64; n];
-                key_chunks[0].elements.for_each(|id| counts[id as usize] += 1);
-                let col = &self.key_cols[0];
-                return Ok(counts
-                    .into_iter()
-                    .enumerate()
-                    .filter(|(_, n)| *n > 0)
-                    .map(|(id, n)| {
-                        let key: Box<[Value]> =
-                            vec![col.dict.value(key_chunks[0].dict.global_id_of(id as u32))].into();
-                        (key, vec![AggState::Count(n)])
-                    })
-                    .collect());
-            }
-        }
-
-        let filter = if filtered {
-            match &self.filter {
-                Some(plan) => Some(CompiledFilter::compile(plan, c)?),
-                None => None,
-            }
-        } else {
-            None
+        // Tabulate the row filter into a packed mask once per chunk; the
+        // kernels below consume the mask instead of evaluating per row.
+        let mask: Option<BitVec> = match (filtered, &self.filter) {
+            (true, Some(plan)) => Some(kernels::filter_mask(plan, c, rows)?),
+            _ => None,
         };
 
-        // Pass A: group index per row (u32::MAX = filtered out).
-        let sizes: Vec<usize> = key_chunks.iter().map(|ch| ch.dict.len() as usize).collect();
-        let dense_capacity: Option<usize> =
-            sizes.iter().try_fold(1usize, |acc, &n| {
-                let prod = acc.checked_mul(n.max(1))?;
-                (prod <= DENSE_GROUP_LIMIT).then_some(prod)
-            });
+        let dense_capacity: Option<usize> = sizes.iter().try_fold(1usize, |acc, &n| {
+            let prod = acc.checked_mul(n.max(1))?;
+            (prod <= DENSE_GROUP_LIMIT).then_some(prod)
+        });
 
-        let mut group_of_row: Vec<u32> = vec![u32::MAX; rows];
-        // Group key chunk-ids, indexed by group id (hash path); dense path
-        // decodes ids from the group index directly.
-        let mut hash_keys: Vec<Box<[u32]>> = Vec::new();
-        let group_count;
-
-        match dense_capacity {
-            Some(capacity) => {
-                for (row, slot) in group_of_row.iter_mut().enumerate() {
-                    if let Some(f) = &filter {
-                        if !f.matches(row)? {
-                            continue;
-                        }
-                    }
-                    let mut idx = 0usize;
-                    for (ch, n) in key_chunks.iter().zip(&sizes) {
-                        idx = idx * (*n).max(1) + ch.elements.get(row) as usize;
-                    }
-                    *slot = idx as u32;
-                }
-                group_count = capacity.max(1);
+        // Fast paths: the paper's counts-array loop on raw codes — one or
+        // two keys, COUNT(*) only, flat arrays, no per-row group map. The
+        // single-key counts stay in their raw chunk-id form (the fold adds
+        // them through the chunk dictionary); the two-key fused counts
+        // become id-domain groups. A single key never needs the dense
+        // limit: its counts array is bounded by the chunk-dictionary size,
+        // which is at most the chunk's row count (the limit exists to stop
+        // *products* of key-dictionary sizes from exploding).
+        if self.aggs.len() == 1 && matches!(self.aggs[0].kind, AggKind::Count) {
+            if key_chunks.len() == 1 {
+                return Ok(CachedChunk::DenseSingleCount(kernels::count_single(
+                    key_chunks[0].codes(),
+                    sizes[0].max(1),
+                    mask.as_ref(),
+                )));
             }
-            None => {
-                let mut map: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
-                let mut key_buf: Vec<u32> = vec![0; key_chunks.len()];
-                for (row, slot) in group_of_row.iter_mut().enumerate() {
-                    if let Some(f) = &filter {
-                        if !f.matches(row)? {
-                            continue;
-                        }
-                    }
-                    for (k, ch) in key_buf.iter_mut().zip(&key_chunks) {
-                        *k = ch.elements.get(row);
-                    }
-                    let next = map.len() as u32;
-                    let idx = *map.entry(key_buf.clone().into_boxed_slice()).or_insert_with(|| {
-                        hash_keys.push(key_buf.clone().into_boxed_slice());
-                        next
-                    });
-                    *slot = idx;
-                }
-                group_count = hash_keys.len().max(1);
+            if let (2, Some(capacity)) = (key_chunks.len(), dense_capacity) {
+                let counts = kernels::count_fused(
+                    key_chunks[0].codes(),
+                    key_chunks[1].codes(),
+                    sizes[1].max(1),
+                    capacity,
+                    mask.as_ref(),
+                );
+                return Ok(CachedChunk::Groups(self.dense_counts_to_groups(
+                    counts,
+                    &key_chunks,
+                    &sizes,
+                )));
             }
         }
 
-        let mut seen = vec![false; group_count];
-        for &g in &group_of_row {
+        // Pass A: group index per row (u32::MAX = filtered out).
+        let index = kernels::group_codes(&key_chunks, &sizes, rows, mask.as_ref(), dense_capacity);
+
+        let mut seen = vec![false; index.group_count];
+        for &g in &index.group_of_row {
             if g != u32::MAX {
                 seen[g as usize] = true;
             }
@@ -607,44 +781,61 @@ impl Plan {
         // Pass B: per-aggregate tight loops.
         let mut accs: Vec<ChunkAcc> = Vec::with_capacity(self.aggs.len());
         for agg in &self.aggs {
-            accs.push(ChunkAcc::run(agg, c, group_count, &group_of_row)?);
+            accs.push(ChunkAcc::run(agg, c, index.group_count, &index.group_of_row)?);
         }
 
-        // Convert to value-domain groups.
+        // Convert to global-id-domain groups (values are translated once,
+        // at the end of the whole scan).
         let mut out: ChunkGroups = Vec::with_capacity(seen.iter().filter(|s| **s).count());
-        for g in 0..group_count {
+        for g in 0..index.group_count {
             if !seen[g] {
                 continue;
             }
-            let key: Box<[Value]> = match dense_capacity {
-                Some(_) => {
-                    // Decode the mixed-radix dense index back into per-key
-                    // chunk ids (most-significant key first).
-                    let mut ids = vec![0u32; key_chunks.len()];
-                    let mut rem = g;
-                    for (slot, &n) in ids.iter_mut().zip(&sizes).rev() {
-                        let n = n.max(1);
-                        *slot = (rem % n) as u32;
-                        rem /= n;
-                    }
-                    ids.iter()
-                        .zip(&key_chunks)
-                        .zip(&self.key_cols)
-                        .map(|((&id, ch), col)| col.dict.value(ch.dict.global_id_of(id)))
-                        .collect()
-                }
-                None => hash_keys[g]
+            let key: Box<[u32]> = match &index.hash_keys {
+                None => decode_dense_gids(g, &key_chunks, &sizes),
+                Some(hash_keys) => hash_keys[g]
                     .iter()
                     .zip(&key_chunks)
-                    .zip(&self.key_cols)
-                    .map(|((&id, ch), col)| col.dict.value(ch.dict.global_id_of(id)))
+                    .map(|(&id, ch)| ch.dict.global_id_of(id))
                     .collect(),
             };
             let states: Vec<AggState> = accs.iter().map(|acc| acc.state_of(g)).collect();
             out.push((key, states));
         }
-        Ok(out)
+        Ok(CachedChunk::Groups(out))
     }
+
+    /// Convert a dense flat counts array into id-domain groups.
+    fn dense_counts_to_groups(
+        &self,
+        counts: Vec<u64>,
+        key_chunks: &[&crate::column::ColumnChunk],
+        sizes: &[usize],
+    ) -> ChunkGroups {
+        counts
+            .into_iter()
+            .enumerate()
+            .filter(|(_, n)| *n > 0)
+            .map(|(g, n)| (decode_dense_gids(g, key_chunks, sizes), vec![AggState::Count(n)]))
+            .collect()
+    }
+}
+
+/// Decode the mixed-radix dense group index back into per-key global-ids
+/// (most-significant key first).
+fn decode_dense_gids(
+    g: usize,
+    key_chunks: &[&crate::column::ColumnChunk],
+    sizes: &[usize],
+) -> Box<[u32]> {
+    let mut ids = vec![0u32; key_chunks.len()];
+    let mut rem = g;
+    for (slot, &n) in ids.iter_mut().zip(sizes).rev() {
+        let n = n.max(1);
+        *slot = (rem % n) as u32;
+        rem /= n;
+    }
+    ids.iter().zip(key_chunks).map(|(&id, ch)| ch.dict.global_id_of(id)).collect()
 }
 
 fn require_arg_type(func: AggFunc, col: &Option<Arc<StoredColumn>>) -> Result<DataType> {
@@ -653,9 +844,9 @@ fn require_arg_type(func: AggFunc, col: &Option<Arc<StoredColumn>>) -> Result<Da
         .ok_or_else(|| Error::Internal(format!("{}(*) is only valid for COUNT", func.name())))
 }
 
-fn fold(result: &mut PartialResult, groups: &ChunkGroups) -> Result<()> {
+fn fold(result: &mut FxHashMap<Box<[u32]>, Vec<AggState>>, groups: &ChunkGroups) -> Result<()> {
     for (key, states) in groups.iter() {
-        match result.groups.entry(key.clone()) {
+        match result.entry(key.clone()) {
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(states.clone());
             }
@@ -667,276 +858,6 @@ fn fold(result: &mut PartialResult, groups: &ChunkGroups) -> Result<()> {
         }
     }
     Ok(())
-}
-
-/// Per-chunk accumulators for one aggregate.
-enum ChunkAcc {
-    Count(Vec<u64>),
-    SumInt(Vec<i64>),
-    SumFloat(Vec<f64>),
-    /// Extreme chunk-id per group (chunk-id order == value order) plus the
-    /// owning chunk's translation tables.
-    MinMax { best: Vec<u32>, is_min: bool, values: Vec<Value> },
-    Avg { sum: Vec<f64>, count: Vec<u64> },
-    Distinct(Vec<KmvSketch>),
-}
-
-impl ChunkAcc {
-    /// Run the pass-B loop for `agg` over `group_of_row`.
-    fn run(agg: &AggPlan, c: usize, group_count: usize, group_of_row: &[u32]) -> Result<ChunkAcc> {
-        let arg_chunk = agg.col.as_ref().map(|col| &col.chunks[c]);
-        Ok(match &agg.kind {
-            AggKind::Count => {
-                let mut counts = vec![0u64; group_count];
-                for &g in group_of_row {
-                    if g != u32::MAX {
-                        counts[g as usize] += 1;
-                    }
-                }
-                ChunkAcc::Count(counts)
-            }
-            AggKind::SumInt => {
-                let col = agg.col.as_ref().expect("SUM has an argument");
-                let chunk = arg_chunk.expect("SUM has an argument");
-                // Tabulate the numeric value per chunk-id once.
-                let table: Vec<i64> = (0..chunk.dict.len())
-                    .map(|cid| match col.dict.value(chunk.dict.global_id_of(cid)) {
-                        Value::Int(v) => v,
-                        other => unreachable!("typed as Int, got {other}"),
-                    })
-                    .collect();
-                let mut sums = vec![0i64; group_count];
-                for (row, &g) in group_of_row.iter().enumerate() {
-                    if g != u32::MAX {
-                        sums[g as usize] =
-                            sums[g as usize].wrapping_add(table[chunk.elements.get(row) as usize]);
-                    }
-                }
-                ChunkAcc::SumInt(sums)
-            }
-            AggKind::SumFloat => {
-                let chunk = arg_chunk.expect("SUM has an argument");
-                let table = float_table(agg, chunk);
-                let mut sums = vec![0f64; group_count];
-                for (row, &g) in group_of_row.iter().enumerate() {
-                    if g != u32::MAX {
-                        sums[g as usize] += table[chunk.elements.get(row) as usize];
-                    }
-                }
-                ChunkAcc::SumFloat(sums)
-            }
-            AggKind::Avg => {
-                let chunk = arg_chunk.expect("AVG has an argument");
-                let table = float_table(agg, chunk);
-                let mut sum = vec![0f64; group_count];
-                let mut count = vec![0u64; group_count];
-                for (row, &g) in group_of_row.iter().enumerate() {
-                    if g != u32::MAX {
-                        sum[g as usize] += table[chunk.elements.get(row) as usize];
-                        count[g as usize] += 1;
-                    }
-                }
-                ChunkAcc::Avg { sum, count }
-            }
-            AggKind::MinMax { is_min } => {
-                let col = agg.col.as_ref().expect("MIN/MAX has an argument");
-                let chunk = arg_chunk.expect("MIN/MAX has an argument");
-                let mut best = vec![u32::MAX; group_count];
-                for (row, &g) in group_of_row.iter().enumerate() {
-                    if g == u32::MAX {
-                        continue;
-                    }
-                    let id = chunk.elements.get(row);
-                    let slot = &mut best[g as usize];
-                    if *slot == u32::MAX
-                        || (*is_min && id < *slot)
-                        || (!*is_min && id > *slot)
-                    {
-                        *slot = id;
-                    }
-                }
-                // Translate extremes to values once.
-                let values: Vec<Value> = (0..chunk.dict.len())
-                    .map(|cid| col.dict.value(chunk.dict.global_id_of(cid)))
-                    .collect();
-                ChunkAcc::MinMax { best, is_min: *is_min, values }
-            }
-            AggKind::Distinct { m } => {
-                let col = agg.col.as_ref().expect("COUNT DISTINCT has an argument");
-                let chunk = arg_chunk.expect("COUNT DISTINCT has an argument");
-                // Hash each distinct value once per chunk.
-                let hashes: Vec<u64> = (0..chunk.dict.len())
-                    .map(|cid| fx_hash64(&col.dict.value(chunk.dict.global_id_of(cid))))
-                    .collect();
-                let mut sketches = vec![KmvSketch::new(*m); group_count];
-                for (row, &g) in group_of_row.iter().enumerate() {
-                    if g != u32::MAX {
-                        sketches[g as usize].offer(hashes[chunk.elements.get(row) as usize]);
-                    }
-                }
-                ChunkAcc::Distinct(sketches)
-            }
-        })
-    }
-
-    fn state_of(&self, g: usize) -> AggState {
-        match self {
-            ChunkAcc::Count(v) => AggState::Count(v[g]),
-            ChunkAcc::SumInt(v) => AggState::SumInt(v[g]),
-            ChunkAcc::SumFloat(v) => AggState::SumFloat(v[g]),
-            ChunkAcc::MinMax { best, is_min, values } => {
-                let v = (best[g] != u32::MAX).then(|| values[best[g] as usize].clone());
-                if *is_min {
-                    AggState::Min(v)
-                } else {
-                    AggState::Max(v)
-                }
-            }
-            ChunkAcc::Avg { sum, count } => AggState::Avg { sum: sum[g], count: count[g] },
-            ChunkAcc::Distinct(v) => AggState::Distinct(v[g].clone()),
-        }
-    }
-}
-
-fn float_table(agg: &AggPlan, chunk: &crate::column::ColumnChunk) -> Vec<f64> {
-    let col = agg.col.as_ref().expect("aggregate has an argument");
-    (0..chunk.dict.len())
-        .map(|cid| col.dict.value(chunk.dict.global_id_of(cid)).numeric())
-        .collect()
-}
-
-/// A filter compiled against one chunk.
-struct CompiledFilter<'a> {
-    pred: Pred,
-    plan: &'a FilterPlan,
-    /// Chunk-dictionary value caches per filter column (for row fallback).
-    caches: Vec<Vec<Value>>,
-    chunk: usize,
-}
-
-enum Pred {
-    Const(bool),
-    /// Truth table over one column's chunk-ids.
-    Table { col: usize, table: Vec<bool> },
-    And(Vec<Pred>),
-    Or(Vec<Pred>),
-    Not(Box<Pred>),
-    /// Multi-column subtree: evaluate per row.
-    RowEval(Expr),
-}
-
-impl<'a> CompiledFilter<'a> {
-    fn compile(plan: &'a FilterPlan, chunk: usize) -> Result<CompiledFilter<'a>> {
-        let caches: Vec<Vec<Value>> = plan
-            .cols
-            .iter()
-            .map(|(_, col)| {
-                let ch = &col.chunks[chunk];
-                (0..ch.dict.len()).map(|cid| col.dict.value(ch.dict.global_id_of(cid))).collect()
-            })
-            .collect();
-        let pred = compile_pred(&plan.expr, plan, &caches)?;
-        Ok(CompiledFilter { pred, plan, caches, chunk })
-    }
-
-    fn matches(&self, row: usize) -> Result<bool> {
-        self.eval(&self.pred, row)
-    }
-
-    fn eval(&self, pred: &Pred, row: usize) -> Result<bool> {
-        Ok(match pred {
-            Pred::Const(b) => *b,
-            Pred::Table { col, table } => {
-                let chunk = &self.plan.cols[*col].1.chunks[self.chunk];
-                table[chunk.elements.get(row) as usize]
-            }
-            Pred::And(children) => {
-                for c in children {
-                    if !self.eval(c, row)? {
-                        return Ok(false);
-                    }
-                }
-                true
-            }
-            Pred::Or(children) => {
-                for c in children {
-                    if self.eval(c, row)? {
-                        return Ok(true);
-                    }
-                }
-                false
-            }
-            Pred::Not(inner) => !self.eval(inner, row)?,
-            Pred::RowEval(expr) => {
-                let ctx = FilterRowContext { filter: self, row };
-                truthy(&eval_expr(expr, &ctx)?)
-            }
-        })
-    }
-}
-
-fn compile_pred(expr: &Expr, plan: &FilterPlan, caches: &[Vec<Value>]) -> Result<Pred> {
-    use pd_sql::{BinaryOp, UnaryOp};
-    match expr {
-        Expr::Binary { op: BinaryOp::And, lhs, rhs } => Ok(Pred::And(vec![
-            compile_pred(lhs, plan, caches)?,
-            compile_pred(rhs, plan, caches)?,
-        ])),
-        Expr::Binary { op: BinaryOp::Or, lhs, rhs } => Ok(Pred::Or(vec![
-            compile_pred(lhs, plan, caches)?,
-            compile_pred(rhs, plan, caches)?,
-        ])),
-        Expr::Unary { op: UnaryOp::Not, expr } => {
-            Ok(Pred::Not(Box::new(compile_pred(expr, plan, caches)?)))
-        }
-        other => {
-            let mut names = Vec::new();
-            other.referenced_columns(&mut names);
-            match names.len() {
-                0 => {
-                    let empty: &[(&str, Value)] = &[];
-                    Ok(Pred::Const(truthy(&eval_expr(other, empty)?)))
-                }
-                1 => {
-                    let col = plan
-                        .cols
-                        .iter()
-                        .position(|(n, _)| *n == names[0])
-                        .expect("filter columns were collected from this expression");
-                    // Tabulate the predicate over the column's chunk values.
-                    let table: Vec<bool> = caches[col]
-                        .iter()
-                        .map(|v| {
-                            let ctx: &[(&str, Value)] = &[(names[0].as_str(), v.clone())];
-                            Ok::<bool, Error>(truthy(&eval_expr(other, ctx)?))
-                        })
-                        .collect::<Result<_>>()?;
-                    Ok(Pred::Table { col, table })
-                }
-                _ => Ok(Pred::RowEval(other.clone())),
-            }
-        }
-    }
-}
-
-/// Row context for multi-column filter subtrees.
-struct FilterRowContext<'a> {
-    filter: &'a CompiledFilter<'a>,
-    row: usize,
-}
-
-impl RowContext for FilterRowContext<'_> {
-    fn column(&self, name: &str) -> Result<Value> {
-        let idx = self
-            .filter
-            .plan
-            .cols
-            .iter()
-            .position(|(n, _)| n == name)
-            .ok_or_else(|| Error::Schema(format!("unknown column `{name}`")))?;
-        let chunk = &self.filter.plan.cols[idx].1.chunks[self.filter.chunk];
-        Ok(self.filter.caches[idx][chunk.elements.get(self.row) as usize].clone())
-    }
 }
 
 #[cfg(test)]
@@ -969,19 +890,10 @@ mod tests {
     #[test]
     fn partial_results_merge_group_wise() {
         let mut a = PartialResult::default();
-        a.groups.insert(
-            vec![Value::from("x")].into_boxed_slice(),
-            vec![AggState::Count(2)],
-        );
+        a.groups.insert(vec![Value::from("x")].into_boxed_slice(), vec![AggState::Count(2)]);
         let mut b = PartialResult::default();
-        b.groups.insert(
-            vec![Value::from("x")].into_boxed_slice(),
-            vec![AggState::Count(3)],
-        );
-        b.groups.insert(
-            vec![Value::from("y")].into_boxed_slice(),
-            vec![AggState::Count(1)],
-        );
+        b.groups.insert(vec![Value::from("x")].into_boxed_slice(), vec![AggState::Count(3)]);
+        b.groups.insert(vec![Value::from("y")].into_boxed_slice(), vec![AggState::Count(1)]);
         a.merge(b).unwrap();
         assert_eq!(a.groups.len(), 2);
         let key: Box<[Value]> = vec![Value::from("x")].into_boxed_slice();
@@ -998,5 +910,15 @@ mod tests {
         assert_eq!(r.column_index("zz"), None);
         let text = r.render();
         assert!(text.contains('a') && text.contains('x'));
+    }
+
+    #[test]
+    fn effective_threads_resolves_auto() {
+        let ctx = ExecContext::default();
+        assert!(ctx.effective_threads() >= 1);
+        let one = ExecContext { threads: 1, ..Default::default() };
+        assert_eq!(one.effective_threads(), 1);
+        let four = ExecContext { threads: 4, ..Default::default() };
+        assert_eq!(four.effective_threads(), 4);
     }
 }

@@ -1,0 +1,683 @@
+//! Dictionary-code group-by kernels (§2.4's inner loops).
+//!
+//! Everything in this module operates on the raw `u32` element codes of a
+//! chunk — never on [`Value`]s — so the hot loops are array arithmetic:
+//!
+//! - [`filter_mask`] compiles a `WHERE` tree against one chunk into a
+//!   packed [`BitVec`]: single-column subtrees are tabulated once per
+//!   chunk-dictionary entry and evaluated with one lookup per row, `AND` /
+//!   `OR` / `NOT` combine whole masks word-wise, and only genuinely
+//!   multi-column subtrees fall back to per-row evaluation.
+//! - [`count_single`] / [`count_fused`] are the paper's
+//!   `counts[elements[row]]++` loop, for one key and for two keys fused
+//!   into a single flat array index — no per-row group map, no `Value`
+//!   allocation.
+//! - [`group_codes`] computes the per-row group index for the general case
+//!   (dense mixed-radix when the key-dictionary product is small, a hash
+//!   table of code tuples otherwise).
+//! - [`ChunkAcc`] accumulates each aggregate over the group indices with a
+//!   per-aggregate tight loop, translating codes to values only once per
+//!   distinct chunk-dictionary entry.
+//!
+//! Each kernel dispatches on [`CodesView`] once per chunk and then runs a
+//! monomorphized loop, so the element representation (const / bit-set / u8
+//! / u16 / u32) costs no per-row branch.
+
+use crate::column::ColumnChunk;
+use crate::count_distinct::KmvSketch;
+use crate::exec::{AggKind, AggPlan, AggState, FilterPlan};
+use pd_common::{fx_hash64, BitVec, Error, FxHashMap, Result, Value};
+use pd_encoding::CodesView;
+use pd_sql::{eval_expr, truthy, Expr, RowContext};
+
+/// Per-chunk dense-grouping limit: products of key-dictionary sizes up to
+/// this use a flat array; larger products fall back to a hash map.
+pub(crate) const DENSE_GROUP_LIMIT: usize = 1 << 16;
+
+/// Dispatch once on the representation, monomorphize the loop body.
+macro_rules! with_codes {
+    ($view:expr, |$get:ident| $body:expr) => {
+        match $view {
+            CodesView::Const { .. } => {
+                let $get = |_row: usize| 0u32;
+                $body
+            }
+            CodesView::Bits(bits) => {
+                let $get = |row: usize| bits.get(row) as u32;
+                $body
+            }
+            CodesView::U8(v) => {
+                let $get = |row: usize| v[row] as u32;
+                $body
+            }
+            CodesView::U16(v) => {
+                let $get = |row: usize| v[row] as u32;
+                $body
+            }
+            CodesView::U32(v) => {
+                let $get = |row: usize| v[row];
+                $body
+            }
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Filter masks
+// ---------------------------------------------------------------------------
+
+/// Compile `plan` against chunk `chunk` and tabulate it into a row mask.
+///
+/// Bit `r` is set iff row `r` satisfies the filter.
+pub(crate) fn filter_mask(plan: &FilterPlan, chunk: usize, rows: usize) -> Result<BitVec> {
+    // Cache each filter column's chunk-dictionary values once: predicates
+    // are then evaluated at most once per distinct value, not per row.
+    let caches: Vec<Vec<Value>> = plan
+        .cols
+        .iter()
+        .map(|(_, col)| {
+            let ch = &col.chunks[chunk];
+            (0..ch.dict.len()).map(|cid| col.dict.value(ch.dict.global_id_of(cid))).collect()
+        })
+        .collect();
+    let pred = compile_pred(&plan.expr, plan, &caches)?;
+    pred_mask(&pred, plan, &caches, chunk, rows, None)
+}
+
+/// A filter subtree compiled against one chunk.
+enum Pred {
+    Const(bool),
+    /// Truth table over one column's chunk-ids.
+    Table {
+        col: usize,
+        table: Vec<bool>,
+    },
+    And(Vec<Pred>),
+    Or(Vec<Pred>),
+    Not(Box<Pred>),
+    /// Multi-column subtree: evaluate per row.
+    RowEval(Expr),
+}
+
+fn compile_pred(expr: &Expr, plan: &FilterPlan, caches: &[Vec<Value>]) -> Result<Pred> {
+    use pd_sql::{BinaryOp, UnaryOp};
+    match expr {
+        Expr::Binary { op: BinaryOp::And, lhs, rhs } => {
+            Ok(Pred::And(vec![compile_pred(lhs, plan, caches)?, compile_pred(rhs, plan, caches)?]))
+        }
+        Expr::Binary { op: BinaryOp::Or, lhs, rhs } => {
+            Ok(Pred::Or(vec![compile_pred(lhs, plan, caches)?, compile_pred(rhs, plan, caches)?]))
+        }
+        Expr::Unary { op: UnaryOp::Not, expr } => {
+            Ok(Pred::Not(Box::new(compile_pred(expr, plan, caches)?)))
+        }
+        other => {
+            let mut names = Vec::new();
+            other.referenced_columns(&mut names);
+            match names.len() {
+                0 => {
+                    let empty: &[(&str, Value)] = &[];
+                    Ok(Pred::Const(truthy(&eval_expr(other, empty)?)))
+                }
+                1 => {
+                    let col = plan
+                        .cols
+                        .iter()
+                        .position(|(n, _)| *n == names[0])
+                        .expect("filter columns were collected from this expression");
+                    // Tabulate the predicate over the column's chunk values.
+                    let table: Vec<bool> = caches[col]
+                        .iter()
+                        .map(|v| {
+                            let ctx: &[(&str, Value)] = &[(names[0].as_str(), v.clone())];
+                            Ok::<bool, Error>(truthy(&eval_expr(other, ctx)?))
+                        })
+                        .collect::<Result<_>>()?;
+                    Ok(Pred::Table { col, table })
+                }
+                _ => Ok(Pred::RowEval(other.clone())),
+            }
+        }
+    }
+}
+
+/// Does this subtree contain a per-row evaluation leaf?
+fn has_row_eval(pred: &Pred) -> bool {
+    match pred {
+        Pred::Const(_) | Pred::Table { .. } => false,
+        Pred::And(children) | Pred::Or(children) => children.iter().any(has_row_eval),
+        Pred::Not(inner) => has_row_eval(inner),
+        Pred::RowEval(_) => true,
+    }
+}
+
+/// Evaluate `pred` into a mask.
+///
+/// `scope` is the set of rows whose bits the caller will actually use: an
+/// `AND` passes its accumulated mask down so expensive `RowEval` subtrees
+/// run only on rows that survived the cheaper siblings (the per-row
+/// short-circuit of a row-at-a-time evaluator, recovered in mask form).
+/// Outside `scope` the returned bits are unspecified — every scope
+/// provider intersects the child result with that scope.
+fn pred_mask(
+    pred: &Pred,
+    plan: &FilterPlan,
+    caches: &[Vec<Value>],
+    chunk: usize,
+    rows: usize,
+    scope: Option<&BitVec>,
+) -> Result<BitVec> {
+    Ok(match pred {
+        Pred::Const(b) => BitVec::filled(rows, *b),
+        Pred::Table { col, table } => {
+            let view = plan.cols[*col].1.chunks[chunk].codes();
+            with_codes!(view, |get| (0..rows).map(|r| table[get(r) as usize]).collect())
+        }
+        Pred::And(children) => {
+            let mut mask = match scope {
+                Some(s) => s.clone(),
+                None => BitVec::filled(rows, true),
+            };
+            // Tabulated (cheap) children first, so per-row subtrees see
+            // the narrowest possible scope.
+            let (cheap, costly): (Vec<&Pred>, Vec<&Pred>) =
+                children.iter().partition(|c| !has_row_eval(c));
+            for c in cheap.into_iter().chain(costly) {
+                if mask.none() {
+                    break;
+                }
+                let child = pred_mask(c, plan, caches, chunk, rows, Some(&mask))?;
+                mask.and_assign(&child);
+            }
+            mask
+        }
+        Pred::Or(children) => {
+            let mut mask = BitVec::filled(rows, false);
+            // Cheap disjuncts first; per-row disjuncts then only evaluate
+            // rows no cheap sibling already satisfied (and that are in
+            // scope) — the other half of the per-row short-circuit.
+            let (cheap, costly): (Vec<&Pred>, Vec<&Pred>) =
+                children.iter().partition(|c| !has_row_eval(c));
+            for c in &cheap {
+                if mask.all() {
+                    break;
+                }
+                mask.or_assign(&pred_mask(c, plan, caches, chunk, rows, scope)?);
+            }
+            for c in costly {
+                let mut remaining = match scope {
+                    Some(s) => s.clone(),
+                    None => BitVec::filled(rows, true),
+                };
+                let mut satisfied = mask.clone();
+                satisfied.negate();
+                remaining.and_assign(&satisfied);
+                if remaining.none() {
+                    break;
+                }
+                // Bits outside `remaining` are unspecified in the child
+                // result; clear them before accumulating.
+                let mut child = pred_mask(c, plan, caches, chunk, rows, Some(&remaining))?;
+                child.and_assign(&remaining);
+                mask.or_assign(&child);
+            }
+            mask
+        }
+        Pred::Not(inner) => {
+            let mut mask = pred_mask(inner, plan, caches, chunk, rows, scope)?;
+            mask.negate();
+            mask
+        }
+        Pred::RowEval(expr) => match scope {
+            None => {
+                let mut mask = BitVec::with_capacity(rows);
+                for row in 0..rows {
+                    let ctx = FilterRowContext { plan, caches, chunk, row };
+                    mask.push(truthy(&eval_expr(expr, &ctx)?));
+                }
+                mask
+            }
+            Some(s) => {
+                let mut mask = BitVec::filled(rows, false);
+                for row in s.iter_ones() {
+                    let ctx = FilterRowContext { plan, caches, chunk, row };
+                    if truthy(&eval_expr(expr, &ctx)?) {
+                        mask.set(row, true);
+                    }
+                }
+                mask
+            }
+        },
+    })
+}
+
+/// Row context for multi-column filter subtrees.
+struct FilterRowContext<'a> {
+    plan: &'a FilterPlan,
+    caches: &'a [Vec<Value>],
+    chunk: usize,
+    row: usize,
+}
+
+impl RowContext for FilterRowContext<'_> {
+    fn column(&self, name: &str) -> Result<Value> {
+        let idx = self
+            .plan
+            .cols
+            .iter()
+            .position(|(n, _)| n == name)
+            .ok_or_else(|| Error::Schema(format!("unknown column `{name}`")))?;
+        let chunk = &self.plan.cols[idx].1.chunks[self.chunk];
+        Ok(self.caches[idx][chunk.elements.get(self.row) as usize].clone())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Count kernels — the paper's `counts[elements[row]]++`
+// ---------------------------------------------------------------------------
+
+/// Single-key `COUNT(*)`: one pass over the codes into a flat array.
+pub(crate) fn count_single(
+    view: CodesView<'_>,
+    distinct: usize,
+    mask: Option<&BitVec>,
+) -> Vec<u64> {
+    let rows = view.len();
+    match mask {
+        None => match view {
+            // Degenerate representations count in O(1) / O(words).
+            CodesView::Const { len } => vec![len as u64],
+            CodesView::Bits(bits) => {
+                let ones = bits.count_ones() as u64;
+                vec![rows as u64 - ones, ones]
+            }
+            _ => {
+                let mut counts = vec![0u64; distinct];
+                with_codes!(view, |get| {
+                    for row in 0..rows {
+                        counts[get(row) as usize] += 1;
+                    }
+                });
+                counts
+            }
+        },
+        Some(mask) => {
+            let mut counts = vec![0u64; distinct.max(1)];
+            with_codes!(view, |get| {
+                for row in mask.iter_ones() {
+                    counts[get(row) as usize] += 1;
+                }
+            });
+            counts
+        }
+    }
+}
+
+/// Two-key fused `COUNT(*)`: `counts[code_a * nb + code_b]++` over a flat
+/// array of size `na * nb` (callers guarantee the product is dense-sized).
+pub(crate) fn count_fused(
+    a: CodesView<'_>,
+    b: CodesView<'_>,
+    nb: usize,
+    capacity: usize,
+    mask: Option<&BitVec>,
+) -> Vec<u64> {
+    let rows = a.len();
+    let mut counts = vec![0u64; capacity.max(1)];
+    with_codes!(a, |get_a| with_codes!(b, |get_b| {
+        match mask {
+            None => {
+                for row in 0..rows {
+                    counts[get_a(row) as usize * nb + get_b(row) as usize] += 1;
+                }
+            }
+            Some(mask) => {
+                for row in mask.iter_ones() {
+                    counts[get_a(row) as usize * nb + get_b(row) as usize] += 1;
+                }
+            }
+        }
+    }));
+    counts
+}
+
+// ---------------------------------------------------------------------------
+// Group-index computation (pass A of the general path)
+// ---------------------------------------------------------------------------
+
+/// Per-row group indices for one chunk. `u32::MAX` marks a filtered row.
+pub(crate) struct GroupIndex {
+    pub group_of_row: Vec<u32>,
+    /// Number of group slots (dense capacity, or distinct hash keys).
+    pub group_count: usize,
+    /// Code tuples per group id — `None` on the dense path, where ids
+    /// decode positionally.
+    pub hash_keys: Option<Vec<Box<[u32]>>>,
+}
+
+/// Compute group indices for `key_chunks` over `rows` rows.
+///
+/// `dense_capacity` is the checked product of the key-dictionary sizes if
+/// it fits [`DENSE_GROUP_LIMIT`] — the caller computes it once per chunk.
+pub(crate) fn group_codes(
+    key_chunks: &[&ColumnChunk],
+    sizes: &[usize],
+    rows: usize,
+    mask: Option<&BitVec>,
+    dense_capacity: Option<usize>,
+) -> GroupIndex {
+    match dense_capacity {
+        Some(capacity) => {
+            let group_of_row = match key_chunks.len() {
+                0 => match mask {
+                    None => vec![0u32; rows],
+                    Some(m) => (0..rows).map(|r| if m.get(r) { 0 } else { u32::MAX }).collect(),
+                },
+                1 => dense_one(key_chunks[0].codes(), rows, mask),
+                2 => dense_two(key_chunks[0].codes(), key_chunks[1].codes(), sizes[1], rows, mask),
+                _ => dense_many(key_chunks, sizes, rows, mask),
+            };
+            GroupIndex { group_of_row, group_count: capacity.max(1), hash_keys: None }
+        }
+        None => {
+            let mut map: FxHashMap<Box<[u32]>, u32> = FxHashMap::default();
+            let mut hash_keys: Vec<Box<[u32]>> = Vec::new();
+            let mut key_buf: Vec<u32> = vec![0; key_chunks.len()];
+            let mut group_of_row: Vec<u32> = vec![u32::MAX; rows];
+            for (row, slot) in group_of_row.iter_mut().enumerate() {
+                if let Some(m) = mask {
+                    if !m.get(row) {
+                        continue;
+                    }
+                }
+                for (k, ch) in key_buf.iter_mut().zip(key_chunks) {
+                    *k = ch.elements.get(row);
+                }
+                let next = map.len() as u32;
+                let idx = *map.entry(key_buf.clone().into_boxed_slice()).or_insert_with(|| {
+                    hash_keys.push(key_buf.clone().into_boxed_slice());
+                    next
+                });
+                *slot = idx;
+            }
+            let group_count = hash_keys.len().max(1);
+            GroupIndex { group_of_row, group_count, hash_keys: Some(hash_keys) }
+        }
+    }
+}
+
+fn dense_one(view: CodesView<'_>, rows: usize, mask: Option<&BitVec>) -> Vec<u32> {
+    with_codes!(view, |get| match mask {
+        None => (0..rows).map(get).collect(),
+        Some(m) => (0..rows).map(|r| if m.get(r) { get(r) } else { u32::MAX }).collect(),
+    })
+}
+
+fn dense_two(
+    a: CodesView<'_>,
+    b: CodesView<'_>,
+    nb: usize,
+    rows: usize,
+    mask: Option<&BitVec>,
+) -> Vec<u32> {
+    let nb = nb.max(1) as u32;
+    with_codes!(a, |get_a| with_codes!(b, |get_b| {
+        let fused = |r: usize| get_a(r) * nb + get_b(r);
+        match mask {
+            None => (0..rows).map(fused).collect(),
+            Some(m) => (0..rows).map(|r| if m.get(r) { fused(r) } else { u32::MAX }).collect(),
+        }
+    }))
+}
+
+fn dense_many(
+    key_chunks: &[&ColumnChunk],
+    sizes: &[usize],
+    rows: usize,
+    mask: Option<&BitVec>,
+) -> Vec<u32> {
+    let mut group_of_row: Vec<u32> = vec![u32::MAX; rows];
+    for (row, slot) in group_of_row.iter_mut().enumerate() {
+        if let Some(m) = mask {
+            if !m.get(row) {
+                continue;
+            }
+        }
+        let mut idx = 0usize;
+        for (ch, n) in key_chunks.iter().zip(sizes) {
+            idx = idx * (*n).max(1) + ch.elements.get(row) as usize;
+        }
+        *slot = idx as u32;
+    }
+    group_of_row
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate accumulators (pass B)
+// ---------------------------------------------------------------------------
+
+/// Per-chunk accumulators for one aggregate.
+pub(crate) enum ChunkAcc {
+    Count(Vec<u64>),
+    SumInt(Vec<i64>),
+    SumFloat(Vec<f64>),
+    /// Extreme chunk-id per group (chunk-id order == value order) plus the
+    /// owning chunk's translation tables.
+    MinMax {
+        best: Vec<u32>,
+        is_min: bool,
+        values: Vec<Value>,
+    },
+    Avg {
+        sum: Vec<f64>,
+        count: Vec<u64>,
+    },
+    Distinct(Vec<KmvSketch>),
+}
+
+impl ChunkAcc {
+    /// Run the pass-B loop for `agg` over `group_of_row`.
+    pub(crate) fn run(
+        agg: &AggPlan,
+        c: usize,
+        group_count: usize,
+        group_of_row: &[u32],
+    ) -> Result<ChunkAcc> {
+        let arg_chunk = agg.col.as_ref().map(|col| &col.chunks[c]);
+        Ok(match &agg.kind {
+            AggKind::Count => {
+                let mut counts = vec![0u64; group_count];
+                for &g in group_of_row {
+                    if g != u32::MAX {
+                        counts[g as usize] += 1;
+                    }
+                }
+                ChunkAcc::Count(counts)
+            }
+            AggKind::SumInt => {
+                let col = agg.col.as_ref().expect("SUM has an argument");
+                let chunk = arg_chunk.expect("SUM has an argument");
+                // Tabulate the numeric value per chunk-id once.
+                let table: Vec<i64> = (0..chunk.dict.len())
+                    .map(|cid| match col.dict.value(chunk.dict.global_id_of(cid)) {
+                        Value::Int(v) => v,
+                        other => unreachable!("typed as Int, got {other}"),
+                    })
+                    .collect();
+                let mut sums = vec![0i64; group_count];
+                with_codes!(chunk.codes(), |get| {
+                    for (row, &g) in group_of_row.iter().enumerate() {
+                        if g != u32::MAX {
+                            sums[g as usize] =
+                                sums[g as usize].wrapping_add(table[get(row) as usize]);
+                        }
+                    }
+                });
+                ChunkAcc::SumInt(sums)
+            }
+            AggKind::SumFloat => {
+                let chunk = arg_chunk.expect("SUM has an argument");
+                let table = float_table(agg, chunk);
+                let mut sums = vec![0f64; group_count];
+                with_codes!(chunk.codes(), |get| {
+                    for (row, &g) in group_of_row.iter().enumerate() {
+                        if g != u32::MAX {
+                            sums[g as usize] += table[get(row) as usize];
+                        }
+                    }
+                });
+                ChunkAcc::SumFloat(sums)
+            }
+            AggKind::Avg => {
+                let chunk = arg_chunk.expect("AVG has an argument");
+                let table = float_table(agg, chunk);
+                let mut sum = vec![0f64; group_count];
+                let mut count = vec![0u64; group_count];
+                with_codes!(chunk.codes(), |get| {
+                    for (row, &g) in group_of_row.iter().enumerate() {
+                        if g != u32::MAX {
+                            sum[g as usize] += table[get(row) as usize];
+                            count[g as usize] += 1;
+                        }
+                    }
+                });
+                ChunkAcc::Avg { sum, count }
+            }
+            AggKind::MinMax { is_min } => {
+                let col = agg.col.as_ref().expect("MIN/MAX has an argument");
+                let chunk = arg_chunk.expect("MIN/MAX has an argument");
+                let mut best = vec![u32::MAX; group_count];
+                with_codes!(chunk.codes(), |get| {
+                    for (row, &g) in group_of_row.iter().enumerate() {
+                        if g == u32::MAX {
+                            continue;
+                        }
+                        let id = get(row);
+                        let slot = &mut best[g as usize];
+                        if *slot == u32::MAX || (*is_min && id < *slot) || (!*is_min && id > *slot)
+                        {
+                            *slot = id;
+                        }
+                    }
+                });
+                // Translate extremes to values once.
+                let values: Vec<Value> = (0..chunk.dict.len())
+                    .map(|cid| col.dict.value(chunk.dict.global_id_of(cid)))
+                    .collect();
+                ChunkAcc::MinMax { best, is_min: *is_min, values }
+            }
+            AggKind::Distinct { m } => {
+                let col = agg.col.as_ref().expect("COUNT DISTINCT has an argument");
+                let chunk = arg_chunk.expect("COUNT DISTINCT has an argument");
+                // Hash each distinct value once per chunk.
+                let hashes: Vec<u64> = (0..chunk.dict.len())
+                    .map(|cid| fx_hash64(&col.dict.value(chunk.dict.global_id_of(cid))))
+                    .collect();
+                let mut sketches = vec![KmvSketch::new(*m); group_count];
+                with_codes!(chunk.codes(), |get| {
+                    for (row, &g) in group_of_row.iter().enumerate() {
+                        if g != u32::MAX {
+                            sketches[g as usize].offer(hashes[get(row) as usize]);
+                        }
+                    }
+                });
+                ChunkAcc::Distinct(sketches)
+            }
+        })
+    }
+
+    pub(crate) fn state_of(&self, g: usize) -> AggState {
+        match self {
+            ChunkAcc::Count(v) => AggState::Count(v[g]),
+            ChunkAcc::SumInt(v) => AggState::SumInt(v[g]),
+            ChunkAcc::SumFloat(v) => AggState::SumFloat(v[g]),
+            ChunkAcc::MinMax { best, is_min, values } => {
+                let v = (best[g] != u32::MAX).then(|| values[best[g] as usize].clone());
+                if *is_min {
+                    AggState::Min(v)
+                } else {
+                    AggState::Max(v)
+                }
+            }
+            ChunkAcc::Avg { sum, count } => AggState::Avg { sum: sum[g], count: count[g] },
+            ChunkAcc::Distinct(v) => AggState::Distinct(v[g].clone()),
+        }
+    }
+}
+
+fn float_table(agg: &AggPlan, chunk: &ColumnChunk) -> Vec<f64> {
+    let col = agg.col.as_ref().expect("aggregate has an argument");
+    (0..chunk.dict.len())
+        .map(|cid| col.dict.value(chunk.dict.global_id_of(cid)).numeric())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_encoding::{Elements, ElementsMode};
+
+    fn elements(ids: &[u32], distinct: u32) -> Elements {
+        Elements::encode(ids, distinct, ElementsMode::Optimized)
+    }
+
+    #[test]
+    fn count_single_matches_naive_for_every_repr() {
+        for distinct in [1u32, 2, 5, 300, 70_000] {
+            let ids: Vec<u32> = (0..500).map(|i| (i * 7 + 3) % distinct).collect();
+            let e = elements(&ids, distinct);
+            let counts = count_single(e.codes(), distinct as usize, None);
+            let mut naive = vec![0u64; distinct as usize];
+            for &id in &ids {
+                naive[id as usize] += 1;
+            }
+            assert_eq!(counts, naive, "distinct={distinct}");
+        }
+    }
+
+    #[test]
+    fn count_single_respects_mask() {
+        let ids: Vec<u32> = (0..100).map(|i| i % 4).collect();
+        let e = elements(&ids, 4);
+        let mask: BitVec = (0..100).map(|i| i % 2 == 0).collect();
+        let counts = count_single(e.codes(), 4, Some(&mask));
+        let mut naive = vec![0u64; 4];
+        for (i, &id) in ids.iter().enumerate() {
+            if i % 2 == 0 {
+                naive[id as usize] += 1;
+            }
+        }
+        assert_eq!(counts, naive);
+    }
+
+    #[test]
+    fn count_fused_equals_pairwise_naive() {
+        let a: Vec<u32> = (0..300).map(|i| i % 3).collect();
+        let b: Vec<u32> = (0..300).map(|i| (i * 11) % 7).collect();
+        let ea = elements(&a, 3);
+        let eb = elements(&b, 7);
+        let counts = count_fused(ea.codes(), eb.codes(), 7, 21, None);
+        let mut naive = vec![0u64; 21];
+        for i in 0..300 {
+            naive[(a[i] * 7 + b[i]) as usize] += 1;
+        }
+        assert_eq!(counts, naive);
+    }
+
+    #[test]
+    fn dense_group_codes_fuse_and_mask() {
+        let a: Vec<u32> = (0..50).map(|i| i % 2).collect();
+        let b: Vec<u32> = (0..50).map(|i| i % 5).collect();
+        let ea = elements(&a, 2);
+        let eb = elements(&b, 5);
+        let mask: BitVec = (0..50).map(|i| i != 7).collect();
+        let fused = dense_two(ea.codes(), eb.codes(), 5, 50, Some(&mask));
+        for i in 0..50 {
+            if i == 7 {
+                assert_eq!(fused[i], u32::MAX);
+            } else {
+                assert_eq!(fused[i], a[i] * 5 + b[i]);
+            }
+        }
+    }
+}

@@ -19,7 +19,12 @@
 //! - [`skip`] — chunk activity analysis (skip / partial / fully active);
 //! - [`exec`] — the query executor (dense-array group-by, aggregation
 //!   states, HAVING/ORDER/LIMIT), with partial execution + merge for the
-//!   distributed layer;
+//!   distributed layer; the per-chunk inner loops are the dictionary-code
+//!   kernels of `kernels` (filter masks as packed bit vectors, flat
+//!   counts/sums arrays over raw `u32` codes);
+//! - [`scheduler`] — the morsel-driven worker pool that scans active
+//!   chunks in parallel ([`ExecContext::threads`], default = available
+//!   parallelism) with results folded deterministically in chunk order;
 //! - [`count_distinct`] — the §5 m-smallest-hashes sketch;
 //! - [`cache`] — LRU / 2Q / ARC eviction, the two-layer residency model and
 //!   the chunk-result cache (§5, §6);
@@ -31,9 +36,11 @@ pub mod column;
 pub mod count_distinct;
 pub mod datastore;
 pub mod exec;
+pub(crate) mod kernels;
 pub mod memory;
 pub mod options;
 pub mod partition;
+pub mod scheduler;
 pub mod skip;
 pub mod stats;
 
@@ -41,7 +48,9 @@ pub use cache::{CachePolicy, ResultCache, TieredCache};
 pub use column::{ColumnChunk, StoredColumn};
 pub use count_distinct::KmvSketch;
 pub use datastore::DataStore;
-pub use exec::{execute, execute_partial, finalize, query, AggState, ExecContext, PartialResult, QueryResult};
+pub use exec::{
+    execute, execute_partial, finalize, query, AggState, ExecContext, PartialResult, QueryResult,
+};
 pub use memory::{report_for_query, ColumnMemory, MemoryReport};
 pub use options::{BuildOptions, DictMode, PartitionSpec};
 pub use partition::Partitioning;

@@ -31,10 +31,7 @@ pub struct PartitionSpec {
 
 impl PartitionSpec {
     pub fn new(fields: &[&str], max_chunk_rows: usize) -> Self {
-        PartitionSpec {
-            fields: fields.iter().map(|s| (*s).to_owned()).collect(),
-            max_chunk_rows,
-        }
+        PartitionSpec { fields: fields.iter().map(|s| (*s).to_owned()).collect(), max_chunk_rows }
     }
 }
 
@@ -57,10 +54,7 @@ pub struct BuildOptions {
 
 impl Default for BuildOptions {
     fn default() -> Self {
-        BuildOptions::reordered(PartitionSpec {
-            fields: Vec::new(),
-            max_chunk_rows: 50_000,
-        })
+        BuildOptions::reordered(PartitionSpec { fields: Vec::new(), max_chunk_rows: 50_000 })
     }
 }
 

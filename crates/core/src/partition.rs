@@ -164,9 +164,7 @@ mod tests {
         assert!(seen.iter().all(|&s| s), "permutation must cover all rows");
         assert_eq!(p.chunk_starts[0], 0);
         assert_eq!(*p.chunk_starts.last().unwrap() as usize, n_rows);
-        (0..p.chunk_count())
-            .map(|c| p.row_order[p.chunk_range(c)].to_vec())
-            .collect()
+        (0..p.chunk_count()).map(|c| p.row_order[p.chunk_range(c)].to_vec()).collect()
     }
 
     #[test]

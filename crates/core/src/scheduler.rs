@@ -1,0 +1,135 @@
+//! Morsel-driven parallel task execution over immutable chunks.
+//!
+//! The paper's layout makes every chunk independently scannable: chunk
+//! dictionaries and element arrays are immutable after import, per-chunk
+//! group states are mergeable (§4 relies on exactly this to aggregate
+//! across machines). This module exploits the same property across cores:
+//! a query's active chunks become a work queue, a `std::thread::scope`
+//! worker pool pulls tasks off a shared atomic cursor (morsel-at-a-time, so
+//! load imbalance between cheap and expensive chunks self-corrects), and
+//! each worker's results are returned to the caller *in task order* so the
+//! final fold is deterministic — parallel execution is bit-identical to
+//! sequential execution regardless of thread count.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Number of worker threads for `threads = 0` (auto): the machine's
+/// available parallelism.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Run `n_tasks` tasks on up to `threads` workers, returning the results in
+/// task order.
+///
+/// `run` is invoked exactly once per task index. Errors short-circuit: the
+/// first failing task's error is returned and the remaining queue is
+/// abandoned (workers drain out at the next poll). With `threads <= 1` (or
+/// a single task) everything runs inline on the caller's thread — no
+/// spawning, identical code path.
+pub fn run_tasks<T, F>(threads: usize, n_tasks: usize, run: F) -> pd_common::Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(usize) -> pd_common::Result<T> + Sync,
+{
+    let threads = threads.max(1).min(n_tasks.max(1));
+    if threads <= 1 || n_tasks <= 1 {
+        return (0..n_tasks).map(&run).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    let worker = || -> pd_common::Result<Vec<(usize, T)>> {
+        let mut out = Vec::new();
+        loop {
+            if failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            match run(i) {
+                Ok(t) => out.push((i, t)),
+                Err(e) => {
+                    failed.store(true, Ordering::Relaxed);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    let buckets: Vec<pd_common::Result<Vec<(usize, T)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, t) in bucket? {
+            slots[i] = Some(t);
+        }
+    }
+    Ok(slots.into_iter().map(|s| s.expect("every task index was claimed exactly once")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_common::Error;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1, 2, 4, 8] {
+            let out = run_tasks(threads, 100, |i| Ok(i * i)).unwrap();
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let calls = AtomicUsize::new(0);
+        let out = run_tasks(4, 1000, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            Ok(i)
+        })
+        .unwrap();
+        assert_eq!(out.len(), 1000);
+        assert_eq!(calls.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn errors_propagate_and_stop_the_queue() {
+        let calls = AtomicUsize::new(0);
+        let result: pd_common::Result<Vec<usize>> = run_tasks(4, 10_000, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            if i == 17 {
+                Err(Error::Internal("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(result.is_err());
+        assert!(
+            calls.load(Ordering::Relaxed) < 10_000,
+            "the failure flag should abandon most of the queue"
+        );
+    }
+
+    #[test]
+    fn zero_and_single_task_edge_cases() {
+        assert!(run_tasks(8, 0, |_| Ok(())).unwrap().is_empty());
+        assert_eq!(run_tasks(8, 1, Ok).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn available_threads_is_positive() {
+        assert!(available_threads() >= 1);
+    }
+}

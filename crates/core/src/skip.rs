@@ -70,7 +70,11 @@ enum ResolvedNode {
     },
     /// Half-open global-id interval `[lo, hi)`: the extension range
     /// restriction (value order == id order in sorted dictionaries).
-    Range { field: usize, lo: u32, hi: u32 },
+    Range {
+        field: usize,
+        lo: u32,
+        hi: u32,
+    },
     Opaque,
 }
 
@@ -113,16 +117,10 @@ fn resolve(
         Restriction::True => ResolvedNode::True,
         Restriction::Opaque => ResolvedNode::Opaque,
         Restriction::And(children) => ResolvedNode::And(
-            children
-                .iter()
-                .map(|r| resolve(store, r, columns, index))
-                .collect::<Result<_>>()?,
+            children.iter().map(|r| resolve(store, r, columns, index)).collect::<Result<_>>()?,
         ),
         Restriction::Or(children) => ResolvedNode::Or(
-            children
-                .iter()
-                .map(|r| resolve(store, r, columns, index))
-                .collect::<Result<_>>()?,
+            children.iter().map(|r| resolve(store, r, columns, index)).collect::<Result<_>>()?,
         ),
         Restriction::In { field, values, negated } => {
             let idx = resolve_column(store, field, columns, index)?;
@@ -227,11 +225,7 @@ mod tests {
             let country = ["DE", "FR", "US"][(i % 3) as usize];
             t.push_row(Row(vec![Value::from(country), Value::Int(i)])).unwrap();
         }
-        DataStore::build(
-            &t,
-            &BuildOptions::optcols(PartitionSpec::new(&["country"], 100)),
-        )
-        .unwrap()
+        DataStore::build(&t, &BuildOptions::optcols(PartitionSpec::new(&["country"], 100))).unwrap()
     }
 
     fn verdicts(store: &DataStore, where_sql: &str) -> Vec<ChunkActivity> {
@@ -308,11 +302,9 @@ mod tests {
         for i in 0..400i64 {
             t.push_row(Row(vec![Value::Int(i * 86_400 / 4)])).unwrap(); // 100 days
         }
-        let s = DataStore::build(
-            &t,
-            &BuildOptions::optcols(PartitionSpec::new(&["timestamp"], 64)),
-        )
-        .unwrap();
+        let s =
+            DataStore::build(&t, &BuildOptions::optcols(PartitionSpec::new(&["timestamp"], 64)))
+                .unwrap();
         let v = verdicts(&s, "date(timestamp) IN ('1970-01-05')");
         assert!(v.contains(&ChunkActivity::Skip), "{v:?}");
         assert!(
@@ -330,17 +322,11 @@ mod tests {
         for i in 0..400i64 {
             t.push_row(Row(vec![Value::Int(i)])).unwrap();
         }
-        let s = DataStore::build(
-            &t,
-            &BuildOptions::optcols(PartitionSpec::new(&["latency"], 64)),
-        )
-        .unwrap();
+        let s = DataStore::build(&t, &BuildOptions::optcols(PartitionSpec::new(&["latency"], 64)))
+            .unwrap();
         let v = verdicts(&s, "latency > 350");
         assert!(v.contains(&ChunkActivity::Skip), "{v:?}");
-        assert!(
-            v.iter().any(|a| *a != ChunkActivity::Skip),
-            "rows above 350 exist: {v:?}"
-        );
+        assert!(v.iter().any(|a| *a != ChunkActivity::Skip), "rows above 350 exist: {v:?}");
         // Fully-covered chunks are recognized.
         let v = verdicts(&s, "latency >= 0");
         assert!(v.iter().all(|a| *a == ChunkActivity::Full), "{v:?}");
@@ -362,11 +348,8 @@ mod tests {
         for i in 0..100i64 {
             t.push_row(Row(vec![Value::Int(i)])).unwrap();
         }
-        let s = DataStore::build(
-            &t,
-            &BuildOptions::optcols(PartitionSpec::new(&["n"], 20)),
-        )
-        .unwrap();
+        let s =
+            DataStore::build(&t, &BuildOptions::optcols(PartitionSpec::new(&["n"], 20))).unwrap();
         // 99.5 excludes everything below 100 — all chunks skip.
         let v = verdicts(&s, "n > 99.5");
         assert!(v.iter().all(|a| *a == ChunkActivity::Skip), "{v:?}");
@@ -391,11 +374,8 @@ mod tests {
                 t.push_row(Row(vec![Value::from(*v), Value::Int(ci as i64)])).unwrap();
             }
         }
-        let s = DataStore::build(
-            &t,
-            &BuildOptions::optcols(PartitionSpec::new(&["chunk"], 5)),
-        )
-        .unwrap();
+        let s = DataStore::build(&t, &BuildOptions::optcols(PartitionSpec::new(&["chunk"], 5)))
+            .unwrap();
         assert_eq!(s.chunk_count(), 3);
         let v = verdicts(&s, "search_string IN ('la redoute', 'voyages sncf')");
         assert_eq!(v[0], ChunkActivity::Skip);

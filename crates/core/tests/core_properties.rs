@@ -1,15 +1,16 @@
-//! Property tests on the store's structural invariants: partitioning is a
-//! permutation into value-range boxes, skipping is sound (a skipped chunk
-//! contains no matching row), caches respect budgets, and aggregation
-//! states merge associatively.
+//! Randomized properties on the store's structural invariants:
+//! partitioning is a permutation into value-range boxes, skipping is sound
+//! (a skipped chunk contains no matching row), caches respect budgets, and
+//! aggregation states merge associatively. Driven by a seeded PRNG so
+//! failures reproduce exactly.
 
+use pd_common::rng::Rng;
 use pd_common::{DataType, Row, Schema, Value};
 use pd_core::exec::AggState;
 use pd_core::partition::partition;
 use pd_core::skip::{ChunkActivity, SkipAnalysis};
 use pd_core::{BuildOptions, CachePolicy, DataStore, KmvSketch, PartitionSpec, TieredCache};
 use pd_sql::{eval_expr, parse_query, truthy, Restriction, RowContext};
-use proptest::prelude::*;
 
 /// Row context over a store's reconstructed cell values.
 struct StoreRow<'a> {
@@ -24,31 +25,27 @@ impl RowContext for StoreRow<'_> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The partitioner must produce a permutation whose chunks respect the
-    /// threshold whenever a split is possible, and whose chunks occupy
-    /// disjoint key-ranges on the first field that distinguishes them.
-    #[test]
-    fn partition_invariants(
-        ids_a in proptest::collection::vec(0u32..30, 1..400),
-        ids_b in proptest::collection::vec(0u32..15, 1..400),
-        threshold in 1usize..100,
-    ) {
-        let n = ids_a.len().min(ids_b.len());
-        let a = &ids_a[..n];
-        let b = &ids_b[..n];
-        let p = partition(&[a, b], n, threshold);
+/// The partitioner must produce a permutation whose chunks respect the
+/// threshold whenever a split is possible, and whose chunks occupy
+/// disjoint key-ranges on the first field that distinguishes them.
+#[test]
+fn partition_invariants() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0001);
+    for case in 0..64 {
+        let n = rng.range_usize(1, 400);
+        let a: Vec<u32> = (0..n).map(|_| rng.range_u64(0, 30) as u32).collect();
+        let b: Vec<u32> = (0..n).map(|_| rng.range_u64(0, 15) as u32).collect();
+        let threshold = rng.range_usize(1, 100);
+        let p = partition(&[&a, &b], n, threshold);
 
         // Permutation.
         let mut seen = vec![false; n];
         for &r in &p.row_order {
-            prop_assert!(!seen[r as usize]);
+            assert!(!seen[r as usize], "case {case}: duplicate row");
             seen[r as usize] = true;
         }
-        prop_assert!(seen.iter().all(|&s| s));
-        prop_assert_eq!(*p.chunk_starts.last().unwrap() as usize, n);
+        assert!(seen.iter().all(|&s| s), "case {case}: rows missing");
+        assert_eq!(*p.chunk_starts.last().unwrap() as usize, n, "case {case}");
 
         // Threshold respected unless a chunk is a single (a, b) value pair
         // (unsplittable).
@@ -56,9 +53,9 @@ proptest! {
             let rows = &p.row_order[p.chunk_range(c)];
             if rows.len() > threshold {
                 let first = (a[rows[0] as usize], b[rows[0] as usize]);
-                prop_assert!(
+                assert!(
                     rows.iter().all(|&r| (a[r as usize], b[r as usize]) == first),
-                    "oversized chunk must be single-valued"
+                    "case {case}: oversized chunk must be single-valued"
                 );
             }
         }
@@ -84,44 +81,50 @@ proptest! {
                 let a_disjoint = a_hi1 < a_lo2 || a_hi2 < a_lo1;
                 let same_single_a = a_lo1 == a_hi1 && a_lo2 == a_hi2 && a_lo1 == a_lo2;
                 let b_disjoint = b_hi1 < b_lo2 || b_hi2 < b_lo1;
-                prop_assert!(
+                assert!(
                     a_disjoint || (same_single_a && b_disjoint),
-                    "chunks {i} and {j} overlap: {:?} vs {:?}",
+                    "case {case}: chunks {i} and {j} overlap: {:?} vs {:?}",
                     ranges[i],
                     ranges[j]
                 );
             }
         }
     }
+}
 
-    /// Cache layers never exceed their byte budgets, and every access cost
-    /// is consistent (a hit costs nothing).
-    #[test]
-    fn cache_respects_budget(
-        accesses in proptest::collection::vec((0u32..64, 1usize..5_000), 1..300),
-        policy_idx in 0usize..3,
-        budget in 1_000usize..20_000,
-    ) {
-        let policy = [CachePolicy::Lru, CachePolicy::TwoQ, CachePolicy::Arc][policy_idx];
+/// Cache layers never exceed their byte budgets, and every access cost is
+/// consistent (a hit costs nothing).
+#[test]
+fn cache_respects_budget() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0002);
+    for _ in 0..64 {
+        let policy = [CachePolicy::Lru, CachePolicy::TwoQ, CachePolicy::Arc][rng.range_usize(0, 3)];
+        let budget = rng.range_usize(1_000, 20_000);
         let cache = TieredCache::new(policy, budget, budget / 2);
-        for (chunk, size) in accesses {
+        for _ in 0..rng.range_usize(1, 300) {
+            let chunk = rng.range_u64(0, 64) as u32;
+            let size = rng.range_usize(1, 5_000);
             let key = (std::sync::Arc::from("col"), chunk);
             let cost = cache.touch(&key, size, size / 3 + 1);
-            if cost.hit() {
-                // A hit is free by definition; nothing more to check.
-            } else {
-                prop_assert!(cost.decompressed_bytes as usize == size);
+            if !cost.hit() {
+                assert_eq!(cost.decompressed_bytes as usize, size);
             }
             let (u, c) = cache.resident_bytes();
-            prop_assert!(u <= budget, "uncompressed layer over budget: {u} > {budget}");
-            prop_assert!(c <= budget / 2, "compressed layer over budget: {c}");
+            assert!(u <= budget, "uncompressed layer over budget: {u} > {budget}");
+            assert!(c <= budget / 2, "compressed layer over budget: {c}");
         }
     }
+}
 
-    /// AggState merging is associative and commutative for the algebraic
-    /// aggregates (the property the §4 computation tree relies on).
-    #[test]
-    fn agg_states_merge_associatively(values in proptest::collection::vec(-100i64..100, 3..60)) {
+/// AggState merging is associative and commutative for the algebraic
+/// aggregates (the property the §4 computation tree — and the parallel
+/// chunk scheduler's merge — relies on).
+#[test]
+fn agg_states_merge_associatively() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0003);
+    for _ in 0..64 {
+        let n = rng.range_usize(3, 60);
+        let values: Vec<i64> = (0..n).map(|_| rng.range_i64_inclusive(-100, 100)).collect();
         let states: Vec<Vec<AggState>> = values
             .iter()
             .map(|&v| {
@@ -136,7 +139,7 @@ proptest! {
             })
             .collect();
 
-        // Left fold vs right fold vs two-level tree fold.
+        // Left fold vs two-level tree fold.
         let merge_all = |chunks: &[Vec<AggState>]| -> Vec<AggState> {
             let mut acc = chunks[0].clone();
             for s in &chunks[1..] {
@@ -147,9 +150,9 @@ proptest! {
             acc
         };
         let flat = merge_all(&states);
-        let mid = states.len() / 2;
-        let left = merge_all(&states[..mid.max(1)]);
-        let right = merge_all(&states[mid.max(1)..]);
+        let mid = (values.len() / 2).max(1);
+        let left = merge_all(&states[..mid]);
+        let right = merge_all(&states[mid..]);
         let mut tree = left;
         for (a, b) in tree.iter_mut().zip(&right) {
             a.merge(b).unwrap();
@@ -157,44 +160,40 @@ proptest! {
         for (a, b) in flat.iter().zip(&tree) {
             match (a.finalize(), b.finalize()) {
                 (Value::Float(x), Value::Float(y)) => {
-                    prop_assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()));
+                    assert!((x - y).abs() < 1e-9 * (1.0 + x.abs()));
                 }
-                (x, y) => prop_assert_eq!(x, y),
+                (x, y) => assert_eq!(x, y),
             }
         }
     }
+}
 
-    /// Skipping soundness — the paper's central correctness claim: a chunk
-    /// the dictionaries declare inactive contains NO matching row, and a
-    /// fully active chunk contains ONLY matching rows.
-    #[test]
-    fn skipping_is_sound(
-        rows in proptest::collection::vec((0usize..5, 0u32..12, -40i64..40), 1..200),
-        where_idx in 0usize..8,
-        v1 in 0u32..12,
-        n1 in -40i64..40,
-    ) {
-        let schema = Schema::of(&[
-            ("k", DataType::Str),
-            ("g", DataType::Str),
-            ("n", DataType::Int),
-        ]);
+/// Skipping soundness — the paper's central correctness claim: a chunk the
+/// dictionaries declare inactive contains NO matching row, and a fully
+/// active chunk contains ONLY matching rows.
+#[test]
+fn skipping_is_sound() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0004);
+    for case in 0..48 {
+        let n = rng.range_usize(1, 200);
+        let schema =
+            Schema::of(&[("k", DataType::Str), ("g", DataType::Str), ("n", DataType::Int)]);
         let mut table = pd_data::Table::new(schema);
-        for (k, g, n) in &rows {
+        for _ in 0..n {
             table
                 .push_row(Row(vec![
-                    Value::from(["red", "green", "blue", "grey", "teal"][*k]),
-                    Value::from(format!("g{g:02}")),
-                    Value::Int(*n),
+                    Value::from(["red", "green", "blue", "grey", "teal"][rng.range_usize(0, 5)]),
+                    Value::from(format!("g{:02}", rng.range_u64(0, 12))),
+                    Value::Int(rng.range_i64_inclusive(-40, 39)),
                 ]))
                 .unwrap();
         }
-        let store = DataStore::build(
-            &table,
-            &BuildOptions::reordered(PartitionSpec::new(&["k", "g"], 8)),
-        )
-        .unwrap();
+        let store =
+            DataStore::build(&table, &BuildOptions::reordered(PartitionSpec::new(&["k", "g"], 8)))
+                .unwrap();
 
+        let v1 = rng.range_u64(0, 12);
+        let n1 = rng.range_i64_inclusive(-40, 39);
         let wheres = [
             format!("g = 'g{v1:02}'"),
             format!("k = 'red' AND g = 'g{v1:02}'"),
@@ -205,7 +204,8 @@ proptest! {
             format!("k != 'red' OR g = 'g{v1:02}'"),
             format!("NOT (k = 'blue' AND n <= {n1})"),
         ];
-        let sql = format!("SELECT COUNT(*) FROM t WHERE {}", wheres[where_idx]);
+        let where_sql = &wheres[rng.range_usize(0, wheres.len())];
+        let sql = format!("SELECT COUNT(*) FROM t WHERE {where_sql}");
         let parsed = parse_query(&sql).unwrap();
         let filter = parsed.where_clause.clone().unwrap();
         let restriction = Restriction::from_expr(&filter);
@@ -217,31 +217,32 @@ proptest! {
                 let ctx = StoreRow { store: &store, chunk: c, row: r };
                 let matches = truthy(&eval_expr(&filter, &ctx).unwrap());
                 match verdict {
-                    ChunkActivity::Skip => prop_assert!(
+                    ChunkActivity::Skip => assert!(
                         !matches,
-                        "skipped chunk {c} row {r} matches `{}`",
-                        wheres[where_idx]
+                        "case {case}: skipped chunk {c} row {r} matches `{where_sql}`"
                     ),
-                    ChunkActivity::Full => prop_assert!(
+                    ChunkActivity::Full => assert!(
                         matches,
-                        "fully-active chunk {c} row {r} fails `{}`",
-                        wheres[where_idx]
+                        "case {case}: fully-active chunk {c} row {r} fails `{where_sql}`"
                     ),
                     ChunkActivity::Partial => {}
                 }
             }
         }
     }
+}
 
-    /// KMV sketches: merge order never changes the estimate, and estimates
-    /// are exact below m.
-    #[test]
-    fn sketch_merge_order_irrelevant(
-        xs in proptest::collection::hash_set(0u64..5_000, 1..200),
-        split in 0usize..200,
-    ) {
-        let all: Vec<u64> = xs.into_iter().collect();
-        let split = split.min(all.len());
+/// KMV sketches: merge order never changes the estimate, and estimates are
+/// exact below m.
+#[test]
+fn sketch_merge_order_irrelevant() {
+    let mut rng = Rng::seed_from_u64(0xc04e_0005);
+    for _ in 0..64 {
+        let mut all: Vec<u64> =
+            (0..rng.range_usize(1, 200)).map(|_| rng.range_u64(0, 5_000)).collect();
+        all.sort_unstable();
+        all.dedup();
+        let split = rng.range_usize(0, all.len() + 1);
         let mut a = KmvSketch::new(64);
         let mut b = KmvSketch::new(64);
         for &v in &all[..split] {
@@ -254,9 +255,9 @@ proptest! {
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        prop_assert_eq!(&ab, &ba);
+        assert_eq!(ab, ba);
         if all.len() < 64 {
-            prop_assert_eq!(ab.estimate(), all.len() as f64);
+            assert_eq!(ab.estimate(), all.len() as f64);
         }
     }
 }

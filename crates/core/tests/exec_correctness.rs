@@ -3,9 +3,7 @@
 //! §3 ladder, with and without the §6 result cache.
 
 use pd_common::{Row, Value};
-use pd_core::{
-    execute, query, BuildOptions, DataStore, ExecContext, PartitionSpec, ResultCache,
-};
+use pd_core::{execute, query, BuildOptions, DataStore, ExecContext, PartitionSpec, ResultCache};
 use pd_data::{generate_logs, LogsSpec, Table};
 use pd_sql::{analyze, eval_expr, parse_query, truthy, AggFunc, OutputCol, RowContext};
 use std::collections::HashMap;
@@ -44,8 +42,7 @@ fn oracle(table: &Table, sql: &str) -> Vec<Row> {
                 continue;
             }
         }
-        let key: Vec<Value> =
-            analyzed.keys.iter().map(|k| eval_expr(k, &ctx).unwrap()).collect();
+        let key: Vec<Value> = analyzed.keys.iter().map(|k| eval_expr(k, &ctx).unwrap()).collect();
         let states = groups
             .entry(key)
             .or_insert_with(|| analyzed.aggs.iter().map(|_| OracleAgg::default()).collect());
@@ -120,11 +117,8 @@ fn oracle(table: &Table, sql: &str) -> Vec<Row> {
     let names = analyzed.output_names();
     if let Some(having) = &analyzed.having {
         rows.retain(|row| {
-            let pairs: Vec<(&str, Value)> = names
-                .iter()
-                .map(String::as_str)
-                .zip(row.values().iter().cloned())
-                .collect();
+            let pairs: Vec<(&str, Value)> =
+                names.iter().map(String::as_str).zip(row.values().iter().cloned()).collect();
             truthy(&eval_expr(having, &pairs[..]).unwrap())
         });
     }
@@ -149,18 +143,16 @@ fn oracle(table: &Table, sql: &str) -> Vec<Row> {
 
 fn float_eq(a: &Value, b: &Value) -> bool {
     match (a, b) {
-        (Value::Float(x), Value::Float(y)) => {
-            (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs()))
-        }
+        (Value::Float(x), Value::Float(y)) => (x - y).abs() <= 1e-6 * (1.0 + x.abs().max(y.abs())),
         _ => a == b,
     }
 }
 
 fn rows_eq(a: &[Row], b: &[Row]) -> bool {
     a.len() == b.len()
-        && a.iter()
-            .zip(b)
-            .all(|(ra, rb)| ra.0.len() == rb.0.len() && ra.0.iter().zip(&rb.0).all(|(x, y)| float_eq(x, y)))
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.0.len() == rb.0.len() && ra.0.iter().zip(&rb.0).all(|(x, y)| float_eq(x, y))
+        })
 }
 
 fn all_variants() -> Vec<(&'static str, BuildOptions)> {
@@ -229,6 +221,14 @@ fn filters_match_oracle() {
         "SELECT country, COUNT(*) c FROM data WHERE date(timestamp) IN ('2011-10-01','2011-10-02') GROUP BY country",
         "SELECT country, SUM(latency) s FROM data WHERE user != 'user_00003' GROUP BY country ORDER BY s DESC LIMIT 4",
         "SELECT country, COUNT(*) c FROM data WHERE latency BETWEEN 100.0 AND 400.0 GROUP BY country ORDER BY c DESC",
+        // Multi-column subtrees hit the per-row RowEval path of the mask
+        // compiler — alone (full-chunk evaluation) and under an AND whose
+        // cheap sibling narrows the evaluation scope.
+        "SELECT country, COUNT(*) c FROM data WHERE latency > timestamp - 1317427000 GROUP BY country ORDER BY c DESC",
+        "SELECT country, COUNT(*) c FROM data WHERE country = 'US' AND latency > timestamp - 1317427000 GROUP BY country",
+        "SELECT country, COUNT(*) c FROM data WHERE NOT (latency > timestamp - 1317427000) AND country != 'DE' GROUP BY country ORDER BY c DESC LIMIT 5",
+        "SELECT country, COUNT(*) c FROM data WHERE country = 'US' OR latency > timestamp - 1317427000 GROUP BY country ORDER BY c DESC",
+        "SELECT country, COUNT(*) c FROM data WHERE country = 'ZZ' OR (latency > timestamp - 1317427000 AND country != 'FR') GROUP BY country ORDER BY c DESC LIMIT 5",
         "SELECT country, COUNT(*) c FROM data WHERE timestamp NOT BETWEEN 1317427200 AND 1318427200 GROUP BY country ORDER BY c DESC LIMIT 5",
     ] {
         check(&table, &stores, sql);
@@ -280,10 +280,39 @@ fn having_matches_oracle() {
 }
 
 #[test]
+fn single_key_count_beyond_dense_limit_is_exact() {
+    // A single chunk whose key dictionary exceeds the dense-group limit
+    // (2^16): the single-key COUNT(*) fast path must still run its flat
+    // counts array (the limit only gates multi-key products) and return
+    // exact counts.
+    use pd_common::{DataType, Row, Schema, Value};
+    let distinct = 70_000i64;
+    let schema = Schema::of(&[("id", DataType::Int)]);
+    let mut t = pd_data::Table::new(schema);
+    for i in 0..distinct {
+        t.push_row(Row(vec![Value::Int(i)])).unwrap();
+        if i % 7 == 0 {
+            t.push_row(Row(vec![Value::Int(i)])).unwrap(); // every 7th id twice
+        }
+    }
+    let store = DataStore::build(&t, &BuildOptions::basic()).unwrap();
+    let (result, stats) = query(
+        &store,
+        "SELECT id, COUNT(*) c FROM data GROUP BY id ORDER BY c DESC, id ASC LIMIT 3",
+    )
+    .unwrap();
+    assert_eq!(result.rows[0].0, vec![Value::Int(0), Value::Int(2)]);
+    assert_eq!(result.rows[1].0, vec![Value::Int(7), Value::Int(2)]);
+    assert_eq!(result.rows[2].0, vec![Value::Int(14), Value::Int(2)]);
+    assert_eq!(stats.rows_scanned, t.len() as u64);
+}
+
+#[test]
 fn count_distinct_is_exact_below_sketch_size() {
     let table = generate_logs(&LogsSpec::scaled(2_000));
     let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
-    let sql = "SELECT country, COUNT(DISTINCT user) FROM data GROUP BY country ORDER BY country ASC";
+    let sql =
+        "SELECT country, COUNT(DISTINCT user) FROM data GROUP BY country ORDER BY country ASC";
     // With m larger than any group's distinct count the sketch is exact.
     let (result, _) = query(&store, sql).unwrap();
     let expected = oracle(&table, sql);
@@ -348,8 +377,7 @@ fn skipping_statistics_reflect_selectivity() {
         stats.summary()
     );
     // An unrestricted query skips nothing.
-    let (_, stats) =
-        query(&store, "SELECT country, COUNT(*) FROM data GROUP BY country").unwrap();
+    let (_, stats) = query(&store, "SELECT country, COUNT(*) FROM data GROUP BY country").unwrap();
     assert_eq!(stats.rows_skipped, 0);
 }
 
@@ -358,16 +386,15 @@ fn empty_group_results() {
     let table = generate_logs(&LogsSpec::scaled(500));
     let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
     // Global aggregation over empty selection yields one row of empties.
-    let (result, _) = query(&store, "SELECT COUNT(*), SUM(latency) FROM data WHERE country = 'ZZ'").unwrap();
+    let (result, _) =
+        query(&store, "SELECT COUNT(*), SUM(latency) FROM data WHERE country = 'ZZ'").unwrap();
     assert_eq!(result.rows.len(), 1);
     assert_eq!(result.rows[0].0[0], Value::Int(0));
     assert_eq!(result.rows[0].0[1], Value::Null);
     // Grouped aggregation over empty selection yields zero rows.
-    let (result, _) = query(
-        &store,
-        "SELECT country, COUNT(*) FROM data WHERE country = 'ZZ' GROUP BY country",
-    )
-    .unwrap();
+    let (result, _) =
+        query(&store, "SELECT country, COUNT(*) FROM data WHERE country = 'ZZ' GROUP BY country")
+            .unwrap();
     assert!(result.rows.is_empty());
 }
 
@@ -385,8 +412,11 @@ fn errors_are_reported_not_panicked() {
 fn render_produces_readable_table() {
     let table = generate_logs(&LogsSpec::scaled(300));
     let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
-    let (result, _) =
-        query(&store, "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 3").unwrap();
+    let (result, _) = query(
+        &store,
+        "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 3",
+    )
+    .unwrap();
     let text = result.render();
     assert!(text.contains("country"));
     assert!(text.lines().count() >= 4);

@@ -46,9 +46,8 @@ fn write_record<'a, W: Write>(out: &mut W, fields: impl Iterator<Item = &'a str>
 /// parsed according to the schema's types.
 pub fn read_csv<R: BufRead>(input: &mut R, schema: &Schema) -> Result<Table> {
     let mut lines = CsvRecords { input, buf: String::new() };
-    let header = lines
-        .next_record()?
-        .ok_or_else(|| Error::Data("csv: missing header row".into()))?;
+    let header =
+        lines.next_record()?.ok_or_else(|| Error::Data("csv: missing header row".into()))?;
     let expected: Vec<&str> = schema.fields().iter().map(|f| f.name.as_str()).collect();
     if header != expected {
         return Err(Error::Data(format!(
@@ -161,17 +160,15 @@ mod tests {
     use std::io::BufReader;
 
     fn sample() -> Table {
-        let schema = Schema::of(&[
-            ("ts", DataType::Int),
-            ("name", DataType::Str),
-            ("lat", DataType::Float),
-        ]);
+        let schema =
+            Schema::of(&[("ts", DataType::Int), ("name", DataType::Str), ("lat", DataType::Float)]);
         let mut t = Table::new(schema);
         t.push_row(Row(vec![Value::Int(10), Value::from("plain"), Value::Float(1.5)])).unwrap();
         t.push_row(Row(vec![Value::Int(-3), Value::from("with,comma"), Value::Float(0.25)]))
             .unwrap();
         t.push_row(Row(vec![Value::Int(0), Value::from("say \"hi\""), Value::Float(2.0)])).unwrap();
-        t.push_row(Row(vec![Value::Int(7), Value::from("two\nlines"), Value::Float(-1.0)])).unwrap();
+        t.push_row(Row(vec![Value::Int(7), Value::from("two\nlines"), Value::Float(-1.0)]))
+            .unwrap();
         t
     }
 

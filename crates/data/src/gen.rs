@@ -18,9 +18,8 @@
 //! 'auto'") used by the drill-down example and the production workload.
 
 use crate::table::Table;
+use pd_common::rng::Rng;
 use pd_common::{DataType, Row, Schema, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// 2011-10-01 00:00:00 UTC — the start of the paper's measurement quarter
 /// ("collected over all queries processed during the last three months of
@@ -72,8 +71,8 @@ pub fn logs_schema() -> Schema {
 }
 
 const COUNTRIES: [&str; 25] = [
-    "US", "DE", "GB", "JP", "FR", "BR", "IN", "CA", "AU", "NL", "IT", "ES", "SE", "CH", "PL",
-    "RU", "KR", "MX", "TR", "AR", "BE", "DK", "IE", "SG", "ZA",
+    "US", "DE", "GB", "JP", "FR", "BR", "IN", "CA", "AU", "NL", "IT", "ES", "SE", "CH", "PL", "RU",
+    "KR", "MX", "TR", "AR", "BE", "DK", "IE", "SG", "ZA",
 ];
 
 const TEAMS: [&str; 12] = [
@@ -82,13 +81,21 @@ const TEAMS: [&str; 12] = [
 ];
 
 const DATASETS: [&str; 10] = [
-    "queries", "clicks", "impressions", "latency_rollup", "daily_summary", "events", "errors",
-    "experiments", "sessions", "audit",
+    "queries",
+    "clicks",
+    "impressions",
+    "latency_rollup",
+    "daily_summary",
+    "events",
+    "errors",
+    "experiments",
+    "sessions",
+    "audit",
 ];
 
 /// Generate the PowerDrill query-log table.
 pub fn generate_logs(spec: &LogsSpec) -> Table {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let schema = logs_schema();
     let mut table = Table::new(schema);
 
@@ -113,7 +120,7 @@ pub fn generate_logs(spec: &LogsSpec) -> Table {
         // Timestamps increase with row order plus jitter — the "implicit
         // clustering" of appended log records.
         let base_ts = (i as i64 * window) / spec.rows.max(1) as i64;
-        let jitter = rng.gen_range(0..=600);
+        let jitter = rng.range_i64_inclusive(0, 600);
         let ts = LOGS_EPOCH + (base_ts + jitter).min(window - 1);
 
         let country_idx = country_zipf.sample(&mut rng);
@@ -133,7 +140,7 @@ pub fn generate_logs(spec: &LogsSpec) -> Table {
         let name = if base_idx.is_multiple_of(5) {
             bases[base_idx].clone()
         } else {
-            let u: f64 = rng.gen();
+            let u: f64 = rng.next_f64();
             let lag = (u * u * u * 30.0) as i64;
             let day = (((ts - LOGS_EPOCH) / 86_400) - lag).max(0) as usize;
             let (y, m, d) = date_of_day(day);
@@ -145,7 +152,7 @@ pub fn generate_logs(spec: &LogsSpec) -> Table {
         // characterization of this field) yet correlated with table_name,
         // so the §3 reordering clusters similar values.
         let latency = {
-            let u: f64 = rng.gen::<f64>().max(1e-12);
+            let u: f64 = rng.next_f64().max(1e-12);
             // Each table lives in a latency band (cheap lookups vs heavy
             // scans), with exponential within-band noise.
             const BANDS: [f64; 8] = [25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0];
@@ -153,7 +160,7 @@ pub fn generate_logs(spec: &LogsSpec) -> Table {
             (band * (1.0 + 0.6 * -u.ln())).round()
         };
 
-        let user = format!("user_{:05}", rng.gen_range(0..spec.users.max(1)));
+        let user = format!("user_{:05}", rng.range_usize(0, spec.users.max(1)));
 
         table
             .push_row(Row(vec![
@@ -192,31 +199,62 @@ pub fn searches_schema() -> Schema {
 }
 
 const EN_TERMS: [&str; 12] = [
-    "cat", "cheap flights", "weather", "ebay", "amazon", "news", "yellow pages", "pizza",
-    "car insurance", "maps", "hotel", "jobs",
+    "cat",
+    "cheap flights",
+    "weather",
+    "ebay",
+    "amazon",
+    "news",
+    "yellow pages",
+    "pizza",
+    "car insurance",
+    "maps",
+    "hotel",
+    "jobs",
 ];
 const DE_TERMS: [&str; 12] = [
-    "auto", "billige flüge", "wetter", "ebay", "amazon", "nachrichten", "gelbe seiten",
-    "karnevalskostüme", "autoversicherung", "ab in den urlaub", "immobilienscout", "jobs",
+    "auto",
+    "billige flüge",
+    "wetter",
+    "ebay",
+    "amazon",
+    "nachrichten",
+    "gelbe seiten",
+    "karnevalskostüme",
+    "autoversicherung",
+    "ab in den urlaub",
+    "immobilienscout",
+    "jobs",
 ];
 const FR_TERMS: [&str; 12] = [
-    "voiture", "vols pas chers", "météo", "ebay", "amazon", "actualités", "pages jaunes",
-    "la redoute", "assurance auto", "voyages sncf", "chaussures", "emploi",
+    "voiture",
+    "vols pas chers",
+    "météo",
+    "ebay",
+    "amazon",
+    "actualités",
+    "pages jaunes",
+    "la redoute",
+    "assurance auto",
+    "voyages sncf",
+    "chaussures",
+    "emploi",
 ];
 
 /// Generate the web-search table of the introduction's drill-down story:
 /// search terms correlate strongly with country/language.
 pub fn generate_searches(spec: &SearchesSpec) -> Table {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Rng::seed_from_u64(spec.seed);
     let mut table = Table::new(searches_schema());
     let window = spec.days.max(1) as i64 * 86_400;
     let zipf = ZipfSampler::new(EN_TERMS.len(), 1.0);
 
     for i in 0..spec.rows {
-        let ts = LOGS_EPOCH + (i as i64 * window) / spec.rows.max(1) as i64
-            + rng.gen_range(0..=120);
+        let ts = LOGS_EPOCH
+            + (i as i64 * window) / spec.rows.max(1) as i64
+            + rng.range_i64_inclusive(0, 120);
         // 50% US/GB English, 30% DE, 20% FR.
-        let (country, terms): (&str, &[&str]) = match rng.gen_range(0..10) {
+        let (country, terms): (&str, &[&str]) = match rng.range_usize(0, 10) {
             0..=3 => ("US", &EN_TERMS),
             4 => ("GB", &EN_TERMS),
             5..=7 => ("DE", &DE_TERMS),
@@ -224,16 +262,12 @@ pub fn generate_searches(spec: &SearchesSpec) -> Table {
         };
         let term = terms[zipf.sample(&mut rng)];
         // A third of searches add a qualifier, growing the distinct count.
-        let search = match rng.gen_range(0..3) {
-            0 => format!("{term} {}", rng.gen_range(2010..=2012)),
+        let search = match rng.range_usize(0, 3) {
+            0 => format!("{term} {}", rng.range_i64_inclusive(2010, 2012)),
             _ => term.to_owned(),
         };
         table
-            .push_row(Row(vec![
-                Value::Int(ts),
-                Value::Str(country.to_owned()),
-                Value::Str(search),
-            ]))
+            .push_row(Row(vec![Value::Int(ts), Value::Str(country.to_owned()), Value::Str(search)]))
             .expect("generator respects its own schema");
     }
     table
@@ -257,8 +291,8 @@ impl ZipfSampler {
         ZipfSampler { cumulative }
     }
 
-    pub fn sample(&self, rng: &mut impl Rng) -> usize {
-        let target = rng.gen::<f64>() * self.cumulative.last().copied().unwrap_or(1.0);
+    pub fn sample(&self, rng: &mut Rng) -> usize {
+        let target = rng.next_f64() * self.cumulative.last().copied().unwrap_or(1.0);
         self.cumulative.partition_point(|&c| c < target).min(self.cumulative.len() - 1)
     }
 }
@@ -392,7 +426,7 @@ mod tests {
     #[test]
     fn zipf_sampler_is_monotone_skewed() {
         let z = ZipfSampler::new(100, 1.1);
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let mut counts = vec![0usize; 100];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;

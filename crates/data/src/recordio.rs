@@ -19,7 +19,6 @@
 //! ```
 
 use crate::table::Table;
-use bytes::{Buf, BufMut, BytesMut};
 use pd_common::{DataType, Error, Result, Row, Schema, Value};
 use pd_compress::varint;
 
@@ -27,8 +26,8 @@ const MAGIC: &[u8; 6] = b"PDRIO1";
 
 /// Serialize `table` into record-io bytes.
 pub fn write_recordio(table: &Table) -> Vec<u8> {
-    let mut out = BytesMut::with_capacity(table.len() * 16 + 64);
-    out.put_slice(MAGIC);
+    let mut out = Vec::with_capacity(table.len() * 16 + 64);
+    out.extend_from_slice(MAGIC);
     let mut scratch = Vec::new();
     varint::write_u64(&mut scratch, table.schema().len() as u64);
     for f in table.schema().fields() {
@@ -37,7 +36,7 @@ pub fn write_recordio(table: &Table) -> Vec<u8> {
         scratch.push(type_tag(f.data_type));
     }
     varint::write_u64(&mut scratch, table.len() as u64);
-    out.put_slice(&scratch);
+    out.extend_from_slice(&scratch);
 
     let mut record = Vec::new();
     for i in 0..table.len() {
@@ -47,21 +46,19 @@ pub fn write_recordio(table: &Table) -> Vec<u8> {
         }
         scratch.clear();
         varint::write_u64(&mut scratch, record.len() as u64);
-        out.put_slice(&scratch);
-        out.put_slice(&record);
+        out.extend_from_slice(&scratch);
+        out.extend_from_slice(&record);
     }
-    out.to_vec()
+    out
 }
 
 /// Deserialize record-io bytes.
 pub fn read_recordio(bytes: &[u8]) -> Result<Table> {
-    let mut buf = bytes;
-    if buf.remaining() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
         return Err(Error::Data("recordio: bad magic".into()));
     }
-    buf.advance(MAGIC.len());
 
-    let mut pos = bytes.len() - buf.remaining();
+    let mut pos = MAGIC.len();
     let field_count = varint::read_u64(bytes, &mut pos)? as usize;
     if field_count > 10_000 {
         return Err(Error::Data("recordio: implausible field count".into()));
@@ -76,9 +73,8 @@ pub fn read_recordio(bytes: &[u8]) -> Result<Table> {
             .map_err(|_| Error::Data("recordio: field name not UTF-8".into()))?
             .to_owned();
         pos += name_len;
-        let tag = *bytes
-            .get(pos)
-            .ok_or_else(|| Error::Data("recordio: truncated type tag".into()))?;
+        let tag =
+            *bytes.get(pos).ok_or_else(|| Error::Data("recordio: truncated type tag".into()))?;
         pos += 1;
         fields.push(pd_common::Field::new(name, tag_type(tag)?));
     }
@@ -230,11 +226,8 @@ mod tests {
     use super::*;
 
     fn sample() -> Table {
-        let schema = Schema::of(&[
-            ("ts", DataType::Int),
-            ("name", DataType::Str),
-            ("lat", DataType::Float),
-        ]);
+        let schema =
+            Schema::of(&[("ts", DataType::Int), ("name", DataType::Str), ("lat", DataType::Float)]);
         let mut t = Table::new(schema);
         for i in 0..50i64 {
             t.push_row(Row(vec![

@@ -6,9 +6,9 @@
 //! *not* the paper's data structure; the whole point of the paper is what
 //! the store does to this representation at import time.
 
-use pd_common::{Error, HeapSize, Result, Row, Schema, Value};
 #[cfg(test)]
 use pd_common::DataType;
+use pd_common::{Error, HeapSize, Result, Row, Schema, Value};
 
 /// A schema-validated, column-major table.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,11 +110,8 @@ impl Table {
 
     /// A new table containing the rows selected by `indices`, in order.
     pub fn select_rows(&self, indices: &[usize]) -> Table {
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| indices.iter().map(|&i| c[i].clone()).collect())
-            .collect();
+        let columns =
+            self.columns.iter().map(|c| indices.iter().map(|&i| c[i].clone()).collect()).collect();
         Table { schema: self.schema.clone(), columns, rows: indices.len() }
     }
 
@@ -147,10 +144,9 @@ fn check_type(schema: &Schema, idx: usize, v: &Value) -> Result<()> {
             "column `{}` is {expected} but value `{v}` is {t}",
             schema.field(idx).name
         ))),
-        None => Err(Error::Type(format!(
-            "column `{}` does not accept NULL",
-            schema.field(idx).name
-        ))),
+        None => {
+            Err(Error::Type(format!("column `{}` does not accept NULL", schema.field(idx).name)))
+        }
     }
 }
 

@@ -1,0 +1,25 @@
+//! The distributed layer (§4) and the production workload replay (§6).
+//!
+//! PowerDrill parallelizes a query over many machines by splitting the data
+//! into shards, running the *same* group-by plan on every shard, and
+//! merging the mergeable group states up a computation tree. This crate
+//! models that single-datacenter setup in-process:
+//!
+//! - [`Cluster`] — `shards` independent [`pd_core::DataStore`]s, each with
+//!   its own caches, answering queries via partial execution + merge
+//!   (exactly the [`pd_core::execute_partial`] /
+//!   [`pd_core::PartialResult`] contract the §4 tree relies on);
+//! - [`LoadModel`] — the paper's "heavily loaded or blocked" servers:
+//!   per-subquery random delays, ridden out by issuing the query to a
+//!   replica as well ([`ClusterConfig::replication`]);
+//! - [`TreeShape`] — fanout/depth arithmetic for the computation tree;
+//! - [`workload`] — drill-down click streams shaped like the §6 production
+//!   traffic, and [`run_production`] to replay them and report the
+//!   skipped / cached / scanned split and Figure 5's latency-vs-disk-bytes
+//!   relation.
+
+pub mod cluster;
+pub mod workload;
+
+pub use cluster::{Cluster, ClusterConfig, LoadModel, QueryOutcome, TreeShape};
+pub use workload::{run_production, Click, DrillDownWorkload, ProductionReport, WorkloadSpec};

@@ -206,10 +206,7 @@ impl FloatDict {
     }
 
     pub fn id_of(&self, value: f64) -> Option<u32> {
-        self.values
-            .binary_search_by(|v| v.total_cmp(&value))
-            .ok()
-            .map(|i| i as u32)
+        self.values.binary_search_by(|v| v.total_cmp(&value)).ok().map(|i| i as u32)
     }
 
     pub fn lower_bound(&self, value: f64) -> u32 {
@@ -491,9 +488,8 @@ pub fn build_dict(values: &[Value], use_trie: bool) -> Result<(GlobalDict, Vec<u
             let ids = raw
                 .iter()
                 .map(|x| {
-                    distinct
-                        .binary_search_by(|v| v.total_cmp(x))
-                        .expect("value was inserted") as u32
+                    distinct.binary_search_by(|v| v.total_cmp(x)).expect("value was inserted")
+                        as u32
                 })
                 .collect();
             Ok((GlobalDict::Float(FloatDict::from_sorted(distinct)?), ids))
@@ -560,8 +556,10 @@ mod tests {
 
     #[test]
     fn str_dict_round_trip_both_flavours() {
-        let values: Vec<Value> =
-            ["ebay", "amazon", "ebay", "cheap flights", "amazon"].iter().map(|s| Value::from(*s)).collect();
+        let values: Vec<Value> = ["ebay", "amazon", "ebay", "cheap flights", "amazon"]
+            .iter()
+            .map(|s| Value::from(*s))
+            .collect();
         for use_trie in [false, true] {
             let (dict, ids) = build_dict(&values, use_trie).unwrap();
             assert_eq!(dict.len(), 3);
@@ -607,11 +605,8 @@ mod tests {
 
     #[test]
     fn lower_bound_semantics() {
-        let (dict, _) = build_dict(
-            &[Value::Int(10), Value::Int(20), Value::Int(30)],
-            false,
-        )
-        .unwrap();
+        let (dict, _) =
+            build_dict(&[Value::Int(10), Value::Int(20), Value::Int(30)], false).unwrap();
         assert_eq!(dict.lower_bound(&Value::Int(5)), Some(0));
         assert_eq!(dict.lower_bound(&Value::Int(20)), Some(1));
         assert_eq!(dict.lower_bound(&Value::Int(25)), Some(2));
@@ -666,11 +661,9 @@ mod tests {
 
     #[test]
     fn range_ids_semantics() {
-        let (dict, _) = build_dict(
-            &[Value::Int(10), Value::Int(20), Value::Int(30), Value::Int(40)],
-            false,
-        )
-        .unwrap();
+        let (dict, _) =
+            build_dict(&[Value::Int(10), Value::Int(20), Value::Int(30), Value::Int(40)], false)
+                .unwrap();
         let r = |min: Option<(i64, bool)>, max: Option<(i64, bool)>| {
             dict.range_ids(
                 min.map(|(v, i)| (Value::Int(v), i)).as_ref(),
@@ -720,7 +713,14 @@ mod tests {
     #[test]
     fn trie_and_sorted_agree_on_large_dict() {
         let values: Vec<Value> = (0..3000)
-            .map(|i| Value::from(format!("logs.service_{}.2011-{:02}-{:02}", i % 83, i % 12 + 1, i % 28 + 1)))
+            .map(|i| {
+                Value::from(format!(
+                    "logs.service_{}.2011-{:02}-{:02}",
+                    i % 83,
+                    i % 12 + 1,
+                    i % 28 + 1
+                ))
+            })
             .collect();
         let (sorted, ids_a) = build_dict(&values, false).unwrap();
         let (trie, ids_b) = build_dict(&values, true).unwrap();

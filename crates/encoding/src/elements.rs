@@ -91,6 +91,23 @@ impl Elements {
         ElementsIter { elements: self, row: 0 }
     }
 
+    /// Borrow the underlying code storage without copying.
+    ///
+    /// The group-by kernels dispatch on this view once per chunk and then
+    /// run a monomorphized inner loop over the raw codes, instead of paying
+    /// a representation match per row ([`Elements::get`]) or a closure call
+    /// per row ([`Elements::for_each`]).
+    #[inline]
+    pub fn codes(&self) -> CodesView<'_> {
+        match self {
+            Elements::Const { len } => CodesView::Const { len: *len },
+            Elements::Bits(b) => CodesView::Bits(b),
+            Elements::U8(v) => CodesView::U8(v),
+            Elements::U16(v) => CodesView::U16(v),
+            Elements::U32(v) => CodesView::U32(v),
+        }
+    }
+
     /// Visit every chunk-id via a monomorphized closure; this is the
     /// group-by inner loop (`counts[elements[row]] += 1` in §2.4), so it
     /// avoids a per-row enum dispatch.
@@ -158,9 +175,7 @@ impl Elements {
         let mut pos = 1;
         let len = varint::read_u64(bytes, &mut pos)? as usize;
         let need = |n: usize| -> Result<&[u8]> {
-            bytes
-                .get(pos..pos + n)
-                .ok_or_else(|| Error::Data("elements: truncated payload".into()))
+            bytes.get(pos..pos + n).ok_or_else(|| Error::Data("elements: truncated payload".into()))
         };
         match tag {
             0 => Ok(Elements::Const { len }),
@@ -216,6 +231,53 @@ impl HeapSize for Elements {
             Elements::U8(v) => v.heap_bytes(),
             Elements::U16(v) => v.len() * 2,
             Elements::U32(v) => v.len() * 4,
+        }
+    }
+}
+
+/// A borrowed, zero-copy view of one chunk's element codes.
+///
+/// Obtained from [`Elements::codes`]; every variant indexes in O(1), so a
+/// kernel can `match` once and keep the hot loop free of dispatch.
+#[derive(Clone, Copy)]
+pub enum CodesView<'a> {
+    /// Every row holds code 0.
+    Const {
+        len: usize,
+    },
+    /// Two distinct values, packed bits.
+    Bits(&'a BitVec),
+    U8(&'a [u8]),
+    U16(&'a [u16]),
+    U32(&'a [u32]),
+}
+
+impl CodesView<'_> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            CodesView::Const { len } => *len,
+            CodesView::Bits(b) => b.len(),
+            CodesView::U8(v) => v.len(),
+            CodesView::U16(v) => v.len(),
+            CodesView::U32(v) => v.len(),
+        }
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Code at `row` (no bounds check beyond the underlying storage's).
+    #[inline(always)]
+    pub fn get(&self, row: usize) -> u32 {
+        match self {
+            CodesView::Const { .. } => 0,
+            CodesView::Bits(b) => b.get(row) as u32,
+            CodesView::U8(v) => v[row] as u32,
+            CodesView::U16(v) => v[row] as u32,
+            CodesView::U32(v) => v[row],
         }
     }
 }

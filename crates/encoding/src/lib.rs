@@ -27,7 +27,7 @@ pub mod trie;
 pub use bloom::BloomFilter;
 pub use chunk_dict::ChunkDict;
 pub use dict::{build_dict, FloatDict, GlobalDict, IntDict, SortedStrDict, StrDict};
-pub use elements::{Elements, ElementsMode};
+pub use elements::{CodesView, Elements, ElementsMode};
 pub use packed::PackedInts;
 pub use subdict::{SubDictIndex, SubDictLayout};
 pub use trie::TrieDict;

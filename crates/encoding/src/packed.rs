@@ -5,7 +5,7 @@
 //! backs the "would tighter packing help?" ablation bench: it trades the
 //! paper's aligned loads for ~`width/8` bytes per id.
 
-use pd_common::{HeapSize};
+use pd_common::HeapSize;
 
 /// An immutable-width, append-only array of `width`-bit unsigned integers.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -86,12 +86,8 @@ impl SubDictIndex {
         let group_span = layout.chunks_per_group.max(1);
         let mut groups = Vec::with_capacity(chunk_ids.len().div_ceil(group_span));
         for (gi, span) in chunk_ids.chunks(group_span).enumerate() {
-            let mut ids: Vec<u32> = span
-                .iter()
-                .flatten()
-                .copied()
-                .filter(|g| !hot_set.contains(g))
-                .collect();
+            let mut ids: Vec<u32> =
+                span.iter().flatten().copied().filter(|g| !hot_set.contains(g)).collect();
             ids.sort_unstable();
             ids.dedup();
             let mut bloom = BloomFilter::new(ids.len(), layout.bloom_bits_per_key);
@@ -116,10 +112,7 @@ impl SubDictIndex {
         active_chunks: &'a [u32],
     ) -> impl Iterator<Item = usize> + 'a {
         self.groups.iter().enumerate().filter_map(move |(i, g)| {
-            active_chunks
-                .iter()
-                .any(|&c| c >= g.chunk_lo && c < g.chunk_hi)
-                .then_some(i)
+            active_chunks.iter().any(|&c| c >= g.chunk_lo && c < g.chunk_hi).then_some(i)
         })
     }
 
@@ -142,11 +135,7 @@ impl SubDictIndex {
 impl HeapSize for SubDictIndex {
     fn heap_bytes(&self) -> usize {
         self.hot_ids.len() * 4
-            + self
-                .groups
-                .iter()
-                .map(|g| g.ids.len() * 4 + g.bloom.heap_bytes())
-                .sum::<usize>()
+            + self.groups.iter().map(|g| g.ids.len() * 4 + g.bloom.heap_bytes()).sum::<usize>()
     }
 }
 
@@ -177,7 +166,8 @@ mod tests {
     #[test]
     fn hot_set_captures_most_frequent() {
         let (chunks, freq) = fixture();
-        let layout = SubDictLayout { hot_fraction: 0.05, chunks_per_group: 2, ..Default::default() };
+        let layout =
+            SubDictLayout { hot_fraction: 0.05, chunks_per_group: 2, ..Default::default() };
         let idx = SubDictIndex::build(&chunks, &freq, |_| 10, layout);
         assert_eq!(idx.hot_ids, vec![0, 1, 2, 3, 4]);
         assert_eq!(idx.hot_bytes, 50);
@@ -204,7 +194,8 @@ mod tests {
     #[test]
     fn few_active_chunks_load_few_bytes() {
         let (chunks, freq) = fixture();
-        let layout = SubDictLayout { hot_fraction: 0.05, chunks_per_group: 1, ..Default::default() };
+        let layout =
+            SubDictLayout { hot_fraction: 0.05, chunks_per_group: 1, ..Default::default() };
         let idx = SubDictIndex::build(&chunks, &freq, |_| 7, layout);
         let all: Vec<u32> = (0..4).collect();
         let full = idx.bytes_for_chunks(&all);
@@ -225,7 +216,8 @@ mod tests {
     #[test]
     fn group_ids_exclude_hot_and_are_sorted() {
         let (chunks, freq) = fixture();
-        let layout = SubDictLayout { hot_fraction: 0.05, chunks_per_group: 2, ..Default::default() };
+        let layout =
+            SubDictLayout { hot_fraction: 0.05, chunks_per_group: 2, ..Default::default() };
         let idx = SubDictIndex::build(&chunks, &freq, |_| 1, layout);
         for g in &idx.groups {
             assert!(g.ids.windows(2).all(|w| w[0] < w[1]));

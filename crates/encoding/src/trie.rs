@@ -197,7 +197,13 @@ impl TrieDict {
         debug_assert_eq!(next_id, self.len);
     }
 
-    fn dfs(&self, pos: usize, prefix: &mut Vec<u8>, next_id: &mut u32, f: &mut impl FnMut(u32, &str)) {
+    fn dfs(
+        &self,
+        pos: usize,
+        prefix: &mut Vec<u8>,
+        next_id: &mut u32,
+        f: &mut impl FnMut(u32, &str),
+    ) {
         let node = Node::parse(&self.bytes, pos);
         let label_start = prefix.len();
         for k in 0..node.label_len {
@@ -464,7 +470,8 @@ mod tests {
 
     #[test]
     fn for_each_visits_in_order() {
-        let values: Vec<String> = (0..500).map(|i| format!("table_{:04}_2011-12-{:02}", i % 97, i % 28 + 1)).collect();
+        let values: Vec<String> =
+            (0..500).map(|i| format!("table_{:04}_2011-12-{:02}", i % 97, i % 28 + 1)).collect();
         let mut sorted: Vec<&str> = values.iter().map(String::as_str).collect();
         sorted.sort_unstable();
         sorted.dedup();
@@ -481,18 +488,12 @@ mod tests {
     fn shared_prefixes_compress_well() {
         // Date-suffixed table names (the paper's motivating case): the trie
         // must be much smaller than the raw concatenated strings.
-        let values: Vec<String> = (0..20_000)
-            .map(|i| format!("warehouse.revenue.daily_rollup_v2.{:05}", i))
-            .collect();
+        let values: Vec<String> =
+            (0..20_000).map(|i| format!("warehouse.revenue.daily_rollup_v2.{:05}", i)).collect();
         let refs: Vec<&str> = values.iter().map(String::as_str).collect();
         let t = TrieDict::from_sorted(&refs).unwrap();
         let raw: usize = values.iter().map(|s| s.len()).sum();
-        assert!(
-            t.heap_bytes() < raw / 3,
-            "trie {} bytes vs raw {} bytes",
-            t.heap_bytes(),
-            raw
-        );
+        assert!(t.heap_bytes() < raw / 3, "trie {} bytes vs raw {} bytes", t.heap_bytes(), raw);
         // Spot-check correctness at the edges.
         assert_eq!(t.id_of(&values[0]), Some(0));
         assert_eq!(t.id_of(&values[19_999]), Some(19_999));

@@ -1,111 +1,154 @@
-//! Property tests for the dictionary / element / trie invariants.
+//! Randomized properties for the dictionary / element / trie invariants,
+//! driven by a seeded PRNG so failures reproduce exactly.
 
-use pd_encoding::{build_dict, ChunkDict, Elements, ElementsMode, PackedInts, TrieDict};
-use proptest::prelude::*;
+use pd_common::rng::Rng;
 use pd_common::Value;
+use pd_encoding::{build_dict, ChunkDict, Elements, ElementsMode, PackedInts, TrieDict};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The double indirection must reconstruct the original column exactly:
-    /// dict(ids[row]) == values[row] (§2.3's "synchronously iterating").
-    #[test]
-    fn dict_ids_reconstruct_column(
-        raw in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..200),
-        use_trie in any::<bool>(),
-    ) {
-        let values: Vec<Value> = raw
-            .iter()
-            .map(|bytes| Value::from(String::from_utf8_lossy(bytes).into_owned()))
+/// The double indirection must reconstruct the original column exactly:
+/// dict(ids[row]) == values[row] (§2.3's "synchronously iterating").
+#[test]
+fn dict_ids_reconstruct_column() {
+    let mut rng = Rng::seed_from_u64(0xd1c7_0001);
+    for case in 0..64 {
+        let use_trie = rng.chance(0.5);
+        let n = rng.range_usize(1, 200);
+        let values: Vec<Value> = (0..n)
+            .map(|_| {
+                let len = rng.range_usize(0, 12);
+                let s: String = (0..len)
+                    .map(|_| char::from_u32(rng.range_u64(0x20, 0x7f) as u32).unwrap())
+                    .collect();
+                Value::from(s)
+            })
             .collect();
         let (dict, ids) = build_dict(&values, use_trie).unwrap();
-        prop_assert_eq!(ids.len(), values.len());
+        assert_eq!(ids.len(), values.len(), "case {case}");
         for (v, &id) in values.iter().zip(&ids) {
-            prop_assert_eq!(&dict.value(id), v);
-            prop_assert_eq!(dict.id_of(v), Some(id));
+            assert_eq!(&dict.value(id), v, "case {case}");
+            assert_eq!(dict.id_of(v), Some(id), "case {case}");
         }
         // Ranks are dense and the dictionary is sorted.
         for id in 1..dict.len() {
-            prop_assert!(dict.value(id - 1) < dict.value(id));
+            assert!(dict.value(id - 1) < dict.value(id), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn int_dict_reconstructs_column(values in proptest::collection::vec(any::<i64>(), 1..300)) {
-        let col: Vec<Value> = values.iter().map(|&v| Value::Int(v)).collect();
+#[test]
+fn int_dict_reconstructs_column() {
+    let mut rng = Rng::seed_from_u64(0xd1c7_0002);
+    for _ in 0..64 {
+        let n = rng.range_usize(1, 300);
+        let col: Vec<Value> = (0..n).map(|_| Value::Int(rng.next_u64() as i64)).collect();
         let (dict, ids) = build_dict(&col, false).unwrap();
         for (v, &id) in col.iter().zip(&ids) {
-            prop_assert_eq!(&dict.value(id), v);
+            assert_eq!(&dict.value(id), v);
         }
     }
+}
 
-    /// Trie and sorted array are two encodings of the same mapping.
-    #[test]
-    fn trie_is_equivalent_to_sorted_array(
-        raw in proptest::collection::hash_set("[a-z]{0,10}", 1..100),
-    ) {
-        let mut sorted: Vec<&str> = raw.iter().map(String::as_str).collect();
-        sorted.sort_unstable();
+/// Trie and sorted array are two encodings of the same mapping.
+#[test]
+fn trie_is_equivalent_to_sorted_array() {
+    let mut rng = Rng::seed_from_u64(0xd1c7_0003);
+    for case in 0..64 {
+        let n = rng.range_usize(1, 100);
+        let mut raw: Vec<String> = (0..n)
+            .map(|_| {
+                let len = rng.range_usize(0, 10);
+                (0..len).map(|_| (b'a' + rng.range_u64(0, 26) as u8) as char).collect()
+            })
+            .collect();
+        raw.sort_unstable();
+        raw.dedup();
+        let sorted: Vec<&str> = raw.iter().map(String::as_str).collect();
         let trie = TrieDict::from_sorted(&sorted).unwrap();
-        prop_assert_eq!(trie.len() as usize, sorted.len());
+        assert_eq!(trie.len() as usize, sorted.len(), "case {case}");
         for (rank, s) in sorted.iter().enumerate() {
-            prop_assert_eq!(trie.id_of(s), Some(rank as u32));
-            prop_assert_eq!(trie.value(rank as u32), *s);
+            assert_eq!(trie.id_of(s), Some(rank as u32), "case {case}");
+            assert_eq!(trie.value(rank as u32), *s, "case {case}");
         }
         // Probes for absent values return None.
         for s in ["zzzz-absent", "", "a-"] {
-            if !raw.contains(s) {
-                prop_assert_eq!(trie.id_of(s), None);
+            if !raw.iter().any(|r| r == s) {
+                assert_eq!(trie.id_of(s), None, "case {case} probe {s:?}");
             }
         }
     }
+}
 
-    /// Elements encodings are lossless for every representation the ladder
-    /// can pick, and serialization round-trips.
-    #[test]
-    fn elements_encodings_are_lossless(
-        distinct in 1u32..70_000,
-        len in 0usize..400,
-    ) {
-        let ids: Vec<u32> = (0..len).map(|i| (i as u32).wrapping_mul(2654435761) % distinct).collect();
+/// Elements encodings are lossless for every representation the ladder can
+/// pick, and serialization round-trips.
+#[test]
+fn elements_encodings_are_lossless() {
+    let mut rng = Rng::seed_from_u64(0xd1c7_0004);
+    for case in 0..64 {
+        let distinct = rng.range_u64(1, 70_000) as u32;
+        let len = rng.range_usize(0, 400);
+        let ids: Vec<u32> =
+            (0..len).map(|i| (i as u32).wrapping_mul(2654435761) % distinct).collect();
         for mode in [ElementsMode::Basic, ElementsMode::Optimized] {
             let e = Elements::encode(&ids, distinct, mode);
-            prop_assert_eq!(e.len(), len);
+            assert_eq!(e.len(), len, "case {case}");
             let back: Vec<u32> = e.iter().collect();
-            prop_assert_eq!(&back, &ids);
+            assert_eq!(back, ids, "case {case}");
             let decoded = Elements::from_bytes(&e.to_bytes()).unwrap();
-            prop_assert_eq!(decoded, e);
+            assert_eq!(decoded, e, "case {case}");
+            // The borrowed code view agrees with get() row by row.
+            let view = e.codes();
+            for (row, &id) in ids.iter().enumerate() {
+                assert_eq!(view.get(row), id, "case {case} row {row}");
+            }
         }
     }
+}
 
-    /// Chunk dictionary membership agrees with a naive set check.
-    #[test]
-    fn chunk_dict_membership(
-        mut ids in proptest::collection::vec(any::<u32>(), 0..200),
-        probes in proptest::collection::vec(any::<u32>(), 0..50),
-    ) {
+/// Chunk dictionary membership agrees with a naive set check.
+#[test]
+fn chunk_dict_membership() {
+    let mut rng = Rng::seed_from_u64(0xd1c7_0005);
+    for case in 0..64 {
+        let mut ids: Vec<u32> =
+            (0..rng.range_usize(0, 200)).map(|_| rng.next_u64() as u32).collect();
         ids.sort_unstable();
         ids.dedup();
         let dict = ChunkDict::from_sorted(ids.clone()).unwrap();
         let set: std::collections::HashSet<u32> = ids.iter().copied().collect();
+        let probes: Vec<u32> = (0..rng.range_usize(0, 50))
+            .map(|_| {
+                if rng.chance(0.5) && !ids.is_empty() {
+                    ids[rng.range_usize(0, ids.len())] // present value
+                } else {
+                    rng.next_u64() as u32
+                }
+            })
+            .collect();
         for &p in &probes {
-            prop_assert_eq!(dict.chunk_id_of(p).is_some(), set.contains(&p));
+            assert_eq!(dict.chunk_id_of(p).is_some(), set.contains(&p), "case {case}");
         }
         let mut sorted_probes = probes.clone();
         sorted_probes.sort_unstable();
         sorted_probes.dedup();
-        prop_assert_eq!(
+        assert_eq!(
             dict.contains_any(&sorted_probes),
-            sorted_probes.iter().any(|p| set.contains(p))
+            sorted_probes.iter().any(|p| set.contains(p)),
+            "case {case}"
         );
         let back = ChunkDict::from_bytes(&dict.to_bytes()).unwrap();
-        prop_assert_eq!(back, dict);
+        assert_eq!(back, dict, "case {case}");
     }
+}
 
-    #[test]
-    fn packed_ints_round_trip(values in proptest::collection::vec(any::<u32>(), 0..500)) {
+#[test]
+fn packed_ints_round_trip() {
+    let mut rng = Rng::seed_from_u64(0xd1c7_0006);
+    for _ in 0..64 {
+        let width_cap = 1u64 << rng.range_u64(1, 33);
+        let values: Vec<u32> =
+            (0..rng.range_usize(0, 500)).map(|_| rng.range_u64(0, width_cap) as u32).collect();
         let p: PackedInts = values.iter().copied().collect();
         let back: Vec<u32> = p.iter().collect();
-        prop_assert_eq!(back, values);
+        assert_eq!(back, values);
     }
 }

@@ -123,10 +123,7 @@ pub fn analyze(query: &Query) -> Result<AnalyzedQuery> {
         Some(h) => Some(rewrite_having(h, query, &output)?),
     };
 
-    let restriction = query
-        .where_clause
-        .as_ref()
-        .map_or(Restriction::True, Restriction::from_expr);
+    let restriction = query.where_clause.as_ref().map_or(Restriction::True, Restriction::from_expr);
 
     Ok(AnalyzedQuery {
         table,
@@ -144,11 +141,7 @@ pub fn analyze(query: &Query) -> Result<AnalyzedQuery> {
 /// Find the output column an ORDER BY / HAVING expression refers to: by
 /// alias, by structural match with a select item, or by matching an
 /// aggregate call like `count(*)`.
-fn resolve_output(
-    expr: &Expr,
-    query: &Query,
-    output: &[(String, OutputCol)],
-) -> Result<usize> {
+fn resolve_output(expr: &Expr, query: &Query, output: &[(String, OutputCol)]) -> Result<usize> {
     // 1. Alias or output-name match.
     if let Some(name) = expr.as_column() {
         if let Some(idx) = output.iter().position(|(n, _)| n == name) {
@@ -165,7 +158,9 @@ fn resolve_output(
             return Ok(idx);
         }
     }
-    Err(Error::Schema(format!("ORDER BY / HAVING expression `{expr}` does not match any output column")))
+    Err(Error::Schema(format!(
+        "ORDER BY / HAVING expression `{expr}` does not match any output column"
+    )))
 }
 
 /// Does `count(*)`-style call expression denote aggregate `a`?
@@ -202,15 +197,11 @@ fn rewrite_having(expr: &Expr, query: &Query, output: &[(String, OutputCol)]) ->
         Expr::Column(_) | Expr::Literal(_) => expr.clone(),
         Expr::Call { name, args } => Expr::Call {
             name: name.clone(),
-            args: args
-                .iter()
-                .map(|a| rewrite_having(a, query, output))
-                .collect::<Result<_>>()?,
+            args: args.iter().map(|a| rewrite_having(a, query, output)).collect::<Result<_>>()?,
         },
-        Expr::Unary { op, expr: inner } => Expr::Unary {
-            op: *op,
-            expr: Box::new(rewrite_having(inner, query, output)?),
-        },
+        Expr::Unary { op, expr: inner } => {
+            Expr::Unary { op: *op, expr: Box::new(rewrite_having(inner, query, output)?) }
+        }
         Expr::Binary { op, lhs, rhs } => Expr::Binary {
             op: *op,
             lhs: Box::new(rewrite_having(lhs, query, output)?),
@@ -218,10 +209,7 @@ fn rewrite_having(expr: &Expr, query: &Query, output: &[(String, OutputCol)]) ->
         },
         Expr::InList { expr: inner, list, negated } => Expr::InList {
             expr: Box::new(rewrite_having(inner, query, output)?),
-            list: list
-                .iter()
-                .map(|e| rewrite_having(e, query, output))
-                .collect::<Result<_>>()?,
+            list: list.iter().map(|e| rewrite_having(e, query, output)).collect::<Result<_>>()?,
             negated: *negated,
         },
     })
@@ -290,9 +278,8 @@ mod tests {
 
     #[test]
     fn order_by_structural_match() {
-        let a = analyzed(
-            "SELECT country, COUNT(*) FROM data GROUP BY country ORDER BY COUNT(*) DESC",
-        );
+        let a =
+            analyzed("SELECT country, COUNT(*) FROM data GROUP BY country ORDER BY COUNT(*) DESC");
         assert_eq!(a.order_by, vec![(1, true)]);
         let a = analyzed(
             "SELECT date(timestamp) FROM data GROUP BY date(timestamp) ORDER BY date(timestamp)",
@@ -302,8 +289,10 @@ mod tests {
 
     #[test]
     fn order_by_unknown_rejected() {
-        let err =
-            analyze(&parse_query("SELECT country, COUNT(*) c FROM data GROUP BY country ORDER BY zz").unwrap());
+        let err = analyze(
+            &parse_query("SELECT country, COUNT(*) c FROM data GROUP BY country ORDER BY zz")
+                .unwrap(),
+        );
         assert!(err.is_err());
     }
 
@@ -323,9 +312,8 @@ mod tests {
 
     #[test]
     fn duplicate_output_names_rejected() {
-        let err = analyze(
-            &parse_query("SELECT country, country FROM data GROUP BY country").unwrap(),
-        );
+        let err =
+            analyze(&parse_query("SELECT country, country FROM data GROUP BY country").unwrap());
         assert!(err.is_err());
     }
 

@@ -49,9 +49,7 @@ pub fn eval_expr<C: RowContext + ?Sized>(expr: &Expr, row: &C) -> Result<Value> 
                 args.iter().map(|a| eval_expr(a, row)).collect::<Result<_>>()?;
             eval_function(name, &values)
         }
-        Expr::Unary { op: UnaryOp::Not, expr } => {
-            Ok(bool_value(!truthy(&eval_expr(expr, row)?)))
-        }
+        Expr::Unary { op: UnaryOp::Not, expr } => Ok(bool_value(!truthy(&eval_expr(expr, row)?))),
         Expr::Unary { op: UnaryOp::Neg, expr } => match eval_expr(expr, row)? {
             Value::Int(v) => Ok(Value::Int(-v)),
             Value::Float(v) => Ok(Value::Float(-v)),
@@ -229,8 +227,7 @@ fn int_arg(name: &str, v: &Value) -> Result<i64> {
 }
 
 fn str_arg<'a>(name: &str, v: &'a Value) -> Result<&'a str> {
-    v.as_str()
-        .ok_or_else(|| Error::Type(format!("{name}() needs a string argument, got {v}")))
+    v.as_str().ok_or_else(|| Error::Type(format!("{name}() needs a string argument, got {v}")))
 }
 
 /// Days-since-epoch → (year, month, day) in the proleptic Gregorian

@@ -248,7 +248,15 @@ mod tests {
         let ops: Vec<&Token> = toks.iter().filter(|t| !matches!(t, Token::Ident(_))).collect();
         assert_eq!(
             ops,
-            vec![&Token::Le, &Token::Ge, &Token::Ne, &Token::Ne, &Token::Eq, &Token::Lt, &Token::Gt]
+            vec![
+                &Token::Le,
+                &Token::Ge,
+                &Token::Ne,
+                &Token::Ne,
+                &Token::Eq,
+                &Token::Lt,
+                &Token::Gt
+            ]
         );
     }
 

@@ -44,8 +44,8 @@ const AGG_NAMES: [(&str, AggFunc); 5] = [
 
 /// Reserved words that terminate an expression / cannot be aliases.
 const RESERVED: [&str; 16] = [
-    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "and", "or",
-    "not", "in", "union", "all", "between",
+    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "and", "or", "not",
+    "in", "union", "all", "between",
 ];
 
 impl Parser {
@@ -132,7 +132,11 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next()? {
                 Token::Int(n) if *n >= 0 => Some(*n as usize),
-                other => return Err(Error::Parse(format!("LIMIT expects a non-negative integer, found {other:?}"))),
+                other => {
+                    return Err(Error::Parse(format!(
+                        "LIMIT expects a non-negative integer, found {other:?}"
+                    )))
+                }
             }
         } else {
             None
@@ -486,8 +490,9 @@ mod tests {
 
     #[test]
     fn count_distinct() {
-        let q = parse_query("SELECT country, COUNT(DISTINCT table_name) FROM data GROUP BY country")
-            .unwrap();
+        let q =
+            parse_query("SELECT country, COUNT(DISTINCT table_name) FROM data GROUP BY country")
+                .unwrap();
         match &q.select[1].expr {
             SelectExpr::Aggregate(a) => {
                 assert_eq!(a.func, AggFunc::Count);

@@ -35,11 +35,7 @@ pub enum Restriction {
     /// `min <= field <= max` with `(value, inclusive)` bounds (either side
     /// optional). An extension: not part of the paper's special-operator
     /// list, but expressible on the same data structures.
-    Range {
-        field: Expr,
-        min: Option<(Value, bool)>,
-        max: Option<(Value, bool)>,
-    },
+    Range { field: Expr, min: Option<(Value, bool)>, max: Option<(Value, bool)> },
     /// A predicate the chunk dictionaries cannot reason about. The chunk
     /// must be scanned (rows are still filtered individually).
     Opaque,
@@ -110,9 +106,11 @@ fn build(expr: &Expr, negate: bool) -> Restriction {
         }
         Expr::Binary { op: BinaryOp::Eq, lhs, rhs } => eq_restriction(lhs, rhs, negate),
         Expr::Binary { op: BinaryOp::Ne, lhs, rhs } => eq_restriction(lhs, rhs, !negate),
-        Expr::Binary { op: op @ (BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge), lhs, rhs } => {
-            range_restriction(*op, lhs, rhs, negate)
-        }
+        Expr::Binary {
+            op: op @ (BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge),
+            lhs,
+            rhs,
+        } => range_restriction(*op, lhs, rhs, negate),
         Expr::InList { expr, list, negated } => {
             let mut values = Vec::with_capacity(list.len());
             for item in list {
@@ -261,7 +259,9 @@ mod tests {
         match r {
             Restriction::Or(children) => {
                 assert_eq!(children.len(), 2);
-                assert!(children.iter().all(|c| matches!(c, Restriction::In { negated: true, .. })));
+                assert!(children
+                    .iter()
+                    .all(|c| matches!(c, Restriction::In { negated: true, .. })));
             }
             other => panic!("{other:?}"),
         }

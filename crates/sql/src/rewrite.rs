@@ -34,7 +34,10 @@ pub enum MergeOp {
     Min(usize),
     Max(usize),
     /// `AVG = SUM(sum_col) / SUM(count_col)`.
-    AvgFromSumCount { sum: usize, count: usize },
+    AvgFromSumCount {
+        sum: usize,
+        count: usize,
+    },
     /// Leaf column `i` carries a count-distinct sketch; union the sketches
     /// and read off the estimate (§5).
     SketchMerge(usize),
@@ -70,7 +73,8 @@ impl DistributedPlan {
                 leaf
             })
             .collect();
-        let leaf_names: Vec<String> = self.leaf.select.iter().map(SelectItem::output_name).collect();
+        let leaf_names: Vec<String> =
+            self.leaf.select.iter().map(SelectItem::output_name).collect();
         let select = self
             .merge
             .iter()
@@ -93,19 +97,11 @@ impl DistributedPlan {
                         arg: Some(Expr::column(leaf_names[*i].clone())),
                         distinct: false,
                     }),
-                    MergeOp::AvgFromSumCount { sum, count } => {
-                        SelectExpr::Scalar(Expr::binary(
-                            BinaryOp::Div,
-                            Expr::call(
-                                "sum",
-                                vec![Expr::column(leaf_names[*sum].clone())],
-                            ),
-                            Expr::call(
-                                "sum",
-                                vec![Expr::column(leaf_names[*count].clone())],
-                            ),
-                        ))
-                    }
+                    MergeOp::AvgFromSumCount { sum, count } => SelectExpr::Scalar(Expr::binary(
+                        BinaryOp::Div,
+                        Expr::call("sum", vec![Expr::column(leaf_names[*sum].clone())]),
+                        Expr::call("sum", vec![Expr::column(leaf_names[*count].clone())]),
+                    )),
                 };
                 // Output names like `SUM(x)` are not valid identifiers;
                 // rendered SQL gets a sanitized alias instead.
@@ -277,7 +273,9 @@ mod tests {
 
     #[test]
     fn count_star_merges_by_sum() {
-        let p = plan("SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10");
+        let p = plan(
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10",
+        );
         assert_eq!(p.merge[1].1, MergeOp::Sum(1));
         assert_eq!(p.order_by, vec![(1, true)]);
         assert_eq!(p.limit, Some(10));

@@ -1,136 +1,177 @@
-//! Property test: rendering any generated query to canonical SQL and
+//! Randomized property: rendering any generated query to canonical SQL and
 //! re-parsing it yields the identical AST (display ∘ parse = id on the
-//! canonical form).
+//! canonical form). Driven by a seeded PRNG so failures reproduce exactly.
 
+use pd_common::rng::Rng;
 use pd_common::Value;
 use pd_sql::{
     parse_query, AggExpr, AggFunc, BinaryOp, Expr, OrderKey, Query, SelectExpr, SelectItem,
     TableRef, UnaryOp,
 };
-use proptest::prelude::*;
 
-fn arb_literal() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        any::<i32>().prop_map(|v| Expr::Literal(Value::Int(v as i64))),
-        (-1000i32..1000).prop_map(|v| Expr::Literal(Value::Float(v as f64 * 0.25))),
-        "[a-zA-Z0-9 _.-]{0,12}".prop_map(|s| Expr::Literal(Value::Str(s))),
-    ]
+const RESERVED: [&str; 26] = [
+    "select", "from", "where", "group", "by", "having", "order", "limit", "as", "and", "or", "not",
+    "in", "union", "all", "between", "asc", "desc", "count", "sum", "min", "max", "avg",
+    "distinct", "true", "false",
+];
+
+fn random_literal(rng: &mut Rng) -> Expr {
+    match rng.range_usize(0, 3) {
+        0 => Expr::Literal(Value::Int(rng.next_u64() as i32 as i64)),
+        1 => Expr::Literal(Value::Float(rng.range_i64_inclusive(-1000, 999) as f64 * 0.25)),
+        _ => {
+            const CHARS: &[u8] =
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 _.-";
+            let len = rng.range_usize(0, 12);
+            let s: String =
+                (0..len).map(|_| CHARS[rng.range_usize(0, CHARS.len())] as char).collect();
+            Expr::Literal(Value::Str(s))
+        }
+    }
 }
 
-fn arb_column() -> impl Strategy<Value = Expr> {
-    "[a-z][a-z0-9_]{0,8}"
-        .prop_filter("not reserved", |s| {
-            !["select", "from", "where", "group", "by", "having", "order", "limit", "as",
-              "and", "or", "not", "in", "union", "all", "between", "asc", "desc",
-              "count", "sum", "min", "max", "avg", "distinct"]
-                .contains(&s.as_str())
-        })
-        .prop_map(Expr::Column)
+fn random_column(rng: &mut Rng) -> Expr {
+    loop {
+        let len = rng.range_usize(0, 8);
+        let mut name = String::new();
+        name.push((b'a' + rng.range_u64(0, 26) as u8) as char);
+        const TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        for _ in 0..len {
+            name.push(TAIL[rng.range_usize(0, TAIL.len())] as char);
+        }
+        if !RESERVED.contains(&name.as_str()) {
+            return Expr::Column(name);
+        }
+    }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![arb_literal(), arb_column()];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just(BinaryOp::Add), Just(BinaryOp::Sub), Just(BinaryOp::Mul), Just(BinaryOp::Div),
-                Just(BinaryOp::Eq), Just(BinaryOp::Ne), Just(BinaryOp::Lt), Just(BinaryOp::Le),
-                Just(BinaryOp::Gt), Just(BinaryOp::Ge), Just(BinaryOp::And), Just(BinaryOp::Or),
-            ])
-                .prop_map(|(l, r, op)| Expr::binary(op, l, r)),
-            inner.clone().prop_map(|e| Expr::Unary { op: UnaryOp::Not, expr: Box::new(e) }),
-            (inner.clone(), proptest::collection::vec(arb_literal(), 1..4), any::<bool>())
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated
-                }),
-            (Just("date"), inner.clone()).prop_map(|(name, a)| Expr::call(name, vec![a])),
-            (Just("contains"), inner.clone(), arb_literal())
-                .prop_map(|(name, a, b)| Expr::call(name, vec![a, b])),
-        ]
-    })
-}
-
-fn arb_agg() -> impl Strategy<Value = AggExpr> {
-    prop_oneof![
-        Just(AggExpr::count_star()),
-        arb_column().prop_map(|c| AggExpr { func: AggFunc::Sum, arg: Some(c), distinct: false }),
-        arb_column().prop_map(|c| AggExpr { func: AggFunc::Min, arg: Some(c), distinct: false }),
-        arb_column().prop_map(|c| AggExpr { func: AggFunc::Avg, arg: Some(c), distinct: false }),
-        arb_column().prop_map(|c| AggExpr { func: AggFunc::Count, arg: Some(c), distinct: true }),
-    ]
-}
-
-fn arb_query() -> impl Strategy<Value = Query> {
-    (
-        proptest::collection::vec(arb_column(), 0..2),
-        proptest::collection::vec(arb_agg(), 1..3),
-        proptest::option::of(arb_expr()),
-        proptest::option::of((0usize..2, any::<bool>())),
-        proptest::option::of(0usize..100),
-    )
-        .prop_map(|(keys, aggs, where_clause, order, limit)| {
-            let mut select: Vec<SelectItem> = keys
-                .iter()
-                .map(|k| SelectItem { expr: SelectExpr::Scalar(k.clone()), alias: None })
-                .collect();
-            for (i, a) in aggs.into_iter().enumerate() {
-                select.push(SelectItem {
-                    expr: SelectExpr::Aggregate(a),
-                    alias: Some(format!("agg{i}")),
-                });
+fn random_expr(rng: &mut Rng, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(0.3) {
+        return if rng.chance(0.5) { random_literal(rng) } else { random_column(rng) };
+    }
+    match rng.range_usize(0, 5) {
+        0 => {
+            let ops = [
+                BinaryOp::Add,
+                BinaryOp::Sub,
+                BinaryOp::Mul,
+                BinaryOp::Div,
+                BinaryOp::Eq,
+                BinaryOp::Ne,
+                BinaryOp::Lt,
+                BinaryOp::Le,
+                BinaryOp::Gt,
+                BinaryOp::Ge,
+                BinaryOp::And,
+                BinaryOp::Or,
+            ];
+            let op = ops[rng.range_usize(0, ops.len())];
+            Expr::binary(op, random_expr(rng, depth - 1), random_expr(rng, depth - 1))
+        }
+        1 => Expr::Unary { op: UnaryOp::Not, expr: Box::new(random_expr(rng, depth - 1)) },
+        2 => {
+            let list = (0..rng.range_usize(1, 4)).map(|_| random_literal(rng)).collect();
+            Expr::InList {
+                expr: Box::new(random_expr(rng, depth - 1)),
+                list,
+                negated: rng.chance(0.5),
             }
-            let order_by = order
-                .map(|(idx, desc)| {
-                    let idx = idx.min(select.len() - 1);
-                    vec![OrderKey {
-                        expr: match &select[idx].expr {
-                            SelectExpr::Scalar(e) => e.clone(),
-                            SelectExpr::Aggregate(_) => {
-                                Expr::column(select[idx].alias.clone().expect("aggs aliased"))
-                            }
-                        },
-                        desc,
-                    }]
-                })
-                .unwrap_or_default();
-            Query {
-                select,
-                from: TableRef::Table("data".into()),
-                where_clause,
-                group_by: keys,
-                having: None,
-                order_by,
-                limit,
-            }
-        })
+        }
+        3 => Expr::call("date", vec![random_expr(rng, depth - 1)]),
+        _ => Expr::call("contains", vec![random_expr(rng, depth - 1), random_literal(rng)]),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+fn random_agg(rng: &mut Rng) -> AggExpr {
+    match rng.range_usize(0, 5) {
+        0 => AggExpr::count_star(),
+        1 => AggExpr { func: AggFunc::Sum, arg: Some(random_column(rng)), distinct: false },
+        2 => AggExpr { func: AggFunc::Min, arg: Some(random_column(rng)), distinct: false },
+        3 => AggExpr { func: AggFunc::Avg, arg: Some(random_column(rng)), distinct: false },
+        _ => AggExpr { func: AggFunc::Count, arg: Some(random_column(rng)), distinct: true },
+    }
+}
 
-    /// Canonical SQL text is a fixed point: parse(display(q)) == q.
-    #[test]
-    fn display_then_parse_is_identity(q in arb_query()) {
+fn random_query(rng: &mut Rng) -> Query {
+    let keys: Vec<Expr> = (0..rng.range_usize(0, 2)).map(|_| random_column(rng)).collect();
+    let aggs: Vec<AggExpr> = (0..rng.range_usize(1, 3)).map(|_| random_agg(rng)).collect();
+    let where_clause = rng.chance(0.5).then(|| random_expr(rng, 3));
+    let limit = rng.chance(0.5).then(|| rng.range_usize(0, 100));
+
+    let mut select: Vec<SelectItem> = keys
+        .iter()
+        .map(|k| SelectItem { expr: SelectExpr::Scalar(k.clone()), alias: None })
+        .collect();
+    for (i, a) in aggs.into_iter().enumerate() {
+        select.push(SelectItem { expr: SelectExpr::Aggregate(a), alias: Some(format!("agg{i}")) });
+    }
+    let order_by = if rng.chance(0.5) {
+        let idx = rng.range_usize(0, 2).min(select.len() - 1);
+        vec![OrderKey {
+            expr: match &select[idx].expr {
+                SelectExpr::Scalar(e) => e.clone(),
+                SelectExpr::Aggregate(_) => {
+                    Expr::column(select[idx].alias.clone().expect("aggs aliased"))
+                }
+            },
+            desc: rng.chance(0.5),
+        }]
+    } else {
+        Vec::new()
+    };
+    Query {
+        select,
+        from: TableRef::Table("data".into()),
+        where_clause,
+        group_by: keys,
+        having: None,
+        order_by,
+        limit,
+    }
+}
+
+/// Canonical SQL text is a fixed point: parse(display(q)) == q.
+#[test]
+fn display_then_parse_is_identity() {
+    let mut rng = Rng::seed_from_u64(0x5a1_0001);
+    for _ in 0..128 {
+        let q = random_query(&mut rng);
         let sql = q.to_string();
         let reparsed = parse_query(&sql)
             .unwrap_or_else(|e| panic!("canonical SQL failed to parse: {e}\nsql: {sql}"));
-        prop_assert_eq!(reparsed, q, "sql: {}", sql);
+        assert_eq!(reparsed, q, "sql: {sql}");
     }
+}
 
-    /// Expressions alone round-trip through their canonical text too.
-    #[test]
-    fn expr_canonical_round_trips(e in arb_expr()) {
+/// Expressions alone round-trip through their canonical text too.
+#[test]
+fn expr_canonical_round_trips() {
+    let mut rng = Rng::seed_from_u64(0x5a1_0002);
+    for _ in 0..128 {
+        let e = random_expr(&mut rng, 3);
         let sql = format!("SELECT COUNT(*) FROM t WHERE {e}");
-        let q = parse_query(&sql)
-            .unwrap_or_else(|err| panic!("failed to parse: {err}\nsql: {sql}"));
-        prop_assert_eq!(q.where_clause.unwrap(), e, "sql: {}", sql);
+        let q =
+            parse_query(&sql).unwrap_or_else(|err| panic!("failed to parse: {err}\nsql: {sql}"));
+        assert_eq!(q.where_clause.unwrap(), e, "sql: {sql}");
     }
+}
 
-    /// The lexer/parser never panic on arbitrary input.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,200}") {
+/// The lexer/parser never panic on arbitrary input.
+#[test]
+fn parser_never_panics() {
+    let mut rng = Rng::seed_from_u64(0x5a1_0003);
+    for _ in 0..128 {
+        let len = rng.range_usize(0, 200);
+        let input: String = (0..len)
+            .map(|_| {
+                // Printable ASCII plus a sprinkling of non-ASCII codepoints.
+                if rng.chance(0.9) {
+                    char::from_u32(rng.range_u64(0x20, 0x7f) as u32).unwrap()
+                } else {
+                    char::from_u32(rng.range_u64(0xa1, 0x2fff) as u32).unwrap_or('ß')
+                }
+            })
+            .collect();
         let _ = parse_query(&input);
     }
 }

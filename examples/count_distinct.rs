@@ -38,11 +38,8 @@ fn main() -> powerdrill::Result<()> {
             let country = row.get(0).render().into_owned();
             let est = row.get(1).as_int().unwrap_or(0);
             let truth = exact_row.get(1).as_int().unwrap_or(0);
-            let err = if truth > 0 {
-                100.0 * (est - truth).abs() as f64 / truth as f64
-            } else {
-                0.0
-            };
+            let err =
+                if truth > 0 { 100.0 * (est - truth).abs() as f64 / truth as f64 } else { 0.0 };
             println!("  {country:<4} estimate {est:>6}  exact {truth:>6}  error {err:>5.1}%");
         }
     }

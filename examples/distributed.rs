@@ -6,7 +6,7 @@
 //! ```
 
 use powerdrill::data::{generate_logs, LogsSpec};
-use powerdrill::dist::{Cluster, ClusterConfig, LoadModel, WorkloadSpec, DrillDownWorkload};
+use powerdrill::dist::{Cluster, ClusterConfig, DrillDownWorkload, LoadModel, WorkloadSpec};
 use powerdrill::sql::{distributed_plan, parse_query};
 use powerdrill::BuildOptions;
 
@@ -30,7 +30,8 @@ fn main() -> powerdrill::Result<()> {
     )?;
 
     // Show the paper's §4 SQL rewrite for a query.
-    let sql = "SELECT country, SUM(latency) as s FROM logs GROUP BY country ORDER BY s DESC LIMIT 5";
+    let sql =
+        "SELECT country, SUM(latency) as s FROM logs GROUP BY country ORDER BY s DESC LIMIT 5";
     let plan = distributed_plan(&parse_query(sql)?)?;
     println!("\noriginal     : {sql}");
     println!("leaf query   : {}", plan.leaf);
@@ -46,8 +47,10 @@ fn main() -> powerdrill::Result<()> {
     );
 
     // A click's worth of drill-down queries, like the production workload.
-    let workload =
-        DrillDownWorkload::generate(&table, &WorkloadSpec { clicks: 3, queries_per_click: 5, ..Default::default() })?;
+    let workload = DrillDownWorkload::generate(
+        &table,
+        &WorkloadSpec { clicks: 3, queries_per_click: 5, ..Default::default() },
+    )?;
     println!("\nreplaying {} queries from 3 UI clicks ...", workload.query_count());
     let mut total = powerdrill::ScanStats::default();
     for click in &workload.clicks {

@@ -30,13 +30,18 @@ fn main() -> powerdrill::Result<()> {
     ];
 
     let mb = |b: usize| b as f64 / (1024.0 * 1024.0);
-    println!("\n{:<10} {:>10} {:>10} {:>10}   (uncompressed MB per query)", "Variant", "Q1", "Q2", "Q3");
+    println!(
+        "\n{:<10} {:>10} {:>10} {:>10}   (uncompressed MB per query)",
+        "Variant", "Q1", "Q2", "Q3"
+    );
     let mut stores = Vec::new();
     for (name, options) in &variants {
         let store = DataStore::build(&table, options)?;
         let sizes: Vec<f64> = queries
             .iter()
-            .map(|(_, sql)| Ok::<f64, powerdrill::Error>(mb(report_for_query(&store, sql)?.total())))
+            .map(|(_, sql)| {
+                Ok::<f64, powerdrill::Error>(mb(report_for_query(&store, sql)?.total()))
+            })
             .collect::<Result<_, _>>()?;
         println!("{:<10} {:>10.3} {:>10.3} {:>10.3}", name, sizes[0], sizes[1], sizes[2]);
         stores.push((name, store));

@@ -32,6 +32,38 @@
 //! assert_eq!(stats.rows_skipped, 0);
 //! ```
 //!
+//! ## Parallel execution
+//!
+//! Queries run **morsel-parallel across chunks**: the paper's per-chunk
+//! independence (immutable chunks, mergeable group states — the same
+//! property §4 exploits across machines) is exploited across cores by a
+//! `std::thread::scope` worker pool. The [`ExecContext::threads`] knob
+//! controls the worker count — `0` (the default) uses the machine's
+//! available parallelism, `1` forces sequential execution — and results
+//! are **bit-identical** at every setting because per-chunk partials are
+//! folded in chunk order.
+//!
+//! The per-chunk inner loops are dictionary-code kernels
+//! (`pd_core::kernels`): `WHERE` clauses tabulate into packed bit-vector
+//! masks once per chunk, single-key `COUNT(*)` stays the paper's literal
+//! `counts[elements[row]]++` over raw codes (folded through the chunk
+//! dictionary without materializing per-group values), and two-key
+//! group-bys fuse into one flat array index.
+//!
+//! ```
+//! use powerdrill::{core::execute, sql, BuildOptions, DataStore, ExecContext};
+//! use powerdrill::data::{generate_logs, LogsSpec};
+//!
+//! let table = generate_logs(&LogsSpec::scaled(5_000));
+//! let store = DataStore::build(&table, &BuildOptions::production(&["country"])).unwrap();
+//! let q = sql::analyze(&sql::parse_query("SELECT country, COUNT(*) c FROM logs GROUP BY country").unwrap()).unwrap();
+//! let sequential = ExecContext { threads: 1, ..Default::default() };
+//! let parallel = ExecContext { threads: 8, ..Default::default() };
+//! let (a, _) = execute(&store, &q, &sequential).unwrap();
+//! let (b, _) = execute(&store, &q, &parallel).unwrap();
+//! assert_eq!(a, b); // bit-identical, not just approximately equal
+//! ```
+//!
 //! The workspace crates are re-exported under topic names: [`common`],
 //! [`compress`], [`encoding`], [`sql`], [`data`], [`core`], [`baselines`],
 //! [`dist`].
@@ -72,6 +104,7 @@ impl PowerDrill {
         let store = DataStore::build(table, options)?;
         let ctx = ExecContext {
             sketch_m: 0,
+            threads: 0, // auto: one worker per available core
             result_cache: Some(Arc::new(ResultCache::new(1 << 16))),
             tiered: Some(Arc::new(TieredCache::new(CachePolicy::Arc, 256 << 20, 128 << 20))),
         };

@@ -51,9 +51,8 @@ fn drilldown_results_are_consistent_across_steps() {
         .filter(|r| r.get(0).as_str() == Some("auto"))
         .map(|r| r.get(1).as_int().unwrap())
         .sum();
-    let (direct, stats) = pd
-        .sql("SELECT COUNT(*) FROM s WHERE country = 'DE' AND search_string = 'auto'")
-        .unwrap();
+    let (direct, stats) =
+        pd.sql("SELECT COUNT(*) FROM s WHERE country = 'DE' AND search_string = 'auto'").unwrap();
     assert_eq!(direct.rows[0].0[0], Value::Int(auto_from_group));
     assert!(stats.skipped_fraction() > 0.5, "{}", stats.summary());
 }
@@ -63,12 +62,12 @@ fn language_correlation_shows_in_results() {
     let pd = pd();
     // 'auto' is a German term in this dataset; restricting to the US must
     // produce zero matches — via skipping alone, without scanning rows.
-    let (result, stats) = pd
-        .sql("SELECT COUNT(*) FROM s WHERE country = 'US' AND search_string = 'auto'")
-        .unwrap();
+    let (result, stats) =
+        pd.sql("SELECT COUNT(*) FROM s WHERE country = 'US' AND search_string = 'auto'").unwrap();
     assert_eq!(result.rows[0].0[0], Value::Int(0));
     assert_eq!(
-        stats.rows_scanned, 0,
+        stats.rows_scanned,
+        0,
         "country/search correlation lets the chunk dictionaries prove emptiness: {}",
         stats.summary()
     );
@@ -82,9 +81,8 @@ fn contains_filter_works_but_cannot_skip() {
     let (with_country, s1) = pd
         .sql("SELECT COUNT(*) FROM s WHERE country = 'DE' AND contains(search_string, 'auto')")
         .unwrap();
-    let (without, s2) = pd
-        .sql("SELECT COUNT(*) FROM s WHERE contains(search_string, 'auto')")
-        .unwrap();
+    let (without, s2) =
+        pd.sql("SELECT COUNT(*) FROM s WHERE contains(search_string, 'auto')").unwrap();
     let a = with_country.rows[0].0[0].as_int().unwrap();
     let b = without.rows[0].0[0].as_int().unwrap();
     assert!(a > 0 && b >= a);

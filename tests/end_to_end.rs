@@ -46,11 +46,9 @@ fn formats_round_trip_and_all_engines_agree() {
     let csv = CsvBackend::new(&table, IoModel::default()).unwrap();
     let rio = RecordIoBackend::new(&table, IoModel::default()).unwrap();
     let dremel = DremelBackend::new(&table, IoModel::default()).unwrap();
-    let cluster = Cluster::build(
-        &table,
-        &ClusterConfig { shards: 4, build: options, ..Default::default() },
-    )
-    .unwrap();
+    let cluster =
+        Cluster::build(&table, &ClusterConfig { shards: 4, build: options, ..Default::default() })
+            .unwrap();
 
     for sql in [
         "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10",

@@ -1,77 +1,71 @@
-//! Property test: for random tables and random queries from the supported
-//! subset, the column-store (all build variants) must return exactly what
-//! the row-at-a-time baseline executor returns.
+//! Randomized equivalence tests: for seeded-random tables and queries from
+//! the supported subset, the column-store (all build variants) must return
+//! exactly what the row-at-a-time baseline executor returns — and parallel
+//! execution must return *bit-identical* results to sequential execution
+//! at every thread count.
 
 use powerdrill::baselines::{Backend, CsvBackend, IoModel};
-use powerdrill::{BuildOptions, DataType, PartitionSpec, PowerDrill, QueryResult, Row, Schema, Table, Value};
-use proptest::prelude::*;
+use powerdrill::common::rng::Rng;
+use powerdrill::core::execute;
+use powerdrill::sql::{analyze, parse_query};
+use powerdrill::{
+    BuildOptions, DataStore, DataType, ExecContext, PartitionSpec, PowerDrill, QueryResult, Row,
+    Schema, Table, Value,
+};
 
 /// A small random table: k (low cardinality string), g (medium cardinality
 /// string), n (int), x (float).
-fn arb_table() -> impl Strategy<Value = Table> {
-    let row = (
-        0usize..4,   // k index
-        0usize..12,  // g index
-        -50i64..50,  // n
-        (-4i32..4).prop_map(|v| v as f64 * 0.5),
-    );
-    proptest::collection::vec(row, 1..120).prop_map(|rows| {
-        let schema = Schema::of(&[
-            ("k", DataType::Str),
-            ("g", DataType::Str),
-            ("n", DataType::Int),
-            ("x", DataType::Float),
-        ]);
-        let mut table = Table::new(schema);
-        for (k, g, n, x) in rows {
-            table
-                .push_row(Row(vec![
-                    Value::from(["red", "green", "blue", "grey"][k]),
-                    Value::from(format!("g{g:02}")),
-                    Value::Int(n),
-                    Value::Float(x),
-                ]))
-                .unwrap();
-        }
+fn random_table(rng: &mut Rng) -> Table {
+    let rows = rng.range_usize(1, 120);
+    let schema = Schema::of(&[
+        ("k", DataType::Str),
+        ("g", DataType::Str),
+        ("n", DataType::Int),
+        ("x", DataType::Float),
+    ]);
+    let mut table = Table::new(schema);
+    for _ in 0..rows {
         table
-    })
+            .push_row(Row(vec![
+                Value::from(["red", "green", "blue", "grey"][rng.range_usize(0, 4)]),
+                Value::from(format!("g{:02}", rng.range_usize(0, 12))),
+                Value::Int(rng.range_i64_inclusive(-50, 49)),
+                Value::Float(rng.range_i64_inclusive(-4, 3) as f64 * 0.5),
+            ]))
+            .unwrap();
+    }
+    table
 }
 
 /// A random query over that table's shape.
-fn arb_query() -> impl Strategy<Value = String> {
-    let keys = prop_oneof![Just("k"), Just("g"), Just("k, g")];
-    let aggs = prop_oneof![
-        Just("COUNT(*) as c"),
-        Just("COUNT(*) as c, SUM(n) as s"),
-        Just("SUM(x) as s, MIN(n) as mn, MAX(n) as mx"),
-        Just("AVG(x) as a, COUNT(*) as c"),
-    ];
-    let filter = prop_oneof![
-        Just(String::new()),
-        Just(" WHERE k = 'red'".to_owned()),
-        Just(" WHERE k IN ('red', 'blue')".to_owned()),
-        Just(" WHERE k NOT IN ('green')".to_owned()),
-        Just(" WHERE n > 0".to_owned()),
-        Just(" WHERE k = 'red' AND n > 0".to_owned()),
-        Just(" WHERE k = 'red' OR g = 'g03'".to_owned()),
-        Just(" WHERE NOT (k = 'red' AND g = 'g01')".to_owned()),
-        (0usize..12).prop_map(|g| format!(" WHERE g IN ('g{g:02}', 'g{:02}')", (g + 3) % 12)),
-    ];
-    let tail = prop_oneof![
-        Just(""),
-        Just(" ORDER BY c DESC LIMIT 3"),
-        Just(" HAVING c > 2 ORDER BY c DESC"),
-    ];
-    (keys, aggs, filter, tail).prop_map(|(k, a, f, t)| {
-        // HAVING/ORDER BY c require c in the select list; fall back when the
-        // aggregate list lacks it.
-        let tail = if t.contains('c') && !a.contains(" c") && !a.contains("c,") {
-            ""
-        } else {
-            t
-        };
-        format!("SELECT {k}, {a} FROM data{f} GROUP BY {k}{tail}")
-    })
+fn random_query(rng: &mut Rng) -> String {
+    let keys = *rng.pick(&["k", "g", "k, g"]);
+    let aggs = *rng.pick(&[
+        "COUNT(*) as c",
+        "COUNT(*) as c, SUM(n) as s",
+        "SUM(x) as s, MIN(n) as mn, MAX(n) as mx",
+        "AVG(x) as a, COUNT(*) as c",
+    ]);
+    let filter = match rng.range_usize(0, 9) {
+        0 => String::new(),
+        1 => " WHERE k = 'red'".to_owned(),
+        2 => " WHERE k IN ('red', 'blue')".to_owned(),
+        3 => " WHERE k NOT IN ('green')".to_owned(),
+        4 => " WHERE n > 0".to_owned(),
+        5 => " WHERE k = 'red' AND n > 0".to_owned(),
+        6 => " WHERE k = 'red' OR g = 'g03'".to_owned(),
+        7 => " WHERE NOT (k = 'red' AND g = 'g01')".to_owned(),
+        _ => {
+            let g = rng.range_usize(0, 12);
+            format!(" WHERE g IN ('g{g:02}', 'g{:02}')", (g + 3) % 12)
+        }
+    };
+    let tail = *rng.pick(&["", " ORDER BY c DESC LIMIT 3", " HAVING c > 2 ORDER BY c DESC"]);
+    // HAVING/ORDER BY c require c in the select list; fall back when the
+    // aggregate list lacks it.
+    let tail =
+        if tail.contains('c') && !aggs.contains(" c") && !aggs.contains("c,") { "" } else { tail };
+    format!("SELECT {keys}, {aggs} FROM data{filter} GROUP BY {keys}{tail}")
 }
 
 fn approx_eq(a: &QueryResult, b: &QueryResult) -> bool {
@@ -87,11 +81,12 @@ fn approx_eq(a: &QueryResult, b: &QueryResult) -> bool {
         })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn store_matches_baseline_on_random_queries(table in arb_table(), sql in arb_query()) {
+#[test]
+fn store_matches_baseline_on_random_queries() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0001);
+    for case in 0..48 {
+        let table = random_table(&mut rng);
+        let sql = random_query(&mut rng);
         let baseline = CsvBackend::new(&table, IoModel::default()).unwrap();
         let expected = baseline.execute(&sql).unwrap().result;
 
@@ -102,23 +97,30 @@ proptest! {
         ] {
             let pd = PowerDrill::import(&table, &options).unwrap();
             let (got, stats) = pd.sql(&sql).unwrap();
-            prop_assert!(
+            assert!(
                 approx_eq(&got, &expected),
-                "options {:?}\nsql {sql}\ngot  {:?}\nwant {:?}",
-                options, got.rows, expected.rows
+                "case {case} options {options:?}\nsql {sql}\ngot  {:?}\nwant {:?}",
+                got.rows,
+                expected.rows
             );
-            prop_assert_eq!(
+            assert_eq!(
                 stats.rows_skipped + stats.rows_cached + stats.rows_scanned,
-                stats.rows_total
+                stats.rows_total,
+                "row accounting must balance: {sql}"
             );
             // Second execution (warm result cache) must be identical.
             let (again, _) = pd.sql(&sql).unwrap();
-            prop_assert!(approx_eq(&again, &expected), "cache changed the result for {sql}");
+            assert!(approx_eq(&again, &expected), "cache changed the result for {sql}");
         }
     }
+}
 
-    #[test]
-    fn skipping_never_changes_results(table in arb_table(), g in 0usize..12) {
+#[test]
+fn skipping_never_changes_results() {
+    let mut rng = Rng::seed_from_u64(0x5eed_0002);
+    for _ in 0..24 {
+        let table = random_table(&mut rng);
+        let g = rng.range_usize(0, 12);
         // A restriction targeted at one g-value: heavily skippable under
         // partitioning by (g), and the result must match Basic (no chunks).
         let sql = format!(
@@ -130,6 +132,94 @@ proptest! {
                 .unwrap();
         let (a, _) = plain.sql(&sql).unwrap();
         let (b, _) = partitioned.sql(&sql).unwrap();
-        prop_assert!(approx_eq(&a, &b), "sql {sql}\nbasic {:?}\npartitioned {:?}", a.rows, b.rows);
+        assert!(approx_eq(&a, &b), "sql {sql}\nbasic {:?}\npartitioned {:?}", a.rows, b.rows);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-vs-sequential equivalence matrix
+// ---------------------------------------------------------------------------
+
+/// The paper's Table 1 queries plus drill-down variants exercising filters,
+/// skipping, multi-key grouping and every aggregate kind.
+const MATRIX_QUERIES: [&str; 8] = [
+    // Table 1, Query 1–3.
+    "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10",
+    "SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data GROUP BY date ORDER BY date ASC LIMIT 10",
+    "SELECT table_name, COUNT(*) as c FROM data GROUP BY table_name ORDER BY c DESC LIMIT 10",
+    // Restrictions: skipping + partial chunks at every thread count.
+    "SELECT country, COUNT(*) c FROM data WHERE country IN ('US','DE') GROUP BY country ORDER BY c DESC",
+    "SELECT table_name, COUNT(*) c FROM data WHERE country = 'SG' GROUP BY table_name ORDER BY c DESC LIMIT 5",
+    "SELECT country, COUNT(*) c FROM data WHERE latency > 400.0 GROUP BY country ORDER BY c DESC LIMIT 5",
+    // Float aggregates are the order-sensitive ones: the deterministic
+    // chunk-order fold must make them bit-identical, not just close.
+    "SELECT country, SUM(latency) s, AVG(latency) a FROM data GROUP BY country ORDER BY country ASC",
+    "SELECT country, user, COUNT(*) c, MIN(latency), MAX(latency) FROM data GROUP BY country, user ORDER BY c DESC LIMIT 20",
+];
+
+#[test]
+fn parallel_execution_is_bit_identical_to_sequential() {
+    use powerdrill::data::{generate_logs, LogsSpec};
+
+    let table = generate_logs(&LogsSpec::scaled(4_000));
+    let mut options = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut options.partition {
+        spec.max_chunk_rows = 150; // plenty of chunks to schedule
+    }
+    let store = DataStore::build(&table, &options).unwrap();
+
+    for sql in MATRIX_QUERIES {
+        let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+        let sequential = ExecContext { threads: 1, ..Default::default() };
+        let (want, want_stats) = execute(&store, &analyzed, &sequential).unwrap();
+        for threads in [2usize, 8] {
+            let ctx = ExecContext { threads, ..Default::default() };
+            let (got, stats) = execute(&store, &analyzed, &ctx).unwrap();
+            // Exact equality — not approximate: the chunk-order fold makes
+            // float summation independent of the thread count.
+            assert_eq!(got, want, "threads={threads}: {sql}");
+            assert_eq!(
+                stats.chunks_skipped, want_stats.chunks_skipped,
+                "skip decisions must not depend on threads: {sql}"
+            );
+            assert_eq!(stats.chunks_scanned, want_stats.chunks_scanned, "{sql}");
+            assert_eq!(stats.rows_scanned, want_stats.rows_scanned, "{sql}");
+        }
+    }
+}
+
+#[test]
+fn parallel_execution_matches_across_build_variants() {
+    // The same matrix on an unpartitioned store (single chunk: parallelism
+    // degenerates to one task) and on random tables.
+    use powerdrill::data::{generate_logs, LogsSpec};
+    let table = generate_logs(&LogsSpec::scaled(1_500));
+    let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
+    for sql in &MATRIX_QUERIES[..4] {
+        let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+        let (want, _) =
+            execute(&store, &analyzed, &ExecContext { threads: 1, ..Default::default() }).unwrap();
+        for threads in [2usize, 8] {
+            let ctx = ExecContext { threads, ..Default::default() };
+            let (got, _) = execute(&store, &analyzed, &ctx).unwrap();
+            assert_eq!(got, want, "threads={threads}: {sql}");
+        }
+    }
+
+    let mut rng = Rng::seed_from_u64(0x5eed_0003);
+    for _ in 0..16 {
+        let table = random_table(&mut rng);
+        let sql = random_query(&mut rng);
+        let store =
+            DataStore::build(&table, &BuildOptions::reordered(PartitionSpec::new(&["k", "g"], 8)))
+                .unwrap();
+        let analyzed = analyze(&parse_query(&sql).unwrap()).unwrap();
+        let (want, _) =
+            execute(&store, &analyzed, &ExecContext { threads: 1, ..Default::default() }).unwrap();
+        for threads in [2usize, 8] {
+            let ctx = ExecContext { threads, ..Default::default() };
+            let (got, _) = execute(&store, &analyzed, &ctx).unwrap();
+            assert_eq!(got, want, "threads={threads}: {sql}");
+        }
     }
 }

@@ -29,9 +29,7 @@ fn figure1_table() -> Table {
     let mut table = Table::new(schema);
     for (region, values) in chunks.iter().enumerate() {
         for v in *values {
-            table
-                .push_row(Row(vec![Value::Int(region as i64), Value::from(*v)]))
-                .unwrap();
+            table.push_row(Row(vec![Value::Int(region as i64), Value::from(*v)])).unwrap();
         }
     }
     table
@@ -40,17 +38,16 @@ fn figure1_table() -> Table {
 #[test]
 fn section_2_4_worked_example() {
     let table = figure1_table();
-    let pd = PowerDrill::import(
-        &table,
-        &BuildOptions::optcols(PartitionSpec::new(&["region"], 5)),
-    )
-    .unwrap();
+    let pd = PowerDrill::import(&table, &BuildOptions::optcols(PartitionSpec::new(&["region"], 5)))
+        .unwrap();
     assert_eq!(pd.store().chunk_count(), 3, "the example has three chunks");
 
     let (result, stats) = pd
-        .sql(r#"SELECT search_string, COUNT(*) as c FROM data
+        .sql(
+            r#"SELECT search_string, COUNT(*) as c FROM data
                 WHERE search_string IN ("la redoute", "voyages sncf")
-                GROUP BY search_string ORDER BY c DESC LIMIT 10;"#)
+                GROUP BY search_string ORDER BY c DESC LIMIT 10;"#,
+        )
         .unwrap();
 
     // Only chunk 2 is active; chunks 0 and 1 are skipped outright.
@@ -68,11 +65,8 @@ fn section_2_4_worked_example() {
 fn dictionary_lookup_chain_of_figure1() {
     // dict(ch0.dict(ch0.elems[3])) — the double indirection, spelled out.
     let table = figure1_table();
-    let pd = PowerDrill::import(
-        &table,
-        &BuildOptions::optcols(PartitionSpec::new(&["region"], 5)),
-    )
-    .unwrap();
+    let pd = PowerDrill::import(&table, &BuildOptions::optcols(PartitionSpec::new(&["region"], 5)))
+        .unwrap();
     let col = pd.store().column("search_string").unwrap();
     // Row 3 of chunk 0 is the second "ebay".
     assert_eq!(col.value_at(0, 3), Value::from("ebay"));
@@ -92,11 +86,8 @@ fn absent_value_skips_all_chunks() {
     // cover all occurrences), so the paper's case is a value absent from
     // the probed chunks; an entirely unknown value skips everything.
     let table = figure1_table();
-    let pd = PowerDrill::import(
-        &table,
-        &BuildOptions::optcols(PartitionSpec::new(&["region"], 5)),
-    )
-    .unwrap();
+    let pd = PowerDrill::import(&table, &BuildOptions::optcols(PartitionSpec::new(&["region"], 5)))
+        .unwrap();
     let (result, stats) = pd
         .sql("SELECT search_string, COUNT(*) c FROM data WHERE search_string = 'karnevalskostüme' GROUP BY search_string")
         .unwrap();
