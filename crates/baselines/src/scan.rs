@@ -8,7 +8,7 @@
 //! column-store return identical rows for identical queries.
 
 use crate::io_model::IoModel;
-use pd_common::{Error, FxHashMap, Result, Row, Value};
+use pd_common::{Error, FloatSum, FxHashMap, Result, Row, Value};
 use pd_core::exec::{finalize, AggState, PartialResult, QueryResult};
 use pd_core::KmvSketch;
 use pd_sql::{analyze, eval_expr, parse_query, truthy, AggFunc, AnalyzedQuery, RowContext};
@@ -115,12 +115,12 @@ fn empty_state(agg: &pd_sql::AggExpr, schema: &pd_common::Schema) -> Result<AggS
             if is_int {
                 AggState::SumInt(0)
             } else {
-                AggState::SumFloat(0.0)
+                AggState::SumFloat(Box::new(FloatSum::new()))
             }
         }
         AggFunc::Min => AggState::Min(None),
         AggFunc::Max => AggState::Max(None),
-        AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        AggFunc::Avg => AggState::Avg { sum: Box::new(FloatSum::new()), count: 0 },
     })
 }
 
@@ -134,7 +134,7 @@ fn update_state(state: &mut AggState, arg: Option<&Value>) -> Result<()> {
             *s = s.wrapping_add(v);
         }
         AggState::SumFloat(s) => {
-            *s += arg.map(Value::numeric).unwrap_or(0.0);
+            s.add(arg.map(Value::numeric).unwrap_or(0.0));
         }
         AggState::Min(m) => {
             let v = arg.ok_or_else(|| Error::Internal("MIN without argument".into()))?;
@@ -149,7 +149,7 @@ fn update_state(state: &mut AggState, arg: Option<&Value>) -> Result<()> {
             }
         }
         AggState::Avg { sum, count } => {
-            *sum += arg.map(Value::numeric).unwrap_or(0.0);
+            sum.add(arg.map(Value::numeric).unwrap_or(0.0));
             *count += 1;
         }
         AggState::Distinct(sketch) => {

@@ -409,9 +409,19 @@ fn production_cluster(table: &Table, rows: usize) -> Cluster {
         // Keep the paper's ~120 chunks per shard when scaling down.
         spec.max_chunk_rows = (shard_rows / 120).clamp(200, 50_000);
     }
+    // Shard-result caching off: §6 measures leaf-side skipping and chunk
+    // caching; a root-side cache would absorb every repeated query before
+    // the leaves see it (that effect is measured by `benches/shard_fanout`
+    // and the ablation in `distributed`).
     Cluster::build(
         table,
-        &ClusterConfig { shards, build, cache_budget: 512 << 20, ..Default::default() },
+        &ClusterConfig {
+            shards,
+            build,
+            cache_budget: 512 << 20,
+            shard_cache: 0,
+            ..Default::default()
+        },
     )
     .expect("cluster")
 }
@@ -495,11 +505,13 @@ pub fn distributed(rows: usize) {
         if let Some(spec) = &mut build.partition {
             spec.max_chunk_rows = (rows / shards / 60).clamp(200, 50_000);
         }
-        let cluster =
-            Cluster::build(&table, &ClusterConfig { shards, build, ..Default::default() })
-                .expect("cluster");
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig { shards, build, shard_cache: 0, ..Default::default() },
+        )
+        .expect("cluster");
         for _ in 0..3 {
-            cluster.query(sql).expect("warmup"); // warm caches
+            cluster.query(sql).expect("warmup"); // warm chunk caches
         }
         let mut latencies: Vec<Duration> =
             (0..30).map(|_| cluster.query(sql).expect("query").latency).collect();
@@ -523,6 +535,7 @@ pub fn distributed(rows: usize) {
                 replication,
                 build,
                 load: LoadModel { busy_probability: 0.3, blocked_probability: 0.08, seed: 3 },
+                shard_cache: 0, // hits bypass the load model being measured
                 ..Default::default()
             },
         )
@@ -539,6 +552,32 @@ pub fn distributed(rows: usize) {
             if replication { "primary+rep" } else { "primary" },
             &format!("{p50:?}"),
             &format!("{p95:?}"),
+        ]);
+    }
+
+    println!("\nshard-result cache (drill-down replay, 8 shards):");
+    let printer = TablePrinter::new(&["cache", "total latency", "shard hits"], &[7, 14, 10]);
+    for shard_cache in [0usize, 1024] {
+        let mut build = BuildOptions::production(&["country", "table_name"]);
+        if let Some(spec) = &mut build.partition {
+            spec.max_chunk_rows = (rows / 8 / 60).clamp(200, 50_000);
+        }
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig { shards: 8, build, shard_cache, ..Default::default() },
+        )
+        .expect("cluster");
+        let workload = DrillDownWorkload::generate(
+            &table,
+            &WorkloadSpec { clicks: 10, queries_per_click: 10, max_drill_depth: 4, seed: 5 },
+        )
+        .expect("workload");
+        let report = run_production(&cluster, &workload).expect("replay");
+        let total: Duration = report.queries.iter().map(|q| q.latency).sum();
+        printer.row(&[
+            if shard_cache == 0 { "off" } else { "on" },
+            &format!("{total:?}"),
+            &report.shard_cache_hits().to_string(),
         ]);
     }
 

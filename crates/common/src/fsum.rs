@@ -1,0 +1,394 @@
+//! Exact, order-independent `f64` summation.
+//!
+//! Floating-point addition is not associative, so a sum's last bits depend
+//! on evaluation order — which chunk a row landed in, how many shards the
+//! table was split into, how a merge tree was shaped. That would make
+//! "parallel/distributed execution is bit-identical to sequential" an
+//! impossible promise for `SUM`/`AVG` over floats. [`FloatSum`] removes the
+//! order dependence at the root: it accumulates into a fixed-point
+//! "superaccumulator" (a Kulisch-style long accumulator) wide enough to
+//! hold any sum of `f64`s *exactly*. Integer addition is associative and
+//! commutative, so any grouping of rows into chunks, shards or tree nodes
+//! produces the same accumulator state, and [`FloatSum::value`] rounds the
+//! exact sum to the nearest `f64` exactly once.
+//!
+//! Layout: a 2176-bit two's-complement integer (34 × u64 limbs, little
+//! endian) where bit 0 has weight 2^-1074 (the smallest subnormal). The
+//! largest finite `f64` puts its mantissa's top bit at position 2097, so
+//! 2176 bits leave 78 guard bits of headroom — enough for 2^63 worst-case
+//! additions without overflow. Non-finite inputs are tracked in flags with
+//! the IEEE semantics of a running sum (any NaN poisons; +∞ and −∞
+//! together yield NaN), which are order-independent as well.
+
+/// Number of 64-bit limbs in the accumulator.
+const LIMBS: usize = 34;
+
+/// An exact sum of `f64` values; merge order never changes the result.
+#[derive(Clone, PartialEq)]
+pub struct FloatSum {
+    /// Two's-complement fixed-point value, little endian; bit 0 = 2^-1074.
+    limbs: [u64; LIMBS],
+    nan: bool,
+    pos_inf: bool,
+    neg_inf: bool,
+}
+
+impl Default for FloatSum {
+    fn default() -> Self {
+        FloatSum { limbs: [0; LIMBS], nan: false, pos_inf: false, neg_inf: false }
+    }
+}
+
+impl std::fmt::Debug for FloatSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("FloatSum").field(&self.value()).finish()
+    }
+}
+
+impl From<f64> for FloatSum {
+    fn from(x: f64) -> Self {
+        let mut s = FloatSum::default();
+        s.add(x);
+        s
+    }
+}
+
+impl FloatSum {
+    pub fn new() -> FloatSum {
+        FloatSum::default()
+    }
+
+    /// Add one `f64` exactly.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() {
+            if x.is_nan() {
+                self.nan = true;
+            } else if x > 0.0 {
+                self.pos_inf = true;
+            } else {
+                self.neg_inf = true;
+            }
+            return;
+        }
+        if x == 0.0 {
+            return;
+        }
+        let bits = x.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as usize;
+        let frac = bits & ((1u64 << 52) - 1);
+        // x = ±mant · 2^(off − 1074) with the mantissa's bit 0 at `off`.
+        let (mant, off) = if exp == 0 { (frac, 0) } else { (frac | (1u64 << 52), exp - 1) };
+        let limb = off / 64;
+        let sh = off % 64;
+        let lo = mant << sh;
+        let hi = if sh == 0 { 0 } else { mant >> (64 - sh) };
+        if x > 0.0 {
+            self.add_magnitude(limb, lo, hi);
+        } else {
+            self.sub_magnitude(limb, lo, hi);
+        }
+    }
+
+    /// Merge another accumulator in (exact; order never matters).
+    pub fn merge(&mut self, other: &FloatSum) {
+        let mut carry = 0u64;
+        for (a, &b) in self.limbs.iter_mut().zip(&other.limbs) {
+            let (v, c1) = a.overflowing_add(b);
+            let (v, c2) = v.overflowing_add(carry);
+            *a = v;
+            carry = (c1 | c2) as u64;
+        }
+        // The final carry wraps: two's-complement addition.
+        self.nan |= other.nan;
+        self.pos_inf |= other.pos_inf;
+        self.neg_inf |= other.neg_inf;
+    }
+
+    /// The exact sum, rounded once to the nearest `f64` (ties to even).
+    pub fn value(&self) -> f64 {
+        if self.nan || (self.pos_inf && self.neg_inf) {
+            return f64::NAN;
+        }
+        if self.pos_inf {
+            return f64::INFINITY;
+        }
+        if self.neg_inf {
+            return f64::NEG_INFINITY;
+        }
+        let negative = self.limbs[LIMBS - 1] >> 63 == 1;
+        let mut mag = self.limbs;
+        if negative {
+            negate(&mut mag);
+        }
+        let Some(top) = (0..LIMBS).rev().find(|&i| mag[i] != 0) else {
+            return 0.0;
+        };
+        let p = top * 64 + (63 - mag[top].leading_zeros() as usize);
+        if p <= 52 {
+            // At most 53 bits at the 2^-1074 scale: exactly representable
+            // (subnormal range and the first normal binades), no rounding.
+            let v = mag[0] as f64 * f64::from_bits(1);
+            return if negative { -v } else { v };
+        }
+        // Round the magnitude to 53 significant bits (nearest, ties even).
+        let shift = p - 52;
+        let mut m = bits_at(&mag, shift) & ((1u64 << 53) - 1);
+        let guard = bit_at(&mag, shift - 1);
+        if guard && (any_below(&mag, shift - 1) || m & 1 == 1) {
+            m += 1;
+        }
+        let mut p = p;
+        if m == 1u64 << 53 {
+            m = 1u64 << 52;
+            p += 1;
+        }
+        // value = m · 2^(p − 52 − 1074); `m as f64` is exact (≤ 2^53) and
+        // the power-of-two multiply below is exact in range, so the single
+        // rounding above is the only rounding.
+        let mut v = m as f64;
+        let mut e = p as i64 - 52 - 1074;
+        while e > 1023 {
+            v *= f64::from_bits(0x7FEu64 << 52); // 2^1023
+            e -= 1023;
+        }
+        v *= pow2(e);
+        if negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// True when no value (or only zeros) has been added.
+    pub fn is_zero(&self) -> bool {
+        !self.nan && !self.pos_inf && !self.neg_inf && self.limbs.iter().all(|&l| l == 0)
+    }
+
+    fn add_magnitude(&mut self, limb: usize, lo: u64, hi: u64) {
+        let (v, c) = self.limbs[limb].overflowing_add(lo);
+        self.limbs[limb] = v;
+        let mut idx = limb + 1;
+        let (v, c1) = self.limbs[idx].overflowing_add(hi);
+        let (v, c2) = v.overflowing_add(c as u64);
+        self.limbs[idx] = v;
+        let mut carry = c1 | c2;
+        idx += 1;
+        while carry && idx < LIMBS {
+            let (v, c) = self.limbs[idx].overflowing_add(1);
+            self.limbs[idx] = v;
+            carry = c;
+            idx += 1;
+        }
+    }
+
+    fn sub_magnitude(&mut self, limb: usize, lo: u64, hi: u64) {
+        let (v, b) = self.limbs[limb].overflowing_sub(lo);
+        self.limbs[limb] = v;
+        let mut idx = limb + 1;
+        let (v, b1) = self.limbs[idx].overflowing_sub(hi);
+        let (v, b2) = v.overflowing_sub(b as u64);
+        self.limbs[idx] = v;
+        let mut borrow = b1 | b2;
+        idx += 1;
+        while borrow && idx < LIMBS {
+            let (v, b) = self.limbs[idx].overflowing_sub(1);
+            self.limbs[idx] = v;
+            borrow = b;
+            idx += 1;
+        }
+    }
+}
+
+/// 2^e as an exact `f64`, for e in the representable range [-1074, 1023].
+fn pow2(e: i64) -> f64 {
+    debug_assert!((-1074..=1023).contains(&e));
+    if e >= -1022 {
+        f64::from_bits(((e + 1023) as u64) << 52)
+    } else {
+        f64::from_bits(1u64 << (e + 1074))
+    }
+}
+
+/// Two's-complement negation in place.
+fn negate(limbs: &mut [u64; LIMBS]) {
+    let mut carry = 1u64;
+    for l in limbs.iter_mut() {
+        let (v, c) = (!*l).overflowing_add(carry);
+        *l = v;
+        carry = c as u64;
+    }
+}
+
+/// 64 bits of `mag` starting at bit `pos`.
+fn bits_at(mag: &[u64; LIMBS], pos: usize) -> u64 {
+    let limb = pos / 64;
+    let sh = pos % 64;
+    let lo = mag[limb] >> sh;
+    let hi = if sh == 0 || limb + 1 >= LIMBS { 0 } else { mag[limb + 1] << (64 - sh) };
+    lo | hi
+}
+
+fn bit_at(mag: &[u64; LIMBS], pos: usize) -> bool {
+    mag[pos / 64] >> (pos % 64) & 1 == 1
+}
+
+/// Any set bit strictly below `pos`?
+fn any_below(mag: &[u64; LIMBS], pos: usize) -> bool {
+    let limb = pos / 64;
+    let sh = pos % 64;
+    if mag[..limb].iter().any(|&l| l != 0) {
+        return true;
+    }
+    sh > 0 && mag[limb] & ((1u64 << sh) - 1) != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn sum_of(values: &[f64]) -> f64 {
+        let mut s = FloatSum::new();
+        for &v in values {
+            s.add(v);
+        }
+        s.value()
+    }
+
+    #[test]
+    fn simple_sums_are_exact() {
+        assert_eq!(sum_of(&[]), 0.0);
+        assert_eq!(sum_of(&[1.5]), 1.5);
+        assert_eq!(sum_of(&[1.5, 2.25]), 3.75);
+        assert_eq!(sum_of(&[1.0, -1.0]), 0.0);
+        assert_eq!(sum_of(&[-2.5, -3.5]), -6.0);
+        assert_eq!(sum_of(&[0.1]), 0.1);
+        assert_eq!(sum_of(&[f64::MAX]), f64::MAX);
+        assert_eq!(sum_of(&[f64::MIN_POSITIVE]), f64::MIN_POSITIVE);
+        assert_eq!(sum_of(&[5e-324]), 5e-324); // smallest subnormal
+        assert_eq!(sum_of(&[-0.0]), 0.0);
+    }
+
+    #[test]
+    fn catastrophic_cancellation_is_exact() {
+        // Naive f64 summation gets this wrong; the exact accumulator
+        // recovers the tiny residue.
+        assert_eq!(sum_of(&[1e100, 1.0, -1e100]), 1.0);
+        assert_eq!(sum_of(&[1e308, 1e308, -1e308, -1e308]), 0.0);
+        assert_eq!(sum_of(&[1.0, 1e-300, -1.0]), 1e-300);
+    }
+
+    #[test]
+    fn order_never_changes_the_result() {
+        let mut rng = Rng::seed_from_u64(0xf5u64);
+        for _ in 0..50 {
+            let n = rng.range_usize(2, 40);
+            let mut values: Vec<f64> = (0..n)
+                .map(|_| {
+                    let m = rng.range_i64_inclusive(-1_000_000, 1_000_000) as f64;
+                    let e = rng.range_i64_inclusive(-80, 80) as i32;
+                    m * 2f64.powi(e)
+                })
+                .collect();
+            let forward = sum_of(&values);
+            values.reverse();
+            assert_eq!(forward.to_bits(), sum_of(&values).to_bits());
+            // Shuffle.
+            for i in (1..values.len()).rev() {
+                values.swap(i, rng.range_usize(0, i + 1));
+            }
+            assert_eq!(forward.to_bits(), sum_of(&values).to_bits());
+        }
+    }
+
+    #[test]
+    fn merge_equals_flat_accumulation() {
+        let mut rng = Rng::seed_from_u64(0xf6u64);
+        for _ in 0..50 {
+            let n = rng.range_usize(2, 60);
+            let values: Vec<f64> =
+                (0..n).map(|_| rng.range_i64_inclusive(-500, 500) as f64 * 0.125).collect();
+            let flat = sum_of(&values);
+            // Split into arbitrary partitions, merge the partials.
+            let cut = rng.range_usize(1, n);
+            let mut a = FloatSum::new();
+            for &v in &values[..cut] {
+                a.add(v);
+            }
+            let mut b = FloatSum::new();
+            for &v in &values[cut..] {
+                b.add(v);
+            }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            assert_eq!(ab, ba, "merge is commutative");
+            assert_eq!(flat.to_bits(), ab.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn rounding_matches_ieee_single_additions() {
+        // For two addends, IEEE addition is itself correctly rounded, so
+        // the accumulator must agree bit-for-bit.
+        let mut rng = Rng::seed_from_u64(0xf7u64);
+        for _ in 0..2_000 {
+            let a = f64::from_bits(rng.next_u64() & 0x7FEF_FFFF_FFFF_FFFF);
+            let b = f64::from_bits(rng.next_u64() & 0x7FEF_FFFF_FFFF_FFFF);
+            let (a, b) = (a.abs(), -b.abs());
+            if !a.is_finite() || !b.is_finite() {
+                continue;
+            }
+            let expect = a + b;
+            assert_eq!(
+                sum_of(&[a, b]).to_bits(),
+                expect.to_bits(),
+                "a={a:e} b={b:e} expect={expect:e} got={:e}",
+                sum_of(&[a, b])
+            );
+        }
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 2^53 + 1 is exactly between 2^53 and 2^53 + 2 → rounds to 2^53.
+        let two53 = 9_007_199_254_740_992.0f64;
+        assert_eq!(sum_of(&[two53, 1.0]), two53);
+        // 2^53 + 3 is between 2^53 + 2 and 2^53 + 4 → rounds to +4 (even).
+        assert_eq!(sum_of(&[two53, 1.0, 1.0, 1.0]), two53 + 4.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let v = sum_of(&[f64::MAX, f64::MAX]);
+        assert_eq!(v, f64::INFINITY, "exact sum beyond the range rounds to +inf");
+        let v = sum_of(&[f64::MIN, f64::MIN]);
+        assert_eq!(v, f64::NEG_INFINITY);
+        // ... but cancellation brings it back: the accumulator is exact.
+        assert_eq!(sum_of(&[f64::MAX, f64::MAX, -f64::MAX]), f64::MAX);
+    }
+
+    #[test]
+    fn non_finite_flags_follow_ieee() {
+        assert!(sum_of(&[f64::NAN, 1.0]).is_nan());
+        assert_eq!(sum_of(&[f64::INFINITY, -1e308]), f64::INFINITY);
+        assert_eq!(sum_of(&[f64::NEG_INFINITY, 1e308]), f64::NEG_INFINITY);
+        assert!(sum_of(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+    }
+
+    #[test]
+    fn subnormal_accumulation_is_exact() {
+        let tiny = 5e-324; // 2^-1074
+        let mut s = FloatSum::new();
+        for _ in 0..4096 {
+            s.add(tiny);
+        }
+        assert_eq!(s.value(), tiny * 4096.0);
+        for _ in 0..4096 {
+            s.add(-tiny);
+        }
+        assert_eq!(s.value(), 0.0);
+        assert!(s.is_zero());
+    }
+}

@@ -14,12 +14,16 @@
 //!   and the per-chunk filter masks of the group-by kernels,
 //! - [`HeapSize`] — uniform deep-memory accounting, which the paper's
 //!   evaluation (Tables 1–4) is all about,
+//! - [`FloatSum`] — exact, order-independent `f64` summation (a Kulisch
+//!   superaccumulator), which makes float `SUM`/`AVG` bit-identical no
+//!   matter how rows are chunked, threaded or sharded,
 //! - [`sync`] — poison-free `Mutex` / `RwLock` wrappers over `std::sync`,
 //! - [`rng`] — a small seedable xoshiro256++ PRNG for generators and load
 //!   models (the workspace carries no external dependencies).
 
 pub mod bitvec;
 pub mod error;
+pub mod fsum;
 pub mod hash;
 pub mod mem;
 pub mod rng;
@@ -30,6 +34,7 @@ pub mod value;
 
 pub use bitvec::BitVec;
 pub use error::{Error, Result};
+pub use fsum::FloatSum;
 pub use hash::{fx_hash64, FxHashMap, FxHashSet, FxHasher};
 pub use mem::HeapSize;
 pub use row::Row;

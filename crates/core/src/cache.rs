@@ -356,25 +356,28 @@ pub enum CachedChunk {
     DenseSingleCount(Vec<u64>),
 }
 
-/// The §6 chunk-result cache: results of fully-active chunks, keyed by
-/// (query signature, chunk).
-pub struct ResultCache {
-    inner: Mutex<ResultCacheInner>,
+/// A thread-safe, capacity-bounded map with FIFO admission and hit/miss
+/// accounting — the shared bookkeeping behind the §6 chunk-result cache
+/// and the distributed layer's shard-result cache. Eviction only ever
+/// drops entries, so a capacity bound can change *what is cached*, never
+/// *what a query returns*.
+pub struct BoundedCache<K, V> {
+    inner: Mutex<BoundedInner<K, V>>,
 }
 
-struct ResultCacheInner {
-    entries: FxHashMap<(String, u32), Arc<CachedChunk>>,
-    order: VecDeque<(String, u32)>,
+struct BoundedInner<K, V> {
+    entries: FxHashMap<K, V>,
+    order: VecDeque<K>,
     capacity: usize,
     hits: u64,
     misses: u64,
 }
 
-impl ResultCache {
-    /// Cache at most `capacity` chunk results (FIFO bound).
-    pub fn new(capacity: usize) -> ResultCache {
-        ResultCache {
-            inner: Mutex::new(ResultCacheInner {
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
+    /// Cache at most `capacity` entries (FIFO bound).
+    pub fn new(capacity: usize) -> BoundedCache<K, V> {
+        BoundedCache {
+            inner: Mutex::new(BoundedInner {
                 entries: FxHashMap::default(),
                 order: VecDeque::new(),
                 capacity: capacity.max(1),
@@ -384,9 +387,9 @@ impl ResultCache {
         }
     }
 
-    pub fn get(&self, signature: &str, chunk: u32) -> Option<Arc<CachedChunk>> {
+    pub fn get(&self, key: &K) -> Option<V> {
         let mut inner = self.inner.lock();
-        match inner.entries.get(&(signature.to_owned(), chunk)).cloned() {
+        match inner.entries.get(key).cloned() {
             Some(hit) => {
                 inner.hits += 1;
                 Some(hit)
@@ -398,10 +401,9 @@ impl ResultCache {
         }
     }
 
-    pub fn put(&self, signature: &str, chunk: u32, groups: Arc<CachedChunk>) {
+    pub fn put(&self, key: K, value: V) {
         let mut inner = self.inner.lock();
-        let key = (signature.to_owned(), chunk);
-        if inner.entries.insert(key.clone(), groups).is_none() {
+        if inner.entries.insert(key.clone(), value).is_none() {
             inner.order.push_back(key);
             while inner.order.len() > inner.capacity {
                 if let Some(old) = inner.order.pop_front() {
@@ -411,10 +413,51 @@ impl ResultCache {
         }
     }
 
+    /// Drop every entry (hit/miss counters keep accumulating).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.order.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         let inner = self.inner.lock();
         (inner.hits, inner.misses)
+    }
+}
+
+/// The §6 chunk-result cache: results of fully-active chunks, keyed by
+/// (query signature, chunk).
+pub struct ResultCache {
+    entries: BoundedCache<(String, u32), Arc<CachedChunk>>,
+}
+
+impl ResultCache {
+    /// Cache at most `capacity` chunk results (FIFO bound).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache { entries: BoundedCache::new(capacity) }
+    }
+
+    pub fn get(&self, signature: &str, chunk: u32) -> Option<Arc<CachedChunk>> {
+        self.entries.get(&(signature.to_owned(), chunk))
+    }
+
+    pub fn put(&self, signature: &str, chunk: u32, groups: Arc<CachedChunk>) {
+        self.entries.put((signature.to_owned(), chunk), groups);
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        self.entries.stats()
     }
 }
 
@@ -534,5 +577,29 @@ mod tests {
         let rc = ResultCache::new(8);
         rc.put("q1", 0, Arc::new(CachedChunk::Groups(vec![])));
         assert!(rc.get("q2", 0).is_none());
+    }
+
+    #[test]
+    fn bounded_cache_clear_invalidates_but_keeps_counters() {
+        let cache: BoundedCache<u32, u32> = BoundedCache::new(4);
+        cache.put(1, 10);
+        assert_eq!(cache.get(&1), Some(10));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.stats(), (1, 1), "counters accumulate across clears");
+    }
+
+    #[test]
+    fn bounded_cache_put_is_idempotent_per_key() {
+        let cache: BoundedCache<u32, u32> = BoundedCache::new(2);
+        cache.put(1, 10);
+        cache.put(1, 11); // replaces value, no duplicate FIFO slot
+        cache.put(2, 20);
+        cache.put(3, 30); // evicts key 1 only
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.get(&2), Some(20));
+        assert_eq!(cache.get(&3), Some(30));
     }
 }

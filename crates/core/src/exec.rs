@@ -36,7 +36,7 @@ use crate::kernels::{self, ChunkAcc, DENSE_GROUP_LIMIT};
 use crate::scheduler;
 use crate::skip::{ChunkActivity, SkipAnalysis};
 use crate::stats::ScanStats;
-use pd_common::{BitVec, DataType, Error, FxHashMap, HeapSize, Result, Row, Value};
+use pd_common::{BitVec, DataType, Error, FloatSum, FxHashMap, HeapSize, Result, Row, Value};
 use pd_sql::{
     analyze, eval_expr, parse_query, truthy, AggFunc, AnalyzedQuery, Expr, OutputCol, RowContext,
 };
@@ -59,7 +59,8 @@ pub struct ExecContext {
 }
 
 impl ExecContext {
-    fn sketch_m(&self) -> usize {
+    /// Resolve the sketch-size knob (0 = the 4096 default).
+    pub fn sketch_m(&self) -> usize {
         if self.sketch_m == 0 {
             4096
         } else {
@@ -67,10 +68,11 @@ impl ExecContext {
         }
     }
 
-    /// Resolve the `threads` knob (0 = available parallelism).
+    /// Resolve the `threads` knob (0 = the `EXEC_THREADS` environment
+    /// variable when set, available parallelism otherwise).
     pub fn effective_threads(&self) -> usize {
         if self.threads == 0 {
-            scheduler::available_threads()
+            scheduler::default_threads()
         } else {
             self.threads
         }
@@ -122,14 +124,25 @@ impl QueryResult {
 }
 
 /// A mergeable aggregation state.
+///
+/// Every variant merges associatively and commutatively — the property the
+/// §4 computation tree, the parallel chunk fold and the shard fan-out all
+/// rely on. Float sums use [`FloatSum`] (an exact superaccumulator), so
+/// even `SUM`/`AVG` over floats are bit-identical regardless of how rows
+/// were grouped into chunks, threads or shards.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggState {
     Count(u64),
     SumInt(i64),
-    SumFloat(f64),
+    /// Boxed: the superaccumulator is ~280 bytes and an enum is sized by
+    /// its largest variant — boxing keeps `Count`-only group states small.
+    SumFloat(Box<FloatSum>),
     Min(Option<Value>),
     Max(Option<Value>),
-    Avg { sum: f64, count: u64 },
+    Avg {
+        sum: Box<FloatSum>,
+        count: u64,
+    },
     Distinct(KmvSketch),
 }
 
@@ -139,7 +152,7 @@ impl AggState {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
             (AggState::SumInt(a), AggState::SumInt(b)) => *a = a.wrapping_add(*b),
-            (AggState::SumFloat(a), AggState::SumFloat(b)) => *a += b,
+            (AggState::SumFloat(a), AggState::SumFloat(b)) => a.merge(b),
             (AggState::Min(a), AggState::Min(b)) => {
                 if let Some(bv) = b {
                     match a {
@@ -157,7 +170,7 @@ impl AggState {
                 }
             }
             (AggState::Avg { sum: s1, count: c1 }, AggState::Avg { sum: s2, count: c2 }) => {
-                *s1 += s2;
+                s1.merge(s2);
                 *c1 += c2;
             }
             (AggState::Distinct(a), AggState::Distinct(b)) => a.merge(b),
@@ -175,13 +188,13 @@ impl AggState {
         match self {
             AggState::Count(n) => Value::Int(*n as i64),
             AggState::SumInt(s) => Value::Int(*s),
-            AggState::SumFloat(s) => Value::Float(*s),
+            AggState::SumFloat(s) => Value::Float(s.value()),
             AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
             AggState::Avg { sum, count } => {
                 if *count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(sum / *count as f64)
+                    Value::Float(sum.value() / *count as f64)
                 }
             }
             AggState::Distinct(sketch) => Value::Int(sketch.estimate().round() as i64),
@@ -205,6 +218,24 @@ impl PartialResult {
                 }
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     for (a, b) in e.get_mut().iter_mut().zip(&states) {
+                        a.merge(b)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another partial by reference, leaving `other` reusable — the
+    /// shard-level result cache merges its cached partials this way.
+    pub fn merge_ref(&mut self, other: &PartialResult) -> Result<()> {
+        for (key, states) in &other.groups {
+            match self.groups.entry(key.clone()) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(states.clone());
+                }
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (a, b) in e.get_mut().iter_mut().zip(states) {
                         a.merge(b)?;
                     }
                 }
@@ -735,6 +766,14 @@ impl Plan {
             let prod = acc.checked_mul(n.max(1))?;
             (prod <= DENSE_GROUP_LIMIT).then_some(prod)
         });
+        // Exact float accumulators are ~34 words each; cap the dense
+        // over-allocation for them and hash-group instead.
+        let float_heavy =
+            self.aggs.iter().any(|a| matches!(a.kind, AggKind::SumFloat | AggKind::Avg));
+        let dense_capacity = match dense_capacity {
+            Some(c) if float_heavy && c > DENSE_GROUP_LIMIT / 16 => None,
+            other => other,
+        };
 
         // Fast paths: the paper's counts-array loop on raw codes — one or
         // two keys, COUNT(*) only, flat arrays, no per-row group map. The
@@ -868,11 +907,17 @@ mod tests {
     fn agg_state_finalize_values() {
         assert_eq!(AggState::Count(7).finalize(), Value::Int(7));
         assert_eq!(AggState::SumInt(-3).finalize(), Value::Int(-3));
-        assert_eq!(AggState::SumFloat(2.5).finalize(), Value::Float(2.5));
+        assert_eq!(AggState::SumFloat(Box::new(FloatSum::from(2.5))).finalize(), Value::Float(2.5));
         assert_eq!(AggState::Min(None).finalize(), Value::Null);
         assert_eq!(AggState::Max(Some(Value::from("z"))).finalize(), Value::from("z"));
-        assert_eq!(AggState::Avg { sum: 10.0, count: 4 }.finalize(), Value::Float(2.5));
-        assert_eq!(AggState::Avg { sum: 0.0, count: 0 }.finalize(), Value::Null);
+        assert_eq!(
+            AggState::Avg { sum: Box::new(FloatSum::from(10.0)), count: 4 }.finalize(),
+            Value::Float(2.5)
+        );
+        assert_eq!(
+            AggState::Avg { sum: Box::new(FloatSum::new()), count: 0 }.finalize(),
+            Value::Null
+        );
     }
 
     #[test]

@@ -26,7 +26,7 @@
 use crate::column::ColumnChunk;
 use crate::count_distinct::KmvSketch;
 use crate::exec::{AggKind, AggPlan, AggState, FilterPlan};
-use pd_common::{fx_hash64, BitVec, Error, FxHashMap, Result, Value};
+use pd_common::{fx_hash64, BitVec, Error, FloatSum, FxHashMap, Result, Value};
 use pd_encoding::CodesView;
 use pd_sql::{eval_expr, truthy, Expr, RowContext};
 
@@ -457,10 +457,14 @@ fn dense_many(
 // ---------------------------------------------------------------------------
 
 /// Per-chunk accumulators for one aggregate.
+///
+/// Float sums accumulate into [`FloatSum`] superaccumulators so the chunk
+/// state is *exact* — the fold across chunks, threads and shards can then
+/// merge states in any grouping and still produce bit-identical results.
 pub(crate) enum ChunkAcc {
     Count(Vec<u64>),
     SumInt(Vec<i64>),
-    SumFloat(Vec<f64>),
+    SumFloat(Vec<FloatSum>),
     /// Extreme chunk-id per group (chunk-id order == value order) plus the
     /// owning chunk's translation tables.
     MinMax {
@@ -469,7 +473,7 @@ pub(crate) enum ChunkAcc {
         values: Vec<Value>,
     },
     Avg {
-        sum: Vec<f64>,
+        sum: Vec<FloatSum>,
         count: Vec<u64>,
     },
     Distinct(Vec<KmvSketch>),
@@ -518,11 +522,11 @@ impl ChunkAcc {
             AggKind::SumFloat => {
                 let chunk = arg_chunk.expect("SUM has an argument");
                 let table = float_table(agg, chunk);
-                let mut sums = vec![0f64; group_count];
+                let mut sums = vec![FloatSum::new(); group_count];
                 with_codes!(chunk.codes(), |get| {
                     for (row, &g) in group_of_row.iter().enumerate() {
                         if g != u32::MAX {
-                            sums[g as usize] += table[get(row) as usize];
+                            sums[g as usize].add(table[get(row) as usize]);
                         }
                     }
                 });
@@ -531,12 +535,12 @@ impl ChunkAcc {
             AggKind::Avg => {
                 let chunk = arg_chunk.expect("AVG has an argument");
                 let table = float_table(agg, chunk);
-                let mut sum = vec![0f64; group_count];
+                let mut sum = vec![FloatSum::new(); group_count];
                 let mut count = vec![0u64; group_count];
                 with_codes!(chunk.codes(), |get| {
                     for (row, &g) in group_of_row.iter().enumerate() {
                         if g != u32::MAX {
-                            sum[g as usize] += table[get(row) as usize];
+                            sum[g as usize].add(table[get(row) as usize]);
                             count[g as usize] += 1;
                         }
                     }
@@ -590,7 +594,7 @@ impl ChunkAcc {
         match self {
             ChunkAcc::Count(v) => AggState::Count(v[g]),
             ChunkAcc::SumInt(v) => AggState::SumInt(v[g]),
-            ChunkAcc::SumFloat(v) => AggState::SumFloat(v[g]),
+            ChunkAcc::SumFloat(v) => AggState::SumFloat(Box::new(v[g].clone())),
             ChunkAcc::MinMax { best, is_min, values } => {
                 let v = (best[g] != u32::MAX).then(|| values[best[g] as usize].clone());
                 if *is_min {
@@ -599,7 +603,9 @@ impl ChunkAcc {
                     AggState::Max(v)
                 }
             }
-            ChunkAcc::Avg { sum, count } => AggState::Avg { sum: sum[g], count: count[g] },
+            ChunkAcc::Avg { sum, count } => {
+                AggState::Avg { sum: Box::new(sum[g].clone()), count: count[g] }
+            }
             ChunkAcc::Distinct(v) => AggState::Distinct(v[g].clone()),
         }
     }

@@ -22,9 +22,12 @@
 //!   distributed layer; the per-chunk inner loops are the dictionary-code
 //!   kernels of `kernels` (filter masks as packed bit vectors, flat
 //!   counts/sums arrays over raw `u32` codes);
-//! - [`scheduler`] — the morsel-driven worker pool that scans active
-//!   chunks in parallel ([`ExecContext::threads`], default = available
-//!   parallelism) with results folded deterministically in chunk order;
+//! - [`scheduler`] — the persistent morsel-driven worker pool that scans
+//!   active chunks in parallel ([`ExecContext::threads`], default =
+//!   `EXEC_THREADS` or available parallelism) with results folded
+//!   deterministically in task order; the same pool serves the distributed
+//!   layer's shard fan-out (waiting submitters help drain the queue, so
+//!   nested fan-outs cannot deadlock);
 //! - [`count_distinct`] — the §5 m-smallest-hashes sketch;
 //! - [`cache`] — LRU / 2Q / ARC eviction, the two-layer residency model and
 //!   the chunk-result cache (§5, §6);
@@ -44,7 +47,7 @@ pub mod scheduler;
 pub mod skip;
 pub mod stats;
 
-pub use cache::{CachePolicy, ResultCache, TieredCache};
+pub use cache::{BoundedCache, CachePolicy, ResultCache, TieredCache};
 pub use column::{ColumnChunk, StoredColumn};
 pub use count_distinct::KmvSketch;
 pub use datastore::DataStore;
@@ -54,5 +57,6 @@ pub use exec::{
 pub use memory::{report_for_query, ColumnMemory, MemoryReport};
 pub use options::{BuildOptions, DictMode, PartitionSpec};
 pub use partition::Partitioning;
+pub use scheduler::WorkerPool;
 pub use skip::ChunkActivity;
 pub use stats::ScanStats;

@@ -4,15 +4,27 @@
 //! dictionaries and element arrays are immutable after import, per-chunk
 //! group states are mergeable (§4 relies on exactly this to aggregate
 //! across machines). This module exploits the same property across cores:
-//! a query's active chunks become a work queue, a `std::thread::scope`
-//! worker pool pulls tasks off a shared atomic cursor (morsel-at-a-time, so
+//! a query's active chunks become a work queue, a **persistent worker
+//! pool** pulls tasks off a shared atomic cursor (morsel-at-a-time, so
 //! load imbalance between cheap and expensive chunks self-corrects), and
 //! each worker's results are returned to the caller *in task order* so the
 //! final fold is deterministic — parallel execution is bit-identical to
 //! sequential execution regardless of thread count.
+//!
+//! The pool is spawned once and reused by every query (and by the
+//! distributed layer's shard fan-out), eliminating the per-query thread
+//! spawn cost (~50 µs with `std::thread::scope`) that dominates µs-scale
+//! cached queries. Waiting submitters *help*: while a fan-out waits for
+//! its straggler tasks it drains other queued jobs, so nested fan-outs
+//! (shards on the outside, chunks on the inside) cannot deadlock a
+//! fixed-size pool.
 
+use pd_common::sync::Mutex;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, OnceLock};
+use std::time::Duration;
 
 /// Number of worker threads for `threads = 0` (auto): the machine's
 /// available parallelism.
@@ -20,62 +32,350 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
 }
 
-/// Run `n_tasks` tasks on up to `threads` workers, returning the results in
-/// task order.
+/// Resolve the default thread count for `ExecContext::threads == 0`: the
+/// `EXEC_THREADS` environment variable when set to a positive integer
+/// (used by CI to force the concurrent paths), the machine's available
+/// parallelism otherwise. Resolved once — it is launch-time configuration,
+/// and reading the environment takes a process-global lock this would
+/// otherwise put on every query's hot path.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| threads_from_env(std::env::var("EXEC_THREADS").ok().as_deref()))
+}
+
+fn threads_from_env(value: Option<&str>) -> usize {
+    value
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(available_threads)
+}
+
+/// A queued unit of work. Jobs are type-erased closures whose borrows are
+/// guaranteed (by the submitting call, which blocks until every job it
+/// queued has finished) to outlive the job.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled when jobs are queued (workers sleep on this).
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl PoolShared {
+    fn pop(&self) -> Option<Job> {
+        self.queue.lock().pop_front()
+    }
+}
+
+/// A persistent pool of worker threads executing queued jobs.
 ///
-/// `run` is invoked exactly once per task index. Errors short-circuit: the
-/// first failing task's error is returned and the remaining queue is
-/// abandoned (workers drain out at the next poll). With `threads <= 1` (or
-/// a single task) everything runs inline on the caller's thread — no
-/// spawning, identical code path.
+/// Submission is *scoped*: [`WorkerPool::run_tasks`] queues helper jobs
+/// that borrow from the caller's stack and does not return until all of
+/// them have completed, so the borrows stay valid — the classic scoped
+/// thread-pool contract, amortizing thread spawns across queries.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl WorkerPool {
+    /// Create a pool with `initial` pre-spawned workers; the pool grows on
+    /// demand when a fan-out requests more helpers than exist.
+    pub fn new(initial: usize) -> WorkerPool {
+        let pool = WorkerPool {
+            shared: Arc::new(PoolShared {
+                queue: Mutex::new(VecDeque::new()),
+                available: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            workers: Mutex::new(Vec::new()),
+        };
+        pool.ensure_workers(initial);
+        pool
+    }
+
+    /// The process-wide shared pool (lazily created, never torn down).
+    pub fn global() -> &'static WorkerPool {
+        static GLOBAL: OnceLock<WorkerPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| WorkerPool::new(0))
+    }
+
+    /// Number of worker threads currently alive.
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().len()
+    }
+
+    /// Grow the pool to at least `n` workers.
+    fn ensure_workers(&self, n: usize) {
+        let mut workers = self.workers.lock();
+        while workers.len() < n {
+            let shared = self.shared.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("pd-worker-{}", workers.len()))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn pool worker");
+            workers.push(handle);
+        }
+    }
+
+    /// Run `n_tasks` tasks on up to `threads` workers (the calling thread
+    /// participates), returning the results in task order.
+    ///
+    /// `run` is invoked exactly once per task index. Errors short-circuit:
+    /// the first failing task's error is returned and the remaining queue
+    /// is abandoned (workers drain out at the next poll). Panics in `run`
+    /// propagate to the caller after all helpers have stopped. With
+    /// `threads <= 1` (or a single task) everything runs inline on the
+    /// caller's thread — no queueing, identical code path.
+    pub fn run_tasks<T, F>(
+        &self,
+        threads: usize,
+        n_tasks: usize,
+        run: F,
+    ) -> pd_common::Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> pd_common::Result<T> + Sync,
+    {
+        let threads = threads.max(1).min(n_tasks.max(1));
+        if threads <= 1 || n_tasks <= 1 {
+            return (0..n_tasks).map(&run).collect();
+        }
+
+        let helpers = threads - 1;
+        self.ensure_workers(helpers);
+        let group: TaskGroup<T> = TaskGroup {
+            cursor: AtomicUsize::new(0),
+            failed: AtomicBool::new(false),
+            n_tasks,
+            results: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+            panic: Mutex::new(None),
+            remaining: Mutex::new(helpers),
+            done: Condvar::new(),
+        };
+
+        {
+            let mut queue = self.shared.queue.lock();
+            for _ in 0..helpers {
+                let g: &TaskGroup<T> = &group;
+                let r: &F = &run;
+                let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || helper_job(g, r));
+                // Safety: this call waits on `group.remaining` until every
+                // helper job queued here has run to completion, so the
+                // borrows of `group` and `run` outlive the job.
+                let job: Job = unsafe { std::mem::transmute(job) };
+                queue.push_back(job);
+            }
+        }
+        self.shared.available.notify_all();
+
+        // The caller is the first worker; its panics are caught so the
+        // latch below always gets to run before any unwind escapes (the
+        // queued helper jobs borrow from this stack frame).
+        if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            group.work(&run);
+        })) {
+            group.record_panic(payload);
+        }
+
+        // Wait for the helpers. A submitter running *on a pool worker*
+        // (a nested fan-out) must keep draining queued jobs while it
+        // waits — every blocked worker doubling as a worker is what makes
+        // the fixed-size pool deadlock-free. An external submitter (a
+        // query's driver thread) just sleeps: at least one real worker
+        // exists (`ensure_workers`) and workers never sleep on groups, so
+        // queued jobs always make progress — and the driver never gets
+        // stuck inside some other query's long-running job.
+        if IS_POOL_WORKER.with(std::cell::Cell::get) {
+            loop {
+                if *group.remaining.lock() == 0 {
+                    break;
+                }
+                match self.shared.pop() {
+                    Some(job) => run_stolen(job),
+                    None => {
+                        let remaining = group.remaining.lock();
+                        if *remaining == 0 {
+                            break;
+                        }
+                        let _ = group
+                            .done
+                            .wait_timeout(remaining, Duration::from_micros(200))
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        } else {
+            let mut remaining = group.remaining.lock();
+            while *remaining > 0 {
+                remaining = group.done.wait(remaining).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        if let Some(payload) = group.panic.lock().take() {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(error) = group.error.lock().take() {
+            return Err(error);
+        }
+        let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+        for (i, t) in group.results.lock().drain(..) {
+            slots[i] = Some(t);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|s| s.expect("every task index was claimed exactly once"))
+            .collect())
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // The store must happen under the queue lock: a worker that has
+        // checked `shutdown` but not yet parked still holds that lock, so
+        // storing under it orders the flag before every future park and
+        // the notify below cannot be missed.
+        {
+            let _queue = self.shared.queue.lock();
+            self.shared.shutdown.store(true, Ordering::Relaxed);
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+thread_local! {
+    /// Set for the lifetime of a pool worker thread: such threads must
+    /// never sleep while waiting for a fan-out (they steal queued jobs
+    /// instead), or nested fan-outs could deadlock the fixed-size pool.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+
+    /// Monotone per-thread total of time spent executing *stolen* jobs —
+    /// work this thread drained from the queue while waiting for its own
+    /// fan-out. Callers timing their own work with wall clocks subtract
+    /// the delta (see [`stolen_time`]), so a task's measured latency is
+    /// not inflated by whole foreign subqueries it happened to help with.
+    static STOLEN_TIME: std::cell::Cell<Duration> = const { std::cell::Cell::new(Duration::ZERO) };
+}
+
+/// This thread's cumulative stolen-job time. Snapshot before and after a
+/// timed region and subtract the delta from the wall-clock measurement.
+pub fn stolen_time() -> Duration {
+    STOLEN_TIME.with(std::cell::Cell::get)
+}
+
+/// Run a stolen job, charging its wall time to [`STOLEN_TIME`] exactly
+/// once: nested steals inside the job already charged themselves, so the
+/// cell is *set* to `before + wall` rather than incremented (wall time
+/// subsumes the nested additions).
+fn run_stolen(job: Job) {
+    let before = STOLEN_TIME.with(std::cell::Cell::get);
+    let started = std::time::Instant::now();
+    job();
+    STOLEN_TIME.with(|cell| cell.set(before + started.elapsed()));
+}
+
+fn worker_loop(shared: &PoolShared) {
+    IS_POOL_WORKER.with(|flag| flag.set(true));
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if shared.shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = shared.available.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        job();
+    }
+}
+
+/// Shared state of one `run_tasks` fan-out.
+struct TaskGroup<T> {
+    cursor: AtomicUsize,
+    failed: AtomicBool,
+    n_tasks: usize,
+    results: Mutex<Vec<(usize, T)>>,
+    error: Mutex<Option<pd_common::Error>>,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Helper jobs not yet finished; guarded by a mutex so the submitter
+    /// can sleep on `done`.
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<T: Send> TaskGroup<T> {
+    /// Claim and run tasks until the cursor (or the group) is exhausted.
+    fn work<F>(&self, run: &F)
+    where
+        F: Fn(usize) -> pd_common::Result<T> + Sync,
+    {
+        let mut local: Vec<(usize, T)> = Vec::new();
+        loop {
+            if self.failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = self.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_tasks {
+                break;
+            }
+            match run(i) {
+                Ok(t) => local.push((i, t)),
+                Err(e) => {
+                    self.failed.store(true, Ordering::Relaxed);
+                    let mut slot = self.error.lock();
+                    if slot.is_none() {
+                        *slot = Some(e);
+                    }
+                    break;
+                }
+            }
+        }
+        if !local.is_empty() {
+            self.results.lock().extend(local);
+        }
+    }
+
+    fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        self.failed.store(true, Ordering::Relaxed);
+        let mut slot = self.panic.lock();
+        if slot.is_none() {
+            *slot = Some(payload);
+        }
+    }
+}
+
+fn helper_job<T, F>(group: &TaskGroup<T>, run: &F)
+where
+    T: Send,
+    F: Fn(usize) -> pd_common::Result<T> + Sync,
+{
+    if let Err(payload) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        group.work(run);
+    })) {
+        group.record_panic(payload);
+    }
+    let mut remaining = group.remaining.lock();
+    *remaining -= 1;
+    group.done.notify_all();
+}
+
+/// Run `n_tasks` tasks on the process-wide pool, returning the results in
+/// task order (see [`WorkerPool::run_tasks`]).
 pub fn run_tasks<T, F>(threads: usize, n_tasks: usize, run: F) -> pd_common::Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> pd_common::Result<T> + Sync,
 {
-    let threads = threads.max(1).min(n_tasks.max(1));
-    if threads <= 1 || n_tasks <= 1 {
-        return (0..n_tasks).map(&run).collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let failed = AtomicBool::new(false);
-    let worker = || -> pd_common::Result<Vec<(usize, T)>> {
-        let mut out = Vec::new();
-        loop {
-            if failed.load(Ordering::Relaxed) {
-                break;
-            }
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n_tasks {
-                break;
-            }
-            match run(i) {
-                Ok(t) => out.push((i, t)),
-                Err(e) => {
-                    failed.store(true, Ordering::Relaxed);
-                    return Err(e);
-                }
-            }
-        }
-        Ok(out)
-    };
-
-    let buckets: Vec<pd_common::Result<Vec<(usize, T)>>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads).map(|_| scope.spawn(worker)).collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
-            .collect()
-    });
-
-    let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
-    for bucket in buckets {
-        for (i, t) in bucket? {
-            slots[i] = Some(t);
-        }
-    }
-    Ok(slots.into_iter().map(|s| s.expect("every task index was claimed exactly once")).collect())
+    WorkerPool::global().run_tasks(threads, n_tasks, run)
 }
 
 #[cfg(test)]
@@ -131,5 +431,59 @@ mod tests {
     #[test]
     fn available_threads_is_positive() {
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn env_knob_parses_positive_integers_only() {
+        assert_eq!(threads_from_env(Some("2")), 2);
+        assert_eq!(threads_from_env(Some(" 16 ")), 16);
+        assert_eq!(threads_from_env(Some("0")), available_threads());
+        assert_eq!(threads_from_env(Some("banana")), available_threads());
+        assert_eq!(threads_from_env(None), available_threads());
+    }
+
+    #[test]
+    fn pool_workers_persist_across_calls() {
+        let pool = WorkerPool::new(0);
+        pool.run_tasks(4, 64, Ok).unwrap();
+        let after_first = pool.worker_count();
+        assert_eq!(after_first, 3, "threads-1 helpers (the caller participates)");
+        for _ in 0..10 {
+            pool.run_tasks(4, 64, Ok).unwrap();
+        }
+        assert_eq!(pool.worker_count(), after_first, "no re-spawn on later queries");
+        pool.run_tasks(8, 64, Ok).unwrap();
+        assert_eq!(pool.worker_count(), 7, "the pool grows on demand");
+    }
+
+    #[test]
+    fn nested_fan_out_does_not_deadlock() {
+        // Shards on the outside, chunks on the inside, all on one shared
+        // pool that is smaller than the total helper demand.
+        let pool = WorkerPool::new(2);
+        let out = pool
+            .run_tasks(4, 8, |outer| {
+                let inner = pool.run_tasks(4, 16, |i| Ok(outer * 100 + i))?;
+                Ok(inner.iter().sum::<usize>())
+            })
+            .unwrap();
+        let expect: Vec<usize> = (0..8).map(|o| (0..16).map(|i| o * 100 + i).sum()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = WorkerPool::new(0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pool.run_tasks(4, 100, |i| {
+                if i == 50 {
+                    panic!("task exploded");
+                }
+                Ok(i)
+            });
+        }));
+        assert!(result.is_err(), "the task panic must surface");
+        // The pool must still be usable afterwards.
+        assert_eq!(pool.run_tasks(4, 10, Ok).unwrap().len(), 10);
     }
 }

@@ -5,7 +5,7 @@
 //! failures reproduce exactly.
 
 use pd_common::rng::Rng;
-use pd_common::{DataType, Row, Schema, Value};
+use pd_common::{DataType, FloatSum, Row, Schema, Value};
 use pd_core::exec::AggState;
 use pd_core::partition::partition;
 use pd_core::skip::{ChunkActivity, SkipAnalysis};
@@ -131,10 +131,10 @@ fn agg_states_merge_associatively() {
                 vec![
                     AggState::Count(1),
                     AggState::SumInt(v),
-                    AggState::SumFloat(v as f64 * 0.5),
+                    AggState::SumFloat(Box::new(FloatSum::from(v as f64 * 0.5))),
                     AggState::Min(Some(Value::Int(v))),
                     AggState::Max(Some(Value::Int(v))),
-                    AggState::Avg { sum: v as f64, count: 1 },
+                    AggState::Avg { sum: Box::new(FloatSum::from(v as f64)), count: 1 },
                 ]
             })
             .collect();

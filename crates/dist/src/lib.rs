@@ -3,23 +3,42 @@
 //! PowerDrill parallelizes a query over many machines by splitting the data
 //! into shards, running the *same* group-by plan on every shard, and
 //! merging the mergeable group states up a computation tree. This crate
-//! models that single-datacenter setup in-process:
+//! models that single-datacenter setup in-process. The mapping to the
+//! paper's §4 serving tree:
 //!
-//! - [`Cluster`] — `shards` independent [`pd_core::DataStore`]s, each with
-//!   its own caches, answering queries via partial execution + merge
-//!   (exactly the [`pd_core::execute_partial`] /
-//!   [`pd_core::PartialResult`] contract the §4 tree relies on);
-//! - [`LoadModel`] — the paper's "heavily loaded or blocked" servers:
-//!   per-subquery random delays, ridden out by issuing the query to a
-//!   replica as well ([`ClusterConfig::replication`]);
-//! - [`TreeShape`] — fanout/depth arithmetic for the computation tree;
+//! | paper §4                          | here                                  |
+//! |-----------------------------------|---------------------------------------|
+//! | X data partitions on leaf servers | [`Cluster`]'s shards: independent [`pd_core::DataStore`]s over contiguous row ranges |
+//! | the query sent to all machines, executed concurrently | one task per shard on the shared [`pd_core::scheduler`] worker pool |
+//! | partial results merged up the tree | the driver's fixed-shard-order fold of [`pd_core::PartialResult`]s (+ [`TreeShape`]'s fanout/depth latency arithmetic) |
+//! | "take the answer arriving first" replication | [`ClusterConfig::replication`]: min of two seeded delay draws; a killed primary ([`FailureModel`]) fails over to its peer |
+//! | reuse of previously computed answers | [`shard_cache`]: the root caches each shard's partial, keyed by normalized restriction + group-by |
+//!
+//! Because every [`pd_core::AggState`] merges associatively (float sums
+//! are exact superaccumulators), the concurrent fan-out is *bit-identical*
+//! to the single-store engine at every shard count, thread count and cache
+//! configuration — the property the top-level distributed equivalence
+//! matrix (`tests/engine_equivalence.rs`) asserts exhaustively.
+//!
+//! Modules:
+//!
+//! - [`cluster`] — shards, concurrent fan-out, replication/failover, load
+//!   and failure models;
+//! - [`shard_cache`] — the root-side cache of per-shard partial results;
 //! - [`workload`] — drill-down click streams shaped like the §6 production
 //!   traffic, and [`run_production`] to replay them and report the
 //!   skipped / cached / scanned split and Figure 5's latency-vs-disk-bytes
 //!   relation.
+//!
+//! Not modeled yet (next step on the roadmap): a real process split — the
+//! shards live in the driver's address space, so the RPC boundary, its
+//! serialization costs and partial-failure modes are still latency models
+//! rather than code paths.
 
 pub mod cluster;
+pub mod shard_cache;
 pub mod workload;
 
-pub use cluster::{Cluster, ClusterConfig, LoadModel, QueryOutcome, TreeShape};
+pub use cluster::{Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome, TreeShape};
+pub use shard_cache::{query_signature, ShardCache, ShardEntry};
 pub use workload::{run_production, Click, DrillDownWorkload, ProductionReport, WorkloadSpec};

@@ -1,0 +1,180 @@
+//! Shard-level result caching for the §4 serving tree.
+//!
+//! §6 observes that drill-down traffic is dominated by *re-asked*
+//! subqueries: a mouse click refreshes many charts, and every chart except
+//! the one being filtered re-issues a query the tree has answered before.
+//! The chunk-result cache (§6, [`pd_core::ResultCache`]) exploits this per
+//! fully-active chunk *inside* one shard; this module adds the distributed
+//! counterpart: the root of the computation tree remembers each shard's
+//! **merged partial result** keyed by a normalized query signature, so a
+//! repeated subquery skips the shard entirely — no scan, no merge work, no
+//! round trip in a real deployment.
+//!
+//! Two properties make this safe:
+//!
+//! - partials are *pre-finalize* states ([`pd_core::PartialResult`]), so
+//!   the signature deliberately excludes `HAVING` / `ORDER BY` / `LIMIT` —
+//!   drill-down queries differing only in presentation share entries;
+//! - every [`pd_core::AggState`] merges associatively (float sums are
+//!   exact superaccumulators), so serving a cached partial is bit-identical
+//!   to rescanning the shard. Capacity eviction can therefore change
+//!   [`pd_core::ScanStats`], never results.
+//!
+//! Admission/eviction bookkeeping reuses [`pd_core::BoundedCache`] — the
+//! same FIFO-bounded machinery as the chunk-result cache.
+
+use pd_core::{BoundedCache, PartialResult, ScanStats};
+use pd_sql::{AnalyzedQuery, Expr};
+use std::sync::Arc;
+
+/// Normalized cache signature of an analyzed query: everything that
+/// affects the *partial* (table, keys, aggregates, row restriction, sketch
+/// size) and nothing that only affects finalization.
+pub fn query_signature(analyzed: &AnalyzedQuery, sketch_m: usize) -> String {
+    format!(
+        "{}|keys:{}|aggs:{}|where:{}|m:{}",
+        analyzed.table.as_deref().unwrap_or(""),
+        analyzed.keys.iter().map(Expr::canonical).collect::<Vec<_>>().join(","),
+        analyzed.aggs.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(","),
+        analyzed.filter.as_ref().map(Expr::canonical).unwrap_or_default(),
+        sketch_m,
+    )
+}
+
+/// One shard's cached contribution to a query.
+pub struct ShardEntry {
+    /// The shard's mergeable group states.
+    pub partial: PartialResult,
+    /// Shard shape at computation time, for hit-side stats synthesis.
+    rows_total: u64,
+    chunks_total: usize,
+}
+
+impl ShardEntry {
+    pub fn new(partial: PartialResult, stats: &ScanStats) -> ShardEntry {
+        ShardEntry { partial, rows_total: stats.rows_total, chunks_total: stats.chunks_total }
+    }
+
+    /// The stats a cache hit reports: every row of the shard was served
+    /// from a cached result — nothing scanned, nothing read from disk.
+    pub fn cached_stats(&self) -> ScanStats {
+        ScanStats {
+            chunks_total: self.chunks_total,
+            chunks_cached: self.chunks_total,
+            rows_total: self.rows_total,
+            rows_cached: self.rows_total,
+            ..Default::default()
+        }
+    }
+}
+
+/// The root-side cache of per-shard partial results.
+pub struct ShardCache {
+    entries: BoundedCache<(String, usize), Arc<ShardEntry>>,
+}
+
+impl ShardCache {
+    /// Cache at most `capacity` (signature, shard) partials.
+    pub fn new(capacity: usize) -> ShardCache {
+        ShardCache { entries: BoundedCache::new(capacity) }
+    }
+
+    pub fn get(&self, signature: &str, shard: usize) -> Option<Arc<ShardEntry>> {
+        self.entries.get(&(signature.to_owned(), shard))
+    }
+
+    pub fn put(&self, signature: &str, shard: usize, entry: Arc<ShardEntry>) {
+        self.entries.put((signature.to_owned(), shard), entry);
+    }
+
+    /// Invalidate everything — required whenever a shard's store is
+    /// rebuilt, since cached partials refer to the old data.
+    pub fn invalidate(&self) {
+        self.entries.clear();
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        self.entries.stats()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_sql::{analyze, parse_query};
+
+    fn signature(sql: &str) -> String {
+        query_signature(&analyze(&parse_query(sql).unwrap()).unwrap(), 4096)
+    }
+
+    #[test]
+    fn signature_ignores_presentation_clauses() {
+        let base = signature("SELECT country, COUNT(*) c FROM logs GROUP BY country");
+        assert_eq!(
+            base,
+            signature(
+                "SELECT country, COUNT(*) c FROM logs GROUP BY country ORDER BY c DESC LIMIT 5"
+            ),
+            "ORDER BY / LIMIT do not change the partial"
+        );
+        assert_eq!(
+            base,
+            signature("SELECT country, COUNT(*) c FROM logs GROUP BY country HAVING c > 3"),
+            "HAVING is applied at finalize time"
+        );
+    }
+
+    #[test]
+    fn signature_distinguishes_restrictions_and_shapes() {
+        let base = signature("SELECT country, COUNT(*) c FROM logs GROUP BY country");
+        for other in [
+            "SELECT country, COUNT(*) c FROM logs WHERE country = 'DE' GROUP BY country",
+            "SELECT table_name, COUNT(*) c FROM logs GROUP BY table_name",
+            "SELECT country, COUNT(*) c, SUM(timestamp) s FROM logs GROUP BY country",
+        ] {
+            assert_ne!(base, signature(other), "{other}");
+        }
+    }
+
+    #[test]
+    fn entries_are_per_shard() {
+        let cache = ShardCache::new(8);
+        let entry = Arc::new(ShardEntry::new(PartialResult::default(), &ScanStats::default()));
+        cache.put("sig", 0, entry);
+        assert!(cache.get("sig", 0).is_some());
+        assert!(cache.get("sig", 1).is_none());
+        cache.invalidate();
+        assert!(cache.get("sig", 0).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_stats_report_everything_as_cached() {
+        let stats = ScanStats {
+            chunks_total: 7,
+            chunks_scanned: 5,
+            chunks_skipped: 2,
+            rows_total: 700,
+            rows_scanned: 500,
+            rows_skipped: 200,
+            ..Default::default()
+        };
+        let entry = ShardEntry::new(PartialResult::default(), &stats);
+        let hit = entry.cached_stats();
+        assert_eq!(hit.rows_total, 700);
+        assert_eq!(hit.rows_cached, 700);
+        assert_eq!(hit.rows_scanned, 0);
+        assert_eq!(hit.chunks_cached, 7);
+        assert_eq!(hit.disk_bytes, 0);
+    }
+}

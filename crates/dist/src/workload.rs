@@ -156,6 +156,8 @@ pub struct QueryRecord {
     pub sql: String,
     pub stats: ScanStats,
     pub latency: Duration,
+    /// Shards served from the shard-level result cache.
+    pub shard_cache_hits: usize,
 }
 
 /// Aggregated replay results: the §6 production statistics.
@@ -186,6 +188,11 @@ impl ProductionReport {
     /// Percent of rows actually scanned (paper: 2.66%).
     pub fn scanned_percent(&self) -> f64 {
         100.0 * self.totals().scanned_fraction()
+    }
+
+    /// Total shard subqueries answered from the shard-level result cache.
+    pub fn shard_cache_hits(&self) -> usize {
+        self.queries.iter().map(|q| q.shard_cache_hits).sum()
     }
 
     /// Fraction of queries that touched no (modeled) disk (paper: >70%).
@@ -226,6 +233,7 @@ pub fn run_production(cluster: &Cluster, workload: &DrillDownWorkload) -> Result
                 sql: sql.clone(),
                 stats: outcome.stats,
                 latency: outcome.latency,
+                shard_cache_hits: outcome.shard_cache_hits,
             });
         }
     }
@@ -280,5 +288,45 @@ mod tests {
         let total = report.skipped_percent() + report.cached_percent() + report.scanned_percent();
         assert!((total - 100.0).abs() < 1e-6, "shares sum to 100: {total}");
         assert!(!report.figure5_buckets().is_empty());
+    }
+
+    #[test]
+    fn drilldown_workload_hits_shard_cache_with_unchanged_results() {
+        // The acceptance property of the shard-level cache: a drill-down
+        // replay records cache hits, and every query's result is
+        // bit-identical to the same replay with the cache disabled.
+        let table = generate_logs(&LogsSpec::scaled(2_500));
+        let mut build = BuildOptions::production(&["country", "table_name"]);
+        if let Some(spec) = &mut build.partition {
+            spec.max_chunk_rows = 200;
+        }
+        let cached = Cluster::build(
+            &table,
+            &ClusterConfig { shards: 3, build: build.clone(), ..Default::default() },
+        )
+        .unwrap();
+        let uncached = Cluster::build(
+            &table,
+            &ClusterConfig { shards: 3, shard_cache: 0, build, ..Default::default() },
+        )
+        .unwrap();
+        let workload = DrillDownWorkload::generate(
+            &table,
+            &WorkloadSpec { clicks: 6, queries_per_click: 8, max_drill_depth: 3, seed: 11 },
+        )
+        .unwrap();
+        let mut hits = 0;
+        for click in &workload.clicks {
+            for sql in &click.queries {
+                let a = cached.query(sql).unwrap();
+                let b = uncached.query(sql).unwrap();
+                assert_eq!(a.result, b.result, "shard cache changed a result: {sql}");
+                hits += a.shard_cache_hits;
+            }
+        }
+        assert!(hits > 0, "the drill-down pattern must re-surface cached shard partials");
+        let (cache_hits, _) = cached.shard_cache_stats();
+        assert_eq!(hits as u64, cache_hits);
+        assert_eq!(uncached.shard_cache_stats(), (0, 0));
     }
 }

@@ -1,0 +1,162 @@
+//! Seeded-PRNG property tests for the shard-level result cache:
+//!
+//! 1. re-issuing an identical query hits every shard's cached partial and
+//!    returns bit-identical results;
+//! 2. a table rebuild invalidates the cache (no stale answers);
+//! 3. capacity eviction can change `ScanStats`, never results.
+
+use pd_common::rng::Rng;
+use pd_common::{DataType, Row, Schema, Value};
+use pd_core::BuildOptions;
+use pd_data::Table;
+use pd_dist::{Cluster, ClusterConfig};
+
+/// A random table shaped like the equivalence-suite tables: two string
+/// dimensions, an int and a float measure.
+fn random_table(rng: &mut Rng, rows: usize) -> Table {
+    let schema = Schema::of(&[
+        ("k", DataType::Str),
+        ("g", DataType::Str),
+        ("n", DataType::Int),
+        ("x", DataType::Float),
+    ]);
+    let mut table = Table::new(schema);
+    for _ in 0..rows {
+        table
+            .push_row(Row(vec![
+                Value::from(["red", "green", "blue", "grey"][rng.range_usize(0, 4)]),
+                Value::from(format!("g{:02}", rng.range_usize(0, 10))),
+                Value::Int(rng.range_i64_inclusive(-40, 40)),
+                Value::Float(rng.range_i64_inclusive(-8, 8) as f64 * 0.25),
+            ]))
+            .unwrap();
+    }
+    table
+}
+
+/// A random drill-down-shaped query over that schema.
+fn random_query(rng: &mut Rng) -> String {
+    let key = *rng.pick(&["k", "g"]);
+    let agg = *rng.pick(&[
+        "COUNT(*) as c",
+        "COUNT(*) as c, SUM(n) as s",
+        "COUNT(*) as c, SUM(x) as s",
+        "COUNT(*) as c, MIN(n) as mn, MAX(n) as mx",
+    ]);
+    let filter = match rng.range_usize(0, 4) {
+        0 => String::new(),
+        1 => " WHERE k = 'red'".to_owned(),
+        2 => format!(" WHERE g = 'g{:02}'", rng.range_usize(0, 10)),
+        _ => " WHERE n > 0".to_owned(),
+    };
+    format!("SELECT {key}, {agg} FROM data{filter} GROUP BY {key} ORDER BY c DESC LIMIT 10")
+}
+
+fn cluster(table: &Table, shards: usize, shard_cache: usize) -> Cluster {
+    Cluster::build(
+        table,
+        &ClusterConfig { shards, shard_cache, build: BuildOptions::basic(), ..Default::default() },
+    )
+    .unwrap()
+}
+
+#[test]
+fn identical_queries_hit_every_shard_partial() {
+    let mut rng = Rng::seed_from_u64(0x05ca_1e01);
+    for case in 0..12 {
+        let rows = rng.range_usize(40, 200);
+        let table = random_table(&mut rng, rows);
+        let shards = rng.range_usize(1, 5);
+        let cluster = cluster(&table, shards, 64);
+        let sql = random_query(&mut rng);
+        let cold = cluster.query(&sql).unwrap();
+        assert_eq!(cold.shard_cache_hits, 0, "case {case}: first execution computes");
+        for repeat in 0..3 {
+            let warm = cluster.query(&sql).unwrap();
+            assert_eq!(
+                warm.shard_cache_hits,
+                cluster.shard_count(),
+                "case {case} repeat {repeat}: every shard hits"
+            );
+            assert_eq!(warm.result, cold.result, "case {case}: hits are bit-identical");
+            assert_eq!(warm.stats.rows_cached, warm.stats.rows_total);
+            assert_eq!(warm.stats.disk_bytes, 0, "cached partials touch no modeled disk");
+        }
+        let (hits, misses) = cluster.shard_cache_stats();
+        assert_eq!(hits, 3 * cluster.shard_count() as u64, "case {case}");
+        assert_eq!(misses, cluster.shard_count() as u64, "case {case}");
+    }
+}
+
+#[test]
+fn table_rebuild_invalidates_cached_partials() {
+    let mut rng = Rng::seed_from_u64(0x05ca_1e02);
+    for case in 0..8 {
+        let before = random_table(&mut rng, 120);
+        let after = random_table(&mut rng, 97); // different data AND row count
+        let mut cluster = cluster(&before, 3, 64);
+        let sql = "SELECT k, COUNT(*) as c FROM data GROUP BY k ORDER BY c DESC";
+        let old = cluster.query(sql).unwrap();
+        assert_eq!(cluster.query(sql).unwrap().shard_cache_hits, 3, "warm before rebuild");
+
+        cluster.rebuild(&after).unwrap();
+        let fresh = cluster.query(sql).unwrap();
+        assert_eq!(fresh.shard_cache_hits, 0, "case {case}: rebuild must invalidate");
+        assert_eq!(fresh.stats.rows_total, 97, "stats reflect the new table");
+        // The reference answer on a never-cached cluster over the new data.
+        let reference = self::cluster(&after, 3, 0).query(sql).unwrap();
+        assert_eq!(fresh.result, reference.result, "case {case}: no stale partials");
+        // Row counts differ (120 vs 97), so total counts must differ too:
+        // the old cached answer cannot leak through.
+        let total = |r: &pd_core::QueryResult| -> i64 {
+            r.rows.iter().map(|row| row.0[1].as_int().unwrap()).sum()
+        };
+        assert_ne!(total(&fresh.result), total(&old.result), "case {case}");
+    }
+}
+
+#[test]
+fn capacity_eviction_changes_stats_never_results() {
+    let mut rng = Rng::seed_from_u64(0x05ca_1e03);
+    for case in 0..6 {
+        let table = random_table(&mut rng, 150);
+        let shards = 3;
+        // Three clusters over the same data: roomy cache, starved cache
+        // (2 entries < one query's 3 shard partials — permanent thrash),
+        // and no cache at all.
+        let roomy = cluster(&table, shards, 256);
+        let starved = cluster(&table, shards, 2);
+        let none = cluster(&table, shards, 0);
+        // A query mix with repeats, so the roomy cache actually hits.
+        let queries: Vec<String> = (0..6).map(|_| random_query(&mut rng)).collect();
+        let mut order: Vec<usize> = (0..18).map(|i| i % queries.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.range_usize(0, i + 1));
+        }
+        for (step, &q) in order.iter().enumerate() {
+            let sql = &queries[q];
+            let a = roomy.query(sql).unwrap();
+            let b = starved.query(sql).unwrap();
+            let c = none.query(sql).unwrap();
+            assert_eq!(a.result, b.result, "case {case} step {step}: eviction changed a result");
+            assert_eq!(a.result, c.result, "case {case} step {step}: caching changed a result");
+            for outcome in [&a, &b, &c] {
+                assert_eq!(
+                    outcome.stats.rows_skipped
+                        + outcome.stats.rows_cached
+                        + outcome.stats.rows_scanned,
+                    outcome.stats.rows_total,
+                    "case {case} step {step}"
+                );
+            }
+        }
+        let (roomy_hits, _) = roomy.shard_cache_stats();
+        let (starved_hits, _) = starved.shard_cache_stats();
+        assert!(roomy_hits > 0, "case {case}: the roomy cache must see repeats");
+        assert!(
+            starved_hits <= roomy_hits,
+            "case {case}: starving the cache cannot add hits ({starved_hits} > {roomy_hits})"
+        );
+        assert_eq!(none.shard_cache_stats(), (0, 0));
+    }
+}

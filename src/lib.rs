@@ -37,11 +37,14 @@
 //! Queries run **morsel-parallel across chunks**: the paper's per-chunk
 //! independence (immutable chunks, mergeable group states — the same
 //! property §4 exploits across machines) is exploited across cores by a
-//! `std::thread::scope` worker pool. The [`ExecContext::threads`] knob
-//! controls the worker count — `0` (the default) uses the machine's
+//! persistent worker pool shared by every query (and by [`Cluster`]'s
+//! shard fan-out). The [`ExecContext::threads`] knob controls the worker
+//! count — `0` (the default) reads `EXEC_THREADS` or uses the machine's
 //! available parallelism, `1` forces sequential execution — and results
-//! are **bit-identical** at every setting because per-chunk partials are
-//! folded in chunk order.
+//! are **bit-identical** at every setting: per-chunk partials are folded
+//! in chunk order and float sums use an exact superaccumulator
+//! ([`common::FloatSum`]), so even `SUM`/`AVG` over floats do not depend
+//! on how rows were chunked, threaded or sharded.
 //!
 //! The per-chunk inner loops are dictionary-code kernels
 //! (`pd_core::kernels`): `WHERE` clauses tabulate into packed bit-vector

@@ -1,0 +1,151 @@
+//! Failure-injection tests for the §4 serving tree: a shard primary
+//! killed mid-fan-out must fail over to its replication peer with the
+//! *same* result (the replica holds the same partition), record the
+//! failover in the outcome, and — because failures are drawn from seeded
+//! per-(query, shard) streams — reproduce exactly across runs.
+
+use powerdrill::data::{generate_logs, LogsSpec};
+use powerdrill::dist::{Cluster, ClusterConfig, FailureModel};
+use powerdrill::{BuildOptions, DataStore};
+
+const QUERIES: [&str; 4] = [
+    "SELECT country, COUNT(*) c FROM logs GROUP BY country ORDER BY c DESC LIMIT 10",
+    "SELECT table_name, COUNT(*) c, SUM(latency) s FROM logs GROUP BY table_name ORDER BY c DESC",
+    "SELECT country, AVG(latency) a FROM logs WHERE latency > 200.0 GROUP BY country ORDER BY country ASC",
+    "SELECT COUNT(*) FROM logs WHERE country = 'DE'",
+];
+
+fn build_options() -> BuildOptions {
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = 150;
+    }
+    build
+}
+
+fn cluster_with(failures: FailureModel, replication: bool, shards: usize) -> Cluster {
+    let table = generate_logs(&LogsSpec::scaled(1_200));
+    Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards,
+            replication,
+            failures,
+            build: build_options(),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn killed_primary_fails_over_with_identical_results() {
+    let table = generate_logs(&LogsSpec::scaled(1_200));
+    let build = build_options();
+    let store = DataStore::build(&table, &build).unwrap();
+    for kill in [vec![1usize], vec![0, 2], vec![0, 1, 2, 3]] {
+        let failures = FailureModel { kill_primaries: kill.clone(), ..Default::default() };
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards: 4,
+                replication: true,
+                failures,
+                shard_cache: 0,
+                build: build.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for sql in QUERIES {
+            let (expect, _) = powerdrill::query(&store, sql).unwrap();
+            let outcome = cluster.query(sql).unwrap();
+            assert_eq!(outcome.result, expect, "kill={kill:?}: {sql}");
+            assert_eq!(
+                outcome.failovers, kill,
+                "every killed primary must be recorded as a failover: {sql}"
+            );
+            assert_eq!(
+                outcome.stats.rows_skipped + outcome.stats.rows_cached + outcome.stats.rows_scanned,
+                outcome.stats.rows_total,
+                "failover must not corrupt the accounting: {sql}"
+            );
+        }
+    }
+}
+
+#[test]
+fn failure_without_replication_fails_the_query() {
+    let cluster = cluster_with(
+        FailureModel { kill_primaries: vec![2], ..Default::default() },
+        false, // no replica to fall back to
+        4,
+    );
+    let err = cluster.query(QUERIES[0]).unwrap_err();
+    let message = err.to_string();
+    assert!(
+        message.contains("shard 2") && message.contains("replication"),
+        "the error names the failed shard: {message}"
+    );
+    // A query untouched by failures... does not exist: the kill switch is
+    // per shard, so every query dies. Dropping the kill restores service.
+    let healthy = cluster_with(FailureModel::default(), false, 4);
+    assert!(healthy.query(QUERIES[0]).is_ok());
+}
+
+#[test]
+fn seeded_failures_are_reproducible_and_correct() {
+    let table = generate_logs(&LogsSpec::scaled(1_200));
+    let build = build_options();
+    let store = DataStore::build(&table, &build).unwrap();
+    let run = || -> Vec<Vec<usize>> {
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards: 4,
+                replication: true,
+                failures: FailureModel {
+                    primary_fail_probability: 0.4,
+                    seed: 0xdead,
+                    ..Default::default()
+                },
+                shard_cache: 0,
+                build: build.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut failover_log = Vec::new();
+        for round in 0..5 {
+            for sql in QUERIES {
+                let (expect, _) = powerdrill::query(&store, sql).unwrap();
+                let outcome = cluster.query(sql).unwrap();
+                assert_eq!(outcome.result, expect, "round {round}: {sql}");
+                failover_log.push(outcome.failovers);
+            }
+        }
+        failover_log
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b, "equal seeds and query sequences must fail over identically");
+    let total: usize = a.iter().map(Vec::len).sum();
+    assert!(total > 0, "probability 0.4 over 80 subqueries must inject failures");
+    assert!(total < 80, "...but not kill everything");
+}
+
+#[test]
+fn failover_and_shard_cache_compose() {
+    // A cached shard partial needs no server at all, so a killed primary
+    // behind a cache hit is a non-event; a miss fails over as usual.
+    let cluster =
+        cluster_with(FailureModel { kill_primaries: vec![0], ..Default::default() }, true, 3);
+    let sql = QUERIES[0];
+    let cold = cluster.query(sql).unwrap();
+    assert_eq!(cold.failovers, vec![0]);
+    assert_eq!(cold.shard_cache_hits, 0);
+    let warm = cluster.query(sql).unwrap();
+    assert_eq!(warm.result, cold.result);
+    assert_eq!(warm.shard_cache_hits, 3);
+    assert!(warm.failovers.is_empty(), "cache hits never touch the (dead) primary");
+}

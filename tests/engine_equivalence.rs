@@ -223,3 +223,120 @@ fn parallel_execution_matches_across_build_variants() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Distributed equivalence matrix
+// ---------------------------------------------------------------------------
+
+/// Concurrent shard fan-out must be **bit-identical** to the single-store
+/// engine for every matrix query, at every tested combination of
+/// {shard count} × {threads} × {shard cache on/off} × {replication on/off}.
+///
+/// This is a strong claim: different shard counts re-partition, reorder
+/// and re-chunk the rows, so even float `SUM`/`AVG` must not depend on
+/// summation order — which holds because aggregation states accumulate
+/// into exact superaccumulators (`pd_common::FloatSum`). `assert_eq!`,
+/// never approximate comparison.
+#[test]
+fn distributed_matrix_is_bit_identical_to_single_store() {
+    use powerdrill::data::{generate_logs, LogsSpec};
+    use powerdrill::dist::{Cluster, ClusterConfig};
+
+    let table = generate_logs(&LogsSpec::scaled(1_500));
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = 150;
+    }
+    let store = DataStore::build(&table, &build).unwrap();
+    let sequential = ExecContext { threads: 1, ..Default::default() };
+    let expected: Vec<QueryResult> = MATRIX_QUERIES
+        .iter()
+        .map(|sql| {
+            let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+            execute(&store, &analyzed, &sequential).unwrap().0
+        })
+        .collect();
+
+    for shards in [1usize, 2, 4, 8] {
+        for threads in [1usize, 2, 4] {
+            for shard_cache in [0usize, 128] {
+                for replication in [false, true] {
+                    let config = ClusterConfig {
+                        shards,
+                        replication,
+                        threads,
+                        shard_cache,
+                        build: build.clone(),
+                        ..Default::default()
+                    };
+                    let cluster = Cluster::build(&table, &config).unwrap();
+                    let label = format!(
+                        "shards={shards} threads={threads} cache={shard_cache} \
+                         replication={replication}"
+                    );
+                    // Two passes: the second exercises warm cache paths
+                    // (shard-level and chunk-level) and must change
+                    // nothing but the scan statistics.
+                    for pass in 0..2 {
+                        for (sql, want) in MATRIX_QUERIES.iter().zip(&expected) {
+                            let outcome = cluster.query(sql).unwrap();
+                            assert_eq!(outcome.result, *want, "{label} pass={pass}: {sql}");
+                            assert_eq!(
+                                outcome.stats.rows_skipped
+                                    + outcome.stats.rows_cached
+                                    + outcome.stats.rows_scanned,
+                                outcome.stats.rows_total,
+                                "row accounting must balance: {label}: {sql}"
+                            );
+                            assert_eq!(outcome.subquery_latencies.len(), cluster.shard_count());
+                            if shard_cache > 0 && pass == 1 {
+                                assert_eq!(
+                                    outcome.shard_cache_hits,
+                                    cluster.shard_count(),
+                                    "warm pass must reuse every shard partial: {label}: {sql}"
+                                );
+                            }
+                            if shard_cache == 0 {
+                                assert_eq!(outcome.shard_cache_hits, 0, "{label}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same bit-identity, via the seeded random query generator: sharded
+/// execution tracks the row-at-a-time baseline exactly where the
+/// single-store engine does.
+#[test]
+fn distributed_random_queries_match_single_store_bitwise() {
+    use powerdrill::dist::{Cluster, ClusterConfig};
+
+    let mut rng = Rng::seed_from_u64(0x5eed_0004);
+    for case in 0..12 {
+        let table = random_table(&mut rng);
+        let sql = random_query(&mut rng);
+        let store =
+            DataStore::build(&table, &BuildOptions::reordered(PartitionSpec::new(&["k", "g"], 8)))
+                .unwrap();
+        let analyzed = analyze(&parse_query(&sql).unwrap()).unwrap();
+        let (want, _) =
+            execute(&store, &analyzed, &ExecContext { threads: 1, ..Default::default() }).unwrap();
+        let shards = [1, 3, 5][case % 3];
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards,
+                build: BuildOptions::reordered(PartitionSpec::new(&["k", "g"], 8)),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for pass in 0..2 {
+            let outcome = cluster.query(&sql).unwrap();
+            assert_eq!(outcome.result, want, "case {case} shards={shards} pass={pass}: {sql}");
+        }
+    }
+}
