@@ -1,0 +1,117 @@
+//! The cost of the real §4 process split: in-process shard fan-out vs the
+//! RPC computation tree (spawned `pd-dist-worker` leaves + merge servers).
+//!
+//! Four numbers per shard count:
+//!
+//! 1. **tree build** — spawning, loading and wiring the worker processes
+//!    (the price the in-process cluster never pays);
+//! 2. **cold query** — first execution over each transport;
+//! 3. **warm query** — steady state, where the RPC gap isolates the wire:
+//!    serialization + framing + socket hops + worker queueing;
+//! 4. **wire bytes** — the serialized size of one shard's partial result,
+//!    the §4 payload that flows up the tree.
+//!
+//! The worker binary is resolved like the library does (explicit env /
+//! sibling of the executable); when it is not built the RPC columns are
+//! skipped with a note instead of failing — `cargo bench` does not build
+//! other crates' bin targets.
+
+use pd_bench::{fmt_duration, logs_table, measure, measure_n, TablePrinter};
+use pd_common::wire;
+use pd_core::{execute_partial, BuildOptions, DataStore, ExecContext};
+use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape};
+use pd_sql::{analyze, parse_query};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn main() {
+    let rows = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let table = logs_table(rows);
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = (rows / 64).clamp(500, 50_000);
+    }
+    let sql = "SELECT country, COUNT(*) as c, SUM(latency) as s FROM logs \
+               WHERE table_name = 'Searches' GROUP BY country ORDER BY c DESC LIMIT 10";
+
+    // One shard's partial on the wire: what every tree edge carries (an
+    // unfiltered two-aggregate group-by, so every group key, count and
+    // float-sum superaccumulator is present).
+    let store = DataStore::build(&table, &build).expect("store");
+    let unfiltered = "SELECT country, COUNT(*) as c, SUM(latency) as s FROM logs GROUP BY country";
+    let analyzed = analyze(&parse_query(unfiltered).expect("parse")).expect("analyze");
+    let ctx = ExecContext { threads: 1, ..Default::default() };
+    let (partial, _) = execute_partial(&store, &analyzed, &ctx).expect("partial");
+    let wire_bytes = wire::to_bytes(&partial).len();
+    println!(
+        "dataset: {rows} rows; one shard's {}-group partial on the wire: {wire_bytes} bytes",
+        partial.groups.len()
+    );
+
+    let worker_available = pd_dist::process::resolve_worker_bin(None).is_ok();
+    if !worker_available {
+        println!(
+            "NOTE: pd-dist-worker binary not found (build it or set PD_DIST_WORKER_BIN); \
+             skipping the rpc columns"
+        );
+    }
+
+    println!("\n=== transport comparison (fanout 4 ⇒ merge servers appear at 8 shards) ===");
+    let printer = TablePrinter::new(
+        &["shards", "transport", "tree build", "cold query", "warm query"],
+        &[6, 10, 10, 10, 10],
+    );
+    for shards in [1usize, 4, 8] {
+        for transport_name in ["in-process", "rpc"] {
+            if transport_name == "rpc" && !worker_available {
+                continue;
+            }
+            let transport = match transport_name {
+                "in-process" => Transport::InProcess,
+                _ => Transport::Rpc(RpcConfig {
+                    worker_bin: None,
+                    deadline: Duration::from_secs(60),
+                }),
+            };
+            let config = ClusterConfig {
+                shards,
+                replication: false,
+                shard_cache: 0,
+                threads: 1,
+                tree: TreeShape { fanout: 4 },
+                build: build.clone(),
+                transport,
+                ..Default::default()
+            };
+            let mut cluster = None;
+            let build_time = measure(|| {
+                cluster = Some(Cluster::build(&table, &config).expect("cluster"));
+            });
+            let cluster = cluster.expect("built");
+            let cold = measure(|| {
+                black_box(cluster.query(sql).expect("query"));
+            });
+            let warm = measure_n(5, || {
+                black_box(cluster.query(sql).expect("query"));
+            });
+            if std::env::var("PD_BENCH_JSON").is_ok() {
+                println!(
+                    "{{\"group\":\"rpc_tree\",\"bench\":\"shards{shards}/{transport_name}\",\
+                     \"ns_per_iter\":{}}}",
+                    warm.as_nanos()
+                );
+            }
+            printer.row(&[
+                shards.to_string(),
+                transport_name.to_string(),
+                fmt_duration(build_time),
+                fmt_duration(cold),
+                fmt_duration(warm),
+            ]);
+        }
+    }
+    println!(
+        "\nThe warm-query gap between the transports is the RPC boundary itself: \
+         serialization, framing, socket hops and worker queueing."
+    );
+}

@@ -21,7 +21,7 @@
 //! together yield NaN), which are order-independent as well.
 
 /// Number of 64-bit limbs in the accumulator.
-const LIMBS: usize = 34;
+pub const LIMBS: usize = 34;
 
 /// An exact sum of `f64` values; merge order never changes the result.
 #[derive(Clone, PartialEq)]
@@ -164,6 +164,20 @@ impl FloatSum {
         !self.nan && !self.pos_inf && !self.neg_inf && self.limbs.iter().all(|&l| l == 0)
     }
 
+    /// The raw accumulator state: `(limbs, nan, pos_inf, neg_inf)`. The
+    /// limb array *is* the exact sum (two's complement, little endian), so
+    /// shipping it over the wire preserves the sum bit-identically.
+    pub fn raw_parts(&self) -> (&[u64; LIMBS], bool, bool, bool) {
+        (&self.limbs, self.nan, self.pos_inf, self.neg_inf)
+    }
+
+    /// Rebuild an accumulator from [`FloatSum::raw_parts`] output. Every
+    /// limb/flag combination is a valid accumulator state, so decoding
+    /// cannot produce an inconsistent sum.
+    pub fn from_raw_parts(limbs: [u64; LIMBS], nan: bool, pos_inf: bool, neg_inf: bool) -> Self {
+        FloatSum { limbs, nan, pos_inf, neg_inf }
+    }
+
     fn add_magnitude(&mut self, limb: usize, lo: u64, hi: u64) {
         let (v, c) = self.limbs[limb].overflowing_add(lo);
         self.limbs[limb] = v;
@@ -196,6 +210,32 @@ impl FloatSum {
             borrow = b;
             idx += 1;
         }
+    }
+}
+
+/// Wire format: the fixed 34-limb array followed by the three non-finite
+/// flags. Fixed width (no length prefix): the limb count is part of the
+/// format, so a truncated frame fails in [`crate::wire::Reader::take`].
+impl crate::wire::Encode for FloatSum {
+    fn encode(&self, out: &mut Vec<u8>) {
+        for limb in &self.limbs {
+            out.extend_from_slice(&limb.to_le_bytes());
+        }
+        out.push(u8::from(self.nan) | u8::from(self.pos_inf) << 1 | u8::from(self.neg_inf) << 2);
+    }
+}
+
+impl crate::wire::Decode for FloatSum {
+    fn decode(r: &mut crate::wire::Reader<'_>) -> crate::Result<FloatSum> {
+        let mut limbs = [0u64; LIMBS];
+        for limb in &mut limbs {
+            *limb = r.u64()?;
+        }
+        let flags = r.u8()?;
+        if flags > 0b111 {
+            return Err(crate::Error::Data(format!("wire: invalid FloatSum flags {flags:#x}")));
+        }
+        Ok(FloatSum::from_raw_parts(limbs, flags & 1 != 0, flags & 2 != 0, flags & 4 != 0))
     }
 }
 

@@ -19,7 +19,10 @@
 //!   matter how rows are chunked, threaded or sharded,
 //! - [`sync`] — poison-free `Mutex` / `RwLock` wrappers over `std::sync`,
 //! - [`rng`] — a small seedable xoshiro256++ PRNG for generators and load
-//!   models (the workspace carries no external dependencies).
+//!   models (the workspace carries no external dependencies),
+//! - [`wire`] — the dependency-free binary wire format ([`wire::Encode`] /
+//!   [`wire::Decode`]) that carries partial results, queries and control
+//!   messages across the §4 process boundary bit-identically.
 
 pub mod bitvec;
 pub mod error;
@@ -31,6 +34,7 @@ pub mod row;
 pub mod schema;
 pub mod sync;
 pub mod value;
+pub mod wire;
 
 pub use bitvec::BitVec;
 pub use error::{Error, Result};

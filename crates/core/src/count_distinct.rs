@@ -76,6 +76,24 @@ impl KmvSketch {
             self.offer(h);
         }
     }
+
+    /// The retained hashes in ascending order — the sketch's entire state
+    /// besides `m`, which is how it crosses the §4 process boundary.
+    pub fn hashes(&self) -> impl ExactSizeIterator<Item = u64> + '_ {
+        self.smallest.iter().copied()
+    }
+
+    /// Rebuild a sketch from its threshold and retained hashes. Offers
+    /// re-apply the `m`-smallest invariant, so even a corrupt hash list
+    /// decodes into a *valid* sketch (possibly of different estimate —
+    /// corruption detection is the frame layer's job).
+    pub fn from_parts(m: usize, hashes: impl IntoIterator<Item = u64>) -> KmvSketch {
+        let mut sketch = KmvSketch::new(m);
+        for h in hashes {
+            sketch.offer(h);
+        }
+        sketch
+    }
 }
 
 impl HeapSize for KmvSketch {

@@ -203,7 +203,12 @@ impl AggState {
 }
 
 /// Mergeable per-group states: the §4 unit of tree aggregation.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is map equality over bit-exact states ([`Value`] compares
+/// floats with `total_cmp`, so NaN payloads and signed zeros distinguish)
+/// — the relation the wire round-trip property (`decode(encode(x)) == x`)
+/// is asserted under.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PartialResult {
     pub groups: FxHashMap<Box<[Value]>, Vec<AggState>>,
 }

@@ -35,6 +35,7 @@
 //! - [`memory`] — the per-query memory reports behind Tables 1–4.
 
 pub mod cache;
+pub mod codec;
 pub mod column;
 pub mod count_distinct;
 pub mod datastore;

@@ -1,0 +1,213 @@
+//! Wire-format properties for the types that cross the §4 process
+//! boundary:
+//!
+//! 1. **Round trip**: `decode(encode(x)) == x` *bit-identically* for
+//!    [`PartialResult`] / [`FloatSum`] over seeded-PRNG-generated
+//!    aggregates — including NaN (with odd payloads), ±0.0 and subnormal
+//!    floats, empty group-by maps and empty (global-aggregation) keys.
+//!    Equality is exact: `Value` compares floats with `total_cmp` and
+//!    `FloatSum` compares raw limbs, so a single flipped bit fails.
+//! 2. **Corruption safety**: decoding truncated or bit-flipped frames
+//!    returns `Err` (or a different valid value, for flips that land in
+//!    payload bytes) — never a panic, never an absurd allocation.
+
+use pd_common::rng::Rng;
+use pd_common::wire::{from_bytes, to_bytes};
+use pd_common::{FloatSum, Value};
+use pd_core::{AggState, KmvSketch, PartialResult};
+
+/// Floats that stress every encoding edge: NaNs with payloads, signed
+/// zeros, subnormals, the extremes, and ordinary values.
+fn random_float(rng: &mut Rng) -> f64 {
+    match rng.range_usize(0, 10) {
+        0 => f64::NAN,
+        1 => f64::from_bits(f64::NAN.to_bits() | 0xbeef), // NaN payload
+        2 => -0.0,
+        3 => 0.0,
+        4 => 5e-324,  // smallest subnormal
+        5 => -2e-308, // subnormal-range
+        6 => f64::INFINITY,
+        7 => f64::NEG_INFINITY,
+        8 => f64::MAX,
+        _ => rng.range_i64_inclusive(-1_000_000, 1_000_000) as f64 * 0.001,
+    }
+}
+
+fn random_value(rng: &mut Rng) -> Value {
+    match rng.range_usize(0, 4) {
+        0 => Value::Null,
+        1 => Value::Int(rng.range_i64_inclusive(i64::MIN / 2, i64::MAX / 2)),
+        2 => Value::Float(random_float(rng)),
+        _ => {
+            let len = rng.range_usize(0, 12);
+            Value::Str((0..len).map(|_| char::from(rng.range_usize(32, 127) as u8)).collect())
+        }
+    }
+}
+
+fn random_float_sum(rng: &mut Rng) -> FloatSum {
+    let mut sum = FloatSum::new();
+    for _ in 0..rng.range_usize(0, 20) {
+        sum.add(random_float(rng));
+    }
+    sum
+}
+
+fn random_agg_state(rng: &mut Rng, kind: usize) -> AggState {
+    match kind {
+        0 => AggState::Count(rng.next_u64()),
+        1 => AggState::SumInt(rng.range_i64_inclusive(i64::MIN / 2, i64::MAX / 2)),
+        2 => AggState::SumFloat(Box::new(random_float_sum(rng))),
+        3 => AggState::Min(if rng.chance(0.2) { None } else { Some(random_value(rng)) }),
+        4 => AggState::Max(if rng.chance(0.2) { None } else { Some(random_value(rng)) }),
+        5 => AggState::Avg {
+            sum: Box::new(random_float_sum(rng)),
+            count: rng.range_u64(0, 1_000_000),
+        },
+        _ => {
+            let m = rng.range_usize(1, 64);
+            AggState::Distinct(KmvSketch::from_parts(
+                m,
+                (0..rng.range_usize(0, 100)).map(|_| rng.next_u64()),
+            ))
+        }
+    }
+}
+
+/// A random partial with a consistent aggregate-column shape across
+/// groups, like real execution produces. Empty group maps and empty
+/// (global-aggregation) keys are both in-distribution.
+fn random_partial(rng: &mut Rng) -> PartialResult {
+    let mut partial = PartialResult::default();
+    let agg_kinds: Vec<usize> = (0..rng.range_usize(1, 5)).map(|_| rng.range_usize(0, 7)).collect();
+    let key_width = rng.range_usize(0, 3);
+    let groups = if rng.chance(0.1) { 0 } else { rng.range_usize(1, 30) };
+    for _ in 0..groups {
+        let key: Box<[Value]> = (0..key_width).map(|_| random_value(rng)).collect();
+        let states: Vec<AggState> =
+            agg_kinds.iter().map(|&kind| random_agg_state(rng, kind)).collect();
+        partial.groups.insert(key, states);
+        if key_width == 0 {
+            break; // only one global group can exist
+        }
+    }
+    partial
+}
+
+#[test]
+fn float_sums_round_trip_bit_identically() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c001);
+    for _ in 0..500 {
+        let sum = random_float_sum(&mut rng);
+        let back: FloatSum = from_bytes(&to_bytes(&sum)).unwrap();
+        // Struct equality is limb-level — bit identity of the exact sum —
+        // and the rounded values must agree bit-for-bit too.
+        assert_eq!(back, sum);
+        assert_eq!(back.value().to_bits(), sum.value().to_bits());
+    }
+}
+
+#[test]
+fn partial_results_round_trip_bit_identically() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c002);
+    for case in 0..200 {
+        let partial = random_partial(&mut rng);
+        let back: PartialResult = from_bytes(&to_bytes(&partial)).unwrap();
+        assert_eq!(back, partial, "case {case}");
+    }
+}
+
+#[test]
+fn merging_decoded_partials_equals_merging_originals() {
+    // The wire sits *between* merge levels, so decode∘encode must commute
+    // with the associative fold.
+    let mut rng = Rng::seed_from_u64(0xc0de_c003);
+    for _ in 0..50 {
+        let a = random_partial(&mut rng);
+        let mut b = random_partial(&mut rng);
+        // Align b's aggregate shapes with a's where keys could collide:
+        // mismatched shapes are a merge error by contract, not a wire
+        // concern. Clear collisions instead.
+        for key in a.groups.keys() {
+            b.groups.remove(key);
+        }
+        let mut direct = a.clone();
+        direct.merge(b.clone()).unwrap();
+        let mut via_wire: PartialResult = from_bytes(&to_bytes(&a)).unwrap();
+        via_wire.merge(from_bytes(&to_bytes(&b)).unwrap()).unwrap();
+        assert_eq!(via_wire, direct);
+    }
+}
+
+#[test]
+fn truncated_frames_always_error() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c004);
+    for _ in 0..20 {
+        let partial = random_partial(&mut rng);
+        let bytes = to_bytes(&partial);
+        // Every strict prefix must fail: the length prefixes demand more
+        // bytes than remain, and `from_bytes` rejects trailing slack.
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes::<PartialResult>(&bytes[..cut]).is_err(),
+                "decode of {cut}/{} bytes must fail",
+                bytes.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupt_frames_never_panic() {
+    // Seeded fuzz over valid encodings: flip bytes anywhere in the frame.
+    // The decode may legitimately succeed with a *different* value (a flip
+    // in an f64's mantissa is just another float), but it must return —
+    // no panics, no unwinds, no huge allocations. A panic would abort the
+    // test process, so plain execution is the assertion.
+    let mut rng = Rng::seed_from_u64(0xc0de_c005);
+    let mut decoded_ok = 0u32;
+    let mut decode_err = 0u32;
+    for _ in 0..40 {
+        let partial = random_partial(&mut rng);
+        let bytes = to_bytes(&partial);
+        if bytes.is_empty() {
+            continue;
+        }
+        for _ in 0..50 {
+            let mut corrupt = bytes.clone();
+            let flips = rng.range_usize(1, 4);
+            for _ in 0..flips {
+                let pos = rng.range_usize(0, corrupt.len());
+                corrupt[pos] ^= 1 << rng.range_usize(0, 8);
+            }
+            match from_bytes::<PartialResult>(&corrupt) {
+                Ok(_) => decoded_ok += 1,
+                Err(_) => decode_err += 1,
+            }
+        }
+    }
+    // Sanity: the fuzz actually exercised both outcomes.
+    assert!(decode_err > 0, "bit flips that corrupt structure must error");
+    assert_eq!(decoded_ok + decode_err, 2_000, "every corruption was decoded exactly once");
+}
+
+#[test]
+fn float_sum_corruptions_never_panic() {
+    let mut rng = Rng::seed_from_u64(0xc0de_c006);
+    let sum = random_float_sum(&mut rng);
+    let bytes = to_bytes(&sum);
+    for cut in 0..bytes.len() {
+        assert!(from_bytes::<FloatSum>(&bytes[..cut]).is_err());
+    }
+    for _ in 0..500 {
+        let mut corrupt = bytes.clone();
+        let pos = rng.range_usize(0, corrupt.len());
+        corrupt[pos] ^= 0xff;
+        // Flips in limb bytes decode to a different (valid) sum; flips in
+        // the flag byte beyond bit 2 must error.
+        let _ = from_bytes::<FloatSum>(&corrupt);
+    }
+    let mut bad_flags = bytes.clone();
+    *bad_flags.last_mut().unwrap() = 0xf0;
+    assert!(from_bytes::<FloatSum>(&bad_flags).is_err());
+}

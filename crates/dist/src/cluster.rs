@@ -26,17 +26,55 @@
 //! so every outcome — delays, failures, failovers — is reproducible
 //! regardless of worker scheduling.
 
+use crate::process::{resolve_worker_bin, ProcessTree, TreeConfig};
 use crate::shard_cache::{query_signature, ShardCache, ShardEntry};
 use pd_common::rng::Rng;
+use pd_common::sync::Mutex;
 use pd_core::{
     execute_partial, finalize, scheduler, BuildOptions, CachePolicy, DataStore, ExecContext,
     PartialResult, QueryResult, ResultCache, ScanStats, TieredCache,
 };
 use pd_data::Table;
 use pd_sql::{analyze, parse_query, AnalyzedQuery};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Where the computation tree's nodes live.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub enum Transport {
+    /// Every shard executes inside the driver's address space (tasks on
+    /// the shared worker pool); merge "hops" are latency arithmetic.
+    #[default]
+    InProcess,
+    /// The paper's real topology: one `pd-dist-worker` OS process per
+    /// shard replica plus spawned merge servers, talking the
+    /// [`crate::rpc`] protocol over Unix sockets. Subquery latencies and
+    /// queue delays in [`QueryOutcome`] are then *measured*, not drawn
+    /// from the seeded [`LoadModel`], and a worker missing its
+    /// [`RpcConfig::deadline`] fails over exactly like a [`FailureModel`]
+    /// kill.
+    Rpc(RpcConfig),
+}
+
+/// Settings for the [`Transport::Rpc`] process split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcConfig {
+    /// Path to the `pd-dist-worker` binary; `None` resolves via the
+    /// `PD_DIST_WORKER_BIN` environment variable or next to the current
+    /// executable.
+    pub worker_bin: Option<PathBuf>,
+    /// Per-hop deadline for leaf subqueries: a primary that does not
+    /// answer in time is failed over to its replica.
+    pub deadline: Duration,
+}
+
+impl Default for RpcConfig {
+    fn default() -> Self {
+        RpcConfig { worker_bin: None, deadline: Duration::from_secs(30) }
+    }
+}
 
 /// Shape of the §4 computation tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,7 +182,13 @@ pub struct ClusterConfig {
     /// (0 = `EXEC_THREADS` / available parallelism).
     pub threads: usize,
     /// Capacity (entries) of the shard-level result cache; 0 disables it.
+    /// In-process transport only: over RPC the root receives merged
+    /// *subtree* partials, so per-shard caching belongs to the workers'
+    /// own chunk-result caches.
     pub shard_cache: usize,
+    /// Where the computation tree runs: in the driver's address space or
+    /// split across worker processes.
+    pub transport: Transport,
 }
 
 impl Default for ClusterConfig {
@@ -159,6 +203,7 @@ impl Default for ClusterConfig {
             tree: TreeShape::default(),
             threads: 0,
             shard_cache: 1024,
+            transport: Transport::InProcess,
         }
     }
 }
@@ -171,13 +216,20 @@ struct Shard {
 
 /// The §4 single-datacenter model: X shards + a computation tree.
 pub struct Cluster {
+    /// In-process shards (empty under [`Transport::Rpc`]).
     shards: Vec<Shard>,
+    /// The live worker-process tree (RPC transport only).
+    tree: Option<ProcessTree>,
     config: ClusterConfig,
     shard_cache: Option<ShardCache>,
     /// Per-query sequence number: the deterministic axis of every load /
     /// failure draw (draws depend on (seed, query, shard, replica), never
     /// on worker scheduling).
     queries: AtomicU64,
+    /// Per-shard `(total queue delay, samples)` measured by worker
+    /// processes — the observation stream that replaces [`LoadModel`]
+    /// draws under the RPC transport.
+    observed_queue: Mutex<Vec<(Duration, u64)>>,
 }
 
 /// What one distributed query cost.
@@ -194,6 +246,11 @@ pub struct QueryOutcome {
     pub failovers: Vec<usize>,
     /// Shards served from the shard-level result cache.
     pub shard_cache_hits: usize,
+    /// Per-shard *measured* time the subquery spent queued inside worker
+    /// processes (leaf + every merge server above it). All zeros for the
+    /// in-process transport, whose queueing is invisible inside the shared
+    /// pool.
+    pub queue_delays: Vec<Duration>,
 }
 
 /// One shard's answer, as produced by a fan-out task. All shared-state
@@ -232,27 +289,55 @@ impl Cluster {
     /// clustering" of appended log records that the paper's partitioning
     /// benefits from.
     pub fn build(table: &Table, config: &ClusterConfig) -> pd_common::Result<Cluster> {
-        let shards = Self::build_shards(table, config)?;
+        let (shards, tree) = match &config.transport {
+            Transport::InProcess => (Self::build_shards(table, config)?, None),
+            Transport::Rpc(rpc) => (Vec::new(), Some(Self::build_tree(table, config, rpc)?)),
+        };
+        let shard_count = tree.as_ref().map_or(shards.len(), ProcessTree::shard_count);
         Ok(Cluster {
             shards,
-            shard_cache: (config.shard_cache > 0).then(|| ShardCache::new(config.shard_cache)),
+            tree,
+            // Per-shard caching over RPC is the workers' job (their
+            // chunk-result caches); the root only sees subtree merges.
+            shard_cache: (config.shard_cache > 0 && config.transport == Transport::InProcess)
+                .then(|| ShardCache::new(config.shard_cache)),
             config: config.clone(),
             queries: AtomicU64::new(0),
+            observed_queue: Mutex::new(vec![(Duration::ZERO, 0); shard_count]),
         })
     }
 
-    fn build_shards(table: &Table, config: &ClusterConfig) -> pd_common::Result<Vec<Shard>> {
+    /// How many shards `table` splits into under `config`.
+    fn split_count(table: &Table, config: &ClusterConfig) -> usize {
+        config.shards.clamp(1, table.len().max(1))
+    }
+
+    /// Shard `s`'s contiguous sub-table — the *same* row assignment for
+    /// both transports, so switching transports can never re-partition
+    /// the data.
+    fn shard_table(table: &Table, s: usize, shard_count: usize) -> pd_common::Result<Table> {
         let n = table.len();
-        let shard_count = config.shards.clamp(1, n.max(1));
+        let lo = n * s / shard_count;
+        let hi = n * (s + 1) / shard_count;
+        let mut sub = Table::new(table.schema().clone());
+        for r in lo..hi {
+            sub.push_row(table.row(r))?;
+        }
+        Ok(sub)
+    }
+
+    fn per_shard_budget(config: &ClusterConfig, shard_count: usize) -> usize {
+        (config.cache_budget / shard_count.max(1)).max(1 << 16)
+    }
+
+    fn build_shards(table: &Table, config: &ClusterConfig) -> pd_common::Result<Vec<Shard>> {
+        let shard_count = Self::split_count(table, config);
+        let per_shard_budget = Self::per_shard_budget(config, shard_count);
         let mut shards = Vec::with_capacity(shard_count);
-        let per_shard_budget = (config.cache_budget / shard_count).max(1 << 16);
         for s in 0..shard_count {
-            let lo = n * s / shard_count;
-            let hi = n * (s + 1) / shard_count;
-            let mut sub = Table::new(table.schema().clone());
-            for r in lo..hi {
-                sub.push_row(table.row(r))?;
-            }
+            // Build then drop each sub-table: the in-process path never
+            // holds more than one shard's row copy at a time.
+            let sub = Self::shard_table(table, s, shard_count)?;
             let store = DataStore::build(&sub, &config.build)?;
             let ctx = ExecContext {
                 sketch_m: 0,
@@ -269,19 +354,82 @@ impl Cluster {
         Ok(shards)
     }
 
+    /// Spawn the worker-process tree for the same shard split.
+    fn build_tree(
+        table: &Table,
+        config: &ClusterConfig,
+        rpc: &RpcConfig,
+    ) -> pd_common::Result<ProcessTree> {
+        let shard_count = Self::split_count(table, config);
+        let tree_config = TreeConfig {
+            worker_bin: resolve_worker_bin(rpc.worker_bin.as_deref())?,
+            deadline: rpc.deadline,
+            replication: config.replication,
+            fanout: config.tree.fanout,
+            threads: config.threads,
+            cache_budget_per_shard: Self::per_shard_budget(config, shard_count),
+        };
+        // Sub-tables are produced one at a time: each is shipped to its
+        // worker pair and dropped before the next is materialized.
+        ProcessTree::build(
+            shard_count,
+            |s| Self::shard_table(table, s, shard_count),
+            &config.build,
+            &tree_config,
+        )
+    }
+
     /// Re-import every shard from `table` (the §5 "table rebuild": new
     /// data, fresh per-shard caches) and invalidate the shard-result
-    /// cache, whose partials refer to the old stores.
+    /// cache, whose partials refer to the old stores. Over RPC the whole
+    /// worker tree is respawned — the old processes hold the old data.
     pub fn rebuild(&mut self, table: &Table) -> pd_common::Result<()> {
-        self.shards = Self::build_shards(table, &self.config)?;
+        match &self.config.transport {
+            Transport::InProcess => self.shards = Self::build_shards(table, &self.config)?,
+            Transport::Rpc(rpc) => {
+                // Drop (and kill) the old tree before spawning its successor.
+                self.tree = None;
+                self.tree = Some(Self::build_tree(table, &self.config, rpc)?);
+            }
+        }
         if let Some(cache) = &self.shard_cache {
             cache.invalidate();
         }
+        let shard_count = self.shard_count();
+        *self.observed_queue.lock() = vec![(Duration::ZERO, 0); shard_count];
         Ok(())
     }
 
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.tree.as_ref().map_or(self.shards.len(), ProcessTree::shard_count)
+    }
+
+    /// Mean measured queue delay per shard (RPC transport; all zeros
+    /// before any query, and always for in-process execution). This is the
+    /// observed counterpart of the seeded [`LoadModel`]: real per-process
+    /// queueing, reported up the tree by the workers themselves.
+    pub fn observed_queue_delays(&self) -> Vec<Duration> {
+        self.observed_queue
+            .lock()
+            .iter()
+            .map(|&(total, samples)| {
+                if samples == 0 {
+                    Duration::ZERO
+                } else {
+                    total / u32::try_from(samples).unwrap_or(u32::MAX)
+                }
+            })
+            .collect()
+    }
+
+    /// Test knob (RPC transport): make shard `shard`'s primary worker
+    /// sleep before every answer, so it misses its deadline and the §4
+    /// failover path runs against a *real* unresponsive process.
+    pub fn inject_worker_delay(&self, shard: usize, delay: Duration) -> pd_common::Result<()> {
+        let tree = self.tree.as_ref().ok_or_else(|| {
+            pd_common::Error::Data("worker delays require the rpc transport".into())
+        })?;
+        tree.delay_primary(shard, delay)
     }
 
     /// `(hits, misses)` of the shard-level result cache so far.
@@ -290,10 +438,15 @@ impl Cluster {
     }
 
     /// Run `sql` over every shard — concurrently — and merge the partial
-    /// results in fixed shard order.
+    /// results in fixed shard order. Under [`Transport::Rpc`] the fan-out,
+    /// merge levels and failover all happen across worker processes; the
+    /// result is bit-identical either way.
     pub fn query(&self, sql: &str) -> pd_common::Result<QueryOutcome> {
         let analyzed = analyze(&parse_query(sql)?)?;
         let qid = self.queries.fetch_add(1, Ordering::Relaxed);
+        if let Some(tree) = &self.tree {
+            return self.query_tree(tree, sql, qid, &analyzed);
+        }
         let signature = self.shard_cache.as_ref().map(|_| {
             let sketch_m = self.shards.first().map_or(4096, |s| s.ctx.sketch_m());
             query_signature(&analyzed, sketch_m)
@@ -349,7 +502,97 @@ impl Cluster {
         let latency = slowest + merge_overhead + finalize_started.elapsed();
         stats.elapsed = latency;
 
-        Ok(QueryOutcome { result, stats, latency, subquery_latencies, failovers, shard_cache_hits })
+        let queue_delays = vec![Duration::ZERO; subquery_latencies.len()];
+        Ok(QueryOutcome {
+            result,
+            stats,
+            latency,
+            subquery_latencies,
+            failovers,
+            shard_cache_hits,
+            queue_delays,
+        })
+    }
+
+    /// One distributed query over the worker-process tree: the driver is
+    /// the root — it fans out to the frontier (leaves or merge servers),
+    /// folds the answers associatively and finalizes. Failure injection
+    /// ([`FailureModel`]) decides *here* which primaries are dead for this
+    /// query; the kill list travels down so each leaf's parent skips the
+    /// primary — the same failover code a deadline expiry triggers.
+    fn query_tree(
+        &self,
+        tree: &ProcessTree,
+        sql: &str,
+        qid: u64,
+        analyzed: &AnalyzedQuery,
+    ) -> pd_common::Result<QueryOutcome> {
+        let shard_count = tree.shard_count();
+        let killed: Vec<u64> = (0..shard_count)
+            .filter(|&s| self.config.failures.primary_fails(qid, s))
+            .map(|s| s as u64)
+            .collect();
+        if !killed.is_empty() && !self.config.replication {
+            // Match the in-process contract: a killed primary without a
+            // replica fails the query, naming the shard.
+            let s = killed[0];
+            return Err(pd_common::Error::Data(format!(
+                "shard {s}: primary replica failed mid-query and replication is disabled"
+            )));
+        }
+
+        let fan_out_started = Instant::now();
+        let answer = tree.query(sql, killed)?;
+        // Measured end-to-end fan-out: leaf hops *and* every merge-server
+        // fold, response serialization and root-hop transport above them —
+        // time the per-shard reports (stamped by each leaf's immediate
+        // parent) cannot see at depth ≥ 2.
+        let fan_out_elapsed = fan_out_started.elapsed();
+
+        // Index the per-shard observations the tree reported up.
+        let mut subquery_latencies = vec![Duration::ZERO; shard_count];
+        let mut queue_delays = vec![Duration::ZERO; shard_count];
+        let mut failovers = Vec::new();
+        for report in &answer.reports {
+            let s = report.shard as usize;
+            if s >= shard_count {
+                return Err(pd_common::Error::Data(format!(
+                    "rpc: worker reported unknown shard {s}"
+                )));
+            }
+            subquery_latencies[s] = report.latency;
+            queue_delays[s] = report.queue;
+            if report.failover {
+                failovers.push(s);
+            }
+        }
+        failovers.sort_unstable();
+        {
+            let mut observed = self.observed_queue.lock();
+            for (slot, queued) in observed.iter_mut().zip(&queue_delays) {
+                slot.0 += *queued;
+                slot.1 += 1;
+            }
+        }
+
+        let finalize_started = Instant::now();
+        let mut stats = answer.stats;
+        let result = finalize(analyzed, answer.partial)?;
+        // Measured end-to-end: the whole fan-out (slowest subquery plus
+        // every real merge level above it), then the root's finalize. No
+        // modeled merge overhead anywhere.
+        let latency = fan_out_elapsed + finalize_started.elapsed();
+        stats.elapsed = latency;
+
+        Ok(QueryOutcome {
+            result,
+            stats,
+            latency,
+            subquery_latencies,
+            failovers,
+            shard_cache_hits: 0,
+            queue_delays,
+        })
     }
 
     /// One shard's subquery: shard-cache lookup, then primary execution

@@ -3,42 +3,53 @@
 //! PowerDrill parallelizes a query over many machines by splitting the data
 //! into shards, running the *same* group-by plan on every shard, and
 //! merging the mergeable group states up a computation tree. This crate
-//! models that single-datacenter setup in-process. The mapping to the
-//! paper's §4 serving tree:
+//! implements that single-datacenter setup — including, since the process
+//! split, the paper's *actual* topology: shard servers and merge servers
+//! as separate OS processes behind an RPC boundary. The mapping to §4:
 //!
 //! | paper §4                          | here                                  |
 //! |-----------------------------------|---------------------------------------|
-//! | X data partitions on leaf servers | [`Cluster`]'s shards: independent [`pd_core::DataStore`]s over contiguous row ranges |
-//! | the query sent to all machines, executed concurrently | one task per shard on the shared [`pd_core::scheduler`] worker pool |
-//! | partial results merged up the tree | the driver's fixed-shard-order fold of [`pd_core::PartialResult`]s (+ [`TreeShape`]'s fanout/depth latency arithmetic) |
-//! | "take the answer arriving first" replication | [`ClusterConfig::replication`]: min of two seeded delay draws; a killed primary ([`FailureModel`]) fails over to its peer |
-//! | reuse of previously computed answers | [`shard_cache`]: the root caches each shard's partial, keyed by normalized restriction + group-by |
+//! | X data partitions on leaf servers | [`Cluster`]'s shards: independent [`pd_core::DataStore`]s over contiguous row ranges — in-process, or imported by spawned `pd-dist-worker` processes ([`Transport::Rpc`]) |
+//! | the query sent to all machines, executed concurrently | in-process: one task per shard on the shared [`pd_core::scheduler`] pool; rpc: concurrent length-prefixed frames ([`rpc`]) over Unix sockets to worker processes |
+//! | partial results merged up the tree | real intermediate **merge servers** ([`worker`]): each owns a [`TreeShape`]-fanout subtree, folds child partials with the same associative merge, and reports per-shard observations up; the driver is the root |
+//! | "take the answer arriving first" replication | per-shard replica processes; a primary that is killed ([`FailureModel`]) **or misses its [`RpcConfig::deadline`]** fails over to the replica — both through the same code path, recorded in [`QueryOutcome::failovers`] |
+//! | servers being "temporarily slow" | in-process: seeded [`LoadModel`] draws; rpc: **measured** — workers funnel requests through one executor and report real queue delays ([`QueryOutcome::queue_delays`], [`Cluster::observed_queue_delays`]) |
+//! | reuse of previously computed answers | [`shard_cache`]: the root caches each shard's partial (in-process transport); over rpc, the workers' own chunk-result caches |
 //!
-//! Because every [`pd_core::AggState`] merges associatively (float sums
-//! are exact superaccumulators), the concurrent fan-out is *bit-identical*
-//! to the single-store engine at every shard count, thread count and cache
-//! configuration — the property the top-level distributed equivalence
-//! matrix (`tests/engine_equivalence.rs`) asserts exhaustively.
+//! Partial results, restrictions, group-by keys and float superaccumulator
+//! states cross the process boundary in the dependency-free
+//! [`pd_common::wire`] format, bit-identically — so the distributed
+//! equivalence matrix (`tests/engine_equivalence.rs`) asserts exact
+//! `assert_eq!` (floats included) against the single-store engine on *both*
+//! transports, at every shard count and tree depth, warm or cold, with or
+//! without failovers.
 //!
 //! Modules:
 //!
 //! - [`cluster`] — shards, concurrent fan-out, replication/failover, load
-//!   and failure models;
+//!   and failure models, and the [`Transport`] switch;
+//! - [`rpc`] — wire protocol: framed requests/responses, per-hop
+//!   deadlines, the shared child-querying/failover logic;
+//! - [`worker`] — the `pd-dist-worker` process: leaf server (`Load`) or
+//!   merge server (`Attach`), single-executor queue with measured delays;
+//! - [`process`] — driver-side tree construction: spawning, loading and
+//!   wiring worker processes, teardown on drop;
 //! - [`shard_cache`] — the root-side cache of per-shard partial results;
 //! - [`workload`] — drill-down click streams shaped like the §6 production
 //!   traffic, and [`run_production`] to replay them and report the
 //!   skipped / cached / scanned split and Figure 5's latency-vs-disk-bytes
 //!   relation.
-//!
-//! Not modeled yet (next step on the roadmap): a real process split — the
-//! shards live in the driver's address space, so the RPC boundary, its
-//! serialization costs and partial-failure modes are still latency models
-//! rather than code paths.
 
 pub mod cluster;
+pub mod process;
+pub mod rpc;
 pub mod shard_cache;
+pub mod worker;
 pub mod workload;
 
-pub use cluster::{Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome, TreeShape};
+pub use cluster::{
+    Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome, RpcConfig, Transport, TreeShape,
+};
+pub use process::ProcessTree;
 pub use shard_cache::{query_signature, ShardCache, ShardEntry};
 pub use workload::{run_production, Click, DrillDownWorkload, ProductionReport, WorkloadSpec};

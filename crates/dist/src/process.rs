@@ -1,0 +1,249 @@
+//! Driver-side management of the process-split computation tree.
+//!
+//! [`ProcessTree::build`] turns a sharded table into the paper's §4
+//! topology, for real: one `pd-dist-worker` OS process per shard replica
+//! (two per shard under replication — the "send the query to both machines
+//! holding a partition" pair), plus one process per intermediate merge
+//! server whenever the shard count exceeds the [`crate::TreeShape`]
+//! fanout. The driver itself is the root: it queries the frontier (the
+//! top-most tree level), folds the answers with the same associative
+//! merge every other level uses, and finalizes.
+//!
+//! Workers are spawned against Unix sockets in a private temp directory
+//! and torn down on [`Drop`]: a best-effort `Shutdown` request first, then
+//! `SIGKILL` — a wedged worker (the very failure mode the deadline path
+//! exists for) must not outlive its cluster.
+
+use crate::rpc::{
+    fan_out, AttachRequest, ChildHandle, ChildSpec, LoadRequest, QueryRequest, Request, Response,
+    RpcClient, SubtreeAnswer, LOAD_TIMEOUT, STARTUP_TIMEOUT,
+};
+use pd_common::{Error, Result};
+use pd_core::BuildOptions;
+use pd_data::Table;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Everything the tree builder needs beyond the shard tables.
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    pub worker_bin: PathBuf,
+    /// Per-hop deadline for leaf subqueries.
+    pub deadline: Duration,
+    /// Spawn a replica process per shard and fail primaries over to it.
+    pub replication: bool,
+    /// Children per merge server (the [`crate::TreeShape`] fanout).
+    pub fanout: usize,
+    /// Worker threads per leaf's chunk scan (0 = auto).
+    pub threads: usize,
+    /// Uncompressed-cache byte budget per shard.
+    pub cache_budget_per_shard: usize,
+}
+
+/// Locate the worker binary: an explicit path, the `PD_DIST_WORKER_BIN`
+/// environment variable, or `pd-dist-worker` next to the current
+/// executable (where cargo puts workspace binaries relative to test
+/// executables in `target/<profile>/deps/`).
+pub fn resolve_worker_bin(explicit: Option<&Path>) -> Result<PathBuf> {
+    if let Some(path) = explicit {
+        return Ok(path.to_path_buf());
+    }
+    if let Ok(path) = std::env::var("PD_DIST_WORKER_BIN") {
+        return Ok(PathBuf::from(path));
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        for dir in exe.ancestors().skip(1).take(3) {
+            let candidate = dir.join("pd-dist-worker");
+            if candidate.is_file() {
+                return Ok(candidate);
+            }
+        }
+    }
+    Err(Error::Data(
+        "rpc transport: cannot locate the pd-dist-worker binary \
+         (set RpcConfig::worker_bin or PD_DIST_WORKER_BIN, or build the \
+         `pd-dist-worker` bin target)"
+            .into(),
+    ))
+}
+
+/// A live computation tree of worker processes.
+pub struct ProcessTree {
+    dir: PathBuf,
+    processes: Vec<Child>,
+    /// All sockets ever handed out, for shutdown.
+    sockets: Vec<PathBuf>,
+    /// The top tree level, queried (and failed over) by the driver root.
+    frontier: Vec<ChildHandle>,
+    /// Per shard: the primary's socket, for control messages (delay
+    /// injection) that must reach a specific process.
+    leaf_primaries: Vec<PathBuf>,
+    deadline: Duration,
+}
+
+static TREE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl ProcessTree {
+    /// Spawn and wire the whole tree: load one worker (pair) per shard
+    /// (sub-tables come from `shard_table` one at a time and are dropped
+    /// after shipping), then stack merge servers until one level fits the
+    /// fanout.
+    pub fn build(
+        shard_count: usize,
+        shard_table: impl Fn(usize) -> Result<Table>,
+        build: &BuildOptions,
+        config: &TreeConfig,
+    ) -> Result<Self> {
+        let dir = std::env::temp_dir().join(format!(
+            "pd-tree-{}-{}",
+            std::process::id(),
+            TREE_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let mut tree = ProcessTree {
+            dir,
+            processes: Vec::new(),
+            sockets: Vec::new(),
+            frontier: Vec::new(),
+            leaf_primaries: Vec::new(),
+            deadline: config.deadline,
+        };
+        tree.populate(shard_count, shard_table, build, config)?;
+        Ok(tree)
+    }
+
+    fn populate(
+        &mut self,
+        shard_count: usize,
+        shard_table: impl Fn(usize) -> Result<Table>,
+        build: &BuildOptions,
+        config: &TreeConfig,
+    ) -> Result<()> {
+        // Leaves: one loaded worker per shard replica.
+        let mut level: Vec<ChildSpec> = Vec::with_capacity(shard_count);
+        for shard in 0..shard_count {
+            let table = shard_table(shard)?;
+            let load = Request::Load(Box::new(LoadRequest {
+                shard: shard as u64,
+                schema: table.schema().clone(),
+                rows: table.iter_rows().collect(),
+                build: build.clone(),
+                threads: config.threads as u64,
+                cache_budget: config.cache_budget_per_shard as u64,
+            }));
+            drop(table);
+            let primary = self.spawn_worker(config, &format!("l{shard}p.sock"), &load)?;
+            self.leaf_primaries.push(primary.clone());
+            let replica = if config.replication {
+                Some(self.spawn_worker(config, &format!("l{shard}r.sock"), &load)?)
+            } else {
+                None
+            };
+            level.push(ChildSpec::Leaf {
+                shard: shard as u64,
+                primary: path_str(&primary)?,
+                replica: replica.as_deref().map(path_str).transpose()?,
+            });
+        }
+
+        // Merge levels: while one server cannot own the whole level, group
+        // it into subtrees of `fanout` children each.
+        let fanout = config.fanout.max(2);
+        let mut height = 1u64;
+        while level.len() > fanout {
+            let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
+            for (i, group) in level.chunks(fanout).enumerate() {
+                let attach = Request::Attach(AttachRequest { children: group.to_vec() });
+                let socket = self.spawn_worker(config, &format!("m{height}_{i}.sock"), &attach)?;
+                next.push(ChildSpec::Node { addr: path_str(&socket)?, height });
+            }
+            level = next;
+            height += 1;
+        }
+        self.frontier = level.into_iter().map(ChildHandle::new).collect();
+        Ok(())
+    }
+
+    /// Spawn one worker on `name`, wait for it to answer `Ping`, then send
+    /// its role-assignment request (`Load` / `Attach`).
+    fn spawn_worker(&mut self, config: &TreeConfig, name: &str, role: &Request) -> Result<PathBuf> {
+        let socket = self.dir.join(name);
+        let child = Command::new(&config.worker_bin)
+            .arg("--socket")
+            .arg(&socket)
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .map_err(|e| Error::Data(format!("spawn {}: {e}", config.worker_bin.display())))?;
+        self.processes.push(child);
+        self.sockets.push(socket.clone());
+        let mut client = RpcClient::new(&socket);
+        client.connect_with_retry(STARTUP_TIMEOUT)?;
+        expect_ack(client.call(&Request::Ping, STARTUP_TIMEOUT)?, "ping")?;
+        expect_ack(client.call(role, LOAD_TIMEOUT)?, "role assignment")?;
+        Ok(socket)
+    }
+
+    pub fn shard_count(&self) -> usize {
+        self.leaf_primaries.len()
+    }
+
+    /// Run one query through the tree: fan out to the frontier, fold in
+    /// frontier order. `killed` carries this query's [`crate::FailureModel`]
+    /// primary kills down to whichever level parents each leaf.
+    pub fn query(&self, sql: &str, killed: Vec<u64>) -> Result<SubtreeAnswer> {
+        let request = QueryRequest { sql: sql.to_owned(), deadline: self.deadline, killed };
+        fan_out(&self.frontier, &request)
+    }
+
+    /// Test knob: make shard `shard`'s primary worker sleep before every
+    /// answer — the controlled way to drive a deadline expiry.
+    pub fn delay_primary(&self, shard: usize, delay: Duration) -> Result<()> {
+        let socket = self.leaf_primaries.get(shard).ok_or_else(|| {
+            Error::Data(format!("no such shard {shard} (have {})", self.leaf_primaries.len()))
+        })?;
+        let mut client = RpcClient::new(socket);
+        expect_ack(
+            client.call(&Request::Delay { micros: delay.as_micros() as u64 }, STARTUP_TIMEOUT)?,
+            "delay",
+        )
+    }
+}
+
+impl Drop for ProcessTree {
+    fn drop(&mut self) {
+        // Polite first: a Shutdown request lets workers exit cleanly.
+        for socket in &self.sockets {
+            let mut client = RpcClient::new(socket);
+            let _ = client.call(&Request::Shutdown, Duration::from_millis(200));
+        }
+        // Then force: a wedged worker must not leak past its cluster.
+        for process in &mut self.processes {
+            let _ = process.kill();
+            let _ = process.wait();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn path_str(path: &Path) -> Result<String> {
+    path.to_str()
+        .map(str::to_owned)
+        .ok_or_else(|| Error::Data(format!("non-utf8 socket path {}", path.display())))
+}
+
+fn expect_ack(response: Response, what: &str) -> Result<()> {
+    match response {
+        Response::Ok => Ok(()),
+        Response::Err(message) => Err(Error::Data(format!("worker {what} failed: {message}"))),
+        Response::Malformed(message) => {
+            Err(Error::Data(format!("worker rejected the {what} frame: {message}")))
+        }
+        Response::Answer(_) => {
+            Err(Error::Data(format!("worker sent an answer to a {what} request")))
+        }
+    }
+}

@@ -1,0 +1,695 @@
+//! The RPC boundary of the §4 computation tree.
+//!
+//! Frames are length-prefixed (`u32` little endian, capped at
+//! [`MAX_FRAME_BYTES`]) over `std::os::unix::net::UnixStream` on loopback —
+//! the single-datacenter transport the paper's serving tree assumes. The
+//! payload is the dependency-free [`pd_common::wire`] encoding, so a
+//! partial result arriving at a merge server is bit-identical to the one
+//! the leaf computed.
+//!
+//! **Deadlines.** Every query request carries a per-hop deadline. The
+//! *caller* enforces it with socket read timeouts: a worker that does not
+//! answer in time is indistinguishable from a dead one, and the caller
+//! fails over to the shard's replica — the same code path a
+//! [`crate::FailureModel`] kill takes (a killed primary is simply never
+//! contacted). Expiry therefore feeds the existing failover machinery
+//! instead of a simulated kill. A parent calling a *merge server* scales
+//! its timeout by the subtree height (the child may itself wait out a
+//! grandchild's deadline and retry a replica), so one slow leaf cannot
+//! cascade into spurious subtree failures.
+//!
+//! **Corruption.** Both sides decode frames with [`pd_common::wire`]'s
+//! checked readers: truncated or corrupt frames produce `Err`, which the
+//! failover path treats exactly like a timeout.
+
+use pd_common::wire::{self, Decode, Encode, Reader};
+use pd_common::{Error, Result, Row, Schema};
+use pd_core::{BuildOptions, PartialResult, ScanStats};
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Upper bound on a single frame. A shard's partial result for an
+/// interactive group-by is kilobytes; a shard *load* (rows + recipe) is
+/// megabytes. A length prefix beyond this is corruption, not data.
+pub const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// How long a parent waits for a freshly spawned worker to bind its
+/// socket and answer the first `Ping`.
+pub const STARTUP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Timeout for shard loading (table shipping + import on the worker).
+pub const LOAD_TIMEOUT: Duration = Duration::from_secs(120);
+
+// --- messages --------------------------------------------------------------
+
+/// Driver/parent → worker messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness / startup handshake. Answered inline, never queued.
+    Ping,
+    /// Become a leaf: import the shipped rows into a [`pd_core::DataStore`].
+    Load(Box<LoadRequest>),
+    /// Become a merge server owning a subtree.
+    Attach(AttachRequest),
+    /// Execute / fan out one query.
+    Query(QueryRequest),
+    /// Test knob: delay every subsequent query answer by this much (how
+    /// the deadline-expiry failover suite makes a worker miss deadlines).
+    Delay { micros: u64 },
+    /// Exit the worker process (acknowledged first).
+    Shutdown,
+}
+
+/// Everything a worker needs to become shard `shard`'s server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRequest {
+    pub shard: u64,
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+    pub build: BuildOptions,
+    /// Worker thread count for chunk scans (0 = auto, as in-process).
+    pub threads: u64,
+    /// This shard's share of the uncompressed-cache byte budget.
+    pub cache_budget: u64,
+}
+
+/// The subtree a merge server owns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttachRequest {
+    pub children: Vec<ChildSpec>,
+}
+
+/// One child of a tree node — a leaf shard (with its replica, the §4
+/// "answer-first-wins" pair) or a deeper merge server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChildSpec {
+    Leaf {
+        shard: u64,
+        primary: String,
+        replica: Option<String>,
+    },
+    /// `height` = levels of tree below this node (≥ 1), used to scale the
+    /// caller's timeout.
+    Node {
+        addr: String,
+        height: u64,
+    },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    pub sql: String,
+    /// Per-hop deadline for leaf answers.
+    pub deadline: Duration,
+    /// Shards whose primaries the [`crate::FailureModel`] killed for this
+    /// query: their parents skip the primary and go straight to the
+    /// replica, the same path a deadline expiry takes.
+    pub killed: Vec<u64>,
+}
+
+/// Per-shard observation, reported up the tree: how long the subquery took
+/// as measured by the shard's *parent* (wall clock, including transport
+/// and queueing), the time the request spent queued in worker processes,
+/// and whether the primary had to be failed over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardReport {
+    pub shard: u64,
+    pub latency: Duration,
+    pub queue: Duration,
+    pub failover: bool,
+}
+
+/// A subtree's merged answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubtreeAnswer {
+    pub partial: PartialResult,
+    pub stats: ScanStats,
+    pub reports: Vec<ShardReport>,
+}
+
+impl SubtreeAnswer {
+    fn empty() -> SubtreeAnswer {
+        SubtreeAnswer {
+            partial: PartialResult::default(),
+            stats: ScanStats::default(),
+            reports: Vec::new(),
+        }
+    }
+}
+
+/// Worker → parent messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Ack for `Ping` / `Load` / `Attach` / `Delay` / `Shutdown`.
+    Ok,
+    Answer(Box<SubtreeAnswer>),
+    /// Application-level failure: the worker is alive and decoded the
+    /// request, but executing it failed (SQL error, missing role, ...).
+    /// Deterministic — a replica would only repeat it, so no failover.
+    Err(String),
+    /// Transport-level NAK: the worker could not *decode* the request
+    /// frame (truncation/corruption on the wire). For a leaf primary this
+    /// is treated like a timeout — the caller re-encodes fresh bytes for
+    /// the replica.
+    Malformed(String),
+}
+
+// --- message codecs --------------------------------------------------------
+
+const REQ_PING: u8 = 0;
+const REQ_LOAD: u8 = 1;
+const REQ_ATTACH: u8 = 2;
+const REQ_QUERY: u8 = 3;
+const REQ_DELAY: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+impl Encode for Request {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Request::Ping => out.push(REQ_PING),
+            Request::Load(load) => {
+                out.push(REQ_LOAD);
+                load.shard.encode(out);
+                load.schema.encode(out);
+                load.rows.encode(out);
+                load.build.encode(out);
+                load.threads.encode(out);
+                load.cache_budget.encode(out);
+            }
+            Request::Attach(attach) => {
+                out.push(REQ_ATTACH);
+                attach.children.encode(out);
+            }
+            Request::Query(query) => {
+                out.push(REQ_QUERY);
+                query.sql.encode(out);
+                query.deadline.encode(out);
+                query.killed.encode(out);
+            }
+            Request::Delay { micros } => {
+                out.push(REQ_DELAY);
+                micros.encode(out);
+            }
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+    }
+}
+
+impl Decode for Request {
+    fn decode(r: &mut Reader<'_>) -> Result<Request> {
+        Ok(match r.u8()? {
+            REQ_PING => Request::Ping,
+            REQ_LOAD => Request::Load(Box::new(LoadRequest {
+                shard: r.u64()?,
+                schema: Schema::decode(r)?,
+                rows: Vec::<Row>::decode(r)?,
+                build: BuildOptions::decode(r)?,
+                threads: r.u64()?,
+                cache_budget: r.u64()?,
+            })),
+            REQ_ATTACH => Request::Attach(AttachRequest { children: Vec::decode(r)? }),
+            REQ_QUERY => Request::Query(QueryRequest {
+                sql: String::decode(r)?,
+                deadline: Duration::decode(r)?,
+                killed: Vec::decode(r)?,
+            }),
+            REQ_DELAY => Request::Delay { micros: r.u64()? },
+            REQ_SHUTDOWN => Request::Shutdown,
+            other => return Err(Error::Data(format!("wire: invalid request tag {other}"))),
+        })
+    }
+}
+
+impl Encode for ChildSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ChildSpec::Leaf { shard, primary, replica } => {
+                out.push(0);
+                shard.encode(out);
+                primary.encode(out);
+                replica.encode(out);
+            }
+            ChildSpec::Node { addr, height } => {
+                out.push(1);
+                addr.encode(out);
+                height.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ChildSpec {
+    fn decode(r: &mut Reader<'_>) -> Result<ChildSpec> {
+        Ok(match r.u8()? {
+            0 => ChildSpec::Leaf {
+                shard: r.u64()?,
+                primary: String::decode(r)?,
+                replica: Option::decode(r)?,
+            },
+            1 => ChildSpec::Node { addr: String::decode(r)?, height: r.u64()? },
+            other => return Err(Error::Data(format!("wire: invalid child-spec tag {other}"))),
+        })
+    }
+}
+
+impl Encode for ShardReport {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.shard.encode(out);
+        self.latency.encode(out);
+        self.queue.encode(out);
+        self.failover.encode(out);
+    }
+}
+
+impl Decode for ShardReport {
+    fn decode(r: &mut Reader<'_>) -> Result<ShardReport> {
+        Ok(ShardReport {
+            shard: r.u64()?,
+            latency: Duration::decode(r)?,
+            queue: Duration::decode(r)?,
+            failover: bool::decode(r)?,
+        })
+    }
+}
+
+impl Encode for SubtreeAnswer {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.partial.encode(out);
+        self.stats.encode(out);
+        self.reports.encode(out);
+    }
+}
+
+impl Decode for SubtreeAnswer {
+    fn decode(r: &mut Reader<'_>) -> Result<SubtreeAnswer> {
+        Ok(SubtreeAnswer {
+            partial: PartialResult::decode(r)?,
+            stats: ScanStats::decode(r)?,
+            reports: Vec::decode(r)?,
+        })
+    }
+}
+
+const RESP_OK: u8 = 0;
+const RESP_ANSWER: u8 = 1;
+const RESP_ERR: u8 = 2;
+const RESP_MALFORMED: u8 = 3;
+
+impl Encode for Response {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Response::Ok => out.push(RESP_OK),
+            Response::Answer(answer) => {
+                out.push(RESP_ANSWER);
+                answer.encode(out);
+            }
+            Response::Err(message) => {
+                out.push(RESP_ERR);
+                message.encode(out);
+            }
+            Response::Malformed(message) => {
+                out.push(RESP_MALFORMED);
+                message.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Response {
+    fn decode(r: &mut Reader<'_>) -> Result<Response> {
+        Ok(match r.u8()? {
+            RESP_OK => Response::Ok,
+            RESP_ANSWER => Response::Answer(Box::new(SubtreeAnswer::decode(r)?)),
+            RESP_ERR => Response::Err(String::decode(r)?),
+            RESP_MALFORMED => Response::Malformed(String::decode(r)?),
+            other => return Err(Error::Data(format!("wire: invalid response tag {other}"))),
+        })
+    }
+}
+
+// --- framing ---------------------------------------------------------------
+
+/// Write one `[u32 len][payload]` frame.
+pub fn write_frame<T: Encode>(stream: &mut impl Write, message: &T) -> Result<()> {
+    let payload = wire::to_bytes(message);
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_BYTES)
+        .ok_or_else(|| Error::Data(format!("rpc: frame of {} bytes exceeds cap", payload.len())))?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(&payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Read one frame; `Ok(None)` on clean EOF (peer closed between frames).
+pub fn read_frame<T: Decode>(stream: &mut impl Read) -> Result<Option<T>> {
+    let mut len_bytes = [0u8; 4];
+    match stream.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Data(format!("rpc: corrupt frame length {len}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    stream.read_exact(&mut payload)?;
+    wire::from_bytes(&payload).map(Some)
+}
+
+/// The time left until `deadline`, or a deadline-expired error.
+fn budget_left(deadline: Instant) -> Result<Duration> {
+    let left = deadline.saturating_duration_since(Instant::now());
+    if left.is_zero() {
+        return Err(Error::Data("rpc: deadline expired".into()));
+    }
+    Ok(left)
+}
+
+/// `read_exact` against an *absolute* deadline. Socket read timeouts are
+/// per-syscall, so a peer trickling one byte per interval would reset a
+/// plain `read_exact`'s clock forever; here the remaining budget shrinks
+/// across syscalls and expiry is checked between them.
+fn read_exact_deadline(stream: &mut UnixStream, buf: &mut [u8], deadline: Instant) -> Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        stream.set_read_timeout(Some(budget_left(deadline)?))?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(Error::Data("rpc: peer closed the connection mid-frame".into())),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(())
+}
+
+/// Read one response frame, enforcing `deadline` absolutely across the
+/// length-prefix read, the payload read and every syscall in between.
+fn read_frame_deadline<T: Decode>(stream: &mut UnixStream, deadline: Instant) -> Result<T> {
+    let mut len_bytes = [0u8; 4];
+    read_exact_deadline(stream, &mut len_bytes, deadline)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(Error::Data(format!("rpc: corrupt frame length {len}")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_deadline(stream, &mut payload, deadline)?;
+    wire::from_bytes(&payload)
+}
+
+// --- client ----------------------------------------------------------------
+
+/// One parent→child connection, reconnecting on demand. Calls are strictly
+/// request/response; a timed-out call poisons the connection (a late
+/// answer would desynchronize framing), so the stream is dropped and the
+/// next call reconnects.
+pub struct RpcClient {
+    addr: PathBuf,
+    stream: Option<UnixStream>,
+}
+
+impl RpcClient {
+    pub fn new(addr: impl Into<PathBuf>) -> RpcClient {
+        RpcClient { addr: addr.into(), stream: None }
+    }
+
+    pub fn addr(&self) -> &Path {
+        &self.addr
+    }
+
+    /// Connect, retrying until `timeout` — workers need a moment between
+    /// `spawn` and `bind`.
+    pub fn connect_with_retry(&mut self, timeout: Duration) -> Result<()> {
+        let started = Instant::now();
+        loop {
+            match UnixStream::connect(&self.addr) {
+                Ok(stream) => {
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) if started.elapsed() >= timeout => {
+                    return Err(Error::Data(format!(
+                        "rpc: worker at {} not reachable after {timeout:?}: {e}",
+                        self.addr.display()
+                    )));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    }
+
+    /// Send `request`, wait up to `timeout` for the response. Any failure
+    /// (connect, send, deadline expiry, corrupt frame) drops the
+    /// connection and surfaces as `Err` — the caller's failover decision.
+    pub fn call(&mut self, request: &Request, timeout: Duration) -> Result<Response> {
+        let result = self.call_inner(request, timeout);
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn call_inner(&mut self, request: &Request, timeout: Duration) -> Result<Response> {
+        // One absolute deadline covers the whole call: the write budget
+        // and read budget are not additive, and the remaining budget
+        // shrinks across every syscall (see `read_exact_deadline`), so a
+        // stalled *or trickling* worker expires on time either way.
+        let deadline = Instant::now() + timeout.max(Duration::from_millis(1));
+        if self.stream.is_none() {
+            let stream = UnixStream::connect(&self.addr).map_err(|e| {
+                Error::Data(format!("rpc: connect to {} failed: {e}", self.addr.display()))
+            })?;
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        stream.set_write_timeout(Some(budget_left(deadline)?))?;
+        write_frame(stream, request)?;
+        read_frame_deadline::<Response>(stream, deadline)
+    }
+}
+
+// --- shared fan-out (driver root and merge servers) ------------------------
+
+/// A child the current node queries: its spec plus lazily connected
+/// clients. Clients sit behind mutexes so a `&self` fan-out can run one
+/// thread per child (concurrent queries to the *same* child serialize,
+/// which is exactly a per-connection queue).
+pub struct ChildHandle {
+    pub spec: ChildSpec,
+    primary: pd_common::sync::Mutex<RpcClient>,
+    replica: Option<pd_common::sync::Mutex<RpcClient>>,
+}
+
+impl ChildHandle {
+    pub fn new(spec: ChildSpec) -> ChildHandle {
+        let (primary, replica) = match &spec {
+            ChildSpec::Leaf { primary, replica, .. } => (primary.clone(), replica.clone()),
+            ChildSpec::Node { addr, .. } => (addr.clone(), None),
+        };
+        ChildHandle {
+            spec,
+            primary: pd_common::sync::Mutex::new(RpcClient::new(primary)),
+            replica: replica.map(|r| pd_common::sync::Mutex::new(RpcClient::new(r))),
+        }
+    }
+
+    /// The worst-case time a well-behaved answer from this child can take:
+    /// a leaf answers within one deadline; a merge server may wait out a
+    /// leaf deadline *and* the replica retry at every level below it.
+    fn timeout(&self, deadline: Duration) -> Duration {
+        match &self.spec {
+            ChildSpec::Leaf { .. } => deadline,
+            ChildSpec::Node { height, .. } => {
+                deadline * 2u32.saturating_mul(*height as u32).max(2) + Duration::from_secs(1)
+            }
+        }
+    }
+
+    /// Query this child, applying the §4 failover rule at leaves: a killed
+    /// or unresponsive primary is replaced by its replica; without a
+    /// replica the failure is fatal for the query. An *application* error
+    /// from a live worker (a `Response::Err`) propagates instead — the
+    /// worker answered, so a deterministic error would only repeat on the
+    /// replica. The report's latency is *measured* — the parent's wall
+    /// clock around the call, transport and failover included.
+    fn query(&self, request: &QueryRequest) -> Result<SubtreeAnswer> {
+        let started = Instant::now();
+        let message = Request::Query(request.clone());
+        let timeout = self.timeout(request.deadline);
+        match &self.spec {
+            ChildSpec::Node { addr, .. } => {
+                match unpack(self.primary.lock().call(&message, timeout)?)? {
+                    Some(answer) => Ok(answer),
+                    None => Err(Error::Data(format!("rpc: merge server {addr} sent no answer"))),
+                }
+            }
+            ChildSpec::Leaf { shard, .. } => {
+                let shard = *shard;
+                let killed = request.killed.contains(&shard);
+                // FailureModel kill: the primary is never contacted;
+                // transport failure (deadline expiry, dead socket, a
+                // frame the worker could not decode): the primary answer
+                // never arrives. All land in `None` — the replica gets a
+                // freshly encoded request.
+                let primary_answer = if killed {
+                    None
+                } else {
+                    match self.primary.lock().call(&message, timeout) {
+                        Ok(Response::Malformed(_)) | Err(_) => None,
+                        Ok(response) => Some(unpack(response)?),
+                    }
+                };
+                let (mut answer, failover) = match primary_answer {
+                    Some(Some(answer)) => (answer, false),
+                    Some(None) => {
+                        return Err(Error::Data(format!("shard {shard}: primary sent no answer")))
+                    }
+                    None => {
+                        let Some(replica) = &self.replica else {
+                            return Err(Error::Data(format!(
+                                "shard {shard}: primary replica failed mid-query \
+                                 ({}) and replication is disabled",
+                                if killed { "killed" } else { "deadline expired" }
+                            )));
+                        };
+                        match unpack(replica.lock().call(&message, timeout)?)? {
+                            Some(answer) => (answer, true),
+                            None => {
+                                return Err(Error::Data(format!(
+                                    "shard {shard}: replica sent no answer"
+                                )))
+                            }
+                        }
+                    }
+                };
+                let elapsed = started.elapsed();
+                for report in &mut answer.reports {
+                    report.latency = elapsed;
+                    report.failover = failover;
+                }
+                Ok(answer)
+            }
+        }
+    }
+}
+
+/// Split a well-formed response into answer / application error; a bare
+/// ack to a query is a protocol violation, and a `Malformed` NAK from a
+/// node with no replica to retry is fatal.
+fn unpack(response: Response) -> Result<Option<SubtreeAnswer>> {
+    match response {
+        Response::Answer(answer) => Ok(Some(*answer)),
+        Response::Err(message) => Err(Error::Data(message)),
+        Response::Malformed(message) => {
+            Err(Error::Data(format!("rpc: peer rejected the request frame: {message}")))
+        }
+        Response::Ok => Ok(None),
+    }
+}
+
+/// Fan a query out to every child concurrently and fold the answers in
+/// fixed child order — the same associative merge the in-process cluster
+/// uses, so the tree shape cannot change the result.
+pub fn fan_out(children: &[ChildHandle], request: &QueryRequest) -> Result<SubtreeAnswer> {
+    let answers: Vec<Result<SubtreeAnswer>> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            children.iter().map(|child| scope.spawn(move || child.query(request))).collect();
+        handles.into_iter().map(|h| h.join().expect("child query thread panicked")).collect()
+    });
+    let mut merged = SubtreeAnswer::empty();
+    for answer in answers {
+        let answer = answer?;
+        merged.partial.merge(answer.partial)?;
+        merged.stats += &answer.stats;
+        merged.reports.extend(answer.reports);
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_common::DataType;
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = vec![
+            Request::Ping,
+            Request::Load(Box::new(LoadRequest {
+                shard: 3,
+                schema: Schema::of(&[("k", DataType::Str)]),
+                rows: vec![Row(vec![pd_common::Value::from("x")])],
+                build: BuildOptions::production(&["k"]),
+                threads: 2,
+                cache_budget: 1 << 20,
+            })),
+            Request::Attach(AttachRequest {
+                children: vec![
+                    ChildSpec::Leaf {
+                        shard: 0,
+                        primary: "/tmp/a.sock".into(),
+                        replica: Some("/tmp/b.sock".into()),
+                    },
+                    ChildSpec::Node { addr: "/tmp/m.sock".into(), height: 2 },
+                ],
+            }),
+            Request::Query(QueryRequest {
+                sql: "SELECT COUNT(*) FROM t".into(),
+                deadline: Duration::from_millis(250),
+                killed: vec![1, 3],
+            }),
+            Request::Delay { micros: 5000 },
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let back: Request = wire::from_bytes(&wire::to_bytes(&request)).unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let answer = SubtreeAnswer {
+            partial: PartialResult::default(),
+            stats: ScanStats { rows_total: 9, ..Default::default() },
+            reports: vec![ShardReport {
+                shard: 1,
+                latency: Duration::from_micros(77),
+                queue: Duration::from_micros(3),
+                failover: true,
+            }],
+        };
+        for response in [
+            Response::Ok,
+            Response::Answer(Box::new(answer)),
+            Response::Err("boom".into()),
+            Response::Malformed("bad frame".into()),
+        ] {
+            let back: Response = wire::from_bytes(&wire::to_bytes(&response)).unwrap();
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_socket_pair() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        write_frame(&mut a, &Request::Ping).unwrap();
+        write_frame(&mut a, &Request::Delay { micros: 9 }).unwrap();
+        assert_eq!(read_frame::<Request>(&mut b).unwrap(), Some(Request::Ping));
+        assert_eq!(read_frame::<Request>(&mut b).unwrap(), Some(Request::Delay { micros: 9 }));
+        drop(a);
+        assert_eq!(read_frame::<Request>(&mut b).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn corrupt_frame_lengths_are_rejected() {
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        a.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        assert!(read_frame::<Request>(&mut b).is_err());
+    }
+}

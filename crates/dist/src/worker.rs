@@ -1,0 +1,248 @@
+//! The worker process: one node of the §4 computation tree.
+//!
+//! `pd-dist-worker --socket <path>` binds a Unix socket and serves the
+//! [`crate::rpc`] protocol. What kind of node it becomes is decided by the
+//! driver after startup:
+//!
+//! - a [`Request::Load`] turns it into a **leaf server**: it imports the
+//!   shipped rows with the shipped [`pd_core::BuildOptions`] (building
+//!   exactly the store the in-process cluster would) and answers queries
+//!   by executing them;
+//! - a [`Request::Attach`] turns it into a **merge server** ("mixer"): it
+//!   owns a subtree of children, fans queries out to them, folds their
+//!   partials with the same associative merge the root uses, and applies
+//!   the replica-failover rule to its leaf children.
+//!
+//! **Measured queue delays.** Connections are accepted and read on their
+//! own threads, but all requests funnel through a single executor thread.
+//! The time a request spends between arrival and execution is this
+//! process's *real* queue delay — measured with a monotonic clock inside
+//! one process, no cross-process clock games — and it rides up the tree in
+//! every [`ShardReport`]: a merge server adds its own queueing to each of
+//! its shards' reports. That observation stream is what replaces the
+//! seeded [`crate::LoadModel`] draws when the cluster runs over RPC.
+
+use crate::rpc::{
+    fan_out, read_frame, write_frame, ChildHandle, LoadRequest, QueryRequest, Request, Response,
+    ShardReport, SubtreeAnswer,
+};
+use pd_common::{Error, Result};
+use pd_core::{execute_partial, CachePolicy, DataStore, ExecContext, ResultCache, TieredCache};
+use pd_data::Table;
+use pd_sql::{analyze, parse_query};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::Path;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Entry point for the `pd-dist-worker` binary: parse `--socket <path>`,
+/// serve forever (until a `Shutdown` request or a fatal error). Returns
+/// the process exit code.
+pub fn worker_main() -> i32 {
+    let mut args = std::env::args().skip(1);
+    let mut socket = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next(),
+            other => {
+                eprintln!("pd-dist-worker: unknown argument `{other}`");
+                return 2;
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("usage: pd-dist-worker --socket <path>");
+        return 2;
+    };
+    match serve(Path::new(&socket)) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("pd-dist-worker: {e}");
+            1
+        }
+    }
+}
+
+/// A leaf's executable state.
+struct LeafStore {
+    shard: u64,
+    store: DataStore,
+    ctx: ExecContext,
+}
+
+/// What this worker currently is. `Load` and `Attach` are one-shot role
+/// assignments from the driver.
+#[derive(Default)]
+struct Role {
+    leaf: Option<LeafStore>,
+    children: Option<Vec<ChildHandle>>,
+    /// Test knob: artificial delay before answering queries.
+    delay: Duration,
+}
+
+struct Work {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+    enqueued: Instant,
+}
+
+/// Bind `socket` and serve the protocol.
+pub fn serve(socket: &Path) -> Result<()> {
+    let listener = UnixListener::bind(socket)
+        .map_err(|e| Error::Data(format!("bind {}: {e}", socket.display())))?;
+    let (queue, requests) = mpsc::channel::<Work>();
+
+    // The single executor owns the role outright: requests run strictly in
+    // arrival order (the gap between enqueue and dequeue is this process's
+    // queue delay), and nothing else ever touches the state — connection
+    // threads only feed the queue.
+    std::thread::Builder::new()
+        .name("pd-worker-exec".into())
+        .spawn(move || {
+            let mut role = Role::default();
+            for work in requests {
+                let queued = work.enqueued.elapsed();
+                let response = handle(&mut role, work.request, queued)
+                    .unwrap_or_else(|e| Response::Err(e.to_string()));
+                let _ = work.reply.send(response);
+            }
+        })
+        .map_err(|e| Error::Data(format!("spawn executor: {e}")))?;
+
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| Error::Data(format!("accept: {e}")))?;
+        let queue = queue.clone();
+        std::thread::Builder::new()
+            .name("pd-worker-conn".into())
+            .spawn(move || connection_loop(stream, queue))
+            .map_err(|e| Error::Data(format!("spawn connection: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Read frames off one connection until EOF, routing requests through the
+/// executor queue. `Ping` answers inline (the startup handshake must not
+/// wait behind a long import); `Shutdown` acks and exits the process.
+fn connection_loop(mut stream: UnixStream, queue: mpsc::Sender<Work>) {
+    loop {
+        let request = match read_frame::<Request>(&mut stream) {
+            Ok(Some(request)) => request,
+            Ok(None) => return, // peer closed
+            Err(e) => {
+                // Corrupt frame: NAK and drop the connection — framing is
+                // unrecoverable once desynchronized, and the `Malformed`
+                // tag tells a leaf's parent to fail over (fresh bytes to
+                // the replica) rather than abort the query.
+                let _ = write_frame(&mut stream, &Response::Malformed(e.to_string()));
+                return;
+            }
+        };
+        match request {
+            Request::Ping => {
+                if write_frame(&mut stream, &Response::Ok).is_err() {
+                    return;
+                }
+            }
+            Request::Shutdown => {
+                let _ = write_frame(&mut stream, &Response::Ok);
+                std::process::exit(0);
+            }
+            request => {
+                let (reply, response) = mpsc::channel();
+                if queue.send(Work { request, reply, enqueued: Instant::now() }).is_err() {
+                    return; // executor gone; process is doomed anyway
+                }
+                let Ok(response) = response.recv() else { return };
+                if write_frame(&mut stream, &response).is_err() {
+                    // Peer gave up (deadline expiry): drop the connection;
+                    // the answer is stale by definition.
+                    return;
+                }
+            }
+        }
+    }
+}
+
+fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Response> {
+    match request {
+        Request::Load(load) => {
+            role.leaf = Some(build_leaf(*load)?);
+            Ok(Response::Ok)
+        }
+        Request::Attach(attach) => {
+            role.children = Some(attach.children.into_iter().map(ChildHandle::new).collect());
+            Ok(Response::Ok)
+        }
+        Request::Delay { micros } => {
+            role.delay = Duration::from_micros(micros);
+            Ok(Response::Ok)
+        }
+        Request::Query(query) => {
+            if !role.delay.is_zero() {
+                // The test knob for deadline expiry: a worker that is
+                // "slow" (GC pause, overloaded box, swapping) from the
+                // caller's point of view.
+                std::thread::sleep(role.delay);
+            }
+            let answer = if let Some(leaf) = &role.leaf {
+                execute_leaf(leaf, &query, queued)?
+            } else if let Some(children) = &role.children {
+                let mut answer = fan_out(children, &query)?;
+                for report in &mut answer.reports {
+                    // This merge server's own queueing delays every shard
+                    // beneath it.
+                    report.queue += queued;
+                }
+                answer
+            } else {
+                return Err(Error::Data(
+                    "worker has neither a store (Load) nor children (Attach)".into(),
+                ));
+            };
+            Ok(Response::Answer(Box::new(answer)))
+        }
+        Request::Ping => Ok(Response::Ok),
+        Request::Shutdown => Ok(Response::Ok), // handled inline; unreachable via queue
+    }
+}
+
+/// Import the shipped shard. The store and context mirror what
+/// `Cluster::build_shards` constructs in-process, so the process split
+/// changes *where* the shard lives, not what it computes.
+fn build_leaf(load: LoadRequest) -> Result<LeafStore> {
+    let mut table = Table::new(load.schema);
+    for row in load.rows {
+        table.push_row(row)?;
+    }
+    let store = DataStore::build(&table, &load.build)?;
+    let ctx = ExecContext {
+        sketch_m: 0,
+        threads: load.threads as usize,
+        result_cache: Some(Arc::new(ResultCache::new(1 << 14))),
+        tiered: Some(Arc::new(TieredCache::new(
+            CachePolicy::Arc,
+            load.cache_budget as usize,
+            load.cache_budget as usize / 2,
+        ))),
+    };
+    Ok(LeafStore { shard: load.shard, store, ctx })
+}
+
+fn execute_leaf(leaf: &LeafStore, query: &QueryRequest, queued: Duration) -> Result<SubtreeAnswer> {
+    let analyzed = analyze(&parse_query(&query.sql)?)?;
+    let started = Instant::now();
+    let (partial, stats) = execute_partial(&leaf.store, &analyzed, &leaf.ctx)?;
+    Ok(SubtreeAnswer {
+        partial,
+        stats,
+        reports: vec![ShardReport {
+            shard: leaf.shard,
+            // The parent overwrites latency with its own wall-clock
+            // observation; the compute time is the fallback.
+            latency: started.elapsed(),
+            queue: queued,
+            failover: false,
+        }],
+    })
+}

@@ -1,0 +1,201 @@
+//! End-to-end tests of the process-split computation tree: real
+//! `pd-dist-worker` processes behind the RPC boundary, driven through
+//! [`Cluster`] with [`Transport::Rpc`].
+
+use pd_core::{query, BuildOptions, DataStore};
+use pd_data::{generate_logs, LogsSpec};
+use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_pd-dist-worker"))
+}
+
+fn rpc(deadline: Duration) -> Transport {
+    Transport::Rpc(RpcConfig { worker_bin: Some(worker_bin()), deadline })
+}
+
+fn build_options() -> BuildOptions {
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = 150;
+    }
+    build
+}
+
+const QUERIES: [&str; 3] = [
+    "SELECT country, COUNT(*) c FROM logs GROUP BY country ORDER BY c DESC LIMIT 10",
+    "SELECT country, SUM(latency) s, AVG(latency) a FROM logs GROUP BY country ORDER BY country ASC",
+    "SELECT COUNT(*) FROM logs WHERE country = 'DE'",
+];
+
+#[test]
+fn single_worker_process_answers_queries() {
+    let table = generate_logs(&LogsSpec::scaled(600));
+    let build = build_options();
+    let store = DataStore::build(&table, &build).unwrap();
+    let cluster = Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards: 1,
+            replication: false,
+            build,
+            transport: rpc(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for sql in QUERIES {
+        let (expect, _) = query(&store, sql).unwrap();
+        let outcome = cluster.query(sql).unwrap();
+        assert_eq!(outcome.result, expect, "{sql}");
+        assert_eq!(outcome.subquery_latencies.len(), 1);
+        assert!(outcome.failovers.is_empty());
+    }
+}
+
+#[test]
+fn merge_servers_fold_subtrees_identically() {
+    // 5 shards at fanout 2: two merge levels (5 → 3 → 2 frontier nodes),
+    // exercising Node-child timeouts, report propagation and the
+    // associative fold across three tree layers.
+    let table = generate_logs(&LogsSpec::scaled(1_000));
+    let build = build_options();
+    let store = DataStore::build(&table, &build).unwrap();
+    let cluster = Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards: 5,
+            replication: false,
+            build,
+            tree: TreeShape { fanout: 2 },
+            transport: rpc(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(cluster.shard_count(), 5);
+    for sql in QUERIES {
+        let (expect, _) = query(&store, sql).unwrap();
+        let outcome = cluster.query(sql).unwrap();
+        assert_eq!(outcome.result, expect, "{sql}");
+        assert_eq!(
+            outcome.stats.rows_skipped + outcome.stats.rows_cached + outcome.stats.rows_scanned,
+            outcome.stats.rows_total,
+            "row accounting must balance across the tree: {sql}"
+        );
+        // Every shard's observation made it up through the merge servers.
+        assert_eq!(outcome.subquery_latencies.len(), 5);
+        assert!(
+            outcome.subquery_latencies.iter().all(|d| *d > Duration::ZERO),
+            "per-shard latencies are measured, not defaulted: {:?}",
+            outcome.subquery_latencies
+        );
+    }
+}
+
+#[test]
+fn queue_delays_are_measured_not_modeled() {
+    // One worker process, two queries racing over *separate connections*:
+    // the second request queues behind the first inside the worker's
+    // single executor, so its *measured* queue delay must reflect the
+    // first query's artificial service time. No seeded draw can produce
+    // this number — only observation can.
+    use pd_dist::rpc::{LoadRequest, QueryRequest, Request, Response, RpcClient};
+
+    let dir = std::env::temp_dir().join(format!("pd-queue-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("w.sock");
+    let mut worker =
+        std::process::Command::new(worker_bin()).arg("--socket").arg(&socket).spawn().unwrap();
+
+    let table = generate_logs(&LogsSpec::scaled(200));
+    let mut setup = RpcClient::new(&socket);
+    setup.connect_with_retry(Duration::from_secs(30)).unwrap();
+    let load = Request::Load(Box::new(LoadRequest {
+        shard: 0,
+        schema: table.schema().clone(),
+        rows: table.iter_rows().collect(),
+        build: BuildOptions::basic(),
+        threads: 1,
+        cache_budget: 1 << 20,
+    }));
+    assert_eq!(setup.call(&load, Duration::from_secs(60)).unwrap(), Response::Ok);
+    let delay = Request::Delay { micros: 250_000 };
+    assert_eq!(setup.call(&delay, Duration::from_secs(10)).unwrap(), Response::Ok);
+
+    let query = Request::Query(QueryRequest {
+        sql: "SELECT COUNT(*) FROM logs".into(),
+        deadline: Duration::from_secs(30),
+        killed: Vec::new(),
+    });
+    let queue_delays: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let query = &query;
+                let socket = &socket;
+                scope.spawn(move || {
+                    let mut client = RpcClient::new(socket);
+                    match client.call(query, Duration::from_secs(30)).unwrap() {
+                        Response::Answer(answer) => answer.reports[0].queue,
+                        other => panic!("expected an answer, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let _ = worker.kill();
+    let _ = worker.wait();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let max_queue = queue_delays.iter().max().copied().unwrap();
+    assert!(
+        max_queue >= Duration::from_millis(150),
+        "one of two concurrent requests must have queued behind the other's \
+         250 ms service time, got {queue_delays:?}"
+    );
+}
+
+#[test]
+fn cluster_surfaces_per_shard_queue_observations() {
+    let table = generate_logs(&LogsSpec::scaled(400));
+    let cluster = Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards: 2,
+            replication: false,
+            build: build_options(),
+            transport: rpc(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let outcome = cluster.query(QUERIES[2]).unwrap();
+    assert_eq!(outcome.queue_delays.len(), 2, "one measured queue delay per shard");
+    assert_eq!(cluster.observed_queue_delays().len(), 2);
+}
+
+#[test]
+fn rebuild_respawns_the_tree_with_new_data() {
+    let table = generate_logs(&LogsSpec::scaled(400));
+    let mut cluster = Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards: 2,
+            replication: false,
+            build: build_options(),
+            transport: rpc(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let sql = "SELECT COUNT(*) FROM logs";
+    let before = cluster.query(sql).unwrap();
+    let bigger = generate_logs(&LogsSpec::scaled(800));
+    cluster.rebuild(&bigger).unwrap();
+    let after = cluster.query(sql).unwrap();
+    assert_eq!(after.stats.rows_total, 800);
+    assert_ne!(before.result, after.result, "rebuilt tree serves the new data");
+}

@@ -1,0 +1,344 @@
+//! Wire codecs for expressions and restrictions.
+//!
+//! Queries crossing the §4 process boundary travel as SQL text (workers
+//! re-run the deterministic parse/analyze pipeline), but the *normalized*
+//! artifacts — expression trees and [`Restriction`]s — are codable too, so
+//! merge servers can exchange skip-relevant restrictions without
+//! re-parsing, and the wire property suite can round-trip them.
+//!
+//! Expressions are recursive, and the wire contract says corrupt bytes
+//! must yield `Err`, never a crash: a hand-crafted frame of nested unary
+//! operators costs only two bytes per level, so an unbounded recursive
+//! decode could blow the stack long before running out of input. Decoding
+//! therefore tracks an explicit depth and fails past [`MAX_DEPTH`] — far
+//! deeper than any query the parser itself would produce.
+
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::restriction::Restriction;
+use pd_common::wire::{Decode, Encode, Reader};
+use pd_common::{Error, Result, Value};
+
+/// Maximum nesting for decoded expression / restriction trees.
+pub const MAX_DEPTH: usize = 256;
+
+fn depth_guard(depth: usize) -> Result<()> {
+    if depth > MAX_DEPTH {
+        return Err(Error::Data(format!("wire: expression nesting exceeds {MAX_DEPTH}")));
+    }
+    Ok(())
+}
+
+const EXPR_COLUMN: u8 = 0;
+const EXPR_LITERAL: u8 = 1;
+const EXPR_CALL: u8 = 2;
+const EXPR_UNARY: u8 = 3;
+const EXPR_BINARY: u8 = 4;
+const EXPR_IN_LIST: u8 = 5;
+
+impl Encode for UnaryOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            UnaryOp::Not => 0,
+            UnaryOp::Neg => 1,
+        });
+    }
+}
+
+impl Decode for UnaryOp {
+    fn decode(r: &mut Reader<'_>) -> Result<UnaryOp> {
+        match r.u8()? {
+            0 => Ok(UnaryOp::Not),
+            1 => Ok(UnaryOp::Neg),
+            other => Err(Error::Data(format!("wire: invalid unary-op tag {other}"))),
+        }
+    }
+}
+
+impl Encode for BinaryOp {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            BinaryOp::Add => 0,
+            BinaryOp::Sub => 1,
+            BinaryOp::Mul => 2,
+            BinaryOp::Div => 3,
+            BinaryOp::Eq => 4,
+            BinaryOp::Ne => 5,
+            BinaryOp::Lt => 6,
+            BinaryOp::Le => 7,
+            BinaryOp::Gt => 8,
+            BinaryOp::Ge => 9,
+            BinaryOp::And => 10,
+            BinaryOp::Or => 11,
+        });
+    }
+}
+
+impl Decode for BinaryOp {
+    fn decode(r: &mut Reader<'_>) -> Result<BinaryOp> {
+        Ok(match r.u8()? {
+            0 => BinaryOp::Add,
+            1 => BinaryOp::Sub,
+            2 => BinaryOp::Mul,
+            3 => BinaryOp::Div,
+            4 => BinaryOp::Eq,
+            5 => BinaryOp::Ne,
+            6 => BinaryOp::Lt,
+            7 => BinaryOp::Le,
+            8 => BinaryOp::Gt,
+            9 => BinaryOp::Ge,
+            10 => BinaryOp::And,
+            11 => BinaryOp::Or,
+            other => return Err(Error::Data(format!("wire: invalid binary-op tag {other}"))),
+        })
+    }
+}
+
+impl Encode for Expr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Expr::Column(name) => {
+                out.push(EXPR_COLUMN);
+                name.encode(out);
+            }
+            Expr::Literal(value) => {
+                out.push(EXPR_LITERAL);
+                value.encode(out);
+            }
+            Expr::Call { name, args } => {
+                out.push(EXPR_CALL);
+                name.encode(out);
+                args.encode(out);
+            }
+            Expr::Unary { op, expr } => {
+                out.push(EXPR_UNARY);
+                op.encode(out);
+                expr.encode(out);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                out.push(EXPR_BINARY);
+                op.encode(out);
+                lhs.encode(out);
+                rhs.encode(out);
+            }
+            Expr::InList { expr, list, negated } => {
+                out.push(EXPR_IN_LIST);
+                expr.encode(out);
+                list.encode(out);
+                negated.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Expr {
+    fn decode(r: &mut Reader<'_>) -> Result<Expr> {
+        decode_expr(r, 0)
+    }
+}
+
+fn decode_expr(r: &mut Reader<'_>, depth: usize) -> Result<Expr> {
+    depth_guard(depth)?;
+    Ok(match r.u8()? {
+        EXPR_COLUMN => Expr::Column(String::decode(r)?),
+        EXPR_LITERAL => Expr::Literal(Value::decode(r)?),
+        EXPR_CALL => {
+            let name = String::decode(r)?;
+            Expr::Call { name, args: decode_expr_vec(r, depth + 1)? }
+        }
+        EXPR_UNARY => {
+            let op = UnaryOp::decode(r)?;
+            Expr::Unary { op, expr: Box::new(decode_expr(r, depth + 1)?) }
+        }
+        EXPR_BINARY => {
+            let op = BinaryOp::decode(r)?;
+            let lhs = Box::new(decode_expr(r, depth + 1)?);
+            let rhs = Box::new(decode_expr(r, depth + 1)?);
+            Expr::Binary { op, lhs, rhs }
+        }
+        EXPR_IN_LIST => {
+            let expr = Box::new(decode_expr(r, depth + 1)?);
+            let list = decode_expr_vec(r, depth + 1)?;
+            let negated = bool::decode(r)?;
+            Expr::InList { expr, list, negated }
+        }
+        other => return Err(Error::Data(format!("wire: invalid expr tag {other}"))),
+    })
+}
+
+fn decode_expr_vec(r: &mut Reader<'_>, depth: usize) -> Result<Vec<Expr>> {
+    let len = r.u64()?;
+    let len = r.check_len(len, 1)?;
+    // Pre-allocation bounded by the frame's actual bytes (see the generic
+    // `Vec` decode in `pd_common::wire`): corrupt lengths must not reserve.
+    let mut out = Vec::with_capacity(len.min(r.remaining() / std::mem::size_of::<Expr>()));
+    for _ in 0..len {
+        out.push(decode_expr(r, depth)?);
+    }
+    Ok(out)
+}
+
+const RESTR_TRUE: u8 = 0;
+const RESTR_AND: u8 = 1;
+const RESTR_OR: u8 = 2;
+const RESTR_IN: u8 = 3;
+const RESTR_RANGE: u8 = 4;
+const RESTR_OPAQUE: u8 = 5;
+
+impl Encode for Restriction {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Restriction::True => out.push(RESTR_TRUE),
+            Restriction::And(children) => {
+                out.push(RESTR_AND);
+                children.encode(out);
+            }
+            Restriction::Or(children) => {
+                out.push(RESTR_OR);
+                children.encode(out);
+            }
+            Restriction::In { field, values, negated } => {
+                out.push(RESTR_IN);
+                field.encode(out);
+                values.encode(out);
+                negated.encode(out);
+            }
+            Restriction::Range { field, min, max } => {
+                out.push(RESTR_RANGE);
+                field.encode(out);
+                min.encode(out);
+                max.encode(out);
+            }
+            Restriction::Opaque => out.push(RESTR_OPAQUE),
+        }
+    }
+}
+
+impl Decode for Restriction {
+    fn decode(r: &mut Reader<'_>) -> Result<Restriction> {
+        decode_restriction(r, 0)
+    }
+}
+
+fn decode_restriction(r: &mut Reader<'_>, depth: usize) -> Result<Restriction> {
+    depth_guard(depth)?;
+    Ok(match r.u8()? {
+        RESTR_TRUE => Restriction::True,
+        RESTR_AND => Restriction::And(decode_restriction_vec(r, depth + 1)?),
+        RESTR_OR => Restriction::Or(decode_restriction_vec(r, depth + 1)?),
+        RESTR_IN => {
+            let field = decode_expr(r, depth + 1)?;
+            let values = Vec::<Value>::decode(r)?;
+            let negated = bool::decode(r)?;
+            Restriction::In { field, values, negated }
+        }
+        RESTR_RANGE => {
+            let field = decode_expr(r, depth + 1)?;
+            let min = Option::<(Value, bool)>::decode(r)?;
+            let max = Option::<(Value, bool)>::decode(r)?;
+            Restriction::Range { field, min, max }
+        }
+        RESTR_OPAQUE => Restriction::Opaque,
+        other => return Err(Error::Data(format!("wire: invalid restriction tag {other}"))),
+    })
+}
+
+fn decode_restriction_vec(r: &mut Reader<'_>, depth: usize) -> Result<Vec<Restriction>> {
+    let len = r.u64()?;
+    let len = r.check_len(len, 1)?;
+    let mut out = Vec::with_capacity(len.min(r.remaining() / std::mem::size_of::<Restriction>()));
+    for _ in 0..len {
+        out.push(decode_restriction(r, depth)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_common::wire::{from_bytes, to_bytes};
+
+    fn sample_expr() -> Expr {
+        Expr::Binary {
+            op: BinaryOp::And,
+            lhs: Box::new(Expr::InList {
+                expr: Box::new(Expr::column("country")),
+                list: vec![Expr::literal("DE"), Expr::literal("US")],
+                negated: true,
+            }),
+            rhs: Box::new(Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(Expr::binary(
+                    BinaryOp::Gt,
+                    Expr::call("date", vec![Expr::column("timestamp")]),
+                    Expr::literal(17i64),
+                )),
+            }),
+        }
+    }
+
+    #[test]
+    fn exprs_round_trip() {
+        let expr = sample_expr();
+        let back: Expr = from_bytes(&to_bytes(&expr)).unwrap();
+        assert_eq!(back, expr);
+        assert_eq!(back.canonical(), expr.canonical());
+    }
+
+    #[test]
+    fn restrictions_round_trip() {
+        let restriction = Restriction::And(vec![
+            Restriction::In {
+                field: Expr::column("country"),
+                values: vec![Value::from("DE")],
+                negated: false,
+            },
+            Restriction::Or(vec![
+                Restriction::Range {
+                    field: Expr::column("latency"),
+                    min: Some((Value::Float(10.0), true)),
+                    max: None,
+                },
+                Restriction::Opaque,
+            ]),
+            Restriction::True,
+        ]);
+        let back: Restriction = from_bytes(&to_bytes(&restriction)).unwrap();
+        assert_eq!(back, restriction);
+    }
+
+    #[test]
+    fn normalized_where_clauses_round_trip() {
+        for sql in [
+            "SELECT k, COUNT(*) c FROM t WHERE k IN ('a','b') AND n > 3 GROUP BY k",
+            "SELECT k, COUNT(*) c FROM t WHERE NOT (k = 'x' OR n != 0) GROUP BY k",
+        ] {
+            let parsed = crate::parse_query(sql).unwrap();
+            let analyzed = crate::analyze(&parsed).unwrap();
+            let back: Restriction = from_bytes(&to_bytes(&analyzed.restriction)).unwrap();
+            assert_eq!(back, analyzed.restriction, "{sql}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_bombs_are_rejected_not_overflowed() {
+        // MAX_DEPTH+64 nested `NOT`s: two bytes per level, a few hundred
+        // bytes total — decoding must fail gracefully, not blow the stack.
+        let mut bytes = Vec::new();
+        for _ in 0..(MAX_DEPTH + 64) {
+            bytes.push(super::EXPR_UNARY);
+            bytes.push(0); // UnaryOp::Not
+        }
+        bytes.push(super::EXPR_COLUMN);
+        to_bytes(&String::from("c")).iter().for_each(|b| bytes.push(*b));
+        let err = from_bytes::<Expr>(&bytes).unwrap_err();
+        assert!(err.to_string().contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn truncations_error_cleanly() {
+        let bytes = to_bytes(&sample_expr());
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<Expr>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -21,10 +21,14 @@
 //!   `AND / OR / NOT / IN / NOT IN / = / !=` fragment that drives chunk
 //!   skipping (§2.4, §5 "Complex Expressions");
 //! - [`analyze`](module@crate::analyze) — semantic analysis into an executable plan shape;
-//! - [`rewrite`] — the §4 two-level rewrite for distributed execution.
+//! - [`rewrite`] — the §4 two-level rewrite for distributed execution;
+//! - [`codec`] — wire codecs ([`pd_common::wire`]) for expressions and
+//!   restrictions, with depth-bounded decoding so corrupt frames cannot
+//!   crash a merge server.
 
 pub mod analyze;
 pub mod ast;
+pub mod codec;
 pub mod eval;
 pub mod lexer;
 pub mod parser;

@@ -134,6 +134,113 @@ fn seeded_failures_are_reproducible_and_correct() {
     assert!(total < 80, "...but not kill everything");
 }
 
+// ---------------------------------------------------------------------------
+// Deadline-expiry failover across the real process split
+// ---------------------------------------------------------------------------
+
+fn rpc_transport(deadline: std::time::Duration) -> powerdrill::dist::Transport {
+    powerdrill::dist::Transport::Rpc(powerdrill::dist::RpcConfig {
+        worker_bin: Some(std::path::PathBuf::from(env!("CARGO_BIN_EXE_pd-worker"))),
+        deadline,
+    })
+}
+
+/// A worker process that sleeps past its deadline must produce the
+/// **identical** `QueryOutcome` rows as a `FailureModel` kill of the same
+/// shard — both are "the primary never answered", both fail over to the
+/// replica process, and the replica holds the same partition. The failover
+/// is recorded either way.
+#[test]
+fn deadline_expiry_fails_over_identically_to_a_kill() {
+    use std::time::Duration;
+
+    let table = generate_logs(&LogsSpec::scaled(800));
+    let build = build_options();
+    let store = DataStore::build(&table, &build).unwrap();
+    let slow_shard = 1usize;
+
+    // Healthy primaries must comfortably beat this even on a loaded CI
+    // runner (their real compute is milliseconds); the injected 20 s sleep
+    // overshoots it by an order of magnitude either way.
+    let deadline = Duration::from_secs(2);
+
+    // fanout 16: the driver parents the leaves; fanout 2: an intermediate
+    // merge server does — the failover must work at both levels.
+    for fanout in [16usize, 2] {
+        let cluster_config = |failures: FailureModel| ClusterConfig {
+            shards: 3,
+            replication: true,
+            failures,
+            build: build.clone(),
+            tree: powerdrill::dist::TreeShape { fanout },
+            transport: rpc_transport(deadline),
+            ..Default::default()
+        };
+
+        // Baseline: the existing failure-injection path (simulated kill).
+        let killed = Cluster::build(
+            &table,
+            &cluster_config(FailureModel {
+                kill_primaries: vec![slow_shard],
+                ..Default::default()
+            }),
+        )
+        .unwrap();
+
+        // The real thing: a healthy FailureModel, but shard 1's primary
+        // *process* sleeps far past the deadline.
+        let delayed = Cluster::build(&table, &cluster_config(FailureModel::default())).unwrap();
+        delayed.inject_worker_delay(slow_shard, Duration::from_secs(20)).unwrap();
+
+        for sql in &QUERIES[..2] {
+            let (expect, _) = powerdrill::query(&store, sql).unwrap();
+            let from_kill = killed.query(sql).unwrap();
+            let from_deadline = delayed.query(sql).unwrap();
+            assert_eq!(from_kill.result, expect, "fanout={fanout}: {sql}");
+            assert_eq!(
+                from_deadline.result, from_kill.result,
+                "fanout={fanout}: deadline expiry and kill must produce identical rows: {sql}"
+            );
+            assert_eq!(from_kill.failovers, vec![slow_shard], "fanout={fanout}: {sql}");
+            assert_eq!(
+                from_deadline.failovers,
+                vec![slow_shard],
+                "fanout={fanout}: the expired worker must be recorded as a failover: {sql}"
+            );
+            assert!(
+                from_deadline.subquery_latencies[slow_shard] >= deadline,
+                "fanout={fanout}: the measured latency includes the waited-out deadline"
+            );
+        }
+    }
+}
+
+/// Without a replica process, a deadline expiry is fatal — and says so.
+#[test]
+fn deadline_expiry_without_replication_fails_the_query() {
+    use std::time::Duration;
+
+    let table = generate_logs(&LogsSpec::scaled(400));
+    let cluster = Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards: 2,
+            replication: false,
+            build: build_options(),
+            transport: rpc_transport(Duration::from_millis(500)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    cluster.query(QUERIES[0]).unwrap(); // healthy first
+    cluster.inject_worker_delay(0, Duration::from_secs(20)).unwrap();
+    let err = cluster.query(QUERIES[0]).unwrap_err().to_string();
+    assert!(
+        err.contains("shard 0") && err.contains("replication"),
+        "the error names the expired shard: {err}"
+    );
+}
+
 #[test]
 fn failover_and_shard_cache_compose() {
     // A cached shard partial needs no server at all, so a killed primary

@@ -307,6 +307,88 @@ fn distributed_matrix_is_bit_identical_to_single_store() {
     }
 }
 
+/// The transport axis: the same bit-identity must hold when the
+/// computation tree is **split across OS processes** — spawned
+/// `pd-dist-worker` leaves (and, at fanout 2, real intermediate merge
+/// servers) exchanging serialized partials over the RPC boundary. Matrix:
+/// {shards 1/2/4} × {tree depth ≤1 / 2 (fanout 16 / 2)} ×
+/// {transport in-process / rpc}, two passes each (the second exercises the
+/// workers' warm chunk-result caches).
+///
+/// Exact `assert_eq!`, floats included: group keys, float sums
+/// (superaccumulator limbs) and sketches cross the wire bit-identically,
+/// and every merge level folds associatively, so the process split must
+/// change *nothing* about any result row.
+#[test]
+fn transport_axis_is_bit_identical_across_process_split() {
+    use powerdrill::data::{generate_logs, LogsSpec};
+    use powerdrill::dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape};
+    use std::time::Duration;
+
+    let table = generate_logs(&LogsSpec::scaled(1_200));
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = 150;
+    }
+    let store = DataStore::build(&table, &build).unwrap();
+    let sequential = ExecContext { threads: 1, ..Default::default() };
+    let expected: Vec<QueryResult> = MATRIX_QUERIES
+        .iter()
+        .map(|sql| {
+            let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+            execute(&store, &analyzed, &sequential).unwrap().0
+        })
+        .collect();
+
+    let worker_bin = std::path::PathBuf::from(env!("CARGO_BIN_EXE_pd-worker"));
+    for shards in [1usize, 2, 4] {
+        // fanout 16 keeps every leaf directly under the root (depth ≤ 1);
+        // fanout 2 forces an intermediate merge-server level at 4 shards
+        // (depth 2: leaves → mixers → root).
+        for fanout in [16usize, 2] {
+            let transports = [
+                Transport::InProcess,
+                Transport::Rpc(RpcConfig {
+                    worker_bin: Some(worker_bin.clone()),
+                    deadline: Duration::from_secs(30),
+                }),
+            ];
+            for transport in transports {
+                let label = format!("shards={shards} fanout={fanout} transport={transport:?}");
+                let config = ClusterConfig {
+                    shards,
+                    replication: false,
+                    threads: 0,
+                    shard_cache: 0,
+                    tree: TreeShape { fanout },
+                    build: build.clone(),
+                    transport,
+                    ..Default::default()
+                };
+                let cluster = Cluster::build(&table, &config).unwrap();
+                assert_eq!(cluster.shard_count(), shards, "{label}");
+                for pass in 0..2 {
+                    for (sql, want) in MATRIX_QUERIES.iter().zip(&expected) {
+                        let outcome = cluster.query(sql).unwrap();
+                        assert_eq!(outcome.result, *want, "{label} pass={pass}: {sql}");
+                        assert_eq!(
+                            outcome.stats.rows_skipped
+                                + outcome.stats.rows_cached
+                                + outcome.stats.rows_scanned,
+                            outcome.stats.rows_total,
+                            "row accounting must balance: {label}: {sql}"
+                        );
+                        assert_eq!(outcome.subquery_latencies.len(), shards, "{label}");
+                        assert_eq!(outcome.queue_delays.len(), shards, "{label}");
+                        assert!(outcome.failovers.is_empty(), "{label}");
+                        assert_eq!(outcome.shard_cache_hits, 0, "{label}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// The same bit-identity, via the seeded random query generator: sharded
 /// execution tracks the row-at-a-time baseline exactly where the
 /// single-store engine does.
