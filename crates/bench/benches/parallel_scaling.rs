@@ -8,13 +8,13 @@
 //! and finalize phases dominate.
 
 use pd_bench::experiments::{paper_partition, QUERIES};
-use pd_bench::{fmt_duration, logs_table, measure_n, Bench};
+use pd_bench::{fmt_duration, json_line, logs_table, measure_n, measure_stats, Bench};
 use pd_core::{execute, BuildOptions, DataStore, ExecContext};
 use pd_sql::{analyze, parse_query};
 use std::hint::black_box;
 
 fn main() {
-    let rows = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(500_000);
+    let rows = pd_bench::rows_from_env_or(500_000);
     let table = logs_table(rows);
     let mut options = BuildOptions::reordered(paper_partition(rows));
     if let Some(spec) = &mut options.partition {
@@ -63,14 +63,15 @@ fn main() {
         let analyzed = analyze(&parse_query(sql).expect("parse")).expect("analyze");
         let time = |threads: usize| {
             let ctx = ExecContext { threads, ..Default::default() };
-            measure_n(5, || {
+            measure_stats(5, || {
                 black_box(execute(&store, &analyzed, &ctx).expect("query"));
             })
         };
-        let t1 = time(1);
-        let t2 = time(2);
-        let t4 = time(4);
-        let t8 = time(8);
+        let s1 = time(1);
+        let s2 = time(2);
+        let s4 = time(4);
+        let s8 = time(8);
+        let (t1, t2, t4, t8) = (s1.min, s2.min, s4.min, s8.min);
         check(name, 2, t1, t2);
         check(name, 4, t1, t4);
         check(name, 8, t1, t8);
@@ -83,13 +84,8 @@ fn main() {
             t1.as_secs_f64() / t4.as_secs_f64().max(1e-12),
             t1.as_secs_f64() / t8.as_secs_f64().max(1e-12),
         );
-        if std::env::var("PD_BENCH_JSON").is_ok() {
-            for (threads, t) in [(1, t1), (2, t2), (4, t4), (8, t8)] {
-                println!(
-                    "{{\"group\":\"parallel_scaling\",\"bench\":\"{name}/threads{threads}\",\"ns_per_iter\":{}}}",
-                    t.as_nanos()
-                );
-            }
+        for (threads, stats) in [(1, s1), (2, s2), (4, s4), (8, s8)] {
+            json_line("parallel_scaling", &format!("{name}/threads{threads}"), stats, &[]);
         }
     }
 

@@ -1,31 +1,37 @@
 //! The cost of the real §4 process split: in-process shard fan-out vs the
-//! RPC computation tree (spawned `pd-dist-worker` leaves + merge servers).
+//! RPC computation tree (spawned `pd-dist-worker` leaves + merge servers)
+//! over Unix sockets and loopback TCP, with frame compression on and off.
 //!
-//! Four numbers per shard count:
+//! Numbers per shard count and transport:
 //!
 //! 1. **tree build** — spawning, loading and wiring the worker processes
 //!    (the price the in-process cluster never pays);
 //! 2. **cold query** — first execution over each transport;
 //! 3. **warm query** — steady state, where the RPC gap isolates the wire:
 //!    serialization + framing + socket hops + worker queueing;
-//! 4. **wire bytes** — the serialized size of one shard's partial result,
-//!    the §4 payload that flows up the tree.
+//! 4. **wire bytes** — the serialized size of one shard's partial result
+//!    raw vs compressed (`pd-compress` Zippy): the §4 payload that flows
+//!    up the tree is dominated by `FloatSum` superaccumulator limbs,
+//!    which are mostly zero, so the ratio must come out ≥ 2× (asserted —
+//!    the bench-smoke CI job turns a regression into a red build).
 //!
 //! The worker binary is resolved like the library does (explicit env /
 //! sibling of the executable); when it is not built the RPC columns are
 //! skipped with a note instead of failing — `cargo bench` does not build
-//! other crates' bin targets.
+//! other crates' bin targets. Worker processes sit in `ReapGuard`s inside
+//! the cluster's `ProcessTree`, so a panicking measurement reaps its
+//! children on unwind instead of leaking them into later suites.
 
-use pd_bench::{fmt_duration, logs_table, measure, measure_n, TablePrinter};
+use pd_bench::{fmt_duration, json_line, logs_table, measure_stats, TablePrinter};
 use pd_common::wire;
+use pd_compress::CodecKind;
 use pd_core::{execute_partial, BuildOptions, DataStore, ExecContext};
-use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape};
-use pd_sql::{analyze, parse_query};
+use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape, WorkerAddr};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn main() {
-    let rows = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(100_000);
+    let rows = pd_bench::rows_from_env_or(100_000);
     let table = logs_table(rows);
     let mut build = BuildOptions::production(&["country", "table_name"]);
     if let Some(spec) = &mut build.partition {
@@ -36,16 +42,45 @@ fn main() {
 
     // One shard's partial on the wire: what every tree edge carries (an
     // unfiltered two-aggregate group-by, so every group key, count and
-    // float-sum superaccumulator is present).
+    // float-sum superaccumulator is present), raw and compressed.
     let store = DataStore::build(&table, &build).expect("store");
     let unfiltered = "SELECT country, COUNT(*) as c, SUM(latency) as s FROM logs GROUP BY country";
-    let analyzed = analyze(&parse_query(unfiltered).expect("parse")).expect("analyze");
+    let analyzed =
+        pd_sql::analyze(&pd_sql::parse_query(unfiltered).expect("parse")).expect("analyze");
     let ctx = ExecContext { threads: 1, ..Default::default() };
     let (partial, _) = execute_partial(&store, &analyzed, &ctx).expect("partial");
-    let wire_bytes = wire::to_bytes(&partial).len();
+    let wire_bytes = wire::to_bytes(&partial);
+    let codec = CodecKind::Zippy.codec();
+    let compress_stats = measure_stats(5, || {
+        black_box(codec.compress(&wire_bytes));
+    });
+    let compressed = codec.compress(&wire_bytes);
+    assert_eq!(codec.decompress(&compressed).expect("round trip"), wire_bytes);
+    let ratio = wire_bytes.len() as f64 / compressed.len().max(1) as f64;
     println!(
-        "dataset: {rows} rows; one shard's {}-group partial on the wire: {wire_bytes} bytes",
-        partial.groups.len()
+        "dataset: {rows} rows; one shard's {}-group partial on the wire: {} bytes raw, \
+         {} bytes compressed ({ratio:.1}x, compressed in {})",
+        partial.groups.len(),
+        wire_bytes.len(),
+        compressed.len(),
+        fmt_duration(compress_stats.median),
+    );
+    json_line(
+        "rpc_tree",
+        "partial_compression",
+        compress_stats,
+        &[
+            ("bytes", wire_bytes.len().to_string()),
+            ("compressed_bytes", compressed.len().to_string()),
+            ("ratio", format!("{ratio:.3}")),
+        ],
+    );
+    assert!(
+        ratio >= 2.0,
+        "FloatSum-limb-dominated partials must compress ≥2x, got {ratio:.2}x \
+         ({} -> {} bytes)",
+        wire_bytes.len(),
+        compressed.len()
     );
 
     let worker_available = pd_dist::process::resolve_worker_bin(None).is_ok();
@@ -56,23 +91,25 @@ fn main() {
         );
     }
 
+    let transports: Vec<(&str, Transport)> = vec![
+        ("in-process", Transport::InProcess),
+        ("unix", rpc(WorkerAddr::Unix, false)),
+        ("unix+z", rpc(WorkerAddr::Unix, true)),
+        ("tcp", rpc(WorkerAddr::loopback(), false)),
+        ("tcp+z", rpc(WorkerAddr::loopback(), true)),
+    ];
+    let shard_counts: &[usize] = if pd_bench::quick() { &[1, 4] } else { &[1, 4, 8] };
+
     println!("\n=== transport comparison (fanout 4 ⇒ merge servers appear at 8 shards) ===");
     let printer = TablePrinter::new(
         &["shards", "transport", "tree build", "cold query", "warm query"],
         &[6, 10, 10, 10, 10],
     );
-    for shards in [1usize, 4, 8] {
-        for transport_name in ["in-process", "rpc"] {
-            if transport_name == "rpc" && !worker_available {
+    for &shards in shard_counts {
+        for (transport_name, transport) in &transports {
+            if !matches!(transport, Transport::InProcess) && !worker_available {
                 continue;
             }
-            let transport = match transport_name {
-                "in-process" => Transport::InProcess,
-                _ => Transport::Rpc(RpcConfig {
-                    worker_bin: None,
-                    deadline: Duration::from_secs(60),
-                }),
-            };
             let config = ClusterConfig {
                 shards,
                 replication: false,
@@ -80,38 +117,42 @@ fn main() {
                 threads: 1,
                 tree: TreeShape { fanout: 4 },
                 build: build.clone(),
-                transport,
+                transport: transport.clone(),
                 ..Default::default()
             };
             let mut cluster = None;
-            let build_time = measure(|| {
+            let build_time = pd_bench::measure(|| {
                 cluster = Some(Cluster::build(&table, &config).expect("cluster"));
             });
             let cluster = cluster.expect("built");
-            let cold = measure(|| {
+            let cold = pd_bench::measure(|| {
                 black_box(cluster.query(sql).expect("query"));
             });
-            let warm = measure_n(5, || {
+            let warm_stats = measure_stats(5, || {
                 black_box(cluster.query(sql).expect("query"));
             });
-            if std::env::var("PD_BENCH_JSON").is_ok() {
-                println!(
-                    "{{\"group\":\"rpc_tree\",\"bench\":\"shards{shards}/{transport_name}\",\
-                     \"ns_per_iter\":{}}}",
-                    warm.as_nanos()
-                );
-            }
+            json_line("rpc_tree", &format!("shards{shards}/{transport_name}"), warm_stats, &[]);
             printer.row(&[
                 shards.to_string(),
                 transport_name.to_string(),
                 fmt_duration(build_time),
                 fmt_duration(cold),
-                fmt_duration(warm),
+                fmt_duration(warm_stats.min),
             ]);
         }
     }
     println!(
         "\nThe warm-query gap between the transports is the RPC boundary itself: \
-         serialization, framing, socket hops and worker queueing."
+         serialization, framing, socket hops and worker queueing; the +z columns \
+         show what per-frame compression costs (CPU) and saves (bytes moved)."
     );
+}
+
+fn rpc(addr: WorkerAddr, compress: bool) -> Transport {
+    Transport::Rpc(RpcConfig {
+        worker_bin: None,
+        deadline: Duration::from_secs(60),
+        addr,
+        compress,
+    })
 }

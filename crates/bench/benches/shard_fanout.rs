@@ -11,14 +11,14 @@
 //! 3. **Drill-down replay** — the §6 workload with the cache on vs off,
 //!    reporting total latency and the hit count.
 
-use pd_bench::{fmt_duration, logs_table, measure_n, TablePrinter};
+use pd_bench::{fmt_duration, json_line, logs_table, measure_stats, TablePrinter};
 use pd_core::{scheduler, BuildOptions};
 use pd_dist::{Cluster, ClusterConfig, DrillDownWorkload, WorkloadSpec};
 use std::hint::black_box;
 use std::time::Duration;
 
 fn main() {
-    let rows = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(200_000);
+    let rows = pd_bench::rows_from_env_or(200_000);
     let table = logs_table(rows);
     let mut build = BuildOptions::production(&["country", "table_name"]);
     if let Some(spec) = &mut build.partition {
@@ -52,16 +52,11 @@ fn main() {
                 },
             )
             .expect("cluster");
-            let t = measure_n(5, || {
+            let stats = measure_stats(5, || {
                 black_box(cluster.query(sql).expect("query"));
             });
-            if std::env::var("PD_BENCH_JSON").is_ok() {
-                println!(
-                    "{{\"group\":\"shard_fanout\",\"bench\":\"shards{shards}/threads{threads}\",\"ns_per_iter\":{}}}",
-                    t.as_nanos()
-                );
-            }
-            cells.push(fmt_duration(t));
+            json_line("shard_fanout", &format!("shards{shards}/threads{threads}"), stats, &[]);
+            cells.push(fmt_duration(stats.min));
         }
         printer.row(&cells);
     }
@@ -72,12 +67,13 @@ fn main() {
         &ClusterConfig { shards: 4, build: build.clone(), ..Default::default() },
     )
     .expect("cluster");
-    let cold = measure_n(1, || {
+    let cold = pd_bench::measure(|| {
         black_box(cluster.query(sql).expect("query"));
     });
-    let warm = measure_n(5, || {
+    let warm_stats = measure_stats(5, || {
         black_box(cluster.query(sql).expect("query"));
     });
+    let warm = warm_stats.min;
     let outcome = cluster.query(sql).expect("query");
     println!("cold (scans):      {:>12}", fmt_duration(cold));
     println!(
@@ -88,14 +84,8 @@ fn main() {
         cluster.shard_count(),
     );
     assert_eq!(outcome.shard_cache_hits, 4, "warm queries must hit every shard partial");
-    if std::env::var("PD_BENCH_JSON").is_ok() {
-        for (name, t) in [("cold", cold), ("warm", warm)] {
-            println!(
-                "{{\"group\":\"shard_cache\",\"bench\":\"{name}\",\"ns_per_iter\":{}}}",
-                t.as_nanos()
-            );
-        }
-    }
+    json_line("shard_cache", "cold", pd_bench::Stats { min: cold, median: cold }, &[]);
+    json_line("shard_cache", "warm", warm_stats, &[]);
 
     println!("\n=== drill-down replay: shard cache on vs off ===");
     let workload = DrillDownWorkload::generate(
@@ -130,10 +120,10 @@ fn main() {
     );
     assert_eq!(off_hits, 0);
     assert!(on_hits > 0, "the drill-down replay must hit the shard cache");
-    if std::env::var("PD_BENCH_JSON").is_ok() {
-        println!(
-            "{{\"group\":\"shard_cache\",\"bench\":\"drilldown_replay_hits\",\"ns_per_iter\":{},\"elements\":{on_hits}}}",
-            on_total.as_nanos()
-        );
-    }
+    json_line(
+        "shard_cache",
+        "drilldown_replay_hits",
+        pd_bench::Stats { min: on_total, median: on_total },
+        &[("elements", on_hits.to_string())],
+    );
 }

@@ -4,15 +4,42 @@
 //! built on [`Bench`] (the container carries no external bench framework):
 //! each case is warmed up once, timed over a fixed number of iterations,
 //! and reported as min/mean time per iteration plus derived throughput.
-//! Set `PD_BENCH_JSON=1` to additionally emit one JSON line per case (for
-//! `BENCH_*.json` trajectory capture).
+//!
+//! Two environment knobs drive CI:
+//!
+//! - `BENCH_QUICK=1` — smoke mode: datasets shrink ~10× and sample counts
+//!   drop to 2, so every bench finishes in seconds while still executing
+//!   its full code path (the bench-smoke CI job runs all benches this way
+//!   and fails on any panic);
+//! - `PD_BENCH_JSON=1` — emit one JSON line per case ([`json_line`]:
+//!   `group`, `bench`, `median_ns`, `min_ns`, optional extras), which CI
+//!   collects into the `BENCH_N.json` perf-trajectory artifact.
 
 use pd_data::{generate_logs, LogsSpec, Table};
 use std::time::{Duration, Instant};
 
+/// Smoke mode: `BENCH_QUICK=1` shrinks datasets and sample counts so the
+/// whole bench suite runs in CI on every push.
+pub fn quick() -> bool {
+    std::env::var("BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Row count for experiments: `PD_ROWS` overrides; otherwise `default`,
+/// shrunk 10× (floor 10'000) in [`quick`] mode.
+pub fn rows_from_env_or(default: usize) -> usize {
+    if let Some(rows) = std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()) {
+        return rows;
+    }
+    if quick() {
+        (default / 10).max(10_000).min(default)
+    } else {
+        default
+    }
+}
+
 /// Row count for experiments: `PD_ROWS` env var, default 500'000.
 pub fn rows_from_env() -> usize {
-    std::env::var("PD_ROWS").ok().and_then(|v| v.parse().ok()).unwrap_or(500_000)
+    rows_from_env_or(500_000)
 }
 
 /// The experiment dataset (the paper's "our own logs" profile).
@@ -31,6 +58,45 @@ pub fn measure(mut f: impl FnMut()) -> Duration {
 pub fn measure_n(n: usize, mut f: impl FnMut()) -> Duration {
     f();
     (0..n.max(1)).map(|_| measure(&mut f)).min().expect("n >= 1")
+}
+
+/// Per-iteration timing summary over several samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Fastest sample — the least-noise number, used for display and
+    /// case-vs-case comparisons.
+    pub min: Duration,
+    /// Median sample — the robust number the perf-trajectory record keeps.
+    pub median: Duration,
+}
+
+/// Time `n` samples (after one warmup; `n` halves to 2 in [`quick`] mode)
+/// and summarize.
+pub fn measure_stats(n: usize, mut f: impl FnMut()) -> Stats {
+    let n = if quick() { n.clamp(1, 2) } else { n.max(1) };
+    f();
+    let mut samples: Vec<Duration> = (0..n).map(|_| measure(&mut f)).collect();
+    samples.sort_unstable();
+    Stats { min: samples[0], median: samples[samples.len() / 2] }
+}
+
+/// Emit one machine-readable line for the `BENCH_N.json` trajectory (only
+/// with `PD_BENCH_JSON=1`). `extras` are appended verbatim as additional
+/// JSON fields, e.g. `[("bytes", "7800")]`.
+pub fn json_line(group: &str, bench: &str, stats: Stats, extras: &[(&str, String)]) {
+    if std::env::var("PD_BENCH_JSON").is_err() {
+        return;
+    }
+    let mut line = format!(
+        "{{\"group\":\"{group}\",\"bench\":\"{bench}\",\"median_ns\":{},\"min_ns\":{}",
+        stats.median.as_nanos(),
+        stats.min.as_nanos()
+    );
+    for (key, value) in extras {
+        line.push_str(&format!(",\"{key}\":{value}"));
+    }
+    line.push('}');
+    println!("{line}");
 }
 
 /// Bytes → MB with the paper's two decimals.
@@ -59,19 +125,20 @@ impl Bench {
     /// Time `f` (one iteration per sample, one warmup) and report. Returns
     /// the minimum per-iteration time for callers that compare cases.
     pub fn case(&self, name: &str, mut f: impl FnMut()) -> Duration {
-        let best = measure_n(self.samples, &mut f);
-        self.report(name, best, None);
-        best
+        let stats = measure_stats(self.samples, &mut f);
+        self.report(name, stats, None);
+        stats.min
     }
 
     /// Like [`Bench::case`] with an element-throughput annotation.
     pub fn case_throughput(&self, name: &str, elements: u64, mut f: impl FnMut()) -> Duration {
-        let best = measure_n(self.samples, &mut f);
-        self.report(name, best, Some(elements));
-        best
+        let stats = measure_stats(self.samples, &mut f);
+        self.report(name, stats, Some(elements));
+        stats.min
     }
 
-    fn report(&self, name: &str, best: Duration, elements: Option<u64>) {
+    fn report(&self, name: &str, stats: Stats, elements: Option<u64>) {
+        let best = stats.min;
         let per_iter = best.as_secs_f64();
         let throughput = elements.map(|n| n as f64 / per_iter.max(1e-12));
         match throughput {
@@ -81,14 +148,9 @@ impl Bench {
             Some(t) => println!("{name:<42} {:>12}  {t:>10.0} elem/s", fmt_duration(best)),
             None => println!("{name:<42} {:>12}", fmt_duration(best)),
         }
-        if std::env::var("PD_BENCH_JSON").is_ok() {
-            println!(
-                "{{\"group\":\"{}\",\"bench\":\"{name}\",\"ns_per_iter\":{},\"elements\":{}}}",
-                self.group,
-                best.as_nanos(),
-                elements.unwrap_or(0)
-            );
-        }
+        let extras: Vec<(&str, String)> =
+            elements.map(|n| ("elements", n.to_string())).into_iter().collect();
+        json_line(&self.group, name, stats, &extras);
     }
 }
 

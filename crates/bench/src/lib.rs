@@ -11,5 +11,6 @@ pub mod experiments;
 pub mod harness;
 
 pub use harness::{
-    fmt_duration, logs_table, mb, measure, measure_n, rows_from_env, Bench, TablePrinter,
+    fmt_duration, json_line, logs_table, mb, measure, measure_n, measure_stats, quick,
+    rows_from_env, rows_from_env_or, Bench, Stats, TablePrinter,
 };

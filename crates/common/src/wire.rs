@@ -34,6 +34,65 @@ use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
 use std::time::Duration;
 
+// --- frame header -----------------------------------------------------------
+
+/// Version byte of the RPC frame header. Bumped whenever the frame layout
+/// (not the payload encoding) changes; peers reject frames from a
+/// different version instead of mis-framing the stream.
+pub const FRAME_VERSION: u8 = 1;
+
+/// The frame payload is compressed (`pd-compress`, Zippy family). The
+/// receiver decompresses before decoding; the flag is per frame, so a
+/// connection can mix compressed and raw frames freely.
+pub const FRAME_FLAG_COMPRESSED: u8 = 0b0000_0001;
+
+/// The sender accepts compressed frames in return. This is the
+/// per-connection negotiation: a peer only compresses its replies to
+/// senders that advertised the bit, so an old or compression-less client
+/// never receives bytes it cannot decode.
+pub const FRAME_FLAG_COMPRESS_OK: u8 = 0b0000_0010;
+
+const FRAME_FLAGS_KNOWN: u8 = FRAME_FLAG_COMPRESSED | FRAME_FLAG_COMPRESS_OK;
+
+/// The fixed 6-byte prelude of every RPC frame:
+/// `[version u8][flags u8][payload length u32 le]`.
+///
+/// Framing (length cap, reading, compression wiring) lives with the RPC
+/// layer; this header only fixes the byte layout, so both sides of any
+/// transport — and the property fuzzers — agree on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    pub flags: u8,
+    /// Payload bytes on the wire (post-compression when the flag is set).
+    pub len: u32,
+}
+
+impl FrameHeader {
+    pub const BYTES: usize = 6;
+
+    /// Serialize with the current [`FRAME_VERSION`].
+    pub fn to_bytes(self) -> [u8; Self::BYTES] {
+        let len = self.len.to_le_bytes();
+        [FRAME_VERSION, self.flags, len[0], len[1], len[2], len[3]]
+    }
+
+    /// Parse and validate: wrong version or unknown flag bits are framing
+    /// errors (the stream cannot be trusted past them).
+    pub fn parse(bytes: [u8; Self::BYTES]) -> Result<FrameHeader> {
+        if bytes[0] != FRAME_VERSION {
+            return Err(Error::Data(format!(
+                "wire: frame version {} (this build speaks {FRAME_VERSION})",
+                bytes[0]
+            )));
+        }
+        let flags = bytes[1];
+        if flags & !FRAME_FLAGS_KNOWN != 0 {
+            return Err(Error::Data(format!("wire: unknown frame flags {flags:#04x}")));
+        }
+        Ok(FrameHeader { flags, len: u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]) })
+    }
+}
+
 /// Serialize `self` by appending bytes to `out`.
 pub trait Encode {
     fn encode(&self, out: &mut Vec<u8>);
@@ -433,6 +492,24 @@ impl Decode for Row {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn frame_headers_round_trip_and_validate() {
+        for flags in [0u8, FRAME_FLAG_COMPRESSED, FRAME_FLAG_COMPRESS_OK, FRAME_FLAGS_KNOWN] {
+            for len in [0u32, 1, 7_800, u32::MAX] {
+                let header = FrameHeader { flags, len };
+                assert_eq!(FrameHeader::parse(header.to_bytes()).unwrap(), header);
+            }
+        }
+        // Wrong version.
+        let mut bytes = FrameHeader { flags: 0, len: 4 }.to_bytes();
+        bytes[0] = FRAME_VERSION + 1;
+        assert!(FrameHeader::parse(bytes).is_err());
+        // Unknown flag bit.
+        let mut bytes = FrameHeader { flags: 0, len: 4 }.to_bytes();
+        bytes[1] = 0x80;
+        assert!(FrameHeader::parse(bytes).is_err());
+    }
 
     fn round_trip<T: Encode + Decode + PartialEq + std::fmt::Debug>(value: T) {
         let bytes = to_bytes(&value);

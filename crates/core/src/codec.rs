@@ -155,6 +155,7 @@ impl Encode for ScanStats {
         self.rows_skipped.encode(out);
         self.rows_cached.encode(out);
         self.rows_scanned.encode(out);
+        self.subtrees_pruned.encode(out);
         self.cells_scanned.encode(out);
         self.disk_bytes.encode(out);
         self.decompressed_bytes.encode(out);
@@ -173,6 +174,7 @@ impl Decode for ScanStats {
             rows_skipped: r.u64()?,
             rows_cached: r.u64()?,
             rows_scanned: r.u64()?,
+            subtrees_pruned: usize::decode(r)?,
             cells_scanned: r.u64()?,
             disk_bytes: r.u64()?,
             decompressed_bytes: r.u64()?,
@@ -315,6 +317,7 @@ mod tests {
             rows_skipped: 400,
             rows_cached: 100,
             rows_scanned: 500,
+            subtrees_pruned: 2,
             cells_scanned: 1500,
             disk_bytes: 4096,
             decompressed_bytes: 16384,

@@ -26,6 +26,13 @@ pub struct ScanStats {
     pub rows_cached: u64,
     pub rows_scanned: u64,
 
+    /// Computation-tree subtrees (leaf shards or whole merge-server
+    /// subtrees) pruned *before any network hop* because the shard
+    /// metadata proved no row could match the restriction. Their rows are
+    /// counted in `rows_skipped`/`chunks_skipped`; this counter records
+    /// how many tree edges never carried the query at all.
+    pub subtrees_pruned: usize,
+
     /// Cells touched: scanned rows × columns accessed by the query (the
     /// unit of the paper's title).
     pub cells_scanned: u64,
@@ -97,6 +104,7 @@ impl AddAssign<&ScanStats> for ScanStats {
         self.rows_skipped += rhs.rows_skipped;
         self.rows_cached += rhs.rows_cached;
         self.rows_scanned += rhs.rows_scanned;
+        self.subtrees_pruned += rhs.subtrees_pruned;
         self.cells_scanned += rhs.cells_scanned;
         self.disk_bytes += rhs.disk_bytes;
         self.decompressed_bytes += rhs.decompressed_bytes;

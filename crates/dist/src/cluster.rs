@@ -26,7 +26,7 @@
 //! so every outcome — delays, failures, failovers — is reproducible
 //! regardless of worker scheduling.
 
-use crate::process::{resolve_worker_bin, ProcessTree, TreeConfig};
+use crate::process::{resolve_worker_bin, ProcessTree, TreeConfig, WorkerAddr};
 use crate::shard_cache::{query_signature, ShardCache, ShardEntry};
 use pd_common::rng::Rng;
 use pd_common::sync::Mutex;
@@ -50,11 +50,14 @@ pub enum Transport {
     InProcess,
     /// The paper's real topology: one `pd-dist-worker` OS process per
     /// shard replica plus spawned merge servers, talking the
-    /// [`crate::rpc`] protocol over Unix sockets. Subquery latencies and
-    /// queue delays in [`QueryOutcome`] are then *measured*, not drawn
-    /// from the seeded [`LoadModel`], and a worker missing its
-    /// [`RpcConfig::deadline`] fails over exactly like a [`FailureModel`]
-    /// kill.
+    /// [`crate::rpc`] protocol over Unix sockets ([`WorkerAddr::Unix`])
+    /// or loopback/multi-host TCP ([`WorkerAddr::Tcp`]), with optionally
+    /// compressed frames. Subquery latencies and queue delays in
+    /// [`QueryOutcome`] are then *measured*, not drawn from the seeded
+    /// [`LoadModel`], and a worker missing its [`RpcConfig::deadline`]
+    /// fails over exactly like a [`FailureModel`] kill. Queries travel as
+    /// decoded restrictions, so any tree node pre-skips subtrees whose
+    /// shard metadata cannot match ([`pd_core::ScanStats::subtrees_pruned`]).
     Rpc(RpcConfig),
 }
 
@@ -68,11 +71,22 @@ pub struct RpcConfig {
     /// Per-hop deadline for leaf subqueries: a primary that does not
     /// answer in time is failed over to its replica.
     pub deadline: Duration,
+    /// Socket shape the workers listen on: `Unix` (single box) or
+    /// `Tcp { host }` with one ephemeral port per worker.
+    pub addr: WorkerAddr,
+    /// Compress RPC frames with `pd-compress` (negotiated per connection;
+    /// serialized partials are FloatSum-limb-heavy and shrink several-fold).
+    pub compress: bool,
 }
 
 impl Default for RpcConfig {
     fn default() -> Self {
-        RpcConfig { worker_bin: None, deadline: Duration::from_secs(30) }
+        RpcConfig {
+            worker_bin: None,
+            deadline: Duration::from_secs(30),
+            addr: WorkerAddr::Unix,
+            compress: true,
+        }
     }
 }
 
@@ -368,6 +382,8 @@ impl Cluster {
             fanout: config.tree.fanout,
             threads: config.threads,
             cache_budget_per_shard: Self::per_shard_budget(config, shard_count),
+            addr: rpc.addr.clone(),
+            compress: rpc.compress,
         };
         // Sub-tables are produced one at a time: each is shipped to its
         // worker pair and dropped before the next is materialized.
@@ -445,7 +461,7 @@ impl Cluster {
         let analyzed = analyze(&parse_query(sql)?)?;
         let qid = self.queries.fetch_add(1, Ordering::Relaxed);
         if let Some(tree) = &self.tree {
-            return self.query_tree(tree, sql, qid, &analyzed);
+            return self.query_tree(tree, qid, &analyzed);
         }
         let signature = self.shard_cache.as_ref().map(|_| {
             let sketch_m = self.shards.first().map_or(4096, |s| s.ctx.sketch_m());
@@ -523,7 +539,6 @@ impl Cluster {
     fn query_tree(
         &self,
         tree: &ProcessTree,
-        sql: &str,
         qid: u64,
         analyzed: &AnalyzedQuery,
     ) -> pd_common::Result<QueryOutcome> {
@@ -542,7 +557,7 @@ impl Cluster {
         }
 
         let fan_out_started = Instant::now();
-        let answer = tree.query(sql, killed)?;
+        let answer = tree.query(analyzed, killed)?;
         // Measured end-to-end fan-out: leaf hops *and* every merge-server
         // fold, response serialization and root-hop transport above them —
         // time the per-shard reports (stamped by each leaf's immediate

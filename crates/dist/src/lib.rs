@@ -10,8 +10,8 @@
 //! | paper §4                          | here                                  |
 //! |-----------------------------------|---------------------------------------|
 //! | X data partitions on leaf servers | [`Cluster`]'s shards: independent [`pd_core::DataStore`]s over contiguous row ranges — in-process, or imported by spawned `pd-dist-worker` processes ([`Transport::Rpc`]) |
-//! | the query sent to all machines, executed concurrently | in-process: one task per shard on the shared [`pd_core::scheduler`] pool; rpc: concurrent length-prefixed frames ([`rpc`]) over Unix sockets to worker processes |
-//! | partial results merged up the tree | real intermediate **merge servers** ([`worker`]): each owns a [`TreeShape`]-fanout subtree, folds child partials with the same associative merge, and reports per-shard observations up; the driver is the root |
+//! | the query sent to all machines, executed concurrently | in-process: one task per shard on the shared [`pd_core::scheduler`] pool; rpc: concurrent framed messages ([`rpc`]) over Unix sockets *or* TCP ([`WorkerAddr`]), optionally compressed (`pd-compress`, negotiated per connection), carrying the decoded [`pd_sql::AnalyzedQuery`] — no SQL re-parse on any hop |
+//! | partial results merged up the tree | real intermediate **merge servers** ([`worker`]): each owns a [`TreeShape`]-fanout subtree, folds child partials with the same associative merge, reports per-shard observations up, and **prunes subtrees whose [`ShardMeta`] cannot match the restriction** before any network hop ([`pd_core::ScanStats::subtrees_pruned`]); the driver is the root |
 //! | "take the answer arriving first" replication | per-shard replica processes; a primary that is killed ([`FailureModel`]) **or misses its [`RpcConfig::deadline`]** fails over to the replica — both through the same code path, recorded in [`QueryOutcome::failovers`] |
 //! | servers being "temporarily slow" | in-process: seeded [`LoadModel`] draws; rpc: **measured** — workers funnel requests through one executor and report real queue delays ([`QueryOutcome::queue_delays`], [`Cluster::observed_queue_delays`]) |
 //! | reuse of previously computed answers | [`shard_cache`]: the root caches each shard's partial (in-process transport); over rpc, the workers' own chunk-result caches |
@@ -41,6 +41,7 @@
 //!   relation.
 
 pub mod cluster;
+pub mod meta;
 pub mod process;
 pub mod rpc;
 pub mod shard_cache;
@@ -50,6 +51,7 @@ pub mod workload;
 pub use cluster::{
     Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome, RpcConfig, Transport, TreeShape,
 };
-pub use process::ProcessTree;
+pub use meta::{ColumnMeta, ShardMeta};
+pub use process::{ProcessTree, ReapGuard, WorkerAddr};
 pub use shard_cache::{query_signature, ShardCache, ShardEntry};
 pub use workload::{run_production, Click, DrillDownWorkload, ProductionReport, WorkloadSpec};

@@ -1,0 +1,339 @@
+//! Shard metadata for restriction-aware subtree pruning.
+//!
+//! The paper's production discipline is "pass through the tree once, prune
+//! early, move few bytes": since queries now travel as decoded
+//! [`pd_sql::Restriction`]s instead of SQL text, every node that parents a
+//! subtree can ask *before* spending a network hop: can any row beneath
+//! this child match? [`ShardMeta`] is the per-shard summary that makes the
+//! question answerable — row/chunk totals plus, per column, the complete
+//! distinct-value set (when small) and the min/max value.
+//!
+//! Soundness contract: [`may_match`] may err only towards `true`. A `false`
+//! is a *proof* that the restriction rejects every row of the shard, so the
+//! parent can substitute an empty partial and account the shard's rows as
+//! skipped without changing any result bit. To keep the proof aligned with
+//! what the row filter would actually do, every comparison goes through
+//! `pd_sql`'s own [`values_equal`] / [`values_compare`] — the exact
+//! semantics `WHERE` evaluation uses (numeric across Int/Float, total
+//! order otherwise).
+
+use pd_common::wire::{Decode, Encode, Reader};
+use pd_common::{Result, Row, Schema, Value};
+use pd_sql::{values_compare, values_equal, Expr, Restriction};
+use std::cmp::Ordering;
+
+/// Distinct values tracked per column before the summary degrades to
+/// min/max only. Low-cardinality dimensions (country, table name) stay
+/// exact — they are the columns drill-down restrictions touch.
+pub const MAX_DISTINCT: usize = 48;
+
+/// One column's summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnMeta {
+    pub name: String,
+    /// The complete distinct-value set, or `None` when it exceeded
+    /// [`MAX_DISTINCT`] (min/max still apply).
+    pub values: Option<Vec<Value>>,
+    /// Extremes under [`values_compare`]; `None` only for a rowless shard.
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+}
+
+/// One shard's summary, carried in the tree-wiring messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMeta {
+    pub shard: u64,
+    pub rows: u64,
+    /// Chunk count of the built store (for skip accounting up the tree).
+    pub chunks: u64,
+    pub columns: Vec<ColumnMeta>,
+}
+
+impl ShardMeta {
+    /// Summarize `rows` (the exact rows a leaf imports). `chunks` is
+    /// filled in after the store build.
+    pub fn summarize(shard: u64, schema: &Schema, rows: &[Row]) -> ShardMeta {
+        let mut columns: Vec<ColumnMeta> = schema
+            .fields()
+            .iter()
+            .map(|f| ColumnMeta {
+                name: f.name.clone(),
+                values: Some(Vec::new()),
+                min: None,
+                max: None,
+            })
+            .collect();
+        for row in rows {
+            for (meta, value) in columns.iter_mut().zip(&row.0) {
+                meta.observe(value);
+            }
+        }
+        ShardMeta { shard, rows: rows.len() as u64, chunks: 0, columns }
+    }
+
+    fn column(&self, name: &str) -> Option<&ColumnMeta> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+}
+
+impl ColumnMeta {
+    fn observe(&mut self, value: &Value) {
+        if let Some(values) = &mut self.values {
+            // Sorted insert (by the same comparator pruning uses), so the
+            // per-row dedup is a binary search rather than a linear scan —
+            // this runs once per cell of every shipped shard.
+            if let Err(at) = values.binary_search_by(|m| values_compare(m, value)) {
+                if values.len() >= MAX_DISTINCT {
+                    self.values = None;
+                } else {
+                    values.insert(at, value.clone());
+                }
+            }
+        }
+        let wider = |bound: &mut Option<Value>, keep: Ordering| {
+            let replace = match bound {
+                None => true,
+                Some(b) => values_compare(value, b) == keep,
+            };
+            if replace {
+                *bound = Some(value.clone());
+            }
+        };
+        wider(&mut self.min, Ordering::Less);
+        wider(&mut self.max, Ordering::Greater);
+    }
+
+    /// Could any row of this column equal `v` (under SQL equality)?
+    fn may_contain(&self, v: &Value) -> bool {
+        if let Some(values) = &self.values {
+            return values.iter().any(|m| values_equal(m, v));
+        }
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => {
+                // SQL equality and the total order disagree in exactly one
+                // corner: ±0.0 (values_equal(0, -0.0) but -0.0 < 0 under
+                // total_cmp). A probe equal to either bound must therefore
+                // count as present even when the interval test would place
+                // it outside — otherwise a shard whose rows match could be
+                // pruned, and pruning may only ever err towards "maybe".
+                values_equal(v, min)
+                    || values_equal(v, max)
+                    || (values_compare(v, min) != Ordering::Less
+                        && values_compare(v, max) != Ordering::Greater)
+            }
+            _ => false, // no rows at all
+        }
+    }
+}
+
+/// Can any row of the shard satisfy `restriction`? Errs towards `true`:
+/// opaque predicates, virtual-field expressions and columns absent from
+/// the summary are all "maybe".
+pub fn may_match(restriction: &Restriction, meta: &ShardMeta) -> bool {
+    if meta.rows == 0 {
+        return false;
+    }
+    match restriction {
+        Restriction::True | Restriction::Opaque => true,
+        Restriction::And(children) => children.iter().all(|r| may_match(r, meta)),
+        Restriction::Or(children) => children.iter().any(|r| may_match(r, meta)),
+        Restriction::In { field, values, negated } => {
+            let Some(column) = plain_column(field, meta) else { return true };
+            if !negated {
+                values.iter().any(|v| column.may_contain(v))
+            } else {
+                // NOT IN can only be refuted with the complete value set:
+                // every shard value must hit the list.
+                match &column.values {
+                    Some(present) => {
+                        !present.iter().all(|m| values.iter().any(|v| values_equal(m, v)))
+                    }
+                    None => true,
+                }
+            }
+        }
+        Restriction::Range { field, min, max } => {
+            let Some(column) = plain_column(field, meta) else { return true };
+            let (Some(cmin), Some(cmax)) = (&column.min, &column.max) else { return false };
+            let above_lo = match min {
+                None => true,
+                Some((v, inclusive)) => match values_compare(cmax, v) {
+                    Ordering::Greater => true,
+                    Ordering::Equal => *inclusive,
+                    Ordering::Less => false,
+                },
+            };
+            let below_hi = match max {
+                None => true,
+                Some((v, inclusive)) => match values_compare(cmin, v) {
+                    Ordering::Less => true,
+                    Ordering::Equal => *inclusive,
+                    Ordering::Greater => false,
+                },
+            };
+            above_lo && below_hi
+        }
+    }
+}
+
+fn plain_column<'a>(field: &Expr, meta: &'a ShardMeta) -> Option<&'a ColumnMeta> {
+    meta.column(field.as_column()?)
+}
+
+// --- wire codecs ------------------------------------------------------------
+
+impl Encode for ColumnMeta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.values.encode(out);
+        self.min.encode(out);
+        self.max.encode(out);
+    }
+}
+
+impl Decode for ColumnMeta {
+    fn decode(r: &mut Reader<'_>) -> Result<ColumnMeta> {
+        Ok(ColumnMeta {
+            name: String::decode(r)?,
+            values: Option::<Vec<Value>>::decode(r)?,
+            min: Option::<Value>::decode(r)?,
+            max: Option::<Value>::decode(r)?,
+        })
+    }
+}
+
+impl Encode for ShardMeta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.shard.encode(out);
+        self.rows.encode(out);
+        self.chunks.encode(out);
+        self.columns.encode(out);
+    }
+}
+
+impl Decode for ShardMeta {
+    fn decode(r: &mut Reader<'_>) -> Result<ShardMeta> {
+        Ok(ShardMeta {
+            shard: r.u64()?,
+            rows: r.u64()?,
+            chunks: r.u64()?,
+            columns: Vec::<ColumnMeta>::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pd_common::wire::{from_bytes, to_bytes};
+    use pd_common::DataType;
+    use pd_sql::parse_query;
+
+    fn sample_meta() -> ShardMeta {
+        let schema = Schema::of(&[
+            ("country", DataType::Str),
+            ("latency", DataType::Int),
+            ("x", DataType::Float),
+        ]);
+        let rows: Vec<Row> = (0..100i64)
+            .map(|i| {
+                Row(vec![
+                    Value::from(["DE", "FR"][(i % 2) as usize]),
+                    Value::Int(100 + i),
+                    Value::Float(i as f64 * 0.5),
+                ])
+            })
+            .collect();
+        ShardMeta::summarize(7, &schema, &rows)
+    }
+
+    fn restriction(where_sql: &str) -> Restriction {
+        let q = parse_query(&format!("SELECT COUNT(*) FROM t WHERE {where_sql}")).unwrap();
+        Restriction::from_expr(&q.where_clause.unwrap())
+    }
+
+    #[test]
+    fn summaries_capture_values_and_extremes() {
+        let meta = sample_meta();
+        let country = meta.column("country").unwrap();
+        assert_eq!(country.values.as_ref().unwrap().len(), 2);
+        let latency = meta.column("latency").unwrap();
+        assert_eq!(latency.values, None, "100 distinct ints exceed the cap");
+        assert_eq!(latency.min, Some(Value::Int(100)));
+        assert_eq!(latency.max, Some(Value::Int(199)));
+    }
+
+    #[test]
+    fn pruning_is_sound_and_useful() {
+        let meta = sample_meta();
+        // Provably absent values prune; present values don't.
+        assert!(!may_match(&restriction("country = 'US'"), &meta));
+        assert!(may_match(&restriction("country = 'DE'"), &meta));
+        assert!(!may_match(&restriction("country IN ('US', 'SG')"), &meta));
+        assert!(may_match(&restriction("country IN ('US', 'FR')"), &meta));
+        // Min/max reasoning for the capped column.
+        assert!(!may_match(&restriction("latency > 199"), &meta));
+        assert!(may_match(&restriction("latency >= 199"), &meta));
+        assert!(!may_match(&restriction("latency < 100"), &meta));
+        assert!(may_match(&restriction("latency <= 100"), &meta));
+        // Values inside the range can never be proven absent without the set.
+        assert!(may_match(&restriction("latency = 150"), &meta));
+        // Mixed-type numerics use SQL comparison semantics.
+        assert!(!may_match(&restriction("latency > 199.5"), &meta));
+        assert!(!may_match(&restriction("x > 49.6"), &meta));
+        // AND prunes if any leg does; OR only if all legs do.
+        assert!(!may_match(&restriction("country = 'US' AND latency > 0"), &meta));
+        assert!(may_match(&restriction("country = 'US' OR latency > 0"), &meta));
+        // NOT IN with a complete set prunes only when every value is listed.
+        assert!(!may_match(&restriction("country NOT IN ('DE', 'FR')"), &meta));
+        assert!(may_match(&restriction("country NOT IN ('DE')"), &meta));
+        // Opaque predicates and unknown columns never prune.
+        assert!(may_match(&restriction("contains(country, 'D')"), &meta));
+        assert!(may_match(&restriction("date(timestamp) IN ('2012-01-01')"), &meta));
+        assert!(may_match(&restriction("nosuch = 'x'"), &meta));
+    }
+
+    #[test]
+    fn signed_zero_equality_never_prunes_a_matching_shard() {
+        // >MAX_DISTINCT distinct floats, all <= -0.0, so the value set
+        // degrades to min/max with max = -0.0. `x = 0` matches the -0.0
+        // rows under SQL equality even though Int(0) sits *above* the max
+        // in the total order — the shard must not be pruned.
+        let schema = Schema::of(&[("x", DataType::Float)]);
+        let mut rows: Vec<Row> = (1..=60).map(|i| Row(vec![Value::Float(-(i as f64))])).collect();
+        rows.push(Row(vec![Value::Float(-0.0)]));
+        let meta = ShardMeta::summarize(0, &schema, &rows);
+        assert_eq!(meta.column("x").unwrap().values, None, "set must have degraded");
+        assert_eq!(meta.column("x").unwrap().max, Some(Value::Float(-0.0)));
+        assert!(may_match(&restriction("x = 0"), &meta));
+        // Float-vs-float equality in this engine is total_cmp-based, so
+        // the row filter itself rejects `-0.0 = 0.0` — pruning that probe
+        // is sound (and correct): only the numeric Int/Float path above
+        // crosses the signed-zero boundary.
+        assert!(!may_match(&restriction("x = 0.0"), &meta));
+        assert!(may_match(&restriction("x = -60"), &meta), "equality with min");
+        assert!(!may_match(&restriction("x = 1"), &meta), "still prunes above the range");
+        assert!(!may_match(&restriction("x = -61"), &meta), "still prunes below the range");
+    }
+
+    #[test]
+    fn empty_shards_always_prune() {
+        let schema = Schema::of(&[("k", DataType::Str)]);
+        let meta = ShardMeta::summarize(0, &schema, &[]);
+        assert!(!may_match(&Restriction::True, &meta));
+        assert!(!may_match(&restriction("k = 'a'"), &meta));
+    }
+
+    #[test]
+    fn metas_round_trip_on_the_wire() {
+        let mut meta = sample_meta();
+        meta.chunks = 4;
+        let back: ShardMeta = from_bytes(&to_bytes(&meta)).unwrap();
+        assert_eq!(back, meta);
+        // Truncations error, never panic.
+        let bytes = to_bytes(&meta);
+        for cut in (0..bytes.len()).step_by(7) {
+            assert!(from_bytes::<ShardMeta>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+}

@@ -9,22 +9,83 @@
 //! top-most tree level), folds the answers with the same associative
 //! merge every other level uses, and finalizes.
 //!
-//! Workers are spawned against Unix sockets in a private temp directory
-//! and torn down on [`Drop`]: a best-effort `Shutdown` request first, then
-//! `SIGKILL` — a wedged worker (the very failure mode the deadline path
-//! exists for) must not outlive its cluster.
+//! Workers listen on Unix sockets in a private temp directory
+//! ([`WorkerAddr::Unix`]) or on ephemeral TCP ports ([`WorkerAddr::Tcp`],
+//! the multi-host shape exercised over loopback here); TCP workers
+//! announce their kernel-assigned port through a file the spawner polls.
+//! Every spawned process sits in a [`ReapGuard`], so a panic anywhere
+//! mid-build or mid-test kills and reaps the child on unwind — a wedged
+//! worker (the very failure mode the deadline path exists for) must not
+//! outlive its cluster, and a red test must not poison later suites with
+//! orphan processes.
 
+use crate::meta::ShardMeta;
 use crate::rpc::{
-    fan_out, AttachRequest, ChildHandle, ChildSpec, LoadRequest, QueryRequest, Request, Response,
-    RpcClient, SubtreeAnswer, LOAD_TIMEOUT, STARTUP_TIMEOUT,
+    fan_out, Addr, AttachRequest, ChildHandle, ChildSpec, LoadRequest, QueryRequest, Request,
+    Response, RpcClient, SubtreeAnswer, LOAD_TIMEOUT, STARTUP_TIMEOUT,
 };
 use pd_common::{Error, Result};
 use pd_core::BuildOptions;
 use pd_data::Table;
+use pd_sql::AnalyzedQuery;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Which socket shape spawned workers listen on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum WorkerAddr {
+    /// Unix sockets in a private temp directory — the single-box default.
+    #[default]
+    Unix,
+    /// TCP on the given interface (e.g. `127.0.0.1`), one ephemeral port
+    /// per worker. Loopback today; the same wiring reaches real hosts once
+    /// a remote spawner exists (the protocol is already host-agnostic —
+    /// addresses travel as `tcp:host:port` strings).
+    Tcp { host: String },
+}
+
+impl WorkerAddr {
+    /// The conventional loopback TCP shape.
+    pub fn loopback() -> WorkerAddr {
+        WorkerAddr::Tcp { host: "127.0.0.1".into() }
+    }
+}
+
+/// Kills and reaps a spawned worker on drop. Every child process the tree
+/// spawns lives inside one of these from the instant `spawn` returns, so
+/// unwinding (a failed build, a panicking test, an `assert!` mid-query)
+/// reaps the process instead of leaking it to poison later suites.
+pub struct ReapGuard {
+    child: Option<Child>,
+}
+
+impl ReapGuard {
+    pub fn new(child: Child) -> ReapGuard {
+        ReapGuard { child: Some(child) }
+    }
+
+    /// Disarm the guard and hand the child back (the caller now owns
+    /// reaping it).
+    pub fn disarm(mut self) -> Child {
+        self.child.take().expect("armed guard")
+    }
+
+    /// Has the child already exited? Non-blocking; `None` while running.
+    pub fn try_wait(&mut self) -> Option<std::process::ExitStatus> {
+        self.child.as_mut().and_then(|c| c.try_wait().ok().flatten())
+    }
+}
+
+impl Drop for ReapGuard {
+    fn drop(&mut self) {
+        if let Some(mut child) = self.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
 
 /// Everything the tree builder needs beyond the shard tables.
 #[derive(Debug, Clone)]
@@ -40,6 +101,11 @@ pub struct TreeConfig {
     pub threads: usize,
     /// Uncompressed-cache byte budget per shard.
     pub cache_budget_per_shard: usize,
+    /// Socket shape workers listen on.
+    pub addr: WorkerAddr,
+    /// Compress RPC frames (negotiated per connection, applied down the
+    /// whole tree).
+    pub compress: bool,
 }
 
 /// Locate the worker binary: an explicit path, the `PD_DIST_WORKER_BIN`
@@ -72,15 +138,16 @@ pub fn resolve_worker_bin(explicit: Option<&Path>) -> Result<PathBuf> {
 /// A live computation tree of worker processes.
 pub struct ProcessTree {
     dir: PathBuf,
-    processes: Vec<Child>,
-    /// All sockets ever handed out, for shutdown.
-    sockets: Vec<PathBuf>,
+    processes: Vec<ReapGuard>,
+    /// All worker addresses ever handed out, for shutdown.
+    addrs: Vec<Addr>,
     /// The top tree level, queried (and failed over) by the driver root.
     frontier: Vec<ChildHandle>,
-    /// Per shard: the primary's socket, for control messages (delay
+    /// Per shard: the primary's address, for control messages (delay
     /// injection) that must reach a specific process.
-    leaf_primaries: Vec<PathBuf>,
+    leaf_primaries: Vec<Addr>,
     deadline: Duration,
+    compress: bool,
 }
 
 static TREE_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -105,10 +172,11 @@ impl ProcessTree {
         let mut tree = ProcessTree {
             dir,
             processes: Vec::new(),
-            sockets: Vec::new(),
+            addrs: Vec::new(),
             frontier: Vec::new(),
             leaf_primaries: Vec::new(),
             deadline: config.deadline,
+            compress: config.compress,
         };
         tree.populate(shard_count, shard_table, build, config)?;
         Ok(tree)
@@ -121,7 +189,9 @@ impl ProcessTree {
         build: &BuildOptions,
         config: &TreeConfig,
     ) -> Result<()> {
-        // Leaves: one loaded worker per shard replica.
+        // Leaves: one loaded worker per shard replica. The primary's Load
+        // ack carries the shard's metadata summary, which every parent up
+        // the tree uses to prune non-matching subtrees.
         let mut level: Vec<ChildSpec> = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
             let table = shard_table(shard)?;
@@ -134,57 +204,95 @@ impl ProcessTree {
                 cache_budget: config.cache_budget_per_shard as u64,
             }));
             drop(table);
-            let primary = self.spawn_worker(config, &format!("l{shard}p.sock"), &load)?;
+            let (primary, meta) = self.spawn_worker(config, &format!("l{shard}p"), &load)?;
+            let meta = meta
+                .ok_or_else(|| Error::Data(format!("shard {shard}: load ack carried no meta")))?;
             self.leaf_primaries.push(primary.clone());
             let replica = if config.replication {
-                Some(self.spawn_worker(config, &format!("l{shard}r.sock"), &load)?)
+                Some(self.spawn_worker(config, &format!("l{shard}r"), &load)?.0)
             } else {
                 None
             };
-            level.push(ChildSpec::Leaf {
-                shard: shard as u64,
-                primary: path_str(&primary)?,
-                replica: replica.as_deref().map(path_str).transpose()?,
-            });
+            level.push(ChildSpec::Leaf { shard: shard as u64, primary, replica, meta });
         }
 
         // Merge levels: while one server cannot own the whole level, group
-        // it into subtrees of `fanout` children each.
+        // it into subtrees of `fanout` children each. Each node's spec
+        // accumulates the shard summaries beneath it, so pruning works at
+        // any depth.
         let fanout = config.fanout.max(2);
         let mut height = 1u64;
         while level.len() > fanout {
             let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
             for (i, group) in level.chunks(fanout).enumerate() {
-                let attach = Request::Attach(AttachRequest { children: group.to_vec() });
-                let socket = self.spawn_worker(config, &format!("m{height}_{i}.sock"), &attach)?;
-                next.push(ChildSpec::Node { addr: path_str(&socket)?, height });
+                let metas: Vec<ShardMeta> =
+                    group.iter().flat_map(|c| c.metas().iter().cloned()).collect();
+                let attach = Request::Attach(AttachRequest {
+                    children: group.to_vec(),
+                    compress: config.compress,
+                });
+                let (addr, _) = self.spawn_worker(config, &format!("m{height}_{i}"), &attach)?;
+                next.push(ChildSpec::Node { addr, height, metas });
             }
             level = next;
             height += 1;
         }
-        self.frontier = level.into_iter().map(ChildHandle::new).collect();
+        self.frontier =
+            level.into_iter().map(|spec| ChildHandle::new(spec, config.compress)).collect();
         Ok(())
     }
 
-    /// Spawn one worker on `name`, wait for it to answer `Ping`, then send
-    /// its role-assignment request (`Load` / `Attach`).
-    fn spawn_worker(&mut self, config: &TreeConfig, name: &str, role: &Request) -> Result<PathBuf> {
-        let socket = self.dir.join(name);
-        let child = Command::new(&config.worker_bin)
-            .arg("--socket")
-            .arg(&socket)
+    /// Spawn one worker named `name`, wait for it to answer `Ping`, then
+    /// send its role-assignment request (`Load` / `Attach`). Returns the
+    /// worker's address and, for a `Load`, the shard metadata it reported.
+    fn spawn_worker(
+        &mut self,
+        config: &TreeConfig,
+        name: &str,
+        role: &Request,
+    ) -> Result<(Addr, Option<ShardMeta>)> {
+        // Decide the address story once: a unix worker listens where the
+        // driver says; a tcp worker binds port 0 and reports back through
+        // its announce file.
+        enum Spawned {
+            At(Addr),
+            Announced(PathBuf),
+        }
+        let mut command = Command::new(&config.worker_bin);
+        let spawned = match &config.addr {
+            WorkerAddr::Unix => {
+                let addr = Addr::Unix(self.dir.join(format!("{name}.sock")));
+                command.arg("--listen").arg(addr.to_string());
+                Spawned::At(addr)
+            }
+            WorkerAddr::Tcp { host } => {
+                let announce = self.dir.join(format!("{name}.addr"));
+                command
+                    .arg("--listen")
+                    .arg(format!("tcp:{host}:0"))
+                    .arg("--announce")
+                    .arg(&announce);
+                Spawned::Announced(announce)
+            }
+        };
+        let child = command
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::inherit())
             .spawn()
             .map_err(|e| Error::Data(format!("spawn {}: {e}", config.worker_bin.display())))?;
-        self.processes.push(child);
-        self.sockets.push(socket.clone());
-        let mut client = RpcClient::new(&socket);
+        let mut guard = ReapGuard::new(child);
+        let addr = match spawned {
+            Spawned::At(addr) => addr,
+            Spawned::Announced(announce) => wait_for_announce(&announce, &mut guard)?,
+        };
+        self.processes.push(guard);
+        self.addrs.push(addr.clone());
+        let mut client = RpcClient::new(addr.clone(), config.compress);
         client.connect_with_retry(STARTUP_TIMEOUT)?;
-        expect_ack(client.call(&Request::Ping, STARTUP_TIMEOUT)?, "ping")?;
-        expect_ack(client.call(role, LOAD_TIMEOUT)?, "role assignment")?;
-        Ok(socket)
+        expect_ack(client.call(&Request::Ping, STARTUP_TIMEOUT)?, "ping").map(|_| ())?;
+        let meta = expect_ack(client.call(role, LOAD_TIMEOUT)?, "role assignment")?;
+        Ok((addr, meta))
     }
 
     pub fn shard_count(&self) -> usize {
@@ -194,50 +302,74 @@ impl ProcessTree {
     /// Run one query through the tree: fan out to the frontier, fold in
     /// frontier order. `killed` carries this query's [`crate::FailureModel`]
     /// primary kills down to whichever level parents each leaf.
-    pub fn query(&self, sql: &str, killed: Vec<u64>) -> Result<SubtreeAnswer> {
-        let request = QueryRequest { sql: sql.to_owned(), deadline: self.deadline, killed };
+    pub fn query(&self, analyzed: &AnalyzedQuery, killed: Vec<u64>) -> Result<SubtreeAnswer> {
+        let request = QueryRequest { query: analyzed.clone(), deadline: self.deadline, killed };
         fan_out(&self.frontier, &request)
     }
 
     /// Test knob: make shard `shard`'s primary worker sleep before every
     /// answer — the controlled way to drive a deadline expiry.
     pub fn delay_primary(&self, shard: usize, delay: Duration) -> Result<()> {
-        let socket = self.leaf_primaries.get(shard).ok_or_else(|| {
+        let addr = self.leaf_primaries.get(shard).ok_or_else(|| {
             Error::Data(format!("no such shard {shard} (have {})", self.leaf_primaries.len()))
         })?;
-        let mut client = RpcClient::new(socket);
+        let mut client = RpcClient::new(addr.clone(), self.compress);
         expect_ack(
             client.call(&Request::Delay { micros: delay.as_micros() as u64 }, STARTUP_TIMEOUT)?,
             "delay",
         )
+        .map(|_| ())
     }
 }
 
 impl Drop for ProcessTree {
     fn drop(&mut self) {
         // Polite first: a Shutdown request lets workers exit cleanly.
-        for socket in &self.sockets {
-            let mut client = RpcClient::new(socket);
+        for addr in &self.addrs {
+            let mut client = RpcClient::new(addr.clone(), false);
             let _ = client.call(&Request::Shutdown, Duration::from_millis(200));
         }
-        // Then force: a wedged worker must not leak past its cluster.
-        for process in &mut self.processes {
-            let _ = process.kill();
-            let _ = process.wait();
-        }
+        // Then force: dropping the guards kills and reaps whatever is
+        // left — a wedged worker must not leak past its cluster.
+        self.processes.clear();
         let _ = std::fs::remove_dir_all(&self.dir);
     }
 }
 
-fn path_str(path: &Path) -> Result<String> {
-    path.to_str()
-        .map(str::to_owned)
-        .ok_or_else(|| Error::Data(format!("non-utf8 socket path {}", path.display())))
+/// Poll for a TCP worker's announce file (written atomically after bind).
+/// A worker that dies before announcing (bad host, port in use) fails the
+/// build immediately with its exit status instead of running out the full
+/// startup timeout once per worker.
+fn wait_for_announce(path: &Path, worker: &mut ReapGuard) -> Result<Addr> {
+    let started = Instant::now();
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(contents) if !contents.trim().is_empty() => {
+                return Addr::parse(contents.trim());
+            }
+            _ if started.elapsed() >= STARTUP_TIMEOUT => {
+                return Err(Error::Data(format!(
+                    "rpc: worker never announced its address at {}",
+                    path.display()
+                )));
+            }
+            _ => {
+                if let Some(status) = worker.try_wait() {
+                    return Err(Error::Data(format!(
+                        "rpc: worker exited ({status}) before announcing its address \
+                         (bad --listen host or port?)"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
 }
 
-fn expect_ack(response: Response, what: &str) -> Result<()> {
+fn expect_ack(response: Response, what: &str) -> Result<Option<ShardMeta>> {
     match response {
-        Response::Ok => Ok(()),
+        Response::Ok => Ok(None),
+        Response::Loaded(meta) => Ok(Some(*meta)),
         Response::Err(message) => Err(Error::Data(format!("worker {what} failed: {message}"))),
         Response::Malformed(message) => {
             Err(Error::Data(format!("worker rejected the {what} frame: {message}")))

@@ -1,39 +1,73 @@
 //! The RPC boundary of the §4 computation tree.
 //!
-//! Frames are length-prefixed (`u32` little endian, capped at
-//! [`MAX_FRAME_BYTES`]) over `std::os::unix::net::UnixStream` on loopback —
-//! the single-datacenter transport the paper's serving tree assumes. The
-//! payload is the dependency-free [`pd_common::wire`] encoding, so a
-//! partial result arriving at a merge server is bit-identical to the one
-//! the leaf computed.
+//! **Transport.** Frames travel over a socket-shape-agnostic [`Stream`]:
+//! `unix:<path>` sockets for the single-box process split, `tcp:<host:port>`
+//! for multi-host trees (loopback TCP today, real hosts tomorrow — TCP
+//! connections set `TCP_NODELAY`, because a query frame *is* the flush
+//! boundary). [`Addr`] names an endpoint in either shape and crosses the
+//! wire inside tree-wiring messages, so a merge server can parent children
+//! on a different transport than its own.
+//!
+//! **Framing.** Every frame is `[FrameHeader][payload]` — the 6-byte
+//! versioned header of [`pd_common::wire::FrameHeader`] (version, flags,
+//! payload length, capped at [`MAX_FRAME_BYTES`]) followed by the
+//! dependency-free [`pd_common::wire`] encoding, so a partial result
+//! arriving at a merge server is bit-identical to the one the leaf
+//! computed.
+//!
+//! **Compression.** Serialized partials are dominated by `FloatSum`
+//! superaccumulator limbs, which are mostly zero — the Zippy-family codec
+//! from `pd-compress` shrinks them several-fold. Compression is negotiated
+//! per connection with header flags: a sender in compressed mode marks its
+//! frames [`wire::FRAME_FLAG_COMPRESS_OK`] ("you may compress replies to
+//! me") and compresses its own payloads (flag
+//! [`wire::FRAME_FLAG_COMPRESSED`]) whenever that actually saves bytes;
+//! the receiver decompresses flag-driven, so either side may stay raw.
+//!
+//! **Restriction-aware queries.** A query crosses the boundary as the
+//! *decoded* [`pd_sql::AnalyzedQuery`] — restriction tree, group-by keys,
+//! aggregates — not as SQL text. Leaves execute it directly (one parse at
+//! the root, none per hop), and every parent evaluates the restriction
+//! against its children's [`ShardMeta`] to **pre-skip subtrees whose
+//! shards cannot match**: no frame is sent, the shard's rows are accounted
+//! as skipped, and the prune is reported up in
+//! [`ScanStats::subtrees_pruned`].
 //!
 //! **Deadlines.** Every query request carries a per-hop deadline. The
 //! *caller* enforces it with socket read timeouts: a worker that does not
 //! answer in time is indistinguishable from a dead one, and the caller
 //! fails over to the shard's replica — the same code path a
 //! [`crate::FailureModel`] kill takes (a killed primary is simply never
-//! contacted). Expiry therefore feeds the existing failover machinery
-//! instead of a simulated kill. A parent calling a *merge server* scales
-//! its timeout by the subtree height (the child may itself wait out a
-//! grandchild's deadline and retry a replica), so one slow leaf cannot
-//! cascade into spurious subtree failures.
+//! contacted). A parent calling a *merge server* scales its timeout by the
+//! subtree height, so one slow leaf cannot cascade into spurious subtree
+//! failures.
 //!
 //! **Corruption.** Both sides decode frames with [`pd_common::wire`]'s
-//! checked readers: truncated or corrupt frames produce `Err`, which the
+//! checked readers; compressed payloads additionally pass the codec's own
+//! validation. Truncated or corrupt frames produce `Err`, which the
 //! failover path treats exactly like a timeout.
 
-use pd_common::wire::{self, Decode, Encode, Reader};
+use crate::meta::{self, ShardMeta};
+use pd_common::wire::{self, Decode, Encode, FrameHeader, Reader};
 use pd_common::{Error, Result, Row, Schema};
+use pd_compress::{Codec, CodecKind};
 use pd_core::{BuildOptions, PartialResult, ScanStats};
+use pd_sql::AnalyzedQuery;
 use std::io::{Read, Write};
-use std::os::unix::net::UnixStream;
-use std::path::{Path, PathBuf};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-/// Upper bound on a single frame. A shard's partial result for an
-/// interactive group-by is kilobytes; a shard *load* (rows + recipe) is
-/// megabytes. A length prefix beyond this is corruption, not data.
+/// Upper bound on a single frame's payload (decompressed or raw). A
+/// shard's partial result for an interactive group-by is kilobytes; a
+/// shard *load* (rows + recipe) is megabytes. A length beyond this is
+/// corruption, not data.
 pub const MAX_FRAME_BYTES: u32 = 1 << 30;
+
+/// Payloads below this never compress (the header byte and codec framing
+/// would eat the gain).
+const MIN_COMPRESS_BYTES: usize = 64;
 
 /// How long a parent waits for a freshly spawned worker to bind its
 /// socket and answer the first `Ping`.
@@ -41,6 +75,196 @@ pub const STARTUP_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Timeout for shard loading (table shipping + import on the worker).
 pub const LOAD_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The wire codec used for compressed frames (the paper's "Zippy").
+fn frame_codec() -> &'static dyn Codec {
+    CodecKind::Zippy.codec()
+}
+
+// --- addresses --------------------------------------------------------------
+
+/// A tree-node endpoint in either socket shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Addr {
+    /// A filesystem socket: `unix:/tmp/pd-tree-1/l0p.sock`.
+    Unix(PathBuf),
+    /// A TCP endpoint: `tcp:127.0.0.1:41233`.
+    Tcp(String),
+}
+
+impl Addr {
+    /// Parse the textual form (`unix:<path>` / `tcp:<host:port>`); a bare
+    /// path is shorthand for a Unix socket.
+    pub fn parse(s: &str) -> Result<Addr> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            Ok(Addr::Unix(PathBuf::from(path)))
+        } else if let Some(hostport) = s.strip_prefix("tcp:") {
+            if !hostport.contains(':') {
+                return Err(Error::Data(format!("rpc: tcp address `{hostport}` needs host:port")));
+            }
+            Ok(Addr::Tcp(hostport.to_owned()))
+        } else if s.contains('/') {
+            Ok(Addr::Unix(PathBuf::from(s)))
+        } else {
+            Err(Error::Data(format!(
+                "rpc: cannot parse address `{s}` (unix:<path> | tcp:<host:port>)"
+            )))
+        }
+    }
+
+    /// Connect a [`Stream`] to this endpoint.
+    pub fn connect(&self) -> std::io::Result<Stream> {
+        match self {
+            Addr::Unix(path) => Ok(Stream::Unix(UnixStream::connect(path)?)),
+            Addr::Tcp(hostport) => {
+                let stream = TcpStream::connect(hostport.as_str())?;
+                // A frame is the flush boundary; Nagle would add RTTs.
+                stream.set_nodelay(true)?;
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Addr::Unix(path) => write!(f, "unix:{}", path.display()),
+            Addr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+        }
+    }
+}
+
+impl Encode for Addr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Addr::Unix(path) => {
+                out.push(0);
+                // Addrs only originate from `Addr::parse` (UTF-8 by
+                // construction) and `ProcessTree`'s temp-dir + ASCII-name
+                // paths, so the lossy conversion is the identity; a
+                // hand-built non-UTF-8 path would mangle here rather than
+                // error, which the parse-only construction rule prevents.
+                path.to_string_lossy().as_ref().encode(out);
+            }
+            Addr::Tcp(hostport) => {
+                out.push(1);
+                hostport.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for Addr {
+    fn decode(r: &mut Reader<'_>) -> Result<Addr> {
+        Ok(match r.u8()? {
+            0 => Addr::Unix(PathBuf::from(String::decode(r)?)),
+            1 => Addr::Tcp(String::decode(r)?),
+            other => return Err(Error::Data(format!("wire: invalid addr tag {other}"))),
+        })
+    }
+}
+
+/// One connected peer, in either socket shape. Both shapes expose the same
+/// byte-stream and per-syscall-timeout surface, which is all the framing
+/// layer needs — the deadline logic above it is shape-agnostic.
+pub enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_write_timeout(timeout),
+            Stream::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound accept socket in either shape.
+pub enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Bind `addr`. A TCP port of `0` binds an ephemeral port — read the
+    /// real one back with [`Listener::local_addr`] (workers announce it to
+    /// their spawner).
+    pub fn bind(addr: &Addr) -> Result<Listener> {
+        match addr {
+            Addr::Unix(path) => Ok(Listener::Unix(
+                UnixListener::bind(path)
+                    .map_err(|e| Error::Data(format!("bind {}: {e}", path.display())))?,
+            )),
+            Addr::Tcp(hostport) => Ok(Listener::Tcp(
+                TcpListener::bind(hostport.as_str())
+                    .map_err(|e| Error::Data(format!("bind tcp:{hostport}: {e}")))?,
+            )),
+        }
+    }
+
+    /// The resolved address (TCP: with the real port).
+    pub fn local_addr(&self) -> Result<Addr> {
+        match self {
+            Listener::Unix(l) => {
+                let addr = l.local_addr().map_err(|e| Error::Data(format!("local_addr: {e}")))?;
+                let path = addr
+                    .as_pathname()
+                    .ok_or_else(|| Error::Data("rpc: unnamed unix listener".into()))?;
+                Ok(Addr::Unix(path.to_path_buf()))
+            }
+            Listener::Tcp(l) => {
+                let addr = l.local_addr().map_err(|e| Error::Data(format!("local_addr: {e}")))?;
+                Ok(Addr::Tcp(addr.to_string()))
+            }
+        }
+    }
+
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(l) => Ok(Stream::Unix(l.accept()?.0)),
+            Listener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nodelay(true)?;
+                Ok(Stream::Tcp(stream))
+            }
+        }
+    }
+}
 
 // --- messages --------------------------------------------------------------
 
@@ -50,11 +274,13 @@ pub enum Request {
     /// Liveness / startup handshake. Answered inline, never queued.
     Ping,
     /// Become a leaf: import the shipped rows into a [`pd_core::DataStore`].
+    /// Acknowledged with [`Response::Loaded`] — the shard's metadata
+    /// summary, which parents use to pre-skip.
     Load(Box<LoadRequest>),
     /// Become a merge server owning a subtree.
     Attach(AttachRequest),
     /// Execute / fan out one query.
-    Query(QueryRequest),
+    Query(Box<QueryRequest>),
     /// Test knob: delay every subsequent query answer by this much (how
     /// the deadline-expiry failover suite makes a worker miss deadlines).
     Delay { micros: u64 },
@@ -79,28 +305,49 @@ pub struct LoadRequest {
 #[derive(Debug, Clone, PartialEq)]
 pub struct AttachRequest {
     pub children: Vec<ChildSpec>,
+    /// Whether this merge server compresses the frames *it* sends to its
+    /// children (and advertises compressed replies) — the per-connection
+    /// negotiation travels down the tree with the wiring.
+    pub compress: bool,
 }
 
 /// One child of a tree node — a leaf shard (with its replica, the §4
-/// "answer-first-wins" pair) or a deeper merge server.
+/// "answer-first-wins" pair) or a deeper merge server. Either way the spec
+/// carries the shard metadata beneath it, so the parent can prune the
+/// entire edge when no shard below can match a restriction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ChildSpec {
     Leaf {
         shard: u64,
-        primary: String,
-        replica: Option<String>,
+        primary: Addr,
+        replica: Option<Addr>,
+        meta: ShardMeta,
     },
     /// `height` = levels of tree below this node (≥ 1), used to scale the
-    /// caller's timeout.
+    /// caller's timeout; `metas` = every shard in the subtree.
     Node {
-        addr: String,
+        addr: Addr,
         height: u64,
+        metas: Vec<ShardMeta>,
     },
 }
 
+impl ChildSpec {
+    /// The shard summaries beneath this child.
+    pub fn metas(&self) -> &[ShardMeta] {
+        match self {
+            ChildSpec::Leaf { meta, .. } => std::slice::from_ref(meta),
+            ChildSpec::Node { metas, .. } => metas,
+        }
+    }
+}
+
+/// A query crossing a tree edge: the decoded, analyzed form — restriction,
+/// keys, aggregates — so no hop re-parses SQL and every hop can reason
+/// about the restriction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
-    pub sql: String,
+    pub query: AnalyzedQuery,
     /// Per-hop deadline for leaf answers.
     pub deadline: Duration,
     /// Shards whose primaries the [`crate::FailureModel`] killed for this
@@ -142,11 +389,14 @@ impl SubtreeAnswer {
 /// Worker → parent messages.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
-    /// Ack for `Ping` / `Load` / `Attach` / `Delay` / `Shutdown`.
+    /// Ack for `Ping` / `Attach` / `Delay` / `Shutdown`.
     Ok,
+    /// Ack for `Load`: the built shard's metadata summary (row/chunk
+    /// totals, per-column value sets and extremes).
+    Loaded(Box<ShardMeta>),
     Answer(Box<SubtreeAnswer>),
     /// Application-level failure: the worker is alive and decoded the
-    /// request, but executing it failed (SQL error, missing role, ...).
+    /// request, but executing it failed (plan error, missing role, ...).
     /// Deterministic — a replica would only repeat it, so no failover.
     Err(String),
     /// Transport-level NAK: the worker could not *decode* the request
@@ -181,10 +431,11 @@ impl Encode for Request {
             Request::Attach(attach) => {
                 out.push(REQ_ATTACH);
                 attach.children.encode(out);
+                attach.compress.encode(out);
             }
             Request::Query(query) => {
                 out.push(REQ_QUERY);
-                query.sql.encode(out);
+                query.query.encode(out);
                 query.deadline.encode(out);
                 query.killed.encode(out);
             }
@@ -209,12 +460,15 @@ impl Decode for Request {
                 threads: r.u64()?,
                 cache_budget: r.u64()?,
             })),
-            REQ_ATTACH => Request::Attach(AttachRequest { children: Vec::decode(r)? }),
-            REQ_QUERY => Request::Query(QueryRequest {
-                sql: String::decode(r)?,
+            REQ_ATTACH => Request::Attach(AttachRequest {
+                children: Vec::decode(r)?,
+                compress: bool::decode(r)?,
+            }),
+            REQ_QUERY => Request::Query(Box::new(QueryRequest {
+                query: AnalyzedQuery::decode(r)?,
                 deadline: Duration::decode(r)?,
                 killed: Vec::decode(r)?,
-            }),
+            })),
             REQ_DELAY => Request::Delay { micros: r.u64()? },
             REQ_SHUTDOWN => Request::Shutdown,
             other => return Err(Error::Data(format!("wire: invalid request tag {other}"))),
@@ -225,16 +479,18 @@ impl Decode for Request {
 impl Encode for ChildSpec {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            ChildSpec::Leaf { shard, primary, replica } => {
+            ChildSpec::Leaf { shard, primary, replica, meta } => {
                 out.push(0);
                 shard.encode(out);
                 primary.encode(out);
                 replica.encode(out);
+                meta.encode(out);
             }
-            ChildSpec::Node { addr, height } => {
+            ChildSpec::Node { addr, height, metas } => {
                 out.push(1);
                 addr.encode(out);
                 height.encode(out);
+                metas.encode(out);
             }
         }
     }
@@ -245,10 +501,13 @@ impl Decode for ChildSpec {
         Ok(match r.u8()? {
             0 => ChildSpec::Leaf {
                 shard: r.u64()?,
-                primary: String::decode(r)?,
+                primary: Addr::decode(r)?,
                 replica: Option::decode(r)?,
+                meta: ShardMeta::decode(r)?,
             },
-            1 => ChildSpec::Node { addr: String::decode(r)?, height: r.u64()? },
+            1 => {
+                ChildSpec::Node { addr: Addr::decode(r)?, height: r.u64()?, metas: Vec::decode(r)? }
+            }
             other => return Err(Error::Data(format!("wire: invalid child-spec tag {other}"))),
         })
     }
@@ -296,11 +555,16 @@ const RESP_OK: u8 = 0;
 const RESP_ANSWER: u8 = 1;
 const RESP_ERR: u8 = 2;
 const RESP_MALFORMED: u8 = 3;
+const RESP_LOADED: u8 = 4;
 
 impl Encode for Response {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
             Response::Ok => out.push(RESP_OK),
+            Response::Loaded(meta) => {
+                out.push(RESP_LOADED);
+                meta.encode(out);
+            }
             Response::Answer(answer) => {
                 out.push(RESP_ANSWER);
                 answer.encode(out);
@@ -321,6 +585,7 @@ impl Decode for Response {
     fn decode(r: &mut Reader<'_>) -> Result<Response> {
         Ok(match r.u8()? {
             RESP_OK => Response::Ok,
+            RESP_LOADED => Response::Loaded(Box::new(ShardMeta::decode(r)?)),
             RESP_ANSWER => Response::Answer(Box::new(SubtreeAnswer::decode(r)?)),
             RESP_ERR => Response::Err(String::decode(r)?),
             RESP_MALFORMED => Response::Malformed(String::decode(r)?),
@@ -331,34 +596,104 @@ impl Decode for Response {
 
 // --- framing ---------------------------------------------------------------
 
-/// Write one `[u32 len][payload]` frame.
-pub fn write_frame<T: Encode>(stream: &mut impl Write, message: &T) -> Result<()> {
+/// Encode one frame into bytes: header + (possibly compressed) payload.
+/// `compress` is the sender's negotiated mode — it both advertises
+/// compressed replies (`FRAME_FLAG_COMPRESS_OK`) and compresses this
+/// payload when that saves bytes.
+pub fn encode_frame<T: Encode>(message: &T, compress: bool) -> Result<Vec<u8>> {
     let payload = wire::to_bytes(message);
-    let len = u32::try_from(payload.len())
-        .ok()
-        .filter(|&l| l <= MAX_FRAME_BYTES)
-        .ok_or_else(|| Error::Data(format!("rpc: frame of {} bytes exceeds cap", payload.len())))?;
-    stream.write_all(&len.to_le_bytes())?;
-    stream.write_all(&payload)?;
+    // The cap applies to the *decompressed* payload (the receiver enforces
+    // the same bound after inflation), so an oversized message fails fast
+    // here instead of after shipping a compressed frame the peer must NAK.
+    if payload.len() > MAX_FRAME_BYTES as usize {
+        return Err(Error::Data(format!("rpc: frame of {} bytes exceeds cap", payload.len())));
+    }
+    let mut flags = 0u8;
+    let body = if compress {
+        flags |= wire::FRAME_FLAG_COMPRESS_OK;
+        if payload.len() >= MIN_COMPRESS_BYTES {
+            let compressed = frame_codec().compress(&payload);
+            if compressed.len() < payload.len() {
+                flags |= wire::FRAME_FLAG_COMPRESSED;
+                compressed
+            } else {
+                payload
+            }
+        } else {
+            payload
+        }
+    } else {
+        payload
+    };
+    let len = u32::try_from(body.len()).expect("body never exceeds the checked payload size");
+    let mut out = Vec::with_capacity(FrameHeader::BYTES + body.len());
+    out.extend_from_slice(&FrameHeader { flags, len }.to_bytes());
+    out.extend_from_slice(&body);
+    Ok(out)
+}
+
+/// Decode a frame body (bytes after the header) according to its flags.
+fn decode_body<T: Decode>(flags: u8, body: &[u8]) -> Result<T> {
+    if flags & wire::FRAME_FLAG_COMPRESSED != 0 {
+        // The Zippy frame leads with `varint(uncompressed_len)` and its
+        // decoder never produces (much) more than that claim, so
+        // validating the claim *before* inflation bounds the allocation a
+        // hostile or corrupt frame can drive — the corruption contract is
+        // `Err`, never an OOM abort.
+        let mut pos = 0;
+        let claimed = pd_compress::varint::read_u64(body, &mut pos)
+            .map_err(|e| Error::Data(format!("rpc: corrupt compressed frame: {e}")))?;
+        if claimed > MAX_FRAME_BYTES as u64 {
+            return Err(Error::Data(format!(
+                "rpc: compressed frame claims {claimed} bytes (cap {MAX_FRAME_BYTES})"
+            )));
+        }
+        let payload = frame_codec()
+            .decompress(body)
+            .map_err(|e| Error::Data(format!("rpc: corrupt compressed frame: {e}")))?;
+        if payload.len() > MAX_FRAME_BYTES as usize {
+            return Err(Error::Data(format!(
+                "rpc: compressed frame inflates to {} bytes (cap {MAX_FRAME_BYTES})",
+                payload.len()
+            )));
+        }
+        wire::from_bytes(&payload)
+    } else {
+        wire::from_bytes(body)
+    }
+}
+
+/// Write one frame.
+pub fn write_frame<T: Encode>(stream: &mut impl Write, message: &T, compress: bool) -> Result<()> {
+    let frame = encode_frame(message, compress)?;
+    stream.write_all(&frame)?;
     stream.flush()?;
     Ok(())
 }
 
-/// Read one frame; `Ok(None)` on clean EOF (peer closed between frames).
-pub fn read_frame<T: Decode>(stream: &mut impl Read) -> Result<Option<T>> {
-    let mut len_bytes = [0u8; 4];
-    match stream.read_exact(&mut len_bytes) {
+/// Read one frame plus its negotiation: `Ok(None)` on clean EOF (peer
+/// closed between frames); otherwise the message and whether the sender
+/// advertised that compressed replies are welcome.
+pub fn read_frame_negotiated<T: Decode>(stream: &mut impl Read) -> Result<Option<(T, bool)>> {
+    let mut header_bytes = [0u8; FrameHeader::BYTES];
+    match stream.read_exact(&mut header_bytes) {
         Ok(()) => {}
         Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e.into()),
     }
-    let len = u32::from_le_bytes(len_bytes);
-    if len > MAX_FRAME_BYTES {
-        return Err(Error::Data(format!("rpc: corrupt frame length {len}")));
+    let header = FrameHeader::parse(header_bytes)?;
+    if header.len > MAX_FRAME_BYTES {
+        return Err(Error::Data(format!("rpc: corrupt frame length {}", header.len)));
     }
-    let mut payload = vec![0u8; len as usize];
-    stream.read_exact(&mut payload)?;
-    wire::from_bytes(&payload).map(Some)
+    let mut body = vec![0u8; header.len as usize];
+    stream.read_exact(&mut body)?;
+    let accepts_compressed = header.flags & wire::FRAME_FLAG_COMPRESS_OK != 0;
+    decode_body(header.flags, &body).map(|message| Some((message, accepts_compressed)))
+}
+
+/// Read one frame, ignoring the negotiation bit.
+pub fn read_frame<T: Decode>(stream: &mut impl Read) -> Result<Option<T>> {
+    Ok(read_frame_negotiated(stream)?.map(|(message, _)| message))
 }
 
 /// The time left until `deadline`, or a deadline-expired error.
@@ -374,7 +709,7 @@ fn budget_left(deadline: Instant) -> Result<Duration> {
 /// per-syscall, so a peer trickling one byte per interval would reset a
 /// plain `read_exact`'s clock forever; here the remaining budget shrinks
 /// across syscalls and expiry is checked between them.
-fn read_exact_deadline(stream: &mut UnixStream, buf: &mut [u8], deadline: Instant) -> Result<()> {
+fn read_exact_deadline(stream: &mut Stream, buf: &mut [u8], deadline: Instant) -> Result<()> {
     let mut filled = 0;
     while filled < buf.len() {
         stream.set_read_timeout(Some(budget_left(deadline)?))?;
@@ -389,17 +724,17 @@ fn read_exact_deadline(stream: &mut UnixStream, buf: &mut [u8], deadline: Instan
 }
 
 /// Read one response frame, enforcing `deadline` absolutely across the
-/// length-prefix read, the payload read and every syscall in between.
-fn read_frame_deadline<T: Decode>(stream: &mut UnixStream, deadline: Instant) -> Result<T> {
-    let mut len_bytes = [0u8; 4];
-    read_exact_deadline(stream, &mut len_bytes, deadline)?;
-    let len = u32::from_le_bytes(len_bytes);
-    if len > MAX_FRAME_BYTES {
-        return Err(Error::Data(format!("rpc: corrupt frame length {len}")));
+/// header read, the payload read and every syscall in between.
+fn read_frame_deadline<T: Decode>(stream: &mut Stream, deadline: Instant) -> Result<T> {
+    let mut header_bytes = [0u8; FrameHeader::BYTES];
+    read_exact_deadline(stream, &mut header_bytes, deadline)?;
+    let header = FrameHeader::parse(header_bytes)?;
+    if header.len > MAX_FRAME_BYTES {
+        return Err(Error::Data(format!("rpc: corrupt frame length {}", header.len)));
     }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_deadline(stream, &mut payload, deadline)?;
-    wire::from_bytes(&payload)
+    let mut body = vec![0u8; header.len as usize];
+    read_exact_deadline(stream, &mut body, deadline)?;
+    decode_body(header.flags, &body)
 }
 
 // --- client ----------------------------------------------------------------
@@ -409,16 +744,19 @@ fn read_frame_deadline<T: Decode>(stream: &mut UnixStream, deadline: Instant) ->
 /// answer would desynchronize framing), so the stream is dropped and the
 /// next call reconnects.
 pub struct RpcClient {
-    addr: PathBuf,
-    stream: Option<UnixStream>,
+    addr: Addr,
+    stream: Option<Stream>,
+    /// Negotiated mode: compress outgoing payloads and advertise that
+    /// compressed replies are welcome.
+    compress: bool,
 }
 
 impl RpcClient {
-    pub fn new(addr: impl Into<PathBuf>) -> RpcClient {
-        RpcClient { addr: addr.into(), stream: None }
+    pub fn new(addr: Addr, compress: bool) -> RpcClient {
+        RpcClient { addr, stream: None, compress }
     }
 
-    pub fn addr(&self) -> &Path {
+    pub fn addr(&self) -> &Addr {
         &self.addr
     }
 
@@ -427,7 +765,7 @@ impl RpcClient {
     pub fn connect_with_retry(&mut self, timeout: Duration) -> Result<()> {
         let started = Instant::now();
         loop {
-            match UnixStream::connect(&self.addr) {
+            match self.addr.connect() {
                 Ok(stream) => {
                     self.stream = Some(stream);
                     return Ok(());
@@ -435,7 +773,7 @@ impl RpcClient {
                 Err(e) if started.elapsed() >= timeout => {
                     return Err(Error::Data(format!(
                         "rpc: worker at {} not reachable after {timeout:?}: {e}",
-                        self.addr.display()
+                        self.addr
                     )));
                 }
                 Err(_) => std::thread::sleep(Duration::from_millis(2)),
@@ -461,14 +799,15 @@ impl RpcClient {
         // stalled *or trickling* worker expires on time either way.
         let deadline = Instant::now() + timeout.max(Duration::from_millis(1));
         if self.stream.is_none() {
-            let stream = UnixStream::connect(&self.addr).map_err(|e| {
-                Error::Data(format!("rpc: connect to {} failed: {e}", self.addr.display()))
-            })?;
+            let stream = self
+                .addr
+                .connect()
+                .map_err(|e| Error::Data(format!("rpc: connect to {} failed: {e}", self.addr)))?;
             self.stream = Some(stream);
         }
         let stream = self.stream.as_mut().expect("connected above");
         stream.set_write_timeout(Some(budget_left(deadline)?))?;
-        write_frame(stream, request)?;
+        write_frame(stream, request, self.compress)?;
         read_frame_deadline::<Response>(stream, deadline)
     }
 }
@@ -486,15 +825,15 @@ pub struct ChildHandle {
 }
 
 impl ChildHandle {
-    pub fn new(spec: ChildSpec) -> ChildHandle {
+    pub fn new(spec: ChildSpec, compress: bool) -> ChildHandle {
         let (primary, replica) = match &spec {
             ChildSpec::Leaf { primary, replica, .. } => (primary.clone(), replica.clone()),
             ChildSpec::Node { addr, .. } => (addr.clone(), None),
         };
         ChildHandle {
             spec,
-            primary: pd_common::sync::Mutex::new(RpcClient::new(primary)),
-            replica: replica.map(|r| pd_common::sync::Mutex::new(RpcClient::new(r))),
+            primary: pd_common::sync::Mutex::new(RpcClient::new(primary, compress)),
+            replica: replica.map(|r| pd_common::sync::Mutex::new(RpcClient::new(r, compress))),
         }
     }
 
@@ -510,6 +849,29 @@ impl ChildHandle {
         }
     }
 
+    /// The restriction pre-skip: when the shard metadata beneath this
+    /// child proves no row can match, synthesize the empty answer locally
+    /// — full skip accounting, one `subtrees_pruned` for the edge that
+    /// never carried the query, a zero-latency report per shard — and
+    /// spend no network hop at all.
+    fn pruned_answer(&self) -> SubtreeAnswer {
+        let mut answer = SubtreeAnswer::empty();
+        answer.stats.subtrees_pruned = 1;
+        for meta in self.spec.metas() {
+            answer.stats.rows_total += meta.rows;
+            answer.stats.rows_skipped += meta.rows;
+            answer.stats.chunks_total += meta.chunks as usize;
+            answer.stats.chunks_skipped += meta.chunks as usize;
+            answer.reports.push(ShardReport {
+                shard: meta.shard,
+                latency: Duration::ZERO,
+                queue: Duration::ZERO,
+                failover: false,
+            });
+        }
+        answer
+    }
+
     /// Query this child, applying the §4 failover rule at leaves: a killed
     /// or unresponsive primary is replaced by its replica; without a
     /// replica the failure is fatal for the query. An *application* error
@@ -518,8 +880,19 @@ impl ChildHandle {
     /// replica. The report's latency is *measured* — the parent's wall
     /// clock around the call, transport and failover included.
     fn query(&self, request: &QueryRequest) -> Result<SubtreeAnswer> {
+        // The prune precedes the kill/failover logic deliberately,
+        // mirroring the shard-cache precedent: an answer that never needs
+        // the server treats a dead primary as a non-event (no failover
+        // recorded). Killed shards without replication are still rejected
+        // at the root before any fan-out begins.
+        let metas = self.spec.metas();
+        if !metas.is_empty()
+            && metas.iter().all(|m| !meta::may_match(&request.query.restriction, m))
+        {
+            return Ok(self.pruned_answer());
+        }
         let started = Instant::now();
-        let message = Request::Query(request.clone());
+        let message = Request::Query(Box::new(request.clone()));
         let timeout = self.timeout(request.deadline);
         match &self.spec {
             ChildSpec::Node { addr, .. } => {
@@ -588,13 +961,15 @@ fn unpack(response: Response) -> Result<Option<SubtreeAnswer>> {
         Response::Malformed(message) => {
             Err(Error::Data(format!("rpc: peer rejected the request frame: {message}")))
         }
-        Response::Ok => Ok(None),
+        Response::Ok | Response::Loaded(_) => Ok(None),
     }
 }
 
 /// Fan a query out to every child concurrently and fold the answers in
 /// fixed child order — the same associative merge the in-process cluster
-/// uses, so the tree shape cannot change the result.
+/// uses, so the tree shape cannot change the result. Children pruned by
+/// shard metadata never spawn a network hop (their synthesized skip
+/// answers fold in the same order).
 pub fn fan_out(children: &[ChildHandle], request: &QueryRequest) -> Result<SubtreeAnswer> {
     let answers: Vec<Result<SubtreeAnswer>> = std::thread::scope(|scope| {
         let handles: Vec<_> =
@@ -614,7 +989,20 @@ pub fn fan_out(children: &[ChildHandle], request: &QueryRequest) -> Result<Subtr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pd_common::DataType;
+    use pd_common::{DataType, Value};
+    use pd_sql::{analyze, parse_query};
+
+    fn analyzed(sql: &str) -> AnalyzedQuery {
+        analyze(&parse_query(sql).unwrap()).unwrap()
+    }
+
+    fn sample_meta() -> ShardMeta {
+        let schema = Schema::of(&[("k", DataType::Str)]);
+        let rows = vec![Row(vec![Value::from("x")]), Row(vec![Value::from("y")])];
+        let mut meta = ShardMeta::summarize(3, &schema, &rows);
+        meta.chunks = 1;
+        meta
+    }
 
     #[test]
     fn requests_round_trip() {
@@ -632,17 +1020,23 @@ mod tests {
                 children: vec![
                     ChildSpec::Leaf {
                         shard: 0,
-                        primary: "/tmp/a.sock".into(),
-                        replica: Some("/tmp/b.sock".into()),
+                        primary: Addr::Unix("/tmp/a.sock".into()),
+                        replica: Some(Addr::Tcp("127.0.0.1:9001".into())),
+                        meta: sample_meta(),
                     },
-                    ChildSpec::Node { addr: "/tmp/m.sock".into(), height: 2 },
+                    ChildSpec::Node {
+                        addr: Addr::Tcp("127.0.0.1:9000".into()),
+                        height: 2,
+                        metas: vec![sample_meta(), sample_meta()],
+                    },
                 ],
+                compress: true,
             }),
-            Request::Query(QueryRequest {
-                sql: "SELECT COUNT(*) FROM t".into(),
+            Request::Query(Box::new(QueryRequest {
+                query: analyzed("SELECT COUNT(*) FROM t WHERE k IN ('a','b')"),
                 deadline: Duration::from_millis(250),
                 killed: vec![1, 3],
-            }),
+            })),
             Request::Delay { micros: 5000 },
             Request::Shutdown,
         ];
@@ -656,7 +1050,7 @@ mod tests {
     fn responses_round_trip() {
         let answer = SubtreeAnswer {
             partial: PartialResult::default(),
-            stats: ScanStats { rows_total: 9, ..Default::default() },
+            stats: ScanStats { rows_total: 9, subtrees_pruned: 1, ..Default::default() },
             reports: vec![ShardReport {
                 shard: 1,
                 latency: Duration::from_micros(77),
@@ -666,6 +1060,7 @@ mod tests {
         };
         for response in [
             Response::Ok,
+            Response::Loaded(Box::new(sample_meta())),
             Response::Answer(Box::new(answer)),
             Response::Err("boom".into()),
             Response::Malformed("bad frame".into()),
@@ -676,20 +1071,123 @@ mod tests {
     }
 
     #[test]
+    fn addrs_parse_and_render() {
+        let unix = Addr::parse("unix:/tmp/w.sock").unwrap();
+        assert_eq!(unix, Addr::Unix("/tmp/w.sock".into()));
+        assert_eq!(unix.to_string(), "unix:/tmp/w.sock");
+        let tcp = Addr::parse("tcp:127.0.0.1:4000").unwrap();
+        assert_eq!(tcp, Addr::Tcp("127.0.0.1:4000".into()));
+        assert_eq!(Addr::parse(&tcp.to_string()).unwrap(), tcp);
+        // Bare paths are unix shorthand; garbage is rejected.
+        assert_eq!(Addr::parse("/tmp/w.sock").unwrap(), Addr::Unix("/tmp/w.sock".into()));
+        assert!(Addr::parse("tcp:noport").is_err());
+        assert!(Addr::parse("ipx:whatever").is_err());
+    }
+
+    #[test]
     fn frames_round_trip_over_a_socket_pair() {
-        let (mut a, mut b) = UnixStream::pair().unwrap();
-        write_frame(&mut a, &Request::Ping).unwrap();
-        write_frame(&mut a, &Request::Delay { micros: 9 }).unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        let (mut a, mut b) = (Stream::Unix(a), Stream::Unix(b));
+        write_frame(&mut a, &Request::Ping, false).unwrap();
+        write_frame(&mut a, &Request::Delay { micros: 9 }, true).unwrap();
         assert_eq!(read_frame::<Request>(&mut b).unwrap(), Some(Request::Ping));
-        assert_eq!(read_frame::<Request>(&mut b).unwrap(), Some(Request::Delay { micros: 9 }));
+        let (delay, accepts) = read_frame_negotiated::<Request>(&mut b).unwrap().unwrap();
+        assert_eq!(delay, Request::Delay { micros: 9 });
+        assert!(accepts, "compress-mode senders advertise compressed replies");
         drop(a);
         assert_eq!(read_frame::<Request>(&mut b).unwrap(), None, "clean EOF");
     }
 
     #[test]
+    fn frames_round_trip_over_tcp_loopback() {
+        let listener = Listener::bind(&Addr::Tcp("127.0.0.1:0".into())).unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut stream = listener.accept().unwrap();
+            let (request, accepts) =
+                read_frame_negotiated::<Request>(&mut stream).unwrap().unwrap();
+            write_frame(&mut stream, &Response::Ok, accepts).unwrap();
+            request
+        });
+        let mut stream = addr.connect().unwrap();
+        write_frame(&mut stream, &Request::Ping, true).unwrap();
+        assert_eq!(read_frame::<Response>(&mut stream).unwrap(), Some(Response::Ok));
+        assert_eq!(server.join().unwrap(), Request::Ping);
+    }
+
+    #[test]
+    fn large_frames_compress_and_round_trip() {
+        // A Load full of repetitive rows: compressible, and big enough to
+        // clear the threshold.
+        let schema = Schema::of(&[("k", DataType::Str)]);
+        let rows: Vec<Row> = (0..500).map(|_| Row(vec![Value::from("constant")])).collect();
+        let request = Request::Load(Box::new(LoadRequest {
+            shard: 0,
+            schema,
+            rows,
+            build: BuildOptions::basic(),
+            threads: 1,
+            cache_budget: 1 << 20,
+        }));
+        let raw = encode_frame(&request, false).unwrap();
+        let compressed = encode_frame(&request, true).unwrap();
+        assert!(
+            compressed.len() * 2 < raw.len(),
+            "repetitive load must shrink ≥2×: {} vs {}",
+            compressed.len(),
+            raw.len()
+        );
+        for frame in [raw, compressed] {
+            let (back, _) =
+                read_frame_negotiated::<Request>(&mut frame.as_slice()).unwrap().unwrap();
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
     fn corrupt_frame_lengths_are_rejected() {
-        let (mut a, mut b) = UnixStream::pair().unwrap();
-        a.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        let (mut a, mut b) = (Stream::Unix(a), Stream::Unix(b));
+        let mut bogus = FrameHeader { flags: 0, len: u32::MAX }.to_bytes().to_vec();
+        bogus.extend_from_slice(&[0; 16]);
+        a.write_all(&bogus).unwrap();
         assert!(read_frame::<Request>(&mut b).is_err());
+    }
+
+    #[test]
+    fn pruned_children_answer_without_a_socket() {
+        // The child spec points at an address nothing listens on: only the
+        // metadata pre-skip can answer, proving no connection is made.
+        let meta = sample_meta();
+        let rows = meta.rows;
+        let handle = ChildHandle::new(
+            ChildSpec::Leaf {
+                shard: 3,
+                primary: Addr::Unix("/nonexistent/prune.sock".into()),
+                replica: None,
+                meta,
+            },
+            false,
+        );
+        let request = QueryRequest {
+            query: analyzed("SELECT COUNT(*) FROM t WHERE k = 'absent'"),
+            deadline: Duration::from_millis(50),
+            killed: Vec::new(),
+        };
+        let answer = fan_out(std::slice::from_ref(&handle), &request).unwrap();
+        assert_eq!(answer.stats.subtrees_pruned, 1);
+        assert_eq!(answer.stats.rows_total, rows);
+        assert_eq!(answer.stats.rows_skipped, rows);
+        assert_eq!(answer.reports.len(), 1);
+        assert_eq!(answer.reports[0].shard, 3);
+        assert!(answer.partial.groups.is_empty());
+        // A restriction that *may* match must reach for the socket — and
+        // fail, because nothing listens there.
+        let request = QueryRequest {
+            query: analyzed("SELECT COUNT(*) FROM t WHERE k = 'x'"),
+            deadline: Duration::from_millis(50),
+            killed: Vec::new(),
+        };
+        assert!(handle.query(&request).is_err());
     }
 }

@@ -1,17 +1,30 @@
 //! The worker process: one node of the §4 computation tree.
 //!
-//! `pd-dist-worker --socket <path>` binds a Unix socket and serves the
-//! [`crate::rpc`] protocol. What kind of node it becomes is decided by the
-//! driver after startup:
+//! `pd-dist-worker --listen <unix:path | tcp:host:port>` binds a socket in
+//! either shape and serves the [`crate::rpc`] protocol. With
+//! `--listen tcp:host:0` the OS picks the port; `--announce <file>` makes
+//! the worker write its resolved address there (atomically, via rename) so
+//! the spawner can find it. What kind of node the worker becomes is
+//! decided by the driver after startup:
 //!
 //! - a [`Request::Load`] turns it into a **leaf server**: it imports the
 //!   shipped rows with the shipped [`pd_core::BuildOptions`] (building
-//!   exactly the store the in-process cluster would) and answers queries
-//!   by executing them;
+//!   exactly the store the in-process cluster would), summarizes the shard
+//!   into a [`crate::meta::ShardMeta`] (answered as [`Response::Loaded`],
+//!   so parents can pre-skip it later), and answers queries by executing
+//!   the shipped [`pd_sql::AnalyzedQuery`] — no SQL parsing on any hop;
 //! - a [`Request::Attach`] turns it into a **merge server** ("mixer"): it
 //!   owns a subtree of children, fans queries out to them, folds their
-//!   partials with the same associative merge the root uses, and applies
-//!   the replica-failover rule to its leaf children.
+//!   partials with the same associative merge the root uses, applies the
+//!   replica-failover rule to its leaf children, and **prunes children
+//!   whose shard metadata cannot match the query's restriction** before
+//!   spending any network hop.
+//!
+//! **Compression mirror.** The worker has no compression config of its
+//! own: it compresses a response exactly when the request frame advertised
+//! `FRAME_FLAG_COMPRESS_OK`, and (as a merge server) compresses frames to
+//! its children when the `Attach` said to — the per-connection negotiation
+//! travels down the tree with the wiring.
 //!
 //! **Measured queue delays.** Connections are accepted and read on their
 //! own threads, but all requests funnel through a single executor thread.
@@ -22,40 +35,50 @@
 //! its shards' reports. That observation stream is what replaces the
 //! seeded [`crate::LoadModel`] draws when the cluster runs over RPC.
 
+use crate::meta::ShardMeta;
 use crate::rpc::{
-    fan_out, read_frame, write_frame, ChildHandle, LoadRequest, QueryRequest, Request, Response,
-    ShardReport, SubtreeAnswer,
+    fan_out, read_frame_negotiated, write_frame, Addr, ChildHandle, Listener, LoadRequest,
+    QueryRequest, Request, Response, ShardReport, Stream, SubtreeAnswer,
 };
 use pd_common::{Error, Result};
 use pd_core::{execute_partial, CachePolicy, DataStore, ExecContext, ResultCache, TieredCache};
 use pd_data::Table;
-use pd_sql::{analyze, parse_query};
-use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// Entry point for the `pd-dist-worker` binary: parse `--socket <path>`,
+/// Entry point for the `pd-dist-worker` binary: parse the listen address,
 /// serve forever (until a `Shutdown` request or a fatal error). Returns
 /// the process exit code.
 pub fn worker_main() -> i32 {
     let mut args = std::env::args().skip(1);
-    let mut socket = None;
+    let mut listen = None;
+    let mut announce = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--socket" => socket = args.next(),
+            // `--socket <path>` is the legacy unix-only spelling.
+            "--socket" => listen = args.next().map(|p| format!("unix:{p}")),
+            "--listen" => listen = args.next(),
+            "--announce" => announce = args.next(),
             other => {
                 eprintln!("pd-dist-worker: unknown argument `{other}`");
                 return 2;
             }
         }
     }
-    let Some(socket) = socket else {
-        eprintln!("usage: pd-dist-worker --socket <path>");
+    let Some(listen) = listen else {
+        eprintln!("usage: pd-dist-worker --listen <unix:path|tcp:host:port> [--announce <file>]");
         return 2;
     };
-    match serve(Path::new(&socket)) {
+    let addr = match Addr::parse(&listen) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("pd-dist-worker: {e}");
+            return 2;
+        }
+    };
+    match serve(&addr, announce.as_deref().map(Path::new)) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("pd-dist-worker: {e}");
@@ -87,10 +110,18 @@ struct Work {
     enqueued: Instant,
 }
 
-/// Bind `socket` and serve the protocol.
-pub fn serve(socket: &Path) -> Result<()> {
-    let listener = UnixListener::bind(socket)
-        .map_err(|e| Error::Data(format!("bind {}: {e}", socket.display())))?;
+/// Bind `addr` and serve the protocol, announcing the resolved address
+/// (TCP: with the kernel-assigned port) to `announce` if given.
+pub fn serve(addr: &Addr, announce: Option<&Path>) -> Result<()> {
+    let listener = Listener::bind(addr)?;
+    let local = listener.local_addr()?;
+    if let Some(announce) = announce {
+        // Atomic announce: spawners poll for the file, so it must never be
+        // observable half-written.
+        let tmp = announce.with_extension("tmp");
+        std::fs::write(&tmp, local.to_string())?;
+        std::fs::rename(&tmp, announce)?;
+    }
     let (queue, requests) = mpsc::channel::<Work>();
 
     // The single executor owns the role outright: requests run strictly in
@@ -110,42 +141,43 @@ pub fn serve(socket: &Path) -> Result<()> {
         })
         .map_err(|e| Error::Data(format!("spawn executor: {e}")))?;
 
-    for stream in listener.incoming() {
-        let stream = stream.map_err(|e| Error::Data(format!("accept: {e}")))?;
+    loop {
+        let stream = listener.accept().map_err(|e| Error::Data(format!("accept: {e}")))?;
         let queue = queue.clone();
         std::thread::Builder::new()
             .name("pd-worker-conn".into())
             .spawn(move || connection_loop(stream, queue))
             .map_err(|e| Error::Data(format!("spawn connection: {e}")))?;
     }
-    Ok(())
 }
 
 /// Read frames off one connection until EOF, routing requests through the
 /// executor queue. `Ping` answers inline (the startup handshake must not
 /// wait behind a long import); `Shutdown` acks and exits the process.
-fn connection_loop(mut stream: UnixStream, queue: mpsc::Sender<Work>) {
+/// Responses are compressed exactly when the request frame advertised
+/// that compressed replies are welcome.
+fn connection_loop(mut stream: Stream, queue: mpsc::Sender<Work>) {
     loop {
-        let request = match read_frame::<Request>(&mut stream) {
-            Ok(Some(request)) => request,
+        let (request, compress_reply) = match read_frame_negotiated::<Request>(&mut stream) {
+            Ok(Some(negotiated)) => negotiated,
             Ok(None) => return, // peer closed
             Err(e) => {
                 // Corrupt frame: NAK and drop the connection — framing is
                 // unrecoverable once desynchronized, and the `Malformed`
                 // tag tells a leaf's parent to fail over (fresh bytes to
                 // the replica) rather than abort the query.
-                let _ = write_frame(&mut stream, &Response::Malformed(e.to_string()));
+                let _ = write_frame(&mut stream, &Response::Malformed(e.to_string()), false);
                 return;
             }
         };
         match request {
             Request::Ping => {
-                if write_frame(&mut stream, &Response::Ok).is_err() {
+                if write_frame(&mut stream, &Response::Ok, compress_reply).is_err() {
                     return;
                 }
             }
             Request::Shutdown => {
-                let _ = write_frame(&mut stream, &Response::Ok);
+                let _ = write_frame(&mut stream, &Response::Ok, compress_reply);
                 std::process::exit(0);
             }
             request => {
@@ -154,7 +186,7 @@ fn connection_loop(mut stream: UnixStream, queue: mpsc::Sender<Work>) {
                     return; // executor gone; process is doomed anyway
                 }
                 let Ok(response) = response.recv() else { return };
-                if write_frame(&mut stream, &response).is_err() {
+                if write_frame(&mut stream, &response, compress_reply).is_err() {
                     // Peer gave up (deadline expiry): drop the connection;
                     // the answer is stale by definition.
                     return;
@@ -167,11 +199,14 @@ fn connection_loop(mut stream: UnixStream, queue: mpsc::Sender<Work>) {
 fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Response> {
     match request {
         Request::Load(load) => {
-            role.leaf = Some(build_leaf(*load)?);
-            Ok(Response::Ok)
+            let (leaf, meta) = build_leaf(*load)?;
+            role.leaf = Some(leaf);
+            Ok(Response::Loaded(Box::new(meta)))
         }
         Request::Attach(attach) => {
-            role.children = Some(attach.children.into_iter().map(ChildHandle::new).collect());
+            let compress = attach.compress;
+            role.children =
+                Some(attach.children.into_iter().map(|c| ChildHandle::new(c, compress)).collect());
             Ok(Response::Ok)
         }
         Request::Delay { micros } => {
@@ -207,15 +242,20 @@ fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Respons
     }
 }
 
-/// Import the shipped shard. The store and context mirror what
-/// `Cluster::build_shards` constructs in-process, so the process split
-/// changes *where* the shard lives, not what it computes.
-fn build_leaf(load: LoadRequest) -> Result<LeafStore> {
+/// Import the shipped shard and summarize it. The store and context mirror
+/// what `Cluster::build_shards` constructs in-process, so the process
+/// split changes *where* the shard lives, not what it computes. The
+/// returned [`ShardMeta`] is the worker's own account of its data — value
+/// sets and extremes from the exact rows it serves, chunk count from the
+/// store it built — which is what makes parent-side pruning sound.
+fn build_leaf(load: LoadRequest) -> Result<(LeafStore, ShardMeta)> {
+    let mut meta = ShardMeta::summarize(load.shard, &load.schema, &load.rows);
     let mut table = Table::new(load.schema);
     for row in load.rows {
         table.push_row(row)?;
     }
     let store = DataStore::build(&table, &load.build)?;
+    meta.chunks = store.chunk_count() as u64;
     let ctx = ExecContext {
         sketch_m: 0,
         threads: load.threads as usize,
@@ -226,13 +266,12 @@ fn build_leaf(load: LoadRequest) -> Result<LeafStore> {
             load.cache_budget as usize / 2,
         ))),
     };
-    Ok(LeafStore { shard: load.shard, store, ctx })
+    Ok((LeafStore { shard: load.shard, store, ctx }, meta))
 }
 
 fn execute_leaf(leaf: &LeafStore, query: &QueryRequest, queued: Duration) -> Result<SubtreeAnswer> {
-    let analyzed = analyze(&parse_query(&query.sql)?)?;
     let started = Instant::now();
-    let (partial, stats) = execute_partial(&leaf.store, &analyzed, &leaf.ctx)?;
+    let (partial, stats) = execute_partial(&leaf.store, &query.query, &leaf.ctx)?;
     Ok(SubtreeAnswer {
         partial,
         stats,

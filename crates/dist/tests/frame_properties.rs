@@ -1,0 +1,207 @@
+//! Randomized properties of the compressed RPC frame path, mirroring
+//! `pd-core`'s `codec_properties.rs`: every frame must round-trip
+//! bit-identically with compression off *and* on, and no amount of
+//! truncation or bit-flipping may ever panic the reader — a corrupt peer
+//! is an error to fail over from, not a crash.
+
+use pd_common::rng::Rng;
+use pd_common::{DataType, Row, Schema, Value};
+use pd_core::{execute_partial, BuildOptions, DataStore, ExecContext, PartialResult, ScanStats};
+use pd_data::Table;
+use pd_dist::rpc::{
+    encode_frame, read_frame, read_frame_negotiated, LoadRequest, QueryRequest, Request, Response,
+    ShardReport, SubtreeAnswer,
+};
+use pd_sql::{analyze, parse_query};
+use std::time::Duration;
+
+fn random_value(rng: &mut Rng) -> Value {
+    match rng.range_usize(0, 4) {
+        0 => Value::Null,
+        1 => Value::Int(rng.next_u64() as i64),
+        2 => Value::Float(f64::from_bits(rng.next_u64())), // NaN payloads included
+        _ => {
+            let len = rng.range_usize(0, 12);
+            Value::Str((0..len).map(|_| (b'a' + rng.range_u64(0, 26) as u8) as char).collect())
+        }
+    }
+}
+
+/// A real partial result (with FloatSum superaccumulator states) to embed
+/// in answers.
+fn real_partial() -> PartialResult {
+    let schema = Schema::of(&[("k", DataType::Str), ("x", DataType::Float)]);
+    let mut table = Table::new(schema);
+    for i in 0..60i64 {
+        table
+            .push_row(Row(vec![
+                Value::from(["a", "b", "c"][(i % 3) as usize]),
+                Value::Float(i as f64 * 0.25 - 3.0),
+            ]))
+            .unwrap();
+    }
+    let store = DataStore::build(&table, &BuildOptions::basic()).unwrap();
+    let analyzed =
+        analyze(&parse_query("SELECT k, COUNT(*) c, SUM(x) s FROM t GROUP BY k").unwrap()).unwrap();
+    let ctx = ExecContext { threads: 1, ..Default::default() };
+    execute_partial(&store, &analyzed, &ctx).unwrap().0
+}
+
+fn random_request(rng: &mut Rng, case: usize) -> Request {
+    match case % 4 {
+        0 => {
+            let rows = (0..rng.range_usize(0, 40))
+                .map(|_| Row(vec![random_value(rng), random_value(rng)]))
+                .collect();
+            Request::Load(Box::new(LoadRequest {
+                shard: rng.next_u64() % 64,
+                schema: Schema::of(&[("a", DataType::Str), ("b", DataType::Float)]),
+                rows,
+                build: BuildOptions::basic(),
+                threads: rng.next_u64() % 4,
+                cache_budget: rng.next_u64() % (1 << 24),
+            }))
+        }
+        1 => {
+            let sqls = [
+                "SELECT k, COUNT(*) c FROM t WHERE k IN ('a','b') GROUP BY k",
+                "SELECT COUNT(*), SUM(x) FROM t WHERE NOT (k = 'z' OR x > 1.5)",
+                "SELECT k, AVG(x) a FROM t GROUP BY k HAVING a > 0 ORDER BY a DESC LIMIT 3",
+            ];
+            let sql = sqls[rng.range_usize(0, sqls.len())];
+            Request::Query(Box::new(QueryRequest {
+                query: analyze(&parse_query(sql).unwrap()).unwrap(),
+                deadline: Duration::from_nanos(rng.next_u64() % 1_000_000_000),
+                killed: (0..rng.range_usize(0, 5)).map(|_| rng.next_u64() % 8).collect(),
+            }))
+        }
+        2 => Request::Delay { micros: rng.next_u64() },
+        _ => Request::Ping,
+    }
+}
+
+fn random_response(rng: &mut Rng, partial: &PartialResult, case: usize) -> Response {
+    match case % 3 {
+        0 => {
+            let reports = (0..rng.range_usize(0, 6))
+                .map(|_| ShardReport {
+                    shard: rng.next_u64() % 16,
+                    latency: Duration::from_nanos(rng.next_u64() % u64::MAX),
+                    queue: Duration::from_nanos(rng.next_u64() % 1_000_000),
+                    failover: rng.next_u64().is_multiple_of(2),
+                })
+                .collect();
+            Response::Answer(Box::new(SubtreeAnswer {
+                partial: partial.clone(),
+                stats: ScanStats {
+                    rows_total: rng.next_u64() % 10_000,
+                    rows_skipped: rng.next_u64() % 10_000,
+                    subtrees_pruned: rng.range_usize(0, 4),
+                    ..Default::default()
+                },
+                reports,
+            }))
+        }
+        1 => Response::Err(format!("error {}", rng.next_u64())),
+        _ => Response::Ok,
+    }
+}
+
+#[test]
+fn frames_round_trip_bit_identically_compressed_and_raw() {
+    let mut rng = Rng::seed_from_u64(0xf4a3_0001);
+    let partial = real_partial();
+    for case in 0..48 {
+        let request = random_request(&mut rng, case);
+        let response = random_response(&mut rng, &partial, case);
+        for compress in [false, true] {
+            let frame = encode_frame(&request, compress).unwrap();
+            let (back, accepts) =
+                read_frame_negotiated::<Request>(&mut frame.as_slice()).unwrap().unwrap();
+            assert_eq!(back, request, "case {case} compress={compress}");
+            assert_eq!(accepts, compress, "the negotiation bit mirrors the sender's mode");
+
+            let frame = encode_frame(&response, compress).unwrap();
+            let back: Response = read_frame(&mut frame.as_slice()).unwrap().unwrap();
+            assert_eq!(back, response, "case {case} compress={compress}");
+        }
+    }
+}
+
+#[test]
+fn truncated_frames_error_and_never_panic() {
+    let mut rng = Rng::seed_from_u64(0xf4a3_0002);
+    let partial = real_partial();
+    for case in 0..16 {
+        let response = random_response(&mut rng, &partial, case);
+        for compress in [false, true] {
+            let frame = encode_frame(&response, compress).unwrap();
+            for cut in 0..frame.len() {
+                // Any outcome but a decoded message (or a panic) is fine:
+                // a partial header reads as clean EOF, everything else is
+                // a hard error for the failover path.
+                if let Ok(Some(_)) = read_frame::<Response>(&mut frame[..cut].as_ref()) {
+                    panic!("case {case} cut={cut}: truncated frame decoded");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_the_reader() {
+    let mut rng = Rng::seed_from_u64(0xf4a3_0003);
+    let partial = real_partial();
+    for case in 0..24 {
+        let request = random_request(&mut rng, case);
+        let response = random_response(&mut rng, &partial, case);
+        for compress in [false, true] {
+            for frame in [
+                encode_frame(&request, compress).unwrap(),
+                encode_frame(&response, compress).unwrap(),
+            ] {
+                for _ in 0..32 {
+                    let mut corrupt = frame.clone();
+                    let flips = rng.range_usize(1, 4);
+                    for _ in 0..flips {
+                        let byte = rng.range_usize(0, corrupt.len());
+                        let bit = rng.range_u64(0, 8) as u8;
+                        corrupt[byte] ^= 1 << bit;
+                    }
+                    // Any Result is acceptable — the reader must neither
+                    // panic nor over-allocate (length caps are validated
+                    // before any allocation happens).
+                    let _ = read_frame::<Request>(&mut corrupt.as_slice());
+                    let _ = read_frame::<Response>(&mut corrupt.as_slice());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn decompression_bombs_are_rejected_before_inflation() {
+    // A compressed frame whose Zippy prelude claims an absurd
+    // uncompressed length must be rejected up front — the corruption
+    // contract is Err, never a multi-gigabyte allocation.
+    use pd_common::wire::{FrameHeader, FRAME_FLAG_COMPRESSED};
+    let mut body = Vec::new();
+    pd_compress::varint::write_u64(&mut body, 1 << 40); // claims 1 TiB
+    body.extend_from_slice(&[[0x80u8, 0x01]; 8].concat()); // overlapping copy ops
+    let mut frame =
+        FrameHeader { flags: FRAME_FLAG_COMPRESSED, len: body.len() as u32 }.to_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    let err = read_frame::<Response>(&mut frame.as_slice()).unwrap_err();
+    assert!(err.to_string().contains("claims"), "{err}");
+}
+
+#[test]
+fn garbage_bytes_never_panic_the_reader() {
+    let mut rng = Rng::seed_from_u64(0xf4a3_0004);
+    for _ in 0..64 {
+        let len = rng.range_usize(0, 512);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.range_u64(0, 256) as u8).collect();
+        let _ = read_frame::<Request>(&mut garbage.as_slice());
+        let _ = read_frame::<Response>(&mut garbage.as_slice());
+    }
+}

@@ -1,10 +1,13 @@
 //! End-to-end tests of the process-split computation tree: real
 //! `pd-dist-worker` processes behind the RPC boundary, driven through
-//! [`Cluster`] with [`Transport::Rpc`].
+//! [`Cluster`] with [`Transport::Rpc`] — over Unix sockets and loopback
+//! TCP, with and without frame compression, and with restriction-aware
+//! subtree pruning.
 
+use pd_common::{DataType, Row, Schema, Value};
 use pd_core::{query, BuildOptions, DataStore};
-use pd_data::{generate_logs, LogsSpec};
-use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape};
+use pd_data::{generate_logs, LogsSpec, Table};
+use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape, WorkerAddr};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -13,7 +16,17 @@ fn worker_bin() -> PathBuf {
 }
 
 fn rpc(deadline: Duration) -> Transport {
-    Transport::Rpc(RpcConfig { worker_bin: Some(worker_bin()), deadline })
+    // Library defaults otherwise: unix sockets, compression on.
+    Transport::Rpc(RpcConfig { worker_bin: Some(worker_bin()), deadline, ..Default::default() })
+}
+
+fn rpc_with(addr: WorkerAddr, compress: bool) -> Transport {
+    Transport::Rpc(RpcConfig {
+        worker_bin: Some(worker_bin()),
+        deadline: Duration::from_secs(30),
+        addr,
+        compress,
+    })
 }
 
 fn build_options() -> BuildOptions {
@@ -96,22 +109,123 @@ fn merge_servers_fold_subtrees_identically() {
 }
 
 #[test]
+fn tcp_loopback_tree_matches_unix_sockets() {
+    // The same tree — merge servers included — over loopback TCP with
+    // ephemeral announced ports, compressed and raw, must produce rows
+    // bit-identical to the unix-socket tree and the single store.
+    let table = generate_logs(&LogsSpec::scaled(800));
+    let build = build_options();
+    let store = DataStore::build(&table, &build).unwrap();
+    for compress in [false, true] {
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards: 3,
+                replication: false,
+                build: build.clone(),
+                tree: TreeShape { fanout: 2 },
+                transport: rpc_with(WorkerAddr::loopback(), compress),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for sql in QUERIES {
+            let (expect, _) = query(&store, sql).unwrap();
+            let outcome = cluster.query(sql).unwrap();
+            assert_eq!(outcome.result, expect, "compress={compress}: {sql}");
+        }
+    }
+}
+
+#[test]
+fn restriction_preskip_prunes_non_matching_subtrees() {
+    // A table whose `bucket` column is perfectly correlated with row
+    // position: contiguous sharding gives every shard exactly one bucket
+    // value, so a one-bucket restriction can only match one shard — and
+    // the metadata shipped at load time proves it. At fanout 2 (4 leaves →
+    // 2 mixers → root) the query for bucket b3 must prune the whole
+    // {b0, b1} mixer at the root *and* the b2 leaf inside the other mixer:
+    // two edges never carry the query, yet the answer is bit-identical.
+    let schema = Schema::of(&[("bucket", DataType::Str), ("n", DataType::Int)]);
+    let mut table = Table::new(schema);
+    for i in 0..400i64 {
+        table.push_row(Row(vec![Value::from(format!("b{}", i / 100)), Value::Int(i)])).unwrap();
+    }
+    let build = BuildOptions::production(&["bucket"]);
+    let store = DataStore::build(&table, &build).unwrap();
+    let cluster = Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards: 4,
+            replication: false,
+            build,
+            tree: TreeShape { fanout: 2 },
+            transport: rpc(Duration::from_secs(30)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let sql = "SELECT bucket, COUNT(*) c, SUM(n) s FROM t WHERE bucket = 'b3' GROUP BY bucket";
+    let (expect, _) = query(&store, sql).unwrap();
+    let outcome = cluster.query(sql).unwrap();
+    assert_eq!(outcome.result, expect);
+    assert_eq!(
+        outcome.stats.subtrees_pruned, 2,
+        "the b0/b1 mixer prunes at the root, the b2 leaf inside its mixer"
+    );
+    assert!(
+        outcome.stats.rows_skipped >= 300,
+        "three shards' rows are skipped without scanning: {:?}",
+        outcome.stats
+    );
+    assert_eq!(
+        outcome.stats.rows_skipped + outcome.stats.rows_cached + outcome.stats.rows_scanned,
+        outcome.stats.rows_total,
+        "pruned shards keep the accounting balanced"
+    );
+    assert_eq!(outcome.subquery_latencies.len(), 4);
+
+    // A restriction matching nothing anywhere prunes every edge at the
+    // root — and still returns the exact empty/global-aggregate shape.
+    let sql = "SELECT COUNT(*) FROM t WHERE bucket = 'nope'";
+    let (expect, _) = query(&store, sql).unwrap();
+    let outcome = cluster.query(sql).unwrap();
+    assert_eq!(outcome.result, expect);
+    assert_eq!(outcome.stats.subtrees_pruned, 2, "both frontier edges prune at the root");
+    assert_eq!(outcome.stats.rows_skipped, 400);
+    assert_eq!(outcome.stats.rows_scanned, 0);
+
+    // An unrestricted query prunes nothing.
+    let outcome = cluster.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(outcome.stats.subtrees_pruned, 0);
+    assert_eq!(outcome.stats.rows_scanned + outcome.stats.rows_cached, 400);
+}
+
+#[test]
 fn queue_delays_are_measured_not_modeled() {
     // One worker process, two queries racing over *separate connections*:
     // the second request queues behind the first inside the worker's
     // single executor, so its *measured* queue delay must reflect the
     // first query's artificial service time. No seeded draw can produce
     // this number — only observation can.
-    use pd_dist::rpc::{LoadRequest, QueryRequest, Request, Response, RpcClient};
+    use pd_dist::rpc::{Addr, LoadRequest, QueryRequest, Request, Response, RpcClient};
+    use pd_dist::ReapGuard;
+    use pd_sql::{analyze, parse_query};
 
     let dir = std::env::temp_dir().join(format!("pd-queue-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let socket = dir.join("w.sock");
-    let mut worker =
-        std::process::Command::new(worker_bin()).arg("--socket").arg(&socket).spawn().unwrap();
+    // The raw spawn sits in a ReapGuard: if any assertion below panics,
+    // unwinding kills and reaps the worker instead of leaking it into
+    // later suites.
+    let worker = ReapGuard::new(
+        std::process::Command::new(worker_bin()).arg("--socket").arg(&socket).spawn().unwrap(),
+    );
+    let addr = Addr::Unix(socket);
 
     let table = generate_logs(&LogsSpec::scaled(200));
-    let mut setup = RpcClient::new(&socket);
+    let mut setup = RpcClient::new(addr.clone(), false);
     setup.connect_with_retry(Duration::from_secs(30)).unwrap();
     let load = Request::Load(Box::new(LoadRequest {
         shard: 0,
@@ -121,22 +235,23 @@ fn queue_delays_are_measured_not_modeled() {
         threads: 1,
         cache_budget: 1 << 20,
     }));
-    assert_eq!(setup.call(&load, Duration::from_secs(60)).unwrap(), Response::Ok);
+    assert!(matches!(setup.call(&load, Duration::from_secs(60)).unwrap(), Response::Loaded(_)));
     let delay = Request::Delay { micros: 250_000 };
     assert_eq!(setup.call(&delay, Duration::from_secs(10)).unwrap(), Response::Ok);
 
-    let query = Request::Query(QueryRequest {
-        sql: "SELECT COUNT(*) FROM logs".into(),
+    let analyzed = analyze(&parse_query("SELECT COUNT(*) FROM logs").unwrap()).unwrap();
+    let query = Request::Query(Box::new(QueryRequest {
+        query: analyzed,
         deadline: Duration::from_secs(30),
         killed: Vec::new(),
-    });
+    }));
     let queue_delays: Vec<Duration> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..2)
             .map(|_| {
                 let query = &query;
-                let socket = &socket;
+                let addr = addr.clone();
                 scope.spawn(move || {
-                    let mut client = RpcClient::new(socket);
+                    let mut client = RpcClient::new(addr, false);
                     match client.call(query, Duration::from_secs(30)).unwrap() {
                         Response::Answer(answer) => answer.reports[0].queue,
                         other => panic!("expected an answer, got {other:?}"),
@@ -146,8 +261,7 @@ fn queue_delays_are_measured_not_modeled() {
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
-    let _ = worker.kill();
-    let _ = worker.wait();
+    drop(worker); // kill + reap
     let _ = std::fs::remove_dir_all(&dir);
 
     let max_queue = queue_delays.iter().max().copied().unwrap();

@@ -1,10 +1,11 @@
-//! Wire codecs for expressions and restrictions.
+//! Wire codecs for expressions, restrictions and analyzed queries.
 //!
-//! Queries crossing the §4 process boundary travel as SQL text (workers
-//! re-run the deterministic parse/analyze pipeline), but the *normalized*
-//! artifacts — expression trees and [`Restriction`]s — are codable too, so
-//! merge servers can exchange skip-relevant restrictions without
-//! re-parsing, and the wire property suite can round-trip them.
+//! Queries cross the §4 process boundary fully *decoded*: the driver
+//! parses and analyzes once, and the [`AnalyzedQuery`] — group-by keys,
+//! aggregates, output mapping, restriction tree — travels as bytes. No
+//! worker re-parses SQL on any hop, and merge servers read the
+//! [`Restriction`] directly to prune subtrees whose shard metadata cannot
+//! match.
 //!
 //! Expressions are recursive, and the wire contract says corrupt bytes
 //! must yield `Err`, never a crash: a hand-crafted frame of nested unary
@@ -13,7 +14,8 @@
 //! therefore tracks an explicit depth and fails past [`MAX_DEPTH`] — far
 //! deeper than any query the parser itself would produce.
 
-use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::analyze::{AnalyzedQuery, OutputCol};
+use crate::ast::{AggExpr, AggFunc, BinaryOp, Expr, UnaryOp};
 use crate::restriction::Restriction;
 use pd_common::wire::{Decode, Encode, Reader};
 use pd_common::{Error, Result, Value};
@@ -252,6 +254,111 @@ fn decode_restriction_vec(r: &mut Reader<'_>, depth: usize) -> Result<Vec<Restri
     Ok(out)
 }
 
+// --- analyzed queries -------------------------------------------------------
+//
+// The §4 tree ships the *analyzed* query — keys, aggregates, restriction,
+// output mapping — instead of SQL text: workers execute it directly (no
+// re-parse on every hop) and merge servers read the restriction to prune
+// subtrees whose shards cannot match.
+
+impl Encode for AggFunc {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            AggFunc::Count => 0,
+            AggFunc::Sum => 1,
+            AggFunc::Min => 2,
+            AggFunc::Max => 3,
+            AggFunc::Avg => 4,
+        });
+    }
+}
+
+impl Decode for AggFunc {
+    fn decode(r: &mut Reader<'_>) -> Result<AggFunc> {
+        Ok(match r.u8()? {
+            0 => AggFunc::Count,
+            1 => AggFunc::Sum,
+            2 => AggFunc::Min,
+            3 => AggFunc::Max,
+            4 => AggFunc::Avg,
+            other => return Err(Error::Data(format!("wire: invalid agg-func tag {other}"))),
+        })
+    }
+}
+
+impl Encode for AggExpr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.func.encode(out);
+        self.arg.encode(out);
+        self.distinct.encode(out);
+    }
+}
+
+impl Decode for AggExpr {
+    fn decode(r: &mut Reader<'_>) -> Result<AggExpr> {
+        Ok(AggExpr {
+            func: AggFunc::decode(r)?,
+            arg: Option::<Expr>::decode(r)?,
+            distinct: bool::decode(r)?,
+        })
+    }
+}
+
+impl Encode for OutputCol {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            OutputCol::Key(i) => {
+                out.push(0);
+                i.encode(out);
+            }
+            OutputCol::Agg(i) => {
+                out.push(1);
+                i.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for OutputCol {
+    fn decode(r: &mut Reader<'_>) -> Result<OutputCol> {
+        Ok(match r.u8()? {
+            0 => OutputCol::Key(usize::decode(r)?),
+            1 => OutputCol::Agg(usize::decode(r)?),
+            other => return Err(Error::Data(format!("wire: invalid output-col tag {other}"))),
+        })
+    }
+}
+
+impl Encode for AnalyzedQuery {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.table.encode(out);
+        self.keys.encode(out);
+        self.aggs.encode(out);
+        self.output.encode(out);
+        self.filter.encode(out);
+        self.restriction.encode(out);
+        self.having.encode(out);
+        self.order_by.encode(out);
+        self.limit.encode(out);
+    }
+}
+
+impl Decode for AnalyzedQuery {
+    fn decode(r: &mut Reader<'_>) -> Result<AnalyzedQuery> {
+        Ok(AnalyzedQuery {
+            table: Option::<String>::decode(r)?,
+            keys: Vec::<Expr>::decode(r)?,
+            aggs: Vec::<AggExpr>::decode(r)?,
+            output: Vec::<(String, OutputCol)>::decode(r)?,
+            filter: Option::<Expr>::decode(r)?,
+            restriction: Restriction::decode(r)?,
+            having: Option::<Expr>::decode(r)?,
+            order_by: Vec::<(usize, bool)>::decode(r)?,
+            limit: Option::<usize>::decode(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,6 +446,34 @@ mod tests {
         let bytes = to_bytes(&sample_expr());
         for cut in 0..bytes.len() {
             assert!(from_bytes::<Expr>(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn analyzed_queries_round_trip() {
+        for sql in [
+            "SELECT country, COUNT(*) as c FROM data GROUP BY country ORDER BY c DESC LIMIT 10",
+            "SELECT date(timestamp) as date, COUNT(*), SUM(latency) FROM data \
+             GROUP BY date ORDER BY date ASC LIMIT 10",
+            "SELECT k, AVG(x) a, MIN(n) mn FROM t WHERE k IN ('a','b') AND n > 3 \
+             GROUP BY k HAVING a > 1.5 ORDER BY a DESC",
+            "SELECT COUNT(*) FROM t WHERE NOT (k = 'x' OR n != 0)",
+        ] {
+            let analyzed = crate::analyze(&crate::parse_query(sql).unwrap()).unwrap();
+            let back: AnalyzedQuery = from_bytes(&to_bytes(&analyzed)).unwrap();
+            assert_eq!(back, analyzed, "{sql}");
+        }
+    }
+
+    #[test]
+    fn analyzed_query_truncations_error_cleanly() {
+        let analyzed = crate::analyze(
+            &crate::parse_query("SELECT k, COUNT(*) c FROM t WHERE k = 'a' GROUP BY k").unwrap(),
+        )
+        .unwrap();
+        let bytes = to_bytes(&analyzed);
+        for cut in 0..bytes.len() {
+            assert!(from_bytes::<AnalyzedQuery>(&bytes[..cut]).is_err(), "cut at {cut}");
         }
     }
 }

@@ -98,7 +98,11 @@ pub fn values_equal(a: &Value, b: &Value) -> bool {
     }
 }
 
-fn compare(a: &Value, b: &Value) -> std::cmp::Ordering {
+/// SQL ordering: numerically across Int/Float, the total [`Value`] order
+/// otherwise. Public because shard-metadata pruning must reason with
+/// *exactly* the comparator the row filter applies — any divergence would
+/// let a pre-skip drop rows the filter would have kept.
+pub fn values_compare(a: &Value, b: &Value) -> std::cmp::Ordering {
     match (a, b) {
         (Value::Int(x), Value::Float(y)) => (*x as f64).total_cmp(y),
         (Value::Float(x), Value::Int(y)) => x.total_cmp(&(*y as f64)),
@@ -111,10 +115,10 @@ fn eval_binary(op: BinaryOp, a: &Value, b: &Value) -> Result<Value> {
     Ok(match op {
         BinaryOp::Eq => bool_value(values_equal(a, b)),
         BinaryOp::Ne => bool_value(!values_equal(a, b)),
-        BinaryOp::Lt => bool_value(compare(a, b) == Less),
-        BinaryOp::Le => bool_value(compare(a, b) != Greater),
-        BinaryOp::Gt => bool_value(compare(a, b) == Greater),
-        BinaryOp::Ge => bool_value(compare(a, b) != Less),
+        BinaryOp::Lt => bool_value(values_compare(a, b) == Less),
+        BinaryOp::Le => bool_value(values_compare(a, b) != Greater),
+        BinaryOp::Gt => bool_value(values_compare(a, b) == Greater),
+        BinaryOp::Ge => bool_value(values_compare(a, b) != Less),
         BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul => match (a, b) {
             (Value::Int(x), Value::Int(y)) => Value::Int(match op {
                 BinaryOp::Add => x.wrapping_add(*y),

@@ -39,7 +39,7 @@ pub use analyze::{analyze, AnalyzedQuery, OutputCol};
 pub use ast::{
     AggExpr, AggFunc, BinaryOp, Expr, OrderKey, Query, SelectExpr, SelectItem, TableRef, UnaryOp,
 };
-pub use eval::{eval_expr, truthy, RowContext};
+pub use eval::{eval_expr, truthy, values_compare, values_equal, RowContext};
 pub use parser::parse_query;
 pub use restriction::Restriction;
 pub use rewrite::{distributed_plan, DistributedPlan, MergeOp};

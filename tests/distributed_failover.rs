@@ -139,9 +139,13 @@ fn seeded_failures_are_reproducible_and_correct() {
 // ---------------------------------------------------------------------------
 
 fn rpc_transport(deadline: std::time::Duration) -> powerdrill::dist::Transport {
+    // Default transport settings beyond the deadline: unix sockets,
+    // compression on — so the failover machinery is exercised with
+    // compressed frames in play.
     powerdrill::dist::Transport::Rpc(powerdrill::dist::RpcConfig {
         worker_bin: Some(std::path::PathBuf::from(env!("CARGO_BIN_EXE_pd-worker"))),
         deadline,
+        ..Default::default()
     })
 }
 

@@ -310,19 +310,21 @@ fn distributed_matrix_is_bit_identical_to_single_store() {
 /// The transport axis: the same bit-identity must hold when the
 /// computation tree is **split across OS processes** — spawned
 /// `pd-dist-worker` leaves (and, at fanout 2, real intermediate merge
-/// servers) exchanging serialized partials over the RPC boundary. Matrix:
-/// {shards 1/2/4} × {tree depth ≤1 / 2 (fanout 16 / 2)} ×
-/// {transport in-process / rpc}, two passes each (the second exercises the
-/// workers' warm chunk-result caches).
+/// servers) exchanging serialized partials over the RPC boundary, over
+/// Unix sockets *and* loopback TCP, with frame compression off and on.
+/// Matrix: {shards 1/2/4} × {tree depth ≤1 / 2 (fanout 16 / 2)} ×
+/// {in-process, unix, tcp, tcp+compressed}, two passes each (the second
+/// exercises the workers' warm chunk-result caches).
 ///
 /// Exact `assert_eq!`, floats included: group keys, float sums
-/// (superaccumulator limbs) and sketches cross the wire bit-identically,
-/// and every merge level folds associatively, so the process split must
-/// change *nothing* about any result row.
+/// (superaccumulator limbs) and sketches cross the wire bit-identically
+/// (compression round-trips losslessly by construction), and every merge
+/// level folds associatively, so neither the process split, the socket
+/// shape nor the wire codec may change *anything* about any result row.
 #[test]
 fn transport_axis_is_bit_identical_across_process_split() {
     use powerdrill::data::{generate_logs, LogsSpec};
-    use powerdrill::dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape};
+    use powerdrill::dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape, WorkerAddr};
     use std::time::Duration;
 
     let table = generate_logs(&LogsSpec::scaled(1_200));
@@ -341,20 +343,27 @@ fn transport_axis_is_bit_identical_across_process_split() {
         .collect();
 
     let worker_bin = std::path::PathBuf::from(env!("CARGO_BIN_EXE_pd-worker"));
+    let rpc = |addr: WorkerAddr, compress: bool| {
+        Transport::Rpc(RpcConfig {
+            worker_bin: Some(worker_bin.clone()),
+            deadline: Duration::from_secs(30),
+            addr,
+            compress,
+        })
+    };
     for shards in [1usize, 2, 4] {
         // fanout 16 keeps every leaf directly under the root (depth ≤ 1);
         // fanout 2 forces an intermediate merge-server level at 4 shards
         // (depth 2: leaves → mixers → root).
         for fanout in [16usize, 2] {
             let transports = [
-                Transport::InProcess,
-                Transport::Rpc(RpcConfig {
-                    worker_bin: Some(worker_bin.clone()),
-                    deadline: Duration::from_secs(30),
-                }),
+                ("in-process", Transport::InProcess),
+                ("unix", rpc(WorkerAddr::Unix, false)),
+                ("tcp", rpc(WorkerAddr::loopback(), false)),
+                ("tcp+z", rpc(WorkerAddr::loopback(), true)),
             ];
-            for transport in transports {
-                let label = format!("shards={shards} fanout={fanout} transport={transport:?}");
+            for (transport_name, transport) in transports {
+                let label = format!("shards={shards} fanout={fanout} transport={transport_name}");
                 let config = ClusterConfig {
                     shards,
                     replication: false,
