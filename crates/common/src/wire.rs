@@ -37,9 +37,11 @@ use std::time::Duration;
 // --- frame header -----------------------------------------------------------
 
 /// Version byte of the RPC frame header. Bumped whenever the frame layout
-/// (not the payload encoding) changes; peers reject frames from a
-/// different version instead of mis-framing the stream.
-pub const FRAME_VERSION: u8 = 1;
+/// *or* the protocol-message encodings change shape; peers reject frames
+/// from a different version instead of mis-framing the stream. Version 2:
+/// rebuild epochs and worker-cache fields in `Load`/`Attach`/`Query`,
+/// cache-hit flags in shard reports.
+pub const FRAME_VERSION: u8 = 2;
 
 /// The frame payload is compressed (`pd-compress`, Zippy family). The
 /// receiver decompresses before decoding; the flag is per frame, so a

@@ -388,6 +388,17 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
     }
 
     pub fn get(&self, key: &K) -> Option<V> {
+        self.get_borrowed(key)
+    }
+
+    /// [`BoundedCache::get`] keyed by any borrowed form of `K` (e.g.
+    /// `&str` for `String` keys), so lookup paths need not allocate a
+    /// throwaway owned key.
+    pub fn get_borrowed<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: std::hash::Hash + Eq + ?Sized,
+    {
         let mut inner = self.inner.lock();
         match inner.entries.get(key).cloned() {
             Some(hit) => {

@@ -33,6 +33,13 @@ pub struct ScanStats {
     /// how many tree edges never carried the query at all.
     pub subtrees_pruned: usize,
 
+    /// Computation-tree nodes (leaf servers or merge servers) that
+    /// answered from their own result cache instead of scanning /
+    /// fanning out. A merge-server hit counts once even though it covers
+    /// every shard beneath it — the counter records *nodes* that stopped
+    /// the query, not rows (those land in `rows_cached`).
+    pub worker_cache_hits: usize,
+
     /// Cells touched: scanned rows × columns accessed by the query (the
     /// unit of the paper's title).
     pub cells_scanned: u64,
@@ -105,6 +112,7 @@ impl AddAssign<&ScanStats> for ScanStats {
         self.rows_cached += rhs.rows_cached;
         self.rows_scanned += rhs.rows_scanned;
         self.subtrees_pruned += rhs.subtrees_pruned;
+        self.worker_cache_hits += rhs.worker_cache_hits;
         self.cells_scanned += rhs.cells_scanned;
         self.disk_bytes += rhs.disk_bytes;
         self.decompressed_bytes += rhs.decompressed_bytes;

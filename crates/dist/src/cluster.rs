@@ -195,10 +195,12 @@ pub struct ClusterConfig {
     /// Worker threads for the shard fan-out and each shard's chunk scan
     /// (0 = `EXEC_THREADS` / available parallelism).
     pub threads: usize,
-    /// Capacity (entries) of the shard-level result cache; 0 disables it.
-    /// In-process transport only: over RPC the root receives merged
-    /// *subtree* partials, so per-shard caching belongs to the workers'
-    /// own chunk-result caches.
+    /// Capacity (entries) of the shard-level result caching; 0 disables
+    /// it. In-process this is the root's per-(signature, shard) cache;
+    /// over RPC it is the capacity of **every tree node's own result
+    /// cache** (leaf and merge-server processes alike), so a warm
+    /// drill-down answers from the nearest node that remembers the
+    /// signature — with zero child hops below it.
     pub shard_cache: usize,
     /// Where the computation tree runs: in the driver's address space or
     /// split across worker processes.
@@ -236,6 +238,11 @@ pub struct Cluster {
     tree: Option<ProcessTree>,
     config: ClusterConfig,
     shard_cache: Option<ShardCache>,
+    /// Monotonically increasing rebuild epoch. Every `Load`/`Attach`/
+    /// `Query` over RPC carries it; a worker that sees it advance drops
+    /// its result cache — the distributed form of the root cache's
+    /// rebuild invalidation.
+    epoch: AtomicU64,
     /// Per-query sequence number: the deterministic axis of every load /
     /// failure draw (draws depend on (seed, query, shard, replica), never
     /// on worker scheduling).
@@ -258,13 +265,26 @@ pub struct QueryOutcome {
     pub subquery_latencies: Vec<Duration>,
     /// Shards whose primary failed and whose replica answered.
     pub failovers: Vec<usize>,
-    /// Shards served from the shard-level result cache.
+    /// Shards served from the driver root's shard-level result cache
+    /// (in-process transport).
     pub shard_cache_hits: usize,
     /// Per-shard *measured* time the subquery spent queued inside worker
     /// processes (leaf + every merge server above it). All zeros for the
     /// in-process transport, whose queueing is invisible inside the shared
     /// pool.
     pub queue_delays: Vec<Duration>,
+}
+
+impl QueryOutcome {
+    /// Tree nodes (worker processes — leaves or merge servers) that
+    /// answered this query from their own result cache, aggregated up the
+    /// tree (RPC transport; always 0 in-process, where the root's
+    /// [`ShardCache`] plays that role and reports
+    /// [`QueryOutcome::shard_cache_hits`]). Derived from the aggregated
+    /// [`ScanStats`], the single source of truth the workers report into.
+    pub fn worker_cache_hits(&self) -> usize {
+        self.stats.worker_cache_hits
+    }
 }
 
 /// One shard's answer, as produced by a fan-out task. All shared-state
@@ -303,19 +323,23 @@ impl Cluster {
     /// clustering" of appended log records that the paper's partitioning
     /// benefits from.
     pub fn build(table: &Table, config: &ClusterConfig) -> pd_common::Result<Cluster> {
+        let epoch = 1u64;
         let (shards, tree) = match &config.transport {
             Transport::InProcess => (Self::build_shards(table, config)?, None),
-            Transport::Rpc(rpc) => (Vec::new(), Some(Self::build_tree(table, config, rpc)?)),
+            Transport::Rpc(rpc) => (Vec::new(), Some(Self::build_tree(table, config, rpc, epoch)?)),
         };
         let shard_count = tree.as_ref().map_or(shards.len(), ProcessTree::shard_count);
         Ok(Cluster {
             shards,
             tree,
-            // Per-shard caching over RPC is the workers' job (their
-            // chunk-result caches); the root only sees subtree merges.
+            // Per-shard caching over RPC is the workers' job: every tree
+            // node holds its own result cache (capacity shipped at
+            // Load/Attach), so the root — which only sees subtree merges —
+            // does not duplicate it.
             shard_cache: (config.shard_cache > 0 && config.transport == Transport::InProcess)
                 .then(|| ShardCache::new(config.shard_cache)),
             config: config.clone(),
+            epoch: AtomicU64::new(epoch),
             queries: AtomicU64::new(0),
             observed_queue: Mutex::new(vec![(Duration::ZERO, 0); shard_count]),
         })
@@ -373,6 +397,7 @@ impl Cluster {
         table: &Table,
         config: &ClusterConfig,
         rpc: &RpcConfig,
+        epoch: u64,
     ) -> pd_common::Result<ProcessTree> {
         let shard_count = Self::split_count(table, config);
         let tree_config = TreeConfig {
@@ -382,6 +407,8 @@ impl Cluster {
             fanout: config.tree.fanout,
             threads: config.threads,
             cache_budget_per_shard: Self::per_shard_budget(config, shard_count),
+            cache_entries: config.shard_cache,
+            epoch,
             addr: rpc.addr.clone(),
             compress: rpc.compress,
         };
@@ -396,16 +423,21 @@ impl Cluster {
     }
 
     /// Re-import every shard from `table` (the §5 "table rebuild": new
-    /// data, fresh per-shard caches) and invalidate the shard-result
-    /// cache, whose partials refer to the old stores. Over RPC the whole
-    /// worker tree is respawned — the old processes hold the old data.
+    /// data, fresh per-shard caches) and invalidate every result cache
+    /// whose partials refer to the old stores: the root's shard cache
+    /// directly, the workers' own caches through the **epoch bump** — any
+    /// node that sees the new epoch (at `Load`/`Attach` of the respawned
+    /// tree, or in the next `Query` should a process ever survive a
+    /// rebuild) drops its cache. Over RPC the whole worker tree is
+    /// respawned — the old processes hold the old data.
     pub fn rebuild(&mut self, table: &Table) -> pd_common::Result<()> {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         match &self.config.transport {
             Transport::InProcess => self.shards = Self::build_shards(table, &self.config)?,
             Transport::Rpc(rpc) => {
                 // Drop (and kill) the old tree before spawning its successor.
                 self.tree = None;
-                self.tree = Some(Self::build_tree(table, &self.config, rpc)?);
+                self.tree = Some(Self::build_tree(table, &self.config, rpc, epoch)?);
             }
         }
         if let Some(cache) = &self.shard_cache {
@@ -414,6 +446,12 @@ impl Cluster {
         let shard_count = self.shard_count();
         *self.observed_queue.lock() = vec![(Duration::ZERO, 0); shard_count];
         Ok(())
+    }
+
+    /// The current rebuild epoch (starts at 1; [`Cluster::rebuild`] bumps
+    /// it). Carried by every RPC message so workers can invalidate.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
     }
 
     pub fn shard_count(&self) -> usize {
@@ -557,7 +595,7 @@ impl Cluster {
         }
 
         let fan_out_started = Instant::now();
-        let answer = tree.query(analyzed, killed)?;
+        let answer = tree.query(analyzed, killed, self.epoch())?;
         // Measured end-to-end fan-out: leaf hops *and* every merge-server
         // fold, response serialization and root-hop transport above them —
         // time the per-shard reports (stamped by each leaf's immediate

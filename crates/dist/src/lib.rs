@@ -14,7 +14,7 @@
 //! | partial results merged up the tree | real intermediate **merge servers** ([`worker`]): each owns a [`TreeShape`]-fanout subtree, folds child partials with the same associative merge, reports per-shard observations up, and **prunes subtrees whose [`ShardMeta`] cannot match the restriction** before any network hop ([`pd_core::ScanStats::subtrees_pruned`]); the driver is the root |
 //! | "take the answer arriving first" replication | per-shard replica processes; a primary that is killed ([`FailureModel`]) **or misses its [`RpcConfig::deadline`]** fails over to the replica — both through the same code path, recorded in [`QueryOutcome::failovers`] |
 //! | servers being "temporarily slow" | in-process: seeded [`LoadModel`] draws; rpc: **measured** — workers funnel requests through one executor and report real queue delays ([`QueryOutcome::queue_delays`], [`Cluster::observed_queue_delays`]) |
-//! | reuse of previously computed answers | [`shard_cache`]: the root caches each shard's partial (in-process transport); over rpc, the workers' own chunk-result caches |
+//! | reuse of previously computed answers | [`shard_cache`]: in-process, the root caches each shard's partial; over rpc, **every tree node** (leaf and merge-server process) holds a [`shard_cache::WorkerCache`] of its own partials keyed by the same normalized signature, invalidated by the rebuild **epoch** every message carries — hits are reported up as [`pd_core::ScanStats::worker_cache_hits`] / [`QueryOutcome::worker_cache_hits`] |
 //!
 //! Partial results, restrictions, group-by keys and float superaccumulator
 //! states cross the process boundary in the dependency-free
@@ -34,7 +34,8 @@
 //!   merge server (`Attach`), single-executor queue with measured delays;
 //! - [`process`] — driver-side tree construction: spawning, loading and
 //!   wiring worker processes, teardown on drop;
-//! - [`shard_cache`] — the root-side cache of per-shard partial results;
+//! - [`shard_cache`] — result caching at every tree level: the root's
+//!   per-shard cache and the worker processes' own [`shard_cache::WorkerCache`];
 //! - [`workload`] — drill-down click streams shaped like the §6 production
 //!   traffic, and [`run_production`] to replay them and report the
 //!   skipped / cached / scanned split and Figure 5's latency-vs-disk-bytes
@@ -53,5 +54,5 @@ pub use cluster::{
 };
 pub use meta::{ColumnMeta, ShardMeta};
 pub use process::{ProcessTree, ReapGuard, WorkerAddr};
-pub use shard_cache::{query_signature, ShardCache, ShardEntry};
+pub use shard_cache::{query_signature, CachedSubtree, ShardCache, ShardEntry, WorkerCache};
 pub use workload::{run_production, Click, DrillDownWorkload, ProductionReport, WorkloadSpec};

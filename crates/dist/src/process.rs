@@ -101,6 +101,13 @@ pub struct TreeConfig {
     pub threads: usize,
     /// Uncompressed-cache byte budget per shard.
     pub cache_budget_per_shard: usize,
+    /// Capacity (signatures) of every tree node's own result cache —
+    /// leaves and merge servers alike; 0 disables worker-side caching.
+    pub cache_entries: usize,
+    /// Rebuild epoch the tree is built at; shipped in every `Load` and
+    /// `Attach` so the workers' cache-invalidation contract starts
+    /// aligned with the driver.
+    pub epoch: u64,
     /// Socket shape workers listen on.
     pub addr: WorkerAddr,
     /// Compress RPC frames (negotiated per connection, applied down the
@@ -202,6 +209,8 @@ impl ProcessTree {
                 build: build.clone(),
                 threads: config.threads as u64,
                 cache_budget: config.cache_budget_per_shard as u64,
+                cache_entries: config.cache_entries as u64,
+                epoch: config.epoch,
             }));
             drop(table);
             let (primary, meta) = self.spawn_worker(config, &format!("l{shard}p"), &load)?;
@@ -230,6 +239,8 @@ impl ProcessTree {
                 let attach = Request::Attach(AttachRequest {
                     children: group.to_vec(),
                     compress: config.compress,
+                    cache_entries: config.cache_entries as u64,
+                    epoch: config.epoch,
                 });
                 let (addr, _) = self.spawn_worker(config, &format!("m{height}_{i}"), &attach)?;
                 next.push(ChildSpec::Node { addr, height, metas });
@@ -301,9 +312,17 @@ impl ProcessTree {
 
     /// Run one query through the tree: fan out to the frontier, fold in
     /// frontier order. `killed` carries this query's [`crate::FailureModel`]
-    /// primary kills down to whichever level parents each leaf.
-    pub fn query(&self, analyzed: &AnalyzedQuery, killed: Vec<u64>) -> Result<SubtreeAnswer> {
-        let request = QueryRequest { query: analyzed.clone(), deadline: self.deadline, killed };
+    /// primary kills down to whichever level parents each leaf; `epoch` is
+    /// the driver's current rebuild epoch, which every node checks against
+    /// its result cache before answering.
+    pub fn query(
+        &self,
+        analyzed: &AnalyzedQuery,
+        killed: Vec<u64>,
+        epoch: u64,
+    ) -> Result<SubtreeAnswer> {
+        let request =
+            QueryRequest { query: analyzed.clone(), deadline: self.deadline, killed, epoch };
         fan_out(&self.frontier, &request)
     }
 

@@ -299,6 +299,11 @@ pub struct LoadRequest {
     pub threads: u64,
     /// This shard's share of the uncompressed-cache byte budget.
     pub cache_budget: u64,
+    /// Capacity (signatures) of the leaf's own result cache; 0 disables.
+    pub cache_entries: u64,
+    /// Rebuild epoch of the shipped data. Queries carrying a different
+    /// epoch drop the worker's result cache before executing.
+    pub epoch: u64,
 }
 
 /// The subtree a merge server owns.
@@ -309,6 +314,12 @@ pub struct AttachRequest {
     /// children (and advertises compressed replies) — the per-connection
     /// negotiation travels down the tree with the wiring.
     pub compress: bool,
+    /// Capacity (signatures) of this merge server's own cache of folded
+    /// subtree partials; 0 disables.
+    pub cache_entries: u64,
+    /// Rebuild epoch of the subtree's data (same contract as
+    /// [`LoadRequest::epoch`]).
+    pub epoch: u64,
 }
 
 /// One child of a tree node — a leaf shard (with its replica, the §4
@@ -354,18 +365,25 @@ pub struct QueryRequest {
     /// query: their parents skip the primary and go straight to the
     /// replica, the same path a deadline expiry takes.
     pub killed: Vec<u64>,
+    /// The driver's current rebuild epoch. A node holding a cache from an
+    /// older epoch drops it before answering — the distributed form of
+    /// the root cache's rebuild invalidation.
+    pub epoch: u64,
 }
 
 /// Per-shard observation, reported up the tree: how long the subquery took
 /// as measured by the shard's *parent* (wall clock, including transport
 /// and queueing), the time the request spent queued in worker processes,
-/// and whether the primary had to be failed over.
+/// whether the primary had to be failed over, and whether the shard's
+/// contribution was served from a worker's result cache (its own, or a
+/// merge server's above it) without reaching the shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardReport {
     pub shard: u64,
     pub latency: Duration,
     pub queue: Duration,
     pub failover: bool,
+    pub cache_hit: bool,
 }
 
 /// A subtree's merged answer.
@@ -427,17 +445,22 @@ impl Encode for Request {
                 load.build.encode(out);
                 load.threads.encode(out);
                 load.cache_budget.encode(out);
+                load.cache_entries.encode(out);
+                load.epoch.encode(out);
             }
             Request::Attach(attach) => {
                 out.push(REQ_ATTACH);
                 attach.children.encode(out);
                 attach.compress.encode(out);
+                attach.cache_entries.encode(out);
+                attach.epoch.encode(out);
             }
             Request::Query(query) => {
                 out.push(REQ_QUERY);
                 query.query.encode(out);
                 query.deadline.encode(out);
                 query.killed.encode(out);
+                query.epoch.encode(out);
             }
             Request::Delay { micros } => {
                 out.push(REQ_DELAY);
@@ -459,15 +482,20 @@ impl Decode for Request {
                 build: BuildOptions::decode(r)?,
                 threads: r.u64()?,
                 cache_budget: r.u64()?,
+                cache_entries: r.u64()?,
+                epoch: r.u64()?,
             })),
             REQ_ATTACH => Request::Attach(AttachRequest {
                 children: Vec::decode(r)?,
                 compress: bool::decode(r)?,
+                cache_entries: r.u64()?,
+                epoch: r.u64()?,
             }),
             REQ_QUERY => Request::Query(Box::new(QueryRequest {
                 query: AnalyzedQuery::decode(r)?,
                 deadline: Duration::decode(r)?,
                 killed: Vec::decode(r)?,
+                epoch: r.u64()?,
             })),
             REQ_DELAY => Request::Delay { micros: r.u64()? },
             REQ_SHUTDOWN => Request::Shutdown,
@@ -519,6 +547,7 @@ impl Encode for ShardReport {
         self.latency.encode(out);
         self.queue.encode(out);
         self.failover.encode(out);
+        self.cache_hit.encode(out);
     }
 }
 
@@ -529,6 +558,7 @@ impl Decode for ShardReport {
             latency: Duration::decode(r)?,
             queue: Duration::decode(r)?,
             failover: bool::decode(r)?,
+            cache_hit: bool::decode(r)?,
         })
     }
 }
@@ -867,6 +897,7 @@ impl ChildHandle {
                 latency: Duration::ZERO,
                 queue: Duration::ZERO,
                 failover: false,
+                cache_hit: false,
             });
         }
         answer
@@ -1015,6 +1046,8 @@ mod tests {
                 build: BuildOptions::production(&["k"]),
                 threads: 2,
                 cache_budget: 1 << 20,
+                cache_entries: 64,
+                epoch: 3,
             })),
             Request::Attach(AttachRequest {
                 children: vec![
@@ -1031,11 +1064,14 @@ mod tests {
                     },
                 ],
                 compress: true,
+                cache_entries: 32,
+                epoch: 7,
             }),
             Request::Query(Box::new(QueryRequest {
                 query: analyzed("SELECT COUNT(*) FROM t WHERE k IN ('a','b')"),
                 deadline: Duration::from_millis(250),
                 killed: vec![1, 3],
+                epoch: 7,
             })),
             Request::Delay { micros: 5000 },
             Request::Shutdown,
@@ -1056,6 +1092,7 @@ mod tests {
                 latency: Duration::from_micros(77),
                 queue: Duration::from_micros(3),
                 failover: true,
+                cache_hit: true,
             }],
         };
         for response in [
@@ -1128,6 +1165,8 @@ mod tests {
             build: BuildOptions::basic(),
             threads: 1,
             cache_budget: 1 << 20,
+            cache_entries: 0,
+            epoch: 1,
         }));
         let raw = encode_frame(&request, false).unwrap();
         let compressed = encode_frame(&request, true).unwrap();
@@ -1173,6 +1212,7 @@ mod tests {
             query: analyzed("SELECT COUNT(*) FROM t WHERE k = 'absent'"),
             deadline: Duration::from_millis(50),
             killed: Vec::new(),
+            epoch: 1,
         };
         let answer = fan_out(std::slice::from_ref(&handle), &request).unwrap();
         assert_eq!(answer.stats.subtrees_pruned, 1);
@@ -1187,6 +1227,7 @@ mod tests {
             query: analyzed("SELECT COUNT(*) FROM t WHERE k = 'x'"),
             deadline: Duration::from_millis(50),
             killed: Vec::new(),
+            epoch: 1,
         };
         assert!(handle.query(&request).is_err());
     }

@@ -1,31 +1,42 @@
-//! Shard-level result caching for the §4 serving tree.
+//! Result caching for the §4 serving tree — at *every* node of it.
 //!
 //! §6 observes that drill-down traffic is dominated by *re-asked*
 //! subqueries: a mouse click refreshes many charts, and every chart except
 //! the one being filtered re-issues a query the tree has answered before.
 //! The chunk-result cache (§6, [`pd_core::ResultCache`]) exploits this per
 //! fully-active chunk *inside* one shard; this module adds the distributed
-//! counterpart: the root of the computation tree remembers each shard's
-//! **merged partial result** keyed by a normalized query signature, so a
-//! repeated subquery skips the shard entirely — no scan, no merge work, no
-//! round trip in a real deployment.
+//! counterparts, both keyed by the same normalized [`query_signature`]:
 //!
-//! Two properties make this safe:
+//! - [`ShardCache`] — the driver root's per-shard cache of partial
+//!   results, used by the in-process transport where the root sees every
+//!   shard's partial directly;
+//! - [`WorkerCache`] — one node's own cache inside a `pd-dist-worker`
+//!   process: a leaf caches the shard's [`pd_core::PartialResult`], a
+//!   merge server caches the *folded subtree* partial. A warm drill-down
+//!   over RPC therefore answers from the topmost cache that has the
+//!   signature, with **zero child hops** below it. Invalidation is the
+//!   rebuild epoch carried by every `Load`/`Attach`/`Query`
+//!   ([`crate::rpc`]): a node drops its cache the moment it sees the
+//!   epoch advance.
+//!
+//! Two properties make both caches safe:
 //!
 //! - partials are *pre-finalize* states ([`pd_core::PartialResult`]), so
 //!   the signature deliberately excludes `HAVING` / `ORDER BY` / `LIMIT` —
 //!   drill-down queries differing only in presentation share entries;
 //! - every [`pd_core::AggState`] merges associatively (float sums are
 //!   exact superaccumulators), so serving a cached partial is bit-identical
-//!   to rescanning the shard. Capacity eviction can therefore change
-//!   [`pd_core::ScanStats`], never results.
+//!   to rescanning the shard (or re-folding the subtree). Capacity
+//!   eviction can therefore change [`pd_core::ScanStats`], never results.
 //!
 //! Admission/eviction bookkeeping reuses [`pd_core::BoundedCache`] — the
 //! same FIFO-bounded machinery as the chunk-result cache.
 
+use crate::rpc::{ShardReport, SubtreeAnswer};
 use pd_core::{BoundedCache, PartialResult, ScanStats};
 use pd_sql::{AnalyzedQuery, Expr};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Normalized cache signature of an analyzed query: everything that
 /// affects the *partial* (table, keys, aggregates, row restriction, sketch
@@ -108,6 +119,104 @@ impl ShardCache {
     }
 }
 
+/// One tree node's cached answer for a signature: the partial it would
+/// recompute, plus the subtree shape needed to synthesize hit-side stats
+/// and per-shard reports without touching any child.
+pub struct CachedSubtree {
+    /// The node's mergeable group states — a leaf's shard partial or a
+    /// merge server's folded subtree partial.
+    pub partial: PartialResult,
+    /// Subtree shape at computation time.
+    rows_total: u64,
+    chunks_total: usize,
+    /// Every shard beneath this node, for hit-side report synthesis.
+    shards: Vec<u64>,
+}
+
+impl CachedSubtree {
+    /// Capture a freshly computed answer for reuse.
+    pub fn capture(answer: &SubtreeAnswer) -> CachedSubtree {
+        CachedSubtree {
+            partial: answer.partial.clone(),
+            rows_total: answer.stats.rows_total,
+            chunks_total: answer.stats.chunks_total,
+            shards: answer.reports.iter().map(|r| r.shard).collect(),
+        }
+    }
+
+    /// The answer a cache hit sends up the tree: the identical partial,
+    /// stats that account every row beneath this node as served from a
+    /// cached result (one `worker_cache_hits` for the node that stopped
+    /// the query), and a zero-latency, cache-flagged report per shard.
+    /// `queued` is this node's own measured queue delay, which applies to
+    /// hits exactly as it does to computed answers.
+    pub fn to_answer(&self, queued: Duration) -> SubtreeAnswer {
+        SubtreeAnswer {
+            partial: self.partial.clone(),
+            stats: ScanStats {
+                chunks_total: self.chunks_total,
+                chunks_cached: self.chunks_total,
+                rows_total: self.rows_total,
+                rows_cached: self.rows_total,
+                worker_cache_hits: 1,
+                ..Default::default()
+            },
+            reports: self
+                .shards
+                .iter()
+                .map(|&shard| ShardReport {
+                    shard,
+                    latency: Duration::ZERO,
+                    queue: queued,
+                    failover: false,
+                    cache_hit: true,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A worker-process node's own result cache (leaf or merge server), keyed
+/// by [`query_signature`] alone — the node *is* its subtree, so no shard
+/// index is needed.
+pub struct WorkerCache {
+    entries: BoundedCache<String, Arc<CachedSubtree>>,
+}
+
+impl WorkerCache {
+    /// Cache at most `capacity` signatures.
+    pub fn new(capacity: usize) -> WorkerCache {
+        WorkerCache { entries: BoundedCache::new(capacity) }
+    }
+
+    pub fn get(&self, signature: &str) -> Option<Arc<CachedSubtree>> {
+        self.entries.get_borrowed(signature)
+    }
+
+    pub fn put(&self, signature: &str, entry: Arc<CachedSubtree>) {
+        self.entries.put(signature.to_owned(), entry);
+    }
+
+    /// Drop everything — the epoch-advance reaction: cached partials
+    /// refer to the previous build of the data.
+    pub fn invalidate(&self) {
+        self.entries.clear();
+    }
+
+    /// `(hits, misses)` so far.
+    pub fn stats(&self) -> (u64, u64) {
+        self.entries.stats()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +285,69 @@ mod tests {
         assert_eq!(hit.rows_scanned, 0);
         assert_eq!(hit.chunks_cached, 7);
         assert_eq!(hit.disk_bytes, 0);
+    }
+
+    #[test]
+    fn cached_subtrees_synthesize_all_cached_answers() {
+        let computed = SubtreeAnswer {
+            partial: PartialResult::default(),
+            stats: ScanStats {
+                chunks_total: 6,
+                chunks_scanned: 4,
+                chunks_skipped: 2,
+                rows_total: 600,
+                rows_scanned: 400,
+                rows_skipped: 200,
+                ..Default::default()
+            },
+            reports: vec![
+                ShardReport {
+                    shard: 2,
+                    latency: Duration::from_micros(50),
+                    queue: Duration::from_micros(9),
+                    failover: true,
+                    cache_hit: false,
+                },
+                ShardReport {
+                    shard: 5,
+                    latency: Duration::from_micros(70),
+                    queue: Duration::ZERO,
+                    failover: false,
+                    cache_hit: false,
+                },
+            ],
+        };
+        let cached = CachedSubtree::capture(&computed);
+        let hit = cached.to_answer(Duration::from_micros(123));
+        assert_eq!(hit.partial, computed.partial);
+        assert_eq!(hit.stats.rows_total, 600);
+        assert_eq!(hit.stats.rows_cached, 600);
+        assert_eq!(hit.stats.rows_scanned, 0);
+        assert_eq!(hit.stats.chunks_cached, 6);
+        assert_eq!(hit.stats.worker_cache_hits, 1, "one node stopped the query");
+        let shards: Vec<u64> = hit.reports.iter().map(|r| r.shard).collect();
+        assert_eq!(shards, vec![2, 5], "every shard beneath still reports");
+        for report in &hit.reports {
+            assert!(report.cache_hit);
+            assert!(!report.failover, "a hit never touches any replica");
+            assert_eq!(report.queue, Duration::from_micros(123));
+        }
+    }
+
+    #[test]
+    fn worker_cache_is_signature_keyed_and_invalidates() {
+        let cache = WorkerCache::new(8);
+        let answer = SubtreeAnswer {
+            partial: PartialResult::default(),
+            stats: ScanStats::default(),
+            reports: Vec::new(),
+        };
+        cache.put("sig-a", Arc::new(CachedSubtree::capture(&answer)));
+        assert!(cache.get("sig-a").is_some());
+        assert!(cache.get("sig-b").is_none());
+        assert_eq!(cache.stats(), (1, 1));
+        cache.invalidate();
+        assert!(cache.get("sig-a").is_none());
+        assert!(cache.is_empty());
     }
 }

@@ -20,6 +20,16 @@
 //!   whose shard metadata cannot match the query's restriction** before
 //!   spending any network hop.
 //!
+//! Either role owns a [`crate::shard_cache::WorkerCache`] (capacity
+//! shipped in `Load`/`Attach`): repeated queries with the same normalized
+//! signature answer from the node's cached partial — a leaf skips its
+//! scan, a merge server skips its *entire subtree fan-out* — with the hit
+//! recorded in [`pd_core::ScanStats::worker_cache_hits`] and every shard
+//! report flagged `cache_hit`. Invalidation is the **rebuild epoch**: the
+//! driver bumps it on [`crate::Cluster::rebuild`], every `Load`/`Attach`/
+//! `Query` carries it, and a node that sees the epoch move drops its
+//! cache before doing anything else.
+//!
 //! **Compression mirror.** The worker has no compression config of its
 //! own: it compresses a response exactly when the request frame advertised
 //! `FRAME_FLAG_COMPRESS_OK`, and (as a merge server) compresses frames to
@@ -33,17 +43,24 @@
 //! one process, no cross-process clock games — and it rides up the tree in
 //! every [`ShardReport`]: a merge server adds its own queueing to each of
 //! its shards' reports. That observation stream is what replaces the
-//! seeded [`crate::LoadModel`] draws when the cluster runs over RPC.
+//! seeded [`crate::LoadModel`] draws when the cluster runs over RPC. The
+//! `Delay` test knob deliberately lives *outside* this pipeline: the
+//! artificial sleep happens on the delayed query's own connection thread,
+//! after execution and before the reply — it is service time of that
+//! query alone (the caller still sees a worker that blows its deadline),
+//! and it never inflates the measured queue delay of unrelated requests
+//! behind it.
 
 use crate::meta::ShardMeta;
 use crate::rpc::{
     fan_out, read_frame_negotiated, write_frame, Addr, ChildHandle, Listener, LoadRequest,
     QueryRequest, Request, Response, ShardReport, Stream, SubtreeAnswer,
 };
+use crate::shard_cache::{query_signature, CachedSubtree, WorkerCache};
 use pd_common::{Error, Result};
 use pd_core::{execute_partial, CachePolicy, DataStore, ExecContext, ResultCache, TieredCache};
 use pd_data::Table;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -94,20 +111,45 @@ struct LeafStore {
     ctx: ExecContext,
 }
 
-/// What this worker currently is. `Load` and `Attach` are one-shot role
-/// assignments from the driver.
+/// What this worker currently is. `Load` and `Attach` are role
+/// assignments from the driver; each one *replaces* the previous role
+/// outright — a repurposed worker must never answer from a shadowed
+/// store or a stale child list.
 #[derive(Default)]
 struct Role {
     leaf: Option<LeafStore>,
     children: Option<Vec<ChildHandle>>,
-    /// Test knob: artificial delay before answering queries.
+    /// This node's own result cache (`None` = disabled by the driver).
+    cache: Option<WorkerCache>,
+    /// Rebuild epoch of the data this node serves; a query from a
+    /// different epoch drops the cache (its partials describe old data).
+    epoch: u64,
+    /// Test knob: artificial delay before query answers reach the wire.
     delay: Duration,
+}
+
+impl Role {
+    /// Install a fresh role's cache + epoch (shared by `Load`/`Attach`).
+    fn reset_cache(&mut self, cache_entries: u64, epoch: u64) {
+        self.cache = (cache_entries > 0).then(|| WorkerCache::new(cache_entries as usize));
+        self.epoch = epoch;
+    }
 }
 
 struct Work {
     request: Request,
-    reply: mpsc::Sender<Response>,
+    reply: mpsc::Sender<(Response, Duration)>,
     enqueued: Instant,
+}
+
+/// The temp file an announce is staged in before its atomic rename. The
+/// name keeps the *full* announce file name (two workers announcing to
+/// `w.1` and `w.2` must not both stage in `w.tmp`, as `with_extension`
+/// would have it) and appends the pid (two processes told to announce to
+/// the *same* file must not stage in the same temp file either).
+fn announce_tmp(announce: &Path) -> PathBuf {
+    let name = announce.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    announce.with_file_name(format!("{name}.tmp.{}", std::process::id()))
 }
 
 /// Bind `addr` and serve the protocol, announcing the resolved address
@@ -118,7 +160,7 @@ pub fn serve(addr: &Addr, announce: Option<&Path>) -> Result<()> {
     if let Some(announce) = announce {
         // Atomic announce: spawners poll for the file, so it must never be
         // observable half-written.
-        let tmp = announce.with_extension("tmp");
+        let tmp = announce_tmp(announce);
         std::fs::write(&tmp, local.to_string())?;
         std::fs::rename(&tmp, announce)?;
     }
@@ -127,16 +169,21 @@ pub fn serve(addr: &Addr, announce: Option<&Path>) -> Result<()> {
     // The single executor owns the role outright: requests run strictly in
     // arrival order (the gap between enqueue and dequeue is this process's
     // queue delay), and nothing else ever touches the state — connection
-    // threads only feed the queue.
+    // threads only feed the queue. The artificial `Delay` is handed back
+    // with the response and slept off on the connection thread: it is
+    // service time of that query only, never executor time that would
+    // inflate the measured queue delay of whatever sits behind it.
     std::thread::Builder::new()
         .name("pd-worker-exec".into())
         .spawn(move || {
             let mut role = Role::default();
             for work in requests {
                 let queued = work.enqueued.elapsed();
+                let is_query = matches!(work.request, Request::Query(_));
                 let response = handle(&mut role, work.request, queued)
                     .unwrap_or_else(|e| Response::Err(e.to_string()));
-                let _ = work.reply.send(response);
+                let lag = if is_query { role.delay } else { Duration::ZERO };
+                let _ = work.reply.send((response, lag));
             }
         })
         .map_err(|e| Error::Data(format!("spawn executor: {e}")))?;
@@ -185,7 +232,14 @@ fn connection_loop(mut stream: Stream, queue: mpsc::Sender<Work>) {
                 if queue.send(Work { request, reply, enqueued: Instant::now() }).is_err() {
                     return; // executor gone; process is doomed anyway
                 }
-                let Ok(response) = response.recv() else { return };
+                let Ok((response, lag)) = response.recv() else { return };
+                if !lag.is_zero() {
+                    // The Delay test knob: this query's answer is late
+                    // from the caller's point of view (the deadline-expiry
+                    // suite's "slow worker"), but the executor is already
+                    // free — the sleep is this connection's alone.
+                    std::thread::sleep(lag);
+                }
                 if write_frame(&mut stream, &response, compress_reply).is_err() {
                     // Peer gave up (deadline expiry): drop the connection;
                     // the answer is stale by definition.
@@ -199,14 +253,25 @@ fn connection_loop(mut stream: Stream, queue: mpsc::Sender<Work>) {
 fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Response> {
     match request {
         Request::Load(load) => {
+            let (cache_entries, epoch) = (load.cache_entries, load.epoch);
             let (leaf, meta) = build_leaf(*load)?;
             role.leaf = Some(leaf);
+            // A role assignment is total: a worker repurposed from merge
+            // server to leaf must not keep (and silently prefer or leak)
+            // its old child wiring, and any cached partials describe the
+            // previous role's data.
+            role.children = None;
+            role.reset_cache(cache_entries, epoch);
             Ok(Response::Loaded(Box::new(meta)))
         }
         Request::Attach(attach) => {
             let compress = attach.compress;
             role.children =
                 Some(attach.children.into_iter().map(|c| ChildHandle::new(c, compress)).collect());
+            // Same totality the other way: the old leaf store would shadow
+            // the freshly attached subtree.
+            role.leaf = None;
+            role.reset_cache(attach.cache_entries, attach.epoch);
             Ok(Response::Ok)
         }
         Request::Delay { micros } => {
@@ -214,11 +279,26 @@ fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Respons
             Ok(Response::Ok)
         }
         Request::Query(query) => {
-            if !role.delay.is_zero() {
-                // The test knob for deadline expiry: a worker that is
-                // "slow" (GC pause, overloaded box, swapping) from the
-                // caller's point of view.
-                std::thread::sleep(role.delay);
+            if query.epoch != role.epoch {
+                // The driver rebuilt the data since this node's cache was
+                // filled: every cached partial is stale. (Freshly respawned
+                // trees get the new epoch at Load/Attach, so this path is
+                // the guarantee for any node that survives a rebuild.)
+                if let Some(cache) = &role.cache {
+                    cache.invalidate();
+                }
+                role.epoch = query.epoch;
+            }
+            let signature = role.cache.as_ref().map(|_| {
+                let sketch_m = role.leaf.as_ref().map_or(0, |leaf| leaf.ctx.sketch_m());
+                query_signature(&query.query, sketch_m)
+            });
+            if let (Some(cache), Some(signature)) = (&role.cache, &signature) {
+                if let Some(entry) = cache.get(signature) {
+                    // The nearest-cache answer: identical partial, zero
+                    // child hops, every row beneath accounted as cached.
+                    return Ok(Response::Answer(Box::new(entry.to_answer(queued))));
+                }
             }
             let answer = if let Some(leaf) = &role.leaf {
                 execute_leaf(leaf, &query, queued)?
@@ -235,6 +315,9 @@ fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Respons
                     "worker has neither a store (Load) nor children (Attach)".into(),
                 ));
             };
+            if let (Some(cache), Some(signature)) = (&role.cache, &signature) {
+                cache.put(signature, Arc::new(CachedSubtree::capture(&answer)));
+            }
             Ok(Response::Answer(Box::new(answer)))
         }
         Request::Ping => Ok(Response::Ok),
@@ -282,6 +365,29 @@ fn execute_leaf(leaf: &LeafStore, query: &QueryRequest, queued: Duration) -> Res
             latency: started.elapsed(),
             queue: queued,
             failover: false,
+            cache_hit: false,
         }],
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn announce_tmp_paths_never_collide() {
+        // The regression: `with_extension("tmp")` maps both `w.1` and
+        // `w.2` to `w.tmp`, so two workers announcing side by side clobber
+        // each other's staging file.
+        let a = announce_tmp(Path::new("/tmp/tree/w.1"));
+        let b = announce_tmp(Path::new("/tmp/tree/w.2"));
+        assert_ne!(a, b, "announce files differing only by extension must stage separately");
+        assert_eq!(a.parent(), Some(Path::new("/tmp/tree")), "staging stays in the same dir");
+        let name = a.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(name.starts_with("w.1.tmp."), "full original name is kept: {name}");
+        assert!(
+            name.ends_with(&std::process::id().to_string()),
+            "pid-unique across processes: {name}"
+        );
+    }
 }

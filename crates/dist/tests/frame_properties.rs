@@ -60,6 +60,8 @@ fn random_request(rng: &mut Rng, case: usize) -> Request {
                 build: BuildOptions::basic(),
                 threads: rng.next_u64() % 4,
                 cache_budget: rng.next_u64() % (1 << 24),
+                cache_entries: rng.next_u64() % 256,
+                epoch: rng.next_u64(),
             }))
         }
         1 => {
@@ -73,6 +75,7 @@ fn random_request(rng: &mut Rng, case: usize) -> Request {
                 query: analyze(&parse_query(sql).unwrap()).unwrap(),
                 deadline: Duration::from_nanos(rng.next_u64() % 1_000_000_000),
                 killed: (0..rng.range_usize(0, 5)).map(|_| rng.next_u64() % 8).collect(),
+                epoch: rng.next_u64(),
             }))
         }
         2 => Request::Delay { micros: rng.next_u64() },
@@ -89,6 +92,7 @@ fn random_response(rng: &mut Rng, partial: &PartialResult, case: usize) -> Respo
                     latency: Duration::from_nanos(rng.next_u64() % u64::MAX),
                     queue: Duration::from_nanos(rng.next_u64() % 1_000_000),
                     failover: rng.next_u64().is_multiple_of(2),
+                    cache_hit: rng.next_u64().is_multiple_of(3),
                 })
                 .collect();
             Response::Answer(Box::new(SubtreeAnswer {
@@ -97,6 +101,7 @@ fn random_response(rng: &mut Rng, partial: &PartialResult, case: usize) -> Respo
                     rows_total: rng.next_u64() % 10_000,
                     rows_skipped: rng.next_u64() % 10_000,
                     subtrees_pruned: rng.range_usize(0, 4),
+                    worker_cache_hits: rng.range_usize(0, 4),
                     ..Default::default()
                 },
                 reports,

@@ -204,11 +204,16 @@ fn restriction_preskip_prunes_non_matching_subtrees() {
 
 #[test]
 fn queue_delays_are_measured_not_modeled() {
-    // One worker process, two queries racing over *separate connections*:
-    // the second request queues behind the first inside the worker's
-    // single executor, so its *measured* queue delay must reflect the
-    // first query's artificial service time. No seeded draw can produce
-    // this number — only observation can.
+    // One worker process, requests racing over *separate connections*. Two
+    // claims, both only observation can make:
+    //
+    // 1. a query that arrives while the single executor is busy with
+    //    *real* work (here: a heavy shard import) reports a queue delay
+    //    reflecting that genuine service time;
+    // 2. the artificial `Delay` knob is service time of the delayed query
+    //    alone — the caller sees a late answer, but requests queued behind
+    //    it do NOT report inflated queue delays, because the sleep happens
+    //    off the executor.
     use pd_dist::rpc::{Addr, LoadRequest, QueryRequest, Request, Response, RpcClient};
     use pd_dist::ReapGuard;
     use pd_sql::{analyze, parse_query};
@@ -224,51 +229,99 @@ fn queue_delays_are_measured_not_modeled() {
     );
     let addr = Addr::Unix(socket);
 
+    let load_request = |table: &Table, build: BuildOptions| {
+        Request::Load(Box::new(LoadRequest {
+            shard: 0,
+            schema: table.schema().clone(),
+            rows: table.iter_rows().collect(),
+            build,
+            threads: 1,
+            cache_budget: 1 << 20,
+            cache_entries: 0,
+            epoch: 1,
+        }))
+    };
     let table = generate_logs(&LogsSpec::scaled(200));
     let mut setup = RpcClient::new(addr.clone(), false);
     setup.connect_with_retry(Duration::from_secs(30)).unwrap();
-    let load = Request::Load(Box::new(LoadRequest {
-        shard: 0,
-        schema: table.schema().clone(),
-        rows: table.iter_rows().collect(),
-        build: BuildOptions::basic(),
-        threads: 1,
-        cache_budget: 1 << 20,
-    }));
+    let load = load_request(&table, BuildOptions::basic());
     assert!(matches!(setup.call(&load, Duration::from_secs(60)).unwrap(), Response::Loaded(_)));
-    let delay = Request::Delay { micros: 250_000 };
-    assert_eq!(setup.call(&delay, Duration::from_secs(10)).unwrap(), Response::Ok);
 
     let analyzed = analyze(&parse_query("SELECT COUNT(*) FROM logs").unwrap()).unwrap();
     let query = Request::Query(Box::new(QueryRequest {
         query: analyzed,
         deadline: Duration::from_secs(30),
         killed: Vec::new(),
+        epoch: 1,
     }));
-    let queue_delays: Vec<Duration> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..2)
-            .map(|_| {
-                let query = &query;
-                let addr = addr.clone();
-                scope.spawn(move || {
-                    let mut client = RpcClient::new(addr, false);
-                    match client.call(query, Duration::from_secs(30)).unwrap() {
-                        Response::Answer(answer) => answer.reports[0].queue,
-                        other => panic!("expected an answer, got {other:?}"),
-                    }
-                })
-            })
-            .collect();
+    let ask = |addr: Addr| -> (Duration, Duration) {
+        let started = std::time::Instant::now();
+        let mut client = RpcClient::new(addr, false);
+        match client.call(&query, Duration::from_secs(60)).unwrap() {
+            Response::Answer(answer) => (answer.reports[0].queue, started.elapsed()),
+            other => panic!("expected an answer, got {other:?}"),
+        }
+    };
+
+    // Claim 2 first (the store is still small): with a 250 ms artificial
+    // delay, two concurrent queries each answer late, yet neither reports
+    // the other's sleep as queueing.
+    let delay = Duration::from_millis(250);
+    let knob = Request::Delay { micros: delay.as_micros() as u64 };
+    assert_eq!(setup.call(&knob, Duration::from_secs(10)).unwrap(), Response::Ok);
+    let observed: Vec<(Duration, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2).map(|_| scope.spawn(|| ask(addr.clone()))).collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (queue, elapsed) in &observed {
+        assert!(
+            *elapsed >= delay,
+            "the delayed worker must answer late from the caller's view: {observed:?}"
+        );
+        assert!(
+            *queue < Duration::from_millis(150),
+            "artificial delay is service time of its own query only — it must not \
+             inflate the measured queue delay of the request behind it: {observed:?}"
+        );
+    }
+    let knob_off = Request::Delay { micros: 0 };
+    assert_eq!(setup.call(&knob_off, Duration::from_secs(10)).unwrap(), Response::Ok);
+
+    // Claim 1: a heavy re-import (tens of thousands of rows through the
+    // full production build pipeline) occupies the executor for a long
+    // stretch of real service time. Probe queries are fired continuously
+    // while it ships and runs: whichever probe lands behind the import in
+    // the executor queue must *measure* that wait. (Probes before the
+    // import is even enqueued see an idle executor — hence the polling,
+    // not a single staggered shot.)
+    let big = generate_logs(&LogsSpec::scaled(30_000));
+    let heavy = load_request(&big, BuildOptions::production(&["country", "table_name"]));
+    let queued = std::thread::scope(|scope| {
+        let loader = scope.spawn(|| {
+            let mut client = RpcClient::new(addr.clone(), false);
+            assert!(matches!(
+                client.call(&heavy, Duration::from_secs(120)).unwrap(),
+                Response::Loaded(_)
+            ));
+        });
+        let mut best = Duration::ZERO;
+        for _ in 0..2_000 {
+            let (queue, _) = ask(addr.clone());
+            best = best.max(queue);
+            if best >= Duration::from_millis(5) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        loader.join().unwrap();
+        best
     });
     drop(worker); // kill + reap
     let _ = std::fs::remove_dir_all(&dir);
 
-    let max_queue = queue_delays.iter().max().copied().unwrap();
     assert!(
-        max_queue >= Duration::from_millis(150),
-        "one of two concurrent requests must have queued behind the other's \
-         250 ms service time, got {queue_delays:?}"
+        queued >= Duration::from_millis(5),
+        "a query behind a heavy import must report real, measured queueing, got {queued:?}"
     );
 }
 
@@ -289,6 +342,157 @@ fn cluster_surfaces_per_shard_queue_observations() {
     let outcome = cluster.query(QUERIES[2]).unwrap();
     assert_eq!(outcome.queue_delays.len(), 2, "one measured queue delay per shard");
     assert_eq!(cluster.observed_queue_delays().len(), 2);
+}
+
+#[test]
+fn role_reassignment_replaces_the_previous_role() {
+    // The regression: `Load` after `Attach` (and vice versa) used to leave
+    // *both* role halves populated, and queries preferred the leaf — so a
+    // worker repurposed into a merge server silently kept answering from
+    // its shadowed local store.
+    use pd_dist::rpc::{
+        Addr, AttachRequest, ChildSpec, LoadRequest, QueryRequest, Request, Response, RpcClient,
+    };
+    use pd_dist::ReapGuard;
+    use pd_sql::{analyze, parse_query};
+
+    let dir = std::env::temp_dir().join(format!("pd-role-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let spawn = |name: &str| -> (ReapGuard, Addr) {
+        let socket = dir.join(format!("{name}.sock"));
+        let guard = ReapGuard::new(
+            std::process::Command::new(worker_bin()).arg("--socket").arg(&socket).spawn().unwrap(),
+        );
+        (guard, Addr::Unix(socket))
+    };
+    let (w1, addr1) = spawn("w1");
+    let (w2, addr2) = spawn("w2");
+
+    let load = |shard: u64, rows: usize| {
+        let table = generate_logs(&LogsSpec::scaled(rows));
+        Request::Load(Box::new(LoadRequest {
+            shard,
+            schema: table.schema().clone(),
+            rows: table.iter_rows().collect(),
+            build: BuildOptions::basic(),
+            threads: 1,
+            cache_budget: 1 << 20,
+            cache_entries: 8,
+            epoch: 1,
+        }))
+    };
+    let mut c1 = RpcClient::new(addr1, false);
+    c1.connect_with_retry(Duration::from_secs(30)).unwrap();
+    let mut c2 = RpcClient::new(addr2.clone(), false);
+    c2.connect_with_retry(Duration::from_secs(30)).unwrap();
+
+    // w2: a 200-row leaf for shard 7. w1: first a 100-row leaf for shard 0.
+    let meta2 = match c2.call(&load(7, 200), Duration::from_secs(60)).unwrap() {
+        Response::Loaded(meta) => *meta,
+        other => panic!("expected Loaded, got {other:?}"),
+    };
+    assert!(matches!(
+        c1.call(&load(0, 100), Duration::from_secs(60)).unwrap(),
+        Response::Loaded(_)
+    ));
+
+    let query = Request::Query(Box::new(QueryRequest {
+        query: analyze(&parse_query("SELECT COUNT(*) FROM logs").unwrap()).unwrap(),
+        deadline: Duration::from_secs(30),
+        killed: Vec::new(),
+        epoch: 1,
+    }));
+    let ask = |client: &mut RpcClient| match client.call(&query, Duration::from_secs(30)).unwrap() {
+        Response::Answer(answer) => answer,
+        other => panic!("expected an answer, got {other:?}"),
+    };
+    let as_leaf = ask(&mut c1);
+    assert_eq!(as_leaf.stats.rows_total, 100);
+    assert_eq!(as_leaf.reports[0].shard, 0);
+
+    // Repurpose w1 into a merge server over w2: its answers must now come
+    // from the subtree, not the shadowed 100-row leaf.
+    let attach = Request::Attach(AttachRequest {
+        children: vec![ChildSpec::Leaf { shard: 7, primary: addr2, replica: None, meta: meta2 }],
+        compress: false,
+        cache_entries: 8,
+        epoch: 1,
+    });
+    assert_eq!(c1.call(&attach, Duration::from_secs(30)).unwrap(), Response::Ok);
+    let as_mixer = ask(&mut c1);
+    assert_eq!(
+        as_mixer.stats.rows_total, 200,
+        "a repurposed merge server must answer from its subtree, not a shadowed leaf"
+    );
+    assert_eq!(as_mixer.reports.len(), 1);
+    assert_eq!(as_mixer.reports[0].shard, 7, "the report names the child's shard");
+    assert!(!as_mixer.reports[0].cache_hit, "the old leaf-role cache must be gone");
+
+    // And back: a fresh `Load` must retire the child wiring again.
+    assert!(matches!(
+        c1.call(&load(3, 150), Duration::from_secs(60)).unwrap(),
+        Response::Loaded(_)
+    ));
+    let as_leaf_again = ask(&mut c1);
+    assert_eq!(as_leaf_again.stats.rows_total, 150, "re-loaded leaf serves its own new store");
+    assert_eq!(as_leaf_again.reports[0].shard, 3);
+    assert!(!as_leaf_again.reports[0].cache_hit, "the mixer-role cache must be gone");
+
+    drop(w1);
+    drop(w2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_tcp_announces_do_not_collide() {
+    // The regression: announce temp paths were derived with
+    // `with_extension("tmp")`, so announce files differing only in
+    // extension (`w.1`, `w.2`) raced on one shared `w.tmp` — a worker
+    // could crash on the missing temp file or publish its sibling's
+    // address. Both workers must come up and announce distinct addresses.
+    use pd_dist::rpc::{Addr, Request, Response, RpcClient};
+    use pd_dist::ReapGuard;
+
+    let dir = std::env::temp_dir().join(format!("pd-announce-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let announce = |n: usize| dir.join(format!("w.{n}"));
+    let workers: Vec<ReapGuard> = (1..=2)
+        .map(|n| {
+            ReapGuard::new(
+                std::process::Command::new(worker_bin())
+                    .arg("--listen")
+                    .arg("tcp:127.0.0.1:0")
+                    .arg("--announce")
+                    .arg(announce(n))
+                    .spawn()
+                    .unwrap(),
+            )
+        })
+        .collect();
+    let wait_for = |path: std::path::PathBuf| -> Addr {
+        let started = std::time::Instant::now();
+        loop {
+            match std::fs::read_to_string(&path) {
+                Ok(contents) if !contents.trim().is_empty() => {
+                    return Addr::parse(contents.trim()).unwrap()
+                }
+                _ if started.elapsed() > Duration::from_secs(30) => {
+                    panic!("worker never announced at {}", path.display())
+                }
+                _ => std::thread::sleep(Duration::from_millis(2)),
+            }
+        }
+    };
+    let a = wait_for(announce(1));
+    let b = wait_for(announce(2));
+    assert_ne!(a, b, "two workers must announce two distinct addresses");
+    for addr in [a, b] {
+        let mut client = RpcClient::new(addr, false);
+        client.connect_with_retry(Duration::from_secs(30)).unwrap();
+        assert_eq!(client.call(&Request::Ping, Duration::from_secs(10)).unwrap(), Response::Ok);
+    }
+    drop(workers);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

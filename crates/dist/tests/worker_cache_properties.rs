@@ -1,0 +1,244 @@
+//! Worker-level mirror of `shard_cache_properties.rs`, over a *real*
+//! spawned process tree: every node of the §4 computation tree owns a
+//! result cache, so repeated drill-down subqueries over RPC answer from
+//! the nearest cache with zero child hops. The properties:
+//!
+//! 1. re-issuing an identical query hits the frontier nodes' caches and
+//!    returns bit-identical results, with the hits observable in
+//!    `QueryOutcome::worker_cache_hits`;
+//! 2. an epoch bump (the distributed rebuild-invalidation signal) drops a
+//!    worker's cache — no stale partials, ever;
+//! 3. capacity eviction can change `ScanStats`, never results.
+
+use pd_core::{query, BuildOptions, DataStore};
+use pd_data::{generate_logs, LogsSpec};
+use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_pd-dist-worker"))
+}
+
+fn rpc() -> Transport {
+    Transport::Rpc(RpcConfig {
+        worker_bin: Some(worker_bin()),
+        deadline: Duration::from_secs(30),
+        ..Default::default()
+    })
+}
+
+fn build_options() -> BuildOptions {
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = 150;
+    }
+    build
+}
+
+fn rpc_cluster(table: &pd_data::Table, shards: usize, fanout: usize, cache: usize) -> Cluster {
+    Cluster::build(
+        table,
+        &ClusterConfig {
+            shards,
+            replication: false,
+            shard_cache: cache,
+            build: build_options(),
+            tree: TreeShape { fanout },
+            transport: rpc(),
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn identical_queries_hit_the_frontier_caches() {
+    // 3 shards at fanout 2: the frontier is two merge servers, so warm
+    // hits must come from the *mixers* — the topmost caches — and the
+    // leaves beneath them must see no traffic at all (every row reported
+    // as cached, nothing scanned).
+    let table = generate_logs(&LogsSpec::scaled(900));
+    let store = DataStore::build(&table, &build_options()).unwrap();
+    let cluster = rpc_cluster(&table, 3, 2, 64);
+    let sql = "SELECT country, COUNT(*) c, SUM(latency) s FROM logs \
+               GROUP BY country ORDER BY c DESC LIMIT 10";
+    let (expect, _) = query(&store, sql).unwrap();
+
+    let cold = cluster.query(sql).unwrap();
+    assert_eq!(cold.result, expect);
+    assert_eq!(cold.worker_cache_hits(), 0, "first execution computes everywhere");
+
+    for repeat in 0..3 {
+        let warm = cluster.query(sql).unwrap();
+        assert_eq!(warm.result, expect, "repeat {repeat}: hits are bit-identical");
+        assert_eq!(
+            warm.worker_cache_hits(),
+            2,
+            "repeat {repeat}: both frontier mixers answer from cache"
+        );
+        assert_eq!(warm.stats.rows_cached, warm.stats.rows_total, "repeat {repeat}");
+        assert_eq!(warm.stats.rows_scanned, 0, "repeat {repeat}: zero hops below the frontier");
+    }
+
+    // Presentation-only variations share the cached partials: the
+    // signature excludes ORDER BY / LIMIT / HAVING.
+    let limited = cluster
+        .query(
+            "SELECT country, COUNT(*) c, SUM(latency) s FROM logs \
+             GROUP BY country ORDER BY c DESC LIMIT 2",
+        )
+        .unwrap();
+    assert_eq!(limited.worker_cache_hits(), 2, "LIMIT does not change the partial");
+    assert_eq!(limited.result.rows.len(), 2);
+
+    // A different restriction is a different signature: back to computing.
+    let other = cluster
+        .query("SELECT country, COUNT(*) c FROM logs WHERE country = 'DE' GROUP BY country")
+        .unwrap();
+    assert_eq!(other.worker_cache_hits(), 0, "new restriction, new signature");
+}
+
+#[test]
+fn epoch_bump_drops_a_worker_cache() {
+    // Straight at the protocol: one leaf worker, queried with explicit
+    // epochs. The cache serves repeats within an epoch and is dropped the
+    // moment the epoch moves — the per-node form of rebuild invalidation.
+    use pd_dist::rpc::{Addr, LoadRequest, QueryRequest, Request, Response, RpcClient};
+    use pd_dist::ReapGuard;
+    use pd_sql::{analyze, parse_query};
+
+    let dir = std::env::temp_dir().join(format!("pd-epoch-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let socket = dir.join("w.sock");
+    let worker = ReapGuard::new(
+        std::process::Command::new(worker_bin()).arg("--socket").arg(&socket).spawn().unwrap(),
+    );
+    let addr = Addr::Unix(socket);
+
+    let table = generate_logs(&LogsSpec::scaled(400));
+    let mut client = RpcClient::new(addr, false);
+    client.connect_with_retry(Duration::from_secs(30)).unwrap();
+    let load = Request::Load(Box::new(LoadRequest {
+        shard: 0,
+        schema: table.schema().clone(),
+        rows: table.iter_rows().collect(),
+        build: BuildOptions::basic(),
+        threads: 1,
+        cache_budget: 1 << 20,
+        cache_entries: 8,
+        epoch: 5,
+    }));
+    assert!(matches!(client.call(&load, Duration::from_secs(60)).unwrap(), Response::Loaded(_)));
+
+    let analyzed =
+        analyze(&parse_query("SELECT country, COUNT(*) c FROM logs GROUP BY country").unwrap())
+            .unwrap();
+    let mut ask = |epoch: u64| {
+        let request = Request::Query(Box::new(QueryRequest {
+            query: analyzed.clone(),
+            deadline: Duration::from_secs(30),
+            killed: Vec::new(),
+            epoch,
+        }));
+        match client.call(&request, Duration::from_secs(30)).unwrap() {
+            Response::Answer(answer) => answer,
+            other => panic!("expected an answer, got {other:?}"),
+        }
+    };
+
+    let cold = ask(5);
+    assert!(!cold.reports[0].cache_hit);
+    assert_eq!(cold.stats.worker_cache_hits, 0);
+
+    let warm = ask(5);
+    assert!(warm.reports[0].cache_hit, "same epoch, same signature: a hit");
+    assert_eq!(warm.stats.worker_cache_hits, 1);
+    assert_eq!(warm.partial, cold.partial, "the cached partial is bit-identical");
+    assert_eq!(warm.stats.rows_cached, warm.stats.rows_total);
+
+    let after_bump = ask(6);
+    assert!(
+        !after_bump.reports[0].cache_hit,
+        "an advanced epoch must drop the cache before answering"
+    );
+    assert_eq!(after_bump.partial, cold.partial, "same data, so same recomputed partial");
+
+    let warm_again = ask(6);
+    assert!(warm_again.reports[0].cache_hit, "the new epoch caches afresh");
+
+    drop(worker);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn rebuild_invalidates_worker_caches_through_the_tree() {
+    // Cluster-level: warm the tree, rebuild with different data, and the
+    // next answers must be the new data's — cold (no cache can survive a
+    // rebuild) and then warm again on the new epoch.
+    let before = generate_logs(&LogsSpec::scaled(600));
+    let after = generate_logs(&LogsSpec::scaled(450));
+    let mut cluster = rpc_cluster(&before, 2, 16, 64);
+    let sql = "SELECT country, COUNT(*) c FROM logs GROUP BY country ORDER BY c DESC LIMIT 10";
+
+    let old = cluster.query(sql).unwrap();
+    assert_eq!(cluster.query(sql).unwrap().worker_cache_hits(), 2, "warm before rebuild");
+    assert_eq!(cluster.epoch(), 1);
+
+    cluster.rebuild(&after).unwrap();
+    assert_eq!(cluster.epoch(), 2, "rebuild bumps the epoch");
+    let fresh = cluster.query(sql).unwrap();
+    assert_eq!(fresh.worker_cache_hits(), 0, "rebuild must invalidate every node's cache");
+    assert_eq!(fresh.stats.rows_total, 450, "stats reflect the new table");
+    let store = DataStore::build(&after, &build_options()).unwrap();
+    let (expect, _) = query(&store, sql).unwrap();
+    assert_eq!(fresh.result, expect, "no stale partials anywhere in the tree");
+    assert_ne!(fresh.result, old.result, "the data actually changed");
+
+    let rewarm = cluster.query(sql).unwrap();
+    assert_eq!(rewarm.result, expect);
+    assert_eq!(rewarm.worker_cache_hits(), 2, "the new epoch's caches serve repeats");
+}
+
+#[test]
+fn capacity_eviction_changes_stats_never_results() {
+    // Three trees over the same data: roomy caches, starved caches
+    // (capacity 1 per node, so alternating signatures thrash forever),
+    // and caching disabled. Results must be identical at every step.
+    let table = generate_logs(&LogsSpec::scaled(500));
+    let store = DataStore::build(&table, &build_options()).unwrap();
+    let roomy = rpc_cluster(&table, 2, 16, 64);
+    let starved = rpc_cluster(&table, 2, 16, 1);
+    let none = rpc_cluster(&table, 2, 16, 0);
+
+    let queries = [
+        "SELECT country, COUNT(*) c FROM logs GROUP BY country ORDER BY c DESC LIMIT 10",
+        "SELECT table_name, COUNT(*) c FROM logs GROUP BY table_name ORDER BY c DESC LIMIT 10",
+        "SELECT country, SUM(latency) s FROM logs WHERE latency > 100.0 \
+         GROUP BY country ORDER BY country ASC",
+    ];
+    let mut roomy_hits = 0;
+    for round in 0..3 {
+        for sql in queries {
+            let (expect, _) = query(&store, sql).unwrap();
+            let a = roomy.query(sql).unwrap();
+            let b = starved.query(sql).unwrap();
+            let c = none.query(sql).unwrap();
+            assert_eq!(a.result, expect, "round {round}: {sql}");
+            assert_eq!(b.result, expect, "round {round}: eviction changed a result: {sql}");
+            assert_eq!(c.result, expect, "round {round}: caching changed a result: {sql}");
+            roomy_hits += a.worker_cache_hits();
+            assert_eq!(c.worker_cache_hits(), 0, "disabled caches never hit");
+            for outcome in [&a, &b, &c] {
+                assert_eq!(
+                    outcome.stats.rows_skipped
+                        + outcome.stats.rows_cached
+                        + outcome.stats.rows_scanned,
+                    outcome.stats.rows_total,
+                    "round {round}: accounting must balance: {sql}"
+                );
+            }
+        }
+    }
+    assert!(roomy_hits > 0, "the roomy tree must see repeats");
+}

@@ -313,14 +313,21 @@ fn distributed_matrix_is_bit_identical_to_single_store() {
 /// servers) exchanging serialized partials over the RPC boundary, over
 /// Unix sockets *and* loopback TCP, with frame compression off and on.
 /// Matrix: {shards 1/2/4} × {tree depth ≤1 / 2 (fanout 16 / 2)} ×
-/// {in-process, unix, tcp, tcp+compressed}, two passes each (the second
-/// exercises the workers' warm chunk-result caches).
+/// {in-process, unix, tcp, tcp+compressed} × {result caching off / on}.
+/// Each combination runs a cold and a warm pass (the warm pass serves
+/// from the workers' own result caches when caching is on — observable
+/// in `worker_cache_hits`, with *nothing* scanned anywhere), and at 4
+/// shards a **rebuild-then-requery** pass proves the epoch invalidation:
+/// after `Cluster::rebuild` with different data, every answer is the new
+/// data's, cold then warm again.
 ///
 /// Exact `assert_eq!`, floats included: group keys, float sums
 /// (superaccumulator limbs) and sketches cross the wire bit-identically
-/// (compression round-trips losslessly by construction), and every merge
-/// level folds associatively, so neither the process split, the socket
-/// shape nor the wire codec may change *anything* about any result row.
+/// (compression round-trips losslessly by construction), every merge
+/// level folds associatively, and cached partials are the very states a
+/// recomputation would produce — so neither the process split, the socket
+/// shape, the wire codec nor any cache may change *anything* about any
+/// result row.
 #[test]
 fn transport_axis_is_bit_identical_across_process_split() {
     use powerdrill::data::{generate_logs, LogsSpec};
@@ -328,19 +335,24 @@ fn transport_axis_is_bit_identical_across_process_split() {
     use std::time::Duration;
 
     let table = generate_logs(&LogsSpec::scaled(1_200));
+    let rebuilt_table = generate_logs(&LogsSpec::scaled(1_000));
     let mut build = BuildOptions::production(&["country", "table_name"]);
     if let Some(spec) = &mut build.partition {
         spec.max_chunk_rows = 150;
     }
-    let store = DataStore::build(&table, &build).unwrap();
-    let sequential = ExecContext { threads: 1, ..Default::default() };
-    let expected: Vec<QueryResult> = MATRIX_QUERIES
-        .iter()
-        .map(|sql| {
-            let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
-            execute(&store, &analyzed, &sequential).unwrap().0
-        })
-        .collect();
+    let expect_for = |table: &powerdrill::Table, queries: &[&str]| -> Vec<QueryResult> {
+        let store = DataStore::build(table, &build).unwrap();
+        let sequential = ExecContext { threads: 1, ..Default::default() };
+        queries
+            .iter()
+            .map(|sql| {
+                let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+                execute(&store, &analyzed, &sequential).unwrap().0
+            })
+            .collect()
+    };
+    let expected = expect_for(&table, &MATRIX_QUERIES);
+    let rebuilt_expected = expect_for(&rebuilt_table, &MATRIX_QUERIES[..3]);
 
     let worker_bin = std::path::PathBuf::from(env!("CARGO_BIN_EXE_pd-worker"));
     let rpc = |addr: WorkerAddr, compress: bool| {
@@ -356,46 +368,115 @@ fn transport_axis_is_bit_identical_across_process_split() {
         // fanout 2 forces an intermediate merge-server level at 4 shards
         // (depth 2: leaves → mixers → root).
         for fanout in [16usize, 2] {
-            let transports = [
-                ("in-process", Transport::InProcess),
-                ("unix", rpc(WorkerAddr::Unix, false)),
-                ("tcp", rpc(WorkerAddr::loopback(), false)),
-                ("tcp+z", rpc(WorkerAddr::loopback(), true)),
-            ];
-            for (transport_name, transport) in transports {
-                let label = format!("shards={shards} fanout={fanout} transport={transport_name}");
-                let config = ClusterConfig {
-                    shards,
-                    replication: false,
-                    threads: 0,
-                    shard_cache: 0,
-                    tree: TreeShape { fanout },
-                    build: build.clone(),
-                    transport,
-                    ..Default::default()
-                };
-                let cluster = Cluster::build(&table, &config).unwrap();
-                assert_eq!(cluster.shard_count(), shards, "{label}");
-                for pass in 0..2 {
-                    for (sql, want) in MATRIX_QUERIES.iter().zip(&expected) {
-                        let outcome = cluster.query(sql).unwrap();
-                        assert_eq!(outcome.result, *want, "{label} pass={pass}: {sql}");
-                        assert_eq!(
-                            outcome.stats.rows_skipped
-                                + outcome.stats.rows_cached
-                                + outcome.stats.rows_scanned,
-                            outcome.stats.rows_total,
-                            "row accounting must balance: {label}: {sql}"
-                        );
-                        assert_eq!(outcome.subquery_latencies.len(), shards, "{label}");
-                        assert_eq!(outcome.queue_delays.len(), shards, "{label}");
-                        assert!(outcome.failovers.is_empty(), "{label}");
-                        assert_eq!(outcome.shard_cache_hits, 0, "{label}");
+            for cache in [0usize, 128] {
+                let transports = [
+                    ("in-process", Transport::InProcess),
+                    ("unix", rpc(WorkerAddr::Unix, false)),
+                    ("tcp", rpc(WorkerAddr::loopback(), false)),
+                    ("tcp+z", rpc(WorkerAddr::loopback(), true)),
+                ];
+                for (transport_name, transport) in transports {
+                    let label = format!(
+                        "shards={shards} fanout={fanout} cache={cache} \
+                         transport={transport_name}"
+                    );
+                    let in_process = transport == Transport::InProcess;
+                    let config = ClusterConfig {
+                        shards,
+                        replication: false,
+                        threads: 0,
+                        shard_cache: cache,
+                        tree: TreeShape { fanout },
+                        build: build.clone(),
+                        transport,
+                        ..Default::default()
+                    };
+                    let mut cluster = Cluster::build(&table, &config).unwrap();
+                    assert_eq!(cluster.shard_count(), shards, "{label}");
+                    for pass in 0..2 {
+                        for (sql, want) in MATRIX_QUERIES.iter().zip(&expected) {
+                            let outcome = cluster.query(sql).unwrap();
+                            assert_eq!(outcome.result, *want, "{label} pass={pass}: {sql}");
+                            assert_eq!(
+                                outcome.stats.rows_skipped
+                                    + outcome.stats.rows_cached
+                                    + outcome.stats.rows_scanned,
+                                outcome.stats.rows_total,
+                                "row accounting must balance: {label}: {sql}"
+                            );
+                            assert_eq!(outcome.subquery_latencies.len(), shards, "{label}");
+                            assert_eq!(outcome.queue_delays.len(), shards, "{label}");
+                            assert!(outcome.failovers.is_empty(), "{label}");
+                            if cache == 0 {
+                                assert_eq!(outcome.shard_cache_hits, 0, "{label}");
+                                assert_eq!(outcome.worker_cache_hits(), 0, "{label}");
+                            } else if pass == 1 {
+                                // Warm + caching: every non-pruned subtree
+                                // answers from a cache — in-process at the
+                                // root, over RPC inside the workers — so
+                                // nothing is scanned anywhere.
+                                assert_eq!(
+                                    outcome.stats.rows_scanned, 0,
+                                    "{label} warm: no scan may survive a cached pass: {sql}"
+                                );
+                                if in_process {
+                                    assert_eq!(outcome.worker_cache_hits(), 0, "{label}");
+                                } else {
+                                    assert_eq!(outcome.shard_cache_hits, 0, "{label}");
+                                }
+                            }
+                        }
+                        if cache > 0 && pass == 1 {
+                            // The unrestricted first query prunes nothing,
+                            // so its warm hits are exactly the cache layer
+                            // closest to the root: every shard at the
+                            // in-process root, every frontier node over RPC.
+                            let outcome = cluster.query(MATRIX_QUERIES[0]).unwrap();
+                            let frontier = frontier_width(shards, fanout);
+                            if in_process {
+                                assert_eq!(outcome.shard_cache_hits, shards, "{label}");
+                            } else {
+                                assert_eq!(outcome.worker_cache_hits(), frontier, "{label}");
+                            }
+                        }
+                    }
+                    if shards == 4 {
+                        // Rebuild-then-requery: the epoch bump (and, over
+                        // RPC, the respawned tree) must retire every cached
+                        // partial — the answers are the new data's, cold
+                        // and then warm again.
+                        cluster.rebuild(&rebuilt_table).unwrap();
+                        for pass in 0..2 {
+                            for (sql, want) in MATRIX_QUERIES[..3].iter().zip(&rebuilt_expected) {
+                                let outcome = cluster.query(sql).unwrap();
+                                assert_eq!(
+                                    outcome.result, *want,
+                                    "{label} rebuild pass={pass}: {sql}"
+                                );
+                                if cache > 0 && pass == 1 {
+                                    assert_eq!(
+                                        outcome.stats.rows_scanned, 0,
+                                        "{label} rebuild warm: {sql}"
+                                    );
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
     }
+}
+
+/// Width of the process tree's frontier (the level the driver root
+/// queries): leaves while they fit the fanout, else the top merge level.
+fn frontier_width(shards: usize, fanout: usize) -> usize {
+    let fanout = fanout.max(2);
+    let mut width = shards.max(1);
+    while width > fanout {
+        width = width.div_ceil(fanout);
+    }
+    width
 }
 
 /// The same bit-identity, via the seeded random query generator: sharded
