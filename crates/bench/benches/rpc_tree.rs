@@ -215,13 +215,62 @@ fn main() {
             ],
         );
     }
+
+    // Hedged replica racing vs a real straggling primary process: shard
+    // 0's primary sleeps far past the hedge delay every query, so the
+    // replica answers the race and end-to-end latency stays well under the
+    // injected straggle — the old per-hop-deadline design would have
+    // waited the whole deadline out instead.
+    if worker_available {
+        let straggle = Duration::from_millis(800);
+        let config = ClusterConfig {
+            shards: 2,
+            replication: true,
+            shard_cache: 0,
+            threads: 1,
+            tree: TreeShape { fanout: 4 },
+            build: build.clone(),
+            transport: rpc(WorkerAddr::Unix, false),
+            ..Default::default()
+        };
+        let cluster = Cluster::build(&table, &config).expect("hedged cluster");
+        // One healthy query first: the hedge delay then derives from the
+        // *measured* queue-delay tail instead of the cold-start fallback.
+        cluster.query(sql).expect("healthy warm-up");
+        cluster.inject_worker_delay(0, straggle).expect("delay knob");
+        let outcome = cluster.query(sql).expect("hedged query");
+        assert!(
+            outcome.hedges.contains(&0),
+            "the straggling primary must be recorded as hedged: {:?}",
+            outcome.hedges
+        );
+        let hedged_stats = measure_stats(3, || {
+            black_box(cluster.query(sql).expect("hedged query"));
+        });
+        assert!(
+            hedged_stats.median < straggle,
+            "hedged latency must beat the injected straggler delay: {} vs {}",
+            fmt_duration(hedged_stats.median),
+            fmt_duration(straggle),
+        );
+        println!(
+            "\n=== hedged straggler (2 shards, replicated; shard 0's primary sleeps {}) ===\n\
+             hedged query {} — the replica answers long before the straggler would",
+            fmt_duration(straggle),
+            fmt_duration(hedged_stats.median),
+        );
+        json_line(
+            "rpc_tree",
+            "hedged_straggler",
+            hedged_stats,
+            &[
+                ("straggle_ms", straggle.as_millis().to_string()),
+                ("hedged_shards", outcome.hedges.len().to_string()),
+            ],
+        );
+    }
 }
 
 fn rpc(addr: WorkerAddr, compress: bool) -> Transport {
-    Transport::Rpc(RpcConfig {
-        worker_bin: None,
-        deadline: Duration::from_secs(60),
-        addr,
-        compress,
-    })
+    Transport::Rpc(RpcConfig { worker_bin: None, budget: Duration::from_secs(60), addr, compress })
 }

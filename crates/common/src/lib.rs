@@ -37,7 +37,7 @@ pub mod value;
 pub mod wire;
 
 pub use bitvec::BitVec;
-pub use error::{Error, Result};
+pub use error::{Error, Result, RpcError};
 pub use fsum::FloatSum;
 pub use hash::{fx_hash64, FxHashMap, FxHashSet, FxHasher};
 pub use mem::HeapSize;

@@ -28,7 +28,7 @@
 //! aggregation states in `pd_core::codec`, restrictions and expressions in
 //! `pd_sql::codec`).
 
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, RpcError};
 use crate::row::Row;
 use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
@@ -38,10 +38,10 @@ use std::time::Duration;
 
 /// Version byte of the RPC frame header. Bumped whenever the frame layout
 /// *or* the protocol-message encodings change shape; peers reject frames
-/// from a different version instead of mis-framing the stream. Version 2:
-/// rebuild epochs and worker-cache fields in `Load`/`Attach`/`Query`,
-/// cache-hit flags in shard reports.
-pub const FRAME_VERSION: u8 = 2;
+/// from a different version instead of mis-framing the stream. Version 3:
+/// deadline budgets + hedge delay + chaos directives + node names in the
+/// protocol messages, typed `Fault` responses, hedged flags in reports.
+pub const FRAME_VERSION: u8 = 3;
 
 /// The frame payload is compressed (`pd-compress`, Zippy family). The
 /// receiver decompresses before decoding; the flag is per frame, so a
@@ -79,13 +79,15 @@ impl FrameHeader {
     }
 
     /// Parse and validate: wrong version or unknown flag bits are framing
-    /// errors (the stream cannot be trusted past them).
+    /// errors (the stream cannot be trusted past them). A version skew is
+    /// the *typed* [`RpcError::VersionMismatch`], so retry policies can
+    /// refuse to retry it without string matching.
     pub fn parse(bytes: [u8; Self::BYTES]) -> Result<FrameHeader> {
         if bytes[0] != FRAME_VERSION {
-            return Err(Error::Data(format!(
+            return Err(Error::Rpc(RpcError::VersionMismatch(format!(
                 "wire: frame version {} (this build speaks {FRAME_VERSION})",
                 bytes[0]
-            )));
+            ))));
         }
         let flags = bytes[1];
         if flags & !FRAME_FLAGS_KNOWN != 0 {
@@ -491,6 +493,24 @@ impl Decode for Row {
     }
 }
 
+/// [`RpcError`] crosses the process boundary inside `Response::Fault`
+/// frames: `[tag u8][message string]`, stable tags via `RpcError::tag`.
+impl Encode for RpcError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.tag());
+        self.message().encode(out);
+    }
+}
+
+impl Decode for RpcError {
+    fn decode(r: &mut Reader<'_>) -> Result<RpcError> {
+        let tag = r.u8()?;
+        let message = String::decode(r)?;
+        RpcError::from_tag(tag, message)
+            .ok_or_else(|| Error::Data(format!("wire: invalid rpc-error tag {tag}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,10 +523,10 @@ mod tests {
                 assert_eq!(FrameHeader::parse(header.to_bytes()).unwrap(), header);
             }
         }
-        // Wrong version.
+        // Wrong version: the *typed* mismatch, never retried.
         let mut bytes = FrameHeader { flags: 0, len: 4 }.to_bytes();
         bytes[0] = FRAME_VERSION + 1;
-        assert!(FrameHeader::parse(bytes).is_err());
+        assert!(matches!(FrameHeader::parse(bytes), Err(Error::Rpc(RpcError::VersionMismatch(_)))));
         // Unknown flag bit.
         let mut bytes = FrameHeader { flags: 0, len: 4 }.to_bytes();
         bytes[1] = 0x80;
@@ -608,5 +628,20 @@ mod tests {
         assert!(from_bytes::<Value>(&[77]).is_err());
         assert!(from_bytes::<Option<u8>>(&[3, 0]).is_err());
         assert!(from_bytes::<DataType>(&[8]).is_err());
+        assert!(from_bytes::<RpcError>(&[99, 0, 0, 0, 0, 0, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn rpc_errors_round_trip() {
+        for e in [
+            RpcError::Deadline("budget spent at mixer".into()),
+            RpcError::ConnRefused("l0p.sock".into()),
+            RpcError::Decode("torn frame".into()),
+            RpcError::VersionMismatch("peer speaks 2".into()),
+            RpcError::PeerGone("reset by peer".into()),
+            RpcError::Overloaded("8 in flight".into()),
+        ] {
+            round_trip(e);
+        }
     }
 }

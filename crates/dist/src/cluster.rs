@@ -25,17 +25,35 @@
 //! off. All draws derive from seeded per-(query, shard, replica) streams,
 //! so every outcome — delays, failures, failovers — is reproducible
 //! regardless of worker scheduling.
+//!
+//! Robustness over RPC is budgeted end to end. Every query spends one
+//! [`RpcConfig::budget`] across the whole tree (each node decrements it by
+//! its own queue delay before fanning out, and an exhausted budget is a
+//! typed [`pd_common::RpcError::Deadline`], not a hang). Slow primaries
+//! are *hedged*: after a delay derived from the observed queue-delay p95
+//! the replica is raced in parallel and the first answer wins
+//! ([`QueryOutcome::hedges`]). [`AdmissionConfig`] bounds how many queries
+//! run concurrently — excess load is shed with a typed
+//! [`pd_common::RpcError::Overloaded`] *before* it can pile onto already
+//! saturated workers (the limit halves while the observed queue p95 sits
+//! above the saturation threshold). And [`FailureModel::chaos`] drives the
+//! seeded rpc-level fault injector ([`crate::ChaosModel`]) used by the
+//! chaos harness: kills, resets, torn frames and delays, aimable at any
+//! tree node including merge servers.
 
+use crate::chaos::ChaosModel;
 use crate::process::{resolve_worker_bin, ProcessTree, TreeConfig, WorkerAddr};
 use crate::shard_cache::{query_signature, ShardCache, ShardEntry};
 use pd_common::rng::Rng;
 use pd_common::sync::Mutex;
+use pd_common::{Error, RpcError};
 use pd_core::{
     execute_partial, finalize, scheduler, BuildOptions, CachePolicy, DataStore, ExecContext,
     PartialResult, QueryResult, ResultCache, ScanStats, TieredCache,
 };
 use pd_data::Table;
 use pd_sql::{analyze, parse_query, AnalyzedQuery};
+use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,8 +72,9 @@ pub enum Transport {
     /// or loopback/multi-host TCP ([`WorkerAddr::Tcp`]), with optionally
     /// compressed frames. Subquery latencies and queue delays in
     /// [`QueryOutcome`] are then *measured*, not drawn from the seeded
-    /// [`LoadModel`], and a worker missing its [`RpcConfig::deadline`]
-    /// fails over exactly like a [`FailureModel`] kill. Queries travel as
+    /// [`LoadModel`], and a worker that exhausts the query's
+    /// [`RpcConfig::budget`] fails over exactly like a [`FailureModel`]
+    /// kill. Queries travel as
     /// decoded restrictions, so any tree node pre-skips subtrees whose
     /// shard metadata cannot match ([`pd_core::ScanStats::subtrees_pruned`]).
     Rpc(RpcConfig),
@@ -68,9 +87,13 @@ pub struct RpcConfig {
     /// `PD_DIST_WORKER_BIN` environment variable or next to the current
     /// executable.
     pub worker_bin: Option<PathBuf>,
-    /// Per-hop deadline for leaf subqueries: a primary that does not
-    /// answer in time is failed over to its replica.
-    pub deadline: Duration,
+    /// End-to-end time budget for one query. The *whole* tree shares it:
+    /// each node decrements the remaining budget by its own queue delay
+    /// before fanning out, an exhausted budget is a typed
+    /// [`pd_common::RpcError::Deadline`], and the driver enforces it
+    /// absolutely at the root. (Replaces the old fixed per-hop deadline,
+    /// which multiplied by tree depth.)
+    pub budget: Duration,
     /// Socket shape the workers listen on: `Unix` (single box) or
     /// `Tcp { host }` with one ephemeral port per worker.
     pub addr: WorkerAddr,
@@ -83,7 +106,7 @@ impl Default for RpcConfig {
     fn default() -> Self {
         RpcConfig {
             worker_bin: None,
-            deadline: Duration::from_secs(30),
+            budget: Duration::from_secs(30),
             addr: WorkerAddr::Unix,
             compress: true,
         }
@@ -160,6 +183,11 @@ pub struct FailureModel {
     pub kill_primaries: Vec<usize>,
     /// Seed for the failure draws; independent of the load-model stream.
     pub seed: u64,
+    /// Rpc-level fault injection (RPC transport only): seeded draws of
+    /// process kills, connection resets, torn reply frames and delays,
+    /// targeting *any* tree node by name — merge servers included. The
+    /// inactive default injects nothing.
+    pub chaos: ChaosModel,
 }
 
 impl FailureModel {
@@ -170,6 +198,27 @@ impl FailureModel {
         self.primary_fail_probability > 0.0
             && stream(self.seed, qid, shard as u64, ROLE_FAILURE)
                 .chance(self.primary_fail_probability)
+    }
+}
+
+/// Admission control at the driver: bound how many queries run at once
+/// instead of letting excess load pile onto saturated workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum concurrently admitted queries; `0` disables admission
+    /// control entirely (the default — single-caller tests and benches
+    /// never shed).
+    pub max_in_flight: usize,
+    /// Saturation threshold: while the p95 of recently observed worker
+    /// queue delays is at or above this, the effective in-flight limit is
+    /// halved — the cluster sheds *harder* exactly when the workers are
+    /// already behind.
+    pub saturation_queue: Duration,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig { max_in_flight: 0, saturation_queue: Duration::from_millis(250) }
     }
 }
 
@@ -205,6 +254,9 @@ pub struct ClusterConfig {
     /// Where the computation tree runs: in the driver's address space or
     /// split across worker processes.
     pub transport: Transport,
+    /// Driver-side admission control: shed queries beyond the in-flight
+    /// budget with a typed [`pd_common::RpcError::Overloaded`].
+    pub admission: AdmissionConfig,
 }
 
 impl Default for ClusterConfig {
@@ -220,6 +272,7 @@ impl Default for ClusterConfig {
             threads: 0,
             shard_cache: 1024,
             transport: Transport::InProcess,
+            admission: AdmissionConfig::default(),
         }
     }
 }
@@ -251,6 +304,33 @@ pub struct Cluster {
     /// processes — the observation stream that replaces [`LoadModel`]
     /// draws under the RPC transport.
     observed_queue: Mutex<Vec<(Duration, u64)>>,
+    /// The most recent worker queue-delay samples (capped ring), feeding
+    /// two adaptive policies: the hedge delay (p95-derived — hedge as soon
+    /// as a primary looks slower than the cluster's recent tail) and the
+    /// admission saturation check.
+    recent_queue: Mutex<VecDeque<Duration>>,
+    /// Queries currently admitted (only tracked when admission control is
+    /// on).
+    in_flight: AtomicU64,
+    /// Queries shed by admission control since construction / rebuild.
+    sheds: AtomicU64,
+}
+
+/// How many queue-delay samples feed the hedge / saturation estimates.
+const RECENT_QUEUE_CAP: usize = 256;
+
+/// RAII permit for one admitted query; dropping it frees the slot.
+#[derive(Debug)]
+struct AdmitPermit<'a> {
+    in_flight: Option<&'a AtomicU64>,
+}
+
+impl Drop for AdmitPermit<'_> {
+    fn drop(&mut self) {
+        if let Some(in_flight) = self.in_flight {
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
 }
 
 /// What one distributed query cost.
@@ -265,6 +345,11 @@ pub struct QueryOutcome {
     pub subquery_latencies: Vec<Duration>,
     /// Shards whose primary failed and whose replica answered.
     pub failovers: Vec<usize>,
+    /// Shards whose primary outlived the hedge delay and was raced against
+    /// its replica (RPC transport; whichever answer arrived first won).
+    /// Always empty in-process, where replication is modeled as the faster
+    /// of two load draws instead.
+    pub hedges: Vec<usize>,
     /// Shards served from the driver root's shard-level result cache
     /// (in-process transport).
     pub shard_cache_hits: usize,
@@ -342,6 +427,9 @@ impl Cluster {
             epoch: AtomicU64::new(epoch),
             queries: AtomicU64::new(0),
             observed_queue: Mutex::new(vec![(Duration::ZERO, 0); shard_count]),
+            recent_queue: Mutex::new(VecDeque::with_capacity(RECENT_QUEUE_CAP)),
+            in_flight: AtomicU64::new(0),
+            sheds: AtomicU64::new(0),
         })
     }
 
@@ -402,7 +490,7 @@ impl Cluster {
         let shard_count = Self::split_count(table, config);
         let tree_config = TreeConfig {
             worker_bin: resolve_worker_bin(rpc.worker_bin.as_deref())?,
-            deadline: rpc.deadline,
+            budget: rpc.budget,
             replication: config.replication,
             fanout: config.tree.fanout,
             threads: config.threads,
@@ -445,7 +533,73 @@ impl Cluster {
         }
         let shard_count = self.shard_count();
         *self.observed_queue.lock() = vec![(Duration::ZERO, 0); shard_count];
+        // A respawned tree starts with empty executor queues: stale
+        // saturation / hedge estimates from the old processes would shed
+        // or hedge against load that no longer exists.
+        self.recent_queue.lock().clear();
         Ok(())
+    }
+
+    /// Swap the rpc-level fault injection model. Chaos draws depend only
+    /// on `(seed, query id, node name)`, so setting the same model on a
+    /// fresh cluster replays the same faults against the same queries.
+    pub fn set_chaos(&mut self, chaos: ChaosModel) {
+        self.config.failures.chaos = chaos;
+    }
+
+    /// Queries shed by admission control so far.
+    pub fn shed_count(&self) -> u64 {
+        self.sheds.load(Ordering::SeqCst)
+    }
+
+    /// Admit one query or shed it. The permit holds an in-flight slot
+    /// until dropped (i.e. for the whole query, including merge and
+    /// finalize). While workers look saturated the effective limit halves:
+    /// shedding is cheapest *before* the fan-out, and saturation means the
+    /// queries already admitted are about to get slower.
+    fn admit(&self) -> pd_common::Result<AdmitPermit<'_>> {
+        let max = self.config.admission.max_in_flight;
+        if max == 0 {
+            return Ok(AdmitPermit { in_flight: None });
+        }
+        let saturated =
+            self.queue_p95().is_some_and(|p95| p95 >= self.config.admission.saturation_queue);
+        let limit = if saturated { (max / 2).max(1) } else { max } as u64;
+        let previous = self.in_flight.fetch_add(1, Ordering::SeqCst);
+        if previous >= limit {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
+            self.sheds.fetch_add(1, Ordering::SeqCst);
+            let detail = if saturated { " (halved: workers saturated)" } else { "" };
+            return Err(Error::Rpc(RpcError::Overloaded(format!(
+                "cluster: {previous} queries in flight, limit {limit}{detail}"
+            ))));
+        }
+        Ok(AdmitPermit { in_flight: Some(&self.in_flight) })
+    }
+
+    /// p95 of the recent worker queue-delay samples; `None` before any
+    /// RPC query has reported.
+    fn queue_p95(&self) -> Option<Duration> {
+        let recent = self.recent_queue.lock();
+        if recent.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<Duration> = recent.iter().copied().collect();
+        sorted.sort_unstable();
+        Some(sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)])
+    }
+
+    /// How long to wait for a primary before racing its replica. Derived
+    /// from the observed queue-delay p95 — a primary that has already
+    /// out-waited several tail queue delays is likely struggling — and
+    /// clamped into `[25ms, budget/2]` so cold clusters neither hedge
+    /// instantly nor wait out most of the budget first.
+    fn hedge_delay(&self, budget: Duration) -> Duration {
+        let base = match self.queue_p95() {
+            Some(p95) => p95 * 8 + Duration::from_millis(2),
+            None => budget / 8,
+        };
+        base.clamp(Duration::from_millis(25), (budget / 2).max(Duration::from_millis(25)))
     }
 
     /// The current rebuild epoch (starts at 1; [`Cluster::rebuild`] bumps
@@ -477,8 +631,8 @@ impl Cluster {
     }
 
     /// Test knob (RPC transport): make shard `shard`'s primary worker
-    /// sleep before every answer, so it misses its deadline and the §4
-    /// failover path runs against a *real* unresponsive process.
+    /// sleep before every answer, so it outlives the hedge delay and the
+    /// §4 replica race runs against a *real* straggling process.
     pub fn inject_worker_delay(&self, shard: usize, delay: Duration) -> pd_common::Result<()> {
         let tree = self.tree.as_ref().ok_or_else(|| {
             pd_common::Error::Data("worker delays require the rpc transport".into())
@@ -496,6 +650,9 @@ impl Cluster {
     /// merge levels and failover all happen across worker processes; the
     /// result is bit-identical either way.
     pub fn query(&self, sql: &str) -> pd_common::Result<QueryOutcome> {
+        // Admission first: a shed query must cost nothing downstream —
+        // not even the parse.
+        let _permit = self.admit()?;
         let analyzed = analyze(&parse_query(sql)?)?;
         let qid = self.queries.fetch_add(1, Ordering::Relaxed);
         if let Some(tree) = &self.tree {
@@ -563,6 +720,7 @@ impl Cluster {
             latency,
             subquery_latencies,
             failovers,
+            hedges: Vec::new(),
             shard_cache_hits,
             queue_delays,
         })
@@ -594,8 +752,21 @@ impl Cluster {
             )));
         }
 
+        // Hedge delay from the observed queue tail; zero disables racing
+        // entirely when there are no replicas to race.
+        let budget = match &self.config.transport {
+            Transport::Rpc(rpc) => rpc.budget,
+            Transport::InProcess => Duration::from_secs(30),
+        };
+        let hedge_micros = if self.config.replication {
+            u64::try_from(self.hedge_delay(budget).as_micros()).unwrap_or(u64::MAX)
+        } else {
+            0
+        };
+        let chaos = self.config.failures.chaos.draw(qid, tree.node_names());
+
         let fan_out_started = Instant::now();
-        let answer = tree.query(analyzed, killed, self.epoch())?;
+        let answer = tree.query(analyzed, killed, self.epoch(), hedge_micros, chaos)?;
         // Measured end-to-end fan-out: leaf hops *and* every merge-server
         // fold, response serialization and root-hop transport above them —
         // time the per-shard reports (stamped by each leaf's immediate
@@ -606,6 +777,7 @@ impl Cluster {
         let mut subquery_latencies = vec![Duration::ZERO; shard_count];
         let mut queue_delays = vec![Duration::ZERO; shard_count];
         let mut failovers = Vec::new();
+        let mut hedges = Vec::new();
         for report in &answer.reports {
             let s = report.shard as usize;
             if s >= shard_count {
@@ -618,13 +790,27 @@ impl Cluster {
             if report.failover {
                 failovers.push(s);
             }
+            if report.hedged {
+                hedges.push(s);
+            }
         }
         failovers.sort_unstable();
+        hedges.sort_unstable();
         {
             let mut observed = self.observed_queue.lock();
             for (slot, queued) in observed.iter_mut().zip(&queue_delays) {
                 slot.0 += *queued;
                 slot.1 += 1;
+            }
+        }
+        {
+            // Feed the adaptive hedge / saturation estimates.
+            let mut recent = self.recent_queue.lock();
+            for queued in &queue_delays {
+                if recent.len() == RECENT_QUEUE_CAP {
+                    recent.pop_front();
+                }
+                recent.push_back(*queued);
             }
         }
 
@@ -643,6 +829,7 @@ impl Cluster {
             latency,
             subquery_latencies,
             failovers,
+            hedges,
             shard_cache_hits: 0,
             queue_delays,
         })
@@ -839,6 +1026,58 @@ mod tests {
             replicated + 40 < unreplicated,
             "replication must shrink the blocked tail: {replicated} vs {unreplicated} of 200"
         );
+    }
+
+    #[test]
+    fn admission_sheds_beyond_the_in_flight_budget() {
+        let table = generate_logs(&LogsSpec::scaled(200));
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards: 2,
+                admission: AdmissionConfig { max_in_flight: 2, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let first = cluster.admit().unwrap();
+        let _second = cluster.admit().unwrap();
+        let shed = cluster.admit().unwrap_err();
+        assert!(matches!(shed, Error::Rpc(RpcError::Overloaded(_))), "typed shed: {shed}");
+        assert_eq!(cluster.shed_count(), 1);
+        // Dropping a permit frees its slot.
+        drop(first);
+        let _third = cluster.admit().unwrap();
+        // Saturation halves the limit: with the observed queue p95 past
+        // the threshold, max 2 becomes 1 — the second slot is gone even
+        // though it is nominally free.
+        {
+            let mut recent = cluster.recent_queue.lock();
+            for _ in 0..32 {
+                recent.push_back(Duration::from_millis(400));
+            }
+        }
+        let shed = cluster.admit().unwrap_err();
+        assert!(matches!(shed, Error::Rpc(RpcError::Overloaded(_))), "typed shed: {shed}");
+        assert!(shed.to_string().contains("saturated"), "{shed}");
+        assert_eq!(cluster.shed_count(), 2);
+    }
+
+    #[test]
+    fn hedge_delay_tracks_the_observed_queue_tail() {
+        let table = generate_logs(&LogsSpec::scaled(200));
+        let cluster =
+            Cluster::build(&table, &ClusterConfig { shards: 2, ..Default::default() }).unwrap();
+        let budget = Duration::from_secs(30);
+        // Cold cluster: no observations yet, fall back to budget/8.
+        assert_eq!(cluster.hedge_delay(budget), budget / 8);
+        // A fast queue tail clamps to the 25 ms floor (8×1ms + 2ms = 10ms).
+        cluster.recent_queue.lock().extend(vec![Duration::from_millis(1); 64]);
+        assert_eq!(cluster.hedge_delay(budget), Duration::from_millis(25));
+        // A pathological tail is capped at half the budget: hedging later
+        // than that cannot beat the deadline anyway.
+        cluster.recent_queue.lock().extend(vec![Duration::from_secs(10); 64]);
+        assert_eq!(cluster.hedge_delay(Duration::from_secs(1)), Duration::from_millis(500));
     }
 
     #[test]

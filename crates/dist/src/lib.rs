@@ -12,7 +12,7 @@
 //! | X data partitions on leaf servers | [`Cluster`]'s shards: independent [`pd_core::DataStore`]s over contiguous row ranges — in-process, or imported by spawned `pd-dist-worker` processes ([`Transport::Rpc`]) |
 //! | the query sent to all machines, executed concurrently | in-process: one task per shard on the shared [`pd_core::scheduler`] pool; rpc: concurrent framed messages ([`rpc`]) over Unix sockets *or* TCP ([`WorkerAddr`]), optionally compressed (`pd-compress`, negotiated per connection), carrying the decoded [`pd_sql::AnalyzedQuery`] — no SQL re-parse on any hop |
 //! | partial results merged up the tree | real intermediate **merge servers** ([`worker`]): each owns a [`TreeShape`]-fanout subtree, folds child partials with the same associative merge, reports per-shard observations up, and **prunes subtrees whose [`ShardMeta`] cannot match the restriction** before any network hop ([`pd_core::ScanStats::subtrees_pruned`]); the driver is the root |
-//! | "take the answer arriving first" replication | per-shard replica processes; a primary that is killed ([`FailureModel`]) **or misses its [`RpcConfig::deadline`]** fails over to the replica — both through the same code path, recorded in [`QueryOutcome::failovers`] |
+//! | "take the answer arriving first" replication | per-shard replica processes, **raced**: a primary that has not answered within the hedge delay (derived from observed queue delays) is raced against its replica in parallel, first answer wins, the loser is cancelled ([`QueryOutcome::hedges`]); a killed ([`FailureModel`]) or faulted primary fails over through the same path ([`QueryOutcome::failovers`]), and every query spends one [`RpcConfig::budget`] end to end |
 //! | servers being "temporarily slow" | in-process: seeded [`LoadModel`] draws; rpc: **measured** — workers funnel requests through one executor and report real queue delays ([`QueryOutcome::queue_delays`], [`Cluster::observed_queue_delays`]) |
 //! | reuse of previously computed answers | [`shard_cache`]: in-process, the root caches each shard's partial; over rpc, **every tree node** (leaf and merge-server process) holds a [`shard_cache::WorkerCache`] of its own partials keyed by the same normalized signature, invalidated by the rebuild **epoch** every message carries — hits are reported up as [`pd_core::ScanStats::worker_cache_hits`] / [`QueryOutcome::worker_cache_hits`] |
 //!
@@ -26,10 +26,14 @@
 //!
 //! Modules:
 //!
-//! - [`cluster`] — shards, concurrent fan-out, replication/failover, load
-//!   and failure models, and the [`Transport`] switch;
-//! - [`rpc`] — wire protocol: framed requests/responses, per-hop
-//!   deadlines, the shared child-querying/failover logic;
+//! - [`cluster`] — shards, concurrent fan-out, replication/failover,
+//!   admission control, load/failure/chaos models, and the [`Transport`]
+//!   switch;
+//! - [`rpc`] — wire protocol: framed requests/responses, deadline
+//!   budgets, typed [`pd_common::RpcError`] faults, the shared
+//!   child-querying / hedged-racing logic;
+//! - [`chaos`] — the seeded rpc-level fault injector behind the chaos
+//!   test harness;
 //! - [`worker`] — the `pd-dist-worker` process: leaf server (`Load`) or
 //!   merge server (`Attach`), single-executor queue with measured delays;
 //! - [`process`] — driver-side tree construction: spawning, loading and
@@ -41,6 +45,7 @@
 //!   skipped / cached / scanned split and Figure 5's latency-vs-disk-bytes
 //!   relation.
 
+pub mod chaos;
 pub mod cluster;
 pub mod meta;
 pub mod process;
@@ -49,8 +54,10 @@ pub mod shard_cache;
 pub mod worker;
 pub mod workload;
 
+pub use chaos::{ChaosDirective, ChaosFault, ChaosModel};
 pub use cluster::{
-    Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome, RpcConfig, Transport, TreeShape,
+    AdmissionConfig, Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome, RpcConfig,
+    Transport, TreeShape,
 };
 pub use meta::{ColumnMeta, ShardMeta};
 pub use process::{ProcessTree, ReapGuard, WorkerAddr};

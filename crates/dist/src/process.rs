@@ -19,12 +19,14 @@
 //! outlive its cluster, and a red test must not poison later suites with
 //! orphan processes.
 
+use crate::chaos::ChaosDirective;
 use crate::meta::ShardMeta;
 use crate::rpc::{
-    fan_out, Addr, AttachRequest, ChildHandle, ChildSpec, LoadRequest, QueryRequest, Request,
-    Response, RpcClient, SubtreeAnswer, LOAD_TIMEOUT, STARTUP_TIMEOUT,
+    backoff_sleep, fan_out, Addr, AttachRequest, ChildHandle, ChildSpec, LoadRequest, QueryRequest,
+    Request, Response, RpcClient, SubtreeAnswer, BACKOFF_CAP, LOAD_TIMEOUT, STARTUP_TIMEOUT,
 };
-use pd_common::{Error, Result};
+use pd_common::rng::Rng;
+use pd_common::{fx_hash64, Error, Result};
 use pd_core::BuildOptions;
 use pd_data::Table;
 use pd_sql::AnalyzedQuery;
@@ -59,16 +61,26 @@ impl WorkerAddr {
 /// reaps the process instead of leaking it to poison later suites.
 pub struct ReapGuard {
     child: Option<Child>,
+    /// Filesystem residue (unix socket paths, announce files) removed
+    /// after the child is reaped, so a rerun in the same directory can
+    /// never adopt a dead worker's stale address.
+    cleanup: Vec<PathBuf>,
 }
 
 impl ReapGuard {
     pub fn new(child: Child) -> ReapGuard {
-        ReapGuard { child: Some(child) }
+        ReapGuard { child: Some(child), cleanup: Vec::new() }
+    }
+
+    /// Register a path to delete once the child is reaped.
+    pub fn remove_on_exit(&mut self, path: PathBuf) {
+        self.cleanup.push(path);
     }
 
     /// Disarm the guard and hand the child back (the caller now owns
-    /// reaping it).
+    /// reaping it — and the registered paths stay put).
     pub fn disarm(mut self) -> Child {
+        self.cleanup.clear();
         self.child.take().expect("armed guard")
     }
 
@@ -84,6 +96,11 @@ impl Drop for ReapGuard {
             let _ = child.kill();
             let _ = child.wait();
         }
+        // Only after the kill: removing a live worker's socket path would
+        // strand it listening on an unlinked inode.
+        for path in self.cleanup.drain(..) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 }
 
@@ -91,8 +108,10 @@ impl Drop for ReapGuard {
 #[derive(Debug, Clone)]
 pub struct TreeConfig {
     pub worker_bin: PathBuf,
-    /// Per-hop deadline for leaf subqueries.
-    pub deadline: Duration,
+    /// Time budget for one whole query through the tree: decremented by
+    /// every node's queueing delay on the way down, enforced absolutely
+    /// by every caller on the way up.
+    pub budget: Duration,
     /// Spawn a replica process per shard and fail primaries over to it.
     pub replication: bool,
     /// Children per merge server (the [`crate::TreeShape`] fanout).
@@ -153,7 +172,10 @@ pub struct ProcessTree {
     /// Per shard: the primary's address, for control messages (delay
     /// injection) that must reach a specific process.
     leaf_primaries: Vec<Addr>,
-    deadline: Duration,
+    /// Every tree node's name (`l0p`, `l0r`, `m1_0`, ...), in spawn
+    /// order — the name space chaos directives target.
+    names: Vec<String>,
+    budget: Duration,
     compress: bool,
 }
 
@@ -182,7 +204,8 @@ impl ProcessTree {
             addrs: Vec::new(),
             frontier: Vec::new(),
             leaf_primaries: Vec::new(),
-            deadline: config.deadline,
+            names: Vec::new(),
+            budget: config.budget,
             compress: config.compress,
         };
         tree.populate(shard_count, shard_table, build, config)?;
@@ -202,7 +225,7 @@ impl ProcessTree {
         let mut level: Vec<ChildSpec> = Vec::with_capacity(shard_count);
         for shard in 0..shard_count {
             let table = shard_table(shard)?;
-            let load = Request::Load(Box::new(LoadRequest {
+            let mut load = Request::Load(Box::new(LoadRequest {
                 shard: shard as u64,
                 schema: table.schema().clone(),
                 rows: table.iter_rows().collect(),
@@ -211,6 +234,7 @@ impl ProcessTree {
                 cache_budget: config.cache_budget_per_shard as u64,
                 cache_entries: config.cache_entries as u64,
                 epoch: config.epoch,
+                name: format!("l{shard}p"),
             }));
             drop(table);
             let (primary, meta) = self.spawn_worker(config, &format!("l{shard}p"), &load)?;
@@ -218,6 +242,11 @@ impl ProcessTree {
                 .ok_or_else(|| Error::Data(format!("shard {shard}: load ack carried no meta")))?;
             self.leaf_primaries.push(primary.clone());
             let replica = if config.replication {
+                // Same shard bytes, its own name — retagged in place so
+                // the shipped rows are not cloned per replica.
+                if let Request::Load(l) = &mut load {
+                    l.name = format!("l{shard}r");
+                }
                 Some(self.spawn_worker(config, &format!("l{shard}r"), &load)?.0)
             } else {
                 None
@@ -241,6 +270,7 @@ impl ProcessTree {
                     compress: config.compress,
                     cache_entries: config.cache_entries as u64,
                     epoch: config.epoch,
+                    name: format!("m{height}_{i}"),
                 });
                 let (addr, _) = self.spawn_worker(config, &format!("m{height}_{i}"), &attach)?;
                 next.push(ChildSpec::Node { addr, height, metas });
@@ -272,12 +302,20 @@ impl ProcessTree {
         let mut command = Command::new(&config.worker_bin);
         let spawned = match &config.addr {
             WorkerAddr::Unix => {
-                let addr = Addr::Unix(self.dir.join(format!("{name}.sock")));
+                let path = self.dir.join(format!("{name}.sock"));
+                // A stale socket path from a dead worker would make the
+                // fresh bind fail (or worse, a poller adopt a corpse's
+                // address) — clear it before spawning.
+                let _ = std::fs::remove_file(&path);
+                let addr = Addr::Unix(path);
                 command.arg("--listen").arg(addr.to_string());
                 Spawned::At(addr)
             }
             WorkerAddr::Tcp { host } => {
                 let announce = self.dir.join(format!("{name}.addr"));
+                // Same staleness rule: an old announce file would hand
+                // the poller a dead worker's port.
+                let _ = std::fs::remove_file(&announce);
                 command
                     .arg("--listen")
                     .arg(format!("tcp:{host}:0"))
@@ -293,10 +331,19 @@ impl ProcessTree {
             .spawn()
             .map_err(|e| Error::Data(format!("spawn {}: {e}", config.worker_bin.display())))?;
         let mut guard = ReapGuard::new(child);
-        let addr = match spawned {
-            Spawned::At(addr) => addr,
-            Spawned::Announced(announce) => wait_for_announce(&announce, &mut guard)?,
+        let addr = match &spawned {
+            Spawned::At(addr) => {
+                if let Addr::Unix(path) = addr {
+                    guard.remove_on_exit(path.clone());
+                }
+                addr.clone()
+            }
+            Spawned::Announced(announce) => {
+                guard.remove_on_exit(announce.clone());
+                wait_for_announce(announce, &mut guard)?
+            }
         };
+        self.names.push(name.to_string());
         self.processes.push(guard);
         self.addrs.push(addr.clone());
         let mut client = RpcClient::new(addr.clone(), config.compress);
@@ -310,19 +357,35 @@ impl ProcessTree {
         self.leaf_primaries.len()
     }
 
+    /// Every tree node's name, in spawn order — the targets a
+    /// [`crate::ChaosModel`] draws faults over.
+    pub fn node_names(&self) -> &[String] {
+        &self.names
+    }
+
     /// Run one query through the tree: fan out to the frontier, fold in
     /// frontier order. `killed` carries this query's [`crate::FailureModel`]
     /// primary kills down to whichever level parents each leaf; `epoch` is
     /// the driver's current rebuild epoch, which every node checks against
-    /// its result cache before answering.
+    /// its result cache before answering; `hedge_micros` is the hedge
+    /// delay for leaf replica races (0 = sequential failover); `chaos`
+    /// carries this query's injected faults down the whole tree.
     pub fn query(
         &self,
         analyzed: &AnalyzedQuery,
         killed: Vec<u64>,
         epoch: u64,
+        hedge_micros: u64,
+        chaos: Vec<ChaosDirective>,
     ) -> Result<SubtreeAnswer> {
-        let request =
-            QueryRequest { query: analyzed.clone(), deadline: self.deadline, killed, epoch };
+        let request = QueryRequest {
+            query: analyzed.clone(),
+            budget: self.budget,
+            hedge_micros,
+            killed,
+            epoch,
+            chaos,
+        };
         fan_out(&self.frontier, &request)
     }
 
@@ -360,17 +423,16 @@ impl Drop for ProcessTree {
 /// build immediately with its exit status instead of running out the full
 /// startup timeout once per worker.
 fn wait_for_announce(path: &Path, worker: &mut ReapGuard) -> Result<Addr> {
-    let started = Instant::now();
+    let deadline = Instant::now() + STARTUP_TIMEOUT;
+    // Jittered exponential backoff instead of a fixed busy-poll: dozens of
+    // workers spawning at once must not all hammer the filesystem on the
+    // same 2ms beat, and an overall deadline still bounds the wait.
+    let mut backoff = Duration::from_millis(1);
+    let mut jitter = Rng::seed_from_u64(fx_hash64(path.to_string_lossy().as_ref()));
     loop {
         match std::fs::read_to_string(path) {
             Ok(contents) if !contents.trim().is_empty() => {
                 return Addr::parse(contents.trim());
-            }
-            _ if started.elapsed() >= STARTUP_TIMEOUT => {
-                return Err(Error::Data(format!(
-                    "rpc: worker never announced its address at {}",
-                    path.display()
-                )));
             }
             _ => {
                 if let Some(status) = worker.try_wait() {
@@ -379,7 +441,14 @@ fn wait_for_announce(path: &Path, worker: &mut ReapGuard) -> Result<Addr> {
                          (bad --listen host or port?)"
                     )));
                 }
-                std::thread::sleep(Duration::from_millis(2));
+                let left = deadline.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(Error::Data(format!(
+                        "rpc: worker never announced its address at {}",
+                        path.display()
+                    )));
+                }
+                backoff_sleep(&mut backoff, BACKOFF_CAP, left, &mut jitter);
             }
         }
     }
@@ -390,6 +459,7 @@ fn expect_ack(response: Response, what: &str) -> Result<Option<ShardMeta>> {
         Response::Ok => Ok(None),
         Response::Loaded(meta) => Ok(Some(*meta)),
         Response::Err(message) => Err(Error::Data(format!("worker {what} failed: {message}"))),
+        Response::Fault(fault) => Err(Error::Rpc(fault)),
         Response::Malformed(message) => {
             Err(Error::Data(format!("worker rejected the {what} frame: {message}")))
         }

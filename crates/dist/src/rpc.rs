@@ -33,23 +33,37 @@
 //! as skipped, and the prune is reported up in
 //! [`ScanStats::subtrees_pruned`].
 //!
-//! **Deadlines.** Every query request carries a per-hop deadline. The
-//! *caller* enforces it with socket read timeouts: a worker that does not
-//! answer in time is indistinguishable from a dead one, and the caller
-//! fails over to the shard's replica — the same code path a
-//! [`crate::FailureModel`] kill takes (a killed primary is simply never
-//! contacted). A parent calling a *merge server* scales its timeout by the
-//! subtree height, so one slow leaf cannot cascade into spurious subtree
-//! failures.
+//! **Deadline budgets.** Every query request carries one *remaining time
+//! budget* for the whole query, not a per-hop deadline: each worker
+//! subtracts the time the request spent in its queue before fanning out,
+//! and answers a typed [`RpcError::Deadline`] fault the moment the budget
+//! is spent instead of letting children run a query nobody is waiting
+//! for. The *caller* enforces the same budget with absolute socket read
+//! deadlines, so a stalled or trickling peer expires on time either way.
+//!
+//! **Hedged replica racing.** A leaf pair is queried by racing: the
+//! primary is asked first, and if it has not answered within the hedge
+//! delay (derived by the driver from observed queue delays), the replica
+//! is launched *in parallel* — first answer wins, the loser's socket is
+//! shut down via [`CancelToken`]. A straggling primary therefore costs
+//! one hedge delay, not its whole budget, and every hedge doubles as
+//! replica cache warming. Failures are typed ([`RpcError`]): transport
+//! faults (`Deadline`, `PeerGone`, `Decode`, `ConnRefused`) let the other
+//! copy win, while application errors from a live worker propagate —
+//! deterministic, so a replica would only repeat them. Refused connects
+//! are retried with bounded exponential backoff and seeded jitter.
 //!
 //! **Corruption.** Both sides decode frames with [`pd_common::wire`]'s
 //! checked readers; compressed payloads additionally pass the codec's own
-//! validation. Truncated or corrupt frames produce `Err`, which the
-//! failover path treats exactly like a timeout.
+//! validation. Truncated or corrupt frames produce a typed
+//! `RpcError::Decode`, which the racing path treats exactly like a
+//! timeout — fresh bytes are encoded for the other replica.
 
+use crate::chaos::ChaosDirective;
 use crate::meta::{self, ShardMeta};
+use pd_common::rng::Rng;
 use pd_common::wire::{self, Decode, Encode, FrameHeader, Reader};
-use pd_common::{Error, Result, Row, Schema};
+use pd_common::{fx_hash64, Error, Result, Row, RpcError, Schema};
 use pd_compress::{Codec, CodecKind};
 use pd_core::{BuildOptions, PartialResult, ScanStats};
 use pd_sql::AnalyzedQuery;
@@ -57,6 +71,8 @@ use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Upper bound on a single frame's payload (decompressed or raw). A
@@ -187,6 +203,25 @@ impl Stream {
             Stream::Tcp(s) => s.set_write_timeout(timeout),
         }
     }
+
+    /// A second handle onto the same connection (shared file descriptor) —
+    /// what a [`CancelToken`] holds so a hedge loser can be shut down from
+    /// outside the thread blocked on it.
+    pub fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => Ok(Stream::Unix(s.try_clone()?)),
+            Stream::Tcp(s) => Ok(Stream::Tcp(s.try_clone()?)),
+        }
+    }
+
+    /// Shut both directions down: any thread blocked reading this
+    /// connection wakes immediately with an error.
+    pub fn shutdown(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.shutdown(std::net::Shutdown::Both),
+            Stream::Tcp(s) => s.shutdown(std::net::Shutdown::Both),
+        }
+    }
 }
 
 impl Read for Stream {
@@ -304,6 +339,9 @@ pub struct LoadRequest {
     /// Rebuild epoch of the shipped data. Queries carrying a different
     /// epoch drop the worker's result cache before executing.
     pub epoch: u64,
+    /// This node's tree-wide name (`l0p`, `l0r`, ...) — the key chaos
+    /// directives target, and the label failures report.
+    pub name: String,
 }
 
 /// The subtree a merge server owns.
@@ -320,6 +358,9 @@ pub struct AttachRequest {
     /// Rebuild epoch of the subtree's data (same contract as
     /// [`LoadRequest::epoch`]).
     pub epoch: u64,
+    /// This merge server's tree-wide name (`m1_0`, ...), same contract as
+    /// [`LoadRequest::name`].
+    pub name: String,
 }
 
 /// One child of a tree node — a leaf shard (with its replica, the §4
@@ -359,8 +400,15 @@ impl ChildSpec {
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
     pub query: AnalyzedQuery,
-    /// Per-hop deadline for leaf answers.
-    pub deadline: Duration,
+    /// Remaining time budget for the *whole* query. Each worker subtracts
+    /// its queueing delay before executing or fanning out, and answers a
+    /// typed `Deadline` fault immediately once the budget is spent —
+    /// never a hop that children must time out of serially.
+    pub budget: Duration,
+    /// The hedge delay in microseconds: how long a parent waits on a leaf
+    /// primary before racing the replica in parallel. `0` disables
+    /// hedging (sequential primary-then-replica failover).
+    pub hedge_micros: u64,
     /// Shards whose primaries the [`crate::FailureModel`] killed for this
     /// query: their parents skip the primary and go straight to the
     /// replica, the same path a deadline expiry takes.
@@ -369,20 +417,27 @@ pub struct QueryRequest {
     /// older epoch drops it before answering — the distributed form of
     /// the root cache's rebuild invalidation.
     pub epoch: u64,
+    /// Chaos directives for this query, drawn once at the root from the
+    /// seeded [`crate::ChaosModel`] and forwarded whole down the tree;
+    /// each worker applies only the faults naming its own node.
+    pub chaos: Vec<ChaosDirective>,
 }
 
 /// Per-shard observation, reported up the tree: how long the subquery took
 /// as measured by the shard's *parent* (wall clock, including transport
 /// and queueing), the time the request spent queued in worker processes,
-/// whether the primary had to be failed over, and whether the shard's
-/// contribution was served from a worker's result cache (its own, or a
-/// merge server's above it) without reaching the shard.
+/// whether the shard's answer came from the replica (`failover`), whether
+/// the replica was raced because the primary outlasted the hedge delay
+/// (`hedged`), and whether the shard's contribution was served from a
+/// worker's result cache (its own, or a merge server's above it) without
+/// reaching the shard.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardReport {
     pub shard: u64,
     pub latency: Duration,
     pub queue: Duration,
     pub failover: bool,
+    pub hedged: bool,
     pub cache_hit: bool,
 }
 
@@ -422,6 +477,11 @@ pub enum Response {
     /// is treated like a timeout — the caller re-encodes fresh bytes for
     /// the replica.
     Malformed(String),
+    /// Typed RPC failure: the worker is alive but could not serve the
+    /// query for a *transport/robustness* reason (budget spent in its
+    /// queue, a child gone, ...). Unlike [`Response::Err`] these are
+    /// failover candidates — the other replica may still answer in time.
+    Fault(RpcError),
 }
 
 // --- message codecs --------------------------------------------------------
@@ -447,6 +507,7 @@ impl Encode for Request {
                 load.cache_budget.encode(out);
                 load.cache_entries.encode(out);
                 load.epoch.encode(out);
+                load.name.encode(out);
             }
             Request::Attach(attach) => {
                 out.push(REQ_ATTACH);
@@ -454,13 +515,16 @@ impl Encode for Request {
                 attach.compress.encode(out);
                 attach.cache_entries.encode(out);
                 attach.epoch.encode(out);
+                attach.name.encode(out);
             }
             Request::Query(query) => {
                 out.push(REQ_QUERY);
                 query.query.encode(out);
-                query.deadline.encode(out);
+                query.budget.encode(out);
+                query.hedge_micros.encode(out);
                 query.killed.encode(out);
                 query.epoch.encode(out);
+                query.chaos.encode(out);
             }
             Request::Delay { micros } => {
                 out.push(REQ_DELAY);
@@ -484,18 +548,22 @@ impl Decode for Request {
                 cache_budget: r.u64()?,
                 cache_entries: r.u64()?,
                 epoch: r.u64()?,
+                name: String::decode(r)?,
             })),
             REQ_ATTACH => Request::Attach(AttachRequest {
                 children: Vec::decode(r)?,
                 compress: bool::decode(r)?,
                 cache_entries: r.u64()?,
                 epoch: r.u64()?,
+                name: String::decode(r)?,
             }),
             REQ_QUERY => Request::Query(Box::new(QueryRequest {
                 query: AnalyzedQuery::decode(r)?,
-                deadline: Duration::decode(r)?,
+                budget: Duration::decode(r)?,
+                hedge_micros: r.u64()?,
                 killed: Vec::decode(r)?,
                 epoch: r.u64()?,
+                chaos: Vec::decode(r)?,
             })),
             REQ_DELAY => Request::Delay { micros: r.u64()? },
             REQ_SHUTDOWN => Request::Shutdown,
@@ -547,6 +615,7 @@ impl Encode for ShardReport {
         self.latency.encode(out);
         self.queue.encode(out);
         self.failover.encode(out);
+        self.hedged.encode(out);
         self.cache_hit.encode(out);
     }
 }
@@ -558,6 +627,7 @@ impl Decode for ShardReport {
             latency: Duration::decode(r)?,
             queue: Duration::decode(r)?,
             failover: bool::decode(r)?,
+            hedged: bool::decode(r)?,
             cache_hit: bool::decode(r)?,
         })
     }
@@ -586,6 +656,7 @@ const RESP_ANSWER: u8 = 1;
 const RESP_ERR: u8 = 2;
 const RESP_MALFORMED: u8 = 3;
 const RESP_LOADED: u8 = 4;
+const RESP_FAULT: u8 = 5;
 
 impl Encode for Response {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -607,6 +678,10 @@ impl Encode for Response {
                 out.push(RESP_MALFORMED);
                 message.encode(out);
             }
+            Response::Fault(fault) => {
+                out.push(RESP_FAULT);
+                fault.encode(out);
+            }
         }
     }
 }
@@ -619,6 +694,7 @@ impl Decode for Response {
             RESP_ANSWER => Response::Answer(Box::new(SubtreeAnswer::decode(r)?)),
             RESP_ERR => Response::Err(String::decode(r)?),
             RESP_MALFORMED => Response::Malformed(String::decode(r)?),
+            RESP_FAULT => Response::Fault(RpcError::decode(r)?),
             other => return Err(Error::Data(format!("wire: invalid response tag {other}"))),
         })
     }
@@ -726,11 +802,28 @@ pub fn read_frame<T: Decode>(stream: &mut impl Read) -> Result<Option<T>> {
     Ok(read_frame_negotiated(stream)?.map(|(message, _)| message))
 }
 
-/// The time left until `deadline`, or a deadline-expired error.
+/// Classify an I/O failure into the [`RpcError`] taxonomy so retry and
+/// hedge policy can dispatch on the variant.
+fn io_fault(context: &str, e: &std::io::Error) -> RpcError {
+    use std::io::ErrorKind;
+    match e.kind() {
+        // `NotFound` is a unix socket whose path is not (yet) bound — the
+        // filesystem spelling of a refused connect.
+        ErrorKind::ConnectionRefused | ErrorKind::NotFound => {
+            RpcError::ConnRefused(format!("{context}: {e}"))
+        }
+        ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+            RpcError::Deadline(format!("{context}: {e}"))
+        }
+        _ => RpcError::PeerGone(format!("{context}: {e}")),
+    }
+}
+
+/// The time left until `deadline`, or a typed deadline-expired error.
 fn budget_left(deadline: Instant) -> Result<Duration> {
     let left = deadline.saturating_duration_since(Instant::now());
     if left.is_zero() {
-        return Err(Error::Data("rpc: deadline expired".into()));
+        return Err(Error::Rpc(RpcError::Deadline("rpc: call budget expired".into())));
     }
     Ok(left)
 }
@@ -744,30 +837,76 @@ fn read_exact_deadline(stream: &mut Stream, buf: &mut [u8], deadline: Instant) -
     while filled < buf.len() {
         stream.set_read_timeout(Some(budget_left(deadline)?))?;
         match stream.read(&mut buf[filled..]) {
-            Ok(0) => return Err(Error::Data("rpc: peer closed the connection mid-frame".into())),
+            Ok(0) => {
+                return Err(Error::Rpc(RpcError::PeerGone(
+                    "rpc: peer closed the connection mid-frame".into(),
+                )))
+            }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(e.into()),
+            Err(e) => return Err(Error::Rpc(io_fault("rpc read", &e))),
         }
     }
     Ok(())
 }
 
 /// Read one response frame, enforcing `deadline` absolutely across the
-/// header read, the payload read and every syscall in between.
+/// header read, the payload read and every syscall in between. Decode
+/// failures (version mismatch aside, which is already typed) surface as
+/// typed [`RpcError::Decode`] — torn bytes on the wire, not app errors.
 fn read_frame_deadline<T: Decode>(stream: &mut Stream, deadline: Instant) -> Result<T> {
+    let typed_decode = |e: Error| match e {
+        Error::Rpc(f) => Error::Rpc(f),
+        other => Error::Rpc(RpcError::Decode(other.to_string())),
+    };
     let mut header_bytes = [0u8; FrameHeader::BYTES];
     read_exact_deadline(stream, &mut header_bytes, deadline)?;
-    let header = FrameHeader::parse(header_bytes)?;
+    let header = FrameHeader::parse(header_bytes).map_err(typed_decode)?;
     if header.len > MAX_FRAME_BYTES {
-        return Err(Error::Data(format!("rpc: corrupt frame length {}", header.len)));
+        return Err(Error::Rpc(RpcError::Decode(format!(
+            "rpc: corrupt frame length {}",
+            header.len
+        ))));
     }
     let mut body = vec![0u8; header.len as usize];
     read_exact_deadline(stream, &mut body, deadline)?;
-    decode_body(header.flags, &body)
+    decode_body(header.flags, &body).map_err(typed_decode)
 }
 
 // --- client ----------------------------------------------------------------
+
+/// Exponential backoff with seeded full jitter: sleep somewhere in
+/// `[backoff/2, backoff]`, never past `left`, then double toward the cap.
+/// Shared by connect retries and announce-file polling — the fix for the
+/// old fixed-2ms busy loops.
+pub(crate) fn backoff_sleep(backoff: &mut Duration, cap: Duration, left: Duration, rng: &mut Rng) {
+    let micros = backoff.as_micros() as u64;
+    let jittered = Duration::from_micros(rng.range_u64(micros / 2, micros + 1));
+    std::thread::sleep(jittered.min(left));
+    *backoff = (*backoff * 2).min(cap);
+}
+
+/// Largest backoff step between connect / announce retries.
+pub(crate) const BACKOFF_CAP: Duration = Duration::from_millis(50);
+
+/// A handle that cancels one in-flight call from *outside* the thread
+/// blocked on it: the hedge race hands the loser's token to the winner's
+/// side, which shuts the loser's socket down so its thread unblocks
+/// immediately instead of waiting out the budget.
+#[derive(Clone)]
+pub struct CancelToken {
+    slot: Arc<pd_common::sync::Mutex<Option<Stream>>>,
+}
+
+impl CancelToken {
+    /// Shut down the connection this token watches (no-op when the client
+    /// is not connected — a cancelled connect simply never sends).
+    pub fn cancel(&self) {
+        if let Some(stream) = self.slot.lock().take() {
+            let _ = stream.shutdown();
+        }
+    }
+}
 
 /// One parent→child connection, reconnecting on demand. Calls are strictly
 /// request/response; a timed-out call poisons the connection (a late
@@ -779,45 +918,82 @@ pub struct RpcClient {
     /// Negotiated mode: compress outgoing payloads and advertise that
     /// compressed replies are welcome.
     compress: bool,
+    /// A second handle on the live stream, shared with [`CancelToken`]s.
+    cancel_slot: Arc<pd_common::sync::Mutex<Option<Stream>>>,
+    /// Seeded jitter for connect backoff — keyed off the address so two
+    /// clients hammering the same crashed worker desynchronize, while a
+    /// given tree's retry schedule stays reproducible.
+    jitter: Rng,
 }
 
 impl RpcClient {
     pub fn new(addr: Addr, compress: bool) -> RpcClient {
-        RpcClient { addr, stream: None, compress }
+        let jitter = Rng::seed_from_u64(fx_hash64(&addr.to_string()));
+        RpcClient {
+            addr,
+            stream: None,
+            compress,
+            cancel_slot: Arc::new(pd_common::sync::Mutex::new(None)),
+            jitter,
+        }
     }
 
     pub fn addr(&self) -> &Addr {
         &self.addr
     }
 
-    /// Connect, retrying until `timeout` — workers need a moment between
-    /// `spawn` and `bind`.
+    /// A token that can cancel this client's in-flight call from another
+    /// thread. Valid across reconnects: the slot tracks the live stream.
+    pub fn cancel_token(&self) -> CancelToken {
+        CancelToken { slot: Arc::clone(&self.cancel_slot) }
+    }
+
+    fn adopt(&mut self, stream: Stream) {
+        *self.cancel_slot.lock() = stream.try_clone().ok();
+        self.stream = Some(stream);
+    }
+
+    fn drop_stream(&mut self) {
+        self.stream = None;
+        self.cancel_slot.lock().take();
+    }
+
+    /// Connect, retrying with jittered exponential backoff until `timeout`
+    /// — workers need a moment between `spawn` and `bind`.
     pub fn connect_with_retry(&mut self, timeout: Duration) -> Result<()> {
-        let started = Instant::now();
+        let deadline = Instant::now() + timeout;
+        let mut backoff = Duration::from_millis(1);
         loop {
             match self.addr.connect() {
                 Ok(stream) => {
-                    self.stream = Some(stream);
+                    self.adopt(stream);
                     return Ok(());
                 }
-                Err(e) if started.elapsed() >= timeout => {
-                    return Err(Error::Data(format!(
-                        "rpc: worker at {} not reachable after {timeout:?}: {e}",
-                        self.addr
-                    )));
+                Err(e) => {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(Error::Rpc(io_fault(
+                            &format!(
+                                "rpc: worker at {} not reachable after {timeout:?}",
+                                self.addr
+                            ),
+                            &e,
+                        )));
+                    }
+                    backoff_sleep(&mut backoff, BACKOFF_CAP, left, &mut self.jitter);
                 }
-                Err(_) => std::thread::sleep(Duration::from_millis(2)),
             }
         }
     }
 
     /// Send `request`, wait up to `timeout` for the response. Any failure
     /// (connect, send, deadline expiry, corrupt frame) drops the
-    /// connection and surfaces as `Err` — the caller's failover decision.
+    /// connection and surfaces as a typed `Err` — the caller's failover
+    /// decision dispatches on the [`RpcError`] variant.
     pub fn call(&mut self, request: &Request, timeout: Duration) -> Result<Response> {
         let result = self.call_inner(request, timeout);
         if result.is_err() {
-            self.stream = None;
+            self.drop_stream();
         }
         result
     }
@@ -829,16 +1005,42 @@ impl RpcClient {
         // stalled *or trickling* worker expires on time either way.
         let deadline = Instant::now() + timeout.max(Duration::from_millis(1));
         if self.stream.is_none() {
-            let stream = self
-                .addr
-                .connect()
-                .map_err(|e| Error::Data(format!("rpc: connect to {} failed: {e}", self.addr)))?;
-            self.stream = Some(stream);
+            self.connect_by(deadline)?;
         }
         let stream = self.stream.as_mut().expect("connected above");
         stream.set_write_timeout(Some(budget_left(deadline)?))?;
         write_frame(stream, request, self.compress)?;
         read_frame_deadline::<Response>(stream, deadline)
+    }
+
+    /// Connect within the call deadline. Only a refused connect is
+    /// retried (the peer may be restarting), and only a *bounded* number
+    /// of times — a crashed worker must fail over in milliseconds, not
+    /// block its hedge race for the rest of the budget (connects cannot
+    /// be interrupted by a [`CancelToken`]).
+    fn connect_by(&mut self, deadline: Instant) -> Result<()> {
+        const MAX_CONNECT_ATTEMPTS: u32 = 5;
+        let mut backoff = Duration::from_millis(1);
+        for attempt in 1.. {
+            match self.addr.connect() {
+                Ok(stream) => {
+                    self.adopt(stream);
+                    return Ok(());
+                }
+                Err(e) => {
+                    let fault = io_fault(&format!("rpc: connect to {}", self.addr), &e);
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if !fault.retryable_connect()
+                        || left.is_zero()
+                        || attempt >= MAX_CONNECT_ATTEMPTS
+                    {
+                        return Err(Error::Rpc(fault));
+                    }
+                    backoff_sleep(&mut backoff, BACKOFF_CAP, left, &mut self.jitter);
+                }
+            }
+        }
+        unreachable!("the retry loop returns on success or at MAX_CONNECT_ATTEMPTS")
     }
 }
 
@@ -867,18 +1069,6 @@ impl ChildHandle {
         }
     }
 
-    /// The worst-case time a well-behaved answer from this child can take:
-    /// a leaf answers within one deadline; a merge server may wait out a
-    /// leaf deadline *and* the replica retry at every level below it.
-    fn timeout(&self, deadline: Duration) -> Duration {
-        match &self.spec {
-            ChildSpec::Leaf { .. } => deadline,
-            ChildSpec::Node { height, .. } => {
-                deadline * 2u32.saturating_mul(*height as u32).max(2) + Duration::from_secs(1)
-            }
-        }
-    }
-
     /// The restriction pre-skip: when the shard metadata beneath this
     /// child proves no row can match, synthesize the empty answer locally
     /// — full skip accounting, one `subtrees_pruned` for the edge that
@@ -897,6 +1087,7 @@ impl ChildHandle {
                 latency: Duration::ZERO,
                 queue: Duration::ZERO,
                 failover: false,
+                hedged: false,
                 cache_hit: false,
             });
         }
@@ -904,12 +1095,14 @@ impl ChildHandle {
     }
 
     /// Query this child, applying the §4 failover rule at leaves: a killed
-    /// or unresponsive primary is replaced by its replica; without a
-    /// replica the failure is fatal for the query. An *application* error
-    /// from a live worker (a `Response::Err`) propagates instead — the
-    /// worker answered, so a deterministic error would only repeat on the
-    /// replica. The report's latency is *measured* — the parent's wall
-    /// clock around the call, transport and failover included.
+    /// or unresponsive primary is replaced by its replica — raced in
+    /// parallel after the hedge delay, first answer wins. Without a
+    /// replica any transport failure is fatal for the query. An
+    /// *application* error from a live worker (a `Response::Err`)
+    /// propagates instead — the worker answered, so a deterministic error
+    /// would only repeat on the replica. The report's latency is
+    /// *measured* — the parent's wall clock around the call, transport
+    /// and hedging included.
     fn query(&self, request: &QueryRequest) -> Result<SubtreeAnswer> {
         // The prune precedes the kill/failover logic deliberately,
         // mirroring the shard-cache precedent: an answer that never needs
@@ -924,10 +1117,13 @@ impl ChildHandle {
         }
         let started = Instant::now();
         let message = Request::Query(Box::new(request.clone()));
-        let timeout = self.timeout(request.deadline);
+        let budget = request.budget;
         match &self.spec {
             ChildSpec::Node { addr, .. } => {
-                match unpack(self.primary.lock().call(&message, timeout)?)? {
+                // A merge server inherits the whole remaining budget — it
+                // decrements and forwards it, so no height scaling is
+                // needed: the budget *is* the end-to-end clock.
+                match unpack(self.primary.lock().call(&message, budget)?)? {
                     Some(answer) => Ok(answer),
                     None => Err(Error::Data(format!("rpc: merge server {addr} sent no answer"))),
                 }
@@ -935,50 +1131,194 @@ impl ChildHandle {
             ChildSpec::Leaf { shard, .. } => {
                 let shard = *shard;
                 let killed = request.killed.contains(&shard);
-                // FailureModel kill: the primary is never contacted;
-                // transport failure (deadline expiry, dead socket, a
-                // frame the worker could not decode): the primary answer
-                // never arrives. All land in `None` — the replica gets a
-                // freshly encoded request.
-                let primary_answer = if killed {
-                    None
-                } else {
-                    match self.primary.lock().call(&message, timeout) {
-                        Ok(Response::Malformed(_)) | Err(_) => None,
-                        Ok(response) => Some(unpack(response)?),
+                let hedged = AtomicBool::new(false);
+                let outcome = match (&self.replica, killed) {
+                    // FailureModel kill without a replica: rejected at
+                    // the root already, but guard the direct path too.
+                    (None, true) => Err(no_replica_fail(
+                        shard,
+                        Error::Rpc(RpcError::PeerGone("primary killed mid-query".into())),
+                    )),
+                    (None, false) => match classify(self.primary.lock().call(&message, budget)) {
+                        LeafOutcome::Answer(answer) => Ok((answer, false)),
+                        LeafOutcome::Fatal(e) => Err(e),
+                        LeafOutcome::Failed(e) => Err(no_replica_fail(shard, e)),
+                    },
+                    // A killed primary is simply never contacted — the
+                    // replica serves alone, same as a lost race.
+                    (Some(replica), true) => {
+                        match classify(replica.lock().call(&message, budget)) {
+                            LeafOutcome::Answer(answer) => Ok((answer, true)),
+                            LeafOutcome::Fatal(e) => Err(e),
+                            LeafOutcome::Failed(e) => Err(both_failed(
+                                shard,
+                                Error::Rpc(RpcError::PeerGone("primary killed mid-query".into())),
+                                e,
+                            )),
+                        }
                     }
-                };
-                let (mut answer, failover) = match primary_answer {
-                    Some(Some(answer)) => (answer, false),
-                    Some(None) => {
-                        return Err(Error::Data(format!("shard {shard}: primary sent no answer")))
-                    }
-                    None => {
-                        let Some(replica) = &self.replica else {
-                            return Err(Error::Data(format!(
-                                "shard {shard}: primary replica failed mid-query \
-                                 ({}) and replication is disabled",
-                                if killed { "killed" } else { "deadline expired" }
-                            )));
-                        };
-                        match unpack(replica.lock().call(&message, timeout)?)? {
-                            Some(answer) => (answer, true),
-                            None => {
-                                return Err(Error::Data(format!(
-                                    "shard {shard}: replica sent no answer"
-                                )))
+                    // Hedging disabled: the old sequential failover, with
+                    // the replica living on whatever budget remains.
+                    (Some(replica), false) if request.hedge_micros == 0 => {
+                        match classify(self.primary.lock().call(&message, budget)) {
+                            LeafOutcome::Answer(answer) => Ok((answer, false)),
+                            LeafOutcome::Fatal(e) => Err(e),
+                            LeafOutcome::Failed(pe) => {
+                                let left = budget.saturating_sub(started.elapsed());
+                                match classify(replica.lock().call(&message, left)) {
+                                    LeafOutcome::Answer(answer) => Ok((answer, true)),
+                                    LeafOutcome::Fatal(e) => Err(e),
+                                    LeafOutcome::Failed(re) => Err(both_failed(shard, pe, re)),
+                                }
                             }
                         }
                     }
+                    (Some(replica), false) => self.race(replica, &message, request, &hedged, shard),
                 };
+                let (mut answer, failover) = outcome?;
                 let elapsed = started.elapsed();
+                let hedged = hedged.load(Ordering::Relaxed);
                 for report in &mut answer.reports {
                     report.latency = elapsed;
                     report.failover = failover;
+                    report.hedged = hedged;
                 }
                 Ok(answer)
             }
         }
+    }
+
+    /// The hedged replica race. The primary is asked immediately; if it
+    /// has neither answered nor failed within the hedge delay, the
+    /// replica is launched *in parallel* and the first answer wins — the
+    /// loser's socket is shut down so its thread unblocks right away. A
+    /// primary that fails *fast* (refused connect, reset) skips the wait
+    /// and fails over immediately; one that fails *slow* loses the race
+    /// it is already in. Returns `(answer, answered_by_replica)`.
+    fn race(
+        &self,
+        replica: &pd_common::sync::Mutex<RpcClient>,
+        message: &Request,
+        request: &QueryRequest,
+        hedged: &AtomicBool,
+        shard: u64,
+    ) -> Result<(SubtreeAnswer, bool)> {
+        let budget = request.budget;
+        let hedge = Duration::from_micros(request.hedge_micros);
+        let primary_token = self.primary.lock().cancel_token();
+        let replica_token = replica.lock().cancel_token();
+        let (outcome_tx, outcome_rx) = mpsc::channel::<(bool, LeafOutcome)>();
+        let (primary_done_tx, primary_done_rx) = mpsc::channel::<bool>();
+        std::thread::scope(|scope| {
+            let primary_tx = outcome_tx.clone();
+            scope.spawn(move || {
+                let outcome = classify(self.primary.lock().call(message, budget));
+                let answered = matches!(outcome, LeafOutcome::Answer(_));
+                let _ = primary_done_tx.send(answered);
+                let _ = primary_tx.send((false, outcome));
+            });
+            let replica_tx = outcome_tx;
+            scope.spawn(move || {
+                match primary_done_rx.recv_timeout(hedge) {
+                    // The primary answered inside the hedge window — the
+                    // common, healthy case: no replica call at all.
+                    Ok(true) => return,
+                    // The primary failed fast: immediate failover, not a
+                    // hedge (the race was never close).
+                    Ok(false) | Err(mpsc::RecvTimeoutError::Disconnected) => {}
+                    // Hedge fires: the primary is still out there.
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        hedged.store(true, Ordering::Relaxed);
+                    }
+                }
+                let outcome = classify(replica.lock().call(message, budget));
+                let _ = replica_tx.send((true, outcome));
+            });
+            let mut failures: Vec<(bool, Error)> = Vec::new();
+            while let Ok((is_replica, outcome)) = outcome_rx.recv() {
+                match outcome {
+                    LeafOutcome::Answer(answer) => {
+                        // First answer wins; unblock the loser now.
+                        if is_replica {
+                            primary_token.cancel();
+                        } else {
+                            replica_token.cancel();
+                        }
+                        return Ok((answer, is_replica));
+                    }
+                    LeafOutcome::Fatal(e) => {
+                        primary_token.cancel();
+                        replica_token.cancel();
+                        return Err(e);
+                    }
+                    LeafOutcome::Failed(e) => failures.push((is_replica, e)),
+                }
+            }
+            // Both copies sent a Failed (the channel closed with no
+            // Answer): combine, preferring the primary's typed variant.
+            let primary_err = failures
+                .iter()
+                .position(|(is_replica, _)| !is_replica)
+                .map(|i| failures.remove(i).1)
+                .unwrap_or_else(|| Error::Rpc(RpcError::PeerGone("primary never ran".into())));
+            let replica_err = failures
+                .pop()
+                .map(|(_, e)| e)
+                .unwrap_or_else(|| Error::Rpc(RpcError::PeerGone("replica never ran".into())));
+            Err(both_failed(shard, primary_err, replica_err))
+        })
+    }
+}
+
+/// How a leaf reply steers the race: an answer wins; a *transport*
+/// failure (typed fault, torn frame, dead socket) lets the other copy
+/// win; a deterministic application error aborts the race — the replica
+/// would only repeat it.
+enum LeafOutcome {
+    Answer(SubtreeAnswer),
+    Failed(Error),
+    Fatal(Error),
+}
+
+fn classify(result: Result<Response>) -> LeafOutcome {
+    match result {
+        Ok(Response::Answer(answer)) => LeafOutcome::Answer(*answer),
+        Ok(Response::Err(message)) => LeafOutcome::Fatal(Error::Data(message)),
+        Ok(Response::Malformed(message)) => LeafOutcome::Failed(Error::Rpc(RpcError::Decode(
+            format!("peer rejected the request frame: {message}"),
+        ))),
+        Ok(Response::Fault(fault)) => LeafOutcome::Failed(Error::Rpc(fault)),
+        Ok(Response::Ok | Response::Loaded(_)) => {
+            LeafOutcome::Fatal(Error::Data("leaf acked a query without an answer".into()))
+        }
+        Err(e) => LeafOutcome::Failed(e),
+    }
+}
+
+/// A shard with no replica lost its only copy: fatal, with the message
+/// carrying the shard id and the replication note the driver and tests
+/// key on, and the typed variant of the underlying fault preserved.
+fn no_replica_fail(shard: u64, e: Error) -> Error {
+    let message = format!("shard {shard}: primary failed ({e}) and replication is disabled");
+    retag(e, message)
+}
+
+/// Both copies of a shard failed: fatal, preferring the primary's typed
+/// variant (the replica usually just repeats the budget expiry).
+fn both_failed(shard: u64, primary: Error, replica: Error) -> Error {
+    let message = format!(
+        "shard {shard}: primary and replica both failed (primary: {primary}; replica: {replica})"
+    );
+    retag(primary, message)
+}
+
+/// Rewrap `message` in `e`'s typed variant when it has one.
+fn retag(e: Error, message: String) -> Error {
+    match e {
+        Error::Rpc(f) => Error::Rpc(
+            RpcError::from_tag(f.tag(), message).expect("an existing variant's tag round-trips"),
+        ),
+        _ => Error::Data(message),
     }
 }
 
@@ -989,6 +1329,7 @@ fn unpack(response: Response) -> Result<Option<SubtreeAnswer>> {
     match response {
         Response::Answer(answer) => Ok(Some(*answer)),
         Response::Err(message) => Err(Error::Data(message)),
+        Response::Fault(fault) => Err(Error::Rpc(fault)),
         Response::Malformed(message) => {
             Err(Error::Data(format!("rpc: peer rejected the request frame: {message}")))
         }
@@ -1048,6 +1389,7 @@ mod tests {
                 cache_budget: 1 << 20,
                 cache_entries: 64,
                 epoch: 3,
+                name: "l3p".into(),
             })),
             Request::Attach(AttachRequest {
                 children: vec![
@@ -1066,12 +1408,24 @@ mod tests {
                 compress: true,
                 cache_entries: 32,
                 epoch: 7,
+                name: "m1_0".into(),
             }),
             Request::Query(Box::new(QueryRequest {
                 query: analyzed("SELECT COUNT(*) FROM t WHERE k IN ('a','b')"),
-                deadline: Duration::from_millis(250),
+                budget: Duration::from_millis(250),
+                hedge_micros: 1500,
                 killed: vec![1, 3],
                 epoch: 7,
+                chaos: vec![
+                    crate::chaos::ChaosDirective {
+                        node: "l1p".into(),
+                        fault: crate::chaos::ChaosFault::Reset,
+                    },
+                    crate::chaos::ChaosDirective {
+                        node: "m1_0".into(),
+                        fault: crate::chaos::ChaosFault::Delay(Duration::from_millis(3)),
+                    },
+                ],
             })),
             Request::Delay { micros: 5000 },
             Request::Shutdown,
@@ -1092,6 +1446,7 @@ mod tests {
                 latency: Duration::from_micros(77),
                 queue: Duration::from_micros(3),
                 failover: true,
+                hedged: true,
                 cache_hit: true,
             }],
         };
@@ -1101,6 +1456,8 @@ mod tests {
             Response::Answer(Box::new(answer)),
             Response::Err("boom".into()),
             Response::Malformed("bad frame".into()),
+            Response::Fault(RpcError::Deadline("budget spent in queue".into())),
+            Response::Fault(RpcError::Overloaded("shed".into())),
         ] {
             let back: Response = wire::from_bytes(&wire::to_bytes(&response)).unwrap();
             assert_eq!(back, response);
@@ -1167,6 +1524,7 @@ mod tests {
             cache_budget: 1 << 20,
             cache_entries: 0,
             epoch: 1,
+            name: "l0p".into(),
         }));
         let raw = encode_frame(&request, false).unwrap();
         let compressed = encode_frame(&request, true).unwrap();
@@ -1210,9 +1568,11 @@ mod tests {
         );
         let request = QueryRequest {
             query: analyzed("SELECT COUNT(*) FROM t WHERE k = 'absent'"),
-            deadline: Duration::from_millis(50),
+            budget: Duration::from_millis(50),
+            hedge_micros: 0,
             killed: Vec::new(),
             epoch: 1,
+            chaos: Vec::new(),
         };
         let answer = fan_out(std::slice::from_ref(&handle), &request).unwrap();
         assert_eq!(answer.stats.subtrees_pruned, 1);
@@ -1225,10 +1585,18 @@ mod tests {
         // fail, because nothing listens there.
         let request = QueryRequest {
             query: analyzed("SELECT COUNT(*) FROM t WHERE k = 'x'"),
-            deadline: Duration::from_millis(50),
+            budget: Duration::from_millis(50),
+            hedge_micros: 0,
             killed: Vec::new(),
             epoch: 1,
+            chaos: Vec::new(),
         };
-        assert!(handle.query(&request).is_err());
+        let err = handle.query(&request).unwrap_err();
+        assert!(
+            matches!(err, Error::Rpc(RpcError::ConnRefused(_))),
+            "a dead-address leaf with no replica fails typed: {err}"
+        );
+        assert!(err.to_string().contains("shard 3"), "{err}");
+        assert!(err.to_string().contains("replication is disabled"), "{err}");
     }
 }

@@ -169,6 +169,7 @@ impl CachedSubtree {
                     latency: Duration::ZERO,
                     queue: queued,
                     failover: false,
+                    hedged: false,
                     cache_hit: true,
                 })
                 .collect(),
@@ -306,6 +307,7 @@ mod tests {
                     latency: Duration::from_micros(50),
                     queue: Duration::from_micros(9),
                     failover: true,
+                    hedged: true,
                     cache_hit: false,
                 },
                 ShardReport {
@@ -313,6 +315,7 @@ mod tests {
                     latency: Duration::from_micros(70),
                     queue: Duration::ZERO,
                     failover: false,
+                    hedged: false,
                     cache_hit: false,
                 },
             ],

@@ -51,15 +51,17 @@
 //! and it never inflates the measured queue delay of unrelated requests
 //! behind it.
 
+use crate::chaos::ChaosFault;
 use crate::meta::ShardMeta;
 use crate::rpc::{
-    fan_out, read_frame_negotiated, write_frame, Addr, ChildHandle, Listener, LoadRequest,
-    QueryRequest, Request, Response, ShardReport, Stream, SubtreeAnswer,
+    encode_frame, fan_out, read_frame_negotiated, write_frame, Addr, ChildHandle, Listener,
+    LoadRequest, QueryRequest, Request, Response, ShardReport, Stream, SubtreeAnswer,
 };
 use crate::shard_cache::{query_signature, CachedSubtree, WorkerCache};
-use pd_common::{Error, Result};
+use pd_common::{Error, Result, RpcError};
 use pd_core::{execute_partial, CachePolicy, DataStore, ExecContext, ResultCache, TieredCache};
 use pd_data::Table;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -124,6 +126,9 @@ struct Role {
     /// Rebuild epoch of the data this node serves; a query from a
     /// different epoch drops the cache (its partials describe old data).
     epoch: u64,
+    /// This node's tree-wide name (`l0p`, `m1_0`, ...), assigned with the
+    /// role — the key chaos directives are matched against.
+    name: String,
     /// Test knob: artificial delay before query answers reach the wire.
     delay: Duration,
 }
@@ -136,9 +141,27 @@ impl Role {
     }
 }
 
+/// How a response should reach the wire: after `lag` sleep (the `Delay`
+/// knob plus any chaos delay), and — under chaos — sabotaged instead of
+/// sent whole.
+#[derive(Default)]
+struct ReplyMode {
+    lag: Duration,
+    fault: Option<WireFault>,
+}
+
+/// Chaos sabotage applied by the *connection* thread, after execution:
+/// the executor stays correct, only this query's bytes are wrecked.
+enum WireFault {
+    /// Close the connection without replying.
+    Reset,
+    /// Write half the reply frame, then close.
+    Torn,
+}
+
 struct Work {
     request: Request,
-    reply: mpsc::Sender<(Response, Duration)>,
+    reply: mpsc::Sender<(Response, ReplyMode)>,
     enqueued: Instant,
 }
 
@@ -180,10 +203,20 @@ pub fn serve(addr: &Addr, announce: Option<&Path>) -> Result<()> {
             for work in requests {
                 let queued = work.enqueued.elapsed();
                 let is_query = matches!(work.request, Request::Query(_));
-                let response = handle(&mut role, work.request, queued)
-                    .unwrap_or_else(|e| Response::Err(e.to_string()));
-                let lag = if is_query { role.delay } else { Duration::ZERO };
-                let _ = work.reply.send((response, lag));
+                let mut mode = ReplyMode::default();
+                let response = handle(&mut role, work.request, queued, &mut mode).unwrap_or_else(
+                    |e| match e {
+                        // Typed robustness failures cross the wire as
+                        // `Fault` so the parent's policy can dispatch on
+                        // the variant; anything else is an app error.
+                        Error::Rpc(fault) => Response::Fault(fault),
+                        e => Response::Err(e.to_string()),
+                    },
+                );
+                if is_query {
+                    mode.lag += role.delay;
+                }
+                let _ = work.reply.send((response, mode));
             }
         })
         .map_err(|e| Error::Data(format!("spawn executor: {e}")))?;
@@ -232,17 +265,33 @@ fn connection_loop(mut stream: Stream, queue: mpsc::Sender<Work>) {
                 if queue.send(Work { request, reply, enqueued: Instant::now() }).is_err() {
                     return; // executor gone; process is doomed anyway
                 }
-                let Ok((response, lag)) = response.recv() else { return };
-                if !lag.is_zero() {
-                    // The Delay test knob: this query's answer is late
-                    // from the caller's point of view (the deadline-expiry
-                    // suite's "slow worker"), but the executor is already
-                    // free — the sleep is this connection's alone.
-                    std::thread::sleep(lag);
+                let Ok((response, mode)) = response.recv() else { return };
+                if !mode.lag.is_zero() {
+                    // The Delay test knob (plus chaos delays): this
+                    // query's answer is late from the caller's point of
+                    // view (the budget-expiry suite's "slow worker"), but
+                    // the executor is already free — the sleep is this
+                    // connection's alone.
+                    std::thread::sleep(mode.lag);
+                }
+                match mode.fault {
+                    // Chaos reset: vanish without a reply — the parent
+                    // sees the connection die mid-conversation.
+                    Some(WireFault::Reset) => return,
+                    // Chaos torn frame: half the real reply, then gone —
+                    // the parent's decode sees truncated bytes.
+                    Some(WireFault::Torn) => {
+                        if let Ok(frame) = encode_frame(&response, compress_reply) {
+                            let _ = stream.write_all(&frame[..frame.len() / 2]);
+                            let _ = stream.flush();
+                        }
+                        return;
+                    }
+                    None => {}
                 }
                 if write_frame(&mut stream, &response, compress_reply).is_err() {
-                    // Peer gave up (deadline expiry): drop the connection;
-                    // the answer is stale by definition.
+                    // Peer gave up (budget expiry or a hedge loss): drop
+                    // the connection; the answer is stale by definition.
                     return;
                 }
             }
@@ -250,10 +299,16 @@ fn connection_loop(mut stream: Stream, queue: mpsc::Sender<Work>) {
     }
 }
 
-fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Response> {
+fn handle(
+    role: &mut Role,
+    request: Request,
+    queued: Duration,
+    mode: &mut ReplyMode,
+) -> Result<Response> {
     match request {
         Request::Load(load) => {
             let (cache_entries, epoch) = (load.cache_entries, load.epoch);
+            role.name = load.name.clone();
             let (leaf, meta) = build_leaf(*load)?;
             role.leaf = Some(leaf);
             // A role assignment is total: a worker repurposed from merge
@@ -266,6 +321,7 @@ fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Respons
         }
         Request::Attach(attach) => {
             let compress = attach.compress;
+            role.name = attach.name;
             role.children =
                 Some(attach.children.into_iter().map(|c| ChildHandle::new(c, compress)).collect());
             // Same totality the other way: the old leaf store would shadow
@@ -278,7 +334,31 @@ fn handle(role: &mut Role, request: Request, queued: Duration) -> Result<Respons
             role.delay = Duration::from_micros(micros);
             Ok(Response::Ok)
         }
-        Request::Query(query) => {
+        Request::Query(mut query) => {
+            // Chaos first: injected faults must hit cache hits and budget
+            // expiries too — the sabotage is the wire's, not the plan's.
+            for directive in &query.chaos {
+                if directive.node == role.name {
+                    match directive.fault {
+                        // A mid-query crash: no reply byte ever leaves.
+                        ChaosFault::Kill => std::process::exit(9),
+                        ChaosFault::Delay(d) => mode.lag += d,
+                        ChaosFault::Reset => mode.fault = Some(WireFault::Reset),
+                        ChaosFault::Torn => mode.fault = Some(WireFault::Torn),
+                    }
+                }
+            }
+            // Decrement the budget by the time this request sat in our
+            // queue. Spent budgets fail typed and *immediately* — children
+            // are never asked to run a query nobody is waiting for.
+            let budget = query.budget.saturating_sub(queued);
+            if budget.is_zero() {
+                return Err(Error::Rpc(RpcError::Deadline(format!(
+                    "{}: budget spent after {queued:?} queued",
+                    role.name
+                ))));
+            }
+            query.budget = budget;
             if query.epoch != role.epoch {
                 // The driver rebuilt the data since this node's cache was
                 // filled: every cached partial is stale. (Freshly respawned
@@ -365,6 +445,7 @@ fn execute_leaf(leaf: &LeafStore, query: &QueryRequest, queued: Duration) -> Res
             latency: started.elapsed(),
             queue: queued,
             failover: false,
+            hedged: false,
             cache_hit: false,
         }],
     })

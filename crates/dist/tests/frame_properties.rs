@@ -5,13 +5,14 @@
 //! is an error to fail over from, not a crash.
 
 use pd_common::rng::Rng;
-use pd_common::{DataType, Row, Schema, Value};
+use pd_common::{DataType, Row, RpcError, Schema, Value};
 use pd_core::{execute_partial, BuildOptions, DataStore, ExecContext, PartialResult, ScanStats};
 use pd_data::Table;
 use pd_dist::rpc::{
     encode_frame, read_frame, read_frame_negotiated, LoadRequest, QueryRequest, Request, Response,
     ShardReport, SubtreeAnswer,
 };
+use pd_dist::{ChaosDirective, ChaosFault};
 use pd_sql::{analyze, parse_query};
 use std::time::Duration;
 
@@ -62,6 +63,7 @@ fn random_request(rng: &mut Rng, case: usize) -> Request {
                 cache_budget: rng.next_u64() % (1 << 24),
                 cache_entries: rng.next_u64() % 256,
                 epoch: rng.next_u64(),
+                name: format!("l{}p", rng.next_u64() % 64),
             }))
         }
         1 => {
@@ -71,11 +73,24 @@ fn random_request(rng: &mut Rng, case: usize) -> Request {
                 "SELECT k, AVG(x) a FROM t GROUP BY k HAVING a > 0 ORDER BY a DESC LIMIT 3",
             ];
             let sql = sqls[rng.range_usize(0, sqls.len())];
+            let chaos = (0..rng.range_usize(0, 4))
+                .map(|_| ChaosDirective {
+                    node: format!("m{}_{}", rng.next_u64() % 4, rng.next_u64() % 8),
+                    fault: match rng.range_usize(0, 4) {
+                        0 => ChaosFault::Kill,
+                        1 => ChaosFault::Reset,
+                        2 => ChaosFault::Torn,
+                        _ => ChaosFault::Delay(Duration::from_micros(rng.next_u64() % 1_000_000)),
+                    },
+                })
+                .collect();
             Request::Query(Box::new(QueryRequest {
                 query: analyze(&parse_query(sql).unwrap()).unwrap(),
-                deadline: Duration::from_nanos(rng.next_u64() % 1_000_000_000),
+                budget: Duration::from_nanos(rng.next_u64() % 1_000_000_000),
+                hedge_micros: rng.next_u64() % 1_000_000,
                 killed: (0..rng.range_usize(0, 5)).map(|_| rng.next_u64() % 8).collect(),
                 epoch: rng.next_u64(),
+                chaos,
             }))
         }
         2 => Request::Delay { micros: rng.next_u64() },
@@ -84,7 +99,7 @@ fn random_request(rng: &mut Rng, case: usize) -> Request {
 }
 
 fn random_response(rng: &mut Rng, partial: &PartialResult, case: usize) -> Response {
-    match case % 3 {
+    match case % 4 {
         0 => {
             let reports = (0..rng.range_usize(0, 6))
                 .map(|_| ShardReport {
@@ -92,6 +107,7 @@ fn random_response(rng: &mut Rng, partial: &PartialResult, case: usize) -> Respo
                     latency: Duration::from_nanos(rng.next_u64() % u64::MAX),
                     queue: Duration::from_nanos(rng.next_u64() % 1_000_000),
                     failover: rng.next_u64().is_multiple_of(2),
+                    hedged: rng.next_u64().is_multiple_of(5),
                     cache_hit: rng.next_u64().is_multiple_of(3),
                 })
                 .collect();
@@ -108,6 +124,17 @@ fn random_response(rng: &mut Rng, partial: &PartialResult, case: usize) -> Respo
             }))
         }
         1 => Response::Err(format!("error {}", rng.next_u64())),
+        2 => {
+            let message = format!("fault {}", rng.next_u64());
+            Response::Fault(match rng.range_usize(0, 6) {
+                0 => RpcError::Deadline(message),
+                1 => RpcError::ConnRefused(message),
+                2 => RpcError::Decode(message),
+                3 => RpcError::VersionMismatch(message),
+                4 => RpcError::PeerGone(message),
+                _ => RpcError::Overloaded(message),
+            })
+        }
         _ => Response::Ok,
     }
 }

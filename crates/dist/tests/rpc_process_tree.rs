@@ -15,15 +15,15 @@ fn worker_bin() -> PathBuf {
     PathBuf::from(env!("CARGO_BIN_EXE_pd-dist-worker"))
 }
 
-fn rpc(deadline: Duration) -> Transport {
+fn rpc(budget: Duration) -> Transport {
     // Library defaults otherwise: unix sockets, compression on.
-    Transport::Rpc(RpcConfig { worker_bin: Some(worker_bin()), deadline, ..Default::default() })
+    Transport::Rpc(RpcConfig { worker_bin: Some(worker_bin()), budget, ..Default::default() })
 }
 
 fn rpc_with(addr: WorkerAddr, compress: bool) -> Transport {
     Transport::Rpc(RpcConfig {
         worker_bin: Some(worker_bin()),
-        deadline: Duration::from_secs(30),
+        budget: Duration::from_secs(30),
         addr,
         compress,
     })
@@ -239,6 +239,7 @@ fn queue_delays_are_measured_not_modeled() {
             cache_budget: 1 << 20,
             cache_entries: 0,
             epoch: 1,
+            name: "l0p".into(),
         }))
     };
     let table = generate_logs(&LogsSpec::scaled(200));
@@ -250,9 +251,11 @@ fn queue_delays_are_measured_not_modeled() {
     let analyzed = analyze(&parse_query("SELECT COUNT(*) FROM logs").unwrap()).unwrap();
     let query = Request::Query(Box::new(QueryRequest {
         query: analyzed,
-        deadline: Duration::from_secs(30),
+        budget: Duration::from_secs(30),
+        hedge_micros: 0,
         killed: Vec::new(),
         epoch: 1,
+        chaos: Vec::new(),
     }));
     let ask = |addr: Addr| -> (Duration, Duration) {
         let started = std::time::Instant::now();
@@ -379,6 +382,7 @@ fn role_reassignment_replaces_the_previous_role() {
             cache_budget: 1 << 20,
             cache_entries: 8,
             epoch: 1,
+            name: format!("l{shard}p"),
         }))
     };
     let mut c1 = RpcClient::new(addr1, false);
@@ -398,9 +402,11 @@ fn role_reassignment_replaces_the_previous_role() {
 
     let query = Request::Query(Box::new(QueryRequest {
         query: analyze(&parse_query("SELECT COUNT(*) FROM logs").unwrap()).unwrap(),
-        deadline: Duration::from_secs(30),
+        budget: Duration::from_secs(30),
+        hedge_micros: 0,
         killed: Vec::new(),
         epoch: 1,
+        chaos: Vec::new(),
     }));
     let ask = |client: &mut RpcClient| match client.call(&query, Duration::from_secs(30)).unwrap() {
         Response::Answer(answer) => answer,
@@ -417,6 +423,7 @@ fn role_reassignment_replaces_the_previous_role() {
         compress: false,
         cache_entries: 8,
         epoch: 1,
+        name: "m1_0".into(),
     });
     assert_eq!(c1.call(&attach, Duration::from_secs(30)).unwrap(), Response::Ok);
     let as_mixer = ask(&mut c1);

@@ -23,7 +23,7 @@ fn worker_bin() -> PathBuf {
 fn rpc() -> Transport {
     Transport::Rpc(RpcConfig {
         worker_bin: Some(worker_bin()),
-        deadline: Duration::from_secs(30),
+        budget: Duration::from_secs(30),
         ..Default::default()
     })
 }
@@ -128,6 +128,7 @@ fn epoch_bump_drops_a_worker_cache() {
         cache_budget: 1 << 20,
         cache_entries: 8,
         epoch: 5,
+        name: "l0p".into(),
     }));
     assert!(matches!(client.call(&load, Duration::from_secs(60)).unwrap(), Response::Loaded(_)));
 
@@ -137,9 +138,11 @@ fn epoch_bump_drops_a_worker_cache() {
     let mut ask = |epoch: u64| {
         let request = Request::Query(Box::new(QueryRequest {
             query: analyzed.clone(),
-            deadline: Duration::from_secs(30),
+            budget: Duration::from_secs(30),
+            hedge_micros: 0,
             killed: Vec::new(),
             epoch,
+            chaos: Vec::new(),
         }));
         match client.call(&request, Duration::from_secs(30)).unwrap() {
             Response::Answer(answer) => answer,

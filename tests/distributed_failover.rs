@@ -138,24 +138,25 @@ fn seeded_failures_are_reproducible_and_correct() {
 // Deadline-expiry failover across the real process split
 // ---------------------------------------------------------------------------
 
-fn rpc_transport(deadline: std::time::Duration) -> powerdrill::dist::Transport {
-    // Default transport settings beyond the deadline: unix sockets,
+fn rpc_transport(budget: std::time::Duration) -> powerdrill::dist::Transport {
+    // Default transport settings beyond the budget: unix sockets,
     // compression on — so the failover machinery is exercised with
     // compressed frames in play.
     powerdrill::dist::Transport::Rpc(powerdrill::dist::RpcConfig {
         worker_bin: Some(std::path::PathBuf::from(env!("CARGO_BIN_EXE_pd-worker"))),
-        deadline,
+        budget,
         ..Default::default()
     })
 }
 
-/// A worker process that sleeps past its deadline must produce the
+/// A worker process that sleeps far past the hedge delay must produce the
 /// **identical** `QueryOutcome` rows as a `FailureModel` kill of the same
-/// shard — both are "the primary never answered", both fail over to the
-/// replica process, and the replica holds the same partition. The failover
-/// is recorded either way.
+/// shard — the hedged replica race answers from the replica process, which
+/// holds the same partition. Unlike the old per-hop deadline (which waited
+/// the *full* deadline before failing over), the hedge answers early: the
+/// straggler's recorded latency stays well under the query budget.
 #[test]
-fn deadline_expiry_fails_over_identically_to_a_kill() {
+fn straggling_primary_is_hedged_identically_to_a_kill() {
     use std::time::Duration;
 
     let table = generate_logs(&LogsSpec::scaled(800));
@@ -166,7 +167,7 @@ fn deadline_expiry_fails_over_identically_to_a_kill() {
     // Healthy primaries must comfortably beat this even on a loaded CI
     // runner (their real compute is milliseconds); the injected 20 s sleep
     // overshoots it by an order of magnitude either way.
-    let deadline = Duration::from_secs(2);
+    let budget = Duration::from_secs(2);
 
     // fanout 16: the driver parents the leaves; fanout 2: an intermediate
     // merge server does — the failover must work at both levels.
@@ -177,7 +178,7 @@ fn deadline_expiry_fails_over_identically_to_a_kill() {
             failures,
             build: build.clone(),
             tree: powerdrill::dist::TreeShape { fanout },
-            transport: rpc_transport(deadline),
+            transport: rpc_transport(budget),
             ..Default::default()
         };
 
@@ -192,36 +193,48 @@ fn deadline_expiry_fails_over_identically_to_a_kill() {
         .unwrap();
 
         // The real thing: a healthy FailureModel, but shard 1's primary
-        // *process* sleeps far past the deadline.
+        // *process* sleeps far past the hedge delay.
         let delayed = Cluster::build(&table, &cluster_config(FailureModel::default())).unwrap();
         delayed.inject_worker_delay(slow_shard, Duration::from_secs(20)).unwrap();
 
         for sql in &QUERIES[..2] {
             let (expect, _) = powerdrill::query(&store, sql).unwrap();
             let from_kill = killed.query(sql).unwrap();
-            let from_deadline = delayed.query(sql).unwrap();
+            let from_hedge = delayed.query(sql).unwrap();
             assert_eq!(from_kill.result, expect, "fanout={fanout}: {sql}");
             assert_eq!(
-                from_deadline.result, from_kill.result,
-                "fanout={fanout}: deadline expiry and kill must produce identical rows: {sql}"
+                from_hedge.result, from_kill.result,
+                "fanout={fanout}: hedged failover and kill must produce identical rows: {sql}"
             );
             assert_eq!(from_kill.failovers, vec![slow_shard], "fanout={fanout}: {sql}");
-            assert_eq!(
-                from_deadline.failovers,
-                vec![slow_shard],
-                "fanout={fanout}: the expired worker must be recorded as a failover: {sql}"
+            assert!(
+                from_hedge.failovers.contains(&slow_shard),
+                "fanout={fanout}: the straggler's replica answer must be recorded as a \
+                 failover: {sql} ({:?})",
+                from_hedge.failovers
             );
             assert!(
-                from_deadline.subquery_latencies[slow_shard] >= deadline,
-                "fanout={fanout}: the measured latency includes the waited-out deadline"
+                from_hedge.hedges.contains(&slow_shard),
+                "fanout={fanout}: the straggler must be recorded as hedged: {sql} ({:?})",
+                from_hedge.hedges
+            );
+            assert!(
+                !from_kill.hedges.contains(&slow_shard),
+                "fanout={fanout}: a known-dead primary is failed over directly, not raced: {sql}"
+            );
+            assert!(
+                from_hedge.subquery_latencies[slow_shard] < budget,
+                "fanout={fanout}: the hedge must answer early instead of waiting out the \
+                 budget, got {:?}",
+                from_hedge.subquery_latencies[slow_shard]
             );
         }
     }
 }
 
-/// Without a replica process, a deadline expiry is fatal — and says so.
+/// Without a replica process, an exhausted budget is fatal — and says so.
 #[test]
-fn deadline_expiry_without_replication_fails_the_query() {
+fn budget_expiry_without_replication_fails_the_query() {
     use std::time::Duration;
 
     let table = generate_logs(&LogsSpec::scaled(400));
@@ -242,6 +255,58 @@ fn deadline_expiry_without_replication_fails_the_query() {
     assert!(
         err.contains("shard 0") && err.contains("replication"),
         "the error names the expired shard: {err}"
+    );
+}
+
+/// A merge server killed mid-query — not a leaf, the *inner* node folding
+/// two leaf subtrees — must surface as a clean typed rpc error, never a
+/// hang or a silent partial answer; and the respawned tree serves exact
+/// rows with balanced accounting again.
+#[test]
+fn merge_server_kill_mid_query_is_a_clean_typed_error() {
+    use powerdrill::common::RpcError;
+    use powerdrill::dist::ChaosModel;
+    use powerdrill::Error;
+    use std::time::Duration;
+
+    let table = generate_logs(&LogsSpec::scaled(600));
+    let build = build_options();
+    let store = DataStore::build(&table, &build).unwrap();
+    // 3 shards at fanout 2: mixer m1_0 folds leaves 0 and 1, m1_1 owns
+    // leaf 2 — killing m1_0 severs a whole subtree below the root.
+    let mut cluster = Cluster::build(
+        &table,
+        &ClusterConfig {
+            shards: 3,
+            replication: true,
+            build,
+            tree: powerdrill::dist::TreeShape { fanout: 2 },
+            transport: rpc_transport(Duration::from_secs(10)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let sql = QUERIES[0];
+    let (expect, _) = powerdrill::query(&store, sql).unwrap();
+    assert_eq!(cluster.query(sql).unwrap().result, expect, "healthy tree first");
+
+    cluster.set_chaos(ChaosModel { kill_nodes: vec!["m1_0".into()], ..Default::default() });
+    let err = cluster.query(sql).unwrap_err();
+    assert!(
+        matches!(err, Error::Rpc(RpcError::PeerGone(_) | RpcError::ConnRefused(_))),
+        "a merge server dying mid-query is a typed fault, not a hang or a string: {err}"
+    );
+
+    // Recovery: clear the chaos, respawn the tree, and the exact rows —
+    // with balanced row accounting — come back.
+    cluster.set_chaos(ChaosModel::default());
+    cluster.rebuild(&table).unwrap();
+    let outcome = cluster.query(sql).unwrap();
+    assert_eq!(outcome.result, expect, "the respawned tree serves exact rows again");
+    assert_eq!(
+        outcome.stats.rows_skipped + outcome.stats.rows_cached + outcome.stats.rows_scanned,
+        outcome.stats.rows_total,
+        "accounting balances after recovery"
     );
 }
 

@@ -358,7 +358,7 @@ fn transport_axis_is_bit_identical_across_process_split() {
     let rpc = |addr: WorkerAddr, compress: bool| {
         Transport::Rpc(RpcConfig {
             worker_bin: Some(worker_bin.clone()),
-            deadline: Duration::from_secs(30),
+            budget: Duration::from_secs(30),
             addr,
             compress,
         })
