@@ -216,6 +216,90 @@ fn main() {
         );
     }
 
+    // Chunk-granular pruning on the wire: a lexicographic `table_name`
+    // window that neither the leaf-local skip analysis (trie dictionaries
+    // cannot rank range bounds — every chunk reads Opaque and scans) nor
+    // the shard envelope (the distinct set degrades past the cap and the
+    // min/max straddles the window) can refute. Only the shipped per-chunk
+    // value-space zone maps prune here, so the layered cluster must scan
+    // strictly fewer rows than the shard-only pruner for a bit-identical
+    // result — measured over compressed TCP, the multi-host transport.
+    if worker_available {
+        // Mid-envelope window over the `logs.<team>.<dataset>_<k>` names:
+        // maps/revenue teams, with ads..youtube neighbours on both sides.
+        let drill = "SELECT table_name, COUNT(*) as c, SUM(latency) as s FROM logs \
+                     WHERE table_name >= 'logs.m' AND table_name < 'logs.s' \
+                     GROUP BY table_name ORDER BY c DESC LIMIT 10";
+        // Partitioned table_name-major (the drill-down field), so chunk
+        // zone maps carry tight name envelopes.
+        let mut drill_build = BuildOptions::production(&["table_name", "country"]);
+        if let Some(spec) = &mut drill_build.partition {
+            spec.max_chunk_rows = (rows / 64).clamp(500, 50_000);
+        }
+        let cluster_with = |chunk_pruning: bool| {
+            Cluster::build(
+                &table,
+                &ClusterConfig {
+                    shards: 4,
+                    replication: false,
+                    shard_cache: 0,
+                    threads: 1,
+                    tree: TreeShape { fanout: 4 },
+                    build: drill_build.clone(),
+                    transport: rpc(WorkerAddr::loopback(), true),
+                    chunk_pruning,
+                    ..Default::default()
+                },
+            )
+            .expect("drill-down cluster")
+        };
+        let layered = cluster_with(true);
+        let shard_only = cluster_with(false);
+        let layered_outcome = layered.query(drill).expect("layered drill-down");
+        let shard_outcome = shard_only.query(drill).expect("shard-only drill-down");
+        assert_eq!(
+            layered_outcome.result, shard_outcome.result,
+            "pruning may only move work, never change a row"
+        );
+        assert!(
+            layered_outcome.stats.rows_scanned < shard_outcome.stats.rows_scanned,
+            "chunk zone maps must cut the drill-down scan below the shard-only \
+             pruner: {} vs {} rows scanned",
+            layered_outcome.stats.rows_scanned,
+            shard_outcome.stats.rows_scanned,
+        );
+        let frames_not_sent = layered_outcome.stats.subtrees_pruned;
+        let layered_stats = measure_stats(5, || {
+            black_box(layered.query(drill).expect("layered drill-down"));
+        });
+        let shard_stats = measure_stats(5, || {
+            black_box(shard_only.query(drill).expect("shard-only drill-down"));
+        });
+        println!(
+            "\n=== chunk-pruned drill-down (4 shards, tcp+z; table_name in ['logs.m','logs.s')) ===\n\
+             layered {} ({} of {} rows scanned, {} chunks pruned remotely, \
+             {frames_not_sent} frames not sent) vs shard-only {} ({} rows scanned)",
+            fmt_duration(layered_stats.min),
+            layered_outcome.stats.rows_scanned,
+            layered_outcome.stats.rows_total,
+            layered_outcome.stats.chunks_pruned_remote,
+            fmt_duration(shard_stats.min),
+            shard_outcome.stats.rows_scanned,
+        );
+        json_line(
+            "rpc_tree",
+            "chunk_pruned_drilldown",
+            layered_stats,
+            &[
+                ("rows_scanned", layered_outcome.stats.rows_scanned.to_string()),
+                ("rows_scanned_shard_only", shard_outcome.stats.rows_scanned.to_string()),
+                ("chunks_pruned_remote", layered_outcome.stats.chunks_pruned_remote.to_string()),
+                ("frames_not_sent", frames_not_sent.to_string()),
+            ],
+        );
+        json_line("rpc_tree", "shard_only_drilldown", shard_stats, &[]);
+    }
+
     // Hedged replica racing vs a real straggling primary process: shard
     // 0's primary sleeps far past the hedge delay every query, so the
     // replica answers the race and end-to-end latency stays well under the

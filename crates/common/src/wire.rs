@@ -41,7 +41,10 @@ use std::time::Duration;
 /// from a different version instead of mis-framing the stream. Version 3:
 /// deadline budgets + hedge delay + chaos directives + node names in the
 /// protocol messages, typed `Fault` responses, hedged flags in reports.
-pub const FRAME_VERSION: u8 = 3;
+/// Version 4: chunk-granular shard metadata (per-chunk zone maps +
+/// per-column Bloom filters) in `Load`/`Attach`, the `chunk_pruning` flag
+/// on queries, `chunks_pruned_remote` in scan stats.
+pub const FRAME_VERSION: u8 = 4;
 
 /// The frame payload is compressed (`pd-compress`, Zippy family). The
 /// receiver decompresses before decoding; the flag is per frame, so a

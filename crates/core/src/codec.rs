@@ -156,6 +156,7 @@ impl Encode for ScanStats {
         self.rows_cached.encode(out);
         self.rows_scanned.encode(out);
         self.subtrees_pruned.encode(out);
+        self.chunks_pruned_remote.encode(out);
         self.worker_cache_hits.encode(out);
         self.cells_scanned.encode(out);
         self.disk_bytes.encode(out);
@@ -176,6 +177,7 @@ impl Decode for ScanStats {
             rows_cached: r.u64()?,
             rows_scanned: r.u64()?,
             subtrees_pruned: usize::decode(r)?,
+            chunks_pruned_remote: usize::decode(r)?,
             worker_cache_hits: usize::decode(r)?,
             cells_scanned: r.u64()?,
             disk_bytes: r.u64()?,
@@ -320,6 +322,7 @@ mod tests {
             rows_cached: 100,
             rows_scanned: 500,
             subtrees_pruned: 2,
+            chunks_pruned_remote: 3,
             worker_cache_hits: 1,
             cells_scanned: 1500,
             disk_bytes: 4096,

@@ -276,7 +276,21 @@ pub fn execute_partial(
     analyzed: &AnalyzedQuery,
     ctx: &ExecContext,
 ) -> Result<(PartialResult, ScanStats)> {
-    let plan = Plan::prepare(store, analyzed, ctx)?;
+    execute_partial_seeded(store, analyzed, ctx, None)
+}
+
+/// [`execute_partial`], seeding the chunk-skip analysis with verdicts a
+/// metadata layer already proved (a tree parent's zone maps / Bloom
+/// filters): seeded `Skip` chunks are skipped without re-deriving the
+/// proof from chunk dictionaries. Seeds must be sound for exactly
+/// `analyzed.restriction`; the result is bit-identical either way.
+pub fn execute_partial_seeded(
+    store: &DataStore,
+    analyzed: &AnalyzedQuery,
+    ctx: &ExecContext,
+    seeds: Option<&[ChunkActivity]>,
+) -> Result<(PartialResult, ScanStats)> {
+    let plan = Plan::prepare_seeded(store, analyzed, ctx, seeds)?;
     plan.run(store, ctx)
 }
 
@@ -551,7 +565,12 @@ impl std::ops::Deref for ChunkPayloadRef {
 }
 
 impl Plan {
-    fn prepare(store: &DataStore, analyzed: &AnalyzedQuery, ctx: &ExecContext) -> Result<Plan> {
+    fn prepare_seeded(
+        store: &DataStore,
+        analyzed: &AnalyzedQuery,
+        ctx: &ExecContext,
+        seeds: Option<&[ChunkActivity]>,
+    ) -> Result<Plan> {
         let mut touched: Vec<(Arc<str>, Arc<StoredColumn>)> = Vec::new();
         let mut touch = |name: String, col: &Arc<StoredColumn>| {
             if !touched.iter().any(|(n, _)| **n == *name) {
@@ -623,7 +642,8 @@ impl Plan {
             }
         };
 
-        let skip = SkipAnalysis::prepare(store, &analyzed.restriction)?;
+        let skip =
+            SkipAnalysis::prepare_seeded(store, &analyzed.restriction, seeds.map(|s| s.to_vec()))?;
 
         let signature = format!(
             "{}|keys:{}|aggs:{}|m:{}",

@@ -53,7 +53,8 @@ pub use column::{ColumnChunk, StoredColumn};
 pub use count_distinct::KmvSketch;
 pub use datastore::DataStore;
 pub use exec::{
-    execute, execute_partial, finalize, query, AggState, ExecContext, PartialResult, QueryResult,
+    execute, execute_partial, execute_partial_seeded, finalize, query, AggState, ExecContext,
+    PartialResult, QueryResult,
 };
 pub use memory::{report_for_query, ColumnMemory, MemoryReport};
 pub use options::{BuildOptions, DictMode, PartitionSpec};

@@ -27,7 +27,12 @@ pub enum ChunkActivity {
 }
 
 impl ChunkActivity {
-    fn and(self, other: ChunkActivity) -> ChunkActivity {
+    /// Conjunction of two *sound* verdicts over the same chunk: any proof
+    /// of emptiness wins, Full survives only when both sides prove it.
+    /// Public because remote metadata verdicts (computed by a parent from
+    /// a shard's zone maps) compose with the local dictionary verdicts
+    /// through exactly this lattice.
+    pub fn and(self, other: ChunkActivity) -> ChunkActivity {
         use ChunkActivity::*;
         match (self, other) {
             (Skip, _) | (_, Skip) => Skip,
@@ -83,6 +88,12 @@ enum ResolvedNode {
 pub struct SkipAnalysis {
     resolved: ResolvedRestriction,
     columns: Vec<std::sync::Arc<crate::column::StoredColumn>>,
+    /// Externally supplied verdicts (one per chunk), typically computed by
+    /// a tree parent from shard metadata and shipped down with the query.
+    /// Each seed must be *sound* for the same restriction: a `Skip` seed is
+    /// a proof and short-circuits the local evaluation entirely; other
+    /// seeds compose with the local verdict through [`ChunkActivity::and`].
+    seeds: Option<Vec<ChunkActivity>>,
 }
 
 impl SkipAnalysis {
@@ -90,14 +101,33 @@ impl SkipAnalysis {
     /// fields it references (§5: restrictions on materialized expressions
     /// skip chunks through the expression's own chunk dictionaries).
     pub fn prepare(store: &DataStore, restriction: &Restriction) -> Result<SkipAnalysis> {
+        SkipAnalysis::prepare_seeded(store, restriction, None)
+    }
+
+    /// [`SkipAnalysis::prepare`], with pre-computed chunk verdicts from a
+    /// metadata layer. Seeds beyond the store's chunk count are ignored;
+    /// missing seeds fall back to pure local evaluation.
+    pub fn prepare_seeded(
+        store: &DataStore,
+        restriction: &Restriction,
+        seeds: Option<Vec<ChunkActivity>>,
+    ) -> Result<SkipAnalysis> {
         let mut columns = Vec::new();
         let mut index: FxHashMap<String, usize> = FxHashMap::default();
         let node = resolve(store, restriction, &mut columns, &mut index)?;
-        Ok(SkipAnalysis { resolved: ResolvedRestriction { node }, columns })
+        Ok(SkipAnalysis { resolved: ResolvedRestriction { node }, columns, seeds })
     }
 
     /// Verdict for chunk `c`.
     pub fn activity(&self, c: usize) -> ChunkActivity {
+        if let Some(seed) = self.seeds.as_ref().and_then(|s| s.get(c)) {
+            // A Skip seed is already a proof — the whole point of seeding
+            // is that the scan need not re-derive it from dictionaries.
+            if *seed == ChunkActivity::Skip {
+                return ChunkActivity::Skip;
+            }
+            return seed.and(evaluate(&self.resolved.node, &self.columns, c));
+        }
         evaluate(&self.resolved.node, &self.columns, c)
     }
 
@@ -356,6 +386,34 @@ mod tests {
         // > 98.0 keeps only the last chunk.
         let v = verdicts(&s, "n > 98.0");
         assert_eq!(v.iter().filter(|a| **a != ChunkActivity::Skip).count(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn seeds_short_circuit_and_compose_soundly() {
+        let s = store();
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE latency > 100").unwrap();
+        let r = Restriction::from_expr(&q.where_clause.unwrap());
+        // Locally the trie-free store resolves this range, but pretend a
+        // parent proved chunk 0 dead and knew nothing about the rest.
+        let mut seeds = vec![ChunkActivity::Partial; s.chunk_count()];
+        seeds[0] = ChunkActivity::Skip;
+        let analysis = SkipAnalysis::prepare_seeded(&s, &r, Some(seeds)).unwrap();
+        assert_eq!(analysis.activity(0), ChunkActivity::Skip, "Skip seeds are decisive");
+        let plain = SkipAnalysis::prepare(&s, &r).unwrap();
+        for c in 1..s.chunk_count() {
+            // Partial seeds never upgrade the local verdict: `and` keeps
+            // the scan at least as careful as the unseeded analysis.
+            assert_eq!(
+                analysis.activity(c),
+                plain.activity(c).and(ChunkActivity::Partial),
+                "chunk {c}"
+            );
+        }
+        // Short seed vectors leave the tail on the local verdict.
+        let analysis =
+            SkipAnalysis::prepare_seeded(&s, &r, Some(vec![ChunkActivity::Skip])).unwrap();
+        let last = s.chunk_count() - 1;
+        assert_eq!(analysis.activity(last), plain.activity(last));
     }
 
     #[test]

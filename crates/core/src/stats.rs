@@ -33,6 +33,15 @@ pub struct ScanStats {
     /// how many tree edges never carried the query at all.
     pub subtrees_pruned: usize,
 
+    /// Chunks beneath pruned tree edges: when a parent's chunk-granular
+    /// metadata (zone maps, Bloom filters) proves every chunk of a child
+    /// dead and prunes the edge, the child's chunks are counted here. Like
+    /// `subtrees_pruned` this is an annotation *outside* the
+    /// skipped+cached+scanned balance — the same chunks still appear in
+    /// `chunks_skipped`; this counter records that the proof happened
+    /// remotely, before any frame was sent.
+    pub chunks_pruned_remote: usize,
+
     /// Computation-tree nodes (leaf servers or merge servers) that
     /// answered from their own result cache instead of scanning /
     /// fanning out. A merge-server hit counts once even though it covers
@@ -112,6 +121,7 @@ impl AddAssign<&ScanStats> for ScanStats {
         self.rows_cached += rhs.rows_cached;
         self.rows_scanned += rhs.rows_scanned;
         self.subtrees_pruned += rhs.subtrees_pruned;
+        self.chunks_pruned_remote += rhs.chunks_pruned_remote;
         self.worker_cache_hits += rhs.worker_cache_hits;
         self.cells_scanned += rhs.cells_scanned;
         self.disk_bytes += rhs.disk_bytes;

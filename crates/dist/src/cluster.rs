@@ -257,6 +257,11 @@ pub struct ClusterConfig {
     /// Driver-side admission control: shed queries beyond the in-flight
     /// budget with a typed [`pd_common::RpcError::Overloaded`].
     pub admission: AdmissionConfig,
+    /// Use chunk-granular metadata (per-chunk zone maps shipped in the
+    /// `Loaded` acks) for RPC-tree pruning and leaf scan seeding. On by
+    /// default; turning it off falls back to shard-granular pruning only.
+    /// Results are bit-identical either way — only the work moves.
+    pub chunk_pruning: bool,
 }
 
 impl Default for ClusterConfig {
@@ -273,6 +278,7 @@ impl Default for ClusterConfig {
             shard_cache: 1024,
             transport: Transport::InProcess,
             admission: AdmissionConfig::default(),
+            chunk_pruning: true,
         }
     }
 }
@@ -499,6 +505,7 @@ impl Cluster {
             epoch,
             addr: rpc.addr.clone(),
             compress: rpc.compress,
+            chunk_pruning: config.chunk_pruning,
         };
         // Sub-tables are produced one at a time: each is shipped to its
         // worker pair and dropped before the next is materialized.

@@ -1,42 +1,114 @@
-//! Shard metadata for restriction-aware subtree pruning.
+//! Shard metadata for restriction-aware pruning at every tree level.
 //!
 //! The paper's production discipline is "pass through the tree once, prune
 //! early, move few bytes": since queries now travel as decoded
 //! [`pd_sql::Restriction`]s instead of SQL text, every node that parents a
 //! subtree can ask *before* spending a network hop: can any row beneath
 //! this child match? [`ShardMeta`] is the per-shard summary that makes the
-//! question answerable — row/chunk totals plus, per column, the complete
-//! distinct-value set (when small) and the min/max value.
+//! question answerable, and it is layered like the paper's own metadata:
 //!
-//! Soundness contract: [`may_match`] may err only towards `true`. A `false`
-//! is a *proof* that the restriction rejects every row of the shard, so the
-//! parent can substitute an empty partial and account the shard's rows as
-//! skipped without changing any result bit. To keep the proof aligned with
-//! what the row filter would actually do, every comparison goes through
-//! `pd_sql`'s own [`values_equal`] / [`values_compare`] — the exact
-//! semantics `WHERE` evaluation uses (numeric across Int/Float, total
-//! order otherwise).
+//! 1. **Shard zone map** — row/chunk totals plus, per column, the complete
+//!    distinct-value set (when small) and the min/max value;
+//! 2. **Bloom filters** (§5: *"we additionally keep Bloom-filters for each
+//!    dictionary"*) — for columns whose distinct set degraded past
+//!    [`MAX_DISTINCT`], equality probes can still prove absence;
+//! 3. **Per-chunk zone maps** ([`ChunkMeta`]) — min/max plus a small
+//!    distinct set per chunk, so a parent can compute how much of a child
+//!    is live, prune the edge when *zero* chunks survive, and ship the
+//!    verdicts down so the leaf scan skips without re-deriving them;
+//! 4. **Virtual fields** (§5.1 partial evaluation) — a restriction over
+//!    `date(timestamp)` evaluates the expression over a column's complete
+//!    value set, so computed fields prune instead of falling to
+//!    `Opaque`-is-maybe.
+//!
+//! Soundness contract: every layer may err only towards `true` ("maybe").
+//! A `false` from [`may_match`] / a `Skip` from [`chunk_verdicts`] is a
+//! *proof* that the restriction rejects every row, so the parent can
+//! substitute an empty partial and account the rows as skipped without
+//! changing any result bit. To keep the proofs aligned with what the row
+//! filter would actually do, every comparison goes through `pd_sql`'s own
+//! [`values_equal`] / [`values_compare`] — the exact semantics `WHERE`
+//! evaluation uses (numeric across Int/Float, total order otherwise) — and
+//! virtual fields go through the same [`pd_sql::eval_expr`] the filter
+//! applies per row.
 
 use pd_common::wire::{Decode, Encode, Reader};
-use pd_common::{Result, Row, Schema, Value};
-use pd_sql::{values_compare, values_equal, Expr, Restriction};
+use pd_common::{DataType, Result, Row, Schema, Value};
+use pd_core::{ChunkActivity, Partitioning};
+use pd_encoding::BloomFilter;
+use pd_sql::{eval_expr, values_compare, values_equal, Expr, Restriction};
+use std::borrow::Cow;
 use std::cmp::Ordering;
 
-/// Distinct values tracked per column before the summary degrades to
+/// Distinct values tracked per column before the shard summary degrades to
 /// min/max only. Low-cardinality dimensions (country, table name) stay
 /// exact — they are the columns drill-down restrictions touch.
 pub const MAX_DISTINCT: usize = 48;
+
+/// The (smaller) distinct-set cap per chunk: chunks are value-clustered by
+/// the partitioner, so even a modest set stays exact for the partition
+/// fields, and there are many chunks per shard to keep small on the wire.
+pub const MAX_CHUNK_DISTINCT: usize = 16;
+
+/// Bits per key for the per-column Bloom filters (≈1% false positives).
+const BLOOM_BITS_PER_KEY: usize = 10;
 
 /// One column's summary.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnMeta {
     pub name: String,
-    /// The complete distinct-value set, or `None` when it exceeded
-    /// [`MAX_DISTINCT`] (min/max still apply).
+    /// The complete distinct-value set, or `None` when it exceeded the cap
+    /// (min/max still apply).
     pub values: Option<Vec<Value>>,
     /// Extremes under [`values_compare`]; `None` only for a rowless shard.
     pub min: Option<Value>,
     pub max: Option<Value>,
+}
+
+/// One chunk's zone map: row count plus per-column min/max and a small
+/// distinct set, in schema field order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    pub rows: u64,
+    pub columns: Vec<ColumnMeta>,
+}
+
+/// A Bloom filter over one column's values, kept only for columns whose
+/// shard distinct set degraded to `None` — the membership question the
+/// zone map can no longer answer exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnBloom {
+    pub name: String,
+    /// The column's declared type. Probes of a different type kind bail to
+    /// "maybe": SQL equality is numeric across Int/Float but the hashes
+    /// are not, so a cross-type probe must never be treated as a proof.
+    pub data_type: DataType,
+    pub filter: BloomFilter,
+}
+
+impl ColumnBloom {
+    /// Could the column contain `v`? `false` is a proof of absence under
+    /// SQL equality; `true` may be a false positive. Float values hash by
+    /// bit pattern, which matches this engine's total-order float equality
+    /// (`-0.0 ≠ 0.0`, NaN payloads distinct).
+    pub fn may_contain(&self, v: &Value) -> bool {
+        match (self.data_type, v) {
+            (DataType::Str, Value::Str(s)) => self.filter.may_contain(s.as_str()),
+            (DataType::Int, Value::Int(i)) => self.filter.may_contain(i),
+            (DataType::Float, Value::Float(f)) => self.filter.may_contain(&f.to_bits()),
+            _ => true,
+        }
+    }
+
+    fn insert(&mut self, v: &Value) {
+        match v {
+            Value::Str(s) => self.filter.insert(s.as_str()),
+            Value::Int(i) => self.filter.insert(i),
+            Value::Float(f) => self.filter.insert(&f.to_bits()),
+            // Nulls never satisfy an equality probe, so they need no bits.
+            Value::Null => {}
+        }
+    }
 }
 
 /// One shard's summary, carried in the tree-wiring messages.
@@ -47,43 +119,108 @@ pub struct ShardMeta {
     /// Chunk count of the built store (for skip accounting up the tree).
     pub chunks: u64,
     pub columns: Vec<ColumnMeta>,
+    /// Per-chunk zone maps in chunk order (empty until the leaf attaches
+    /// them after the store build).
+    pub chunk_metas: Vec<ChunkMeta>,
+    /// Bloom filters for the columns whose `values` degraded to `None`.
+    pub blooms: Vec<ColumnBloom>,
 }
 
 impl ShardMeta {
-    /// Summarize `rows` (the exact rows a leaf imports). `chunks` is
-    /// filled in after the store build.
+    /// Summarize `rows` (the exact rows a leaf imports). `chunks` and the
+    /// chunk/bloom layers are filled in after the store build (see
+    /// [`ShardMeta::summarize_chunks`] / [`ShardMeta::build_blooms`]).
     pub fn summarize(shard: u64, schema: &Schema, rows: &[Row]) -> ShardMeta {
-        let mut columns: Vec<ColumnMeta> = schema
-            .fields()
-            .iter()
-            .map(|f| ColumnMeta {
-                name: f.name.clone(),
-                values: Some(Vec::new()),
-                min: None,
-                max: None,
-            })
-            .collect();
+        let mut columns = empty_columns(schema);
         for row in rows {
             for (meta, value) in columns.iter_mut().zip(&row.0) {
                 meta.observe(value);
             }
         }
-        ShardMeta { shard, rows: rows.len() as u64, chunks: 0, columns }
+        ShardMeta {
+            shard,
+            rows: rows.len() as u64,
+            chunks: 0,
+            columns,
+            chunk_metas: Vec::new(),
+            blooms: Vec::new(),
+        }
     }
 
-    fn column(&self, name: &str) -> Option<&ColumnMeta> {
+    /// Attach per-chunk zone maps: the store's partitioning says which of
+    /// the *original* rows landed in which chunk (and in what order), so
+    /// the chunk summaries describe exactly the rows each chunk scan would
+    /// visit. `columns` are the imported values in schema field order
+    /// (indexed by original row, as [`pd_data::Table::column`] hands out).
+    pub fn summarize_chunks(&mut self, schema: &Schema, columns: &[&[Value]], part: &Partitioning) {
+        self.chunk_metas = (0..part.chunk_count())
+            .map(|c| {
+                let range = part.chunk_range(c);
+                let mut metas = empty_columns(schema);
+                for (meta, column) in metas.iter_mut().zip(columns) {
+                    for &r in &part.row_order[range.clone()] {
+                        meta.observe_capped(&column[r as usize], MAX_CHUNK_DISTINCT);
+                    }
+                }
+                ChunkMeta { rows: range.len() as u64, columns: metas }
+            })
+            .collect();
+    }
+
+    /// Build Bloom filters for every column whose distinct set degraded —
+    /// the columns where an equality probe currently gets only a min/max
+    /// answer.
+    pub fn build_blooms(&mut self, schema: &Schema, columns: &[&[Value]]) {
+        self.blooms = schema
+            .fields()
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| self.columns[*idx].values.is_none())
+            .map(|(idx, field)| {
+                let mut bloom = ColumnBloom {
+                    name: field.name.clone(),
+                    data_type: field.data_type,
+                    filter: BloomFilter::new(columns[idx].len(), BLOOM_BITS_PER_KEY),
+                };
+                for v in columns[idx] {
+                    bloom.insert(v);
+                }
+                bloom
+            })
+            .collect();
+    }
+
+    /// The shard-level summary for a named column.
+    pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
         self.columns.iter().find(|c| c.name == name)
     }
 }
 
+fn empty_columns(schema: &Schema) -> Vec<ColumnMeta> {
+    schema
+        .fields()
+        .iter()
+        .map(|f| ColumnMeta {
+            name: f.name.clone(),
+            values: Some(Vec::new()),
+            min: None,
+            max: None,
+        })
+        .collect()
+}
+
 impl ColumnMeta {
     fn observe(&mut self, value: &Value) {
+        self.observe_capped(value, MAX_DISTINCT);
+    }
+
+    fn observe_capped(&mut self, value: &Value, cap: usize) {
         if let Some(values) = &mut self.values {
             // Sorted insert (by the same comparator pruning uses), so the
             // per-row dedup is a binary search rather than a linear scan —
             // this runs once per cell of every shipped shard.
             if let Err(at) = values.binary_search_by(|m| values_compare(m, value)) {
-                if values.len() >= MAX_DISTINCT {
+                if values.len() >= cap {
                     self.values = None;
                 } else {
                     values.insert(at, value.clone());
@@ -126,58 +263,209 @@ impl ColumnMeta {
     }
 }
 
-/// Can any row of the shard satisfy `restriction`? Errs towards `true`:
-/// opaque predicates, virtual-field expressions and columns absent from
-/// the summary are all "maybe".
+// --- the layered evaluator --------------------------------------------------
+
+/// Can any row of the shard satisfy `restriction`? The full layered check:
+/// shard zone map, then Bloom probes for equality restrictions on degraded
+/// columns, then — when the chunk layer is present — the per-chunk
+/// verdicts, pruning the shard when *zero* chunks survive. Errs towards
+/// `true`: opaque predicates, unknown columns and unresolvable virtual
+/// fields are all "maybe".
 pub fn may_match(restriction: &Restriction, meta: &ShardMeta) -> bool {
+    if !shard_may_match(restriction, meta) {
+        return false;
+    }
+    if meta.chunk_metas.is_empty() {
+        return true;
+    }
+    chunk_verdicts(restriction, meta).iter().any(|a| *a != ChunkActivity::Skip)
+}
+
+/// The shard-granular layers only (zone map + Bloom) — what a parent uses
+/// when chunk-granular pruning is disabled.
+pub fn shard_may_match(restriction: &Restriction, meta: &ShardMeta) -> bool {
     if meta.rows == 0 {
         return false;
     }
-    match restriction {
-        Restriction::True | Restriction::Opaque => true,
-        Restriction::And(children) => children.iter().all(|r| may_match(r, meta)),
-        Restriction::Or(children) => children.iter().any(|r| may_match(r, meta)),
-        Restriction::In { field, values, negated } => {
-            let Some(column) = plain_column(field, meta) else { return true };
-            if !negated {
-                values.iter().any(|v| column.may_contain(v))
+    activity_of(restriction, &meta.columns, &meta.blooms) != ChunkActivity::Skip
+}
+
+/// Chunk-granular verdicts from the metadata alone, one per entry of
+/// `meta.chunk_metas` (chunk order). Each verdict is sound for the leaf's
+/// actual chunks, so parents can count provably-dead chunks and leaves can
+/// seed their scan's [`pd_core::skip::SkipAnalysis`] with them.
+pub fn chunk_verdicts(restriction: &Restriction, meta: &ShardMeta) -> Vec<ChunkActivity> {
+    meta.chunk_metas
+        .iter()
+        .map(|chunk| {
+            if chunk.rows == 0 {
+                ChunkActivity::Skip
             } else {
-                // NOT IN can only be refuted with the complete value set:
-                // every shard value must hit the list.
+                // Shard-wide blooms stay sound per chunk: a value absent
+                // from the shard is absent from every chunk of it.
+                activity_of(restriction, &chunk.columns, &meta.blooms)
+            }
+        })
+        .collect()
+}
+
+/// Evaluate `restriction` against one zone map (a shard's or a chunk's)
+/// into the three-valued verdict. `Skip` and `Full` are proofs; anything
+/// uncertain is `Partial`.
+fn activity_of(
+    restriction: &Restriction,
+    columns: &[ColumnMeta],
+    blooms: &[ColumnBloom],
+) -> ChunkActivity {
+    match restriction {
+        Restriction::True => ChunkActivity::Full,
+        Restriction::Opaque => ChunkActivity::Partial,
+        // Degenerate conjunctions/disjunctions err towards maybe: `all`
+        // over zero children is vacuously true and `any` vacuously false,
+        // and the latter once turned a vacuous restriction into a silent
+        // wrong-answer prune. No parser produces them today; if a future
+        // normalizer does, "maybe" costs a scan, never a result bit.
+        Restriction::And(children) | Restriction::Or(children) if children.is_empty() => {
+            ChunkActivity::Partial
+        }
+        Restriction::And(children) => children
+            .iter()
+            .map(|r| activity_of(r, columns, blooms))
+            .fold(ChunkActivity::Full, ChunkActivity::and),
+        Restriction::Or(children) => {
+            let mut verdict: Option<ChunkActivity> = None;
+            for child in children {
+                let a = activity_of(child, columns, blooms);
+                verdict = Some(match verdict {
+                    None => a,
+                    Some(v) => match (v, a) {
+                        (ChunkActivity::Full, _) | (_, ChunkActivity::Full) => ChunkActivity::Full,
+                        (ChunkActivity::Skip, ChunkActivity::Skip) => ChunkActivity::Skip,
+                        _ => ChunkActivity::Partial,
+                    },
+                });
+            }
+            verdict.unwrap_or(ChunkActivity::Partial)
+        }
+        Restriction::In { field, values, negated } => {
+            let Some(column) = resolved_column(field, columns) else {
+                return ChunkActivity::Partial;
+            };
+            // Bloom probes apply only to bare columns: the filters hash
+            // *base* column values, never derived virtual-field outputs.
+            let bloom = field.as_column().and_then(|name| blooms.iter().find(|b| b.name == name));
+            if !negated {
+                let live = values
+                    .iter()
+                    .any(|v| column.may_contain(v) && bloom.is_none_or(|b| b.may_contain(v)));
+                if !live {
+                    return ChunkActivity::Skip;
+                }
+                // With the complete set, "every present value hits the
+                // list" upgrades to a proof of full activity.
+                match &column.values {
+                    Some(present)
+                        if present.iter().all(|m| values.iter().any(|v| values_equal(m, v))) =>
+                    {
+                        ChunkActivity::Full
+                    }
+                    _ => ChunkActivity::Partial,
+                }
+            } else {
+                // NOT IN can only be decided with the complete value set:
+                // all present values listed → no row survives; none listed
+                // → every row survives.
                 match &column.values {
                     Some(present) => {
-                        !present.iter().all(|m| values.iter().any(|v| values_equal(m, v)))
+                        let listed = |m: &Value| values.iter().any(|v| values_equal(m, v));
+                        if present.iter().all(listed) {
+                            ChunkActivity::Skip
+                        } else if !present.iter().any(listed) {
+                            ChunkActivity::Full
+                        } else {
+                            ChunkActivity::Partial
+                        }
                     }
-                    None => true,
+                    None => ChunkActivity::Partial,
                 }
             }
         }
         Restriction::Range { field, min, max } => {
-            let Some(column) = plain_column(field, meta) else { return true };
-            let (Some(cmin), Some(cmax)) = (&column.min, &column.max) else { return false };
-            let above_lo = match min {
-                None => true,
-                Some((v, inclusive)) => match values_compare(cmax, v) {
-                    Ordering::Greater => true,
-                    Ordering::Equal => *inclusive,
-                    Ordering::Less => false,
-                },
+            let Some(column) = resolved_column(field, columns) else {
+                return ChunkActivity::Partial;
             };
-            let below_hi = match max {
-                None => true,
-                Some((v, inclusive)) => match values_compare(cmin, v) {
-                    Ordering::Less => true,
-                    Ordering::Equal => *inclusive,
-                    Ordering::Greater => false,
-                },
+            let (Some(cmin), Some(cmax)) = (&column.min, &column.max) else {
+                return ChunkActivity::Skip; // no rows at all
             };
-            above_lo && below_hi
+            // Range comparisons in the row filter are purely
+            // `values_compare`, so interval reasoning here is exact.
+            let (any_above_lo, all_above_lo) = match min {
+                None => (true, true),
+                Some((v, inclusive)) => {
+                    let any = match values_compare(cmax, v) {
+                        Ordering::Greater => true,
+                        Ordering::Equal => *inclusive,
+                        Ordering::Less => false,
+                    };
+                    let all = match values_compare(cmin, v) {
+                        Ordering::Greater => true,
+                        Ordering::Equal => *inclusive,
+                        Ordering::Less => false,
+                    };
+                    (any, all)
+                }
+            };
+            let (any_below_hi, all_below_hi) = match max {
+                None => (true, true),
+                Some((v, inclusive)) => {
+                    let any = match values_compare(cmin, v) {
+                        Ordering::Less => true,
+                        Ordering::Equal => *inclusive,
+                        Ordering::Greater => false,
+                    };
+                    let all = match values_compare(cmax, v) {
+                        Ordering::Less => true,
+                        Ordering::Equal => *inclusive,
+                        Ordering::Greater => false,
+                    };
+                    (any, all)
+                }
+            };
+            if !any_above_lo || !any_below_hi {
+                ChunkActivity::Skip
+            } else if all_above_lo && all_below_hi {
+                ChunkActivity::Full
+            } else {
+                ChunkActivity::Partial
+            }
         }
     }
 }
 
-fn plain_column<'a>(field: &Expr, meta: &'a ShardMeta) -> Option<&'a ColumnMeta> {
-    meta.column(field.as_column()?)
+/// Resolve a restriction's field expression against a zone map: a bare
+/// column looks up directly; any other expression is the §5.1 partial
+/// evaluation — when it references exactly one column whose complete
+/// distinct set survived, evaluating it over that set yields the complete
+/// distinct set *of the expression*, through exactly the
+/// [`pd_sql::eval_expr`] the row filter would apply. Any evaluation error
+/// or missing precondition resolves to `None` ("maybe").
+fn resolved_column<'a>(field: &Expr, columns: &'a [ColumnMeta]) -> Option<Cow<'a, ColumnMeta>> {
+    if let Some(name) = field.as_column() {
+        return columns.iter().find(|c| c.name == name).map(Cow::Borrowed);
+    }
+    let mut names = Vec::new();
+    field.referenced_columns(&mut names);
+    let [name] = names.as_slice() else { return None };
+    let source = columns.iter().find(|c| c.name == *name)?;
+    let values = source.values.as_ref()?;
+    let mut derived =
+        ColumnMeta { name: field.canonical(), values: Some(Vec::new()), min: None, max: None };
+    for v in values {
+        let row = [(name.as_str(), v.clone())];
+        let out = eval_expr(field, row.as_slice()).ok()?;
+        derived.observe(&out);
+    }
+    Some(Cow::Owned(derived))
 }
 
 // --- wire codecs ------------------------------------------------------------
@@ -202,12 +490,45 @@ impl Decode for ColumnMeta {
     }
 }
 
+impl Encode for ChunkMeta {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.rows.encode(out);
+        self.columns.encode(out);
+    }
+}
+
+impl Decode for ChunkMeta {
+    fn decode(r: &mut Reader<'_>) -> Result<ChunkMeta> {
+        Ok(ChunkMeta { rows: r.u64()?, columns: Vec::<ColumnMeta>::decode(r)? })
+    }
+}
+
+impl Encode for ColumnBloom {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.data_type.encode(out);
+        self.filter.encode(out);
+    }
+}
+
+impl Decode for ColumnBloom {
+    fn decode(r: &mut Reader<'_>) -> Result<ColumnBloom> {
+        Ok(ColumnBloom {
+            name: String::decode(r)?,
+            data_type: DataType::decode(r)?,
+            filter: BloomFilter::decode(r)?,
+        })
+    }
+}
+
 impl Encode for ShardMeta {
     fn encode(&self, out: &mut Vec<u8>) {
         self.shard.encode(out);
         self.rows.encode(out);
         self.chunks.encode(out);
         self.columns.encode(out);
+        self.chunk_metas.encode(out);
+        self.blooms.encode(out);
     }
 }
 
@@ -218,6 +539,8 @@ impl Decode for ShardMeta {
             rows: r.u64()?,
             chunks: r.u64()?,
             columns: Vec::<ColumnMeta>::decode(r)?,
+            chunk_metas: Vec::<ChunkMeta>::decode(r)?,
+            blooms: Vec::<ColumnBloom>::decode(r)?,
         })
     }
 }
@@ -250,6 +573,17 @@ mod tests {
     fn restriction(where_sql: &str) -> Restriction {
         let q = parse_query(&format!("SELECT COUNT(*) FROM t WHERE {where_sql}")).unwrap();
         Restriction::from_expr(&q.where_clause.unwrap())
+    }
+
+    /// Row-major test data → the column slices the production path (a
+    /// columnar [`pd_data::Table`]) hands to the chunk/bloom builders.
+    fn transposed(rows: &[Row]) -> Vec<Vec<Value>> {
+        let width = rows.first().map_or(0, |r| r.0.len());
+        (0..width).map(|i| rows.iter().map(|r| r.0[i].clone()).collect()).collect()
+    }
+
+    fn as_slices(columns: &[Vec<Value>]) -> Vec<&[Value]> {
+        columns.iter().map(|c| c.as_slice()).collect()
     }
 
     #[test]
@@ -294,6 +628,133 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_and_or_err_toward_maybe() {
+        // `all` over zero children is vacuously true and `any` vacuously
+        // false — the latter would have turned an empty OR into a pruning
+        // *proof*. Both degenerate forms must read "maybe": no future
+        // parser/normalizer change may silently drop rows through them.
+        let meta = sample_meta();
+        assert!(may_match(&Restriction::And(vec![]), &meta));
+        assert!(may_match(&Restriction::Or(vec![]), &meta));
+        // Nested inside a live tree they stay harmless.
+        assert!(may_match(
+            &Restriction::And(vec![restriction("country = 'DE'"), Restriction::Or(vec![])]),
+            &meta
+        ));
+        // ... and never weaken a sibling proof.
+        assert!(!may_match(
+            &Restriction::And(vec![restriction("country = 'US'"), Restriction::Or(vec![])]),
+            &meta
+        ));
+    }
+
+    #[test]
+    fn blooms_refute_equality_on_degraded_columns() {
+        // >MAX_DISTINCT distinct strings degrade the set; the Bloom layer
+        // still proves absence for equality probes.
+        let schema = Schema::of(&[("term", DataType::Str)]);
+        let rows: Vec<Row> =
+            (0..200).map(|i| Row(vec![Value::from(format!("term-{i}"))])).collect();
+        let mut meta = ShardMeta::summarize(0, &schema, &rows);
+        assert_eq!(meta.column("term").unwrap().values, None, "set must have degraded");
+        // Without blooms: min/max spans the probes, so everything is maybe.
+        assert!(may_match(&restriction("term = 'term-0a'"), &meta));
+        let cols = transposed(&rows);
+        meta.build_blooms(&schema, &as_slices(&cols));
+        assert_eq!(meta.blooms.len(), 1);
+        // Present values always probe true (no false negatives) ...
+        for i in (0..200).step_by(17) {
+            assert!(may_match(&restriction(&format!("term = 'term-{i}'")), &meta));
+        }
+        // ... and a provably-absent value prunes.
+        assert!(!may_match(&restriction("term = 'term-0a'"), &meta));
+        // Cross-type probes bail to maybe (SQL equality is numeric across
+        // Int/Float; the hashes are not).
+        let ints: Vec<Row> = (0..200).map(|i| Row(vec![Value::Int(i)])).collect();
+        let int_schema = Schema::of(&[("term", DataType::Int)]);
+        let mut int_meta = ShardMeta::summarize(0, &int_schema, &ints);
+        let int_cols = transposed(&ints);
+        int_meta.build_blooms(&int_schema, &as_slices(&int_cols));
+        assert!(may_match(&restriction("term = 60.0"), &int_meta), "float probe on int bloom");
+        // NOT IN is never refuted by a bloom (needs the complete set).
+        assert!(may_match(&restriction("term NOT IN ('term-1')"), &meta));
+    }
+
+    /// Two chunks with a value gap between them: rows 0..50 hold 0..49,
+    /// rows 50..100 hold 1050..1099.
+    fn gapped_meta() -> ShardMeta {
+        let schema = Schema::of(&[("v", DataType::Int)]);
+        let rows: Vec<Row> =
+            (0..100i64).map(|i| Row(vec![Value::Int(if i < 50 { i } else { 1000 + i })])).collect();
+        let part =
+            Partitioning { row_order: (0..100u32).collect(), chunk_starts: vec![0, 50, 100] };
+        let mut meta = ShardMeta::summarize(1, &schema, &rows);
+        meta.chunks = 2;
+        let cols = transposed(&rows);
+        meta.summarize_chunks(&schema, &as_slices(&cols), &part);
+        meta
+    }
+
+    #[test]
+    fn chunk_layer_prunes_inside_the_shard_envelope() {
+        let meta = gapped_meta();
+        assert_eq!(meta.chunk_metas.len(), 2);
+        // The shard zone map spans [0, 1099]: a range in the gap is maybe
+        // at shard granularity but provably dead in *every* chunk.
+        let gap = restriction("v > 100 AND v < 1000");
+        assert!(shard_may_match(&gap, &meta), "shard layer alone cannot refute");
+        assert!(
+            chunk_verdicts(&gap, &meta).iter().all(|a| *a == ChunkActivity::Skip),
+            "both chunks are provably dead"
+        );
+        assert!(!may_match(&gap, &meta), "zero live chunks prune the shard");
+        // A range touching one chunk keeps exactly that chunk live.
+        let low = restriction("v < 40");
+        let verdicts = chunk_verdicts(&low, &meta);
+        assert_ne!(verdicts[0], ChunkActivity::Skip);
+        assert_eq!(verdicts[1], ChunkActivity::Skip);
+        assert!(may_match(&low, &meta));
+        // Fully-covered chunks are recognized as such.
+        let all = restriction("v >= 0");
+        assert!(chunk_verdicts(&all, &meta).iter().all(|a| *a == ChunkActivity::Full));
+    }
+
+    #[test]
+    fn virtual_fields_prune_through_partial_evaluation() {
+        // §5.1: evaluate `date(timestamp)` over the column's complete
+        // value set — the derived set decides restrictions no bare-column
+        // zone map could.
+        let schema = Schema::of(&[("timestamp", DataType::Int)]);
+        let rows: Vec<Row> = (0..90i64)
+            .map(|i| Row(vec![Value::Int((i % 3) * 86_400 + 100)])) // 3 distinct days
+            .collect();
+        let meta = ShardMeta::summarize(0, &schema, &rows);
+        assert!(meta.column("timestamp").unwrap().values.is_some());
+        assert!(may_match(&restriction("date(timestamp) IN ('1970-01-02')"), &meta));
+        assert!(
+            !may_match(&restriction("date(timestamp) IN ('1970-01-05')"), &meta),
+            "a day outside the derived set prunes"
+        );
+        // Range restrictions work through the derived extremes too.
+        assert!(!may_match(&restriction("date(timestamp) > '1970-01-09'"), &meta));
+        assert!(may_match(&restriction("date(timestamp) >= '1970-01-01'"), &meta));
+        // Arithmetic expressions derive the same way.
+        assert!(!may_match(&restriction("timestamp * 2 > 400000"), &meta));
+        // A degraded source set cannot derive: maybe.
+        let many: Vec<Row> = (0..100i64).map(|i| Row(vec![Value::Int(i * 86_400)])).collect();
+        let degraded = ShardMeta::summarize(0, &schema, &many);
+        assert_eq!(degraded.column("timestamp").unwrap().values, None);
+        assert!(may_match(&restriction("date(timestamp) IN ('2012-01-01')"), &degraded));
+        // Evaluation errors resolve to maybe, never a panic or a prune.
+        assert!(may_match(&restriction("nosuchfn(timestamp) IN (1)"), &meta));
+        // Multi-column expressions stay opaque.
+        let two = Schema::of(&[("a", DataType::Int), ("b", DataType::Int)]);
+        let ab: Vec<Row> = (0..5i64).map(|i| Row(vec![Value::Int(i), Value::Int(i)])).collect();
+        let meta_ab = ShardMeta::summarize(0, &two, &ab);
+        assert!(may_match(&restriction("a + b > 100"), &meta_ab));
+    }
+
+    #[test]
     fn signed_zero_equality_never_prunes_a_matching_shard() {
         // >MAX_DISTINCT distinct floats, all <= -0.0, so the value set
         // degrades to min/max with max = -0.0. `x = 0` matches the -0.0
@@ -314,6 +775,13 @@ mod tests {
         assert!(may_match(&restriction("x = -60"), &meta), "equality with min");
         assert!(!may_match(&restriction("x = 1"), &meta), "still prunes above the range");
         assert!(!may_match(&restriction("x = -61"), &meta), "still prunes below the range");
+        // The Bloom layer must respect the same corner: with blooms built,
+        // the numeric cross-type probe `x = 0` bails to maybe (Int probe
+        // on a Float filter), so the matching shard still survives.
+        let mut bloomed = ShardMeta::summarize(0, &schema, &rows);
+        let cols = transposed(&rows);
+        bloomed.build_blooms(&schema, &as_slices(&cols));
+        assert!(may_match(&restriction("x = 0"), &bloomed));
     }
 
     #[test]
@@ -328,6 +796,29 @@ mod tests {
     fn metas_round_trip_on_the_wire() {
         let mut meta = sample_meta();
         meta.chunks = 4;
+        let schema = Schema::of(&[
+            ("country", DataType::Str),
+            ("latency", DataType::Int),
+            ("x", DataType::Float),
+        ]);
+        let rows: Vec<Row> = (0..100i64)
+            .map(|i| {
+                Row(vec![
+                    Value::from(["DE", "FR"][(i % 2) as usize]),
+                    Value::Int(100 + i),
+                    Value::Float(i as f64 * 0.5),
+                ])
+            })
+            .collect();
+        let part = Partitioning {
+            row_order: (0..100u32).collect(),
+            chunk_starts: vec![0, 25, 50, 75, 100],
+        };
+        let cols = transposed(&rows);
+        meta.summarize_chunks(&schema, &as_slices(&cols), &part);
+        meta.build_blooms(&schema, &as_slices(&cols));
+        assert_eq!(meta.chunk_metas.len(), 4);
+        assert!(!meta.blooms.is_empty(), "latency degraded, so it carries a bloom");
         let back: ShardMeta = from_bytes(&to_bytes(&meta)).unwrap();
         assert_eq!(back, meta);
         // Truncations error, never panic.

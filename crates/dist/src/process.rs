@@ -132,6 +132,10 @@ pub struct TreeConfig {
     /// Compress RPC frames (negotiated per connection, applied down the
     /// whole tree).
     pub compress: bool,
+    /// Use the chunk-granular metadata layers (per-chunk zone maps) for
+    /// edge pruning and leaf scan seeding; off, pruning is shard-granular
+    /// only. Results are identical either way.
+    pub chunk_pruning: bool,
 }
 
 /// Locate the worker binary: an explicit path, the `PD_DIST_WORKER_BIN`
@@ -177,6 +181,7 @@ pub struct ProcessTree {
     names: Vec<String>,
     budget: Duration,
     compress: bool,
+    chunk_pruning: bool,
 }
 
 static TREE_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -207,6 +212,7 @@ impl ProcessTree {
             names: Vec::new(),
             budget: config.budget,
             compress: config.compress,
+            chunk_pruning: config.chunk_pruning,
         };
         tree.populate(shard_count, shard_table, build, config)?;
         Ok(tree)
@@ -385,6 +391,7 @@ impl ProcessTree {
             killed,
             epoch,
             chaos,
+            chunk_pruning: self.chunk_pruning,
         };
         fan_out(&self.frontier, &request)
     }

@@ -421,6 +421,12 @@ pub struct QueryRequest {
     /// seeded [`crate::ChaosModel`] and forwarded whole down the tree;
     /// each worker applies only the faults naming its own node.
     pub chaos: Vec<ChaosDirective>,
+    /// Whether parents may use the chunk-granular metadata layers
+    /// ([`crate::meta::chunk_verdicts`]) to prune edges and leaves may
+    /// seed their scans with the same verdicts. Off, pruning falls back
+    /// to the shard-granular zone map + blooms only — results are
+    /// identical either way; only the work moves.
+    pub chunk_pruning: bool,
 }
 
 /// Per-shard observation, reported up the tree: how long the subquery took
@@ -525,6 +531,7 @@ impl Encode for Request {
                 query.killed.encode(out);
                 query.epoch.encode(out);
                 query.chaos.encode(out);
+                query.chunk_pruning.encode(out);
             }
             Request::Delay { micros } => {
                 out.push(REQ_DELAY);
@@ -564,6 +571,7 @@ impl Decode for Request {
                 killed: Vec::decode(r)?,
                 epoch: r.u64()?,
                 chaos: Vec::decode(r)?,
+                chunk_pruning: bool::decode(r)?,
             })),
             REQ_DELAY => Request::Delay { micros: r.u64()? },
             REQ_SHUTDOWN => Request::Shutdown,
@@ -1073,8 +1081,12 @@ impl ChildHandle {
     /// child proves no row can match, synthesize the empty answer locally
     /// — full skip accounting, one `subtrees_pruned` for the edge that
     /// never carried the query, a zero-latency report per shard — and
-    /// spend no network hop at all.
-    fn pruned_answer(&self) -> SubtreeAnswer {
+    /// spend no network hop at all. With chunk pruning enabled the proof
+    /// is chunk-granular, so the chunks beneath the edge are additionally
+    /// annotated as [`ScanStats::chunks_pruned_remote`] (they still land
+    /// in `chunks_skipped` — the annotation records *where* the proof
+    /// happened, outside the skip/cache/scan balance).
+    fn pruned_answer(&self, count_chunks: bool) -> SubtreeAnswer {
         let mut answer = SubtreeAnswer::empty();
         answer.stats.subtrees_pruned = 1;
         for meta in self.spec.metas() {
@@ -1082,6 +1094,9 @@ impl ChildHandle {
             answer.stats.rows_skipped += meta.rows;
             answer.stats.chunks_total += meta.chunks as usize;
             answer.stats.chunks_skipped += meta.chunks as usize;
+            if count_chunks {
+                answer.stats.chunks_pruned_remote += meta.chunks as usize;
+            }
             answer.reports.push(ShardReport {
                 shard: meta.shard,
                 latency: Duration::ZERO,
@@ -1110,10 +1125,19 @@ impl ChildHandle {
         // recorded). Killed shards without replication are still rejected
         // at the root before any fan-out begins.
         let metas = self.spec.metas();
-        if !metas.is_empty()
-            && metas.iter().all(|m| !meta::may_match(&request.query.restriction, m))
-        {
-            return Ok(self.pruned_answer());
+        let dead = !metas.is_empty()
+            && metas.iter().all(|m| {
+                if request.chunk_pruning {
+                    // Full layered check: shard zone map → blooms → how
+                    // many chunks survive. Zero live chunks prune the
+                    // edge even when the shard envelope cannot.
+                    !meta::may_match(&request.query.restriction, m)
+                } else {
+                    !meta::shard_may_match(&request.query.restriction, m)
+                }
+            });
+        if dead {
+            return Ok(self.pruned_answer(request.chunk_pruning));
         }
         let started = Instant::now();
         let message = Request::Query(Box::new(request.clone()));
@@ -1426,6 +1450,7 @@ mod tests {
                         fault: crate::chaos::ChaosFault::Delay(Duration::from_millis(3)),
                     },
                 ],
+                chunk_pruning: true,
             })),
             Request::Delay { micros: 5000 },
             Request::Shutdown,
@@ -1440,7 +1465,12 @@ mod tests {
     fn responses_round_trip() {
         let answer = SubtreeAnswer {
             partial: PartialResult::default(),
-            stats: ScanStats { rows_total: 9, subtrees_pruned: 1, ..Default::default() },
+            stats: ScanStats {
+                rows_total: 9,
+                subtrees_pruned: 1,
+                chunks_pruned_remote: 4,
+                ..Default::default()
+            },
             reports: vec![ShardReport {
                 shard: 1,
                 latency: Duration::from_micros(77),
@@ -1573,6 +1603,7 @@ mod tests {
             killed: Vec::new(),
             epoch: 1,
             chaos: Vec::new(),
+            chunk_pruning: false,
         };
         let answer = fan_out(std::slice::from_ref(&handle), &request).unwrap();
         assert_eq!(answer.stats.subtrees_pruned, 1);
@@ -1590,6 +1621,7 @@ mod tests {
             killed: Vec::new(),
             epoch: 1,
             chaos: Vec::new(),
+            chunk_pruning: true,
         };
         let err = handle.query(&request).unwrap_err();
         assert!(

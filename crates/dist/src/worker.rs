@@ -52,14 +52,16 @@
 //! behind it.
 
 use crate::chaos::ChaosFault;
-use crate::meta::ShardMeta;
+use crate::meta::{self, ShardMeta};
 use crate::rpc::{
     encode_frame, fan_out, read_frame_negotiated, write_frame, Addr, ChildHandle, Listener,
     LoadRequest, QueryRequest, Request, Response, ShardReport, Stream, SubtreeAnswer,
 };
 use crate::shard_cache::{query_signature, CachedSubtree, WorkerCache};
-use pd_common::{Error, Result, RpcError};
-use pd_core::{execute_partial, CachePolicy, DataStore, ExecContext, ResultCache, TieredCache};
+use pd_common::{Error, Result, RpcError, Value};
+use pd_core::{
+    execute_partial_seeded, CachePolicy, DataStore, ExecContext, ResultCache, TieredCache,
+};
 use pd_data::Table;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -111,6 +113,10 @@ struct LeafStore {
     shard: u64,
     store: DataStore,
     ctx: ExecContext,
+    /// The shard's own metadata (the same object the `Loaded` ack ships):
+    /// queries with chunk pruning enabled seed their scan with the
+    /// per-chunk verdicts instead of re-deriving them per query plan.
+    meta: ShardMeta,
 }
 
 /// What this worker currently is. `Load` and `Attach` are role
@@ -419,6 +425,14 @@ fn build_leaf(load: LoadRequest) -> Result<(LeafStore, ShardMeta)> {
     }
     let store = DataStore::build(&table, &load.build)?;
     meta.chunks = store.chunk_count() as u64;
+    // The chunk-granular layers come from the *built* store: its
+    // partitioning says which imported rows each chunk scan would visit,
+    // so the per-chunk zone maps (and the blooms for degraded columns)
+    // describe exactly the data every query-time verdict must hold for.
+    let columns: Vec<&[Value]> =
+        (0..table.schema().fields().len()).map(|i| table.column(i)).collect();
+    meta.summarize_chunks(table.schema(), &columns, store.partitioning());
+    meta.build_blooms(table.schema(), &columns);
     let ctx = ExecContext {
         sketch_m: 0,
         threads: load.threads as usize,
@@ -429,12 +443,19 @@ fn build_leaf(load: LoadRequest) -> Result<(LeafStore, ShardMeta)> {
             load.cache_budget as usize / 2,
         ))),
     };
-    Ok((LeafStore { shard: load.shard, store, ctx }, meta))
+    Ok((LeafStore { shard: load.shard, store, ctx, meta: meta.clone() }, meta))
 }
 
 fn execute_leaf(leaf: &LeafStore, query: &QueryRequest, queued: Duration) -> Result<SubtreeAnswer> {
     let started = Instant::now();
-    let (partial, stats) = execute_partial(&leaf.store, &query.query, &leaf.ctx)?;
+    // Seed the scan with the metadata verdicts the parent already pruned
+    // by: chunks the zone maps prove dead are skipped without consulting
+    // the dictionaries, and the sound-verdict lattice composes the rest
+    // with the local analysis (`seed.and(local)` — never less precise).
+    let seeds = (query.chunk_pruning && !leaf.meta.chunk_metas.is_empty())
+        .then(|| meta::chunk_verdicts(&query.query.restriction, &leaf.meta));
+    let (partial, stats) =
+        execute_partial_seeded(&leaf.store, &query.query, &leaf.ctx, seeds.as_deref())?;
     Ok(SubtreeAnswer {
         partial,
         stats,

@@ -91,6 +91,7 @@ fn random_request(rng: &mut Rng, case: usize) -> Request {
                 killed: (0..rng.range_usize(0, 5)).map(|_| rng.next_u64() % 8).collect(),
                 epoch: rng.next_u64(),
                 chaos,
+                chunk_pruning: rng.next_u64().is_multiple_of(2),
             }))
         }
         2 => Request::Delay { micros: rng.next_u64() },
@@ -117,6 +118,7 @@ fn random_response(rng: &mut Rng, partial: &PartialResult, case: usize) -> Respo
                     rows_total: rng.next_u64() % 10_000,
                     rows_skipped: rng.next_u64() % 10_000,
                     subtrees_pruned: rng.range_usize(0, 4),
+                    chunks_pruned_remote: rng.range_usize(0, 64),
                     worker_cache_hits: rng.range_usize(0, 4),
                     ..Default::default()
                 },

@@ -203,6 +203,108 @@ fn restriction_preskip_prunes_non_matching_subtrees() {
 }
 
 #[test]
+fn chunk_granular_pruning_kills_edges_the_shard_envelope_cannot() {
+    // The `v` strings fall in two lexicographic regions — v0000..v0029
+    // and v1000..v1029 — and every shard sees all 60 of them, so the
+    // shard envelope spans the gap and shard-granular pruning is blind to
+    // a query inside it. The column is a *string* under a production
+    // (trie-dictionary) build, so the leaf-local skip analysis is blind
+    // too: tries cannot rank range bounds, every chunk reads Opaque and
+    // scans. But each value repeats 10× per shard and chunks cap at 50
+    // rows, so chunk boundaries align to value runs and every chunk of
+    // the value-partitioned store carries a tight value-space min/max —
+    // the shipped zone maps prove the gap query empty chunk by chunk.
+    // With chunk pruning on, the whole tree prunes at the root with
+    // `chunks_pruned_remote` annotating every chunk beneath the dead
+    // edges; off, the same query must scan every row.
+    let all: Vec<String> = (0..30)
+        .map(|i| format!("v{i:04}"))
+        .chain((1000..1030).map(|i| format!("v{i:04}")))
+        .collect();
+    let schema = Schema::of(&[("v", DataType::Str)]);
+    let mut table = Table::new(schema);
+    for i in 0..2400usize {
+        table.push_row(Row(vec![Value::from(all[i % all.len()].as_str())])).unwrap();
+    }
+    let mut build = BuildOptions::production(&["v"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = 50;
+    }
+    let store = DataStore::build(&table, &build).unwrap();
+
+    let dead_sql = "SELECT COUNT(*) c FROM t WHERE v > 'v0029' AND v < 'v1000'";
+    let half_sql = "SELECT COUNT(*) c FROM t WHERE v < 'v1000'";
+
+    let cluster_with = |chunk_pruning: bool| {
+        Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards: 4,
+                replication: false,
+                build: build.clone(),
+                tree: TreeShape { fanout: 2 },
+                transport: rpc(Duration::from_secs(30)),
+                chunk_pruning,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    };
+    let on = cluster_with(true);
+    let off = cluster_with(false);
+
+    // The provably-empty query: chunk verdicts prune every edge remotely.
+    let (expect, _) = query(&store, dead_sql).unwrap();
+    let pruned = on.query(dead_sql).unwrap();
+    assert_eq!(pruned.result, expect);
+    assert!(pruned.stats.subtrees_pruned > 0, "dead edges must prune: {:?}", pruned.stats);
+    assert_eq!(pruned.stats.rows_scanned, 0, "no frame carries a provably-empty query");
+    assert_eq!(pruned.stats.rows_skipped, pruned.stats.rows_total);
+    assert!(pruned.stats.chunks_pruned_remote > 0);
+    assert_eq!(
+        pruned.stats.chunks_pruned_remote, pruned.stats.chunks_total,
+        "every chunk beneath the pruned edges is annotated: {:?}",
+        pruned.stats
+    );
+    assert_eq!(
+        pruned.stats.chunks_skipped + pruned.stats.chunks_cached + pruned.stats.chunks_scanned,
+        pruned.stats.chunks_total,
+        "the remote annotation stays outside the skip/cache/scan balance"
+    );
+
+    // The same query with chunk pruning off: the shard envelope straddles
+    // the gap and the trie dictionaries cannot rank the bounds, so every
+    // row scans — to the same bit-identical (empty) result.
+    let scanned = off.query(dead_sql).unwrap();
+    assert_eq!(scanned.result, expect);
+    assert_eq!(scanned.stats.subtrees_pruned, 0, "{:?}", scanned.stats);
+    assert_eq!(scanned.stats.chunks_pruned_remote, 0);
+    assert!(scanned.stats.rows_scanned > 0, "shard-only pruning must fall back to scanning");
+
+    // The half-dead query: no edge dies (every shard keeps live low-region
+    // chunks), but the shipped verdicts seed each leaf's scan — the
+    // high-region chunks skip without the leaf re-deriving anything, so
+    // strictly fewer rows are scanned for a bit-identical result.
+    let (expect, _) = query(&store, half_sql).unwrap();
+    let seeded = on.query(half_sql).unwrap();
+    let unseeded = off.query(half_sql).unwrap();
+    assert_eq!(seeded.result, expect);
+    assert_eq!(unseeded.result, expect);
+    assert_eq!(seeded.stats.subtrees_pruned, 0);
+    assert!(
+        seeded.stats.rows_scanned < unseeded.stats.rows_scanned,
+        "seeded chunk verdicts must cut the scan: {} vs {}",
+        seeded.stats.rows_scanned,
+        unseeded.stats.rows_scanned
+    );
+    assert_eq!(
+        seeded.stats.rows_skipped + seeded.stats.rows_cached + seeded.stats.rows_scanned,
+        seeded.stats.rows_total,
+        "seeded skips land in the ordinary accounting"
+    );
+}
+
+#[test]
 fn queue_delays_are_measured_not_modeled() {
     // One worker process, requests racing over *separate connections*. Two
     // claims, both only observation can make:
@@ -256,6 +358,7 @@ fn queue_delays_are_measured_not_modeled() {
         killed: Vec::new(),
         epoch: 1,
         chaos: Vec::new(),
+        chunk_pruning: true,
     }));
     let ask = |addr: Addr| -> (Duration, Duration) {
         let started = std::time::Instant::now();
@@ -407,6 +510,7 @@ fn role_reassignment_replaces_the_previous_role() {
         killed: Vec::new(),
         epoch: 1,
         chaos: Vec::new(),
+        chunk_pruning: true,
     }));
     let ask = |client: &mut RpcClient| match client.call(&query, Duration::from_secs(30)).unwrap() {
         Response::Answer(answer) => answer,

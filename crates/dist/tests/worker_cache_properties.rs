@@ -143,6 +143,7 @@ fn epoch_bump_drops_a_worker_cache() {
             killed: Vec::new(),
             epoch,
             chaos: Vec::new(),
+            chunk_pruning: true,
         }));
         match client.call(&request, Duration::from_secs(30)).unwrap() {
             Response::Answer(answer) => answer,

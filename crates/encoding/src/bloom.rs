@@ -9,7 +9,8 @@
 //! Keys are inserted as 64-bit hashes; the `k` probe positions derive from
 //! the two hash halves (Kirsch–Mitzenmacher double hashing).
 
-use pd_common::{fx_hash64, HeapSize};
+use pd_common::wire::{Decode, Encode, Reader};
+use pd_common::{fx_hash64, Error, HeapSize, Result};
 use std::hash::Hash;
 
 /// A fixed-size Bloom filter.
@@ -74,6 +75,44 @@ impl HeapSize for BloomFilter {
     }
 }
 
+// Wire codec: filters travel inside shard metadata (`Load`/`Attach` acks),
+// so the decode side must uphold the invariants every probe relies on —
+// `bits` a power of two ≥ 64 (the probe mask is `bits - 1`), `k` in the
+// constructor's clamp range, and exactly `bits / 64` words (probes index
+// words unchecked-by-construction). Corrupt bytes are an `Err`, never a
+// panic or an out-of-bounds probe.
+impl Encode for BloomFilter {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bits.encode(out);
+        self.k.encode(out);
+        self.words.encode(out);
+    }
+}
+
+impl Decode for BloomFilter {
+    fn decode(r: &mut Reader<'_>) -> Result<BloomFilter> {
+        let bits = r.u64()?;
+        if !bits.is_power_of_two() || bits < 64 {
+            return Err(Error::Data(format!(
+                "wire: bloom bit count {bits} is not a power of two ≥ 64"
+            )));
+        }
+        let k = u32::decode(r)?;
+        if !(1..=16).contains(&k) {
+            return Err(Error::Data(format!("wire: bloom probe count {k} outside 1..=16")));
+        }
+        let words = Box::<[u64]>::decode(r)?;
+        if words.len() as u64 != bits / 64 {
+            return Err(Error::Data(format!(
+                "wire: bloom with {bits} bits carries {} words (need {})",
+                words.len(),
+                bits / 64
+            )));
+        }
+        Ok(BloomFilter { words, k, bits })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +164,25 @@ mod tests {
         }
         assert!(f.fill_ratio() > before);
         assert!(f.fill_ratio() < 1.0);
+    }
+
+    #[test]
+    fn codec_round_trips_and_rejects_corruption() {
+        let mut f = BloomFilter::new(100, 10);
+        for i in 0..100u64 {
+            f.insert(&i);
+        }
+        let bytes = pd_common::wire::to_bytes(&f);
+        let back: BloomFilter = pd_common::wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, f);
+        // Truncations error, never panic.
+        for cut in 0..bytes.len().min(64) {
+            assert!(pd_common::wire::from_bytes::<BloomFilter>(&bytes[..cut]).is_err());
+        }
+        // An invalid bit count (mask would be wrong) is rejected.
+        let mut bad = bytes.clone();
+        bad[0] = 63; // u64 LE: bits = 63, not a power of two
+        assert!(pd_common::wire::from_bytes::<BloomFilter>(&bad).is_err());
     }
 
     #[test]

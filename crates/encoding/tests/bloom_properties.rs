@@ -1,0 +1,102 @@
+//! Randomized properties of the Bloom filter and its wire codec, in the
+//! style of `pd-dist`'s `frame_properties.rs`: filters travel inside shard
+//! metadata (`Load`/`Attach` acks), so the codec must round-trip
+//! bit-identically, never lose a key (no false negatives survive a round
+//! trip), and never panic on corrupt bytes — truncation, bit flips and
+//! outright garbage are all an `Err`, not UB or an out-of-bounds probe.
+
+use pd_common::rng::Rng;
+use pd_common::wire::{from_bytes, to_bytes};
+use pd_encoding::BloomFilter;
+
+/// A filter with a random (but reproducible) key population.
+fn random_filter(rng: &mut Rng) -> (BloomFilter, Vec<u64>) {
+    let expected = rng.range_usize(0, 500);
+    let bits_per_key = rng.range_usize(0, 16);
+    let mut filter = BloomFilter::new(expected, bits_per_key);
+    let keys: Vec<u64> = (0..rng.range_usize(0, 600)).map(|_| rng.next_u64()).collect();
+    for key in &keys {
+        filter.insert(key);
+    }
+    (filter, keys)
+}
+
+#[test]
+fn codec_round_trips_with_no_false_negatives() {
+    let mut rng = Rng::seed_from_u64(0xb100_0001);
+    for case in 0..64 {
+        let (filter, keys) = random_filter(&mut rng);
+        let bytes = to_bytes(&filter);
+        let back: BloomFilter = from_bytes(&bytes).unwrap();
+        assert_eq!(back, filter, "case {case}");
+        // The no-false-negative guarantee must hold through the codec:
+        // every inserted key still probes true on the decoded filter.
+        for key in &keys {
+            assert!(back.may_contain(key), "case {case}: false negative for {key} after decode");
+        }
+    }
+}
+
+#[test]
+fn truncations_error_never_panic() {
+    let mut rng = Rng::seed_from_u64(0xb100_0002);
+    for case in 0..16 {
+        let (filter, _) = random_filter(&mut rng);
+        let bytes = to_bytes(&filter);
+        for cut in 0..bytes.len() {
+            assert!(
+                from_bytes::<BloomFilter>(&bytes[..cut]).is_err(),
+                "case {case}: truncation at {cut} must be an error"
+            );
+        }
+    }
+}
+
+#[test]
+fn bit_flips_decode_or_error_but_never_break_invariants() {
+    // A single flipped bit may still decode (flips inside the word array
+    // are indistinguishable from a different filter) — but whatever comes
+    // back must uphold the probe invariants: in-range `k`, power-of-two
+    // `bits`, and a word count that makes every probe in-bounds (checked
+    // implicitly by probing — a violation would panic the index).
+    let mut rng = Rng::seed_from_u64(0xb100_0003);
+    for case in 0..32 {
+        let (filter, _) = random_filter(&mut rng);
+        let bytes = to_bytes(&filter);
+        let flip = rng.range_usize(0, bytes.len() * 8);
+        let mut bad = bytes.clone();
+        bad[flip / 8] ^= 1 << (flip % 8);
+        if let Ok(back) = from_bytes::<BloomFilter>(&bad) {
+            assert!(back.bit_count().is_power_of_two(), "case {case}");
+            for probe in 0..64u64 {
+                let _ = back.may_contain(&probe); // must not panic
+            }
+        }
+    }
+}
+
+#[test]
+fn garbage_bytes_never_panic() {
+    let mut rng = Rng::seed_from_u64(0xb100_0004);
+    for case in 0..256 {
+        let len = rng.range_usize(0, 200);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        if let Ok(back) = from_bytes::<BloomFilter>(&garbage) {
+            // Vanishingly unlikely, but if it decodes it must be usable.
+            assert!(back.bit_count().is_power_of_two(), "case {case}");
+            let _ = back.may_contain(&0u64);
+        }
+    }
+}
+
+#[test]
+fn oversized_claims_are_rejected_not_allocated() {
+    // A frame claiming 2^63 bits with no words behind it must be an error
+    // at the length check, not a giant allocation or a probe out of range.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(1u64 << 63).to_le_bytes()); // bits
+    bytes.extend_from_slice(&4u32.to_le_bytes()); // k
+    bytes.extend_from_slice(&1u64.to_le_bytes()); // word count claim
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // one actual word
+    assert!(from_bytes::<BloomFilter>(&bytes).is_err());
+}

@@ -468,6 +468,111 @@ fn transport_axis_is_bit_identical_across_process_split() {
     }
 }
 
+/// The pruning axis: chunk-granular pruning (per-chunk zone maps, Bloom
+/// filters and virtual-field partial evaluation shipped in the Load acks)
+/// is pure work-avoidance — switching it off may only move scans around,
+/// never change a row. Every matrix query runs cold and warm, with the
+/// layered pruner on and off, over the in-process tree and a real
+/// process-split tree (unix sockets and compressed TCP), and every result
+/// must be **bit-identical** (floats included) to the sequential
+/// single-store answer. The matrix includes `date(timestamp)` drill-downs
+/// (the §5.1 virtual-field path) and gap restrictions the shard envelope
+/// cannot refute, so both the prune-the-edge and the seed-the-leaf paths
+/// are exercised against the reference.
+#[test]
+fn chunk_pruning_axis_is_bit_identical_on_and_off() {
+    use powerdrill::data::{generate_logs, LogsSpec};
+    use powerdrill::dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape, WorkerAddr};
+    use std::time::Duration;
+
+    let table = generate_logs(&LogsSpec::scaled(1_200));
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = 150;
+    }
+    let store = DataStore::build(&table, &build).unwrap();
+    let sequential = ExecContext { threads: 1, ..Default::default() };
+    // The shared matrix plus restrictions built to *prune*: an equality on
+    // a date() virtual field and a selective country drill-down.
+    let queries: Vec<&str> = MATRIX_QUERIES
+        .iter()
+        .copied()
+        .chain([
+            "SELECT country, COUNT(*) c FROM data \
+             WHERE date(timestamp) IN ('1970-01-01') GROUP BY country ORDER BY c DESC",
+            "SELECT table_name, COUNT(*) c, SUM(latency) s FROM data \
+             WHERE country IN ('SG') AND latency > 100.0 GROUP BY table_name ORDER BY c DESC LIMIT 5",
+        ])
+        .collect();
+    let expected: Vec<QueryResult> = queries
+        .iter()
+        .map(|sql| {
+            let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+            execute(&store, &analyzed, &sequential).unwrap().0
+        })
+        .collect();
+
+    let worker_bin = std::path::PathBuf::from(env!("CARGO_BIN_EXE_pd-worker"));
+    let rpc = |addr: WorkerAddr, compress: bool| {
+        Transport::Rpc(RpcConfig {
+            worker_bin: Some(worker_bin.clone()),
+            budget: Duration::from_secs(30),
+            addr,
+            compress,
+        })
+    };
+    for chunk_pruning in [true, false] {
+        let transports = [
+            ("in-process", Transport::InProcess),
+            ("unix", rpc(WorkerAddr::Unix, false)),
+            ("tcp+z", rpc(WorkerAddr::loopback(), true)),
+        ];
+        for (transport_name, transport) in transports {
+            let label = format!("pruning={chunk_pruning} transport={transport_name}");
+            let cluster = Cluster::build(
+                &table,
+                &ClusterConfig {
+                    shards: 3,
+                    replication: false,
+                    shard_cache: 64,
+                    tree: TreeShape { fanout: 2 },
+                    build: build.clone(),
+                    transport,
+                    chunk_pruning,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for pass in 0..2 {
+                for (sql, want) in queries.iter().zip(&expected) {
+                    let outcome = cluster.query(sql).unwrap();
+                    assert_eq!(outcome.result, *want, "{label} pass={pass}: {sql}");
+                    assert_eq!(
+                        outcome.stats.rows_skipped
+                            + outcome.stats.rows_cached
+                            + outcome.stats.rows_scanned,
+                        outcome.stats.rows_total,
+                        "row accounting must balance: {label} pass={pass}: {sql}"
+                    );
+                    assert_eq!(
+                        outcome.stats.chunks_skipped
+                            + outcome.stats.chunks_cached
+                            + outcome.stats.chunks_scanned,
+                        outcome.stats.chunks_total,
+                        "chunk accounting must balance: {label} pass={pass}: {sql}"
+                    );
+                    if !chunk_pruning {
+                        assert_eq!(
+                            outcome.stats.chunks_pruned_remote, 0,
+                            "{label}: the counter is the layered pruner's alone: {sql}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Width of the process tree's frontier (the level the driver root
 /// queries): leaves while they fit the fanout, else the top merge level.
 fn frontier_width(shards: usize, fanout: usize) -> usize {
