@@ -1,0 +1,112 @@
+//! Compressed-domain kernel speed: the raw-speed claims behind
+//! `KernelConfig`, asserted — not just printed — so a regression that
+//! makes a "fast path" slower than the materializing baseline fails the
+//! bench run itself.
+//!
+//! Three claims:
+//!
+//! 1. run-aware counting over run-heavy codes (`for_each_run`) beats the
+//!    row-at-a-time loop (`for_each`) — strictly;
+//! 2. the dense-float double-double group-by beats the materializing
+//!    kernel end-to-end on a high-cardinality float `SUM`/`AVG` — strictly
+//!    (the materializing path demotes to hash groups at this cardinality,
+//!    the dense-float path keeps the flat-array loop);
+//! 3. the dictionary→f64 table is built once per (column, chunk) and
+//!    *not* once per aggregate — `SUM(x) + AVG(x)` costs exactly
+//!    `chunk_count` builds (asserted via `pd_core::float_table_builds`).
+
+use pd_bench::{logs_table, measure_stats, rows_from_env_or, Bench};
+use pd_core::{execute, BuildOptions, DataStore, ExecContext, KernelConfig};
+use pd_encoding::{Elements, ElementsMode};
+use pd_sql::{analyze, parse_query};
+use std::hint::black_box;
+
+const ROWS: usize = 1_000_000;
+
+/// Run-heavy codes, the reordered-store profile: runs of ~64 equal codes,
+/// 1000 distinct values (u16 representation).
+fn run_heavy_ids(distinct: u32, run: usize) -> Vec<u32> {
+    (0..ROWS).map(|i| ((i / run) as u32).wrapping_mul(2_654_435_761) % distinct).collect()
+}
+
+fn main() {
+    let bench = Bench::new("kernel_compressed").samples(10);
+
+    // 1. Run-aware count vs row-at-a-time count on the same storage.
+    let distinct = 1_000u32;
+    for run in [64usize, 8] {
+        let elements =
+            Elements::encode(&run_heavy_ids(distinct, run), distinct, ElementsMode::Optimized);
+        let row_wise =
+            bench.case_throughput(&format!("count_rowwise/run{run}"), ROWS as u64, || {
+                let mut counts = vec![0u64; distinct as usize];
+                elements.for_each(|id| counts[id as usize] += 1);
+                black_box(counts);
+            });
+        let run_aware = bench.case_throughput(&format!("count_runs/run{run}"), ROWS as u64, || {
+            let mut counts = vec![0u64; distinct as usize];
+            elements.for_each_run(|id, n| counts[id as usize] += n as u64);
+            black_box(counts);
+        });
+        // The strict claim is for run-heavy data (the reordered-store
+        // profile the fast path targets); the short-run case is recorded
+        // to show the crossover, not asserted — run discovery there costs
+        // about what it saves.
+        if run == 64 {
+            assert!(
+                run_aware < row_wise,
+                "run-aware count must beat the row loop on run-{run} data: \
+                 {run_aware:?} vs {row_wise:?}"
+            );
+        }
+    }
+
+    // 2..3. End-to-end: a high-cardinality float group-by, dense-float on
+    // vs fully materializing, same store, single thread.
+    let rows = rows_from_env_or(200_000);
+    let table = logs_table(rows);
+    let store = DataStore::build(&table, &BuildOptions::production(&["user", "country"])).unwrap();
+    let chunks = store.chunk_count() as u64;
+    let sql = "SELECT user, SUM(latency) s, AVG(latency) a FROM data GROUP BY user";
+    let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+    let ctx = |kernels: KernelConfig| ExecContext { threads: 1, kernels, ..Default::default() };
+
+    let builds_before = pd_core::float_table_builds();
+    execute(&store, &analyzed, &ctx(KernelConfig::default())).unwrap();
+    let builds = pd_core::float_table_builds() - builds_before;
+    assert_eq!(
+        builds, chunks,
+        "SUM(x)+AVG(x) must build one float table per chunk, not one per aggregate"
+    );
+
+    let timed = |name: &str, kernels: KernelConfig| {
+        let stats = measure_stats(10, || {
+            black_box(execute(&store, &analyzed, &ctx(kernels)).unwrap());
+        });
+        pd_bench::json_line("kernel_compressed", name, stats, &[]);
+        println!("{name:<42} {:>12}", pd_bench::fmt_duration(stats.min));
+        stats.min
+    };
+    let materializing = timed("float_groupby_materializing", KernelConfig::materializing());
+    let dense = timed("float_groupby_dense", KernelConfig::default());
+    assert!(
+        dense < materializing,
+        "dense-float group-by must beat the materializing kernel: \
+         {dense:?} vs {materializing:?}"
+    );
+
+    // Run-aware end-to-end too, on the shape it targets: a global float
+    // aggregate folds whole runs into the exact accumulator.
+    let global =
+        analyze(&parse_query("SELECT COUNT(*) c, SUM(latency) s FROM data").unwrap()).unwrap();
+    let timed_global = |name: &str, kernels: KernelConfig| {
+        let stats = measure_stats(10, || {
+            black_box(execute(&store, &global, &ctx(kernels)).unwrap());
+        });
+        pd_bench::json_line("kernel_compressed", name, stats, &[]);
+        println!("{name:<42} {:>12}", pd_bench::fmt_duration(stats.min));
+        stats.min
+    };
+    timed_global("global_sum_materializing", KernelConfig::materializing());
+    timed_global("global_sum_runs", KernelConfig::default());
+}

@@ -368,6 +368,7 @@ pub fn cache(rows: usize) {
             threads: 0,
             result_cache: None, // isolate the data-layer caches
             tiered: Some(Arc::new(TieredCache::new(policy, budget, budget / 2))),
+            kernels: Default::default(),
         };
         let mut disk = 0u64;
         let mut decompressed = 0u64;

@@ -112,6 +112,12 @@ impl BitVec {
         (0..self.len).map(move |i| self.get(i))
     }
 
+    /// The backing 64-bit words, least-significant bit first within each
+    /// word. Bits at positions `>= len()` in the final word are zero.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Iterate over the indices of set bits.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &w)| {

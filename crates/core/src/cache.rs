@@ -356,33 +356,69 @@ pub enum CachedChunk {
     DenseSingleCount(Vec<u64>),
 }
 
-/// A thread-safe, capacity-bounded map with FIFO admission and hit/miss
-/// accounting — the shared bookkeeping behind the §6 chunk-result cache
-/// and the distributed layer's shard-result cache. Eviction only ever
-/// drops entries, so a capacity bound can change *what is cached*, never
-/// *what a query returns*.
+impl CachedChunk {
+    /// Approximate in-memory footprint, for cost-aware cache admission.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            CachedChunk::Groups(groups) => groups
+                .iter()
+                .map(|(key, states)| {
+                    std::mem::size_of::<(Box<[u32]>, Vec<crate::exec::AggState>)>()
+                        + key.len() * 4
+                        + states.iter().map(|s| s.approx_bytes()).sum::<usize>()
+                })
+                .sum(),
+            CachedChunk::DenseSingleCount(counts) => counts.len() * 8,
+        }
+    }
+}
+
+/// A thread-safe, capacity-bounded map with cost-aware admission and
+/// hit/miss accounting — the shared bookkeeping behind the §6 chunk-result
+/// cache and the distributed layer's shard/worker caches. Eviction only
+/// ever drops entries, so a capacity bound can change *what is cached*,
+/// never *what a query returns*.
+///
+/// Admission at capacity compares the incoming entry's cost (typically
+/// bytes × measured recompute ns, see [`cost_score`]) with the cheapest
+/// resident's: cheaper entries are rejected, costlier ones evict the
+/// cheapest resident. Entries inserted with the plain [`BoundedCache::put`]
+/// carry cost 0, where the policy degrades to exactly the old FIFO: among
+/// equal costs the victim is the oldest entry.
 pub struct BoundedCache<K, V> {
     inner: Mutex<BoundedInner<K, V>>,
 }
 
+struct BoundedEntry<V> {
+    value: V,
+    cost: u64,
+    stamp: u64,
+}
+
 struct BoundedInner<K, V> {
-    entries: FxHashMap<K, V>,
-    order: VecDeque<K>,
+    entries: FxHashMap<K, BoundedEntry<V>>,
+    /// Victim index ordered by (cost, stamp): cheapest first, FIFO among
+    /// equal costs — O(log n) victim selection.
+    by_score: std::collections::BTreeMap<(u64, u64), K>,
+    next_stamp: u64,
     capacity: usize,
     hits: u64,
     misses: u64,
+    rejected: u64,
 }
 
 impl<K: std::hash::Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
-    /// Cache at most `capacity` entries (FIFO bound).
+    /// Cache at most `capacity` entries.
     pub fn new(capacity: usize) -> BoundedCache<K, V> {
         BoundedCache {
             inner: Mutex::new(BoundedInner {
                 entries: FxHashMap::default(),
-                order: VecDeque::new(),
+                by_score: std::collections::BTreeMap::new(),
+                next_stamp: 0,
                 capacity: capacity.max(1),
                 hits: 0,
                 misses: 0,
+                rejected: 0,
             }),
         }
     }
@@ -400,7 +436,7 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
         Q: std::hash::Hash + Eq + ?Sized,
     {
         let mut inner = self.inner.lock();
-        match inner.entries.get(key).cloned() {
+        match inner.entries.get(key).map(|e| e.value.clone()) {
             Some(hit) => {
                 inner.hits += 1;
                 Some(hit)
@@ -412,23 +448,46 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
         }
     }
 
+    /// Insert with cost 0 (pure FIFO admission among such entries).
     pub fn put(&self, key: K, value: V) {
+        self.put_costed(key, value, 0)
+    }
+
+    /// Insert with an admission cost: at capacity the incoming entry must
+    /// cost at least as much as the cheapest resident, which it evicts.
+    pub fn put_costed(&self, key: K, value: V, cost: u64) {
         let mut inner = self.inner.lock();
-        if inner.entries.insert(key.clone(), value).is_none() {
-            inner.order.push_back(key);
-            while inner.order.len() > inner.capacity {
-                if let Some(old) = inner.order.pop_front() {
-                    inner.entries.remove(&old);
-                }
+        if let Some((old_cost, stamp)) = inner.entries.get(&key).map(|e| (e.cost, e.stamp)) {
+            // Same key: replace in place, keeping the insertion stamp.
+            if old_cost != cost {
+                inner.by_score.remove(&(old_cost, stamp));
+                inner.by_score.insert((cost, stamp), key.clone());
             }
+            let e = inner.entries.get_mut(&key).expect("entry is present");
+            e.value = value;
+            e.cost = cost;
+            return;
         }
+        while inner.entries.len() >= inner.capacity {
+            let (&(vcost, vstamp), _) = inner.by_score.iter().next().expect("index matches map");
+            if cost < vcost {
+                inner.rejected += 1;
+                return;
+            }
+            let victim = inner.by_score.remove(&(vcost, vstamp)).expect("victim is present");
+            inner.entries.remove(&victim);
+        }
+        let stamp = inner.next_stamp;
+        inner.next_stamp += 1;
+        inner.by_score.insert((cost, stamp), key.clone());
+        inner.entries.insert(key, BoundedEntry { value, cost, stamp });
     }
 
     /// Drop every entry (hit/miss counters keep accumulating).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.entries.clear();
-        inner.order.clear();
+        inner.by_score.clear();
     }
 
     pub fn len(&self) -> usize {
@@ -444,6 +503,20 @@ impl<K: std::hash::Hash + Eq + Clone, V: Clone> BoundedCache<K, V> {
         let inner = self.inner.lock();
         (inner.hits, inner.misses)
     }
+
+    /// Inserts refused because the incoming cost was below every
+    /// resident's at capacity.
+    pub fn rejected(&self) -> u64 {
+        self.inner.lock().rejected
+    }
+}
+
+/// The cost-aware admission score: approximate entry bytes × measured
+/// recompute nanoseconds. Saturating; never 0 for a real (non-empty,
+/// measured) entry, so such entries always outrank plain cost-0 inserts.
+pub fn cost_score(bytes: usize, recompute: std::time::Duration) -> u64 {
+    let ns = recompute.as_nanos().min(u64::MAX as u128) as u64;
+    (bytes as u64).max(1).saturating_mul(ns.max(1))
 }
 
 /// The §6 chunk-result cache: results of fully-active chunks, keyed by
@@ -464,6 +537,19 @@ impl ResultCache {
 
     pub fn put(&self, signature: &str, chunk: u32, groups: Arc<CachedChunk>) {
         self.entries.put((signature.to_owned(), chunk), groups);
+    }
+
+    /// [`ResultCache::put`] with cost-aware admission: the entry's score is
+    /// its approximate bytes × the measured time to recompute it.
+    pub fn put_costed(
+        &self,
+        signature: &str,
+        chunk: u32,
+        groups: Arc<CachedChunk>,
+        recompute: std::time::Duration,
+    ) {
+        let cost = cost_score(groups.approx_bytes(), recompute);
+        self.entries.put_costed((signature.to_owned(), chunk), groups, cost);
     }
 
     /// `(hits, misses)` so far.

@@ -32,7 +32,7 @@ use crate::cache::{CachedChunk, ChunkGroups, ResultCache, TieredCache};
 use crate::column::StoredColumn;
 use crate::count_distinct::KmvSketch;
 use crate::datastore::DataStore;
-use crate::kernels::{self, ChunkAcc, DENSE_GROUP_LIMIT};
+use crate::kernels::{self, ChunkAcc, GroupShape, KernelConfig, DENSE_GROUP_LIMIT};
 use crate::scheduler;
 use crate::skip::{ChunkActivity, SkipAnalysis};
 use crate::stats::ScanStats;
@@ -56,6 +56,9 @@ pub struct ExecContext {
     pub result_cache: Option<Arc<ResultCache>>,
     /// Two-layer residency model for I/O accounting (§3, Figure 5).
     pub tiered: Option<Arc<TieredCache>>,
+    /// Compressed-domain kernel switches (both fast paths default on; every
+    /// setting is bit-identical, see [`KernelConfig`]).
+    pub kernels: KernelConfig,
 }
 
 impl ExecContext {
@@ -78,6 +81,10 @@ impl ExecContext {
         }
     }
 }
+
+/// Group counts at or above this use the parallel id→value translation
+/// (below it, fan-out overhead beats the dictionary lookups saved).
+const PARALLEL_TRANSLATE_MIN: usize = 4096;
 
 /// A finished query result.
 #[derive(Debug, Clone, PartialEq)]
@@ -183,6 +190,20 @@ impl AggState {
         Ok(())
     }
 
+    /// Approximate in-memory footprint, for cost-aware cache admission.
+    pub(crate) fn approx_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<AggState>();
+        inline
+            + match self {
+                AggState::SumFloat(_) => std::mem::size_of::<FloatSum>(),
+                AggState::Avg { .. } => std::mem::size_of::<FloatSum>(),
+                AggState::Min(v) | AggState::Max(v) => v.as_ref().map_or(0, |v| v.heap_bytes()),
+                // BTreeSet<u64> nodes: ~3 words per retained hash.
+                AggState::Distinct(s) => s.len() * 24,
+                _ => 0,
+            }
+    }
+
     /// Produce the final output value.
     pub fn finalize(&self) -> Value {
         match self {
@@ -229,6 +250,20 @@ impl PartialResult {
             }
         }
         Ok(())
+    }
+
+    /// Approximate in-memory footprint of the group map, for cost-aware
+    /// cache admission (bytes × recompute ns).
+    pub fn approx_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<(Box<[Value]>, Vec<AggState>)>() + 16;
+        self.groups
+            .iter()
+            .map(|(k, states)| {
+                per_entry
+                    + k.heap_bytes()
+                    + states.iter().map(AggState::approx_bytes).sum::<usize>()
+            })
+            .sum()
     }
 
     /// Merge another partial by reference, leaving `other` reusable — the
@@ -421,7 +456,12 @@ pub(crate) struct FilterPlan {
 /// (and account) in deterministic chunk order.
 enum ChunkScan {
     Cached(Arc<CachedChunk>),
-    Computed(CachedChunk),
+    Computed {
+        payload: CachedChunk,
+        /// Measured wall time of the chunk scan, for cost-aware cache
+        /// admission (bytes × recompute ns).
+        compute: std::time::Duration,
+    },
 }
 
 /// The driver-side, chunk-ordered fold of scan payloads.
@@ -477,12 +517,12 @@ impl<'a> Fold<'a> {
                 stats.rows_cached += rows;
                 ChunkPayloadRef::Shared(hit)
             }
-            ChunkScan::Computed(payload) => {
+            ChunkScan::Computed { payload, compute } => {
                 self.plan.account_scan(stats, self.ctx, c, rows);
                 match (&self.ctx.result_cache, filtered) {
                     (Some(rc), false) => {
                         let shared = Arc::new(payload);
-                        rc.put(&self.plan.signature, c as u32, shared.clone());
+                        rc.put_costed(&self.plan.signature, c as u32, shared.clone(), compute);
                         ChunkPayloadRef::Shared(shared)
                     }
                     _ => ChunkPayloadRef::Owned(payload),
@@ -712,24 +752,52 @@ impl Plan {
 
         // Translate ids to values once per distinct id per key column —
         // dictionary lookups (trie walks for string columns) are paid per
-        // result group, not per chunk-dictionary entry.
+        // result group, not per chunk-dictionary entry. Very-high-
+        // cardinality outputs fan the translation out across the worker
+        // pool (per-task memos; the group map is insertion-order
+        // independent and dictionaries are bijections, so the result is
+        // identical to the sequential walk).
         let mut result = PartialResult::default();
-        let mut memos: Vec<FxHashMap<u32, Value>> =
-            self.key_cols.iter().map(|_| FxHashMap::default()).collect();
-        for (ids, states) in id_groups {
-            let key: Box<[Value]> = ids
-                .iter()
-                .zip(&self.key_cols)
-                .zip(memos.iter_mut())
-                .map(|((&id, col), memo)| {
-                    memo.entry(id).or_insert_with(|| col.dict.value(id)).clone()
-                })
-                .collect();
-            // Dictionaries are bijections, so distinct id tuples map to
-            // distinct value tuples: plain insert, no merge needed.
-            result.groups.insert(key, states);
+        if threads > 1 && id_groups.len() >= PARALLEL_TRANSLATE_MIN {
+            let entries: Vec<(Box<[u32]>, Vec<AggState>)> = id_groups.into_iter().collect();
+            let t = threads.min(entries.len().div_ceil(PARALLEL_TRANSLATE_MIN));
+            let per = entries.len().div_ceil(t);
+            let key_parts: Vec<Vec<Box<[Value]>>> = scheduler::run_tasks(t, t, |i| {
+                let lo = i * per;
+                let hi = ((i + 1) * per).min(entries.len());
+                let mut memos: Vec<FxHashMap<u32, Value>> =
+                    self.key_cols.iter().map(|_| FxHashMap::default()).collect();
+                Ok(entries[lo..hi]
+                    .iter()
+                    .map(|(ids, _)| self.translate_key(ids, &mut memos))
+                    .collect())
+            })?;
+            result.groups.reserve(entries.len());
+            let mut rest = entries.into_iter();
+            for key in key_parts.into_iter().flatten() {
+                let (_, states) = rest.next().expect("one key per entry");
+                result.groups.insert(key, states);
+            }
+        } else {
+            let mut memos: Vec<FxHashMap<u32, Value>> =
+                self.key_cols.iter().map(|_| FxHashMap::default()).collect();
+            for (ids, states) in id_groups {
+                let key = self.translate_key(&ids, &mut memos);
+                // Dictionaries are bijections, so distinct id tuples map to
+                // distinct value tuples: plain insert, no merge needed.
+                result.groups.insert(key, states);
+            }
         }
         Ok((result, stats))
+    }
+
+    /// Translate one group's key ids into values via per-column memos.
+    fn translate_key(&self, ids: &[u32], memos: &mut [FxHashMap<u32, Value>]) -> Box<[Value]> {
+        ids.iter()
+            .zip(&self.key_cols)
+            .zip(memos.iter_mut())
+            .map(|((&id, col), memo)| memo.entry(id).or_insert_with(|| col.dict.value(id)).clone())
+            .collect()
     }
 
     /// Scan one chunk: consult the chunk-result cache for fully active
@@ -749,7 +817,9 @@ impl Plan {
                 }
             }
         }
-        Ok(ChunkScan::Computed(self.chunk_payload(store, c, filtered)?))
+        let started = Instant::now();
+        let payload = self.chunk_payload(store, ctx, c, filtered)?;
+        Ok(ChunkScan::Computed { payload, compute: started.elapsed() })
     }
 
     /// Record scan costs for chunk `c`: cells touched and the modeled I/O
@@ -775,7 +845,13 @@ impl Plan {
 
     /// Group one chunk. `filtered` says whether the row filter applies
     /// (fully active chunks skip it by definition).
-    fn chunk_payload(&self, store: &DataStore, c: usize, filtered: bool) -> Result<CachedChunk> {
+    fn chunk_payload(
+        &self,
+        store: &DataStore,
+        ctx: &ExecContext,
+        c: usize,
+        filtered: bool,
+    ) -> Result<CachedChunk> {
         let rows = store.chunk_rows(c);
         let key_chunks: Vec<_> = self.key_cols.iter().map(|col| &col.chunks[c]).collect();
         let sizes: Vec<usize> = key_chunks.iter().map(|ch| ch.dict.len() as usize).collect();
@@ -791,12 +867,16 @@ impl Plan {
             let prod = acc.checked_mul(n.max(1))?;
             (prod <= DENSE_GROUP_LIMIT).then_some(prod)
         });
-        // Exact float accumulators are ~34 words each; cap the dense
-        // over-allocation for them and hash-group instead.
+        // Exact float accumulators are ~34 words each; without the
+        // double-double fast path, cap the dense over-allocation for them
+        // and hash-group instead. With it, dense slots cost 16 bytes and
+        // the full dense range stays profitable.
         let float_heavy =
             self.aggs.iter().any(|a| matches!(a.kind, AggKind::SumFloat | AggKind::Avg));
         let dense_capacity = match dense_capacity {
-            Some(c) if float_heavy && c > DENSE_GROUP_LIMIT / 16 => None,
+            Some(c) if float_heavy && !ctx.kernels.dense_float && c > DENSE_GROUP_LIMIT / 16 => {
+                None
+            }
             other => other,
         };
 
@@ -814,6 +894,7 @@ impl Plan {
                     key_chunks[0].codes(),
                     sizes[0].max(1),
                     mask.as_ref(),
+                    ctx.kernels.run_aware,
                 )));
             }
             if let (2, Some(capacity)) = (key_chunks.len(), dense_capacity) {
@@ -842,10 +923,49 @@ impl Plan {
             }
         }
 
+        // What pass B may assume about `group_of_row`: on the unmasked
+        // dense path with zero keys every row is group 0, and with one key
+        // a row's group is exactly its key code — both let run-aware
+        // kernels consume `Elements` runs instead of rows.
+        let shape = match (mask.is_none() && dense_capacity.is_some(), key_chunks.len()) {
+            (true, 0) => GroupShape::AllRows,
+            (true, 1) => GroupShape::KeyCodes(key_chunks[0].codes()),
+            _ => GroupShape::General,
+        };
+
+        // Memoize the dictionary→f64 table per (argument column, chunk):
+        // SUM(x) and AVG(x) in one query share one build.
+        let mut float_tables: Vec<Option<std::rc::Rc<Vec<f64>>>> = vec![None; self.aggs.len()];
+        for i in 0..self.aggs.len() {
+            if !matches!(self.aggs[i].kind, AggKind::SumFloat | AggKind::Avg) {
+                continue;
+            }
+            let col = self.aggs[i].col.as_ref().expect("float aggregate has an argument");
+            let found = self.aggs[..i]
+                .iter()
+                .zip(&float_tables)
+                .find(|(prev, table)| {
+                    table.is_some() && prev.col.as_ref().is_some_and(|p| Arc::ptr_eq(p, col))
+                })
+                .and_then(|(_, table)| table.clone());
+            float_tables[i] = Some(match found {
+                Some(shared) => shared,
+                None => std::rc::Rc::new(kernels::float_table(&self.aggs[i], &col.chunks[c])),
+            });
+        }
+
         // Pass B: per-aggregate tight loops.
         let mut accs: Vec<ChunkAcc> = Vec::with_capacity(self.aggs.len());
-        for agg in &self.aggs {
-            accs.push(ChunkAcc::run(agg, c, index.group_count, &index.group_of_row)?);
+        for (agg, table) in self.aggs.iter().zip(&float_tables) {
+            accs.push(ChunkAcc::run(
+                agg,
+                c,
+                index.group_count,
+                &index.group_of_row,
+                shape,
+                ctx.kernels,
+                table.as_ref().map(|t| t.as_slice()),
+            )?);
         }
 
         // Convert to global-id-domain groups (values are translated once,

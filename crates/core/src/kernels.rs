@@ -29,10 +29,54 @@ use crate::exec::{AggKind, AggPlan, AggState, FilterPlan};
 use pd_common::{fx_hash64, BitVec, Error, FloatSum, FxHashMap, Result, Value};
 use pd_encoding::CodesView;
 use pd_sql::{eval_expr, truthy, Expr, RowContext};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-chunk dense-grouping limit: products of key-dictionary sizes up to
 /// this use a flat array; larger products fall back to a hash map.
 pub(crate) const DENSE_GROUP_LIMIT: usize = 1 << 16;
+
+/// A/B switches for the compressed-domain kernel fast paths.
+///
+/// Every path is asserted bit-identical to the materializing baseline —
+/// the switches exist so equivalence tests and benches can pin either
+/// side, not because results differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Consume `Elements` runs directly in count/sum kernels: a run of
+    /// length `n` with code `c` contributes `n × weight(c)` without
+    /// touching per-row codes.
+    pub run_aware: bool,
+    /// Accumulate dense float SUM/AVG into a per-group double-double
+    /// (16 bytes/slot instead of a ~280-byte [`FloatSum`]), converting to
+    /// the exact accumulator only for groups whose chunk-local sum is
+    /// provably exact; other groups fall back to a materializing re-pass.
+    pub dense_float: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig { run_aware: true, dense_float: true }
+    }
+}
+
+impl KernelConfig {
+    /// The materializing baseline: every fast path off.
+    pub fn materializing() -> Self {
+        KernelConfig { run_aware: false, dense_float: false }
+    }
+}
+
+/// What the caller knows about `group_of_row`'s structure, letting pass B
+/// consume runs instead of rows when groups are derivable from codes.
+#[derive(Clone, Copy)]
+pub(crate) enum GroupShape<'a> {
+    /// No keys, no mask: every row belongs to group 0.
+    AllRows,
+    /// One dense key, no mask: a row's group *is* its key code.
+    KeyCodes(CodesView<'a>),
+    /// No exploitable structure: use `group_of_row` per row.
+    General,
+}
 
 /// Dispatch once on the representation, monomorphize the loop body.
 macro_rules! with_codes {
@@ -281,6 +325,7 @@ pub(crate) fn count_single(
     view: CodesView<'_>,
     distinct: usize,
     mask: Option<&BitVec>,
+    run_aware: bool,
 ) -> Vec<u64> {
     let rows = view.len();
     match mask {
@@ -290,6 +335,12 @@ pub(crate) fn count_single(
             CodesView::Bits(bits) => {
                 let ones = bits.count_ones() as u64;
                 vec![rows as u64 - ones, ones]
+            }
+            _ if run_aware => {
+                // Compressed-domain form: one add per run, not per row.
+                let mut counts = vec![0u64; distinct];
+                view.for_each_run(|code, n| counts[code as usize] += n as u64);
+                counts
             }
             _ => {
                 let mut counts = vec![0u64; distinct];
@@ -465,6 +516,12 @@ pub(crate) enum ChunkAcc {
     Count(Vec<u64>),
     SumInt(Vec<i64>),
     SumFloat(Vec<FloatSum>),
+    /// Dense-float fast path: double-double per group plus a materializing
+    /// fallback map for the (rare) groups whose sum wasn't provably exact.
+    SumFloatDense {
+        dd: DenseFloat,
+        fallback: FxHashMap<u32, FloatSum>,
+    },
     /// Extreme chunk-id per group (chunk-id order == value order) plus the
     /// owning chunk's translation tables.
     MinMax {
@@ -476,24 +533,46 @@ pub(crate) enum ChunkAcc {
         sum: Vec<FloatSum>,
         count: Vec<u64>,
     },
+    AvgDense {
+        dd: DenseFloat,
+        fallback: FxHashMap<u32, FloatSum>,
+        count: Vec<u64>,
+    },
     Distinct(Vec<KmvSketch>),
 }
 
 impl ChunkAcc {
     /// Run the pass-B loop for `agg` over `group_of_row`.
+    ///
+    /// `shape` describes structure the caller proved about `group_of_row`
+    /// (see [`GroupShape`]), `cfg` gates the fast paths, and `float_table`
+    /// is the memoized per-(column, chunk) dictionary→f64 table for
+    /// float-summing aggregates (built here when absent).
     pub(crate) fn run(
         agg: &AggPlan,
         c: usize,
         group_count: usize,
         group_of_row: &[u32],
+        shape: GroupShape<'_>,
+        cfg: KernelConfig,
+        float_table_memo: Option<&[f64]>,
     ) -> Result<ChunkAcc> {
         let arg_chunk = agg.col.as_ref().map(|col| &col.chunks[c]);
         Ok(match &agg.kind {
             AggKind::Count => {
                 let mut counts = vec![0u64; group_count];
-                for &g in group_of_row {
-                    if g != u32::MAX {
-                        counts[g as usize] += 1;
+                match shape {
+                    // No mask: every row counts, straight off the runs.
+                    GroupShape::AllRows if cfg.run_aware => counts[0] = group_of_row.len() as u64,
+                    GroupShape::KeyCodes(keys) if cfg.run_aware => {
+                        keys.for_each_run(|code, n| counts[code as usize] += n as u64)
+                    }
+                    _ => {
+                        for &g in group_of_row {
+                            if g != u32::MAX {
+                                counts[g as usize] += 1;
+                            }
+                        }
                     }
                 }
                 ChunkAcc::Count(counts)
@@ -509,43 +588,140 @@ impl ChunkAcc {
                     })
                     .collect();
                 let mut sums = vec![0i64; group_count];
-                with_codes!(chunk.codes(), |get| {
-                    for (row, &g) in group_of_row.iter().enumerate() {
-                        if g != u32::MAX {
-                            sums[g as usize] =
-                                sums[g as usize].wrapping_add(table[get(row) as usize]);
-                        }
+                match shape {
+                    // Wrapping addition is associative mod 2^64, so a run
+                    // contributes `weight × n` bit-identically.
+                    GroupShape::AllRows if cfg.run_aware => {
+                        chunk.codes().for_each_run(|code, n| {
+                            sums[0] =
+                                sums[0].wrapping_add(table[code as usize].wrapping_mul(n as i64));
+                        });
                     }
-                });
+                    GroupShape::KeyCodes(keys) if cfg.run_aware => {
+                        joint_runs(keys, chunk.codes(), |kc, ac, n| {
+                            sums[kc as usize] = sums[kc as usize]
+                                .wrapping_add(table[ac as usize].wrapping_mul(n as i64));
+                        });
+                    }
+                    _ => with_codes!(chunk.codes(), |get| {
+                        for (row, &g) in group_of_row.iter().enumerate() {
+                            if g != u32::MAX {
+                                sums[g as usize] =
+                                    sums[g as usize].wrapping_add(table[get(row) as usize]);
+                            }
+                        }
+                    }),
+                }
                 ChunkAcc::SumInt(sums)
             }
             AggKind::SumFloat => {
                 let chunk = arg_chunk.expect("SUM has an argument");
-                let table = float_table(agg, chunk);
-                let mut sums = vec![FloatSum::new(); group_count];
-                with_codes!(chunk.codes(), |get| {
-                    for (row, &g) in group_of_row.iter().enumerate() {
-                        if g != u32::MAX {
-                            sums[g as usize].add(table[get(row) as usize]);
-                        }
+                let table_own;
+                let table: &[f64] = match float_table_memo {
+                    Some(t) => t,
+                    None => {
+                        table_own = float_table(agg, chunk);
+                        &table_own
                     }
-                });
-                ChunkAcc::SumFloat(sums)
+                };
+                match float_strategy(shape, cfg) {
+                    FloatPath::Runs => {
+                        // `FloatSum::add_repeated` is exact, so the run
+                        // form needs no fallback.
+                        let mut sums = vec![FloatSum::new(); group_count];
+                        match shape {
+                            GroupShape::AllRows => chunk.codes().for_each_run(|code, n| {
+                                sums[0].add_repeated(table[code as usize], n as u64)
+                            }),
+                            GroupShape::KeyCodes(keys) => {
+                                joint_runs(keys, chunk.codes(), |kc, ac, n| {
+                                    sums[kc as usize].add_repeated(table[ac as usize], n as u64)
+                                })
+                            }
+                            GroupShape::General => unreachable!("Runs needs structure"),
+                        }
+                        ChunkAcc::SumFloat(sums)
+                    }
+                    FloatPath::DoubleDouble => {
+                        let mut dd = DenseFloat::new(group_count);
+                        with_codes!(chunk.codes(), |get| {
+                            for (row, &g) in group_of_row.iter().enumerate() {
+                                if g != u32::MAX {
+                                    dd.add(g as usize, table[get(row) as usize]);
+                                }
+                            }
+                        });
+                        let fallback = dd.fallback(table, chunk.codes(), group_of_row);
+                        ChunkAcc::SumFloatDense { dd, fallback }
+                    }
+                    FloatPath::Materializing => {
+                        let mut sums = vec![FloatSum::new(); group_count];
+                        with_codes!(chunk.codes(), |get| {
+                            for (row, &g) in group_of_row.iter().enumerate() {
+                                if g != u32::MAX {
+                                    sums[g as usize].add(table[get(row) as usize]);
+                                }
+                            }
+                        });
+                        ChunkAcc::SumFloat(sums)
+                    }
+                }
             }
             AggKind::Avg => {
                 let chunk = arg_chunk.expect("AVG has an argument");
-                let table = float_table(agg, chunk);
-                let mut sum = vec![FloatSum::new(); group_count];
-                let mut count = vec![0u64; group_count];
-                with_codes!(chunk.codes(), |get| {
-                    for (row, &g) in group_of_row.iter().enumerate() {
-                        if g != u32::MAX {
-                            sum[g as usize].add(table[get(row) as usize]);
-                            count[g as usize] += 1;
-                        }
+                let table_own;
+                let table: &[f64] = match float_table_memo {
+                    Some(t) => t,
+                    None => {
+                        table_own = float_table(agg, chunk);
+                        &table_own
                     }
-                });
-                ChunkAcc::Avg { sum, count }
+                };
+                let mut count = vec![0u64; group_count];
+                match float_strategy(shape, cfg) {
+                    FloatPath::Runs => {
+                        let mut sum = vec![FloatSum::new(); group_count];
+                        match shape {
+                            GroupShape::AllRows => chunk.codes().for_each_run(|code, n| {
+                                sum[0].add_repeated(table[code as usize], n as u64);
+                                count[0] += n as u64;
+                            }),
+                            GroupShape::KeyCodes(keys) => {
+                                joint_runs(keys, chunk.codes(), |kc, ac, n| {
+                                    sum[kc as usize].add_repeated(table[ac as usize], n as u64);
+                                    count[kc as usize] += n as u64;
+                                })
+                            }
+                            GroupShape::General => unreachable!("Runs needs structure"),
+                        }
+                        ChunkAcc::Avg { sum, count }
+                    }
+                    FloatPath::DoubleDouble => {
+                        let mut dd = DenseFloat::new(group_count);
+                        with_codes!(chunk.codes(), |get| {
+                            for (row, &g) in group_of_row.iter().enumerate() {
+                                if g != u32::MAX {
+                                    dd.add(g as usize, table[get(row) as usize]);
+                                    count[g as usize] += 1;
+                                }
+                            }
+                        });
+                        let fallback = dd.fallback(table, chunk.codes(), group_of_row);
+                        ChunkAcc::AvgDense { dd, fallback, count }
+                    }
+                    FloatPath::Materializing => {
+                        let mut sum = vec![FloatSum::new(); group_count];
+                        with_codes!(chunk.codes(), |get| {
+                            for (row, &g) in group_of_row.iter().enumerate() {
+                                if g != u32::MAX {
+                                    sum[g as usize].add(table[get(row) as usize]);
+                                    count[g as usize] += 1;
+                                }
+                            }
+                        });
+                        ChunkAcc::Avg { sum, count }
+                    }
+                }
             }
             AggKind::MinMax { is_min } => {
                 let col = agg.col.as_ref().expect("MIN/MAX has an argument");
@@ -595,6 +771,9 @@ impl ChunkAcc {
             ChunkAcc::Count(v) => AggState::Count(v[g]),
             ChunkAcc::SumInt(v) => AggState::SumInt(v[g]),
             ChunkAcc::SumFloat(v) => AggState::SumFloat(Box::new(v[g].clone())),
+            ChunkAcc::SumFloatDense { dd, fallback } => {
+                AggState::SumFloat(Box::new(dd.float_sum(g, fallback)))
+            }
             ChunkAcc::MinMax { best, is_min, values } => {
                 let v = (best[g] != u32::MAX).then(|| values[best[g] as usize].clone());
                 if *is_min {
@@ -606,12 +785,146 @@ impl ChunkAcc {
             ChunkAcc::Avg { sum, count } => {
                 AggState::Avg { sum: Box::new(sum[g].clone()), count: count[g] }
             }
+            ChunkAcc::AvgDense { dd, fallback, count } => {
+                AggState::Avg { sum: Box::new(dd.float_sum(g, fallback)), count: count[g] }
+            }
             ChunkAcc::Distinct(v) => AggState::Distinct(v[g].clone()),
         }
     }
 }
 
-fn float_table(agg: &AggPlan, chunk: &ColumnChunk) -> Vec<f64> {
+/// Which float-sum loop to run for a given shape and configuration.
+enum FloatPath {
+    /// Exact `add_repeated` over runs (no fallback needed).
+    Runs,
+    /// Double-double per group with a per-group exactness proof.
+    DoubleDouble,
+    /// The baseline: a `FloatSum` per group slot, one `add` per row.
+    Materializing,
+}
+
+fn float_strategy(shape: GroupShape<'_>, cfg: KernelConfig) -> FloatPath {
+    match shape {
+        // A single global sum can't blow up on slot memory; the run form
+        // is strictly better than double-double there (exact, no re-pass).
+        GroupShape::AllRows if cfg.run_aware => FloatPath::Runs,
+        _ if cfg.dense_float => FloatPath::DoubleDouble,
+        GroupShape::KeyCodes(_) if cfg.run_aware => FloatPath::Runs,
+        _ => FloatPath::Materializing,
+    }
+}
+
+/// Per-group double-double accumulator (16 bytes/slot), with a running
+/// exactness proof per group.
+///
+/// Each add performs two branchless Knuth `two_sum`s; the residual of the
+/// second (`e2`) is zero iff the pair `(hi, lo)` still equals the exact
+/// chunk-local sum. A non-finite input or an overflow makes `e2`
+/// non-zero/NaN, so tainted groups are exactly the ones where the pair is
+/// not a proof — they get an exact [`FloatSum`] from a materializing
+/// re-pass instead. Untainted groups convert exactly: `hi + lo` *is* the
+/// sum, and adding both into a fresh accumulator reproduces the limbs a
+/// per-row accumulation would have produced, bit for bit.
+pub(crate) struct DenseFloat {
+    hi: Vec<f64>,
+    lo: Vec<f64>,
+    tainted: BitVec,
+    any_tainted: bool,
+}
+
+#[inline(always)]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bv = s - a;
+    let err = (a - (s - bv)) + (b - bv);
+    (s, err)
+}
+
+impl DenseFloat {
+    fn new(group_count: usize) -> DenseFloat {
+        DenseFloat {
+            hi: vec![0.0; group_count],
+            lo: vec![0.0; group_count],
+            tainted: BitVec::filled(group_count, false),
+            any_tainted: false,
+        }
+    }
+
+    #[inline(always)]
+    fn add(&mut self, g: usize, x: f64) {
+        let (s1, e1) = two_sum(self.hi[g], x);
+        let (s2, e2) = two_sum(self.lo[g], e1);
+        self.hi[g] = s1;
+        self.lo[g] = s2;
+        // NaN compares unequal, so non-finite inputs taint automatically;
+        // -0.0 == 0.0 keeps signed-zero residuals exact.
+        if e2 != 0.0 {
+            self.tainted.set(g, true);
+            self.any_tainted = true;
+        }
+    }
+
+    /// Materializing re-pass over only the tainted groups' rows.
+    fn fallback(
+        &self,
+        table: &[f64],
+        view: CodesView<'_>,
+        group_of_row: &[u32],
+    ) -> FxHashMap<u32, FloatSum> {
+        let mut map: FxHashMap<u32, FloatSum> = FxHashMap::default();
+        if !self.any_tainted {
+            return map;
+        }
+        with_codes!(view, |get| {
+            for (row, &g) in group_of_row.iter().enumerate() {
+                if g != u32::MAX && self.tainted.get(g as usize) {
+                    map.entry(g).or_default().add(table[get(row) as usize]);
+                }
+            }
+        });
+        map
+    }
+
+    /// The exact accumulator for group `g`.
+    fn float_sum(&self, g: usize, fallback: &FxHashMap<u32, FloatSum>) -> FloatSum {
+        if self.tainted.get(g) {
+            fallback.get(&(g as u32)).cloned().unwrap_or_default()
+        } else {
+            let mut fs = FloatSum::new();
+            fs.add(self.hi[g]);
+            fs.add(self.lo[g]);
+            fs
+        }
+    }
+}
+
+/// Visit maximal runs over which *both* the key code and the argument code
+/// are constant: `f(key_code, arg_code, run_len)`. Sorted or clustered
+/// chunks make these runs long; the worst case is one compare pair per row.
+fn joint_runs(keys: CodesView<'_>, args: CodesView<'_>, mut f: impl FnMut(u32, u32, usize)) {
+    let rows = keys.len();
+    debug_assert_eq!(rows, args.len());
+    with_codes!(keys, |get_k| with_codes!(args, |get_a| {
+        let mut i = 0;
+        while i < rows {
+            let (kc, ac) = (get_k(i), get_a(i));
+            let mut j = i + 1;
+            while j < rows && get_k(j) == kc && get_a(j) == ac {
+                j += 1;
+            }
+            f(kc, ac, j - i);
+            i = j;
+        }
+    }));
+}
+
+/// Process-wide count of dictionary→f64 tables built (diagnostics: the
+/// kernel bench asserts memoization keeps this from scaling with the
+/// aggregate count).
+pub(crate) static FLOAT_TABLE_BUILDS: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn float_table(agg: &AggPlan, chunk: &ColumnChunk) -> Vec<f64> {
+    FLOAT_TABLE_BUILDS.fetch_add(1, Ordering::Relaxed);
     let col = agg.col.as_ref().expect("aggregate has an argument");
     (0..chunk.dict.len())
         .map(|cid| col.dict.value(chunk.dict.global_id_of(cid)).numeric())
@@ -632,12 +945,14 @@ mod tests {
         for distinct in [1u32, 2, 5, 300, 70_000] {
             let ids: Vec<u32> = (0..500).map(|i| (i * 7 + 3) % distinct).collect();
             let e = elements(&ids, distinct);
-            let counts = count_single(e.codes(), distinct as usize, None);
             let mut naive = vec![0u64; distinct as usize];
             for &id in &ids {
                 naive[id as usize] += 1;
             }
-            assert_eq!(counts, naive, "distinct={distinct}");
+            for run_aware in [false, true] {
+                let counts = count_single(e.codes(), distinct as usize, None, run_aware);
+                assert_eq!(counts, naive, "distinct={distinct} run_aware={run_aware}");
+            }
         }
     }
 
@@ -646,7 +961,7 @@ mod tests {
         let ids: Vec<u32> = (0..100).map(|i| i % 4).collect();
         let e = elements(&ids, 4);
         let mask: BitVec = (0..100).map(|i| i % 2 == 0).collect();
-        let counts = count_single(e.codes(), 4, Some(&mask));
+        let counts = count_single(e.codes(), 4, Some(&mask), true);
         let mut naive = vec![0u64; 4];
         for (i, &id) in ids.iter().enumerate() {
             if i % 2 == 0 {
@@ -654,6 +969,62 @@ mod tests {
             }
         }
         assert_eq!(counts, naive);
+    }
+
+    #[test]
+    fn joint_runs_cover_every_row_pairwise() {
+        let keys: Vec<u32> = (0..400).map(|i| i / 40).collect();
+        let args: Vec<u32> = (0..400).map(|i| i / 10 % 5).collect();
+        let ek = elements(&keys, 10);
+        let ea = elements(&args, 5);
+        let mut rebuilt: Vec<(u32, u32)> = Vec::new();
+        joint_runs(ek.codes(), ea.codes(), |kc, ac, n| {
+            rebuilt.extend(std::iter::repeat_n((kc, ac), n));
+        });
+        let expect: Vec<(u32, u32)> = keys.iter().copied().zip(args.iter().copied()).collect();
+        assert_eq!(rebuilt, expect);
+    }
+
+    #[test]
+    fn dense_float_untainted_matches_per_row_floatsum() {
+        // Values with exact double-double sums (powers of two scale).
+        let table = [1.5f64, -2.25, 1024.0, 0.125];
+        let group_of_row: Vec<u32> = (0..64).map(|i| i % 4).collect();
+        let codes: Vec<u32> = (0..64).map(|i| (i * 3) % 4).collect();
+        let view = elements(&codes, 4);
+        let mut dd = DenseFloat::new(4);
+        let mut reference = vec![FloatSum::new(); 4];
+        for (row, &g) in group_of_row.iter().enumerate() {
+            let x = table[view.get(row) as usize];
+            dd.add(g as usize, x);
+            reference[g as usize].add(x);
+        }
+        assert!(!dd.any_tainted);
+        let fallback = dd.fallback(&table, view.codes(), &group_of_row);
+        for (g, want) in reference.iter().enumerate() {
+            assert_eq!(dd.float_sum(g, &fallback), *want, "group {g}");
+        }
+    }
+
+    #[test]
+    fn dense_float_taints_on_nonfinite_and_falls_back_exactly() {
+        let table = [1e308f64, 1e308, f64::NAN, 0.5];
+        let group_of_row: Vec<u32> = vec![0, 0, 1, 2, 2];
+        let codes: Vec<u32> = vec![0, 1, 3, 2, 3]; // group 0 overflows, 2 sees NaN
+        let view = elements(&codes, 4);
+        let mut dd = DenseFloat::new(3);
+        let mut reference = vec![FloatSum::new(); 3];
+        for (row, &g) in group_of_row.iter().enumerate() {
+            let x = table[view.get(row) as usize];
+            dd.add(g as usize, x);
+            reference[g as usize].add(x);
+        }
+        assert!(dd.tainted.get(0), "overflowing group must taint");
+        assert!(dd.tainted.get(2), "NaN group must taint");
+        let fallback = dd.fallback(&table, view.codes(), &group_of_row);
+        for (g, want) in reference.iter().enumerate() {
+            assert_eq!(dd.float_sum(g, &fallback), *want, "group {g}");
+        }
     }
 
     #[test]

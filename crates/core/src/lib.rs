@@ -48,7 +48,16 @@ pub mod scheduler;
 pub mod skip;
 pub mod stats;
 
-pub use cache::{BoundedCache, CachePolicy, ResultCache, TieredCache};
+pub use cache::{cost_score, BoundedCache, CachePolicy, ResultCache, TieredCache};
+pub use kernels::KernelConfig;
+
+/// Dictionary→f64 translation tables built since process start (a
+/// monotone, process-wide counter). The kernel bench asserts the
+/// per-(column, chunk) memoization keeps this from scaling with the number
+/// of float aggregates in a query.
+pub fn float_table_builds() -> u64 {
+    kernels::FLOAT_TABLE_BUILDS.load(std::sync::atomic::Ordering::Relaxed)
+}
 pub use column::{ColumnChunk, StoredColumn};
 pub use count_distinct::KmvSketch;
 pub use datastore::DataStore;

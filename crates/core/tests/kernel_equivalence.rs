@@ -1,0 +1,194 @@
+//! Seeded property test for the compressed-domain kernel fast paths: for
+//! random tables whose key columns land on **every** `Elements`
+//! representation (const / bitset / u8 / u16 / u32 codes), random masks
+//! and float columns seeded with the adversarial values (NaN, ±0.0, ±inf,
+//! subnormals), the run-aware and dense-float kernels must return results
+//! **bit-identical** to the fully materializing kernels — `assert_eq!` on
+//! [`pd_core::QueryResult`], whose float comparison is `total_cmp` (so a
+//! flipped NaN payload or a `-0.0` vs `+0.0` would fail, not pass).
+
+use pd_common::rng::Rng;
+use pd_common::{DataType, Row, Schema, Value};
+use pd_core::{
+    execute, BuildOptions, DataStore, ExecContext, KernelConfig, PartitionSpec, QueryResult,
+};
+use pd_data::Table;
+use pd_sql::{analyze, parse_query, AnalyzedQuery};
+
+/// Adversarial float palette: the values whose sums distinguish an exact
+/// accumulator from a naive one (and a bit-exact fold from an approximate
+/// one).
+const SPECIALS: [f64; 10] = [
+    f64::NAN,
+    f64::INFINITY,
+    f64::NEG_INFINITY,
+    0.0,
+    -0.0,
+    5e-324, // smallest positive subnormal
+    -5e-324,
+    f64::MIN_POSITIVE, // smallest positive normal
+    1e308,             // large: two of these overflow f64
+    -1e308,
+];
+
+fn random_float(rng: &mut Rng, specials: bool) -> f64 {
+    if specials && rng.chance(0.25) {
+        return SPECIALS[rng.range_usize(0, SPECIALS.len())];
+    }
+    // A wide but finite spread, signed, with exact-decimal cases mixed in.
+    match rng.range_usize(0, 3) {
+        0 => rng.range_i64_inclusive(-1_000, 1_000) as f64 * 0.25,
+        1 => (rng.next_f64() - 0.5) * 1e6,
+        _ => rng.next_f64() * 1e-3,
+    }
+}
+
+/// A random table whose `k` column is built to land on the requested
+/// dictionary cardinality (and therefore `Elements` representation once
+/// encoded): 1 → const, 2 → bitset, ≤256 → u8 codes, ≤65536 → u16, else
+/// u32.
+fn random_table(rng: &mut Rng, key_card: usize, rows: usize, specials: bool) -> Table {
+    let schema = Schema::of(&[
+        ("k", DataType::Str),
+        ("n", DataType::Int),
+        ("x", DataType::Float),
+        ("r", DataType::Int),
+    ]);
+    let mut table = Table::new(schema);
+    for _ in 0..rows {
+        table
+            .push_row(Row(vec![
+                Value::from(format!("k{:05}", rng.range_usize(0, key_card))),
+                Value::Int(rng.range_i64_inclusive(i64::MIN / 4, i64::MAX / 4)),
+                Value::Float(random_float(rng, specials)),
+                Value::Int(rng.range_i64_inclusive(0, 99)),
+            ]))
+            .unwrap();
+    }
+    table
+}
+
+fn queries(rng: &mut Rng) -> Vec<String> {
+    // A random mask: the `r` column is uniform 0..100, so the threshold is
+    // a random selectivity — including empty and all-pass masks.
+    let t = rng.range_i64_inclusive(-5, 105);
+    vec![
+        // Unmasked single-key group-by: the key-run / double-double shapes.
+        "SELECT k, COUNT(*) c, SUM(n) s, SUM(x) f, AVG(x) a FROM data GROUP BY k".into(),
+        // Global aggregates: the whole-chunk run shape.
+        "SELECT COUNT(*) c, SUM(n) s, SUM(x) f, AVG(x) a FROM data".into(),
+        // Masked variants: every fast path must fall back bit-identically.
+        format!("SELECT k, COUNT(*) c, SUM(x) f FROM data WHERE r < {t} GROUP BY k"),
+        format!("SELECT COUNT(*) c, SUM(x) f, AVG(x) a FROM data WHERE r < {t}"),
+    ]
+}
+
+fn run(store: &DataStore, analyzed: &AnalyzedQuery, kernels: KernelConfig) -> QueryResult {
+    let ctx = ExecContext { threads: 1, kernels, ..Default::default() };
+    execute(store, analyzed, &ctx).unwrap().0
+}
+
+fn assert_all_configs_match(table: &Table, options: &BuildOptions, sqls: &[String], label: &str) {
+    let store = DataStore::build(table, options).unwrap();
+    for sql in sqls {
+        let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+        let want = run(&store, &analyzed, KernelConfig::materializing());
+        for run_aware in [false, true] {
+            for dense_float in [false, true] {
+                let got = run(&store, &analyzed, KernelConfig { run_aware, dense_float });
+                assert_eq!(
+                    got, want,
+                    "{label} run_aware={run_aware} dense_float={dense_float}: {sql}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_paths_match_materializing_for_every_representation() {
+    let mut rng = Rng::seed_from_u64(0xae41_0001);
+    // Key cardinalities chosen to land on const (1), bitset (2), u8 codes
+    // (≤256) and u16 codes (>256) chunk dictionaries.
+    for key_card in [1usize, 2, 60, 300] {
+        for case in 0..6 {
+            let rows = rng.range_usize(1, 500);
+            let specials = case % 2 == 0;
+            let table = random_table(&mut rng, key_card, rows, specials);
+            let sqls = queries(&mut rng);
+            for options in
+                [BuildOptions::basic(), BuildOptions::reordered(PartitionSpec::new(&["k"], 8))]
+            {
+                let label = format!("key_card={key_card} case={case} rows={rows} {options:?}");
+                assert_all_configs_match(&table, &options, &sqls, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn fast_paths_match_materializing_on_u32_codes() {
+    // > 65536 distinct values in one chunk forces u32 codes. The wide
+    // column is the *aggregate argument* (distinct ints and floats), so
+    // the output stays one group per `k` while the scanned representation
+    // is the widest one.
+    let mut rng = Rng::seed_from_u64(0xae41_0002);
+    let rows = 70_000;
+    let schema = Schema::of(&[
+        ("k", DataType::Str),
+        ("n", DataType::Int),
+        ("x", DataType::Float),
+        ("r", DataType::Int),
+    ]);
+    let mut table = Table::new(schema);
+    for i in 0..rows {
+        table
+            .push_row(Row(vec![
+                Value::from(["red", "green", "blue"][rng.range_usize(0, 3)]),
+                Value::Int(i as i64 * 1_000_003), // all distinct
+                Value::Float(if rng.chance(0.001) {
+                    SPECIALS[rng.range_usize(0, SPECIALS.len())]
+                } else {
+                    i as f64 * 1.000_000_1 // essentially all distinct
+                }),
+                Value::Int(rng.range_i64_inclusive(0, 99)),
+            ]))
+            .unwrap();
+    }
+    let sqls = queries(&mut rng);
+    assert_all_configs_match(&table, &BuildOptions::basic(), &sqls, "u32-arg");
+}
+
+#[test]
+fn sums_of_specials_alone_stay_bit_identical() {
+    // Degenerate columns made *only* of adversarial values: every group's
+    // sum is NaN/inf/±0.0-sensitive, so any fast path that mishandled a
+    // special would flip a bit here.
+    let mut rng = Rng::seed_from_u64(0xae41_0003);
+    for _ in 0..8 {
+        let rows = rng.range_usize(1, 200);
+        let schema = Schema::of(&[
+            ("k", DataType::Str),
+            ("n", DataType::Int),
+            ("x", DataType::Float),
+            ("r", DataType::Int),
+        ]);
+        let mut table = Table::new(schema);
+        for _ in 0..rows {
+            table
+                .push_row(Row(vec![
+                    Value::from(["a", "b"][rng.range_usize(0, 2)]),
+                    Value::Int(rng.range_i64_inclusive(-3, 3)),
+                    Value::Float(SPECIALS[rng.range_usize(0, SPECIALS.len())]),
+                    Value::Int(rng.range_i64_inclusive(0, 99)),
+                ]))
+                .unwrap();
+        }
+        let sqls = queries(&mut rng);
+        for options in
+            [BuildOptions::basic(), BuildOptions::reordered(PartitionSpec::new(&["k"], 4))]
+        {
+            assert_all_configs_match(&table, &options, &sqls, "specials-only");
+        }
+    }
+}

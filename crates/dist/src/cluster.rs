@@ -310,11 +310,14 @@ pub struct Cluster {
     /// processes — the observation stream that replaces [`LoadModel`]
     /// draws under the RPC transport.
     observed_queue: Mutex<Vec<(Duration, u64)>>,
-    /// The most recent worker queue-delay samples (capped ring), feeding
-    /// two adaptive policies: the hedge delay (p95-derived — hedge as soon
-    /// as a primary looks slower than the cluster's recent tail) and the
-    /// admission saturation check.
-    recent_queue: Mutex<VecDeque<Duration>>,
+    /// The most recent worker queue-delay samples (capped ring of
+    /// `(when observed, delay)`), feeding two adaptive policies: the hedge
+    /// delay (p95-derived — hedge as soon as a primary looks slower than
+    /// the cluster's recent tail) and the admission saturation check.
+    /// Samples older than [`RECENT_QUEUE_TTL`] are expired on read: a
+    /// queue spike must stop shedding once the workers have drained, even
+    /// if no fresh sample has displaced it from the ring.
+    recent_queue: Mutex<VecDeque<(Instant, Duration)>>,
     /// Queries currently admitted (only tracked when admission control is
     /// on).
     in_flight: AtomicU64,
@@ -324,6 +327,13 @@ pub struct Cluster {
 
 /// How many queue-delay samples feed the hedge / saturation estimates.
 const RECENT_QUEUE_CAP: usize = 256;
+
+/// How long a queue-delay sample stays relevant. A burst that filled the
+/// ring with 400ms delays describes the cluster *then*; ten seconds later
+/// those processes have long drained and the estimates must forget them
+/// rather than keep halving admission against a load that no longer
+/// exists.
+const RECENT_QUEUE_TTL: Duration = Duration::from_secs(10);
 
 /// RAII permit for one admitted query; dropping it frees the slot.
 #[derive(Debug)]
@@ -384,8 +394,10 @@ impl QueryOutcome {
 enum ShardAnswer {
     /// Served from the shard-level result cache.
     Cached(Arc<ShardEntry>),
-    /// Freshly computed (primary or replica).
-    Computed { partial: PartialResult, stats: ScanStats },
+    /// Freshly computed (primary or replica). `compute` is the measured
+    /// scan time (help-stolen time excluded) — the recompute cost the
+    /// shard cache scores admission by.
+    Computed { partial: PartialResult, stats: ScanStats, compute: Duration },
 }
 
 struct SubqueryScan {
@@ -480,6 +492,7 @@ impl Cluster {
                     per_shard_budget,
                     per_shard_budget / 2,
                 ))),
+                kernels: Default::default(),
             };
             shards.push(Shard { store, ctx });
         }
@@ -585,15 +598,31 @@ impl Cluster {
     }
 
     /// p95 of the recent worker queue-delay samples; `None` before any
-    /// RPC query has reported.
+    /// RPC query has reported (or after every sample has aged past
+    /// [`RECENT_QUEUE_TTL`] — an idle cluster is a cold cluster, not a
+    /// saturated one).
+    ///
+    /// Percentile rank: with fewer than 20 samples a nearest-rank "p95"
+    /// *is* the sample max — one outlier would then drive the hedge delay
+    /// (8×p95) and the saturation check, so small rings conservatively
+    /// report the median instead. At ≥ 20 samples the ceiling nearest-rank
+    /// index `⌈0.95 n⌉ − 1` is used (the floor form `⌊0.95 n⌋` also
+    /// degenerates to the max for every n < 20 and overshoots the rank by
+    /// one thereafter).
     fn queue_p95(&self) -> Option<Duration> {
-        let recent = self.recent_queue.lock();
+        let mut recent = self.recent_queue.lock();
+        let now = Instant::now();
+        while recent.front().is_some_and(|&(when, _)| now.duration_since(when) > RECENT_QUEUE_TTL) {
+            recent.pop_front();
+        }
         if recent.is_empty() {
             return None;
         }
-        let mut sorted: Vec<Duration> = recent.iter().copied().collect();
+        let mut sorted: Vec<Duration> = recent.iter().map(|&(_, d)| d).collect();
         sorted.sort_unstable();
-        Some(sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)])
+        let n = sorted.len();
+        let idx = if n < 20 { n / 2 } else { (n * 95).div_ceil(100) - 1 };
+        Some(sorted[idx])
     }
 
     /// How long to wait for a primary before racing its replica. Derived
@@ -696,12 +725,12 @@ impl Cluster {
                     stats += &entry.cached_stats();
                     merged.merge_ref(&entry.partial)?;
                 }
-                ShardAnswer::Computed { partial, stats: shard_stats } => {
+                ShardAnswer::Computed { partial, stats: shard_stats, compute } => {
                     stats += &shard_stats;
                     match (&self.shard_cache, &signature) {
                         (Some(cache), Some(signature)) => {
                             let entry = Arc::new(ShardEntry::new(partial, &shard_stats));
-                            cache.put(signature, s, entry.clone());
+                            cache.put_costed(signature, s, entry.clone(), compute);
                             merged.merge_ref(&entry.partial)?;
                         }
                         _ => merged.merge(partial)?,
@@ -811,13 +840,15 @@ impl Cluster {
             }
         }
         {
-            // Feed the adaptive hedge / saturation estimates.
+            // Feed the adaptive hedge / saturation estimates, stamped so
+            // `queue_p95` can expire them.
+            let now = Instant::now();
             let mut recent = self.recent_queue.lock();
             for queued in &queue_delays {
                 if recent.len() == RECENT_QUEUE_CAP {
                     recent.pop_front();
                 }
-                recent.push_back(*queued);
+                recent.push_back((now, *queued));
             }
         }
 
@@ -896,7 +927,7 @@ impl Cluster {
 
         let latency = compute + self.io_time(&shard_stats) + server_delay;
         Ok(SubqueryScan {
-            answer: ShardAnswer::Computed { partial, stats: shard_stats },
+            answer: ShardAnswer::Computed { partial, stats: shard_stats, compute },
             latency,
             failover,
         })
@@ -1059,9 +1090,10 @@ mod tests {
         // the threshold, max 2 becomes 1 — the second slot is gone even
         // though it is nominally free.
         {
+            let now = Instant::now();
             let mut recent = cluster.recent_queue.lock();
             for _ in 0..32 {
-                recent.push_back(Duration::from_millis(400));
+                recent.push_back((now, Duration::from_millis(400)));
             }
         }
         let shed = cluster.admit().unwrap_err();
@@ -1079,12 +1111,84 @@ mod tests {
         // Cold cluster: no observations yet, fall back to budget/8.
         assert_eq!(cluster.hedge_delay(budget), budget / 8);
         // A fast queue tail clamps to the 25 ms floor (8×1ms + 2ms = 10ms).
-        cluster.recent_queue.lock().extend(vec![Duration::from_millis(1); 64]);
+        cluster.recent_queue.lock().extend(vec![(Instant::now(), Duration::from_millis(1)); 64]);
         assert_eq!(cluster.hedge_delay(budget), Duration::from_millis(25));
         // A pathological tail is capped at half the budget: hedging later
         // than that cannot beat the deadline anyway.
-        cluster.recent_queue.lock().extend(vec![Duration::from_secs(10); 64]);
+        cluster.recent_queue.lock().extend(vec![(Instant::now(), Duration::from_secs(10)); 64]);
         assert_eq!(cluster.hedge_delay(Duration::from_secs(1)), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn stale_queue_samples_expire_and_sheds_stop() {
+        let table = generate_logs(&LogsSpec::scaled(200));
+        let cluster = Cluster::build(
+            &table,
+            &ClusterConfig {
+                shards: 2,
+                admission: AdmissionConfig { max_in_flight: 2, ..Default::default() },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // A queue spike that ended long ago: every sample predates the
+        // TTL. Before samples carried timestamps this ring kept reporting
+        // a 400 ms "current" p95 forever (nothing displaced it), so the
+        // halved limit outlived the spike indefinitely.
+        let stale = Instant::now()
+            .checked_sub(RECENT_QUEUE_TTL + Duration::from_secs(1))
+            .expect("process uptime exceeds the sample TTL");
+        {
+            let mut recent = cluster.recent_queue.lock();
+            for _ in 0..32 {
+                recent.push_back((stale, Duration::from_millis(400)));
+            }
+        }
+        assert_eq!(cluster.queue_p95(), None, "expired samples must not report a p95");
+        // Both nominal slots admit again — the limit is no longer halved.
+        let _first = cluster.admit().unwrap();
+        let _second = cluster.admit().unwrap();
+        assert_eq!(cluster.shed_count(), 0, "sheds must stop once the spike has aged out");
+        // The hedge delay falls back to its cold estimate too.
+        let budget = Duration::from_secs(30);
+        assert_eq!(cluster.hedge_delay(budget), budget / 8);
+        assert!(cluster.recent_queue.lock().is_empty(), "expiry prunes the ring in place");
+    }
+
+    #[test]
+    fn small_sample_p95_is_the_median_not_the_max() {
+        let table = generate_logs(&LogsSpec::scaled(200));
+        let cluster =
+            Cluster::build(&table, &ClusterConfig { shards: 2, ..Default::default() }).unwrap();
+        let now = Instant::now();
+        // Ten samples: one 500 ms outlier among nine 1 ms delays. The old
+        // nearest-rank index (10·95/100 = 9) selected the outlier — the
+        // sample *max* — and the hedge delay ballooned to 8×500ms. Small
+        // rings now report the median.
+        {
+            let mut recent = cluster.recent_queue.lock();
+            for _ in 0..9 {
+                recent.push_back((now, Duration::from_millis(1)));
+            }
+            recent.push_back((now, Duration::from_millis(500)));
+        }
+        assert_eq!(cluster.queue_p95(), Some(Duration::from_millis(1)));
+        assert_eq!(
+            cluster.hedge_delay(Duration::from_secs(30)),
+            Duration::from_millis(25),
+            "one outlier in a small ring must not inflate the hedge delay"
+        );
+        // At n ≥ 20 the estimate is a true nearest-rank p95: for 1..=100 ms
+        // the 95th of 100 sorted samples is 95 ms (the old floor index
+        // overshot to 96 ms).
+        {
+            let mut recent = cluster.recent_queue.lock();
+            recent.clear();
+            for ms in 1..=100 {
+                recent.push_back((now, Duration::from_millis(ms)));
+            }
+        }
+        assert_eq!(cluster.queue_p95(), Some(Duration::from_millis(95)));
     }
 
     #[test]

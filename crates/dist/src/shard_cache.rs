@@ -30,10 +30,14 @@
 //!   eviction can therefore change [`pd_core::ScanStats`], never results.
 //!
 //! Admission/eviction bookkeeping reuses [`pd_core::BoundedCache`] — the
-//! same FIFO-bounded machinery as the chunk-result cache.
+//! same cost-aware bounded machinery as the chunk-result cache. Callers
+//! that observed how long the partial took to compute use the `put_costed`
+//! variants, scoring entries by `bytes × recompute ns`
+//! ([`pd_core::cost_score`]) so a full cache keeps the partials that are
+//! most expensive to regenerate.
 
 use crate::rpc::{ShardReport, SubtreeAnswer};
-use pd_core::{BoundedCache, PartialResult, ScanStats};
+use pd_core::{cost_score, BoundedCache, PartialResult, ScanStats};
 use pd_sql::{AnalyzedQuery, Expr};
 use std::sync::Arc;
 use std::time::Duration;
@@ -96,6 +100,21 @@ impl ShardCache {
 
     pub fn put(&self, signature: &str, shard: usize, entry: Arc<ShardEntry>) {
         self.entries.put((signature.to_owned(), shard), entry);
+    }
+
+    /// [`put`](ShardCache::put) with an observed recompute cost: the entry
+    /// is scored by `partial bytes × recompute ns`, so when the cache is
+    /// full the cheapest-to-regenerate partial is the one displaced (or the
+    /// incoming one rejected).
+    pub fn put_costed(
+        &self,
+        signature: &str,
+        shard: usize,
+        entry: Arc<ShardEntry>,
+        recompute: Duration,
+    ) {
+        let cost = cost_score(entry.partial.approx_bytes(), recompute);
+        self.entries.put_costed((signature.to_owned(), shard), entry, cost);
     }
 
     /// Invalidate everything — required whenever a shard's store is
@@ -196,6 +215,14 @@ impl WorkerCache {
 
     pub fn put(&self, signature: &str, entry: Arc<CachedSubtree>) {
         self.entries.put(signature.to_owned(), entry);
+    }
+
+    /// [`put`](WorkerCache::put) with an observed recompute cost
+    /// (`partial bytes × recompute ns`), so capacity pressure evicts the
+    /// subtree answers that are cheapest to regenerate.
+    pub fn put_costed(&self, signature: &str, entry: Arc<CachedSubtree>, recompute: Duration) {
+        let cost = cost_score(entry.partial.approx_bytes(), recompute);
+        self.entries.put_costed(signature.to_owned(), entry, cost);
     }
 
     /// Drop everything — the epoch-advance reaction: cached partials

@@ -386,6 +386,7 @@ fn handle(
                     return Ok(Response::Answer(Box::new(entry.to_answer(queued))));
                 }
             }
+            let started = std::time::Instant::now();
             let answer = if let Some(leaf) = &role.leaf {
                 execute_leaf(leaf, &query, queued)?
             } else if let Some(children) = &role.children {
@@ -402,7 +403,14 @@ fn handle(
                 ));
             };
             if let (Some(cache), Some(signature)) = (&role.cache, &signature) {
-                cache.put(signature, Arc::new(CachedSubtree::capture(&answer)));
+                // Admission is cost-aware: what this node just spent
+                // computing the subtree answer (scan or fan-out + fold) is
+                // exactly what a future miss would spend again.
+                cache.put_costed(
+                    signature,
+                    Arc::new(CachedSubtree::capture(&answer)),
+                    started.elapsed(),
+                );
             }
             Ok(Response::Answer(Box::new(answer)))
         }
@@ -442,6 +450,7 @@ fn build_leaf(load: LoadRequest) -> Result<(LeafStore, ShardMeta)> {
             load.cache_budget as usize,
             load.cache_budget as usize / 2,
         ))),
+        kernels: Default::default(),
     };
     Ok((LeafStore { shard: load.shard, store, ctx, meta: meta.clone() }, meta))
 }

@@ -82,8 +82,8 @@ pub use pd_sql as sql;
 
 pub use pd_common::{DataType, Error, Result, Row, Schema, Value};
 pub use pd_core::{
-    query, BuildOptions, CachePolicy, DataStore, ExecContext, PartitionSpec, QueryResult,
-    ResultCache, ScanStats, TieredCache,
+    query, BuildOptions, CachePolicy, DataStore, ExecContext, KernelConfig, PartitionSpec,
+    QueryResult, ResultCache, ScanStats, TieredCache,
 };
 pub use pd_data::Table;
 pub use pd_dist::{Cluster, ClusterConfig};
@@ -110,6 +110,7 @@ impl PowerDrill {
             threads: 0, // auto: one worker per available core
             result_cache: Some(Arc::new(ResultCache::new(1 << 16))),
             tiered: Some(Arc::new(TieredCache::new(CachePolicy::Arc, 256 << 20, 128 << 20))),
+            kernels: KernelConfig::default(),
         };
         Ok(PowerDrill { store, ctx })
     }

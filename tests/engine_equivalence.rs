@@ -225,6 +225,77 @@ fn parallel_execution_matches_across_build_variants() {
 }
 
 // ---------------------------------------------------------------------------
+// Kernel fast-path axis
+// ---------------------------------------------------------------------------
+
+/// The compressed-domain kernel axis: run-aware aggregation over `Elements`
+/// runs and the dense-float double-double fast path are pure speed — every
+/// combination of [`KernelConfig`] flags, at every thread count, must be
+/// **bit-identical** (`assert_eq!`, floats included) to the fully
+/// materializing kernels. Global aggregates (no `GROUP BY`) exercise the
+/// whole-chunk run path; single-key dense group-bys exercise the key-run
+/// and double-double paths; masks and multi-key queries must fall back
+/// without changing a bit.
+#[test]
+fn kernel_fast_paths_are_bit_identical_to_materializing() {
+    use powerdrill::data::{generate_logs, LogsSpec};
+    use powerdrill::KernelConfig;
+
+    let queries: Vec<&str> = MATRIX_QUERIES
+        .iter()
+        .copied()
+        .chain([
+            // Global aggregates: the group-of-every-row shape.
+            "SELECT COUNT(*) c, SUM(latency) s, AVG(latency) a FROM data",
+            "SELECT SUM(latency) s FROM data WHERE country = 'US'",
+            "SELECT COUNT(*) c, MIN(latency) mn, MAX(latency) mx FROM data",
+        ])
+        .collect();
+
+    // Production build (reordered: long runs) and basic build (one chunk,
+    // unsorted codes) — the fast paths must win or fall back correctly on
+    // both.
+    let table = generate_logs(&LogsSpec::scaled(3_000));
+    let mut production = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut production.partition {
+        spec.max_chunk_rows = 150;
+    }
+    for options in [production, BuildOptions::basic()] {
+        let store = DataStore::build(&table, &options).unwrap();
+        for sql in &queries {
+            let analyzed = analyze(&parse_query(sql).unwrap()).unwrap();
+            let reference = ExecContext {
+                threads: 1,
+                kernels: KernelConfig::materializing(),
+                ..Default::default()
+            };
+            let (want, want_stats) = execute(&store, &analyzed, &reference).unwrap();
+            for run_aware in [false, true] {
+                for dense_float in [false, true] {
+                    for threads in [1usize, 8] {
+                        let ctx = ExecContext {
+                            threads,
+                            kernels: KernelConfig { run_aware, dense_float },
+                            ..Default::default()
+                        };
+                        let (got, stats) = execute(&store, &analyzed, &ctx).unwrap();
+                        assert_eq!(
+                            got, want,
+                            "run_aware={run_aware} dense_float={dense_float} \
+                             threads={threads}: {sql}"
+                        );
+                        assert_eq!(
+                            stats.rows_scanned, want_stats.rows_scanned,
+                            "kernels must not change what is scanned: {sql}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Distributed equivalence matrix
 // ---------------------------------------------------------------------------
 
