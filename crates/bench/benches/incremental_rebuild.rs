@@ -1,0 +1,141 @@
+//! Streaming ingest vs full rebuild: the cost of refreshing a live §4
+//! serving tree when ~1% of the table is new.
+//!
+//! Two ways to get new rows into a running RPC cluster:
+//!
+//! 1. **full rebuild** — [`Cluster::rebuild`] respawns every worker
+//!    process and re-ships the *entire* table as `Load` frames;
+//! 2. **delta append** — [`Cluster::append`] keeps the processes alive
+//!    and ships only the new chunks plus dictionary deltas (`Append`
+//!    frames), bumping the epoch in place.
+//!
+//! Because existing dictionary codes are stable under append, both paths
+//! must produce bit-identical answers — asserted here, along with the two
+//! numbers that justify the delta path (also asserted, so the bench-smoke
+//! CI job turns a regression into a red build): on a ~1%-changed table the
+//! append must ship **strictly fewer bytes** and complete **strictly
+//! faster** than the rebuild.
+//!
+//! Like `rpc_tree`, the worker binary is resolved via the library's own
+//! lookup; without it the bench prints a note and exits cleanly instead of
+//! failing (`cargo bench` does not build other crates' bin targets).
+
+use pd_bench::{fmt_duration, json_line, logs_table, measure, Stats};
+use pd_core::BuildOptions;
+use pd_dist::{Cluster, ClusterConfig, RpcConfig, Transport, TreeShape, WorkerAddr};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn main() {
+    let rows = pd_bench::rows_from_env_or(100_000);
+    if pd_dist::process::resolve_worker_bin(None).is_err() {
+        println!(
+            "NOTE: pd-dist-worker binary not found (build it or set PD_DIST_WORKER_BIN); \
+             skipping incremental_rebuild"
+        );
+        return;
+    }
+
+    // The §6 production recipe, shrunk with the dataset like `experiments`.
+    let shards = (rows / 62_500).clamp(2, 8);
+    let mut build = BuildOptions::production(&["country", "table_name"]);
+    if let Some(spec) = &mut build.partition {
+        spec.max_chunk_rows = (rows / shards / 120).clamp(200, 50_000);
+    }
+    let config = ClusterConfig {
+        shards,
+        replication: false,
+        shard_cache: 0,
+        threads: 1,
+        tree: TreeShape { fanout: 4 },
+        build,
+        transport: Transport::Rpc(RpcConfig {
+            worker_bin: None,
+            budget: Duration::from_secs(60),
+            addr: WorkerAddr::Unix,
+            compress: false,
+        }),
+        ..Default::default()
+    };
+
+    // ~1% of the table arrives as new rows.
+    let full = logs_table(rows);
+    let delta_rows = (rows / 100).max(500).min(rows / 2);
+    let base = full.select_rows(&(0..rows - delta_rows).collect::<Vec<_>>());
+    let delta = full.select_rows(&((rows - delta_rows)..rows).collect::<Vec<_>>());
+    let sql = "SELECT country, COUNT(*) as c, SUM(latency) as s FROM logs \
+               GROUP BY country ORDER BY c DESC LIMIT 10";
+
+    let trials = if pd_bench::quick() { 2 } else { 3 };
+    let mut append_times = Vec::new();
+    let mut rebuild_times = Vec::new();
+    let mut append_bytes = 0u64;
+    let mut rebuild_bytes = 0u64;
+    for trial in 0..trials {
+        // Delta path: live tree, ship only the new rows.
+        let mut appended = Cluster::build(&base, &config).expect("cluster");
+        let mut outcome = None;
+        append_times.push(measure(|| {
+            outcome = Some(appended.append(&delta).expect("append"));
+        }));
+        append_bytes = outcome.expect("measured").bytes_shipped;
+
+        // Full path: respawn the tree over base + delta.
+        let mut rebuilt = Cluster::build(&base, &config).expect("cluster");
+        rebuild_times.push(measure(|| {
+            rebuilt.rebuild(&full).expect("rebuild");
+        }));
+        rebuild_bytes = rebuilt.shipped_bytes();
+
+        // Both refreshed clusters must answer bit-identically.
+        if trial == 0 {
+            let a = appended.query(sql).expect("appended query");
+            let b = rebuilt.query(sql).expect("rebuilt query");
+            assert_eq!(
+                a.result, b.result,
+                "append and rebuild must agree bit-identically on the refreshed table"
+            );
+            assert_eq!(a.stats.rows_total, rows as u64);
+        }
+        black_box((&appended, &rebuilt));
+    }
+    append_times.sort_unstable();
+    rebuild_times.sort_unstable();
+    let append_stats = Stats { min: append_times[0], median: append_times[append_times.len() / 2] };
+    let rebuild_stats =
+        Stats { min: rebuild_times[0], median: rebuild_times[rebuild_times.len() / 2] };
+
+    println!(
+        "=== incremental rebuild ({rows} rows, {delta_rows}-row delta, {shards} shards, unix rpc) ===\n\
+         delta append : {}  shipping {append_bytes} bytes\n\
+         full rebuild : {}  shipping {rebuild_bytes} bytes\n\
+         -> {:.1}x faster, {:.1}x fewer bytes",
+        fmt_duration(append_stats.min),
+        fmt_duration(rebuild_stats.min),
+        rebuild_stats.min.as_secs_f64() / append_stats.min.as_secs_f64().max(1e-9),
+        rebuild_bytes as f64 / append_bytes.max(1) as f64,
+    );
+    assert!(
+        append_bytes < rebuild_bytes,
+        "a ~1% delta append must ship strictly fewer bytes than a full rebuild: \
+         {append_bytes} vs {rebuild_bytes}"
+    );
+    assert!(
+        append_stats.min < rebuild_stats.min,
+        "a ~1% delta append must complete strictly faster than a full rebuild: \
+         {} vs {}",
+        fmt_duration(append_stats.min),
+        fmt_duration(rebuild_stats.min),
+    );
+    json_line(
+        "incremental_rebuild",
+        "delta_append",
+        append_stats,
+        &[
+            ("bytes", append_bytes.to_string()),
+            ("rows", delta_rows.to_string()),
+            ("rebuild_bytes", rebuild_bytes.to_string()),
+        ],
+    );
+    json_line("incremental_rebuild", "full_rebuild", rebuild_stats, &[]);
+}

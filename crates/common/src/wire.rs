@@ -44,7 +44,10 @@ use std::time::Duration;
 /// Version 4: chunk-granular shard metadata (per-chunk zone maps +
 /// per-column Bloom filters) in `Load`/`Attach`, the `chunk_pruning` flag
 /// on queries, `chunks_pruned_remote` in scan stats.
-pub const FRAME_VERSION: u8 = 4;
+/// Version 5: the streaming-append protocol — `Append` requests carrying
+/// self-contained dictionary-delta tables (`pd_encoding::TableDelta`),
+/// applied in place by leaf workers without a respawn.
+pub const FRAME_VERSION: u8 = 5;
 
 /// The frame payload is compressed (`pd-compress`, Zippy family). The
 /// receiver decompresses before decoding; the flag is per frame, so a

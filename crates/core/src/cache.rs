@@ -341,7 +341,7 @@ impl OrderedKeys {
 ///
 /// Keys are the **global-ids** of the group-by key columns (stable for the
 /// lifetime of a store): the executor folds chunks in the id domain and
-/// translates ids to [`Value`]s only once per distinct result group, so a
+/// translates ids to [`pd_common::Value`]s only once per distinct result group, so a
 /// cached chunk costs no dictionary lookups at all on a hit.
 pub type ChunkGroups = Vec<(Box<[u32]>, Vec<crate::exec::AggState>)>;
 
@@ -555,6 +555,12 @@ impl ResultCache {
     /// `(hits, misses)` so far.
     pub fn stats(&self) -> (u64, u64) {
         self.entries.stats()
+    }
+
+    /// Drop every cached chunk result (used when an in-place append makes
+    /// resident chunk results stale without a process respawn).
+    pub fn clear(&self) {
+        self.entries.clear();
     }
 }
 

@@ -84,10 +84,28 @@ impl StoredColumn {
         partitioning: &Partitioning,
         options: &BuildOptions,
     ) -> StoredColumn {
-        let mut chunks = Vec::with_capacity(partitioning.chunk_count());
-        for c in 0..partitioning.chunk_count() {
-            let range = partitioning.chunk_range(c);
-            let slice = &global_ids[range];
+        let chunk_lens: Vec<usize> =
+            (0..partitioning.chunk_count()).map(|c| partitioning.chunk_range(c).len()).collect();
+        let mut column = StoredColumn { dict, chunks: Vec::with_capacity(chunk_lens.len()) };
+        column.append_chunks(global_ids, &chunk_lens, options);
+        column
+    }
+
+    /// Append pre-resolved global-ids as fresh chunks of the given row
+    /// counts. Existing chunks are untouched — this is the store side of an
+    /// in-place delta append, where `global_ids` came from
+    /// [`GlobalDict::extend`] and existing ids are guaranteed stable.
+    pub fn append_chunks(
+        &mut self,
+        global_ids: &[u32],
+        chunk_lens: &[usize],
+        options: &BuildOptions,
+    ) {
+        debug_assert_eq!(global_ids.len(), chunk_lens.iter().sum::<usize>());
+        let mut at = 0usize;
+        for &len in chunk_lens {
+            let slice = &global_ids[at..at + len];
+            at += len;
 
             // Chunk dictionary: sorted distinct global-ids of the slice.
             let mut distinct: Vec<u32> = slice.to_vec();
@@ -106,9 +124,8 @@ impl StoredColumn {
             let elements = Elements::encode(&chunk_ids, distinct.len() as u32, options.elements);
             let dict = ChunkDict::from_sorted(distinct)
                 .expect("sorted+deduped ids are a valid chunk dictionary");
-            chunks.push(ColumnChunk { dict, elements });
+            self.chunks.push(ColumnChunk { dict, elements });
         }
-        StoredColumn { dict, chunks }
     }
 
     pub fn data_type(&self) -> DataType {

@@ -17,7 +17,7 @@ use crate::partition::{partition, Partitioning};
 use pd_common::sync::RwLock;
 use pd_common::{Error, HeapSize, Result, Schema, Value};
 use pd_data::Table;
-use pd_encoding::build_dict;
+use pd_encoding::{build_dict, DictDelta, TableDelta};
 use pd_sql::{eval_expr, Expr, RowContext};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -98,6 +98,59 @@ impl DataStore {
             virtuals: RwLock::new(BTreeMap::new()),
             n_rows,
         })
+    }
+
+    /// Apply a delta batch in place (§4 freshness without a re-import).
+    ///
+    /// Each column's global dictionary grows via [`pd_encoding::GlobalDict::extend`]
+    /// — every existing id stays stable, genuinely new values get appended
+    /// tail ids — and the delta rows are encoded as *fresh chunks* in
+    /// arrival order (bounded by the build threshold); existing chunks and
+    /// their element arrays are untouched, so results folded across old and
+    /// new chunks are bit-identical to a full re-import of the concatenated
+    /// data. Materialized virtual fields are dropped (their chunk layout no
+    /// longer spans all rows) and rebuilt lazily on next access.
+    ///
+    /// Returns one [`DictDelta`] per schema field (in field order)
+    /// describing exactly what each dictionary appended — the input for
+    /// shard-metadata maintenance.
+    pub fn append_delta(&mut self, delta: &TableDelta) -> Result<Vec<DictDelta>> {
+        if delta.schema != self.schema {
+            return Err(Error::Schema("delta schema does not match the store schema".into()));
+        }
+        delta.validate()?;
+        let rows = delta.rows as usize;
+
+        // New chunk boundaries: arrival order, capped at the import
+        // threshold so appended chunks stay prunable at the same grain.
+        let max_rows =
+            self.options.partition.as_ref().map_or(usize::MAX, |s| s.max_chunk_rows).max(1);
+        let mut chunk_lens = Vec::new();
+        let mut remaining = rows;
+        while remaining > 0 {
+            let take = remaining.min(max_rows);
+            chunk_lens.push(take);
+            remaining -= take;
+        }
+
+        let mut dict_deltas = Vec::with_capacity(self.columns.len());
+        for (field, column_delta) in self.schema.fields().iter().zip(&delta.columns) {
+            let arc = self.columns.get_mut(&field.name).expect("schemas are equal");
+            let column = Arc::make_mut(arc);
+            let values = column_delta.values();
+            let base_len = column.dict.len();
+            let global_ids = column.dict.extend(&values)?;
+            let appended: Vec<Value> =
+                (base_len..column.dict.len()).map(|id| column.dict.value(id)).collect();
+            column.append_chunks(&global_ids, &chunk_lens, &self.options);
+            dict_deltas.push(DictDelta { base_len, appended });
+        }
+
+        self.partitioning.append_identity_chunks(&chunk_lens);
+        // Virtual fields were materialized against the old chunk layout.
+        self.virtuals.write().clear();
+        self.n_rows += rows;
+        Ok(dict_deltas)
     }
 
     pub fn schema(&self) -> &Schema {
@@ -364,6 +417,94 @@ mod tests {
         let (_, store) = small_store(&BuildOptions::basic());
         assert_eq!(store.chunk_count(), 1);
         assert_eq!(store.chunk_rows(0), 3_000);
+    }
+
+    fn delta_of(table: &Table, rows: std::ops::Range<usize>) -> TableDelta {
+        let sub = table.select_rows(&rows.collect::<Vec<_>>());
+        let columns: Vec<&[Value]> = (0..sub.schema().len()).map(|i| sub.column(i)).collect();
+        TableDelta::from_columns(sub.schema().clone(), &columns).unwrap()
+    }
+
+    #[test]
+    fn append_delta_matches_full_rebuild_bit_identically() {
+        let table = generate_logs(&LogsSpec::scaled(3_000));
+        let options = production_options();
+        let base = table.select_rows(&(0..2_700).collect::<Vec<_>>());
+        let mut appended = DataStore::build(&base, &options).unwrap();
+        appended.append_delta(&delta_of(&table, 2_700..2_850)).unwrap();
+        appended.append_delta(&delta_of(&table, 2_850..3_000)).unwrap();
+        let full = DataStore::build(&table, &options).unwrap();
+
+        assert_eq!(appended.n_rows(), full.n_rows());
+        for sql in [
+            "SELECT country, COUNT(*) FROM t GROUP BY country",
+            "SELECT table_name, SUM(latency) FROM t GROUP BY table_name",
+            "SELECT country, MIN(user), MAX(user) FROM t GROUP BY country",
+            "SELECT table_name, COUNT(*) FROM t WHERE country = 'DE' GROUP BY table_name",
+        ] {
+            let (a, _) = crate::exec::query(&appended, sql).unwrap();
+            let (b, _) = crate::exec::query(&full, sql).unwrap();
+            assert_eq!(a, b, "append vs rebuild diverged for `{sql}`");
+        }
+    }
+
+    #[test]
+    fn append_delta_keeps_ids_stable_and_rows_in_arrival_order() {
+        let table = generate_logs(&LogsSpec::scaled(2_000));
+        let options = production_options();
+        let base = table.select_rows(&(0..1_500).collect::<Vec<_>>());
+        let mut store = DataStore::build(&base, &options).unwrap();
+        let before = store.column("country").unwrap();
+        let old_chunks = store.chunk_count();
+
+        // Materialize a virtual field, then append: it must be dropped.
+        let q = parse_query("SELECT hour(timestamp) FROM t GROUP BY hour(timestamp)").unwrap();
+        store.column_for_expr(&q.group_by[0]).unwrap();
+        assert_eq!(store.virtual_names().len(), 1);
+
+        let deltas = store.append_delta(&delta_of(&table, 1_500..2_000)).unwrap();
+        assert_eq!(store.n_rows(), 2_000);
+        assert!(store.virtual_names().is_empty(), "virtuals must be invalidated");
+        assert_eq!(deltas.len(), store.schema().fields().len());
+
+        // Existing ids are untouched: the old dictionary is a prefix.
+        let after = store.column("country").unwrap();
+        for id in 0..before.dict.len() {
+            assert_eq!(after.dict.value(id), before.dict.value(id), "id {id} moved");
+        }
+        let country_idx = store.schema().resolve("country").unwrap();
+        let field_delta = &deltas[country_idx];
+        assert_eq!(field_delta.base_len, before.dict.len());
+        assert_eq!(after.dict.len(), before.dict.len() + field_delta.appended.len() as u32);
+
+        // Appended rows live in fresh chunks, in arrival order.
+        let p = store.partitioning();
+        let mut seen = 0usize;
+        for c in old_chunks..store.chunk_count() {
+            assert!(
+                p.chunk_range(c).len()
+                    <= store.options().partition.as_ref().unwrap().max_chunk_rows
+            );
+            for (i, _) in p.chunk_range(c).enumerate() {
+                let src = 1_500 + seen + i;
+                for field in store.schema().fields() {
+                    let col = store.column(&field.name).unwrap();
+                    let idx = table.schema().resolve(&field.name).unwrap();
+                    assert_eq!(col.value_at(c, i), table.column(idx)[src]);
+                }
+            }
+            seen += p.chunk_range(c).len();
+        }
+        assert_eq!(seen, 500);
+    }
+
+    #[test]
+    fn append_delta_rejects_schema_mismatch() {
+        let (_, mut store) = small_store(&production_options());
+        let schema = pd_common::Schema::of(&[("other", pd_common::DataType::Int)]);
+        let vals = [Value::Int(1)];
+        let delta = TableDelta::from_columns(schema, &[&vals[..]]).unwrap();
+        assert!(store.append_delta(&delta).is_err());
     }
 
     #[test]

@@ -3,13 +3,14 @@
 //! Per active chunk, group-by evaluation "boils down to executing
 //! `counts[elements[row]]++`" over a dense array sized by the chunk
 //! dictionary, after which per-chunk results are folded into a hash table
-//! keyed by global values. The per-chunk loops live in [`crate::kernels`]
-//! and operate on raw dictionary codes; this module owns planning, the
-//! chunk schedule and the fold.
+//! keyed by global values. The per-chunk loops live in `crate::kernels`
+//! (crate-private; its [`crate::KernelConfig`] knobs are re-exported) and
+//! operate on raw dictionary codes; this module owns planning, the chunk
+//! schedule and the fold.
 //!
 //! Because every chunk is immutable and per-chunk group states are
 //! mergeable (the same property §4 uses to aggregate across machines),
-//! active chunks execute **in parallel**: [`Plan::run`] builds a work queue
+//! active chunks execute **in parallel**: the internal plan builds a work queue
 //! of chunk tasks and a [`crate::scheduler`] worker pool scans them on
 //! [`ExecContext::threads`] threads. Per-chunk results come back in chunk
 //! order and are folded sequentially, so parallel execution returns

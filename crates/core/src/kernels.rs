@@ -726,24 +726,48 @@ impl ChunkAcc {
             AggKind::MinMax { is_min } => {
                 let col = agg.col.as_ref().expect("MIN/MAX has an argument");
                 let chunk = arg_chunk.expect("MIN/MAX has an argument");
-                let mut best = vec![u32::MAX; group_count];
-                with_codes!(chunk.codes(), |get| {
-                    for (row, &g) in group_of_row.iter().enumerate() {
-                        if g == u32::MAX {
-                            continue;
-                        }
-                        let id = get(row);
-                        let slot = &mut best[g as usize];
-                        if *slot == u32::MAX || (*is_min && id < *slot) || (!*is_min && id > *slot)
-                        {
-                            *slot = id;
-                        }
-                    }
-                });
-                // Translate extremes to values once.
+                // Translate the chunk dictionary to values once.
                 let values: Vec<Value> = (0..chunk.dict.len())
                     .map(|cid| col.dict.value(chunk.dict.global_id_of(cid)))
                     .collect();
+                let mut best = vec![u32::MAX; group_count];
+                if col.dict.is_value_ordered() {
+                    // Sorted global dictionary: chunk-id order is value
+                    // order, so extremes reduce to integer comparisons.
+                    with_codes!(chunk.codes(), |get| {
+                        for (row, &g) in group_of_row.iter().enumerate() {
+                            if g == u32::MAX {
+                                continue;
+                            }
+                            let id = get(row);
+                            let slot = &mut best[g as usize];
+                            if *slot == u32::MAX
+                                || (*is_min && id < *slot)
+                                || (!*is_min && id > *slot)
+                            {
+                                *slot = id;
+                            }
+                        }
+                    });
+                } else {
+                    // A tailed dictionary appends ids out of value order;
+                    // compare the translated values instead.
+                    with_codes!(chunk.codes(), |get| {
+                        for (row, &g) in group_of_row.iter().enumerate() {
+                            if g == u32::MAX {
+                                continue;
+                            }
+                            let id = get(row);
+                            let slot = &mut best[g as usize];
+                            let better = *slot == u32::MAX
+                                || (*is_min && values[id as usize] < values[*slot as usize])
+                                || (!*is_min && values[id as usize] > values[*slot as usize]);
+                            if better {
+                                *slot = id;
+                            }
+                        }
+                    });
+                }
                 ChunkAcc::MinMax { best, is_min: *is_min, values }
             }
             AggKind::Distinct { m } => {

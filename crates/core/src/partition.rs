@@ -48,6 +48,19 @@ impl Partitioning {
     pub fn max_chunk_rows(&self) -> usize {
         (0..self.chunk_count()).map(|c| self.chunk_range(c).len()).max().unwrap_or(0)
     }
+
+    /// Extend with appended rows, kept in arrival order: the permutation
+    /// gains identity entries (appended row `i` stays at position
+    /// `old_rows + i`) and each length in `chunk_lens` becomes one new
+    /// chunk. Appended data is *not* re-partitioned — the composite range
+    /// invariant holds only for the chunks built at import time.
+    pub fn append_identity_chunks(&mut self, chunk_lens: &[usize]) {
+        for &len in chunk_lens {
+            let start = self.row_order.len() as u32;
+            self.row_order.extend(start..start + len as u32);
+            self.chunk_starts.push(self.row_order.len() as u32);
+        }
+    }
 }
 
 /// Partition `n_rows` rows by the ordered `key_columns` (global-ids per

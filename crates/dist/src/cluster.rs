@@ -46,12 +46,13 @@ use crate::process::{resolve_worker_bin, ProcessTree, TreeConfig, WorkerAddr};
 use crate::shard_cache::{query_signature, ShardCache, ShardEntry};
 use pd_common::rng::Rng;
 use pd_common::sync::Mutex;
-use pd_common::{Error, RpcError};
+use pd_common::{Error, RpcError, Value};
 use pd_core::{
     execute_partial, finalize, scheduler, BuildOptions, CachePolicy, DataStore, ExecContext,
     PartialResult, QueryResult, ResultCache, ScanStats, TieredCache,
 };
 use pd_data::Table;
+use pd_encoding::TableDelta;
 use pd_sql::{analyze, parse_query, AnalyzedQuery};
 use std::collections::VecDeque;
 use std::path::PathBuf;
@@ -349,6 +350,16 @@ impl Drop for AdmitPermit<'_> {
     }
 }
 
+/// What one [`Cluster::append`] shipped and applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// Rows appended across all shards.
+    pub rows: u64,
+    /// Serialized `Append` request bytes shipped to workers (primaries and
+    /// replicas). 0 in-process — nothing crosses a wire.
+    pub bytes_shipped: u64,
+}
+
 /// What one distributed query cost.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -538,6 +549,11 @@ impl Cluster {
     /// tree, or in the next `Query` should a process ever survive a
     /// rebuild) drops its cache. Over RPC the whole worker tree is
     /// respawned — the old processes hold the old data.
+    ///
+    /// This is the *full* refresh: every row is re-shipped and re-imported
+    /// even if only a fraction changed. For append-only growth, prefer
+    /// [`Cluster::append`] — it bumps the same epoch but ships only the
+    /// new rows as dictionary deltas into the live stores, no respawn.
     pub fn rebuild(&mut self, table: &Table) -> pd_common::Result<()> {
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
         match &self.config.transport {
@@ -558,6 +574,79 @@ impl Cluster {
         // or hedge against load that no longer exists.
         self.recent_queue.lock().clear();
         Ok(())
+    }
+
+    /// Stream `delta`'s rows into the live cluster — the incremental
+    /// alternative to [`Cluster::rebuild`]. The delta is split across
+    /// shards by the same contiguous-range rule as the original import,
+    /// encoded per shard as a self-contained dictionary-delta table
+    /// ([`pd_encoding::TableDelta`]: delta-local sorted dictionaries plus
+    /// codes — the receiver resolves them against its resident
+    /// dictionaries, appending only genuinely new values, so **every
+    /// existing global id stays stable** and folded partials across old
+    /// and new chunks stay bit-identical), and applied in place:
+    ///
+    /// - in-process, each shard's store absorbs its slice directly;
+    /// - over RPC, `Append` frames go to every shard's primary *and*
+    ///   replica, the refreshed [`crate::meta::ShardMeta`] acks re-wire
+    ///   the merge levels bottom-up, and no process is respawned.
+    ///
+    /// The epoch bumps exactly as a rebuild would, so every cache layer
+    /// (root shard cache, worker caches, leaf chunk-result caches)
+    /// invalidates by the same rule. Requires `&mut self`: queries borrow
+    /// the cluster shared, so no query can observe a half-applied append
+    /// (an RPC-side failure mid-append leaves shards at different data;
+    /// recover with [`Cluster::rebuild`]).
+    pub fn append(&mut self, delta: &Table) -> pd_common::Result<AppendOutcome> {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let shard_count = self.shard_count();
+        let rows = delta.len() as u64;
+        let field_count = delta.schema().fields().len();
+        let shard_delta = |s: usize| -> pd_common::Result<Option<TableDelta>> {
+            let sub = Self::shard_table(delta, s, shard_count)?;
+            if sub.is_empty() {
+                return Ok(None);
+            }
+            let columns: Vec<&[Value]> = (0..field_count).map(|i| sub.column(i)).collect();
+            TableDelta::from_columns(sub.schema().clone(), &columns).map(Some)
+        };
+        let bytes_shipped = if let Some(tree) = self.tree.as_mut() {
+            let mut deltas = Vec::with_capacity(shard_count);
+            for s in 0..shard_count {
+                deltas.push(shard_delta(s)?);
+            }
+            tree.append(&deltas, epoch)?
+        } else {
+            for s in 0..shard_count {
+                let Some(table_delta) = shard_delta(s)? else { continue };
+                let shard = &mut self.shards[s];
+                shard.store.append_delta(&table_delta)?;
+                // The shard's resident caches describe the pre-append
+                // store (the in-process counterpart of the leaf worker's
+                // cache drop).
+                if let Some(results) = &shard.ctx.result_cache {
+                    results.clear();
+                }
+                if let Some(tiered) = &shard.ctx.tiered {
+                    tiered.clear();
+                }
+            }
+            0
+        };
+        if let Some(cache) = &self.shard_cache {
+            cache.invalidate();
+        }
+        // Unlike a rebuild, the worker processes (and their executor
+        // queues) survive, so the observed queue / saturation estimates
+        // still describe the live cluster — they are kept.
+        Ok(AppendOutcome { rows, bytes_shipped })
+    }
+
+    /// Cumulative serialized bytes of data-bearing requests (`Load` +
+    /// `Append` frames) shipped to the worker tree since it was last
+    /// (re)spawned. Always 0 in-process, where no bytes cross a wire.
+    pub fn shipped_bytes(&self) -> u64 {
+        self.tree.as_ref().map_or(0, ProcessTree::shipped_bytes)
     }
 
     /// Swap the rpc-level fault injection model. Chaos draws depend only
@@ -983,6 +1072,87 @@ mod tests {
             assert_eq!(outcome.subquery_latencies.len(), 4);
             assert!(outcome.failovers.is_empty());
         }
+    }
+
+    #[test]
+    fn append_matches_a_full_rebuild_bit_identically() {
+        // Split a table into a base import plus two append batches; after
+        // each append the cluster must answer exactly like a cluster (and
+        // a single store) built from scratch over the same prefix.
+        let table = generate_logs(&LogsSpec::scaled(3_000));
+        let sqls = [
+            "SELECT country, COUNT(*) c FROM logs GROUP BY country ORDER BY c DESC LIMIT 10",
+            "SELECT country, SUM(latency) s FROM logs GROUP BY country ORDER BY s DESC LIMIT 5",
+            "SELECT MIN(user) lo, MAX(user) hi FROM logs",
+            "SELECT COUNT(*) FROM logs WHERE country = 'DE'",
+        ];
+        let mut build = BuildOptions::production(&["country", "table_name"]);
+        if let Some(spec) = &mut build.partition {
+            spec.max_chunk_rows = 200;
+        }
+        let config = ClusterConfig { shards: 4, build, ..Default::default() };
+        let slice = |lo: usize, hi: usize| {
+            let rows: Vec<usize> = (lo..hi).collect();
+            table.select_rows(&rows)
+        };
+        let mut cluster = Cluster::build(&slice(0, 2_400), &config).unwrap();
+        for batch_end in [2_700, 3_000] {
+            let batch_start = batch_end - 300;
+            let outcome = cluster.append(&slice(batch_start, batch_end)).unwrap();
+            assert_eq!(outcome.rows, 300);
+            assert_eq!(outcome.bytes_shipped, 0, "in-process appends ship nothing");
+            let fresh = Cluster::build(&slice(0, batch_end), &config).unwrap();
+            let store = DataStore::build(&slice(0, batch_end), &BuildOptions::basic()).unwrap();
+            for sql in sqls {
+                let appended = cluster.query(sql).unwrap().result;
+                assert_eq!(appended, fresh.query(sql).unwrap().result, "{sql} @ {batch_end}");
+                assert_eq!(appended, query(&store, sql).unwrap().0, "{sql} @ {batch_end}");
+            }
+        }
+    }
+
+    #[test]
+    fn append_bumps_the_epoch_and_invalidates_the_shard_cache() {
+        let (table, mut cluster) = logs_cluster(4, true);
+        let sql = "SELECT country, COUNT(*) c FROM logs GROUP BY country ORDER BY c DESC LIMIT 5";
+        let cold = cluster.query(sql).unwrap();
+        assert_eq!(cluster.query(sql).unwrap().shard_cache_hits, 4);
+        let epoch_before = cluster.epoch();
+        let rows: Vec<usize> = (0..100).collect();
+        cluster.append(&table.select_rows(&rows)).unwrap();
+        assert_eq!(cluster.epoch(), epoch_before + 1, "append advances the rebuild epoch");
+        let warm = cluster.query(sql).unwrap();
+        assert_eq!(warm.shard_cache_hits, 0, "cached pre-append partials must not answer");
+        assert_ne!(warm.result, cold.result, "the appended rows change the counts");
+    }
+
+    #[test]
+    fn epochs_advance_monotonically_across_append_and_rebuild() {
+        // Interleave appends, rebuilds and queries: the epoch must tick
+        // once per mutation (never stall, never jump), and each query must
+        // see exactly the data of the latest mutation.
+        let table = generate_logs(&LogsSpec::scaled(1_200));
+        let slice = |lo: usize, hi: usize| {
+            let rows: Vec<usize> = (lo..hi).collect();
+            table.select_rows(&rows)
+        };
+        let sql = "SELECT COUNT(*) c FROM logs";
+        let count = |cluster: &Cluster| match cluster.query(sql).unwrap().result.rows[0].0[0] {
+            Value::Int(n) => n,
+            ref other => panic!("COUNT(*) must be an Int, got {other:?}"),
+        };
+        let mut cluster =
+            Cluster::build(&slice(0, 1_000), &ClusterConfig { shards: 3, ..Default::default() })
+                .unwrap();
+        assert_eq!((cluster.epoch(), count(&cluster)), (1, 1_000));
+        cluster.append(&slice(1_000, 1_100)).unwrap();
+        assert_eq!((cluster.epoch(), count(&cluster)), (2, 1_100));
+        cluster.rebuild(&slice(0, 500)).unwrap();
+        assert_eq!((cluster.epoch(), count(&cluster)), (3, 500));
+        cluster.append(&slice(500, 1_200)).unwrap();
+        assert_eq!((cluster.epoch(), count(&cluster)), (4, 1_200));
+        // Repeating a query does not advance the epoch.
+        assert_eq!((cluster.epoch(), count(&cluster)), (4, 1_200));
     }
 
     #[test]

@@ -56,10 +56,13 @@ pub mod workload;
 
 pub use chaos::{ChaosDirective, ChaosFault, ChaosModel};
 pub use cluster::{
-    AdmissionConfig, Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome, RpcConfig,
-    Transport, TreeShape,
+    AdmissionConfig, AppendOutcome, Cluster, ClusterConfig, FailureModel, LoadModel, QueryOutcome,
+    RpcConfig, Transport, TreeShape,
 };
 pub use meta::{ColumnMeta, ShardMeta};
 pub use process::{ProcessTree, ReapGuard, WorkerAddr};
 pub use shard_cache::{query_signature, CachedSubtree, ShardCache, ShardEntry, WorkerCache};
-pub use workload::{run_production, Click, DrillDownWorkload, ProductionReport, WorkloadSpec};
+pub use workload::{
+    run_append_while_serving, run_production, AppendServeReport, Click, DrillDownWorkload,
+    ProductionReport, WorkloadSpec,
+};

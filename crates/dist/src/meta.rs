@@ -194,6 +194,75 @@ impl ShardMeta {
     pub fn column(&self, name: &str) -> Option<&ColumnMeta> {
         self.columns.iter().find(|c| c.name == name)
     }
+
+    /// Absorb an applied streaming delta: fold the delta's values into the
+    /// shard zone map, append one [`ChunkMeta`] per fresh chunk, and keep
+    /// the Bloom layer complete. `columns` are the delta values in schema
+    /// field order (arrival order within each column); `new_chunk_rows`
+    /// are the row counts of the chunks the store just appended.
+    ///
+    /// Soundness at the cap transition: when a column's distinct set
+    /// degrades past [`MAX_DISTINCT`] *during* this append, both the
+    /// pre-append set and the delta values are still in hand, so the fresh
+    /// filter is built exactly — no value ever enters the shard without
+    /// entering its bloom. Columns already degraded at load keep their
+    /// existing filter and gain the delta's values.
+    pub fn absorb_delta(
+        &mut self,
+        schema: &Schema,
+        columns: &[&[Value]],
+        new_chunk_rows: &[usize],
+    ) {
+        let delta_rows: usize = new_chunk_rows.iter().sum();
+        for (idx, (field, column)) in schema.fields().iter().zip(columns).enumerate() {
+            let pre_values = self.columns[idx].values.clone();
+            for v in *column {
+                self.columns[idx].observe(v);
+            }
+            if let (Some(pre), None) = (&pre_values, &self.columns[idx].values) {
+                // Cap transition: build the filter from the complete
+                // distinct set (pre-append ∪ delta), exactly.
+                let mut bloom = ColumnBloom {
+                    name: field.name.clone(),
+                    data_type: field.data_type,
+                    filter: BloomFilter::new(pre.len() + column.len(), BLOOM_BITS_PER_KEY),
+                };
+                for v in pre.iter().chain(*column) {
+                    bloom.insert(v);
+                }
+                self.blooms.retain(|b| b.name != field.name);
+                self.blooms.push(bloom);
+            } else if let Some(bloom) = self.blooms.iter_mut().find(|b| b.name == field.name) {
+                for v in *column {
+                    bloom.insert(v);
+                }
+            }
+        }
+
+        // The chunk layer stays aligned with the store's chunk order only
+        // when it was complete before the append ("empty until the leaf
+        // attaches them" means absent, not complete); an incomplete layer
+        // is dropped (shard-granular pruning stays sound) rather than left
+        // with misindexed verdicts.
+        if !self.chunk_metas.is_empty() && self.chunk_metas.len() as u64 == self.chunks {
+            let mut at = 0usize;
+            for &len in new_chunk_rows {
+                let mut metas = empty_columns(schema);
+                for (meta, column) in metas.iter_mut().zip(columns) {
+                    for v in &column[at..at + len] {
+                        meta.observe_capped(v, MAX_CHUNK_DISTINCT);
+                    }
+                }
+                at += len;
+                self.chunk_metas.push(ChunkMeta { rows: len as u64, columns: metas });
+            }
+        } else {
+            self.chunk_metas.clear();
+        }
+
+        self.rows += delta_rows as u64;
+        self.chunks += new_chunk_rows.len() as u64;
+    }
 }
 
 fn empty_columns(schema: &Schema) -> Vec<ColumnMeta> {
@@ -782,6 +851,68 @@ mod tests {
         let cols = transposed(&rows);
         bloomed.build_blooms(&schema, &as_slices(&cols));
         assert!(may_match(&restriction("x = 0"), &bloomed));
+    }
+
+    #[test]
+    fn absorb_delta_updates_every_layer() {
+        let mut meta = gapped_meta();
+        assert_eq!((meta.rows, meta.chunks), (100, 2));
+        // A value in the inter-chunk gap arrives as a delta chunk.
+        let delta = [Value::Int(500), Value::Int(501), Value::Int(502)];
+        meta.absorb_delta(&Schema::of(&[("v", DataType::Int)]), &[&delta], &[2, 1]);
+        assert_eq!((meta.rows, meta.chunks), (103, 4));
+        assert_eq!(meta.chunk_metas.len(), 4);
+        assert_eq!(meta.chunk_metas[2].rows, 2);
+        assert_eq!(meta.chunk_metas[3].rows, 1);
+        // The gap range now matches via the appended chunks only.
+        let gap = restriction("v > 100 AND v < 1000");
+        let verdicts = chunk_verdicts(&gap, &meta);
+        assert_eq!(verdicts[0], ChunkActivity::Skip);
+        assert_eq!(verdicts[1], ChunkActivity::Skip);
+        assert_ne!(verdicts[2], ChunkActivity::Skip);
+        assert!(may_match(&gap, &meta));
+        // Ranges outside everything still prune.
+        assert!(!may_match(&restriction("v > 2000"), &meta));
+    }
+
+    #[test]
+    fn absorb_delta_keeps_blooms_complete_across_the_cap_transition() {
+        // 40 distinct strings at load (under MAX_DISTINCT, no bloom); the
+        // delta pushes the set past the cap, which must produce an exact
+        // fresh filter covering pre-append *and* delta values.
+        let schema = Schema::of(&[("term", DataType::Str)]);
+        let rows: Vec<Row> = (0..40).map(|i| Row(vec![Value::from(format!("pre-{i}"))])).collect();
+        let mut meta = ShardMeta::summarize(0, &schema, &rows);
+        let cols = transposed(&rows);
+        meta.build_blooms(&schema, &as_slices(&cols));
+        assert!(meta.blooms.is_empty(), "exact set needs no bloom");
+
+        let delta: Vec<Value> = (0..20).map(|i| Value::from(format!("new-{i}"))).collect();
+        meta.absorb_delta(&schema, &[&delta], &[20]);
+        assert_eq!(meta.column("term").unwrap().values, None, "set must have degraded");
+        assert_eq!(meta.blooms.len(), 1, "transition must build the filter");
+        // No false negatives for either generation of values...
+        for i in 0..40 {
+            assert!(may_match(&restriction(&format!("term = 'pre-{i}'")), &meta));
+        }
+        for i in 0..20 {
+            assert!(may_match(&restriction(&format!("term = 'new-{i}'")), &meta));
+        }
+        // ...while provably-absent values still prune through the filter.
+        assert!(!may_match(&restriction("term = 'pre-0a'"), &meta));
+
+        // A column already degraded at load keeps its filter and gains the
+        // delta's values.
+        let many: Vec<Row> =
+            (0..200).map(|i| Row(vec![Value::from(format!("term-{i}"))])).collect();
+        let mut degraded = ShardMeta::summarize(0, &schema, &many);
+        let many_cols = transposed(&many);
+        degraded.build_blooms(&schema, &as_slices(&many_cols));
+        let late = [Value::from("late-arrival")];
+        assert!(!may_match(&restriction("term = 'late-arrival'"), &degraded));
+        degraded.absorb_delta(&schema, &[&late], &[1]);
+        assert!(may_match(&restriction("term = 'late-arrival'"), &degraded));
+        assert!(!may_match(&restriction("term = 'still-absent'"), &degraded));
     }
 
     #[test]

@@ -22,13 +22,15 @@
 use crate::chaos::ChaosDirective;
 use crate::meta::ShardMeta;
 use crate::rpc::{
-    backoff_sleep, fan_out, Addr, AttachRequest, ChildHandle, ChildSpec, LoadRequest, QueryRequest,
-    Request, Response, RpcClient, SubtreeAnswer, BACKOFF_CAP, LOAD_TIMEOUT, STARTUP_TIMEOUT,
+    backoff_sleep, encode_frame, fan_out, Addr, AppendRequest, AttachRequest, ChildHandle,
+    ChildSpec, LoadRequest, QueryRequest, Request, Response, RpcClient, SubtreeAnswer, BACKOFF_CAP,
+    LOAD_TIMEOUT, STARTUP_TIMEOUT,
 };
 use pd_common::rng::Rng;
 use pd_common::{fx_hash64, Error, Result};
 use pd_core::BuildOptions;
 use pd_data::Table;
+use pd_encoding::TableDelta;
 use pd_sql::AnalyzedQuery;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
@@ -179,6 +181,19 @@ pub struct ProcessTree {
     /// Every tree node's name (`l0p`, `l0r`, `m1_0`, ...), in spawn
     /// order — the name space chaos directives target.
     names: Vec<String>,
+    /// The leaf level's child specs (shard, addresses, current metadata),
+    /// retained so an in-place [`ProcessTree::append`] can refresh the
+    /// per-shard metas and re-wire the merge levels without a respawn.
+    leaf_specs: Vec<ChildSpec>,
+    /// Merge servers per level (bottom-up): address + tree name. Appends
+    /// re-`Attach` each one so its pruning metas and epoch track the data.
+    merge_levels: Vec<Vec<(Addr, String)>>,
+    /// Cumulative serialized bytes of data-bearing requests (`Load` and
+    /// `Append` frames) shipped to workers — the cost an incremental
+    /// append is measured against a full respawn by.
+    bytes_shipped: u64,
+    fanout: usize,
+    cache_entries: usize,
     budget: Duration,
     compress: bool,
     chunk_pruning: bool,
@@ -210,6 +225,11 @@ impl ProcessTree {
             frontier: Vec::new(),
             leaf_primaries: Vec::new(),
             names: Vec::new(),
+            leaf_specs: Vec::new(),
+            merge_levels: Vec::new(),
+            bytes_shipped: 0,
+            fanout: config.fanout.max(2),
+            cache_entries: config.cache_entries,
             budget: config.budget,
             compress: config.compress,
             chunk_pruning: config.chunk_pruning,
@@ -259,28 +279,33 @@ impl ProcessTree {
             };
             level.push(ChildSpec::Leaf { shard: shard as u64, primary, replica, meta });
         }
+        self.leaf_specs = level.clone();
 
         // Merge levels: while one server cannot own the whole level, group
         // it into subtrees of `fanout` children each. Each node's spec
         // accumulates the shard summaries beneath it, so pruning works at
         // any depth.
-        let fanout = config.fanout.max(2);
+        let fanout = self.fanout;
         let mut height = 1u64;
         while level.len() > fanout {
             let mut next = Vec::with_capacity(level.len().div_ceil(fanout));
+            let mut servers = Vec::with_capacity(next.capacity());
             for (i, group) in level.chunks(fanout).enumerate() {
                 let metas: Vec<ShardMeta> =
                     group.iter().flat_map(|c| c.metas().iter().cloned()).collect();
+                let name = format!("m{height}_{i}");
                 let attach = Request::Attach(AttachRequest {
                     children: group.to_vec(),
                     compress: config.compress,
                     cache_entries: config.cache_entries as u64,
                     epoch: config.epoch,
-                    name: format!("m{height}_{i}"),
+                    name: name.clone(),
                 });
-                let (addr, _) = self.spawn_worker(config, &format!("m{height}_{i}"), &attach)?;
+                let (addr, _) = self.spawn_worker(config, &name, &attach)?;
+                servers.push((addr.clone(), name));
                 next.push(ChildSpec::Node { addr, height, metas });
             }
+            self.merge_levels.push(servers);
             level = next;
             height += 1;
         }
@@ -356,11 +381,101 @@ impl ProcessTree {
         client.connect_with_retry(STARTUP_TIMEOUT)?;
         expect_ack(client.call(&Request::Ping, STARTUP_TIMEOUT)?, "ping").map(|_| ())?;
         let meta = expect_ack(client.call(role, LOAD_TIMEOUT)?, "role assignment")?;
+        if matches!(role, Request::Load(_)) {
+            // Data-bearing shipping cost: what an append path is compared
+            // against. (Attach frames are wiring, not data.)
+            self.bytes_shipped += encode_frame(role, config.compress)?.len() as u64;
+        }
         Ok((addr, meta))
     }
 
     pub fn shard_count(&self) -> usize {
         self.leaf_primaries.len()
+    }
+
+    /// Cumulative serialized bytes of data-bearing requests (`Load` +
+    /// `Append`) shipped into the tree since it was built.
+    pub fn shipped_bytes(&self) -> u64 {
+        self.bytes_shipped
+    }
+
+    /// Stream new rows into the live tree — the in-place alternative to a
+    /// full respawn. `deltas[shard]` is the dictionary-delta table for
+    /// that shard (`None` = shard unchanged: nothing is shipped; the epoch
+    /// rule makes the leaf drop its caches at its next query). Each delta
+    /// goes to the shard's primary *and* replica (both must serve the new
+    /// rows or failover would travel back in time), the primary's ack
+    /// refreshes the shard's metadata, and every merge server is then
+    /// re-`Attach`ed bottom-up so parent-side pruning and the epoch track
+    /// the appended data. Returns the serialized request bytes shipped.
+    pub fn append(&mut self, deltas: &[Option<TableDelta>], epoch: u64) -> Result<u64> {
+        if deltas.len() != self.leaf_specs.len() {
+            return Err(Error::Data(format!(
+                "append carries {} shard deltas for {} shards",
+                deltas.len(),
+                self.leaf_specs.len()
+            )));
+        }
+        let mut shipped = 0u64;
+        for (shard, delta) in deltas.iter().enumerate() {
+            let Some(delta) = delta else { continue };
+            let request = Request::Append(Box::new(AppendRequest {
+                shard: shard as u64,
+                delta: delta.clone(),
+                epoch,
+            }));
+            let frame_len = encode_frame(&request, self.compress)?.len() as u64;
+            let ChildSpec::Leaf { primary, replica, meta, .. } = &mut self.leaf_specs[shard] else {
+                return Err(Error::Data("append: leaf level holds a non-leaf spec".into()));
+            };
+            let mut client = RpcClient::new(primary.clone(), self.compress);
+            client.connect_with_retry(STARTUP_TIMEOUT)?;
+            let refreshed = expect_ack(client.call(&request, LOAD_TIMEOUT)?, "append")?
+                .ok_or_else(|| Error::Data(format!("shard {shard}: append ack carried no meta")))?;
+            shipped += frame_len;
+            if let Some(replica) = replica {
+                let mut client = RpcClient::new(replica.clone(), self.compress);
+                client.connect_with_retry(STARTUP_TIMEOUT)?;
+                expect_ack(client.call(&request, LOAD_TIMEOUT)?, "append")?;
+                shipped += frame_len;
+            }
+            *meta = refreshed;
+        }
+        self.reattach(epoch)?;
+        self.bytes_shipped += shipped;
+        Ok(shipped)
+    }
+
+    /// Re-wire the merge levels bottom-up from the current leaf specs:
+    /// every merge server gets a fresh `Attach` (same children grouping,
+    /// same tree name, refreshed metas, new epoch — a total role reset,
+    /// so its cache is dropped with the wiring), and the driver's
+    /// frontier handles are rebuilt from the top level.
+    fn reattach(&mut self, epoch: u64) -> Result<()> {
+        let mut level = self.leaf_specs.clone();
+        for (li, servers) in self.merge_levels.iter().enumerate() {
+            let height = (li + 1) as u64;
+            let mut next = Vec::with_capacity(servers.len());
+            for ((addr, name), group) in servers.iter().zip(level.chunks(self.fanout)) {
+                let metas: Vec<ShardMeta> =
+                    group.iter().flat_map(|c| c.metas().iter().cloned()).collect();
+                let attach = Request::Attach(AttachRequest {
+                    children: group.to_vec(),
+                    compress: self.compress,
+                    cache_entries: self.cache_entries as u64,
+                    epoch,
+                    name: name.clone(),
+                });
+                let mut client = RpcClient::new(addr.clone(), self.compress);
+                client.connect_with_retry(STARTUP_TIMEOUT)?;
+                expect_ack(client.call(&attach, LOAD_TIMEOUT)?, "re-attach").map(|_| ())?;
+                next.push(ChildSpec::Node { addr: addr.clone(), height, metas });
+            }
+            level = next;
+        }
+        self.frontier =
+            level.into_iter().map(|spec| ChildHandle::new(spec, self.compress)).collect();
+        Ok(())
     }
 
     /// Every tree node's name, in spawn order — the targets a

@@ -66,6 +66,7 @@ use pd_common::wire::{self, Decode, Encode, FrameHeader, Reader};
 use pd_common::{fx_hash64, Error, Result, Row, RpcError, Schema};
 use pd_compress::{Codec, CodecKind};
 use pd_core::{BuildOptions, PartialResult, ScanStats};
+use pd_encoding::TableDelta;
 use pd_sql::AnalyzedQuery;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -314,6 +315,12 @@ pub enum Request {
     Load(Box<LoadRequest>),
     /// Become a merge server owning a subtree.
     Attach(AttachRequest),
+    /// Apply a streaming delta in place (leaf only): extend the shard's
+    /// dictionaries (existing ids stay stable), encode the delta rows as
+    /// fresh chunks, refresh the shard metadata for those chunks, and
+    /// adopt the new epoch — no respawn, no table reshipping. Acknowledged
+    /// with [`Response::Loaded`] carrying the refreshed [`ShardMeta`].
+    Append(Box<AppendRequest>),
     /// Execute / fan out one query.
     Query(Box<QueryRequest>),
     /// Test knob: delay every subsequent query answer by this much (how
@@ -342,6 +349,21 @@ pub struct LoadRequest {
     /// This node's tree-wide name (`l0p`, `l0r`, ...) — the key chaos
     /// directives target, and the label failures report.
     pub name: String,
+}
+
+/// A streaming append for one leaf shard: the self-contained delta batch
+/// plus the rebuild epoch it establishes. The delta carries its own
+/// per-column sorted dictionaries ([`pd_encoding::TableDelta`]), so the
+/// sender needs no knowledge of the shard's resident dictionaries;
+/// decoding re-validates every invariant, so a decoded request is safe to
+/// apply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppendRequest {
+    pub shard: u64,
+    pub delta: TableDelta,
+    /// The epoch this append establishes; the worker adopts it and drops
+    /// result caches under the usual epoch rule.
+    pub epoch: u64,
 }
 
 /// The subtree a merge server owns.
@@ -498,6 +520,7 @@ const REQ_ATTACH: u8 = 2;
 const REQ_QUERY: u8 = 3;
 const REQ_DELAY: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
+const REQ_APPEND: u8 = 6;
 
 impl Encode for Request {
     fn encode(&self, out: &mut Vec<u8>) {
@@ -532,6 +555,12 @@ impl Encode for Request {
                 query.epoch.encode(out);
                 query.chaos.encode(out);
                 query.chunk_pruning.encode(out);
+            }
+            Request::Append(append) => {
+                out.push(REQ_APPEND);
+                append.shard.encode(out);
+                append.delta.encode(out);
+                append.epoch.encode(out);
             }
             Request::Delay { micros } => {
                 out.push(REQ_DELAY);
@@ -572,6 +601,11 @@ impl Decode for Request {
                 epoch: r.u64()?,
                 chaos: Vec::decode(r)?,
                 chunk_pruning: bool::decode(r)?,
+            })),
+            REQ_APPEND => Request::Append(Box::new(AppendRequest {
+                shard: r.u64()?,
+                delta: TableDelta::decode(r)?,
+                epoch: r.u64()?,
             })),
             REQ_DELAY => Request::Delay { micros: r.u64()? },
             REQ_SHUTDOWN => Request::Shutdown,
@@ -1451,6 +1485,18 @@ mod tests {
                     },
                 ],
                 chunk_pruning: true,
+            })),
+            Request::Append(Box::new(AppendRequest {
+                shard: 2,
+                delta: TableDelta::from_columns(
+                    Schema::of(&[("k", DataType::Str), ("n", DataType::Int)]),
+                    &[
+                        &[Value::from("a"), Value::from("b"), Value::from("a")],
+                        &[Value::Int(1), Value::Int(2), Value::Int(3)],
+                    ],
+                )
+                .unwrap(),
+                epoch: 9,
             })),
             Request::Delay { micros: 5000 },
             Request::Shutdown,

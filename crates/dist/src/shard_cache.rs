@@ -255,6 +255,24 @@ mod tests {
     }
 
     #[test]
+    fn signature_format_is_pinned() {
+        // This exact string is the cache key shipped between processes —
+        // `crates/sql/tests/signature_stability.rs` pins the fragments, this
+        // pins the assembly. Changing it cold-starts every worker cache.
+        assert_eq!(
+            signature(
+                "SELECT country, COUNT(*) c, SUM(latency) s FROM logs \
+                 WHERE latency > 100 GROUP BY country"
+            ),
+            "logs|keys:country|aggs:COUNT(*),SUM(latency)|where:(latency > 100)|m:4096"
+        );
+        assert_eq!(
+            signature("SELECT COUNT(*) FROM logs"),
+            "logs|keys:|aggs:COUNT(*)|where:|m:4096"
+        );
+    }
+
+    #[test]
     fn signature_ignores_presentation_clauses() {
         let base = signature("SELECT country, COUNT(*) c FROM logs GROUP BY country");
         assert_eq!(

@@ -18,7 +18,13 @@
 //!   partials with the same associative merge the root uses, applies the
 //!   replica-failover rule to its leaf children, and **prunes children
 //!   whose shard metadata cannot match the query's restriction** before
-//!   spending any network hop.
+//!   spending any network hop;
+//! - a [`Request::Append`] streams new rows into an existing **leaf**
+//!   in place: the worker applies the dictionary-delta table to its
+//!   resident store (existing codes stay stable, new codes append),
+//!   re-derives the shard summary for the new chunks only, drops every
+//!   resident cache layer, adopts the shipped epoch, and acks with the
+//!   refreshed [`crate::meta::ShardMeta`] — no respawn, no re-import.
 //!
 //! Either role owns a [`crate::shard_cache::WorkerCache`] (capacity
 //! shipped in `Load`/`Attach`): repeated queries with the same normalized
@@ -335,6 +341,46 @@ fn handle(
             role.leaf = None;
             role.reset_cache(attach.cache_entries, attach.epoch);
             Ok(Response::Ok)
+        }
+        Request::Append(append) => {
+            let Some(leaf) = role.leaf.as_mut() else {
+                return Err(Error::Data("Append sent to a worker that is not a leaf".into()));
+            };
+            if append.shard != leaf.shard {
+                return Err(Error::Data(format!(
+                    "Append for shard {} sent to leaf {}",
+                    append.shard, leaf.shard
+                )));
+            }
+            let old_chunks = leaf.store.chunk_count();
+            leaf.store.append_delta(&append.delta)?;
+            // Re-derive the shard summary in place: the new chunks' zone
+            // maps and the column blooms absorb exactly the delta rows, so
+            // parent-side pruning stays sound without a re-summarize scan
+            // of the resident data.
+            let columns = append.delta.materialized_columns();
+            let slices: Vec<&[Value]> = columns.iter().map(|c| c.as_slice()).collect();
+            let part = leaf.store.partitioning();
+            let new_chunk_rows: Vec<usize> =
+                (old_chunks..part.chunk_count()).map(|c| part.chunk_range(c).len()).collect();
+            let schema = leaf.store.schema().clone();
+            leaf.meta.absorb_delta(&schema, &slices, &new_chunk_rows);
+            // Every resident cache layer describes the pre-append data:
+            // drop chunk results and tiered entries, invalidate the
+            // subtree cache, and adopt the new epoch so queries carrying
+            // it are served fresh.
+            if let Some(results) = &leaf.ctx.result_cache {
+                results.clear();
+            }
+            if let Some(tiered) = &leaf.ctx.tiered {
+                tiered.clear();
+            }
+            let meta = leaf.meta.clone();
+            if let Some(cache) = &role.cache {
+                cache.invalidate();
+            }
+            role.epoch = append.epoch;
+            Ok(Response::Loaded(Box::new(meta)))
         }
         Request::Delay { micros } => {
             role.delay = Duration::from_micros(micros);

@@ -9,10 +9,11 @@ use pd_common::{DataType, Row, RpcError, Schema, Value};
 use pd_core::{execute_partial, BuildOptions, DataStore, ExecContext, PartialResult, ScanStats};
 use pd_data::Table;
 use pd_dist::rpc::{
-    encode_frame, read_frame, read_frame_negotiated, LoadRequest, QueryRequest, Request, Response,
-    ShardReport, SubtreeAnswer,
+    encode_frame, read_frame, read_frame_negotiated, AppendRequest, LoadRequest, QueryRequest,
+    Request, Response, ShardReport, SubtreeAnswer,
 };
 use pd_dist::{ChaosDirective, ChaosFault};
+use pd_encoding::TableDelta;
 use pd_sql::{analyze, parse_query};
 use std::time::Duration;
 
@@ -48,8 +49,24 @@ fn real_partial() -> PartialResult {
     execute_partial(&store, &analyzed, &ctx).unwrap().0
 }
 
+/// A random (valid) dictionary-delta append: typed columns, no nulls —
+/// the codec's own strictness tests cover invalid shapes.
+fn random_append(rng: &mut Rng) -> Request {
+    let rows = rng.range_usize(1, 40);
+    let schema = Schema::of(&[("k", DataType::Str), ("v", DataType::Int)]);
+    let keys: Vec<Value> =
+        (0..rows).map(|_| Value::from(format!("k{}", rng.range_u64(0, 12)))).collect();
+    let vals: Vec<Value> = (0..rows).map(|_| Value::Int(rng.next_u64() as i64)).collect();
+    Request::Append(Box::new(AppendRequest {
+        shard: rng.next_u64() % 64,
+        delta: TableDelta::from_columns(schema, &[&keys, &vals]).unwrap(),
+        epoch: rng.next_u64(),
+    }))
+}
+
 fn random_request(rng: &mut Rng, case: usize) -> Request {
-    match case % 4 {
+    match case % 5 {
+        4 => random_append(rng),
         0 => {
             let rows = (0..rng.range_usize(0, 40))
                 .map(|_| Row(vec![random_value(rng), random_value(rng)]))
@@ -176,6 +193,19 @@ fn truncated_frames_error_and_never_panic() {
                 // a hard error for the failover path.
                 if let Ok(Some(_)) = read_frame::<Response>(&mut frame[..cut].as_ref()) {
                     panic!("case {case} cut={cut}: truncated frame decoded");
+                }
+            }
+        }
+    }
+    // Append frames carry nested dictionary payloads with their own length
+    // prefixes — every truncation point must still error, never decode.
+    for case in 0..8 {
+        let request = random_append(&mut rng);
+        for compress in [false, true] {
+            let frame = encode_frame(&request, compress).unwrap();
+            for cut in 0..frame.len() {
+                if let Ok(Some(_)) = read_frame::<Request>(&mut frame[..cut].as_ref()) {
+                    panic!("append case {case} cut={cut}: truncated frame decoded");
                 }
             }
         }

@@ -607,6 +607,67 @@ fn concurrent_tcp_announces_do_not_collide() {
 }
 
 #[test]
+fn append_streams_deltas_into_the_live_tree() {
+    // The incremental-rebuild path over real worker processes: a delta
+    // append must (1) ship strictly fewer bytes than the base import, (2)
+    // leave every answer bit-identical to a single store over the full
+    // data — across merge levels, with chunk pruning live on the
+    // re-derived metas — and (3) reach the replicas, proven by forcing a
+    // permanent primary failover onto one.
+    let table = generate_logs(&LogsSpec::scaled(1_200));
+    let slice = |lo: usize, hi: usize| {
+        let rows: Vec<usize> = (lo..hi).collect();
+        table.select_rows(&rows)
+    };
+    let mut cluster = Cluster::build(
+        &slice(0, 1_000),
+        &ClusterConfig {
+            shards: 3,
+            replication: true,
+            build: build_options(),
+            tree: TreeShape { fanout: 2 },
+            transport: rpc(Duration::from_secs(30)),
+            // Shard 0's primary is dead for every query: each answer below
+            // must come from its replica, which therefore must have
+            // absorbed the appends too.
+            failures: pd_dist::FailureModel { kill_primaries: vec![0], ..Default::default() },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let base_bytes = cluster.shipped_bytes();
+    assert!(base_bytes > 0, "the base import crossed the wire");
+    let before = cluster.query(QUERIES[0]).unwrap();
+    assert!(before.failovers.contains(&0), "shard 0 answers from its replica");
+
+    let outcome = cluster.append(&slice(1_000, 1_100)).unwrap();
+    assert_eq!(outcome.rows, 100);
+    assert!(outcome.bytes_shipped > 0, "rpc appends are measured");
+    assert!(
+        outcome.bytes_shipped < base_bytes,
+        "a 10% delta must ship fewer bytes than the base import: {} vs {base_bytes}",
+        outcome.bytes_shipped
+    );
+    assert_eq!(cluster.shipped_bytes(), base_bytes + outcome.bytes_shipped);
+    let second = cluster.append(&slice(1_100, 1_200)).unwrap();
+    assert_eq!(second.rows, 100);
+
+    let store = DataStore::build(&slice(0, 1_200), &BuildOptions::basic()).unwrap();
+    for sql in QUERIES {
+        let (expect, _) = query(&store, sql).unwrap();
+        let outcome = cluster.query(sql).unwrap();
+        assert_eq!(outcome.result, expect, "{sql}");
+        assert_eq!(outcome.stats.rows_total, 1_200, "appended rows are accounted: {sql}");
+        assert!(outcome.failovers.contains(&0), "the replica keeps serving: {sql}");
+    }
+    assert_ne!(
+        cluster.query(QUERIES[0]).unwrap().result,
+        before.result,
+        "worker caches must not serve pre-append partials across the epoch bump"
+    );
+}
+
+#[test]
 fn rebuild_respawns_the_tree_with_new_data() {
     let table = generate_logs(&LogsSpec::scaled(400));
     let mut cluster = Cluster::build(

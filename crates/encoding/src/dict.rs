@@ -224,12 +224,102 @@ impl HeapSize for FloatDict {
     }
 }
 
+/// A dictionary grown in place by appends: a sorted `base` (ids
+/// `[0, base.len())`, id order = value order) plus a `tail` of
+/// later-arriving values in *append* order (ids `[base.len(), len())`).
+///
+/// This is the structure that makes dictionary-delta shipping sound:
+/// every id the base ever handed out keeps meaning the same value, so
+/// chunk codes encoded before an append never need rewriting and group
+/// folds over old and new chunks merge bit-identically. The price is that
+/// id order no longer equals value order — rank-based range reasoning
+/// ([`GlobalDict::lower_bound`] / [`GlobalDict::range_ids`]) answers
+/// `None` ("maybe") and callers fall back to row-level evaluation.
+///
+/// Fields are private: the only ways to obtain a tailed dictionary are
+/// [`GlobalDict::extend`] (which validates types and never duplicates a
+/// value) and [`GlobalDict::from_bytes`] (which re-validates both).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailedDict {
+    base: Box<GlobalDict>,
+    tail: Vec<Value>,
+}
+
+impl TailedDict {
+    pub fn len(&self) -> u32 {
+        self.base.len() + self.tail.len() as u32
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The sorted dictionary the appends grew from.
+    pub fn base(&self) -> &GlobalDict {
+        &self.base
+    }
+
+    /// Appended values in id order (`tail()[i]` has id `base().len() + i`).
+    pub fn tail(&self) -> &[Value] {
+        &self.tail
+    }
+
+    pub fn value(&self, id: u32) -> Value {
+        if id < self.base.len() {
+            self.base.value(id)
+        } else {
+            self.tail[(id - self.base.len()) as usize].clone()
+        }
+    }
+
+    /// Position of `value` within the tail, under the same equality each
+    /// typed dictionary's `id_of` uses (exact for ints and strings, bit
+    /// pattern for floats, numeric coercion across Int/Float).
+    fn tail_position(&self, value: &Value) -> Option<usize> {
+        match (self.base.data_type(), value) {
+            (DataType::Int, Value::Int(x)) => self.tail_int(*x),
+            (DataType::Int, Value::Float(f)) if f.fract() == 0.0 => self.tail_int(*f as i64),
+            (DataType::Float, Value::Float(f)) => self.tail_float(*f),
+            (DataType::Float, Value::Int(x)) => self.tail_float(*x as f64),
+            (DataType::Str, Value::Str(s)) => {
+                self.tail.iter().position(|t| matches!(t, Value::Str(v) if v == s))
+            }
+            _ => None,
+        }
+    }
+
+    fn tail_int(&self, x: i64) -> Option<usize> {
+        self.tail.iter().position(|t| matches!(t, Value::Int(v) if *v == x))
+    }
+
+    fn tail_float(&self, x: f64) -> Option<usize> {
+        self.tail.iter().position(|t| matches!(t, Value::Float(v) if v.to_bits() == x.to_bits()))
+    }
+
+    pub fn id_of(&self, value: &Value) -> Option<u32> {
+        self.base
+            .id_of(value)
+            .or_else(|| self.tail_position(value).map(|i| self.base.len() + i as u32))
+    }
+}
+
+impl HeapSize for TailedDict {
+    fn heap_bytes(&self) -> usize {
+        self.base.heap_bytes()
+            + self.tail.len() * std::mem::size_of::<Value>()
+            + self.tail.iter().map(HeapSize::heap_bytes).sum::<usize>()
+    }
+}
+
 /// A typed global dictionary.
 #[derive(Debug, Clone, PartialEq)]
 pub enum GlobalDict {
     Int(IntDict),
     Float(FloatDict),
     Str(StrDict),
+    /// A sorted dictionary extended in place by appends (id order no
+    /// longer equals value order; see [`TailedDict`]).
+    Tailed(TailedDict),
 }
 
 impl GlobalDict {
@@ -238,6 +328,7 @@ impl GlobalDict {
             GlobalDict::Int(_) => DataType::Int,
             GlobalDict::Float(_) => DataType::Float,
             GlobalDict::Str(_) => DataType::Str,
+            GlobalDict::Tailed(t) => t.base.data_type(),
         }
     }
 
@@ -247,7 +338,17 @@ impl GlobalDict {
             GlobalDict::Int(d) => d.len(),
             GlobalDict::Float(d) => d.len(),
             GlobalDict::Str(d) => d.len(),
+            GlobalDict::Tailed(t) => t.len(),
         }
+    }
+
+    /// Does id order equal value order? True for every freshly built
+    /// dictionary (they are sorted); false once appends grew a tail.
+    /// Consumers that use integer-id comparisons as a proxy for value
+    /// comparisons (range pruning, id-domain MIN/MAX) must check this and
+    /// fall back to comparing values.
+    pub fn is_value_ordered(&self) -> bool {
+        !matches!(self, GlobalDict::Tailed(_))
     }
 
     pub fn is_empty(&self) -> bool {
@@ -260,6 +361,7 @@ impl GlobalDict {
             GlobalDict::Int(d) => Value::Int(d.value(id)),
             GlobalDict::Float(d) => Value::Float(d.value(id)),
             GlobalDict::Str(d) => Value::Str(d.value(id)),
+            GlobalDict::Tailed(t) => t.value(id),
         }
     }
 
@@ -272,6 +374,7 @@ impl GlobalDict {
             (GlobalDict::Float(d), Value::Float(v)) => d.id_of(*v),
             (GlobalDict::Float(d), Value::Int(v)) => d.id_of(*v as f64),
             (GlobalDict::Str(d), Value::Str(v)) => d.id_of(v),
+            (GlobalDict::Tailed(t), v) => t.id_of(v),
             _ => None,
         }
     }
@@ -293,6 +396,9 @@ impl GlobalDict {
                 // store keeps range-restricted fields in sorted form.
                 StrDict::Trie(_) => None,
             },
+            // Appended tails break the id-order-equals-value-order
+            // property ranks rely on; err towards "maybe".
+            (GlobalDict::Tailed(_), _) => None,
             _ => None,
         }
     }
@@ -306,7 +412,10 @@ impl GlobalDict {
     /// min/max "small materialized aggregates" technique the paper cites).
     ///
     /// Bounds are `(value, inclusive)`. Returns `None` when the dictionary
-    /// cannot rank the bound (trie string dictionaries, type mismatches).
+    /// cannot rank the bound (trie string dictionaries, tailed
+    /// dictionaries, type mismatches). The fully unbounded range stays
+    /// `Some((0, len))` even for tailed dictionaries: every id matches
+    /// regardless of order.
     pub fn range_ids(
         &self,
         min: Option<&(Value, bool)>,
@@ -338,12 +447,51 @@ impl GlobalDict {
     }
 
     /// Re-encode string dictionaries as tries ("OptDicts", §3). Numeric
-    /// dictionaries are untouched.
+    /// dictionaries are untouched. A tailed dictionary optimizes its base
+    /// (trie ids are rank order, so every id keeps its value).
     pub fn optimize(&self) -> Result<GlobalDict> {
         match self {
             GlobalDict::Str(d) => Ok(GlobalDict::Str(d.to_trie()?)),
+            GlobalDict::Tailed(t) => Ok(GlobalDict::Tailed(TailedDict {
+                base: Box::new(t.base.optimize()?),
+                tail: t.tail.clone(),
+            })),
             other => Ok(other.clone()),
         }
+    }
+
+    /// Append `values` in place, returning each input's global id.
+    ///
+    /// Values already present keep their existing id (including numeric
+    /// Int/Float coercion, matching [`GlobalDict::id_of`]); genuinely new
+    /// values are appended to the tail in first-seen order and receive the
+    /// next ids. Existing ids are **never** renumbered — the code
+    /// stability property dictionary-delta shipping relies on. Every value
+    /// must match the dictionary's type exactly; `Null` is rejected.
+    pub fn extend(&mut self, values: &[Value]) -> Result<Vec<u32>> {
+        let dtype = self.data_type();
+        let mut ids = Vec::with_capacity(values.len());
+        for v in values {
+            if v.data_type() != Some(dtype) {
+                return Err(type_mismatch(dtype, v));
+            }
+            if let Some(id) = self.id_of(v) {
+                ids.push(id);
+                continue;
+            }
+            // First genuinely new value: wrap the sorted dictionary in a
+            // tail in place (ids `[0, len)` keep their meaning).
+            if !matches!(self, GlobalDict::Tailed(_)) {
+                let placeholder = GlobalDict::Int(IntDict::from_sorted(Vec::new())?);
+                let base = std::mem::replace(self, placeholder);
+                *self = GlobalDict::Tailed(TailedDict { base: Box::new(base), tail: Vec::new() });
+            }
+            let GlobalDict::Tailed(t) = self else { unreachable!("just wrapped") };
+            let id = t.base.len() + t.tail.len() as u32;
+            t.tail.push(v.clone());
+            ids.push(id);
+        }
+        Ok(ids)
     }
 
     /// Serialize the dictionary contents for the compressed layer:
@@ -375,6 +523,27 @@ impl GlobalDict {
                     varint::write_u64(&mut out, s.len() as u64);
                     out.extend_from_slice(s.as_bytes());
                 });
+            }
+            GlobalDict::Tailed(t) => {
+                // Length-prefixed base bytes, then the tail values in id
+                // order, typed like the base.
+                out.push(3);
+                let base = t.base.to_bytes();
+                varint::write_u64(&mut out, base.len() as u64);
+                out.extend_from_slice(&base);
+                varint::write_u64(&mut out, t.tail.len() as u64);
+                for v in &t.tail {
+                    match v {
+                        Value::Int(x) => varint::write_i64(&mut out, *x),
+                        Value::Float(f) => out.extend_from_slice(&f.to_le_bytes()),
+                        Value::Str(s) => {
+                            varint::write_u64(&mut out, s.len() as u64);
+                            out.extend_from_slice(s.as_bytes());
+                        }
+                        // extend() and from_bytes() both reject nulls.
+                        Value::Null => unreachable!("tailed dictionaries hold no nulls"),
+                    }
+                }
             }
         }
         out
@@ -421,6 +590,53 @@ impl GlobalDict {
                 }
                 Ok(GlobalDict::Str(StrDict::Sorted(SortedStrDict::from_sorted(values)?)))
             }
+            3 => {
+                // `len` is the byte length of the serialized base here.
+                let raw = bytes
+                    .get(pos..pos.saturating_add(len))
+                    .ok_or_else(|| Error::Data("dict: truncated tailed base".into()))?;
+                pos += len;
+                let base = GlobalDict::from_bytes(raw)?;
+                if matches!(base, GlobalDict::Tailed(_)) {
+                    return Err(Error::Data("dict: nested tailed dictionary".into()));
+                }
+                let dtype = base.data_type();
+                let tail_len = varint::read_u64(bytes, &mut pos)? as usize;
+                if tail_len == 0 {
+                    return Err(Error::Data("dict: tailed dictionary with empty tail".into()));
+                }
+                let mut tailed = TailedDict {
+                    base: Box::new(base),
+                    tail: Vec::with_capacity(tail_len.min(1 << 20)),
+                };
+                for _ in 0..tail_len {
+                    let v = match dtype {
+                        DataType::Int => Value::Int(varint::read_i64(bytes, &mut pos)?),
+                        DataType::Float => {
+                            let raw = bytes
+                                .get(pos..pos + 8)
+                                .ok_or_else(|| Error::Data("dict: truncated float".into()))?;
+                            pos += 8;
+                            Value::Float(f64::from_le_bytes(raw.try_into().expect("8 bytes")))
+                        }
+                        DataType::Str => {
+                            let n = varint::read_u64(bytes, &mut pos)? as usize;
+                            let raw = bytes
+                                .get(pos..pos.saturating_add(n))
+                                .ok_or_else(|| Error::Data("dict: truncated string".into()))?;
+                            pos += n;
+                            let s = std::str::from_utf8(raw)
+                                .map_err(|_| Error::Data("dict: invalid UTF-8".into()))?;
+                            Value::Str(s.to_owned())
+                        }
+                    };
+                    if tailed.id_of(&v).is_some() {
+                        return Err(Error::Data("dict: duplicate value in tail".into()));
+                    }
+                    tailed.tail.push(v);
+                }
+                Ok(GlobalDict::Tailed(tailed))
+            }
             t => Err(Error::Data(format!("dict: unknown tag {t}"))),
         }
     }
@@ -432,6 +648,7 @@ impl HeapSize for GlobalDict {
             GlobalDict::Int(d) => d.heap_bytes(),
             GlobalDict::Float(d) => d.heap_bytes(),
             GlobalDict::Str(d) => d.heap_bytes(),
+            GlobalDict::Tailed(t) => t.heap_bytes(),
         }
     }
 }
@@ -708,6 +925,132 @@ mod tests {
         // Sorted string dictionaries support ranges.
         let (sorted, _) = build_dict(&[Value::from("a"), Value::from("b")], false).unwrap();
         assert_eq!(sorted.range_ids(Some(&(Value::from("b"), true)), None), Some((1, 2)));
+    }
+
+    #[test]
+    fn extend_keeps_existing_ids_and_appends_new_ones() {
+        let (mut dict, _) =
+            build_dict(&[Value::Int(10), Value::Int(30), Value::Int(20)], false).unwrap();
+        assert!(dict.is_value_ordered());
+        let before: Vec<Value> = (0..dict.len()).map(|id| dict.value(id)).collect();
+        // Mix of present and new values, with a duplicate new value.
+        let ids =
+            dict.extend(&[Value::Int(20), Value::Int(5), Value::Int(30), Value::Int(5)]).unwrap();
+        assert_eq!(ids, vec![1, 3, 2, 3], "present keep ids; new get the next id once");
+        assert!(!dict.is_value_ordered());
+        assert_eq!(dict.len(), 4);
+        // Every pre-existing id still means the same value.
+        for (id, v) in before.iter().enumerate() {
+            assert_eq!(&dict.value(id as u32), v);
+        }
+        assert_eq!(dict.value(3), Value::Int(5));
+        assert_eq!(dict.id_of(&Value::Int(5)), Some(3));
+        // A second extend keeps growing the same tail.
+        let ids = dict.extend(&[Value::Int(7), Value::Int(5)]).unwrap();
+        assert_eq!(ids, vec![4, 3]);
+        assert_eq!(dict.len(), 5);
+    }
+
+    #[test]
+    fn extend_validates_types_and_handles_floats_by_bits() {
+        let (mut ints, _) = build_dict(&[Value::Int(1)], false).unwrap();
+        assert!(ints.extend(&[Value::from("x")]).is_err());
+        assert!(ints.extend(&[Value::Null]).is_err());
+
+        let (mut floats, _) = build_dict(&[Value::Float(1.0)], false).unwrap();
+        let ids = floats.extend(&[Value::Float(-0.0), Value::Float(0.0)]).unwrap();
+        assert_eq!(ids, vec![1, 2], "signed zeros are distinct values");
+        assert_eq!(floats.id_of(&Value::Float(-0.0)), Some(1));
+        // Numeric coercion still matches the base, like id_of.
+        assert_eq!(floats.id_of(&Value::Int(1)), Some(0));
+    }
+
+    #[test]
+    fn tailed_dict_errs_toward_maybe_on_ranges() {
+        let (mut dict, _) =
+            build_dict(&[Value::Int(10), Value::Int(20), Value::Int(30)], false).unwrap();
+        dict.extend(&[Value::Int(15)]).unwrap();
+        assert_eq!(dict.lower_bound(&Value::Int(15)), None);
+        assert_eq!(dict.range_ids(Some(&(Value::Int(15), true)), None), None);
+        // The fully unbounded range is exact regardless of id order.
+        assert_eq!(dict.range_ids(None, None), Some((0, 4)));
+    }
+
+    #[test]
+    fn tailed_serialization_round_trips_all_types() {
+        let cases: Vec<(Vec<Value>, Vec<Value>)> = vec![
+            (
+                [1i64, 5, -9].iter().map(|&v| Value::Int(v)).collect(),
+                [100i64, -100].iter().map(|&v| Value::Int(v)).collect(),
+            ),
+            (
+                [0.25f64, -1.0].iter().map(|&v| Value::Float(v)).collect(),
+                [f64::NAN, -0.0, 7.5].iter().map(|&v| Value::Float(v)).collect(),
+            ),
+            (
+                ["b", "x"].iter().map(|&v| Value::from(v)).collect(),
+                ["a", "zz", ""].iter().map(|&v| Value::from(v)).collect(),
+            ),
+        ];
+        for (base, tail) in cases {
+            let (mut dict, _) = build_dict(&base, false).unwrap();
+            dict.extend(&tail).unwrap();
+            let back = GlobalDict::from_bytes(&dict.to_bytes()).unwrap();
+            assert_eq!(back.len(), dict.len());
+            assert!(!back.is_value_ordered());
+            for id in 0..dict.len() {
+                assert_eq!(back.value(id), dict.value(id));
+            }
+        }
+    }
+
+    #[test]
+    fn tailed_from_bytes_rejects_malformed_inputs() {
+        let (mut dict, _) = build_dict(&[Value::Int(1), Value::Int(2)], false).unwrap();
+        dict.extend(&[Value::Int(9)]).unwrap();
+        let bytes = dict.to_bytes();
+        // Truncations at every cut error, never panic.
+        for cut in 0..bytes.len() {
+            assert!(GlobalDict::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // A tail value duplicating the base is rejected.
+        let mut dup = GlobalDict::from_bytes(&bytes).unwrap();
+        if let GlobalDict::Tailed(t) = &mut dup {
+            t.tail[0] = Value::Int(2);
+        }
+        assert!(GlobalDict::from_bytes(&dup.to_bytes()).is_err(), "duplicate tail value");
+        // An empty tail is rejected (a sorted dict must stay tag 0/1/2).
+        let base_bytes = GlobalDict::Int(IntDict::from_sorted(vec![1, 2]).unwrap()).to_bytes();
+        let mut empty_tail = vec![3u8];
+        pd_compress::varint::write_u64(&mut empty_tail, base_bytes.len() as u64);
+        empty_tail.extend_from_slice(&base_bytes);
+        pd_compress::varint::write_u64(&mut empty_tail, 0);
+        assert!(GlobalDict::from_bytes(&empty_tail).is_err(), "empty tail");
+        // A nested tailed base is rejected.
+        let mut nested = vec![3u8];
+        pd_compress::varint::write_u64(&mut nested, bytes.len() as u64);
+        nested.extend_from_slice(&bytes);
+        pd_compress::varint::write_u64(&mut nested, 1);
+        pd_compress::varint::write_i64(&mut nested, 42);
+        assert!(GlobalDict::from_bytes(&nested).is_err(), "nested tailed base");
+    }
+
+    #[test]
+    fn trie_base_extends_in_place() {
+        let (mut dict, _) = build_dict(&[Value::from("de"), Value::from("fr")], true).unwrap();
+        let ids = dict.extend(&[Value::from("sg"), Value::from("de")]).unwrap();
+        assert_eq!(ids, vec![2, 0]);
+        assert_eq!(dict.value(2), Value::from("sg"));
+        // Round trip through bytes (trie base serializes via its sorted form).
+        let back = GlobalDict::from_bytes(&dict.to_bytes()).unwrap();
+        for id in 0..dict.len() {
+            assert_eq!(back.value(id), dict.value(id));
+        }
+        // optimize() keeps every id's meaning.
+        let opt = dict.optimize().unwrap();
+        for id in 0..dict.len() {
+            assert_eq!(opt.value(id), dict.value(id));
+        }
     }
 
     #[test]

@@ -15,9 +15,16 @@
 //! [`trie`] encoding for string dictionaries, [`bloom`] filters and
 //! [`subdict`] splitting so that queries touching few chunks load few
 //! dictionary bytes, and [`packed`] bit-packing used by ablation benches.
+//!
+//! Streaming appends relax exactly one invariant: a dictionary grown in
+//! place ([`dict::TailedDict`], shipped as a [`delta::TableDelta`]) keeps
+//! every existing id stable but is no longer fully sorted — rank-based
+//! range reasoning then answers "maybe" instead of a proof. See the crate
+//! README for the representation ladder and the code stability rules.
 
 pub mod bloom;
 pub mod chunk_dict;
+pub mod delta;
 pub mod dict;
 pub mod elements;
 pub mod packed;
@@ -26,7 +33,8 @@ pub mod trie;
 
 pub use bloom::BloomFilter;
 pub use chunk_dict::ChunkDict;
-pub use dict::{build_dict, FloatDict, GlobalDict, IntDict, SortedStrDict, StrDict};
+pub use delta::{ColumnDelta, DictDelta, TableDelta};
+pub use dict::{build_dict, FloatDict, GlobalDict, IntDict, SortedStrDict, StrDict, TailedDict};
 pub use elements::{CodesView, Elements, ElementsMode};
 pub use packed::PackedInts;
 pub use subdict::{SubDictIndex, SubDictLayout};
