@@ -1,0 +1,579 @@
+//! A small hand-rolled Rust lexer: enough of the language to answer the
+//! questions the rules ask — "what identifier is this, on what line, at what
+//! brace depth, inside which function, inside a `#[cfg(test)]` region or not" —
+//! without pulling in syn/proc-macro2 (the workspace builds from std alone).
+//!
+//! The lexer strips comments from the token stream but keeps two per-line maps
+//! derived from them: `// SAFETY:` justifications (consumed by the unsafe
+//! audit) and `// pd-analysis: allow(<rule>) -- <reason>` escape hatches
+//! (consumed by every rule). String/char/raw-string/lifetime literals are
+//! tokenized as opaque units so their contents can never be mistaken for code.
+
+use std::collections::{HashMap, HashSet};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    Ident,
+    Int,
+    Float,
+    Str,
+    Char,
+    Lifetime,
+    Punct,
+}
+
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+    /// Brace depth *before* this token is applied (so `{` carries the depth of
+    /// the block it opens minus one, matching how humans point at code).
+    pub depth: u32,
+    /// True when the token sits inside a `#[test]` fn or `#[cfg(test)]` item.
+    pub in_test: bool,
+    /// Index into [`SourceFile::fns`] of the innermost enclosing `fn`, if any.
+    pub func: Option<usize>,
+}
+
+/// One lexed file plus the comment-derived side tables the rules consume.
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes, e.g. `crates/common/src/wire.rs`.
+    pub rel_path: String,
+    pub tokens: Vec<Token>,
+    /// Names of `fn` items in source order; `Token::func` indexes into this.
+    pub fns: Vec<String>,
+    /// line -> rules allowed on that line and the next.
+    pub allows: HashMap<u32, Vec<String>>,
+    /// Lines carrying a `pd-analysis:` directive that failed to parse.
+    pub malformed_allows: Vec<u32>,
+    /// Lines whose comment text contains `SAFETY:`.
+    pub safety_lines: HashSet<u32>,
+    /// Every line that carries (part of) a comment — lets rules walk a
+    /// contiguous comment block upward from a code line.
+    pub comment_lines: HashSet<u32>,
+}
+
+impl SourceFile {
+    pub fn parse(rel_path: &str, source: &str) -> SourceFile {
+        let mut lx = Lexer::new(source);
+        lx.run();
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens: lx.tokens,
+            fns: Vec::new(),
+            allows: lx.allows,
+            malformed_allows: lx.malformed_allows,
+            safety_lines: lx.safety_lines,
+            comment_lines: lx.comment_lines,
+        };
+        annotate(&mut file);
+        file
+    }
+
+    /// True when `rule` is allowed at `line` (the directive covers its own
+    /// line — trailing comments — and the line directly below it).
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        let hit = |l: u32| self.allows.get(&l).is_some_and(|rules| rules.iter().any(|r| r == rule));
+        hit(line) || (line > 0 && hit(line - 1))
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+    allows: HashMap<u32, Vec<String>>,
+    malformed_allows: Vec<u32>,
+    safety_lines: HashSet<u32>,
+    comment_lines: HashSet<u32>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Lexer<'a> {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+            allows: HashMap::new(),
+            malformed_allows: Vec::new(),
+            safety_lines: HashSet::new(),
+            comment_lines: HashSet::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let b = self.peek(0);
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        b
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32) {
+        self.tokens.push(Token { kind, text, line, depth: 0, in_test: false, func: None });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.src.len() {
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(),
+                b'/' if self.peek(1) == b'*' => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => {
+                    if !self.try_raw_string(0) {
+                        self.ident();
+                    }
+                }
+                b'b' if self.peek(1) == b'"' => self.string_literal_prefixed(1),
+                b'b' if self.peek(1) == b'\'' => self.char_literal_prefixed(1),
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
+                    if !self.try_raw_string(1) {
+                        self.ident();
+                    }
+                }
+                b'\'' => self.char_or_lifetime(),
+                b'0'..=b'9' => self.number(),
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => self.ident(),
+                _ => {
+                    let line = self.line;
+                    let c = self.bump();
+                    self.push(Kind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        self.record_comment(text, line);
+    }
+
+    fn block_comment(&mut self) {
+        // Nested /* */ — record each line's text for the SAFETY map.
+        let mut depth = 0usize;
+        let mut line = self.line;
+        let mut line_start = self.pos;
+        loop {
+            if self.pos >= self.src.len() {
+                break;
+            }
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+                continue;
+            }
+            if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+                continue;
+            }
+            if self.peek(0) == b'\n' {
+                let text = std::str::from_utf8(&self.src[line_start..self.pos]).unwrap_or("");
+                self.record_comment(text, line);
+                self.bump();
+                line = self.line;
+                line_start = self.pos;
+                continue;
+            }
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[line_start..self.pos]).unwrap_or("");
+        self.record_comment(text, line);
+    }
+
+    fn record_comment(&mut self, text: &str, line: u32) {
+        self.comment_lines.insert(line);
+        if text.contains("SAFETY:") {
+            self.safety_lines.insert(line);
+        }
+        if let Some(rest) = text.split("pd-analysis:").nth(1) {
+            // Prose that merely mentions the marker isn't a directive attempt.
+            if rest.trim_start().starts_with("allow") {
+                match parse_allow(rest) {
+                    Some(rules) => self.allows.entry(line).or_default().extend(rules),
+                    None => self.malformed_allows.push(line),
+                }
+            }
+        }
+    }
+
+    fn string_literal(&mut self) {
+        self.string_literal_prefixed(0);
+    }
+
+    fn string_literal_prefixed(&mut self, prefix: usize) {
+        let line = self.line;
+        for _ in 0..prefix {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(Kind::Str, String::new(), line);
+    }
+
+    fn char_literal_prefixed(&mut self, prefix: usize) {
+        for _ in 0..prefix {
+            self.bump();
+        }
+        self.char_or_lifetime();
+    }
+
+    /// Raw string starting at `self.pos + prefix` (`r"…"`, `r#"…"#`, `br"…"`).
+    /// Returns false (consuming nothing) if this isn't actually a raw string —
+    /// e.g. the ident `r` followed by `#` in some exotic position.
+    fn try_raw_string(&mut self, prefix: usize) -> bool {
+        let mut probe = self.pos + prefix + 1; // past the `r`
+        let mut hashes = 0usize;
+        while self.src.get(probe) == Some(&b'#') {
+            hashes += 1;
+            probe += 1;
+        }
+        if self.src.get(probe) != Some(&b'"') {
+            return false;
+        }
+        let line = self.line;
+        while self.pos <= probe {
+            self.bump(); // consume prefix, r, hashes, opening quote
+        }
+        'scan: while self.pos < self.src.len() {
+            if self.bump() == b'"' {
+                for i in 0..hashes {
+                    if self.peek(i) != b'#' {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(Kind::Str, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self) {
+        let line = self.line;
+        self.bump(); // the opening '
+        if self.peek(0) == b'\\' {
+            // escaped char literal: '\n', '\u{…}', '\''
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump();
+            }
+            self.bump();
+            self.push(Kind::Char, String::new(), line);
+            return;
+        }
+        let start = self.pos;
+        while is_ident_byte(self.peek(0)) {
+            self.bump();
+        }
+        if self.pos > start && self.peek(0) != b'\'' {
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+            self.push(Kind::Lifetime, text.to_string(), line);
+            return;
+        }
+        // 'x' or a non-ascii single char
+        if self.pos == start && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        while self.pos < self.src.len() && self.peek(0) != b'\'' {
+            self.bump();
+        }
+        self.bump();
+        self.push(Kind::Char, String::new(), line);
+    }
+
+    fn number(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        let mut float = false;
+        let radix_prefixed = self.peek(0) == b'0'
+            && (self.peek(1) == b'x' || self.peek(1) == b'b' || self.peek(1) == b'o');
+        if radix_prefixed {
+            self.bump();
+            self.bump();
+            while matches!(self.peek(0), b'0'..=b'9' | b'a'..=b'f' | b'A'..=b'F' | b'_') {
+                self.bump();
+            }
+        } else {
+            while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                self.bump();
+            }
+        }
+        if !radix_prefixed && self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+            float = true;
+            self.bump();
+            while matches!(self.peek(0), b'0'..=b'9' | b'_') {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(0), b'e' | b'E')
+            && (self.peek(1).is_ascii_digit() || matches!(self.peek(1), b'+' | b'-'))
+        {
+            float = true;
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_digit() {
+                self.bump();
+            }
+        }
+        // Type suffix: f32/f64 force float; u8/i64/usize… stay int.
+        let sfx_start = self.pos;
+        while is_ident_byte(self.peek(0)) {
+            self.bump();
+        }
+        let suffix = std::str::from_utf8(&self.src[sfx_start..self.pos]).unwrap_or("");
+        if suffix == "f32" || suffix == "f64" {
+            float = true;
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        self.push(if float { Kind::Float } else { Kind::Int }, text.to_string(), line);
+    }
+
+    fn ident(&mut self) {
+        let line = self.line;
+        let start = self.pos;
+        while is_ident_byte(self.peek(0)) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
+        self.push(Kind::Ident, text.to_string(), line);
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Parse the tail of a `pd-analysis: allow(rule[, rule]) -- reason` directive.
+/// Returns None when malformed (wrong shape, or no non-empty reason).
+fn parse_allow(rest: &str) -> Option<Vec<String>> {
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rules: Vec<String> =
+        rest[..close].split(',').map(|r| r.trim().to_string()).filter(|r| !r.is_empty()).collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix("--")?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some(rules)
+}
+
+/// Second pass: brace depth, `#[cfg(test)]`/`#[test]` regions, enclosing fn.
+fn annotate(file: &mut SourceFile) {
+    let n = file.tokens.len();
+    let mut depth: u32 = 0;
+    // Stack of brace depths at which a test region opened.
+    let mut test_stack: Vec<u32> = Vec::new();
+    // (fn index, depth at which its body opened)
+    let mut fn_stack: Vec<(usize, u32)> = Vec::new();
+    let mut pending_test_attr = false;
+    let mut pending_fn: Option<String> = None;
+    let mut paren_depth: i32 = 0;
+
+    let mut i = 0;
+    while i < n {
+        let (kind, text) = (file.tokens[i].kind, file.tokens[i].text.clone());
+        file.tokens[i].depth = depth;
+        file.tokens[i].in_test = !test_stack.is_empty();
+        file.tokens[i].func = fn_stack.last().map(|&(idx, _)| idx);
+
+        match kind {
+            Kind::Punct => match text.as_str() {
+                "#" => {
+                    // Attribute: scan the balanced [ … ]; an inner attr (#![…])
+                    // never marks a following item.
+                    let inner = matches!(file.tokens.get(i + 1), Some(t) if t.text == "!");
+                    let open = if inner { i + 2 } else { i + 1 };
+                    if matches!(file.tokens.get(open), Some(t) if t.text == "[") {
+                        let mut bal = 0i32;
+                        let mut j = open;
+                        let mut saw_test = false;
+                        let mut saw_not = false;
+                        while j < n {
+                            match file.tokens[j].text.as_str() {
+                                "[" => bal += 1,
+                                "]" => {
+                                    bal -= 1;
+                                    if bal == 0 {
+                                        break;
+                                    }
+                                }
+                                "test" => saw_test = true,
+                                "not" => saw_not = true,
+                                _ => {}
+                            }
+                            file.tokens[j].depth = depth;
+                            file.tokens[j].in_test = !test_stack.is_empty();
+                            file.tokens[j].func = fn_stack.last().map(|&(idx, _)| idx);
+                            j += 1;
+                        }
+                        if j < n {
+                            file.tokens[j].depth = depth;
+                            file.tokens[j].in_test = !test_stack.is_empty();
+                            file.tokens[j].func = fn_stack.last().map(|&(idx, _)| idx);
+                        }
+                        if !inner && saw_test && !saw_not {
+                            pending_test_attr = true;
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                "(" => paren_depth += 1,
+                ")" => paren_depth -= 1,
+                "{" => {
+                    if pending_test_attr && paren_depth == 0 {
+                        // The marked item's body: everything inside is test code.
+                        test_stack.push(depth);
+                        pending_test_attr = false;
+                        file.tokens[i].in_test = true;
+                    }
+                    if paren_depth == 0 {
+                        if let Some(name) = pending_fn.take() {
+                            file.fns.push(name);
+                            fn_stack.push((file.fns.len() - 1, depth));
+                            file.tokens[i].func = Some(file.fns.len() - 1);
+                        }
+                    }
+                    depth += 1;
+                }
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if test_stack.last() == Some(&depth) {
+                        test_stack.pop();
+                    }
+                    if fn_stack.last().map(|&(_, d)| d) == Some(depth) {
+                        fn_stack.pop();
+                    }
+                }
+                // `#[cfg(test)] use …;` — an item with no body clears the mark.
+                ";" if pending_test_attr && paren_depth == 0 => pending_test_attr = false,
+                _ => {}
+            },
+            Kind::Ident if text == "fn" => {
+                if let Some(next) = file.tokens.get(i + 1) {
+                    if next.kind == Kind::Ident {
+                        pending_fn = Some(next.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_lines_and_depth() {
+        let f = SourceFile::parse("x.rs", "fn a() {\n    let x = 1;\n}\n");
+        let x = f.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 2);
+        assert_eq!(x.depth, 1);
+        assert_eq!(f.fns, vec!["a"]);
+        assert_eq!(x.func, Some(0));
+    }
+
+    #[test]
+    fn strings_and_comments_never_produce_idents() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "fn a() { let s = \"unwrap() panic!\"; /* unwrap */ // unwrap\n }",
+        );
+        assert!(!f.tokens.iter().any(|t| t.text == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes() {
+        let f = SourceFile::parse("x.rs", "fn a<'a>(x: &'a str) { let r = r#\"un\"wrap\"#; }");
+        assert!(f.tokens.iter().any(|t| t.kind == Kind::Lifetime && t.text == "a"));
+        assert!(!f.tokens.iter().any(|t| t.text == "wrap"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src =
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let f = SourceFile::parse("x.rs", src);
+        let unwraps: Vec<bool> =
+            f.tokens.iter().filter(|t| t.text == "unwrap").map(|t| t.in_test).collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn allow_directives_parse_and_cover_next_line() {
+        let src = "// pd-analysis: allow(lock-order) -- serialized on purpose\nfn a() {}\n// pd-analysis: allow(bad\nfn b() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.allowed("lock-order", 1));
+        assert!(f.allowed("lock-order", 2));
+        assert!(!f.allowed("lock-order", 3));
+        assert_eq!(f.malformed_allows, vec![3]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_malformed() {
+        let f = SourceFile::parse("x.rs", "// pd-analysis: allow(decode-panic)\nfn a() {}\n");
+        assert!(!f.allowed("decode-panic", 1));
+        assert_eq!(f.malformed_allows, vec![1]);
+    }
+
+    #[test]
+    fn safety_lines_recorded() {
+        let f = SourceFile::parse("x.rs", "// SAFETY: bounded by caller\nunsafe { }\n");
+        assert!(f.safety_lines.contains(&1));
+    }
+
+    #[test]
+    fn number_suffixes() {
+        let f = SourceFile::parse("x.rs", "fn a() { let x = 1f64; let y = 2u8; let z = 0.5; }");
+        let kinds: Vec<Kind> = f
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, Kind::Int | Kind::Float))
+            .map(|t| t.kind)
+            .collect();
+        assert_eq!(kinds, vec![Kind::Float, Kind::Int, Kind::Float]);
+    }
+}

@@ -1,0 +1,71 @@
+//! CLI entry point: `cargo run -p pd-analysis [-- --bless] [-- --root <dir>]`.
+//! Exits 1 when any rule has findings, printing one line per finding — the CI
+//! `analysis` job and local pre-push runs share this path.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut bless = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "pd-analysis: static-analysis pass over the workspace\n\n\
+                     USAGE: pd-analysis [--bless] [--root <dir>]\n\n\
+                     --bless   regenerate {} from the live tree\n\
+                     --root    workspace root (default: walk up from cwd)",
+                    pd_analysis::BASELINE_REL_PATH
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("pd-analysis: unknown argument `{other}` (try --help)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let cwd = std::env::current_dir().expect("cwd");
+    let Some(root) = root.or_else(|| pd_analysis::find_workspace_root(&cwd)) else {
+        eprintln!("pd-analysis: no workspace root found above {}", cwd.display());
+        return ExitCode::FAILURE;
+    };
+
+    if bless {
+        return match pd_analysis::bless(&root) {
+            Ok(()) => {
+                println!("blessed {}", pd_analysis::BASELINE_REL_PATH);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("pd-analysis: bless failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    match pd_analysis::analyze_workspace(&root) {
+        Ok(findings) if findings.is_empty() => {
+            println!("pd-analysis: clean (5 rule classes, 0 findings)");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            eprintln!("pd-analysis: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("pd-analysis: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,5 @@
+pub mod floats;
+pub mod locks;
+pub mod panics;
+pub mod unsafety;
+pub mod wire_drift;

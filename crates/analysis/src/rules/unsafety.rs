@@ -1,0 +1,74 @@
+//! Rule `unsafe-audit`: every `unsafe` outside test code needs a
+//! `// SAFETY:` comment within the five lines above it (or on the same
+//! line), and every crate the pass proves unsafe-free must say so with
+//! `#![forbid(unsafe_code)]` so it stays that way.
+
+use crate::lexer::{Kind, SourceFile};
+use crate::Finding;
+
+pub const RULE: &str = "unsafe-audit";
+
+pub fn check(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for tok in &file.tokens {
+        if tok.in_test || tok.kind != Kind::Ident || tok.text != "unsafe" {
+            continue;
+        }
+        // Accept `SAFETY:` on the same line or anywhere in the contiguous
+        // comment block directly above it.
+        let mut l = tok.line;
+        let mut justified = file.safety_lines.contains(&l);
+        while !justified && l > 1 && file.comment_lines.contains(&(l - 1)) {
+            l -= 1;
+            justified = file.safety_lines.contains(&l);
+        }
+        if !justified && !file.allowed(RULE, tok.line) {
+            findings.push(Finding {
+                rule: RULE,
+                file: file.rel_path.clone(),
+                line: tok.line,
+                message: "`unsafe` without a `// SAFETY:` comment — state the invariant that \
+                          makes this sound, directly above the block"
+                    .to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// True when the lexed lib.rs carries `#![forbid(unsafe_code)]`.
+pub fn has_forbid_unsafe(lib: &SourceFile) -> bool {
+    let toks = &lib.tokens;
+    toks.iter().enumerate().any(|(i, t)| {
+        t.text == "forbid"
+            && toks.get(i + 1).map(|n| n.text.as_str()) == Some("(")
+            && toks.get(i + 2).map(|n| n.text.as_str()) == Some("unsafe_code")
+    })
+}
+
+/// Crate-level check, driven by the workspace walker: a crate with zero
+/// `unsafe` tokens anywhere in its sources must declare the forbid.
+pub fn check_crate_forbid(
+    crate_name: &str,
+    lib_rel_path: &str,
+    lib: &SourceFile,
+    crate_has_unsafe: bool,
+) -> Option<Finding> {
+    if crate_has_unsafe || has_forbid_unsafe(lib) {
+        return None;
+    }
+    Some(Finding {
+        rule: RULE,
+        file: lib_rel_path.to_string(),
+        line: 1,
+        message: format!(
+            "crate `{crate_name}` is unsafe-free — add `#![forbid(unsafe_code)]` to its lib.rs \
+             so the compiler keeps it that way"
+        ),
+    })
+}
+
+/// True when any token in the file is a non-test `unsafe`.
+pub fn file_has_unsafe(file: &SourceFile) -> bool {
+    file.tokens.iter().any(|t| t.kind == Kind::Ident && t.text == "unsafe")
+}

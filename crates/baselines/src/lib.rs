@@ -21,6 +21,8 @@
 //! [`io_model`] converts bytes streamed into modeled disk time (the paper
 //! assumes "a streaming rate of at least 100 MB/second").
 
+#![forbid(unsafe_code)]
+
 pub mod csv_backend;
 pub mod dremel;
 pub mod io_model;

@@ -7,6 +7,8 @@
 //! are plain binaries over [`harness::Bench`] — run them with
 //! `cargo bench -p pd-bench`.
 
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod harness;
 

@@ -446,6 +446,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn rounding_matches_ieee_single_additions() {
         // For two addends, IEEE addition is itself correctly rounded, so
         // the accumulator must agree bit-for-bit.
@@ -551,6 +552,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn subnormal_accumulation_is_exact() {
         let tiny = 5e-324; // 2^-1074
         let mut s = FloatSum::new();

@@ -118,6 +118,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn avalanche_spreads_sequential_keys() {
         // The sketch divides the hash space uniformly; sequential integers
         // must land in different high-order buckets.

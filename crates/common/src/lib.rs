@@ -24,6 +24,8 @@
 //!   [`wire::Decode`]) that carries partial results, queries and control
 //!   messages across the §4 process boundary bit-identically.
 
+#![forbid(unsafe_code)]
+
 pub mod bitvec;
 pub mod error;
 pub mod fsum;

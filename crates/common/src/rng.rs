@@ -103,6 +103,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn deterministic_per_seed() {
         let mut a = Rng::seed_from_u64(42);
         let mut b = Rng::seed_from_u64(42);
@@ -123,6 +124,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn ranges_stay_in_bounds_and_cover() {
         let mut rng = Rng::seed_from_u64(3);
         let mut seen = [false; 10];
@@ -166,6 +168,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn chance_tracks_probability() {
         let mut rng = Rng::seed_from_u64(5);
         let hits = (0..100_000).filter(|_| rng.chance(0.3)).count();

@@ -80,8 +80,8 @@ impl FrameHeader {
 
     /// Serialize with the current [`FRAME_VERSION`].
     pub fn to_bytes(self) -> [u8; Self::BYTES] {
-        let len = self.len.to_le_bytes();
-        [FRAME_VERSION, self.flags, len[0], len[1], len[2], len[3]]
+        let [l0, l1, l2, l3] = self.len.to_le_bytes();
+        [FRAME_VERSION, self.flags, l0, l1, l2, l3]
     }
 
     /// Parse and validate: wrong version or unknown flag bits are framing
@@ -89,17 +89,16 @@ impl FrameHeader {
     /// the *typed* [`RpcError::VersionMismatch`], so retry policies can
     /// refuse to retry it without string matching.
     pub fn parse(bytes: [u8; Self::BYTES]) -> Result<FrameHeader> {
-        if bytes[0] != FRAME_VERSION {
+        let [version, flags, l0, l1, l2, l3] = bytes;
+        if version != FRAME_VERSION {
             return Err(Error::Rpc(RpcError::VersionMismatch(format!(
-                "wire: frame version {} (this build speaks {FRAME_VERSION})",
-                bytes[0]
+                "wire: frame version {version} (this build speaks {FRAME_VERSION})"
             ))));
         }
-        let flags = bytes[1];
         if flags & !FRAME_FLAGS_KNOWN != 0 {
             return Err(Error::Data(format!("wire: unknown frame flags {flags:#04x}")));
         }
-        Ok(FrameHeader { flags, len: u32::from_le_bytes([bytes[2], bytes[3], bytes[4], bytes[5]]) })
+        Ok(FrameHeader { flags, len: u32::from_le_bytes([l0, l1, l2, l3]) })
     }
 }
 
@@ -155,8 +154,12 @@ impl<'a> Reader<'a> {
                 self.remaining()
             )));
         }
-        let slice = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos + n;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| Error::Internal("wire: reader cursor out of bounds".into()))?;
+        self.pos = end;
         Ok(slice)
     }
 
@@ -176,17 +179,24 @@ impl<'a> Reader<'a> {
     }
 
     pub fn u8(&mut self) -> Result<u8> {
-        Ok(self.take(1)?[0])
+        self.take(1)?
+            .first()
+            .copied()
+            .ok_or_else(|| Error::Internal("wire: take(1) violated its length contract".into()))
     }
 
     pub fn u32(&mut self) -> Result<u32> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        match self.take(4)?.try_into() {
+            Ok(bytes) => Ok(u32::from_le_bytes(bytes)),
+            Err(_) => Err(Error::Internal("wire: take(4) violated its length contract".into())),
+        }
     }
 
     pub fn u64(&mut self) -> Result<u64> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        match self.take(8)?.try_into() {
+            Ok(bytes) => Ok(u64::from_le_bytes(bytes)),
+            Err(_) => Err(Error::Internal("wire: take(8) violated its length contract".into())),
+        }
     }
 }
 

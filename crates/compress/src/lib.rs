@@ -23,6 +23,8 @@
 //! All codecs share the [`Codec`] trait and are self-framing: the compressed
 //! buffer alone is sufficient to decompress.
 
+#![forbid(unsafe_code)]
+
 pub mod huffman;
 pub mod lz;
 pub mod lzf;

@@ -858,8 +858,10 @@ pub(crate) struct DenseFloat {
 
 #[inline(always)]
 fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    // pd-analysis: allow(float-exactness) -- this IS the double-double primitive: Knuth's TwoSum, whose raw adds are exactly compensated by `err`
     let s = a + b;
     let bv = s - a;
+    // pd-analysis: allow(float-exactness) -- error term of Knuth's TwoSum; exact by construction
     let err = (a - (s - bv)) + (b - bv);
     (s, err)
 }

@@ -162,9 +162,16 @@ impl WorkerPool {
                 let g: &TaskGroup<T> = &group;
                 let r: &F = &run;
                 let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || helper_job(g, r));
-                // Safety: this call waits on `group.remaining` until every
-                // helper job queued here has run to completion, so the
-                // borrows of `group` and `run` outlive the job.
+                // SAFETY: the transmute only erases the closure's lifetime
+                // (`Box<dyn FnOnce + Send + '_>` -> `'static`); the vtable and
+                // layout are unchanged. The borrows of `group` and `run` it
+                // captures live on this stack frame, and this function cannot
+                // return before every queued helper job has finished: the
+                // wait loops below block until `group.remaining == 0`, and
+                // `helper_job` decrements `remaining` only after its last use
+                // of those borrows. A panic on this thread is caught by the
+                // `catch_unwind` below, so no unwind can pop the frame while
+                // a helper still borrows from it.
                 let job: Job = unsafe { std::mem::transmute(job) };
                 queue.push_back(job);
             }

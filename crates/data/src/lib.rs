@@ -17,6 +17,8 @@
 //!   [`gen::generate_searches`] produces the web-search table the
 //!   introduction's drill-down scenario uses.
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 pub mod gen;
 pub mod recordio;

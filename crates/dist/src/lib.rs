@@ -45,6 +45,8 @@
 //!   skipped / cached / scanned split and Figure 5's latency-vs-disk-bytes
 //!   relation.
 
+#![forbid(unsafe_code)]
+
 pub mod chaos;
 pub mod cluster;
 pub mod meta;

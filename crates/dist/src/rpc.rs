@@ -773,7 +773,8 @@ pub fn encode_frame<T: Encode>(message: &T, compress: bool) -> Result<Vec<u8>> {
     } else {
         payload
     };
-    let len = u32::try_from(body.len()).expect("body never exceeds the checked payload size");
+    let len = u32::try_from(body.len())
+        .map_err(|_| Error::Internal("rpc: frame body exceeds the checked payload size".into()))?;
     let mut out = Vec::with_capacity(FrameHeader::BYTES + body.len());
     out.extend_from_slice(&FrameHeader { flags, len }.to_bytes());
     out.extend_from_slice(&body);
@@ -878,7 +879,10 @@ fn read_exact_deadline(stream: &mut Stream, buf: &mut [u8], deadline: Instant) -
     let mut filled = 0;
     while filled < buf.len() {
         stream.set_read_timeout(Some(budget_left(deadline)?))?;
-        match stream.read(&mut buf[filled..]) {
+        let rest = buf
+            .get_mut(filled..)
+            .ok_or_else(|| Error::Internal("rpc: read cursor out of bounds".into()))?;
+        match stream.read(rest) {
             Ok(0) => {
                 return Err(Error::Rpc(RpcError::PeerGone(
                     "rpc: peer closed the connection mid-frame".into(),
@@ -1049,7 +1053,10 @@ impl RpcClient {
         if self.stream.is_none() {
             self.connect_by(deadline)?;
         }
-        let stream = self.stream.as_mut().expect("connected above");
+        let stream = self
+            .stream
+            .as_mut()
+            .ok_or_else(|| Error::Internal("rpc: stream vanished after connect".into()))?;
         stream.set_write_timeout(Some(budget_left(deadline)?))?;
         write_frame(stream, request, self.compress)?;
         read_frame_deadline::<Response>(stream, deadline)
@@ -1181,6 +1188,7 @@ impl ChildHandle {
                 // A merge server inherits the whole remaining budget — it
                 // decrements and forwards it, so no height scaling is
                 // needed: the budget *is* the end-to-end clock.
+                // pd-analysis: allow(lock-order) -- the client mutex serializes one request/response pair per connection; the guard must span the call
                 match unpack(self.primary.lock().call(&message, budget)?)? {
                     Some(answer) => Ok(answer),
                     None => Err(Error::Data(format!("rpc: merge server {addr} sent no answer"))),
@@ -1197,6 +1205,7 @@ impl ChildHandle {
                         shard,
                         Error::Rpc(RpcError::PeerGone("primary killed mid-query".into())),
                     )),
+                    // pd-analysis: allow(lock-order) -- per-connection request/response serialization; the guard must span the call
                     (None, false) => match classify(self.primary.lock().call(&message, budget)) {
                         LeafOutcome::Answer(answer) => Ok((answer, false)),
                         LeafOutcome::Fatal(e) => Err(e),
@@ -1205,6 +1214,7 @@ impl ChildHandle {
                     // A killed primary is simply never contacted — the
                     // replica serves alone, same as a lost race.
                     (Some(replica), true) => {
+                        // pd-analysis: allow(lock-order) -- per-connection request/response serialization; the guard must span the call
                         match classify(replica.lock().call(&message, budget)) {
                             LeafOutcome::Answer(answer) => Ok((answer, true)),
                             LeafOutcome::Fatal(e) => Err(e),
@@ -1218,11 +1228,13 @@ impl ChildHandle {
                     // Hedging disabled: the old sequential failover, with
                     // the replica living on whatever budget remains.
                     (Some(replica), false) if request.hedge_micros == 0 => {
+                        // pd-analysis: allow(lock-order) -- per-connection request/response serialization; the guard must span the call
                         match classify(self.primary.lock().call(&message, budget)) {
                             LeafOutcome::Answer(answer) => Ok((answer, false)),
                             LeafOutcome::Fatal(e) => Err(e),
                             LeafOutcome::Failed(pe) => {
                                 let left = budget.saturating_sub(started.elapsed());
+                                // pd-analysis: allow(lock-order) -- per-connection request/response serialization; the guard must span the call
                                 match classify(replica.lock().call(&message, left)) {
                                     LeafOutcome::Answer(answer) => Ok((answer, true)),
                                     LeafOutcome::Fatal(e) => Err(e),
@@ -1270,6 +1282,7 @@ impl ChildHandle {
         std::thread::scope(|scope| {
             let primary_tx = outcome_tx.clone();
             scope.spawn(move || {
+                // pd-analysis: allow(lock-order) -- per-connection request/response serialization; the guard must span the call
                 let outcome = classify(self.primary.lock().call(message, budget));
                 let answered = matches!(outcome, LeafOutcome::Answer(_));
                 let _ = primary_done_tx.send(answered);
@@ -1289,6 +1302,7 @@ impl ChildHandle {
                         hedged.store(true, Ordering::Relaxed);
                     }
                 }
+                // pd-analysis: allow(lock-order) -- per-connection request/response serialization; the guard must span the call
                 let outcome = classify(replica.lock().call(message, budget));
                 let _ = replica_tx.send((true, outcome));
             });
@@ -1373,9 +1387,12 @@ fn both_failed(shard: u64, primary: Error, replica: Error) -> Error {
 /// Rewrap `message` in `e`'s typed variant when it has one.
 fn retag(e: Error, message: String) -> Error {
     match e {
-        Error::Rpc(f) => Error::Rpc(
-            RpcError::from_tag(f.tag(), message).expect("an existing variant's tag round-trips"),
-        ),
+        Error::Rpc(f) => match RpcError::from_tag(f.tag(), message.clone()) {
+            Some(fault) => Error::Rpc(fault),
+            // A tag this taxonomy doesn't know cannot round-trip; degrade to
+            // untyped rather than panic on a future variant.
+            None => Error::Data(message),
+        },
         _ => Error::Data(message),
     }
 }

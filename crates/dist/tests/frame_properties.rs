@@ -269,3 +269,134 @@ fn garbage_bytes_never_panic_the_reader() {
         let _ = read_frame::<Response>(&mut garbage.as_slice());
     }
 }
+
+// --- typed decode errors on the live client read path -----------------------
+//
+// Regression coverage for the decode-surface panic sweep: the read side of
+// `rpc.rs` must turn every hostile byte sequence a rogue peer can send into
+// a *typed* `Err(Error::Rpc(..))` — `RpcError::Decode` for corrupt frames —
+// so the failover machinery can dispatch on the variant. A panic (or an
+// untyped error) here would take down the whole merge server instead of one
+// child connection.
+
+use pd_common::wire::{FrameHeader, FRAME_FLAG_COMPRESSED, FRAME_VERSION};
+use pd_common::Error;
+use pd_dist::rpc::{Addr, Listener, RpcClient};
+use std::io::Write;
+
+/// Bind a loopback listener and serve exactly one connection with `serve`,
+/// then run `check` against a connected client.
+fn with_rogue_server(
+    serve: impl FnOnce(&mut pd_dist::rpc::Stream) + Send + 'static,
+    check: impl FnOnce(&mut RpcClient),
+) {
+    let listener = Listener::bind(&Addr::parse("tcp:127.0.0.1:0").unwrap()).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let mut stream = listener.accept().unwrap();
+        serve(&mut stream);
+    });
+    let mut client = RpcClient::new(addr, false);
+    client.connect_with_retry(Duration::from_secs(2)).unwrap();
+    check(&mut client);
+    server.join().unwrap();
+}
+
+fn expect_rpc_fault(client: &mut RpcClient) -> RpcError {
+    match client.call(&Request::Ping, Duration::from_secs(2)) {
+        Err(Error::Rpc(fault)) => fault,
+        other => panic!("expected a typed rpc fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupt_response_body_is_a_typed_decode_error() {
+    // A well-formed header whose body is garbage (no valid Response tag):
+    // the decode failure must surface as RpcError::Decode, never a panic.
+    with_rogue_server(
+        |stream| {
+            let body = [0xEEu8; 32];
+            let mut frame = FrameHeader { flags: 0, len: body.len() as u32 }.to_bytes().to_vec();
+            frame.extend_from_slice(&body);
+            stream.write_all(&frame).unwrap();
+            stream.flush().unwrap();
+        },
+        |client| {
+            let fault = expect_rpc_fault(client);
+            assert!(matches!(fault, RpcError::Decode(_)), "got {fault:?}");
+        },
+    );
+}
+
+#[test]
+fn corrupt_compressed_body_is_a_typed_decode_error() {
+    // The compressed path inflates before decoding — corruption inside the
+    // Zippy payload must come out just as typed as a raw-body decode failure.
+    with_rogue_server(
+        |stream| {
+            let body = [0xA5u8; 24];
+            let mut frame = FrameHeader { flags: FRAME_FLAG_COMPRESSED, len: body.len() as u32 }
+                .to_bytes()
+                .to_vec();
+            frame.extend_from_slice(&body);
+            stream.write_all(&frame).unwrap();
+            stream.flush().unwrap();
+        },
+        |client| {
+            let fault = expect_rpc_fault(client);
+            assert!(matches!(fault, RpcError::Decode(_)), "got {fault:?}");
+        },
+    );
+}
+
+#[test]
+fn torn_frame_then_close_is_a_typed_peer_gone() {
+    // A header promising 64 bytes followed by half of them and a close:
+    // the deadline reader must report the vanished peer, typed.
+    with_rogue_server(
+        |stream| {
+            let mut frame = FrameHeader { flags: 0, len: 64 }.to_bytes().to_vec();
+            frame.extend_from_slice(&[0u8; 32]);
+            stream.write_all(&frame).unwrap();
+            stream.flush().unwrap();
+            // Dropping the stream closes the connection mid-frame.
+        },
+        |client| {
+            let fault = expect_rpc_fault(client);
+            assert!(matches!(fault, RpcError::PeerGone(_)), "got {fault:?}");
+        },
+    );
+}
+
+#[test]
+fn version_skew_is_a_typed_version_mismatch() {
+    with_rogue_server(
+        |stream| {
+            // Hand-craft a header from a different protocol generation.
+            let bad = [FRAME_VERSION.wrapping_add(1), 0, 4, 0, 0, 0];
+            stream.write_all(&bad).unwrap();
+            stream.write_all(&[0u8; 4]).unwrap();
+            stream.flush().unwrap();
+        },
+        |client| {
+            let fault = expect_rpc_fault(client);
+            assert!(matches!(fault, RpcError::VersionMismatch(_)), "got {fault:?}");
+        },
+    );
+}
+
+#[test]
+fn unknown_header_flags_are_a_typed_decode_error() {
+    with_rogue_server(
+        |stream| {
+            let bad = [FRAME_VERSION, 0xFE, 4, 0, 0, 0];
+            stream.write_all(&bad).unwrap();
+            stream.write_all(&[0u8; 4]).unwrap();
+            stream.flush().unwrap();
+        },
+        |client| {
+            let fault = expect_rpc_fault(client);
+            assert!(matches!(fault, RpcError::Decode(_)), "got {fault:?}");
+        },
+    );
+}

@@ -129,6 +129,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn false_positive_rate_is_low() {
         let mut f = BloomFilter::new(10_000, 10);
         for i in 0..10_000u64 {

@@ -214,6 +214,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn dense_ids_serialize_compactly() {
         let d = dict(&(0..10_000).collect::<Vec<u32>>());
         // Delta encoding: ~1 byte per id.

@@ -22,6 +22,8 @@
 //! range reasoning then answers "maybe" instead of a proof. See the crate
 //! README for the representation ladder and the code stability rules.
 
+#![forbid(unsafe_code)]
+
 pub mod bloom;
 pub mod chunk_dict;
 pub mod delta;

@@ -139,6 +139,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 10k+ iterations: minutes under the interpreter
     fn memory_is_close_to_optimal() {
         let p: PackedInts = (0..10_000u32).map(|i| i % 30).collect(); // 5 bits
         assert_eq!(p.width(), 5);

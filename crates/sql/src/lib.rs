@@ -26,6 +26,8 @@
 //!   restrictions, with depth-bounded decoding so corrupt frames cannot
 //!   crash a merge server.
 
+#![forbid(unsafe_code)]
+
 pub mod analyze;
 pub mod ast;
 pub mod codec;

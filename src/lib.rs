@@ -71,6 +71,8 @@
 //! [`compress`], [`encoding`], [`sql`], [`data`], [`core`], [`baselines`],
 //! [`dist`].
 
+#![forbid(unsafe_code)]
+
 pub use pd_baselines as baselines;
 pub use pd_common as common;
 pub use pd_compress as compress;
